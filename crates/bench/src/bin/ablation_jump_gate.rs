@@ -1,0 +1,4 @@
+//! Jump-ahead-gate ablation (Algorithm 1, Line 5).
+fn main() {
+    adalsh_bench::figures::ablations::run_jump_gate();
+}

@@ -1,0 +1,4 @@
+//! Selection-strategy ablation (Theorem 1 empirically).
+fn main() {
+    adalsh_bench::figures::ablations::run_largest_first();
+}

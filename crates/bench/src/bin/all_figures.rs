@@ -1,0 +1,46 @@
+//! Runs every figure and ablation in sequence, writing all
+//! `results/*.jsonl` files. Budget: several minutes in release mode.
+use std::time::Instant;
+
+fn section(name: &str) {
+    println!("\n======================================================");
+    println!("== {name}");
+    println!("======================================================");
+}
+
+fn main() {
+    let t0 = Instant::now();
+    use adalsh_bench::figures as f;
+    section("Figures 5 & 7");
+    f::fig05::run();
+    section("Figure 8 (Cora)");
+    f::fig08_09::run_fig08();
+    section("Figure 9 (SpotSigs)");
+    f::fig08_09::run_fig09();
+    section("Figure 10 (F1 Gold)");
+    f::fig10::run();
+    section("Figure 11 (P/R vs khat)");
+    f::fig11::run();
+    section("Figure 12 (reduction & speedup)");
+    f::fig12::run();
+    section("Figure 13 (mAP/mAR)");
+    f::fig13::run();
+    section("Figure 14 (recovery)");
+    f::fig14::run();
+    section("Figure 15 (LSH-X ladder)");
+    f::fig15::run();
+    section("Figure 16 (PopularImages time)");
+    f::fig16::run();
+    section("Figure 17 (PopularImages F1)");
+    f::fig17::run();
+    section("Figure 20 (LSH nP variants)");
+    f::fig20::run();
+    section("Figure 21 (cost noise)");
+    f::fig21::run();
+    section("Figure 22 (budget modes)");
+    f::fig22::run();
+    section("Ablations");
+    f::ablations::run_largest_first();
+    f::ablations::run_jump_gate();
+    println!("\nall figures done in {:?}", t0.elapsed());
+}

@@ -1,0 +1,4 @@
+//! Reproduces Figures 5 and 7 (collision-probability curves).
+fn main() {
+    adalsh_bench::figures::fig05::run();
+}

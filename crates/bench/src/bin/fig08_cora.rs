@@ -1,0 +1,4 @@
+//! Reproduces Figure 8 (execution time on Cora).
+fn main() {
+    adalsh_bench::figures::fig08_09::run_fig08();
+}

@@ -1,0 +1,4 @@
+//! Reproduces Figure 9 (execution time on SpotSigs).
+fn main() {
+    adalsh_bench::figures::fig08_09::run_fig09();
+}

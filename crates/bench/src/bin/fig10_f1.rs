@@ -1,0 +1,4 @@
+//! Reproduces Figure 10 (F1 Gold vs k).
+fn main() {
+    adalsh_bench::figures::fig10::run();
+}

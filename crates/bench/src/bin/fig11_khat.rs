@@ -1,0 +1,4 @@
+//! Reproduces Figure 11 (precision/recall vs khat).
+fn main() {
+    adalsh_bench::figures::fig11::run();
+}

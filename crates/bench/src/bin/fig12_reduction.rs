@@ -1,0 +1,4 @@
+//! Reproduces Figure 12 (reduction % and speedup w/o recovery).
+fn main() {
+    adalsh_bench::figures::fig12::run();
+}

@@ -1,0 +1,4 @@
+//! Reproduces Figure 13 (mAP / mAR vs khat).
+fn main() {
+    adalsh_bench::figures::fig13::run();
+}

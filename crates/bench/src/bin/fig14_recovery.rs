@@ -1,0 +1,4 @@
+//! Reproduces Figure 14 (speedup and mAP with recovery).
+fn main() {
+    adalsh_bench::figures::fig14::run();
+}

@@ -1,0 +1,4 @@
+//! Reproduces Figure 15 (adaLSH vs the LSH-X ladder).
+fn main() {
+    adalsh_bench::figures::fig15::run();
+}

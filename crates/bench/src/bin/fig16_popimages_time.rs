@@ -1,0 +1,4 @@
+//! Reproduces Figure 16 (execution time on PopularImages).
+fn main() {
+    adalsh_bench::figures::fig16::run();
+}

@@ -1,0 +1,4 @@
+//! Reproduces Figure 17 (F1 Gold on PopularImages).
+fn main() {
+    adalsh_bench::figures::fig17::run();
+}

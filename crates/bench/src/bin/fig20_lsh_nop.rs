@@ -1,0 +1,4 @@
+//! Reproduces Figure 20 (LSH blocking variants with/without P).
+fn main() {
+    adalsh_bench::figures::fig20::run();
+}

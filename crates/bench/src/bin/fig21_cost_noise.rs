@@ -1,0 +1,4 @@
+//! Reproduces Figure 21 (cost-model noise sensitivity).
+fn main() {
+    adalsh_bench::figures::fig21::run();
+}

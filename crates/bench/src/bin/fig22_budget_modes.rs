@@ -1,0 +1,4 @@
+//! Reproduces Figure 22 (budget-selection modes).
+fn main() {
+    adalsh_bench::figures::fig22::run();
+}

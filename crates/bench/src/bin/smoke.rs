@@ -1,0 +1,53 @@
+//! Quick end-to-end sanity run: adaLSH vs LSH1280 vs Pairs on the
+//! SpotSigs-like dataset at its paper-scale size. Not a paper figure —
+//! a development smoke test for the harness.
+
+use adalsh_bench::harness::{evaluate, f3, pair_cost, secs, Table};
+use adalsh_core::algorithm::{AdaLsh, AdaLshConfig, FilterMethod};
+use adalsh_core::baselines::{LshBlocking, Pairs};
+use adalsh_datagen::spotsigs::{self, SpotSigsConfig};
+
+fn main() {
+    let dataset = spotsigs::generate(&SpotSigsConfig::default());
+    let rule = spotsigs::match_rule(0.4);
+    let k = 10;
+    println!(
+        "SpotSigs-like: {} records, {} entities, top sizes {:?}",
+        dataset.len(),
+        dataset.num_entities(),
+        &dataset.entity_sizes()[..5.min(dataset.num_entities())]
+    );
+    let pc = pair_cost(&dataset, &rule, 1000, 1);
+
+    let mut table = Table::new(&[
+        "method", "time", "hashes", "pairs", "|O|", "P", "R", "F1", "speedup",
+    ]);
+    let mut run = |m: &mut dyn FilterMethod| {
+        let (e, out) = evaluate(m, &dataset, &rule, k, k, pc);
+        table.row(&[
+            e.method.clone(),
+            secs(e.wall_secs),
+            e.hash_evals.to_string(),
+            e.pair_comparisons.to_string(),
+            e.output_records.to_string(),
+            f3(e.precision_gold),
+            f3(e.recall_gold),
+            f3(e.f1_gold),
+            f3(e.speedup),
+        ]);
+        let _ = out;
+    };
+
+    let mut ada = AdaLsh::for_dataset(&dataset, AdaLshConfig::new(rule.clone())).unwrap();
+    eprintln!(
+        "adaLSH sequence: {:?}",
+        ada.levels()
+            .iter()
+            .map(|l| l.budget())
+            .collect::<Vec<_>>()
+    );
+    run(&mut ada);
+    run(&mut LshBlocking::new(rule.clone(), 1280));
+    run(&mut Pairs::new(rule.clone()));
+    table.print();
+}

@@ -1,0 +1,54 @@
+//! Extended smoke test: all three dataset families plus an 8x scale run.
+
+use adalsh_bench::harness::{evaluate, f3, pair_cost, secs, Table};
+use adalsh_core::algorithm::{AdaLsh, AdaLshConfig, FilterMethod};
+use adalsh_core::baselines::{LshBlocking, Pairs};
+use adalsh_data::{Dataset, MatchRule};
+use adalsh_datagen::popimages::{self, PopImagesConfig};
+use adalsh_datagen::spotsigs::{self, SpotSigsConfig};
+use adalsh_datagen::{cora, upsample, CoraConfig};
+
+fn bench(name: &str, dataset: &Dataset, rule: &MatchRule, k: usize, lsh_x: u64) {
+    println!(
+        "\n=== {name}: {} records, {} entities, top sizes {:?}",
+        dataset.len(),
+        dataset.num_entities(),
+        &dataset.entity_sizes()[..5.min(dataset.num_entities())]
+    );
+    let pc = pair_cost(dataset, rule, 1000, 1);
+    let mut table = Table::new(&[
+        "method", "time", "hashes", "pairs", "|O|", "F1", "mAP", "speedup",
+    ]);
+    let mut run = |m: &mut dyn FilterMethod| {
+        let (e, _) = evaluate(m, dataset, rule, k, k, pc);
+        table.row(&[
+            e.method.clone(),
+            secs(e.wall_secs),
+            e.hash_evals.to_string(),
+            e.pair_comparisons.to_string(),
+            e.output_records.to_string(),
+            f3(e.f1_gold),
+            f3(e.map),
+            f3(e.speedup),
+        ]);
+    };
+    let mut ada = AdaLsh::for_dataset(dataset, AdaLshConfig::new(rule.clone())).unwrap();
+    run(&mut ada);
+    run(&mut LshBlocking::new(rule.clone(), lsh_x));
+    run(&mut Pairs::new(rule.clone()));
+    table.print();
+}
+
+fn main() {
+    let (cora_ds, _) = cora::generate(&CoraConfig::default());
+    bench("Cora", &cora_ds, &cora::match_rule(), 10, 1280);
+
+    let spot = spotsigs::generate(&SpotSigsConfig::default());
+    bench("SpotSigs", &spot, &spotsigs::match_rule(0.4), 10, 1280);
+
+    let spot8 = upsample(&spot, spot.len() * 8, 88);
+    bench("SpotSigs8x", &spot8, &spotsigs::match_rule(0.4), 10, 1280);
+
+    let pop = popimages::generate(&PopImagesConfig::default());
+    bench("PopularImages(1.05)", &pop, &popimages::match_rule(3.0), 10, 2560);
+}

@@ -1,0 +1,128 @@
+//! Ablations beyond the paper's figures, probing the design choices the
+//! theorems justify:
+//!
+//! * **Largest-First selection** (Theorem 1): compare the modeled
+//!   Definition-3 cost under Largest-First, Smallest-First, Random, and
+//!   FIFO selection. Largest-First must never lose.
+//! * **Jump-ahead gate** (Algorithm 1 Line 5): disable the cost gate so
+//!   every cluster rides the hash sequence to `H_L` — quantifying how
+//!   much the early switch to `P` saves.
+
+use serde::Serialize;
+
+use adalsh_core::algorithm::{AdaLsh, AdaLshConfig, SelectionStrategy};
+
+use crate::harness::{datasets, secs, write_rows, Table};
+
+/// One row of the selection-strategy ablation.
+#[derive(Debug, Clone, Serialize)]
+pub struct SelectionRow {
+    /// Dataset family.
+    pub dataset: String,
+    /// Strategy label.
+    pub strategy: String,
+    /// Modeled Definition-3 cost.
+    pub modeled_cost: f64,
+    /// Wall-clock seconds.
+    pub wall_secs: f64,
+    /// Main-loop rounds.
+    pub rounds: u64,
+}
+
+/// Largest-First vs the alternatives (k = 10).
+pub fn run_largest_first() -> Vec<SelectionRow> {
+    let mut rows = Vec::new();
+    println!("--- Ablation: cluster-selection strategy (Theorem 1), k = 10");
+    let mut t = Table::new(&["dataset", "strategy", "modeled cost", "time", "rounds"]);
+    let cases: Vec<(&str, _)> = vec![
+        ("cora", datasets::cora(1)),
+        ("spotsigs", datasets::spotsigs(1, 0.4)),
+        ("popimages", datasets::popimages(1.05, 3.0)),
+    ];
+    for (name, (dataset, rule)) in cases {
+        for (label, strategy) in [
+            ("LargestFirst", SelectionStrategy::LargestFirst),
+            ("SmallestFirst", SelectionStrategy::SmallestFirst),
+            ("Random", SelectionStrategy::Random),
+            ("Fifo", SelectionStrategy::Fifo),
+        ] {
+            let mut cfg = AdaLshConfig::new(rule.clone());
+            cfg.selection = strategy;
+            let mut engine = AdaLsh::for_dataset(&dataset, cfg).unwrap();
+            let out = engine.run(&dataset, 10);
+            t.row(&[
+                name.to_string(),
+                label.to_string(),
+                format!("{:.3e}", out.stats.modeled_cost),
+                secs(out.wall.as_secs_f64()),
+                out.stats.rounds.to_string(),
+            ]);
+            rows.push(SelectionRow {
+                dataset: name.to_string(),
+                strategy: label.to_string(),
+                modeled_cost: out.stats.modeled_cost,
+                wall_secs: out.wall.as_secs_f64(),
+                rounds: out.stats.rounds,
+            });
+        }
+    }
+    t.print();
+    write_rows("ablation_largest_first", &rows);
+    rows
+}
+
+/// One row of the jump-ahead ablation.
+#[derive(Debug, Clone, Serialize)]
+pub struct GateRow {
+    /// Dataset family.
+    pub dataset: String,
+    /// `true` when the Line-5 cost gate is active.
+    pub gate_enabled: bool,
+    /// Wall-clock seconds.
+    pub wall_secs: f64,
+    /// Hash evaluations.
+    pub hash_evals: u64,
+    /// Pair comparisons.
+    pub pair_comparisons: u64,
+    /// Modeled Definition-3 cost.
+    pub modeled_cost: f64,
+}
+
+/// Cost gate on/off (k = 10).
+pub fn run_jump_gate() -> Vec<GateRow> {
+    let mut rows = Vec::new();
+    println!("\n--- Ablation: Line-5 jump-ahead gate, k = 10");
+    let mut t = Table::new(&["dataset", "gate", "time", "hashes", "pairs", "modeled cost"]);
+    let cases: Vec<(&str, _)> = vec![
+        ("cora", datasets::cora(1)),
+        ("spotsigs", datasets::spotsigs(1, 0.4)),
+        ("popimages", datasets::popimages(1.05, 3.0)),
+    ];
+    for (name, (dataset, rule)) in cases {
+        for gate in [true, false] {
+            let mut cfg = AdaLshConfig::new(rule.clone());
+            cfg.disable_jump_gate = !gate;
+            let mut engine = AdaLsh::for_dataset(&dataset, cfg).unwrap();
+            let out = engine.run(&dataset, 10);
+            t.row(&[
+                name.to_string(),
+                if gate { "on" } else { "off" }.to_string(),
+                secs(out.wall.as_secs_f64()),
+                out.stats.hash_evals.to_string(),
+                out.stats.pair_comparisons.to_string(),
+                format!("{:.3e}", out.stats.modeled_cost),
+            ]);
+            rows.push(GateRow {
+                dataset: name.to_string(),
+                gate_enabled: gate,
+                wall_secs: out.wall.as_secs_f64(),
+                hash_evals: out.stats.hash_evals,
+                pair_comparisons: out.stats.pair_comparisons,
+                modeled_cost: out.stats.modeled_cost,
+            });
+        }
+    }
+    t.print();
+    write_rows("ablation_jump_gate", &rows);
+    rows
+}

@@ -1,0 +1,119 @@
+//! Shared pieces for the figure modules.
+
+use adalsh_core::algorithm::{AdaLsh, AdaLshConfig, FilterMethod};
+use adalsh_core::baselines::{LshBlocking, Pairs};
+use adalsh_data::{Dataset, MatchRule};
+
+use crate::harness::{evaluate, label, pair_cost, Eval, LabeledEval};
+
+/// Builds a default-configured adaLSH engine for a dataset/rule.
+pub fn ada(dataset: &Dataset, rule: &MatchRule) -> AdaLsh {
+    AdaLsh::for_dataset(dataset, AdaLshConfig::new(rule.clone()))
+        .expect("sequence designable for experiment rule")
+}
+
+/// A method roster entry for comparison figures.
+pub enum Method {
+    /// adaLSH with default configuration.
+    Ada,
+    /// `LSH-X` blocking with `P` verification.
+    Lsh(u64),
+    /// `LSH-X-nP` (no verification).
+    LshNoP(u64),
+    /// Exact pairwise resolution.
+    Pairs,
+}
+
+impl Method {
+    /// Runs the method and evaluates it.
+    pub fn evaluate(
+        &self,
+        dataset: &Dataset,
+        rule: &MatchRule,
+        k_requested: usize,
+        k_gold: usize,
+        pc: f64,
+    ) -> Eval {
+        self.evaluate_full(dataset, rule, k_requested, k_gold, pc).0
+    }
+
+    /// Runs the method, returning the evaluation and the raw output.
+    pub fn evaluate_full(
+        &self,
+        dataset: &Dataset,
+        rule: &MatchRule,
+        k_requested: usize,
+        k_gold: usize,
+        pc: f64,
+    ) -> (Eval, adalsh_core::algorithm::FilterOutput) {
+        let mut boxed: Box<dyn FilterMethod> = match self {
+            Method::Ada => Box::new(ada(dataset, rule)),
+            Method::Lsh(x) => Box::new(LshBlocking::new(rule.clone(), *x)),
+            Method::LshNoP(x) => Box::new(LshBlocking::without_pairwise(rule.clone(), *x)),
+            Method::Pairs => Box::new(Pairs::new(rule.clone())),
+        };
+        evaluate(boxed.as_mut(), dataset, rule, k_requested, k_gold, pc)
+    }
+}
+
+/// Runs the time-vs-k and time-vs-size grids used by Figures 8 and 9.
+pub struct TimeGrid {
+    /// Experiment id prefix (e.g. `fig08`).
+    pub id: &'static str,
+    /// Dataset family constructor at a scale factor.
+    pub dataset: fn(usize) -> (Dataset, MatchRule),
+    /// The `LSH-X` budget the paper uses in this figure (1280).
+    pub lsh_x: u64,
+}
+
+impl TimeGrid {
+    /// Part (a): execution time for k ∈ {2, 5, 10, 20} at 1x.
+    /// Part (b): execution time for sizes 1x..8x at k = 10.
+    pub fn run(&self) -> Vec<LabeledEval> {
+        let mut rows = Vec::new();
+        let (d1, rule) = (self.dataset)(1);
+        let pc = pair_cost(&d1, &rule, 1000, 7);
+
+        println!("--- (a) execution time vs k (1x, {} records)", d1.len());
+        let mut ta = crate::harness::Table::new(&["k", "adaLSH", &format!("LSH{}", self.lsh_x), "Pairs"]);
+        for k in [2usize, 5, 10, 20] {
+            let mut cells = vec![k.to_string()];
+            for m in [Method::Ada, Method::Lsh(self.lsh_x), Method::Pairs] {
+                let e = m.evaluate(&d1, &rule, k, k, pc);
+                cells.push(crate::harness::secs(e.wall_secs));
+                rows.push(label(
+                    &format!("{}a", self.id),
+                    &[("k", k.to_string()), ("scale", "1".into())],
+                    e,
+                ));
+            }
+            ta.row(&cells);
+        }
+        ta.print();
+
+        println!("\n--- (b) execution time vs dataset size (k = 10)");
+        let mut tb = crate::harness::Table::new(&[
+            "records",
+            "adaLSH",
+            &format!("LSH{}", self.lsh_x),
+            "Pairs",
+        ]);
+        for factor in [1usize, 2, 4, 8] {
+            let (d, rule) = (self.dataset)(factor);
+            let pc = pair_cost(&d, &rule, 1000, 7);
+            let mut cells = vec![d.len().to_string()];
+            for m in [Method::Ada, Method::Lsh(self.lsh_x), Method::Pairs] {
+                let e = m.evaluate(&d, &rule, 10, 10, pc);
+                cells.push(crate::harness::secs(e.wall_secs));
+                rows.push(label(
+                    &format!("{}b", self.id),
+                    &[("k", "10".into()), ("scale", factor.to_string())],
+                    e,
+                ));
+            }
+            tb.row(&cells);
+        }
+        tb.print();
+        rows
+    }
+}

@@ -1,0 +1,90 @@
+//! Figures 5 and 7: collision-probability curves of `(w,z)`-schemes and
+//! the Example-5 scheme-selection setting (analytic — no dataset).
+
+use adalsh_lsh::optimizer::{OptimizerInput, SchemeOptimizer};
+use adalsh_lsh::scheme::{Scheme, WzScheme};
+use serde::Serialize;
+
+use crate::harness::{f3, write_rows, Table};
+
+/// One sampled point of a probability curve.
+#[derive(Debug, Clone, Serialize)]
+pub struct CurvePoint {
+    /// Which figure the point belongs to (`fig05` or `fig07`).
+    pub figure: String,
+    /// Scheme parameters.
+    pub w: u32,
+    /// See `w`.
+    pub z: u32,
+    /// Cosine distance in degrees.
+    pub degrees: f64,
+    /// Probability of sharing a bucket in ≥ 1 table.
+    pub probability: f64,
+}
+
+/// Prints both curve families and the Example-5 optimizer outcome.
+pub fn run() -> Vec<CurvePoint> {
+    let mut rows = Vec::new();
+    let angles = [5.0f64, 15.0, 25.0, 35.0, 45.0, 55.0, 65.0, 80.0, 100.0, 140.0, 180.0];
+
+    println!("--- Figure 5: P[same bucket] vs cosine distance");
+    let fig5 = [(1u32, 1u32), (15, 20), (30, 70)];
+    let mut t5 = Table::new(&["degrees", "w=1,z=1", "w=15,z=20", "w=30,z=70"]);
+    for &deg in &angles {
+        let mut cells = vec![format!("{deg}")];
+        for &(w, z) in &fig5 {
+            let p = WzScheme::new(w, z).collision_prob(1.0 - deg / 180.0);
+            cells.push(f3(p));
+            rows.push(CurvePoint {
+                figure: "fig05".into(),
+                w,
+                z,
+                degrees: deg,
+                probability: p,
+            });
+        }
+        t5.row(&cells);
+    }
+    t5.print();
+
+    println!("\n--- Figure 7: Example-5 candidate schemes (budget 2100)");
+    let fig7 = [(15u32, 140u32), (30, 70), (60, 35)];
+    let mut t7 = Table::new(&["degrees", "w=15,z=140", "w=30,z=70", "w=60,z=35"]);
+    for &deg in &angles {
+        let mut cells = vec![format!("{deg}")];
+        for &(w, z) in &fig7 {
+            let p = WzScheme::new(w, z).collision_prob(1.0 - deg / 180.0);
+            cells.push(f3(p));
+            rows.push(CurvePoint {
+                figure: "fig07".into(),
+                w,
+                z,
+                degrees: deg,
+                probability: p,
+            });
+        }
+        t7.row(&cells);
+    }
+    t7.print();
+
+    println!("\n--- Program (1)-(3) on the Example-5 setting:");
+    let p = |x: f64| 1.0 - x;
+    let input = OptimizerInput::new(2100, 15.0 / 180.0, 0.001, &p);
+    for &(w, z) in &fig7 {
+        let s = Scheme::pure(w, z);
+        println!(
+            "  (w={w:>2}, z={z:>3}): objective {:.5}  feasible(ε=0.001): {}",
+            SchemeOptimizer::objective(&s, &p),
+            SchemeOptimizer::feasible(&s, &input),
+        );
+    }
+    if let Some(s) = SchemeOptimizer::optimize_divisor(&input) {
+        println!(
+            "  optimizer selects (w={}, z={}) — the largest feasible divisor",
+            s.w, s.z
+        );
+    }
+
+    write_rows("fig05_prob_curves", &rows);
+    rows
+}

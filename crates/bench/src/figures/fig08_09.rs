@@ -1,0 +1,31 @@
+//! Figure 8 (Cora) and Figure 9 (SpotSigs): execution time vs `k` and vs
+//! dataset size, for adaLSH, LSH1280, and Pairs.
+
+use crate::figures::common::TimeGrid;
+use crate::harness::{datasets, write_rows, LabeledEval};
+
+/// Figure 8: Cora.
+pub fn run_fig08() -> Vec<LabeledEval> {
+    println!("=== Figure 8: execution time on Cora ===");
+    let rows = TimeGrid {
+        id: "fig08",
+        dataset: |f| datasets::cora(f),
+        lsh_x: 1280,
+    }
+    .run();
+    write_rows("fig08_cora", &rows);
+    rows
+}
+
+/// Figure 9: SpotSigs.
+pub fn run_fig09() -> Vec<LabeledEval> {
+    println!("=== Figure 9: execution time on SpotSigs ===");
+    let rows = TimeGrid {
+        id: "fig09",
+        dataset: |f| datasets::spotsigs(f, 0.4),
+        lsh_x: 1280,
+    }
+    .run();
+    write_rows("fig09_spotsigs", &rows);
+    rows
+}

@@ -1,0 +1,37 @@
+//! Figure 10: F1 Gold for different k values on Cora and SpotSigs —
+//! all three methods give an (almost) identical F1, demonstrating that
+//! the probabilistic methods introduce no errors beyond Pairs'.
+
+use crate::figures::common::Method;
+use crate::harness::{datasets, f3, label, pair_cost, write_rows, LabeledEval, Table};
+
+/// Runs both panels.
+pub fn run() -> Vec<LabeledEval> {
+    let mut rows = Vec::new();
+    for (panel, name, data) in [
+        ("a", "Cora", datasets::cora(1)),
+        ("b", "SpotSigs", datasets::spotsigs(1, 0.4)),
+    ] {
+        let (dataset, rule) = data;
+        let pc = pair_cost(&dataset, &rule, 500, 7);
+        println!("--- Figure 10({panel}): F1 Gold on {name}");
+        let mut t = Table::new(&["k", "adaLSH", "LSH1280", "Pairs"]);
+        for k in [1usize, 5, 10, 20] {
+            let mut cells = vec![k.to_string()];
+            for m in [Method::Ada, Method::Lsh(1280), Method::Pairs] {
+                let e = m.evaluate(&dataset, &rule, k, k, pc);
+                cells.push(f3(e.f1_gold));
+                rows.push(label(
+                    &format!("fig10{panel}"),
+                    &[("dataset", name.into()), ("k", k.to_string())],
+                    e,
+                ));
+            }
+            t.row(&cells);
+        }
+        t.print();
+        println!();
+    }
+    write_rows("fig10_f1", &rows);
+    rows
+}

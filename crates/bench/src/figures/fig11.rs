@@ -1,0 +1,55 @@
+//! Figure 11: the precision/recall trade-off as the filter returns more
+//! clusters than needed (k̂ > k) — SpotSigs, gold k = 5, similarity
+//! thresholds 0.3 / 0.4 / 0.5. Recall climbs towards 1.0 with k̂ while
+//! precision decays.
+
+use crate::figures::common::ada;
+use crate::harness::{datasets, evaluate_output, f3, label, pair_cost, write_rows, LabeledEval, Table};
+
+/// Gold k of the experiment.
+pub const K: usize = 5;
+
+/// Runs both panels (recall and precision vs k̂ per threshold).
+pub fn run() -> Vec<LabeledEval> {
+    let mut rows = Vec::new();
+    let khats = [5usize, 8, 11, 14, 17, 20];
+    let thresholds = [0.3f64, 0.4, 0.5];
+
+    let mut recall_t = Table::new(&["khat", "thres0.3", "thres0.4", "thres0.5"]);
+    let mut prec_t = Table::new(&["khat", "thres0.3", "thres0.4", "thres0.5"]);
+    let mut recall_rows: Vec<Vec<String>> = khats.iter().map(|k| vec![k.to_string()]).collect();
+    let mut prec_rows: Vec<Vec<String>> = khats.iter().map(|k| vec![k.to_string()]).collect();
+
+    for &thr in &thresholds {
+        let (dataset, rule) = datasets::spotsigs(1, thr);
+        let pc = pair_cost(&dataset, &rule, 500, 7);
+        let mut engine = ada(&dataset, &rule);
+        for (i, &khat) in khats.iter().enumerate() {
+            let out = engine.run(&dataset, khat);
+            let e = evaluate_output("adaLSH", &out, &dataset, &rule, khat, K, pc);
+            recall_rows[i].push(f3(e.recall_gold));
+            prec_rows[i].push(f3(e.precision_gold));
+            rows.push(label(
+                "fig11",
+                &[
+                    ("threshold", thr.to_string()),
+                    ("khat", khat.to_string()),
+                ],
+                e,
+            ));
+        }
+    }
+    println!("--- Figure 11(a): Recall Gold vs khat (SpotSigs, k = {K})");
+    for r in recall_rows {
+        recall_t.row(&r);
+    }
+    recall_t.print();
+    println!("\n--- Figure 11(b): Precision Gold vs khat (SpotSigs, k = {K})");
+    for r in prec_rows {
+        prec_t.row(&r);
+    }
+    prec_t.print();
+
+    write_rows("fig11_khat", &rows);
+    rows
+}

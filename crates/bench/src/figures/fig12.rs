@@ -1,0 +1,59 @@
+//! Figure 12: dataset-reduction percentage and Speedup-w/o-Recovery vs
+//! k̂ on SpotSigs 1x/2x/4x (gold k = 5), with adaLSH as the filter. The
+//! "Actual" reference lines are the true fractions of records in the
+//! gold top-k entities.
+
+use crate::figures::common::ada;
+use crate::harness::{
+    datasets, evaluate_output, f3, label, pair_cost, write_rows, LabeledEval, Table,
+};
+
+/// Gold k of the experiment.
+pub const K: usize = 5;
+
+/// Runs both panels.
+pub fn run() -> Vec<LabeledEval> {
+    let mut rows = Vec::new();
+    let khats = [5usize, 10, 15, 20];
+    let factors = [1usize, 2, 4];
+
+    let mut red = Table::new(&["khat", "1x", "2x", "4x"]);
+    let mut spd = Table::new(&["khat", "1x", "2x", "4x"]);
+    let mut red_rows: Vec<Vec<String>> = khats.iter().map(|k| vec![k.to_string()]).collect();
+    let mut spd_rows: Vec<Vec<String>> = khats.iter().map(|k| vec![k.to_string()]).collect();
+    let mut actuals = Vec::new();
+
+    for &factor in &factors {
+        let (dataset, rule) = datasets::spotsigs(factor, 0.4);
+        let pc = pair_cost(&dataset, &rule, 500, 7);
+        let actual = 100.0 * dataset.gold_records(K).len() as f64 / dataset.len() as f64;
+        actuals.push(format!("Actual{factor}x = {:.1}%", actual));
+        let mut engine = ada(&dataset, &rule);
+        for (i, &khat) in khats.iter().enumerate() {
+            let out = engine.run(&dataset, khat);
+            let e = evaluate_output("adaLSH", &out, &dataset, &rule, khat, K, pc);
+            red_rows[i].push(format!("{:.1}%", e.reduction_pct));
+            spd_rows[i].push(f3(e.speedup));
+            rows.push(label(
+                "fig12",
+                &[("scale", factor.to_string()), ("khat", khat.to_string())],
+                e,
+            ));
+        }
+    }
+
+    println!("--- Figure 12(a): dataset reduction % vs khat (SpotSigs, k = {K})");
+    for r in red_rows {
+        red.row(&r);
+    }
+    red.print();
+    println!("    reference: {}", actuals.join(", "));
+    println!("\n--- Figure 12(b): Speedup w/o Recovery vs khat");
+    for r in spd_rows {
+        spd.row(&r);
+    }
+    spd.print();
+
+    write_rows("fig12_reduction", &rows);
+    rows
+}

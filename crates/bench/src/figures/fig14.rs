@@ -1,0 +1,66 @@
+//! Figure 14: applying the recovery process (§6.1.2) — Speedup *with*
+//! Recovery vs k̂ on SpotSigs 1x/2x/4x (k = 5), and mAP-with-Recovery vs
+//! k̂ for several k. Recovery costs benchmark-recovery time but drives
+//! mAP to 1.0 quickly.
+
+use crate::figures::common::ada;
+use crate::harness::{
+    datasets, evaluate_output, f3, label, pair_cost, write_rows, LabeledEval, Table,
+};
+
+/// Runs both panels.
+pub fn run() -> Vec<LabeledEval> {
+    let mut rows = Vec::new();
+    let khats = [5usize, 10, 15, 20];
+
+    println!("--- Figure 14(a): Speedup with Recovery vs khat (k = 5)");
+    let mut spd = Table::new(&["khat", "1x", "2x", "4x"]);
+    let mut spd_rows: Vec<Vec<String>> = khats.iter().map(|k| vec![k.to_string()]).collect();
+    for &factor in &[1usize, 2, 4] {
+        let (dataset, rule) = datasets::spotsigs(factor, 0.4);
+        let pc = pair_cost(&dataset, &rule, 500, 7);
+        let mut engine = ada(&dataset, &rule);
+        for (i, &khat) in khats.iter().enumerate() {
+            let out = engine.run(&dataset, khat);
+            let e = evaluate_output("adaLSH", &out, &dataset, &rule, khat, 5, pc);
+            spd_rows[i].push(f3(e.speedup_recovery));
+            rows.push(label(
+                "fig14a",
+                &[("scale", factor.to_string()), ("khat", khat.to_string())],
+                e,
+            ));
+        }
+    }
+    for r in spd_rows {
+        spd.row(&r);
+    }
+    spd.print();
+
+    println!("\n--- Figure 14(b): mAP with Recovery vs khat (1x)");
+    let (dataset, rule) = datasets::spotsigs(1, 0.4);
+    let pc = pair_cost(&dataset, &rule, 500, 7);
+    let mut map_t = Table::new(&["khat", "k=2", "k=5", "k=10", "k=20"]);
+    let mut engine = ada(&dataset, &rule);
+    for khat in [5usize, 10, 15, 20, 25, 30] {
+        let out = engine.run(&dataset, khat);
+        let mut cells = vec![khat.to_string()];
+        for k in [2usize, 5, 10, 20] {
+            if khat < k {
+                cells.push("-".into());
+                continue;
+            }
+            let e = evaluate_output("adaLSH", &out, &dataset, &rule, khat, k, pc);
+            cells.push(f3(e.map_recovery));
+            rows.push(label(
+                "fig14b",
+                &[("k", k.to_string()), ("khat", khat.to_string())],
+                e,
+            ));
+        }
+        map_t.row(&cells);
+    }
+    map_t.print();
+
+    write_rows("fig14_recovery", &rows);
+    rows
+}

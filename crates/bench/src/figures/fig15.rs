@@ -1,0 +1,52 @@
+//! Figure 15: adaLSH vs the whole LSH-X ladder (X = 20 … 5120) on
+//! SpotSigs 1x and 8x, k = 10. The best X shifts with dataset size —
+//! adaLSH needs no such tuning and still beats the best-tuned variant.
+
+use crate::figures::common::Method;
+use crate::harness::{datasets, label, pair_cost, secs, write_rows, LabeledEval, Table};
+
+/// Runs both panels.
+pub fn run() -> Vec<LabeledEval> {
+    let mut rows = Vec::new();
+    let ladder = [20u64, 80, 320, 1280, 5120];
+    for (panel, factor) in [("a", 1usize), ("b", 8)] {
+        let (dataset, rule) = datasets::spotsigs(factor, 0.4);
+        let pc = pair_cost(&dataset, &rule, 500, 7);
+        println!(
+            "--- Figure 15({panel}): adaLSH vs LSH-X ladder (SpotSigs{}x, {} records, k = 10)",
+            factor,
+            dataset.len()
+        );
+        let mut t = Table::new(&["method", "time", "hashes", "F1"]);
+        let e = Method::Ada.evaluate(&dataset, &rule, 10, 10, pc);
+        t.row(&[
+            "adaLSH".into(),
+            secs(e.wall_secs),
+            e.hash_evals.to_string(),
+            format!("{:.3}", e.f1_gold),
+        ]);
+        rows.push(label(
+            &format!("fig15{panel}"),
+            &[("scale", factor.to_string()), ("x", "adaptive".into())],
+            e,
+        ));
+        for &x in &ladder {
+            let e = Method::Lsh(x).evaluate(&dataset, &rule, 10, 10, pc);
+            t.row(&[
+                format!("LSH{x}"),
+                secs(e.wall_secs),
+                e.hash_evals.to_string(),
+                format!("{:.3}", e.f1_gold),
+            ]);
+            rows.push(label(
+                &format!("fig15{panel}"),
+                &[("scale", factor.to_string()), ("x", x.to_string())],
+                e,
+            ));
+        }
+        t.print();
+        println!();
+    }
+    write_rows("fig15_lsh_variants", &rows);
+    rows
+}

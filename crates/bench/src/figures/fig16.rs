@@ -1,0 +1,44 @@
+//! Figure 16: execution time on PopularImages vs the Zipf exponent
+//! (1.05 / 1.1 / 1.2), for thresholds 3° and 5°, k = 10 — the
+//! "challenging" regime where the top clusters are huge and `P` on the
+//! top-1 entity dominates everyone's run time. (Pairs is omitted, as in
+//! the paper — it is an order of magnitude slower here.)
+
+use crate::figures::common::Method;
+use crate::harness::{datasets, label, pair_cost, secs, write_rows, LabeledEval, Table};
+
+/// Runs both panels.
+pub fn run() -> Vec<LabeledEval> {
+    let mut rows = Vec::new();
+    for (panel, threshold) in [("a", 3.0f64), ("b", 5.0)] {
+        println!("--- Figure 16({panel}): execution time, dthr = {threshold}°, k = 10");
+        let mut t = Table::new(&["exponent", "adaLSH", "LSH320", "LSH2560"]);
+        for exponent in [1.05f64, 1.1, 1.2] {
+            let (dataset, rule) = datasets::popimages(exponent, threshold);
+            let pc = pair_cost(&dataset, &rule, 500, 7);
+            let mut cells = vec![exponent.to_string()];
+            for (m, name) in [
+                (Method::Ada, "adaptive"),
+                (Method::Lsh(320), "320"),
+                (Method::Lsh(2560), "2560"),
+            ] {
+                let e = m.evaluate(&dataset, &rule, 10, 10, pc);
+                cells.push(secs(e.wall_secs));
+                rows.push(label(
+                    &format!("fig16{panel}"),
+                    &[
+                        ("exponent", exponent.to_string()),
+                        ("threshold_deg", threshold.to_string()),
+                        ("x", name.into()),
+                    ],
+                    e,
+                ));
+            }
+            t.row(&cells);
+        }
+        t.print();
+        println!();
+    }
+    write_rows("fig16_popimages_time", &rows);
+    rows
+}

@@ -1,0 +1,35 @@
+//! Figure 17: F1 Gold on PopularImages vs Zipf exponent, for thresholds
+//! 2° / 3° / 5°, k = 10. Stricter thresholds split true entities (lower
+//! F1); heavier-tailed size distributions (higher exponent) make the
+//! top-10 clusters larger and errors relatively rarer.
+
+use crate::figures::common::Method;
+use crate::harness::{datasets, f3, label, pair_cost, write_rows, LabeledEval, Table};
+
+/// Runs the figure.
+pub fn run() -> Vec<LabeledEval> {
+    let mut rows = Vec::new();
+    println!("--- Figure 17: F1 Gold on PopularImages (k = 10)");
+    let mut t = Table::new(&["exponent", "2degrees", "3degrees", "5degrees"]);
+    for exponent in [1.05f64, 1.1, 1.2] {
+        let mut cells = vec![exponent.to_string()];
+        for threshold in [2.0f64, 3.0, 5.0] {
+            let (dataset, rule) = datasets::popimages(exponent, threshold);
+            let pc = pair_cost(&dataset, &rule, 500, 7);
+            let e = Method::Ada.evaluate(&dataset, &rule, 10, 10, pc);
+            cells.push(f3(e.f1_gold));
+            rows.push(label(
+                "fig17",
+                &[
+                    ("exponent", exponent.to_string()),
+                    ("threshold_deg", threshold.to_string()),
+                ],
+                e,
+            ));
+        }
+        t.row(&cells);
+    }
+    t.print();
+    write_rows("fig17_popimages_f1", &rows);
+    rows
+}

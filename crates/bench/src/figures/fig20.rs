@@ -1,0 +1,77 @@
+//! Figure 20 (Appendix E.1): LSH blocking with and without the `P`
+//! verification stage — execution time and *F1 target* (harmonic mean of
+//! precision/recall against the `Pairs` output, isolating errors due to
+//! the probabilistic hashing alone). The nP variants are fast but
+//! collapse in accuracy as the dataset grows.
+
+use adalsh_core::algorithm::FilterMethod;
+use adalsh_core::baselines::Pairs;
+use adalsh_core::metrics::set_metrics;
+use serde::Serialize;
+
+use crate::figures::common::Method;
+use crate::harness::{datasets, f3, pair_cost, secs, write_rows, Table};
+
+/// One row of the figure.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig20Row {
+    /// Dataset scale factor.
+    pub scale: usize,
+    /// Records in the dataset.
+    pub num_records: usize,
+    /// Method name.
+    pub method: String,
+    /// Filtering wall-clock seconds.
+    pub wall_secs: f64,
+    /// F1 against the Pairs output (F1 target).
+    pub f1_target: f64,
+    /// F1 against the ground truth (F1 gold), for reference.
+    pub f1_gold: f64,
+}
+
+/// Runs both panels (time and F1 target vs dataset size, k = 10).
+pub fn run() -> Vec<Fig20Row> {
+    let mut rows = Vec::new();
+    let k = 10;
+    let roster: [(&str, Method); 5] = [
+        ("adaLSH", Method::Ada),
+        ("LSH20", Method::Lsh(20)),
+        ("LSH640", Method::Lsh(640)),
+        ("LSH20nP", Method::LshNoP(20)),
+        ("LSH640nP", Method::LshNoP(640)),
+    ];
+
+    let mut time_t = Table::new(&["records", "adaLSH", "LSH20", "LSH640", "LSH20nP", "LSH640nP"]);
+    let mut f1_t = Table::new(&["records", "adaLSH", "LSH20", "LSH640", "LSH20nP", "LSH640nP"]);
+    for factor in [1usize, 2, 4, 8] {
+        let (dataset, rule) = datasets::spotsigs(factor, 0.4);
+        let pc = pair_cost(&dataset, &rule, 500, 7);
+        // The F1-target gold: the exact Pairs output.
+        let target = Pairs::new(rule.clone()).filter(&dataset, k).records();
+        let mut time_cells = vec![dataset.len().to_string()];
+        let mut f1_cells = vec![dataset.len().to_string()];
+        for (name, m) in &roster {
+            let (e, out) = m.evaluate_full(&dataset, &rule, k, k, pc);
+            let f1_target = set_metrics(&out.records(), &target).f1;
+            time_cells.push(secs(e.wall_secs));
+            f1_cells.push(f3(f1_target));
+            rows.push(Fig20Row {
+                scale: factor,
+                num_records: dataset.len(),
+                method: name.to_string(),
+                wall_secs: e.wall_secs,
+                f1_target,
+                f1_gold: e.f1_gold,
+            });
+        }
+        time_t.row(&time_cells);
+        f1_t.row(&f1_cells);
+    }
+    println!("--- Figure 20(a): execution time vs size (SpotSigs, k = {k})");
+    time_t.print();
+    println!("\n--- Figure 20(b): F1 target vs size");
+    f1_t.print();
+
+    write_rows("fig20_lsh_nop", &rows);
+    rows
+}

@@ -1,0 +1,66 @@
+//! Figure 21 (Appendix E.2): sensitivity of adaLSH to cost-model noise.
+//! The pairwise cost estimate is multiplied by nf ∈ {1/5, 1/2, 2, 5};
+//! only a heavy *under*-estimate (nf = 1/5 ⇒ `P` fires early on large
+//! clusters) should noticeably change the execution time.
+
+use serde::Serialize;
+
+use adalsh_core::algorithm::{AdaLsh, AdaLshConfig};
+
+use crate::harness::{datasets, secs, write_rows, Table};
+
+/// One row of the figure.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig21Row {
+    /// Gold/requested k of the panel.
+    pub k: usize,
+    /// Dataset scale factor.
+    pub scale: usize,
+    /// Records in the dataset.
+    pub num_records: usize,
+    /// Noise factor label (`clean`, `1/5`, …).
+    pub noise: String,
+    /// Filtering wall-clock seconds.
+    pub wall_secs: f64,
+    /// Elementary hash evaluations (noise shifts work between hashing
+    /// and `P`).
+    pub hash_evals: u64,
+    /// Pair comparisons.
+    pub pair_comparisons: u64,
+}
+
+/// Runs both panels (k = 2 and k = 10).
+pub fn run() -> Vec<Fig21Row> {
+    let mut rows = Vec::new();
+    let noises: [(&str, f64); 5] =
+        [("clean", 1.0), ("1/2", 0.5), ("2/1", 2.0), ("1/5", 0.2), ("5/1", 5.0)];
+    for k in [2usize, 10] {
+        println!("--- Figure 21 (k = {k}): execution time under cost-model noise");
+        let mut t = Table::new(&["records", "clean", "1/2", "2/1", "1/5", "5/1"]);
+        for factor in [1usize, 2, 4, 8] {
+            let (dataset, rule) = datasets::spotsigs(factor, 0.4);
+            let mut cells = vec![dataset.len().to_string()];
+            for &(name, nf) in &noises {
+                let mut cfg = AdaLshConfig::new(rule.clone());
+                cfg.cost_noise = nf;
+                let mut engine = AdaLsh::for_dataset(&dataset, cfg).unwrap();
+                let out = engine.run(&dataset, k);
+                cells.push(secs(out.wall.as_secs_f64()));
+                rows.push(Fig21Row {
+                    k,
+                    scale: factor,
+                    num_records: dataset.len(),
+                    noise: name.to_string(),
+                    wall_secs: out.wall.as_secs_f64(),
+                    hash_evals: out.stats.hash_evals,
+                    pair_comparisons: out.stats.pair_comparisons,
+                });
+            }
+            t.row(&cells);
+        }
+        t.print();
+        println!();
+    }
+    write_rows("fig21_cost_noise", &rows);
+    rows
+}

@@ -1,0 +1,79 @@
+//! Figure 22 (Appendix E.2): budget-selection modes — the default
+//! Exponential schedule (20, ×2) against Linear schedules with steps
+//! 320 / 640 / 1280, on Cora and SpotSigs across sizes (k = 10).
+//! Exponential finds the sweet spot between many cheap steps and few
+//! expensive ones.
+
+use serde::Serialize;
+
+use adalsh_core::algorithm::{AdaLsh, AdaLshConfig};
+use adalsh_core::sequence::BudgetStrategy;
+use adalsh_data::{Dataset, MatchRule};
+
+use crate::harness::{datasets, secs, write_rows, Table};
+
+/// One row of the figure.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig22Row {
+    /// Dataset family (`cora` / `spotsigs`).
+    pub dataset: String,
+    /// Dataset scale factor.
+    pub scale: usize,
+    /// Records in the dataset.
+    pub num_records: usize,
+    /// Budget mode label.
+    pub mode: String,
+    /// Filtering wall-clock seconds.
+    pub wall_secs: f64,
+    /// Elementary hash evaluations.
+    pub hash_evals: u64,
+}
+
+fn modes() -> [(&'static str, BudgetStrategy); 4] {
+    [
+        ("expo", BudgetStrategy::Exponential { start: 20, factor: 2 }),
+        ("lin320", BudgetStrategy::Linear { step: 320 }),
+        ("lin640", BudgetStrategy::Linear { step: 640 }),
+        ("lin1280", BudgetStrategy::Linear { step: 1280 }),
+    ]
+}
+
+fn panel(
+    name: &str,
+    dataset_fn: fn(usize) -> (Dataset, MatchRule),
+    rows: &mut Vec<Fig22Row>,
+) {
+    println!("--- Figure 22: budget modes on {name} (k = 10)");
+    let mut t = Table::new(&["records", "expo", "lin320", "lin640", "lin1280"]);
+    for factor in [1usize, 2, 4, 8] {
+        let (dataset, rule) = dataset_fn(factor);
+        let mut cells = vec![dataset.len().to_string()];
+        for (label, strategy) in modes() {
+            let mut cfg = AdaLshConfig::new(rule.clone());
+            cfg.spec.strategy = strategy;
+            let mut engine = AdaLsh::for_dataset(&dataset, cfg).unwrap();
+            let out = engine.run(&dataset, 10);
+            cells.push(secs(out.wall.as_secs_f64()));
+            rows.push(Fig22Row {
+                dataset: name.to_string(),
+                scale: factor,
+                num_records: dataset.len(),
+                mode: label.to_string(),
+                wall_secs: out.wall.as_secs_f64(),
+                hash_evals: out.stats.hash_evals,
+            });
+        }
+        t.row(&cells);
+    }
+    t.print();
+    println!();
+}
+
+/// Runs both panels.
+pub fn run() -> Vec<Fig22Row> {
+    let mut rows = Vec::new();
+    panel("cora", |f| datasets::cora(f), &mut rows);
+    panel("spotsigs", |f| datasets::spotsigs(f, 0.4), &mut rows);
+    write_rows("fig22_budget_modes", &rows);
+    rows
+}

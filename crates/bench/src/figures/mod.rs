@@ -1,0 +1,19 @@
+//! One module per paper figure; each exposes `run() -> Vec<LabeledEval>`
+//! that prints the figure's table and returns the raw rows for
+//! `results/*.jsonl`.
+
+pub mod ablations;
+pub mod common;
+pub mod fig05;
+pub mod fig08_09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+pub mod fig20;
+pub mod fig21;
+pub mod fig22;

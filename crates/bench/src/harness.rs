@@ -1,0 +1,314 @@
+//! Shared experiment harness for the figure binaries.
+//!
+//! Every figure binary builds datasets, runs filtering methods through
+//! [`evaluate`], and renders rows with [`Table`]. Rows are also appended
+//! as JSON lines under `results/` so `EXPERIMENTS.md` can be regenerated
+//! mechanically.
+
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::time::Instant;
+
+use adalsh_core::algorithm::{FilterMethod, FilterOutput};
+use adalsh_core::metrics::{map_mar, reduction_pct, set_metrics, SpeedupModel};
+use adalsh_core::recovery::perfect_recovery;
+use adalsh_data::{Dataset, MatchRule};
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+/// Everything the experiment tables report about one method run.
+#[derive(Debug, Clone, Serialize)]
+pub struct Eval {
+    /// Method display name.
+    pub method: String,
+    /// Number of clusters requested from the filter (k̂).
+    pub k_requested: usize,
+    /// Number of gold entities evaluated against (k).
+    pub k_gold: usize,
+    /// Dataset size |R|.
+    pub num_records: usize,
+    /// Wall-clock filtering seconds.
+    pub wall_secs: f64,
+    /// Elementary hash evaluations.
+    pub hash_evals: u64,
+    /// Pair comparisons performed by `P`.
+    pub pair_comparisons: u64,
+    /// Filtering output size |O|.
+    pub output_records: usize,
+    /// Set metrics against the ground-truth top-k records ("Gold").
+    pub precision_gold: f64,
+    /// See `precision_gold`.
+    pub recall_gold: f64,
+    /// See `precision_gold`.
+    pub f1_gold: f64,
+    /// Ranked-cluster metrics of the "perfect ER on the reduced dataset"
+    /// clustering (§7.3.3): output records grouped by true entity.
+    pub map: f64,
+    /// See `map`.
+    pub mar: f64,
+    /// Ranked-cluster metrics of the filter's *own* clusters (a stricter
+    /// view than the paper's; included for completeness).
+    pub map_raw: f64,
+    /// See `map_raw`.
+    pub mar_raw: f64,
+    /// mAP after the perfect recovery process.
+    pub map_recovery: f64,
+    /// mAR after the perfect recovery process.
+    pub mar_recovery: f64,
+    /// `100·|O|/|R|`.
+    pub reduction_pct: f64,
+    /// Benchmark-ER speedup without recovery.
+    pub speedup: f64,
+    /// Benchmark-ER speedup including recovery time.
+    pub speedup_recovery: f64,
+}
+
+/// Measures the mean wall-clock cost of one pairwise comparison under
+/// `rule` by timing `samples` random pairs (used by the benchmark-ER
+/// speedup model of §6.2.2).
+pub fn pair_cost(dataset: &Dataset, rule: &MatchRule, samples: usize, seed: u64) -> f64 {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let n = dataset.len() as u32;
+    let pairs: Vec<(u32, u32)> = (0..samples.max(1))
+        .map(|_| (rng.random_range(0..n), rng.random_range(0..n)))
+        .collect();
+    let start = Instant::now();
+    let mut acc = 0usize;
+    for &(a, b) in &pairs {
+        acc += usize::from(rule.matches(dataset.record(a), dataset.record(b)));
+    }
+    std::hint::black_box(acc);
+    (start.elapsed().as_secs_f64() / pairs.len() as f64).max(1e-12)
+}
+
+/// Runs `method` asking for `k_requested` clusters and evaluates against
+/// the top-`k_gold` ground truth (set `k_requested == k_gold` unless
+/// sweeping k̂).
+pub fn evaluate(
+    method: &mut dyn FilterMethod,
+    dataset: &Dataset,
+    rule: &MatchRule,
+    k_requested: usize,
+    k_gold: usize,
+    pair_cost_secs: f64,
+) -> (Eval, FilterOutput) {
+    let out = method.filter(dataset, k_requested);
+    let eval = evaluate_output(
+        &method.name(),
+        &out,
+        dataset,
+        rule,
+        k_requested,
+        k_gold,
+        pair_cost_secs,
+    );
+    (eval, out)
+}
+
+/// Evaluates an existing [`FilterOutput`] (lets callers reuse one run
+/// across several gold settings).
+pub fn evaluate_output(
+    name: &str,
+    out: &FilterOutput,
+    dataset: &Dataset,
+    _rule: &MatchRule,
+    k_requested: usize,
+    k_gold: usize,
+    pair_cost_secs: f64,
+) -> Eval {
+    let gold = dataset.gold_records(k_gold);
+    let records = out.records();
+    let sm = set_metrics(&records, &gold);
+    let gt_clusters = dataset.ground_truth_clusters();
+    let reduced_er = adalsh_core::recovery::perfect_er_on_output(dataset, &records);
+    let (map, mar) = map_mar(&reduced_er, &gt_clusters, k_gold);
+    let (map_raw, mar_raw) = map_mar(&out.clusters, &gt_clusters, k_gold);
+    let recovered = perfect_recovery(dataset, &records);
+    let (map_r, mar_r) = map_mar(&recovered, &gt_clusters, k_gold);
+    let model = SpeedupModel {
+        pair_cost: pair_cost_secs,
+    };
+    Eval {
+        method: name.to_string(),
+        k_requested,
+        k_gold,
+        num_records: dataset.len(),
+        wall_secs: out.wall.as_secs_f64(),
+        hash_evals: out.stats.hash_evals,
+        pair_comparisons: out.stats.pair_comparisons,
+        output_records: records.len(),
+        precision_gold: sm.precision,
+        recall_gold: sm.recall,
+        f1_gold: sm.f1,
+        map,
+        mar,
+        map_raw,
+        mar_raw,
+        map_recovery: map_r,
+        mar_recovery: mar_r,
+        reduction_pct: reduction_pct(records.len(), dataset.len()),
+        speedup: model.speedup_without_recovery(dataset.len(), records.len(), out.wall),
+        speedup_recovery: model.speedup_with_recovery(dataset.len(), records.len(), out.wall),
+    }
+}
+
+/// A simple fixed-width table printer for figure output.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Self {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header arity).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Renders the table to stdout.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let mut s = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                s.push_str(&format!("{:>width$}  ", c, width = widths[i]));
+            }
+            println!("{}", s.trim_end());
+        };
+        line(&self.headers);
+        println!(
+            "{}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("--")
+        );
+        for row in &self.rows {
+            line(row);
+        }
+    }
+}
+
+/// Formats a float with 3 significant decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats seconds with adaptive precision.
+pub fn secs(x: f64) -> String {
+    if x < 0.01 {
+        format!("{:.2}ms", x * 1e3)
+    } else {
+        format!("{x:.3}s")
+    }
+}
+
+/// Appends experiment rows (any serializable payload + context labels)
+/// as JSON lines to `results/<experiment>.jsonl`, creating the directory
+/// as needed. Errors are reported but not fatal — figures must render
+/// even on read-only checkouts.
+pub fn write_rows<T: Serialize>(experiment: &str, rows: &[T]) {
+    let dir = std::path::Path::new("results");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("note: cannot create results dir: {e}");
+        return;
+    }
+    let path = dir.join(format!("{experiment}.jsonl"));
+    match std::fs::File::create(&path) {
+        Ok(mut f) => {
+            for r in rows {
+                match serde_json::to_string(r) {
+                    Ok(s) => {
+                        let _ = writeln!(f, "{s}");
+                    }
+                    Err(e) => eprintln!("note: serialize failed: {e}"),
+                }
+            }
+            eprintln!("wrote {} rows to {}", rows.len(), path.display());
+        }
+        Err(e) => eprintln!("note: cannot write {}: {e}", path.display()),
+    }
+}
+
+/// Standard experiment datasets, shared by all figure binaries so the
+/// numbers across figures describe the same corpora. Sizes are scaled
+/// down from the paper's (documented in EXPERIMENTS.md) so the full
+/// suite runs in minutes; the 1x/2x/4x/8x geometry is preserved via the
+/// paper's upsampling process.
+pub mod datasets {
+    use adalsh_data::{Dataset, MatchRule};
+    use adalsh_datagen::popimages::{self, PopImagesConfig};
+    use adalsh_datagen::spotsigs::{self, SpotSigsConfig};
+    use adalsh_datagen::{cora, upsample, CoraConfig};
+
+    /// Cora-like dataset at `factor`x (1, 2, 4, 8) with its AND rule.
+    pub fn cora(factor: usize) -> (Dataset, MatchRule) {
+        let (base, _) = cora::generate(&CoraConfig::default());
+        let d = if factor > 1 {
+            upsample(&base, base.len() * factor, 0xC0 + factor as u64)
+        } else {
+            base
+        };
+        (d, cora::match_rule())
+    }
+
+    /// SpotSigs-like dataset at `factor`x with the rule at the given
+    /// Jaccard *similarity* threshold (paper default 0.4).
+    pub fn spotsigs(factor: usize, sim_threshold: f64) -> (Dataset, MatchRule) {
+        let base = spotsigs::generate(&SpotSigsConfig::default());
+        let d = if factor > 1 {
+            upsample(&base, base.len() * factor, 0x59 + factor as u64)
+        } else {
+            base
+        };
+        (d, spotsigs::match_rule(sim_threshold))
+    }
+
+    /// PopularImages-like dataset at the given Zipf exponent with the
+    /// angular rule at `threshold_deg` (paper: 2/3/5 degrees).
+    pub fn popimages(exponent: f64, threshold_deg: f64) -> (Dataset, MatchRule) {
+        let d = popimages::generate(&PopImagesConfig {
+            zipf_exponent: exponent,
+            ..PopImagesConfig::default()
+        });
+        (d, popimages::match_rule(threshold_deg))
+    }
+}
+
+/// A labeled JSON row: experiment context plus the evaluation.
+#[derive(Debug, Clone, Serialize)]
+pub struct LabeledEval {
+    /// Experiment id (e.g. `fig08a`).
+    pub experiment: String,
+    /// Free-form parameter labels (k, dataset size, threshold, …).
+    pub params: BTreeMap<String, String>,
+    /// The evaluation payload.
+    #[serde(flatten)]
+    pub eval: Eval,
+}
+
+/// Convenience: labels an [`Eval`] with experiment id and parameters.
+pub fn label(experiment: &str, params: &[(&str, String)], eval: Eval) -> LabeledEval {
+    LabeledEval {
+        experiment: experiment.to_string(),
+        params: params
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect(),
+        eval,
+    }
+}

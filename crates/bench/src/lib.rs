@@ -1,0 +1,9 @@
+//! # adalsh-bench
+//!
+//! Experiment harness reproducing every table and figure of the adaLSH
+//! paper. See `src/bin/` for one binary per figure and
+//! `benches/primitives.rs` for Criterion microbenchmarks of the core data
+//! structures.
+
+pub mod figures;
+pub mod harness;

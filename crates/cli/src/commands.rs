@@ -1,0 +1,171 @@
+//! The CLI subcommands.
+
+use std::path::Path;
+
+use adalsh_core::algorithm::{AdaLsh, AdaLshConfig, FilterMethod, FilterOutput};
+use adalsh_core::baselines::{LshBlocking, Pairs};
+use adalsh_core::metrics::{map_mar, reduction_pct, set_metrics};
+use adalsh_core::recovery::perfect_recovery;
+use adalsh_data::{io as dio, Dataset};
+use adalsh_datagen::popimages::PopImagesConfig;
+use adalsh_datagen::spotsigs::SpotSigsConfig;
+use adalsh_datagen::CoraConfig;
+
+use crate::args::Args;
+use crate::rules;
+
+/// `adalsh generate <family> --out file …`
+pub fn generate(args: &Args) -> Result<(), String> {
+    let family = args.positional(0, "dataset family")?;
+    let out = args
+        .flag("out")
+        .ok_or("generate requires --out <file>")?;
+    let seed: u64 = args.flag_or("seed", 42u64)?;
+    let dataset = match family {
+        "cora" => {
+            let cfg = CoraConfig {
+                num_records: args.flag_or("records", 1200usize)?,
+                num_entities: args.flag_or("entities", 220usize)?,
+                seed,
+                ..CoraConfig::default()
+            };
+            adalsh_datagen::cora::generate(&cfg).0
+        }
+        "spotsigs" => {
+            let cfg = SpotSigsConfig {
+                num_records: args.flag_or("records", 1100usize)?,
+                num_entities: args.flag_or("entities", 120usize)?,
+                seed,
+                ..SpotSigsConfig::default()
+            };
+            adalsh_datagen::spotsigs::generate(&cfg)
+        }
+        "popimages" => {
+            let cfg = PopImagesConfig {
+                num_records: args.flag_or("records", 4000usize)?,
+                num_entities: args.flag_or("entities", 250usize)?,
+                zipf_exponent: args.flag_or("exponent", 1.05f64)?,
+                seed,
+                ..PopImagesConfig::default()
+            };
+            adalsh_datagen::popimages::generate(&cfg)
+        }
+        other => return Err(format!("unknown family '{other}'")),
+    };
+    dio::save(&dataset, Path::new(out)).map_err(|e| format!("write {out}: {e}"))?;
+    println!(
+        "wrote {} records / {} entities to {out}",
+        dataset.len(),
+        dataset.num_entities()
+    );
+    Ok(())
+}
+
+/// `adalsh info <file>`
+pub fn info(args: &Args) -> Result<(), String> {
+    let dataset = load(args)?;
+    let sizes = dataset.entity_sizes();
+    println!("records:  {}", dataset.len());
+    println!("entities: {}", dataset.num_entities());
+    println!("fields:");
+    for f in dataset.schema().fields() {
+        println!("  {} ({:?})", f.name, f.kind);
+    }
+    let shown = if args.switch("verbose") {
+        sizes.len()
+    } else {
+        sizes.len().min(10)
+    };
+    println!("top entity sizes: {:?}", &sizes[..shown]);
+    println!(
+        "singletons: {}",
+        sizes.iter().filter(|&&s| s == 1).count()
+    );
+    Ok(())
+}
+
+/// `adalsh filter <file> --k K [--method m] [--rule spec] [--out file]`
+pub fn filter(args: &Args) -> Result<(), String> {
+    let dataset = load(args)?;
+    let k: usize = args.flag_or("k", 10usize)?;
+    let rule = rules::resolve(args.flag("rule"), &dataset)?;
+    let (name, out) = run_method(args, &dataset, &rule, k)?;
+    println!(
+        "{name}: {} clusters, {} records, {:?} ({} hash evals, {} pair comparisons)",
+        out.clusters.len(),
+        out.records().len(),
+        out.wall,
+        out.stats.hash_evals,
+        out.stats.pair_comparisons
+    );
+    for (i, c) in out.clusters.iter().enumerate() {
+        let preview: Vec<u32> = c.iter().take(8).copied().collect();
+        println!("#{:<3} size {:<6} e.g. {:?}", i + 1, c.len(), preview);
+    }
+    if let Some(path) = args.flag("out") {
+        let json = serde_json::to_string_pretty(&out.clusters)
+            .map_err(|e| e.to_string())?;
+        std::fs::write(path, json).map_err(|e| format!("write {path}: {e}"))?;
+        println!("clusters written to {path}");
+    }
+    Ok(())
+}
+
+/// `adalsh evaluate <file> --k K [--khat K2] [--method m] [--rule spec]`
+pub fn evaluate(args: &Args) -> Result<(), String> {
+    let dataset = load(args)?;
+    let k: usize = args.flag_or("k", 10usize)?;
+    let khat: usize = args.flag_or("khat", k)?;
+    let rule = rules::resolve(args.flag("rule"), &dataset)?;
+    let (name, out) = run_method(args, &dataset, &rule, khat)?;
+    let gold = dataset.gold_records(k);
+    let m = set_metrics(&out.records(), &gold);
+    let gt = dataset.ground_truth_clusters();
+    let (map, mar) = map_mar(&out.clusters, &gt, k);
+    let recovered = perfect_recovery(&dataset, &out.records());
+    let (map_r, mar_r) = map_mar(&recovered, &gt, k);
+    println!("method:            {name}");
+    println!("requested k̂:       {khat} (gold k = {k})");
+    println!("filtering time:    {:?}", out.wall);
+    println!("hash evaluations:  {}", out.stats.hash_evals);
+    println!("pair comparisons:  {}", out.stats.pair_comparisons);
+    println!("output records:    {} ({:.1}% of dataset)",
+        out.records().len(),
+        reduction_pct(out.records().len(), dataset.len()));
+    println!("precision gold:    {:.4}", m.precision);
+    println!("recall gold:       {:.4}", m.recall);
+    println!("F1 gold:           {:.4}", m.f1);
+    println!("mAP / mAR:         {map:.4} / {mar:.4}");
+    println!("with recovery:     {map_r:.4} / {mar_r:.4}");
+    Ok(())
+}
+
+fn load(args: &Args) -> Result<Dataset, String> {
+    let path = args.positional(0, "dataset path")?;
+    dio::load(Path::new(path)).map_err(|e| format!("read {path}: {e}"))
+}
+
+fn run_method(
+    args: &Args,
+    dataset: &Dataset,
+    rule: &adalsh_data::MatchRule,
+    k: usize,
+) -> Result<(String, FilterOutput), String> {
+    let method = args.flag("method").unwrap_or("adalsh");
+    let mut boxed: Box<dyn FilterMethod> = match method {
+        "adalsh" => Box::new(AdaLsh::for_dataset(
+            dataset,
+            AdaLshConfig::new(rule.clone()),
+        )?),
+        "pairs" => Box::new(Pairs::new(rule.clone())),
+        m if m.starts_with("lsh") => {
+            let x: u64 = m[3..]
+                .parse()
+                .map_err(|_| format!("bad method '{m}' (want lsh<X>, e.g. lsh1280)"))?;
+            Box::new(LshBlocking::new(rule.clone(), x))
+        }
+        other => return Err(format!("unknown method '{other}'")),
+    };
+    let out = boxed.filter(dataset, k);
+    Ok((boxed.name(), out))
+}

@@ -1,0 +1,60 @@
+//! `adalsh` — command-line top-k entity resolution.
+//!
+//! ```text
+//! adalsh generate <cora|spotsigs|popimages> --out data.jsonl [--records N] [--seed S]
+//! adalsh info <data.jsonl>
+//! adalsh filter <data.jsonl> --k K [--method adalsh|pairs|lshX] [--rule …] [--out clusters.json]
+//! adalsh evaluate <data.jsonl> --k K [--method …] [--khat K2] [--rule …]
+//! ```
+//!
+//! Rule selection (`--rule`): `jaccard:<dthr>` or `angular:<degrees>`
+//! applied to field 0, or the preset `cora` (the three-field AND rule).
+//! Default: inferred from the first field's kind (`jaccard:0.6` /
+//! `angular:3`).
+
+mod args;
+mod commands;
+mod rules;
+
+use args::Args;
+
+const USAGE: &str = "\
+adalsh — top-k entity resolution with adaptive LSH
+
+USAGE:
+  adalsh generate <cora|spotsigs|popimages> --out <file> [--records N] [--entities N] [--seed S] [--exponent E]
+  adalsh info <data.jsonl>
+  adalsh filter <data.jsonl> --k <K> [--method adalsh|pairs|lsh<X>] [--rule <spec>] [--out <file>]
+  adalsh evaluate <data.jsonl> --k <K> [--khat <K2>] [--method <m>] [--rule <spec>]
+
+RULE SPECS:
+  jaccard:<dthr>     Jaccard distance threshold on field 0 (e.g. jaccard:0.6)
+  angular:<degrees>  angular threshold in degrees on field 0 (e.g. angular:3)
+  cora               the three-field publication AND rule
+";
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.is_empty() || raw[0] == "--help" || raw[0] == "help" {
+        print!("{USAGE}");
+        return;
+    }
+    let args = match Args::parse(raw, &["verbose"]) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let result = match args.command.as_str() {
+        "generate" => commands::generate(&args),
+        "info" => commands::info(&args),
+        "filter" => commands::filter(&args),
+        "evaluate" => commands::evaluate(&args),
+        other => Err(format!("unknown command '{other}'")),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,109 @@
+//! Rule-spec parsing for the CLI.
+
+use adalsh_data::{Dataset, FieldDistance, FieldKind, MatchRule};
+
+/// Parses a `--rule` spec against a dataset, or infers a sensible
+/// default from the first field's kind.
+///
+/// # Errors
+/// Fails on unknown specs, non-numeric thresholds, or rules that don't
+/// validate against the dataset's schema.
+pub fn resolve(spec: Option<&str>, dataset: &Dataset) -> Result<MatchRule, String> {
+    let rule = match spec {
+        None => default_rule(dataset),
+        Some("cora") => adalsh_datagen::cora::match_rule(),
+        Some(s) => {
+            let (kind, value) = s
+                .split_once(':')
+                .ok_or_else(|| format!("bad rule spec '{s}' (want kind:value)"))?;
+            let value: f64 = value
+                .parse()
+                .map_err(|e| format!("bad rule threshold '{value}': {e}"))?;
+            match kind {
+                "jaccard" => MatchRule::threshold(0, FieldDistance::Jaccard, value),
+                "angular" => {
+                    MatchRule::threshold(0, FieldDistance::Angular, value / 180.0)
+                }
+                other => return Err(format!("unknown rule kind '{other}'")),
+            }
+        }
+    };
+    rule.validate(dataset.schema())
+        .map_err(|e| format!("rule does not fit dataset: {e}"))?;
+    Ok(rule)
+}
+
+fn default_rule(dataset: &Dataset) -> MatchRule {
+    match dataset.schema().fields()[0].kind {
+        FieldKind::Shingles => MatchRule::threshold(0, FieldDistance::Jaccard, 0.6),
+        FieldKind::Dense => MatchRule::threshold(0, FieldDistance::Angular, 3.0 / 180.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adalsh_data::{FieldValue, Record, Schema, ShingleSet};
+
+    fn shingle_dataset() -> Dataset {
+        Dataset::new(
+            Schema::single("s", FieldKind::Shingles),
+            vec![Record::single(FieldValue::Shingles(ShingleSet::new(
+                vec![1],
+            )))],
+            vec![0],
+        )
+    }
+
+    #[test]
+    fn default_for_shingles_is_jaccard() {
+        let d = shingle_dataset();
+        let r = resolve(None, &d).unwrap();
+        assert!(matches!(
+            r,
+            MatchRule::Threshold {
+                metric: FieldDistance::Jaccard,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn explicit_jaccard_spec() {
+        let d = shingle_dataset();
+        match resolve(Some("jaccard:0.5"), &d).unwrap() {
+            MatchRule::Threshold { dthr, .. } => assert!((dthr - 0.5).abs() < 1e-12),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn angular_spec_converts_degrees() {
+        use adalsh_data::DenseVector;
+        let d = Dataset::new(
+            Schema::single("v", FieldKind::Dense),
+            vec![Record::single(FieldValue::Dense(DenseVector::new(vec![
+                1.0,
+            ])))],
+            vec![0],
+        );
+        match resolve(Some("angular:9"), &d).unwrap() {
+            MatchRule::Threshold { dthr, .. } => assert!((dthr - 0.05).abs() < 1e-12),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn mismatched_rule_rejected() {
+        let d = shingle_dataset();
+        assert!(resolve(Some("angular:3"), &d).is_err());
+    }
+
+    #[test]
+    fn garbage_specs_rejected() {
+        let d = shingle_dataset();
+        assert!(resolve(Some("nope"), &d).is_err());
+        assert!(resolve(Some("jaccard:abc"), &d).is_err());
+        assert!(resolve(Some("minhash:0.3"), &d).is_err());
+    }
+}

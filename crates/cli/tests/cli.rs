@@ -1,0 +1,134 @@
+//! End-to-end tests of the `adalsh` binary: generate → info → filter →
+//! evaluate over a temporary dataset file.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_adalsh"))
+}
+
+fn tmpfile(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("adalsh_cli_tests");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    dir.join(name)
+}
+
+fn generate(path: &PathBuf) {
+    let out = bin()
+        .args([
+            "generate",
+            "spotsigs",
+            "--out",
+            path.to_str().unwrap(),
+            "--records",
+            "300",
+            "--entities",
+            "40",
+        ])
+        .output()
+        .expect("run generate");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+}
+
+#[test]
+fn generate_then_info() {
+    let path = tmpfile("gi.jsonl");
+    generate(&path);
+    let out = bin()
+        .args(["info", path.to_str().unwrap()])
+        .output()
+        .expect("run info");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("records:  300"), "{text}");
+    assert!(text.contains("signatures"), "{text}");
+}
+
+#[test]
+fn filter_prints_clusters_and_writes_json() {
+    let data = tmpfile("f.jsonl");
+    let clusters = tmpfile("f_clusters.json");
+    generate(&data);
+    let out = bin()
+        .args([
+            "filter",
+            data.to_str().unwrap(),
+            "--k",
+            "3",
+            "--rule",
+            "jaccard:0.6",
+            "--out",
+            clusters.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run filter");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("adaLSH: 3 clusters"), "{text}");
+    let json = std::fs::read_to_string(&clusters).expect("clusters file");
+    let parsed: Vec<Vec<u32>> = serde_json::from_str(&json).expect("valid JSON");
+    assert_eq!(parsed.len(), 3);
+}
+
+#[test]
+fn evaluate_reports_metrics() {
+    let data = tmpfile("e.jsonl");
+    generate(&data);
+    let out = bin()
+        .args(["evaluate", data.to_str().unwrap(), "--k", "3"])
+        .output()
+        .expect("run evaluate");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("F1 gold:"), "{text}");
+    assert!(text.contains("with recovery:"), "{text}");
+}
+
+#[test]
+fn evaluate_methods_agree() {
+    let data = tmpfile("m.jsonl");
+    generate(&data);
+    for method in ["adalsh", "pairs", "lsh320"] {
+        let out = bin()
+            .args([
+                "evaluate",
+                data.to_str().unwrap(),
+                "--k",
+                "2",
+                "--method",
+                method,
+            ])
+            .output()
+            .expect("run evaluate");
+        assert!(
+            out.status.success(),
+            "{method}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}
+
+#[test]
+fn unknown_command_fails_cleanly() {
+    let out = bin().args(["frobnicate"]).output().expect("run");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown command"), "{err}");
+}
+
+#[test]
+fn missing_file_fails_cleanly() {
+    let out = bin()
+        .args(["info", "/nonexistent/nope.jsonl"])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = bin().args(["--help"]).output().expect("run");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}

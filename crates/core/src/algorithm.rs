@@ -1,0 +1,661 @@
+//! Algorithm 1 — Adaptive LSH (paper §4).
+//!
+//! The engine drives a pool of clusters. Each round it selects a cluster
+//! (Largest-First by default — optimal within the Theorem-1 family; other
+//! strategies are available for the ablation benches), and either
+//!
+//! * declares it **final** — it is the outcome of the last sequence
+//!   function `H_L` (unless `require_pairwise_final`) or of `P`;
+//! * applies the **next sequence function** `H_{t+1}`; or
+//! * **jumps ahead to `P`** when the Definition-3 cost gate says pairwise
+//!   computation is cheaper (Line 5).
+//!
+//! Termination follows Line 11 / Appendix B.5: stop once the `k` largest
+//! clusters are all final. The **incremental mode** (§4.2) surfaces each
+//! final cluster the moment it is known; with Largest-First this yields
+//! the Theorem-2 guarantee that the top-`k′` prefix is produced at the
+//! minimum cost for every `k′ < k`.
+
+use std::time::{Duration, Instant};
+
+use adalsh_data::{Dataset, FieldValue, MatchRule};
+use adalsh_lsh::mix::derive_seed;
+use rand::{Rng, SeedableRng};
+
+use crate::bins::BinIndex;
+use crate::cost::CostModel;
+use crate::hashing::{RecordHashState, SequenceHasher};
+use crate::pairwise::apply_pairwise;
+use crate::sequence::{design, SequenceSpec};
+use crate::stats::Stats;
+use crate::transitive::apply_transitive_threaded;
+
+/// Which cluster to process next. Largest-First is the paper's (provably
+/// optimal) choice; the others exist for the optimality ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SelectionStrategy {
+    /// Paper's strategy (Theorems 1–2): always the largest cluster.
+    #[default]
+    LargestFirst,
+    /// Adversarial baseline: always the smallest cluster.
+    SmallestFirst,
+    /// Uniformly random cluster.
+    Random,
+    /// First-in-first-out.
+    Fifo,
+}
+
+/// Configuration of an [`AdaLsh`] engine.
+#[derive(Debug, Clone)]
+pub struct AdaLshConfig {
+    /// Match rule defining ground-truth-free record equivalence.
+    pub rule: MatchRule,
+    /// Sequence-design parameters (budgets, ε, seed).
+    pub spec: SequenceSpec,
+    /// When true, clusters are final only after `P` verified them —
+    /// LSH-blocking semantics (§6.1.1). adaLSH proper uses `false`:
+    /// `H_L`'s output is trusted.
+    pub require_pairwise_final: bool,
+    /// Cluster-selection strategy (ablation hook; default Largest-First).
+    pub selection: SelectionStrategy,
+    /// Appendix-E.2 noise factor on the cost gate (1.0 = clean).
+    pub cost_noise: f64,
+    /// Ablation: never jump ahead to `P` before the last level (the
+    /// "family condition 1 removed" variant discussed in Appendix D.2).
+    pub disable_jump_gate: bool,
+    /// Use the wall-clock cost model (100 samples) instead of the
+    /// deterministic analytic model.
+    pub measured_cost: bool,
+    /// Hash records on this many worker threads inside each transitive
+    /// invocation (1 = sequential; evaluation order and output are
+    /// identical either way).
+    pub threads: usize,
+    /// Extend the sequence so its last budget is at least ~2·|R|,
+    /// guaranteeing the Line-5 gate can fire on a cluster of *any* size
+    /// before the sequence ends — no giant cluster is ever accepted as
+    /// final without either sharp hashing or `P` verification. This is
+    /// how a sensible `L` is chosen for the dataset at hand (the paper
+    /// takes `H₁…H_L` as given input). Disable to use
+    /// `spec.max_budget` verbatim.
+    pub scale_max_budget: bool,
+}
+
+impl AdaLshConfig {
+    /// Default configuration for a rule: paper-default exponential
+    /// budgets, Largest-First, clean analytic cost model.
+    pub fn new(rule: MatchRule) -> Self {
+        Self {
+            rule,
+            spec: SequenceSpec::default(),
+            require_pairwise_final: false,
+            selection: SelectionStrategy::LargestFirst,
+            cost_noise: 1.0,
+            disable_jump_gate: false,
+            measured_cost: false,
+            threads: 1,
+            scale_max_budget: true,
+        }
+    }
+}
+
+/// The result of a filtering run.
+#[derive(Debug, Clone)]
+pub struct FilterOutput {
+    /// The (up to) `k` final clusters, sorted by descending size.
+    pub clusters: Vec<Vec<u32>>,
+    /// Operation counters.
+    pub stats: Stats,
+    /// Wall-clock filtering time.
+    pub wall: Duration,
+}
+
+impl FilterOutput {
+    /// Union of all output clusters' record ids, sorted ascending.
+    pub fn records(&self) -> Vec<u32> {
+        let mut out: Vec<u32> = self.clusters.iter().flatten().copied().collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Total number of records in the output.
+    pub fn num_records(&self) -> usize {
+        self.clusters.iter().map(Vec::len).sum()
+    }
+}
+
+/// A filtering method: anything that reduces a dataset to the records of
+/// (approximately) its top-`k` entities.
+pub trait FilterMethod {
+    /// Display name used in experiment tables (e.g. `adaLSH`, `LSH1280`).
+    fn name(&self) -> String;
+    /// Runs the filter for the `k` largest entities.
+    fn filter(&mut self, dataset: &Dataset, k: usize) -> FilterOutput;
+}
+
+/// Tag carried by every cluster in the pool: which function produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ClusterLevel {
+    /// Produced by sequence function `H_t` (1-based).
+    Hashed(u16),
+    /// Produced by the pairwise computation function `P`.
+    Pairwise,
+}
+
+struct ArenaEntry {
+    records: Vec<u32>,
+    level: ClusterLevel,
+}
+
+/// Cluster pool: Largest-First uses the bin index; other strategies use a
+/// plain list with the appropriate O(n) pop (ablations only).
+enum Pool {
+    Bins(BinIndex),
+    List(Vec<(u32, u32)>),
+}
+
+impl Pool {
+    fn new(strategy: SelectionStrategy) -> Self {
+        match strategy {
+            SelectionStrategy::LargestFirst => Pool::Bins(BinIndex::new()),
+            _ => Pool::List(Vec::new()),
+        }
+    }
+
+    fn push(&mut self, size: u32, handle: u32) {
+        match self {
+            Pool::Bins(b) => b.push(size, handle),
+            Pool::List(v) => v.push((size, handle)),
+        }
+    }
+
+    fn peek_max_size(&self) -> Option<u32> {
+        match self {
+            Pool::Bins(b) => b.peek_largest_size(),
+            Pool::List(v) => v.iter().map(|&(s, _)| s).max(),
+        }
+    }
+
+    fn pop(&mut self, strategy: SelectionStrategy, rng: &mut impl Rng) -> Option<(u32, u32)> {
+        match self {
+            Pool::Bins(b) => b.pop_largest().map(|e| (e.size, e.handle)),
+            Pool::List(v) => {
+                if v.is_empty() {
+                    return None;
+                }
+                let idx = match strategy {
+                    SelectionStrategy::LargestFirst => unreachable!("uses bins"),
+                    SelectionStrategy::SmallestFirst => {
+                        let mut best = 0;
+                        for i in 1..v.len() {
+                            if v[i].0 < v[best].0 {
+                                best = i;
+                            }
+                        }
+                        best
+                    }
+                    SelectionStrategy::Random => rng.random_range(0..v.len()),
+                    SelectionStrategy::Fifo => 0,
+                };
+                Some(if strategy == SelectionStrategy::Fifo {
+                    v.remove(idx) // preserve order for FIFO
+                } else {
+                    v.swap_remove(idx)
+                })
+            }
+        }
+    }
+}
+
+/// The Adaptive LSH engine (Algorithm 1), bound to a dataset's schema and
+/// cost profile.
+pub struct AdaLsh {
+    config: AdaLshConfig,
+    hasher: SequenceHasher,
+    cost: CostModel,
+}
+
+impl AdaLsh {
+    /// Designs the sequence for `dataset` and builds the engine.
+    ///
+    /// Errors if the rule shape is unsupported or no feasible scheme
+    /// exists within the budget schedule.
+    pub fn for_dataset(dataset: &Dataset, config: AdaLshConfig) -> Result<Self, String> {
+        let dims: Vec<usize> = dataset
+            .record(0)
+            .fields()
+            .iter()
+            .map(|f| match f {
+                FieldValue::Dense(v) => v.dim(),
+                FieldValue::Shingles(_) => 0,
+            })
+            .collect();
+        let mut spec = config.spec;
+        if config.scale_max_budget {
+            // Last-level gate headroom: with a doubling schedule the final
+            // increment is ~max_budget/2, and the unit-cost ratio of
+            // hashing to comparison is ≥ 1/2 for every family pair we
+            // ship, so max_budget ≥ 2·|R| makes the gate's critical size
+            // exceed |R| at the last level.
+            let needed = (dataset.len() as u64).next_power_of_two() * 2;
+            spec.max_budget = spec.max_budget.max(needed);
+        }
+        let designed = design(&config.rule, dataset.schema(), &dims, &spec)?;
+        let mut hasher = SequenceHasher::new(designed.parts, designed.levels);
+        let cost = if config.measured_cost {
+            CostModel::measured(&mut hasher, dataset, &config.rule, 100, config.spec.seed)
+        } else {
+            CostModel::analytic(&hasher, dataset, &config.rule)
+        }
+        .with_noise(config.cost_noise);
+        Ok(Self {
+            config,
+            hasher,
+            cost,
+        })
+    }
+
+    /// Number of sequence functions `L` in the designed sequence.
+    pub fn num_levels(&self) -> usize {
+        self.hasher.num_levels()
+    }
+
+    /// The engine's cost model.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// The designed level schemes (for inspection and reports).
+    pub fn levels(&self) -> &[crate::hashing::LevelScheme] {
+        self.hasher.levels()
+    }
+
+    /// Runs the filter for the top-`k` entities.
+    pub fn run(&mut self, dataset: &Dataset, k: usize) -> FilterOutput {
+        self.run_incremental(dataset, k, |_, _| {})
+    }
+
+    /// Incremental mode (§4.2): `on_final(rank, cluster)` fires the moment
+    /// each final cluster is known. With Largest-First, finals appear in
+    /// descending size order and the top-`k′` prefix is produced at the
+    /// minimum cost for every `k′ ≤ k` (Theorem 2).
+    pub fn run_incremental(
+        &mut self,
+        dataset: &Dataset,
+        k: usize,
+        on_final: impl FnMut(usize, &[u32]),
+    ) -> FilterOutput {
+        let mut states: Vec<RecordHashState> = vec![RecordHashState::default(); dataset.len()];
+        self.run_with_states(dataset, k, &mut states, on_final)
+    }
+
+    /// Like [`AdaLsh::run_incremental`], but with caller-owned per-record
+    /// hash states. States persist the raw hash work already spent on
+    /// each record (Property 4), so repeated runs over a growing dataset
+    /// — the online setting of §9 — only hash what is new. The caller
+    /// must keep `states[i]` paired with record `i` and never reuse
+    /// states across engines.
+    ///
+    /// # Panics
+    /// Panics if `k == 0` or `states.len() != dataset.len()`.
+    pub fn run_with_states(
+        &mut self,
+        dataset: &Dataset,
+        k: usize,
+        states: &mut [RecordHashState],
+        mut on_final: impl FnMut(usize, &[u32]),
+    ) -> FilterOutput {
+        assert!(k >= 1, "k must be at least 1");
+        assert_eq!(states.len(), dataset.len(), "one state per record");
+        let start = Instant::now();
+        let mut stats = Stats::default();
+        let n = dataset.len();
+        let num_levels = self.hasher.num_levels();
+        let mut rng =
+            rand::rngs::StdRng::seed_from_u64(derive_seed(self.config.spec.seed, 0xA1));
+
+        let mut arena: Vec<Option<ArenaEntry>> = Vec::new();
+        let mut pool = Pool::new(self.config.selection);
+        let mut finals: Vec<Vec<u32>> = Vec::new();
+
+        // Line 1: apply H₁ to the whole dataset.
+        let all: Vec<u32> = (0..n as u32).collect();
+        stats.modeled_cost += self.cost.hash_increment_cost(0, n);
+        let first = apply_transitive_threaded(
+            &self.hasher,
+            states,
+            dataset,
+            &all,
+            1,
+            self.config.threads,
+            &mut stats,
+        );
+        for c in first {
+            push_cluster(&mut arena, &mut pool, c, ClusterLevel::Hashed(1));
+        }
+
+        // Lines 2–14.
+        loop {
+            // Line 11 generalized: stop when the k largest clusters are
+            // all final (for Largest-First this is exactly "k finals").
+            // Strict comparison: clusters *tied* with the k-th final are
+            // still resolved, so the canonical sort below picks among all
+            // tied candidates deterministically — otherwise the answer
+            // under ties would depend on processing order and spuriously
+            // differ from exact resolution.
+            if finals.len() >= k {
+                let mut sizes: Vec<usize> = finals.iter().map(Vec::len).collect();
+                sizes.sort_unstable_by(|a, b| b.cmp(a));
+                let kth = sizes[k - 1] as u32;
+                if pool.peek_max_size().is_none_or(|m| m < kth) {
+                    break;
+                }
+            }
+            let Some((_, handle)) = pool.pop(self.config.selection, &mut rng) else {
+                break; // fewer than k clusters exist
+            };
+            stats.rounds += 1;
+            let entry = arena[handle as usize].take().expect("handle valid");
+            let size = entry.records.len();
+            let is_final = match entry.level {
+                ClusterLevel::Pairwise => true,
+                ClusterLevel::Hashed(t) => {
+                    t as usize == num_levels && !self.config.require_pairwise_final
+                }
+            };
+            if is_final {
+                on_final(finals.len(), &entry.records);
+                finals.push(entry.records);
+                continue;
+            }
+            let t = match entry.level {
+                ClusterLevel::Hashed(t) => t as usize,
+                ClusterLevel::Pairwise => unreachable!("pairwise is always final"),
+            };
+            // Line 5: jump-ahead gate (forced when no H_{t+1} exists).
+            let use_pairwise = t == num_levels
+                || (!self.config.disable_jump_gate && self.cost.jump_to_pairwise(t, size));
+            let (subs, level) = if use_pairwise {
+                stats.modeled_cost += self.cost.pairwise_cost(size);
+                (
+                    apply_pairwise(dataset, &self.config.rule, &entry.records, &mut stats),
+                    ClusterLevel::Pairwise,
+                )
+            } else {
+                stats.modeled_cost += self.cost.hash_increment_cost(t, size);
+                (
+                    apply_transitive_threaded(
+                        &self.hasher,
+                        states,
+                        dataset,
+                        &entry.records,
+                        t + 1,
+                        self.config.threads,
+                        &mut stats,
+                    ),
+                    ClusterLevel::Hashed(t as u16 + 1),
+                )
+            };
+            for c in subs {
+                push_cluster(&mut arena, &mut pool, c, level);
+            }
+        }
+
+        // Canonicalize: records ascending within each cluster, clusters by
+        // (size desc, smallest id asc). Cluster record order out of the
+        // forest is leaf-chain order, which is not stable across methods —
+        // without this, equal-size clusters tie-break differently in
+        // adaLSH and Pairs and the outputs spuriously diverge.
+        for c in &mut finals {
+            c.sort_unstable();
+        }
+        finals.sort_by(|a, b| b.len().cmp(&a.len()).then_with(|| a[0].cmp(&b[0])));
+        finals.truncate(k);
+        FilterOutput {
+            clusters: finals,
+            stats,
+            wall: start.elapsed(),
+        }
+    }
+}
+
+fn push_cluster(
+    arena: &mut Vec<Option<ArenaEntry>>,
+    pool: &mut Pool,
+    records: Vec<u32>,
+    level: ClusterLevel,
+) {
+    debug_assert!(!records.is_empty());
+    let size = records.len() as u32;
+    let handle = arena.len() as u32;
+    arena.push(Some(ArenaEntry { records, level }));
+    pool.push(size, handle);
+}
+
+impl FilterMethod for AdaLsh {
+    fn name(&self) -> String {
+        "adaLSH".to_string()
+    }
+
+    fn filter(&mut self, dataset: &Dataset, k: usize) -> FilterOutput {
+        self.run(dataset, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adalsh_data::{FieldDistance, FieldKind, Record, Schema, ShingleSet};
+
+    /// A dataset with planted entities: entity e has `sizes[e]` records,
+    /// each sharing a core of shingles with light noise.
+    fn planted(sizes: &[usize], seed: u64) -> Dataset {
+        use adalsh_lsh::mix::derive_seed as ds;
+        let schema = Schema::single("s", FieldKind::Shingles);
+        let mut records = Vec::new();
+        let mut gt = Vec::new();
+        for (e, &sz) in sizes.iter().enumerate() {
+            let base: Vec<u64> = (0..20).map(|i| (e as u64) * 1000 + i).collect();
+            for r in 0..sz {
+                let mut s = base.clone();
+                // Two noise shingles per record — far below the 0.4
+                // Jaccard distance threshold.
+                s.push(ds(seed, (e * 10_000 + r) as u64) % 7 + (e as u64) * 1000 + 500);
+                s.push(ds(seed, (e * 10_000 + r + 5000) as u64) % 7 + (e as u64) * 1000 + 600);
+                records.push(Record::single(adalsh_data::FieldValue::Shingles(
+                    ShingleSet::new(s),
+                )));
+                gt.push(e as u32);
+            }
+        }
+        Dataset::new(schema, records, gt)
+    }
+
+    fn jaccard_config() -> AdaLshConfig {
+        AdaLshConfig::new(MatchRule::threshold(0, FieldDistance::Jaccard, 0.4))
+    }
+
+    #[test]
+    fn finds_planted_top_k() {
+        let d = planted(&[30, 20, 10, 3, 2, 1, 1, 1], 7);
+        let mut ada = AdaLsh::for_dataset(&d, jaccard_config()).unwrap();
+        let out = ada.run(&d, 3);
+        assert_eq!(out.clusters.len(), 3);
+        let sizes: Vec<usize> = out.clusters.iter().map(Vec::len).collect();
+        assert_eq!(sizes, vec![30, 20, 10]);
+        assert_eq!(out.records(), d.gold_records(3));
+    }
+
+    #[test]
+    fn output_clusters_match_ground_truth_entities() {
+        let d = planted(&[25, 15, 8, 2, 2], 3);
+        let mut ada = AdaLsh::for_dataset(&d, jaccard_config()).unwrap();
+        let out = ada.run(&d, 2);
+        for cluster in &out.clusters {
+            let e0 = d.entity_of(cluster[0]);
+            assert!(
+                cluster.iter().all(|&r| d.entity_of(r) == e0),
+                "cluster mixes entities"
+            );
+        }
+    }
+
+    #[test]
+    fn k_larger_than_entity_count() {
+        let d = planted(&[5, 3], 1);
+        let mut ada = AdaLsh::for_dataset(&d, jaccard_config()).unwrap();
+        let out = ada.run(&d, 10);
+        assert_eq!(out.clusters.len(), 2);
+    }
+
+    #[test]
+    fn k_equals_one() {
+        let d = planted(&[12, 6, 2], 5);
+        let mut ada = AdaLsh::for_dataset(&d, jaccard_config()).unwrap();
+        let out = ada.run(&d, 1);
+        assert_eq!(out.clusters.len(), 1);
+        assert_eq!(out.clusters[0].len(), 12);
+    }
+
+    #[test]
+    fn incremental_mode_descending_order() {
+        let d = planted(&[20, 12, 6, 2, 1], 11);
+        let mut ada = AdaLsh::for_dataset(&d, jaccard_config()).unwrap();
+        let mut seen: Vec<usize> = Vec::new();
+        let _ = ada.run_incremental(&d, 3, |rank, c| {
+            assert_eq!(rank, seen.len());
+            seen.push(c.len());
+        });
+        assert_eq!(seen.len(), 3);
+        assert!(
+            seen.windows(2).all(|w| w[0] >= w[1]),
+            "Largest-First emits finals in descending size order: {seen:?}"
+        );
+    }
+
+    #[test]
+    fn theorem2_prefix_property() {
+        // Same engine config, k=2 vs k=5: the first 2 finals must agree.
+        let d = planted(&[18, 11, 7, 4, 2, 1], 23);
+        let mk = || AdaLsh::for_dataset(&d, jaccard_config()).unwrap();
+        let out2 = mk().run(&d, 2);
+        let out5 = mk().run(&d, 5);
+        assert_eq!(out2.clusters[..], out5.clusters[..2]);
+        // And the k=2 run must not cost more than the k=5 run.
+        assert!(out2.stats.modeled_cost <= out5.stats.modeled_cost + 1e-9);
+    }
+
+    #[test]
+    fn matches_exact_pairwise_result() {
+        // adaLSH's output must (essentially always) equal the exact
+        // transitive closure's top-k.
+        let d = planted(&[16, 9, 5, 2, 1, 1], 31);
+        let mut ada = AdaLsh::for_dataset(&d, jaccard_config()).unwrap();
+        let out = ada.run(&d, 3);
+        let mut st = Stats::default();
+        let all: Vec<u32> = (0..d.len() as u32).collect();
+        let mut exact = apply_pairwise(&d, &jaccard_config().rule, &all, &mut st);
+        exact.sort_by_key(|c| std::cmp::Reverse(c.len()));
+        let mut expected: Vec<u32> = exact[..3].iter().flatten().copied().collect();
+        expected.sort_unstable();
+        assert_eq!(out.records(), expected);
+    }
+
+    #[test]
+    fn adaptive_costs_less_than_full_hashing() {
+        // Hash evaluations must be far below "every record at max level".
+        let d = planted(&[25, 10, 3, 1, 1, 1, 1, 1, 1, 1, 1, 1], 41);
+        let mut ada = AdaLsh::for_dataset(&d, jaccard_config()).unwrap();
+        let max_budget: u64 = ada.levels().last().unwrap().budget();
+        let out = ada.run(&d, 2);
+        let full_cost = max_budget * d.len() as u64;
+        assert!(
+            out.stats.hash_evals < full_cost / 2,
+            "adaptive hashing ({}) should be well under full hashing ({full_cost})",
+            out.stats.hash_evals
+        );
+    }
+
+    #[test]
+    fn selection_strategies_reach_same_answer() {
+        let d = planted(&[14, 9, 4, 2, 1], 53);
+        let gold = d.gold_records(2);
+        for strategy in [
+            SelectionStrategy::LargestFirst,
+            SelectionStrategy::SmallestFirst,
+            SelectionStrategy::Random,
+            SelectionStrategy::Fifo,
+        ] {
+            let mut cfg = jaccard_config();
+            cfg.selection = strategy;
+            let mut ada = AdaLsh::for_dataset(&d, cfg).unwrap();
+            let out = ada.run(&d, 2);
+            assert_eq!(out.records(), gold, "strategy {strategy:?} wrong");
+        }
+    }
+
+    #[test]
+    fn largest_first_cheapest() {
+        let d = planted(&[20, 12, 6, 3, 2, 1, 1], 61);
+        let run = |strategy| {
+            let mut cfg = jaccard_config();
+            cfg.selection = strategy;
+            let mut ada = AdaLsh::for_dataset(&d, cfg).unwrap();
+            ada.run(&d, 2).stats.modeled_cost
+        };
+        let largest = run(SelectionStrategy::LargestFirst);
+        let smallest = run(SelectionStrategy::SmallestFirst);
+        assert!(
+            largest <= smallest + 1e-9,
+            "Largest-First ({largest}) must not cost more than Smallest-First ({smallest})"
+        );
+    }
+
+    #[test]
+    fn require_pairwise_final_verifies_everything() {
+        let d = planted(&[10, 6, 2], 71);
+        let mut cfg = jaccard_config();
+        cfg.require_pairwise_final = true;
+        let mut ada = AdaLsh::for_dataset(&d, cfg).unwrap();
+        let out = ada.run(&d, 2);
+        assert!(out.stats.pairwise_calls > 0, "P must have verified finals");
+        assert_eq!(out.records(), d.gold_records(2));
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let d = planted(&[8, 4, 2], 77);
+        let mut ada = AdaLsh::for_dataset(&d, jaccard_config()).unwrap();
+        let out = ada.run(&d, 1);
+        assert!(out.stats.hash_evals > 0);
+        assert!(out.stats.rounds > 0);
+        assert!(out.stats.modeled_cost > 0.0);
+        assert!(out.wall > Duration::ZERO);
+    }
+
+    #[test]
+    fn threaded_hashing_matches_sequential() {
+        let d = planted(&[22, 14, 7, 3, 2, 1, 1], 97);
+        let run = |threads: usize| {
+            let mut cfg = jaccard_config();
+            cfg.threads = threads;
+            let mut ada = AdaLsh::for_dataset(&d, cfg).unwrap();
+            ada.run(&d, 3)
+        };
+        let seq = run(1);
+        let par = run(4);
+        assert_eq!(seq.clusters, par.clusters);
+        assert_eq!(seq.stats.hash_evals, par.stats.hash_evals);
+        assert_eq!(seq.stats.pair_comparisons, par.stats.pair_comparisons);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let d = planted(&[15, 9, 3, 1], 83);
+        let mk = || AdaLsh::for_dataset(&d, jaccard_config()).unwrap();
+        let a = mk().run(&d, 2);
+        let b = mk().run(&d, 2);
+        assert_eq!(a.clusters, b.clusters);
+        assert_eq!(a.stats.hash_evals, b.stats.hash_evals);
+    }
+}

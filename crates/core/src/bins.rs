@@ -1,0 +1,171 @@
+//! Bin-based largest-cluster index (paper Appendix B.1, B.4).
+//!
+//! Clusters awaiting processing are kept in an array of `⌈log₂|R|⌉ + 1`
+//! bins; the cluster of size `x` lives in bin `⌊log₂ x⌋`. Insertion is
+//! O(1); finding the largest cluster scans from the highest non-empty bin
+//! and picks that bin's maximum — which is also the *global* maximum,
+//! because every cluster in a lower bin is strictly smaller than `2^b`,
+//! the floor of bin `b`.
+
+/// An entry in the index: a cluster's size and an opaque handle (index
+/// into the caller's cluster arena).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BinEntry {
+    /// Cluster size (number of records).
+    pub size: u32,
+    /// Caller-defined handle.
+    pub handle: u32,
+}
+
+/// Bin index over clusters keyed by size.
+#[derive(Debug, Default)]
+pub struct BinIndex {
+    bins: Vec<Vec<BinEntry>>,
+    len: usize,
+}
+
+impl BinIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of clusters currently stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no clusters are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts a cluster. O(1).
+    ///
+    /// # Panics
+    /// Panics if `size == 0`.
+    pub fn push(&mut self, size: u32, handle: u32) {
+        assert!(size > 0, "empty clusters are not storable");
+        let bin = (31 - size.leading_zeros()) as usize; // floor(log2(size))
+        if self.bins.len() <= bin {
+            self.bins.resize_with(bin + 1, Vec::new);
+        }
+        self.bins[bin].push(BinEntry { size, handle });
+        self.len += 1;
+    }
+
+    /// Removes and returns the largest cluster, scanning from the highest
+    /// non-empty bin (ties broken by most-recently inserted).
+    pub fn pop_largest(&mut self) -> Option<BinEntry> {
+        let bin = self.bins.iter().rposition(|b| !b.is_empty())?;
+        let entries = &mut self.bins[bin];
+        // Max within the top bin == global max (lower bins are < 2^bin).
+        let mut best = 0;
+        for i in 1..entries.len() {
+            if entries[i].size >= entries[best].size {
+                best = i;
+            }
+        }
+        let entry = entries.swap_remove(best);
+        self.len -= 1;
+        Some(entry)
+    }
+
+    /// The size of the current largest cluster without removing it.
+    pub fn peek_largest_size(&self) -> Option<u32> {
+        let bin = self.bins.iter().rposition(|b| !b.is_empty())?;
+        self.bins[bin].iter().map(|e| e.size).max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_descending_size_order() {
+        let mut idx = BinIndex::new();
+        for (i, &s) in [3u32, 17, 1, 9, 8, 2, 100].iter().enumerate() {
+            idx.push(s, i as u32);
+        }
+        let mut sizes = Vec::new();
+        while let Some(e) = idx.pop_largest() {
+            sizes.push(e.size);
+        }
+        assert_eq!(sizes, vec![100, 17, 9, 8, 3, 2, 1]);
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn same_bin_still_returns_global_max() {
+        // 9 and 15 share bin 3; the larger must come out first.
+        let mut idx = BinIndex::new();
+        idx.push(9, 0);
+        idx.push(15, 1);
+        idx.push(12, 2);
+        assert_eq!(idx.pop_largest().unwrap().size, 15);
+        assert_eq!(idx.pop_largest().unwrap().size, 12);
+        assert_eq!(idx.pop_largest().unwrap().size, 9);
+    }
+
+    #[test]
+    fn handles_round_trip() {
+        let mut idx = BinIndex::new();
+        idx.push(5, 42);
+        let e = idx.pop_largest().unwrap();
+        assert_eq!((e.size, e.handle), (5, 42));
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut idx = BinIndex::new();
+        idx.push(7, 0);
+        idx.push(3, 1);
+        assert_eq!(idx.peek_largest_size(), Some(7));
+        assert_eq!(idx.len(), 2);
+    }
+
+    #[test]
+    fn empty_behaviour() {
+        let mut idx = BinIndex::new();
+        assert!(idx.pop_largest().is_none());
+        assert_eq!(idx.peek_largest_size(), None);
+        assert_eq!(idx.len(), 0);
+    }
+
+    #[test]
+    fn interleaved_push_pop() {
+        let mut idx = BinIndex::new();
+        idx.push(4, 0);
+        idx.push(6, 1);
+        assert_eq!(idx.pop_largest().unwrap().size, 6);
+        idx.push(10, 2);
+        idx.push(1, 3);
+        assert_eq!(idx.pop_largest().unwrap().size, 10);
+        assert_eq!(idx.pop_largest().unwrap().size, 4);
+        assert_eq!(idx.pop_largest().unwrap().size, 1);
+    }
+
+    #[test]
+    fn size_one_clusters_live_in_bin_zero() {
+        let mut idx = BinIndex::new();
+        idx.push(1, 0);
+        idx.push(1, 1);
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.pop_largest().unwrap().size, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty clusters")]
+    fn zero_size_rejected() {
+        BinIndex::new().push(0, 0);
+    }
+
+    #[test]
+    fn large_sizes_supported() {
+        let mut idx = BinIndex::new();
+        idx.push(u32::MAX, 0);
+        idx.push(2, 1);
+        assert_eq!(idx.pop_largest().unwrap().size, u32::MAX);
+    }
+}

@@ -1,0 +1,703 @@
+//! The sequence of transitive-hashing schemes and incremental per-record
+//! hash state.
+//!
+//! A sequence function `Hᵢ` is defined by a [`LevelScheme`]: either a
+//! group of `z` **shared tables** each concatenating `ws[p]` hash values
+//! from every elementary part `p` (single-field and AND rules, Appendix
+//! C.1), or **per-part table groups** (OR rules, Appendix C.2).
+//!
+//! Incremental computation (paper §2.2 Property 4, Appendix B.2) works as
+//! follows: table `t` of `Hᵢ` extends table `t` of `Hᵢ₋₁` — widths and
+//! table counts are nondecreasing along the sequence (`wᵢ ≤ wᵢ₊₁`,
+//! `zᵢ ≤ zᵢ₊₁`, §4.1) — so advancing a record from level `i−1` to `i`
+//! evaluates only the *new* hash functions. Per-record state is one u64
+//! accumulator per table ([`RecordHashState`]); the accumulator folds the
+//! table's hash values in a fixed order, so two records share a bucket at
+//! level `i` exactly when all their table-`t` values agree (up to a
+//! 2⁻⁶⁴ mixing collision, which merely merges two clusters — harmless for
+//! a conservative filter).
+
+use adalsh_data::{FieldDistance, Record};
+use adalsh_lsh::mix::{combine, derive_seed, splitmix64};
+use adalsh_lsh::multifield::WeightedSelection;
+use adalsh_lsh::scheme::WzScheme;
+use adalsh_lsh::{HyperplaneFamily, MinHashFamily};
+
+use crate::stats::Stats;
+
+/// One function `Hᵢ` of the sequence: its per-part table parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LevelScheme {
+    /// `z` tables shared by all parts; table `t` concatenates `ws[p]`
+    /// values from part `p`. A single-field scheme is `ws.len() == 1`.
+    Shared {
+        /// Per-part widths (hash functions per table from each part).
+        ws: Vec<u32>,
+        /// Number of tables.
+        z: u32,
+    },
+    /// Each part has its own `(w, z)` table group (OR rules).
+    PerPart {
+        /// Per-part schemes.
+        parts: Vec<WzScheme>,
+    },
+}
+
+impl LevelScheme {
+    /// Number of elementary parts this scheme draws from.
+    pub fn num_parts(&self) -> usize {
+        match self {
+            LevelScheme::Shared { ws, .. } => ws.len(),
+            LevelScheme::PerPart { parts } => parts.len(),
+        }
+    }
+
+    /// Total hash-function budget per record.
+    pub fn budget(&self) -> u64 {
+        match self {
+            LevelScheme::Shared { ws, z } => {
+                ws.iter().map(|&w| u64::from(w)).sum::<u64>() * u64::from(*z)
+            }
+            LevelScheme::PerPart { parts } => parts.iter().map(WzScheme::budget).sum(),
+        }
+    }
+
+    /// Does `self` extend `prev` (all widths and table counts
+    /// nondecreasing, same structure)? Required between consecutive
+    /// sequence functions.
+    pub fn extends(&self, prev: &LevelScheme) -> bool {
+        match (self, prev) {
+            (LevelScheme::Shared { ws: w1, z: z1 }, LevelScheme::Shared { ws: w0, z: z0 }) => {
+                w1.len() == w0.len()
+                    && z1 >= z0
+                    && w1.iter().zip(w0).all(|(a, b)| a >= b)
+            }
+            (LevelScheme::PerPart { parts: p1 }, LevelScheme::PerPart { parts: p0 }) => {
+                p1.len() == p0.len()
+                    && p1
+                        .iter()
+                        .zip(p0)
+                        .all(|(a, b)| a.w >= b.w && a.z >= b.z)
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Elementary hash source backing one part of the scheme.
+#[derive(Debug)]
+pub enum HashPart {
+    /// Random hyperplanes over a dense field; one lazily-created family
+    /// per table so hash indices stay dense per table.
+    Dense {
+        /// Field index into the record.
+        field: usize,
+        /// Vector dimension.
+        dim: usize,
+        /// Part seed; table `t`'s family seed is derived from it.
+        seed: u64,
+        /// Per-table hyperplane families, grown on demand.
+        tables: Vec<HyperplaneFamily>,
+    },
+    /// MinHash over a shingle field (stateless).
+    Shingles {
+        /// Field index into the record.
+        field: usize,
+        /// The MinHash family.
+        family: MinHashFamily,
+    },
+    /// Definition-7 weighted selection over simple sub-parts.
+    Weighted {
+        /// The per-function field sampler.
+        selection: WeightedSelection,
+        /// One simple part per weighted component.
+        choices: Vec<HashPart>,
+    },
+}
+
+/// Index-mix stride separating functions of different tables for the
+/// stateless families.
+const TABLE_STRIDE: u64 = 1 << 24;
+
+impl HashPart {
+    /// Builds a dense part.
+    pub fn dense(field: usize, dim: usize, seed: u64) -> Self {
+        HashPart::Dense {
+            field,
+            dim,
+            seed,
+            tables: Vec::new(),
+        }
+    }
+
+    /// Builds a shingle part.
+    pub fn shingles(field: usize, seed: u64) -> Self {
+        HashPart::Shingles {
+            field,
+            family: MinHashFamily::new(seed),
+        }
+    }
+
+    /// Builds a Definition-7 weighted part from `(field, metric, weight)`
+    /// components.
+    ///
+    /// # Panics
+    /// Panics if a component nests another weighted part (Definition 7 is
+    /// a one-level selection) or dims are needed but unknown.
+    pub fn weighted(parts: &[(usize, FieldDistance, f64)], dims: &[usize], seed: u64) -> Self {
+        let weights: Vec<f64> = parts.iter().map(|&(_, _, w)| w).collect();
+        let selection = WeightedSelection::new(&weights, derive_seed(seed, 0));
+        let choices = parts
+            .iter()
+            .enumerate()
+            .map(|(i, &(field, metric, _))| match metric {
+                FieldDistance::Angular => HashPart::dense(field, dims[i], derive_seed(seed, 1 + i as u64)),
+                FieldDistance::Jaccard => HashPart::shingles(field, derive_seed(seed, 1 + i as u64)),
+            })
+            .collect();
+        HashPart::Weighted { selection, choices }
+    }
+
+    /// Materializes every lazily-created structure needed to evaluate
+    /// functions `0..w` of tables `0..z` (hyperplane normals). After this
+    /// call, [`HashPart::eval`] is pure and thread-shareable.
+    fn materialize(&mut self, z: u32, w: u32) {
+        match self {
+            HashPart::Dense {
+                dim, seed, tables, ..
+            } => {
+                while tables.len() < z as usize {
+                    let idx = tables.len() as u64;
+                    tables.push(HyperplaneFamily::new(*dim, derive_seed(*seed, idx)));
+                }
+                for fam in tables.iter_mut().take(z as usize) {
+                    fam.ensure_functions(w as usize);
+                }
+            }
+            HashPart::Shingles { .. } => {}
+            HashPart::Weighted { choices, .. } => {
+                for c in choices {
+                    c.materialize(z, w);
+                }
+            }
+        }
+    }
+
+    /// Evaluates hash function `j` of table `t` on a record. Requires the
+    /// function to be materialized (see [`HashPart::materialize`]).
+    ///
+    /// # Panics
+    /// Panics if a dense function was not materialized.
+    fn eval(&self, t: u32, j: u32, record: &Record) -> u64 {
+        match self {
+            HashPart::Dense { field, tables, .. } => tables[t as usize]
+                .hash(j as usize, record.field(*field).as_dense().components()),
+            HashPart::Shingles { field, family } => {
+                let idx = u64::from(t) * TABLE_STRIDE + u64::from(j);
+                family.hash(idx as usize, record.field(*field).as_shingles().shingles())
+            }
+            HashPart::Weighted { selection, choices } => {
+                let idx = u64::from(t) * TABLE_STRIDE + u64::from(j);
+                let c = selection.field_for(idx as usize);
+                choices[c].eval(t, j, record)
+            }
+        }
+    }
+}
+
+/// Per-record incremental hash state: the current level and one
+/// accumulator per table, grouped as the scheme dictates.
+#[derive(Debug, Clone, Default)]
+pub struct RecordHashState {
+    /// Last sequence level applied to this record (0 = none).
+    pub level: u16,
+    /// Accumulators: `groups[g][t]` for group `g`, table `t`.
+    /// `Shared` schemes use a single group; `PerPart` one per part.
+    groups: Vec<Vec<u64>>,
+}
+
+/// The full hashing side of a sequence `H₁ … H_L`: elementary parts plus
+/// per-level schemes.
+#[derive(Debug)]
+pub struct SequenceHasher {
+    parts: Vec<HashPart>,
+    levels: Vec<LevelScheme>,
+}
+
+impl SequenceHasher {
+    /// Creates a hasher, validating that all levels share the same
+    /// structure, reference every part, and extend one another.
+    ///
+    /// # Panics
+    /// Panics on structural violations.
+    pub fn new(parts: Vec<HashPart>, levels: Vec<LevelScheme>) -> Self {
+        assert!(!levels.is_empty(), "need at least one level");
+        for level in &levels {
+            assert_eq!(
+                level.num_parts(),
+                parts.len(),
+                "level arity must match part count"
+            );
+        }
+        for pair in levels.windows(2) {
+            assert!(
+                pair[1].extends(&pair[0]),
+                "levels must be nondecreasing in w and z: {:?} does not extend {:?}",
+                pair[1],
+                pair[0]
+            );
+        }
+        let mut hasher = Self { parts, levels };
+        // Materialize every hyperplane normal the whole sequence can
+        // touch (the last level dominates, by monotonicity). After this,
+        // evaluation is pure — `advance` takes `&self` and records can be
+        // hashed from multiple threads.
+        let last = hasher.levels.last().expect("non-empty").clone();
+        match last {
+            LevelScheme::Shared { ws, z } => {
+                for (p, part) in hasher.parts.iter_mut().enumerate() {
+                    part.materialize(z, ws[p]);
+                }
+            }
+            LevelScheme::PerPart { parts } => {
+                for (p, part) in hasher.parts.iter_mut().enumerate() {
+                    part.materialize(parts[p].z, parts[p].w);
+                }
+            }
+        }
+        hasher
+    }
+
+    /// Number of sequence functions `L`.
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The scheme of level `lvl` (1-based).
+    pub fn level(&self, lvl: usize) -> &LevelScheme {
+        &self.levels[lvl - 1]
+    }
+
+    /// All level schemes, in order.
+    pub fn levels(&self) -> &[LevelScheme] {
+        &self.levels
+    }
+
+    /// The elementary hash parts, in order.
+    pub fn parts(&self) -> &[HashPart] {
+        &self.parts
+    }
+
+    /// Advances a record's state to `to_level` (1-based), evaluating only
+    /// the hash functions not yet applied. No-op if already there.
+    ///
+    /// Levels are applied one at a time so every record folds its table
+    /// accumulators in the same canonical order — a record advanced
+    /// 0→3 directly must end with bit-identical keys to one advanced
+    /// 0→1→2→3, or cross-record bucket comparisons would silently fail
+    /// for multi-part schemes.
+    ///
+    /// # Panics
+    /// Panics if `to_level` is out of range or behind the record's level.
+    pub fn advance(
+        &self,
+        record: &Record,
+        state: &mut RecordHashState,
+        to_level: usize,
+        stats: &mut Stats,
+    ) {
+        assert!(
+            (1..=self.levels.len()).contains(&to_level),
+            "level out of range"
+        );
+        let from = state.level as usize;
+        assert!(from <= to_level, "hash state cannot move backwards");
+        for lvl in (from + 1)..=to_level {
+            self.advance_one(record, state, lvl, stats);
+        }
+    }
+
+    /// Advances exactly one level (from `lvl − 1` to `lvl`).
+    fn advance_one(
+        &self,
+        record: &Record,
+        state: &mut RecordHashState,
+        to_level: usize,
+        stats: &mut Stats,
+    ) {
+        let from = state.level as usize;
+        debug_assert_eq!(from + 1, to_level);
+        match &self.levels[to_level - 1] {
+            LevelScheme::Shared { ws, z } => {
+                let (ws_from, z_from) = if from == 0 {
+                    (vec![0u32; ws.len()], 0u32)
+                } else {
+                    match &self.levels[from - 1] {
+                        LevelScheme::Shared { ws, z } => (ws.clone(), *z),
+                        LevelScheme::PerPart { .. } => unreachable!("structure is uniform"),
+                    }
+                };
+                if state.groups.is_empty() {
+                    state.groups.push(Vec::new());
+                }
+                let ws = ws.clone();
+                let z = *z;
+                Self::extend_group(
+                    &self.parts,
+                    &mut state.groups[0],
+                    record,
+                    &ws_from,
+                    z_from,
+                    &ws,
+                    z,
+                    0,
+                    stats,
+                );
+            }
+            LevelScheme::PerPart { parts: to_parts } => {
+                let from_parts: Vec<WzScheme> = if from == 0 {
+                    to_parts.iter().map(|_| WzScheme::new(1, 1)).collect() // placeholder, unused
+                } else {
+                    match &self.levels[from - 1] {
+                        LevelScheme::PerPart { parts } => parts.clone(),
+                        LevelScheme::Shared { .. } => unreachable!("structure is uniform"),
+                    }
+                };
+                if state.groups.is_empty() {
+                    state.groups = vec![Vec::new(); to_parts.len()];
+                }
+                let to_parts = to_parts.clone();
+                for (p, to_s) in to_parts.iter().enumerate() {
+                    let (w_from, z_from) = if from == 0 {
+                        (0, 0)
+                    } else {
+                        (from_parts[p].w, from_parts[p].z)
+                    };
+                    let part = &self.parts[p..=p];
+                    Self::extend_group(
+                        part,
+                        &mut state.groups[p],
+                        record,
+                        &[w_from],
+                        z_from,
+                        &[to_s.w],
+                        to_s.z,
+                        p as u32,
+                        stats,
+                    );
+                }
+            }
+        }
+        state.level = to_level as u16;
+    }
+
+    /// Extends one table group's accumulators from `(ws_from, z_from)` to
+    /// `(ws_to, z_to)`. `parts` are the elementary sources feeding this
+    /// group (all of them for `Shared`, a single one for `PerPart`).
+    #[allow(clippy::too_many_arguments)]
+    fn extend_group(
+        parts: &[HashPart],
+        accs: &mut Vec<u64>,
+        record: &Record,
+        ws_from: &[u32],
+        z_from: u32,
+        ws_to: &[u32],
+        z_to: u32,
+        group: u32,
+        stats: &mut Stats,
+    ) {
+        debug_assert_eq!(accs.len(), z_from as usize);
+        // Extend existing tables with the new function range per part.
+        for t in 0..z_from {
+            let mut acc = accs[t as usize];
+            for (p, part) in parts.iter().enumerate() {
+                for j in ws_from[p]..ws_to[p] {
+                    acc = combine(acc, part.eval(t, j, record));
+                    stats.hash_evals += 1;
+                }
+            }
+            accs[t as usize] = acc;
+        }
+        // Fresh tables get the full widths.
+        for t in z_from..z_to {
+            let mut acc = splitmix64(u64::from(group) << 32 | u64::from(t));
+            for (p, part) in parts.iter().enumerate() {
+                for j in 0..ws_to[p] {
+                    acc = combine(acc, part.eval(t, j, record));
+                    stats.hash_evals += 1;
+                }
+            }
+            accs.push(acc);
+        }
+    }
+
+    /// Bucket keys of a record at its current level: `(table_tag, key)`
+    /// pairs, where `table_tag` is unique per (group, table).
+    ///
+    /// # Panics
+    /// Panics if the state's level does not match `level`.
+    pub fn keys<'s>(
+        &self,
+        state: &'s RecordHashState,
+        level: usize,
+    ) -> impl Iterator<Item = (u64, u64)> + 's {
+        assert_eq!(state.level as usize, level, "state not at requested level");
+        state.groups.iter().enumerate().flat_map(|(g, accs)| {
+            accs.iter()
+                .enumerate()
+                .map(move |(t, &acc)| ((g as u64) << 32 | t as u64, acc))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adalsh_data::{DenseVector, FieldValue, Record, ShingleSet};
+
+    fn dense_record(v: &[f64]) -> Record {
+        Record::single(FieldValue::Dense(DenseVector::new(v.to_vec())))
+    }
+
+    fn shingle_record(s: &[u64]) -> Record {
+        Record::single(FieldValue::Shingles(ShingleSet::new(s.to_vec())))
+    }
+
+    fn shared_levels() -> Vec<LevelScheme> {
+        vec![
+            LevelScheme::Shared { ws: vec![2], z: 3 },
+            LevelScheme::Shared { ws: vec![4], z: 5 },
+            LevelScheme::Shared { ws: vec![4], z: 9 },
+        ]
+    }
+
+    #[test]
+    fn budget_accounting() {
+        let l = LevelScheme::Shared {
+            ws: vec![3, 2],
+            z: 4,
+        };
+        assert_eq!(l.budget(), 20);
+        let o = LevelScheme::PerPart {
+            parts: vec![WzScheme::new(2, 3), WzScheme::new(5, 2)],
+        };
+        assert_eq!(o.budget(), 16);
+    }
+
+    #[test]
+    fn extends_checks_monotonicity() {
+        let a = LevelScheme::Shared { ws: vec![2], z: 3 };
+        let b = LevelScheme::Shared { ws: vec![4], z: 5 };
+        assert!(b.extends(&a));
+        assert!(!a.extends(&b));
+        let o = LevelScheme::PerPart {
+            parts: vec![WzScheme::new(2, 3)],
+        };
+        assert!(!o.extends(&a), "mixed structures never extend");
+    }
+
+    #[test]
+    fn incremental_equals_from_scratch() {
+        // Advancing 0→1→2→3 must produce the same accumulators as 0→3.
+        let r = shingle_record(&[1, 5, 9, 42, 77]);
+        let mk = || SequenceHasher::new(vec![HashPart::shingles(0, 11)], shared_levels());
+
+        let h1 = mk();
+        let mut s1 = RecordHashState::default();
+        let mut st = Stats::default();
+        h1.advance(&r, &mut s1, 1, &mut st);
+        h1.advance(&r, &mut s1, 2, &mut st);
+        h1.advance(&r, &mut s1, 3, &mut st);
+
+        let h2 = mk();
+        let mut s2 = RecordHashState::default();
+        h2.advance(&r, &mut s2, 3, &mut st);
+
+        let k1: Vec<_> = h1.keys(&s1, 3).collect();
+        let k2: Vec<_> = h2.keys(&s2, 3).collect();
+        assert_eq!(k1, k2);
+    }
+
+    #[test]
+    fn jump_equals_stepwise_for_multipart() {
+        // Two-part AND scheme: a record advanced 0→2 directly must agree
+        // with one advanced 0→1→2 (canonical fold order).
+        let rec = Record::new(vec![
+            FieldValue::Shingles(ShingleSet::new(vec![1, 2, 3])),
+            FieldValue::Shingles(ShingleSet::new(vec![9, 8])),
+        ]);
+        let levels = vec![
+            LevelScheme::Shared {
+                ws: vec![2, 1],
+                z: 2,
+            },
+            LevelScheme::Shared {
+                ws: vec![3, 2],
+                z: 4,
+            },
+        ];
+        let mk = || {
+            SequenceHasher::new(
+                vec![HashPart::shingles(0, 5), HashPart::shingles(1, 6)],
+                levels.clone(),
+            )
+        };
+        let mut st = Stats::default();
+        let h1 = mk();
+        let mut s1 = RecordHashState::default();
+        h1.advance(&rec, &mut s1, 1, &mut st);
+        h1.advance(&rec, &mut s1, 2, &mut st);
+        let h2 = mk();
+        let mut s2 = RecordHashState::default();
+        h2.advance(&rec, &mut s2, 2, &mut st);
+        assert_eq!(
+            h1.keys(&s1, 2).collect::<Vec<_>>(),
+            h2.keys(&s2, 2).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn incremental_saves_hash_evals() {
+        let r = shingle_record(&[1, 2, 3]);
+        let h = SequenceHasher::new(vec![HashPart::shingles(0, 11)], shared_levels());
+        let mut s = RecordHashState::default();
+        let mut st = Stats::default();
+        h.advance(&r, &mut s, 1, &mut st);
+        assert_eq!(st.hash_evals, 6, "level 1 = 2·3 evals");
+        h.advance(&r, &mut s, 2, &mut st);
+        // Level 2 = 4·5 = 20 cumulative ⇒ 14 new.
+        assert_eq!(st.hash_evals, 20);
+        h.advance(&r, &mut s, 3, &mut st);
+        // Level 3 = 4·9 = 36 cumulative ⇒ 16 new.
+        assert_eq!(st.hash_evals, 36);
+    }
+
+    #[test]
+    fn identical_records_share_all_keys() {
+        let a = shingle_record(&[10, 20, 30]);
+        let b = shingle_record(&[30, 10, 20]);
+        let h = SequenceHasher::new(vec![HashPart::shingles(0, 5)], shared_levels());
+        let mut st = Stats::default();
+        let (mut sa, mut sb) = (RecordHashState::default(), RecordHashState::default());
+        h.advance(&a, &mut sa, 2, &mut st);
+        h.advance(&b, &mut sb, 2, &mut st);
+        let ka: Vec<_> = h.keys(&sa, 2).collect();
+        let kb: Vec<_> = h.keys(&sb, 2).collect();
+        assert_eq!(ka, kb);
+    }
+
+    #[test]
+    fn distant_records_share_no_keys() {
+        let a = shingle_record(&(0..50).collect::<Vec<_>>());
+        let b = shingle_record(&(1000..1050).collect::<Vec<_>>());
+        let h = SequenceHasher::new(vec![HashPart::shingles(0, 5)], shared_levels());
+        let mut st = Stats::default();
+        let (mut sa, mut sb) = (RecordHashState::default(), RecordHashState::default());
+        h.advance(&a, &mut sa, 3, &mut st);
+        h.advance(&b, &mut sb, 3, &mut st);
+        let ka: Vec<u64> = h.keys(&sa, 3).map(|(_, k)| k).collect();
+        let kb: Vec<u64> = h.keys(&sb, 3).map(|(_, k)| k).collect();
+        assert!(ka.iter().zip(&kb).all(|(x, y)| x != y));
+    }
+
+    #[test]
+    fn dense_part_works_end_to_end() {
+        let a = dense_record(&[1.0, 0.1, -0.2, 0.5]);
+        let b = dense_record(&[1.0, 0.1, -0.2, 0.5]);
+        let h = SequenceHasher::new(
+            vec![HashPart::dense(0, 4, 3)],
+            vec![LevelScheme::Shared { ws: vec![3], z: 2 }],
+        );
+        let mut st = Stats::default();
+        let (mut sa, mut sb) = (RecordHashState::default(), RecordHashState::default());
+        h.advance(&a, &mut sa, 1, &mut st);
+        h.advance(&b, &mut sb, 1, &mut st);
+        assert_eq!(
+            h.keys(&sa, 1).collect::<Vec<_>>(),
+            h.keys(&sb, 1).collect::<Vec<_>>()
+        );
+        assert_eq!(st.hash_evals, 12);
+    }
+
+    #[test]
+    fn per_part_groups_are_independent() {
+        let schema_rec = Record::new(vec![
+            FieldValue::Shingles(ShingleSet::new(vec![1, 2, 3])),
+            FieldValue::Shingles(ShingleSet::new(vec![100, 200])),
+        ]);
+        let levels = vec![
+            LevelScheme::PerPart {
+                parts: vec![WzScheme::new(2, 2), WzScheme::new(1, 3)],
+            },
+            LevelScheme::PerPart {
+                parts: vec![WzScheme::new(2, 4), WzScheme::new(2, 3)],
+            },
+        ];
+        let h = SequenceHasher::new(
+            vec![HashPart::shingles(0, 1), HashPart::shingles(1, 2)],
+            levels,
+        );
+        let mut st = Stats::default();
+        let mut s = RecordHashState::default();
+        h.advance(&schema_rec, &mut s, 1, &mut st);
+        assert_eq!(st.hash_evals, 2 * 2 + 3);
+        let keys: Vec<_> = h.keys(&s, 1).collect();
+        assert_eq!(keys.len(), 5);
+        // Table tags must be unique.
+        let mut tags: Vec<u64> = keys.iter().map(|&(t, _)| t).collect();
+        tags.sort_unstable();
+        tags.dedup();
+        assert_eq!(tags.len(), 5);
+        h.advance(&schema_rec, &mut s, 2, &mut st);
+        assert_eq!(h.keys(&s, 2).count(), 7);
+    }
+
+    #[test]
+    fn weighted_part_hashes_by_selected_field() {
+        let rec = Record::new(vec![
+            FieldValue::Shingles(ShingleSet::new(vec![1, 2, 3])),
+            FieldValue::Shingles(ShingleSet::new(vec![4, 5])),
+        ]);
+        let part = HashPart::weighted(
+            &[
+                (0, FieldDistance::Jaccard, 0.5),
+                (1, FieldDistance::Jaccard, 0.5),
+            ],
+            &[0, 0],
+            9,
+        );
+        let h = SequenceHasher::new(
+            vec![part],
+            vec![LevelScheme::Shared { ws: vec![8], z: 2 }],
+        );
+        let mut st = Stats::default();
+        let mut s = RecordHashState::default();
+        h.advance(&rec, &mut s, 1, &mut st);
+        assert_eq!(st.hash_evals, 16);
+        assert_eq!(h.keys(&s, 1).count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "nondecreasing")]
+    fn shrinking_levels_rejected() {
+        let _ = SequenceHasher::new(
+            vec![HashPart::shingles(0, 1)],
+            vec![
+                LevelScheme::Shared { ws: vec![4], z: 4 },
+                LevelScheme::Shared { ws: vec![2], z: 8 },
+            ],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot move backwards")]
+    fn backwards_advance_rejected() {
+        let r = shingle_record(&[1]);
+        let h = SequenceHasher::new(vec![HashPart::shingles(0, 1)], shared_levels());
+        let mut s = RecordHashState::default();
+        let mut st = Stats::default();
+        h.advance(&r, &mut s, 2, &mut st);
+        s.level = 3; // simulate corruption
+        h.advance(&r, &mut s, 2, &mut st);
+    }
+}

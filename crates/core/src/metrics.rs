@@ -1,0 +1,246 @@
+//! Accuracy and performance metrics (paper §6.2).
+//!
+//! * **Set metrics** — Precision/Recall/F1 of the filtering output
+//!   against the gold record set `O*` (§2.1); "F1 Gold" when the gold is
+//!   the ground truth's top-k records, "F1 Target" when it is the
+//!   `Pairs` output (Appendix E.1).
+//! * **Ranked-cluster metrics** — mean Average Precision / Recall over
+//!   prefix unions of the size-ranked clusterings (§6.2.1's worked
+//!   example fixes the exact formula).
+//! * **Performance** — dataset-reduction percentage and the benchmark-ER
+//!   speedup model: `WholeTime / (FilteringTime + ReducedTime)` where the
+//!   benchmark ER computes all pairwise similarities, and the
+//!   with-recovery variant adds `RecoveryTime` for comparing every
+//!   excluded record against every output record.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::time::Duration;
+
+/// Precision / recall / F1 of an output record set against a gold set.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SetMetrics {
+    /// `|O ∩ O*| / |O|`.
+    pub precision: f64,
+    /// `|O ∩ O*| / |O*|`.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+}
+
+/// Computes set precision/recall/F1 (paper §2.1). Inputs need not be
+/// sorted; duplicates are ignored. Conventions: empty output ⇒ precision
+/// 1; empty gold ⇒ recall 1.
+pub fn set_metrics(output: &[u32], gold: &[u32]) -> SetMetrics {
+    let o: HashSet<u32> = output.iter().copied().collect();
+    let g: HashSet<u32> = gold.iter().copied().collect();
+    let inter = o.intersection(&g).count() as f64;
+    let precision = if o.is_empty() { 1.0 } else { inter / o.len() as f64 };
+    let recall = if g.is_empty() { 1.0 } else { inter / g.len() as f64 };
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    SetMetrics {
+        precision,
+        recall,
+        f1,
+    }
+}
+
+/// Mean Average Precision and Recall over ranked clusterings (§6.2.1).
+///
+/// Both clusterings are ranked by descending cluster size (callers
+/// usually already have them ranked; this function re-sorts defensively,
+/// breaking ties by smallest record id for determinism). For each prefix
+/// `i = 1..=k`: `Pᵢ = |Uᵢ ∩ U*ᵢ| / |Uᵢ|` and `Rᵢ = |Uᵢ ∩ U*ᵢ| / |U*ᵢ|`
+/// where `Uᵢ` is the union of the first `i` clusters. Missing prefixes
+/// (fewer than `k` clusters) contribute their last available union.
+pub fn map_mar(output: &[Vec<u32>], gold: &[Vec<u32>], k: usize) -> (f64, f64) {
+    assert!(k >= 1, "k must be positive");
+    let rank = |cs: &[Vec<u32>]| -> Vec<Vec<u32>> {
+        let mut sorted: Vec<Vec<u32>> = cs.to_vec();
+        for c in &mut sorted {
+            c.sort_unstable();
+        }
+        sorted.sort_by(|a, b| b.len().cmp(&a.len()).then_with(|| a.cmp(b)));
+        sorted
+    };
+    let out = rank(output);
+    let gld = rank(gold);
+    let mut u_out: HashSet<u32> = HashSet::new();
+    let mut u_gold: HashSet<u32> = HashSet::new();
+    let (mut sum_p, mut sum_r) = (0.0, 0.0);
+    for i in 0..k {
+        if let Some(c) = out.get(i) {
+            u_out.extend(c.iter().copied());
+        }
+        if let Some(c) = gld.get(i) {
+            u_gold.extend(c.iter().copied());
+        }
+        let inter = u_out.intersection(&u_gold).count() as f64;
+        sum_p += if u_out.is_empty() {
+            1.0
+        } else {
+            inter / u_out.len() as f64
+        };
+        sum_r += if u_gold.is_empty() {
+            1.0
+        } else {
+            inter / u_gold.len() as f64
+        };
+    }
+    (sum_p / k as f64, sum_r / k as f64)
+}
+
+/// Dataset-reduction percentage: `100 · |O| / |R|` (§6.2.2 — e.g. 100
+/// output records from 1000 is a 10% reduction figure).
+pub fn reduction_pct(output_records: usize, total_records: usize) -> f64 {
+    assert!(total_records > 0);
+    100.0 * output_records as f64 / total_records as f64
+}
+
+/// The benchmark-ER speedup model of §6.2.2.
+///
+/// `pair_cost` is the measured cost of one pairwise similarity (seconds);
+/// the benchmark ER algorithm computes all `n·(n−1)/2` similarities, and
+/// the benchmark recovery algorithm compares each of the `|O|` output
+/// records with each of the `n − |O|` excluded records.
+#[derive(Debug, Clone, Copy)]
+pub struct SpeedupModel {
+    /// Seconds per pairwise similarity.
+    pub pair_cost: f64,
+}
+
+impl SpeedupModel {
+    /// Benchmark ER time over `n` records.
+    pub fn er_time(&self, n: usize) -> f64 {
+        self.pair_cost * n as f64 * (n as f64 - 1.0) / 2.0
+    }
+
+    /// Benchmark recovery time: `|O| · (n − |O|)` comparisons.
+    pub fn recovery_time(&self, output: usize, n: usize) -> f64 {
+        assert!(output <= n);
+        self.pair_cost * output as f64 * (n - output) as f64
+    }
+
+    /// `Speedup w/o Recovery = WholeTime / (FilteringTime + ReducedTime)`.
+    pub fn speedup_without_recovery(
+        &self,
+        n: usize,
+        output: usize,
+        filtering: Duration,
+    ) -> f64 {
+        let whole = self.er_time(n);
+        whole / (filtering.as_secs_f64() + self.er_time(output))
+    }
+
+    /// `Speedup with Recovery = WholeTime / (FilteringTime + ReducedTime
+    /// + RecoveryTime)`.
+    pub fn speedup_with_recovery(&self, n: usize, output: usize, filtering: Duration) -> f64 {
+        let whole = self.er_time(n);
+        whole
+            / (filtering.as_secs_f64()
+                + self.er_time(output)
+                + self.recovery_time(output, n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_metrics_basic() {
+        let m = set_metrics(&[1, 2, 3, 4], &[3, 4, 5]);
+        assert!((m.precision - 0.5).abs() < 1e-12);
+        assert!((m.recall - 2.0 / 3.0).abs() < 1e-12);
+        let f1 = 2.0 * 0.5 * (2.0 / 3.0) / (0.5 + 2.0 / 3.0);
+        assert!((m.f1 - f1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn set_metrics_perfect_and_disjoint() {
+        let p = set_metrics(&[1, 2], &[1, 2]);
+        assert_eq!((p.precision, p.recall, p.f1), (1.0, 1.0, 1.0));
+        let d = set_metrics(&[1], &[2]);
+        assert_eq!((d.precision, d.recall, d.f1), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn set_metrics_handles_duplicates_and_empties() {
+        let m = set_metrics(&[1, 1, 2], &[1, 2]);
+        assert_eq!(m.precision, 1.0);
+        let e = set_metrics(&[], &[1]);
+        assert_eq!(e.precision, 1.0);
+        assert_eq!(e.recall, 0.0);
+    }
+
+    #[test]
+    fn map_mar_paper_worked_example() {
+        // §6.2.1: C = {{a,b,c,f},{e}}, C* = {{a,b,c},{e,g}} with k = 2
+        // ⇒ mAP = (3/4 + 4/5)/2 = 0.775, mAR = (1 + 4/5)/2 = 0.9.
+        // Encode: a=0, b=1, c=2, f=3, e=4, g=5.
+        let output = vec![vec![0, 1, 2, 3], vec![4]];
+        let gold = vec![vec![0, 1, 2], vec![4, 5]];
+        let (map, mar) = map_mar(&output, &gold, 2);
+        assert!((map - 0.775).abs() < 1e-12, "mAP {map}");
+        assert!((mar - 0.9).abs() < 1e-12, "mAR {mar}");
+    }
+
+    #[test]
+    fn map_mar_perfect_match() {
+        let cs = vec![vec![0, 1, 2], vec![3, 4]];
+        let (map, mar) = map_mar(&cs, &cs, 2);
+        assert_eq!((map, mar), (1.0, 1.0));
+    }
+
+    #[test]
+    fn map_mar_ranks_by_size() {
+        // Give clusters out of order: ranking must fix it.
+        let output = vec![vec![9], vec![0, 1, 2]];
+        let gold = vec![vec![0, 1, 2], vec![9]];
+        let (map, mar) = map_mar(&output, &gold, 2);
+        assert_eq!((map, mar), (1.0, 1.0));
+    }
+
+    #[test]
+    fn map_mar_fewer_clusters_than_k() {
+        let output = vec![vec![0, 1]];
+        let gold = vec![vec![0, 1], vec![2]];
+        let (map, mar) = map_mar(&output, &gold, 2);
+        // Prefix 1: P = 1, R = 1. Prefix 2: U = {0,1}, U* = {0,1,2}:
+        // P = 1, R = 2/3.
+        assert!((map - 1.0).abs() < 1e-12);
+        assert!((mar - (1.0 + 2.0 / 3.0) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reduction_percentage() {
+        assert!((reduction_pct(100, 1000) - 10.0).abs() < 1e-12);
+        assert!((reduction_pct(0, 10) - 0.0).abs() < 1e-12);
+        assert!((reduction_pct(10, 10) - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_model_arithmetic() {
+        let m = SpeedupModel { pair_cost: 1e-6 };
+        // n = 1000: whole = 499500 µs.
+        assert!((m.er_time(1000) - 0.4995).abs() < 1e-9);
+        assert!((m.recovery_time(100, 1000) - 0.09).abs() < 1e-12);
+        // Filtering free, output 100 ⇒ speedup = 499500/4950 ≈ 100.9.
+        let s = m.speedup_without_recovery(1000, 100, Duration::ZERO);
+        assert!((s - 0.4995 / 0.004_95).abs() < 1e-6);
+        let sr = m.speedup_with_recovery(1000, 100, Duration::ZERO);
+        assert!(sr < s, "recovery time can only reduce the speedup");
+    }
+
+    #[test]
+    fn speedup_accounts_for_filtering_time() {
+        let m = SpeedupModel { pair_cost: 1e-6 };
+        let fast = m.speedup_without_recovery(1000, 100, Duration::ZERO);
+        let slow = m.speedup_without_recovery(1000, 100, Duration::from_secs(1));
+        assert!(slow < fast);
+    }
+}

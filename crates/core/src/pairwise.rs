@@ -1,0 +1,187 @@
+//! The pairwise computation function `P` (paper Definition 2,
+//! Appendix B.3).
+//!
+//! `P` evaluates the match rule on record pairs of a cluster and outputs
+//! the connected components of the resulting match graph. Two
+//! optimizations from §6.1.1 are built in:
+//!
+//! * pairs already connected transitively are skipped (their trees share
+//!   a root), saving their distance computations;
+//! * components are maintained in the same parent-pointer [`Forest`] the
+//!   hashing functions use.
+//!
+//! The *cost model* nevertheless charges `P` for all `|C|·(|C|−1)/2`
+//! pairs (paper Definition 3 is conservative; see Appendix B.3's remark).
+
+use adalsh_data::{Dataset, MatchRule};
+
+use crate::ppt::Forest;
+use crate::stats::Stats;
+
+/// Applies `P` to `cluster` (record ids) under `rule`, returning the
+/// connected components as record-id lists.
+pub fn apply_pairwise(
+    dataset: &Dataset,
+    rule: &MatchRule,
+    cluster: &[u32],
+    stats: &mut Stats,
+) -> Vec<Vec<u32>> {
+    stats.pairwise_calls += 1;
+    let n = cluster.len();
+    let mut forest = Forest::new(n);
+    for slot in 0..n as u32 {
+        forest.add_singleton(slot);
+    }
+    let per_pair_distances = rule.num_elementary_distances() as u64;
+    for i in 0..n as u32 {
+        for j in (i + 1)..n as u32 {
+            let ri = forest.find_root_of_slot(i).expect("added above");
+            let rj = forest.find_root_of_slot(j).expect("added above");
+            if ri == rj {
+                // Transitively closed already — skip the comparison.
+                continue;
+            }
+            stats.pair_comparisons += 1;
+            stats.distance_evals += per_pair_distances;
+            let a = dataset.record(cluster[i as usize]);
+            let b = dataset.record(cluster[j as usize]);
+            if rule.matches(a, b) {
+                forest.merge_roots(ri, rj);
+            }
+        }
+    }
+    forest
+        .clusters()
+        .into_iter()
+        .map(|slots| slots.into_iter().map(|s| cluster[s as usize]).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adalsh_data::{FieldDistance, FieldKind, FieldValue, Record, Schema, ShingleSet};
+
+    fn dataset(sets: &[&[u64]]) -> Dataset {
+        let schema = Schema::single("s", FieldKind::Shingles);
+        let records = sets
+            .iter()
+            .map(|s| Record::single(FieldValue::Shingles(ShingleSet::new(s.to_vec()))))
+            .collect();
+        let gt = (0..sets.len() as u32).collect();
+        Dataset::new(schema, records, gt)
+    }
+
+    fn jaccard_rule(dthr: f64) -> MatchRule {
+        MatchRule::threshold(0, FieldDistance::Jaccard, dthr)
+    }
+
+    fn sorted(mut clusters: Vec<Vec<u32>>) -> Vec<Vec<u32>> {
+        clusters.iter_mut().for_each(|c| c.sort_unstable());
+        clusters.sort();
+        clusters
+    }
+
+    #[test]
+    fn exact_components() {
+        // 0~1 (sim 0.5), 2 far from both.
+        let d = dataset(&[&[1, 2, 3, 4], &[3, 4, 5, 6], &[100, 200]]);
+        let mut st = Stats::default();
+        let out = apply_pairwise(&d, &jaccard_rule(0.7), &[0, 1, 2], &mut st);
+        assert_eq!(sorted(out), vec![vec![0, 1], vec![2]]);
+        assert_eq!(st.pairwise_calls, 1);
+    }
+
+    #[test]
+    fn transitivity_via_middle_record() {
+        // 0~1 and 1~2 but 0 and 2 are beyond the threshold: one component
+        // by transitivity (paper §3's transitivity discussion).
+        let d = dataset(&[&[1, 2, 3], &[2, 3, 4], &[3, 4, 5]]);
+        // d(0,1) = 1 − 2/4 = 0.5; d(0,2) = 1 − 1/5 = 0.8.
+        let mut st = Stats::default();
+        let out = apply_pairwise(&d, &jaccard_rule(0.5), &[0, 1, 2], &mut st);
+        assert_eq!(sorted(out), vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn skips_transitively_closed_pairs() {
+        // Four identical records: after 0-1, 0-2, 0-3 merge, pairs (1,2),
+        // (1,3), (2,3) are closed ⇒ only 3 of 6 comparisons run.
+        let d = dataset(&[&[1], &[1], &[1], &[1]]);
+        let mut st = Stats::default();
+        let out = apply_pairwise(&d, &jaccard_rule(0.1), &[0, 1, 2, 3], &mut st);
+        assert_eq!(out.len(), 1);
+        assert_eq!(st.pair_comparisons, 3);
+    }
+
+    #[test]
+    fn all_far_pairs_compare_everything() {
+        let d = dataset(&[&[1], &[2], &[3], &[4]]);
+        let mut st = Stats::default();
+        let out = apply_pairwise(&d, &jaccard_rule(0.1), &[0, 1, 2, 3], &mut st);
+        assert_eq!(out.len(), 4);
+        assert_eq!(st.pair_comparisons, 6);
+        assert_eq!(st.distance_evals, 6);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let d = dataset(&[&[1]]);
+        let mut st = Stats::default();
+        let out = apply_pairwise(&d, &jaccard_rule(0.5), &[], &mut st);
+        assert!(out.is_empty());
+        let out = apply_pairwise(&d, &jaccard_rule(0.5), &[0], &mut st);
+        assert_eq!(out, vec![vec![0]]);
+        assert_eq!(st.pair_comparisons, 0);
+    }
+
+    #[test]
+    fn respects_record_id_indirection() {
+        // The cluster lists non-contiguous record ids.
+        let d = dataset(&[&[1, 2], &[99], &[1, 2]]);
+        let mut st = Stats::default();
+        let out = apply_pairwise(&d, &jaccard_rule(0.2), &[2, 0], &mut st);
+        assert_eq!(sorted(out), vec![vec![0, 2]]);
+    }
+
+    #[test]
+    fn multifield_rule_distance_accounting() {
+        use adalsh_data::rule::WeightedPart;
+        let schema = Schema::new(vec![
+            ("a", FieldKind::Shingles),
+            ("b", FieldKind::Shingles),
+        ]);
+        let rec = |x: &[u64], y: &[u64]| {
+            Record::new(vec![
+                FieldValue::Shingles(ShingleSet::new(x.to_vec())),
+                FieldValue::Shingles(ShingleSet::new(y.to_vec())),
+            ])
+        };
+        let d = Dataset::new(
+            schema,
+            vec![rec(&[1], &[2]), rec(&[1], &[2]), rec(&[9], &[9])],
+            vec![0, 0, 1],
+        );
+        let rule = MatchRule::WeightedAverage {
+            parts: vec![
+                WeightedPart {
+                    field: 0,
+                    metric: FieldDistance::Jaccard,
+                    weight: 0.5,
+                },
+                WeightedPart {
+                    field: 1,
+                    metric: FieldDistance::Jaccard,
+                    weight: 0.5,
+                },
+            ],
+            dthr: 0.2,
+        };
+        let mut st = Stats::default();
+        let out = apply_pairwise(&d, &rule, &[0, 1, 2], &mut st);
+        assert_eq!(sorted(out), vec![vec![0, 1], vec![2]]);
+        // 3 comparisons × 2 elementary distances each.
+        assert_eq!(st.pair_comparisons, 3);
+        assert_eq!(st.distance_evals, 6);
+    }
+}

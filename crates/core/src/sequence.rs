@@ -1,0 +1,554 @@
+//! Designing the function sequence `H₁ … H_L` (paper §5).
+//!
+//! §5.2's two budget-selection strategies pick each function's total
+//! hash-function budget; §5.1's Program (1)–(3) (and the Appendix-C
+//! generalizations) pick the `(w, z)` shape for that budget. The designer
+//! here walks a [`adalsh_data::MatchRule`], derives the elementary hash
+//! parts, and solves the right program per level — threading the
+//! monotonicity constraints `wᵢ ≤ wᵢ₊₁`, `zᵢ ≤ zᵢ₊₁` (§4.1 /
+//! Appendix C.1's `w ≥ w′, u ≥ u′`) through so incremental computation
+//! stays valid.
+//!
+//! Supported rule shapes (everything the paper's experiments use, and the
+//! Appendix-C.4 combination of a weighted average under an AND):
+//!
+//! * `Threshold` — single-field scheme;
+//! * `WeightedAverage` — single scheme over a Definition-7 part;
+//! * `And([...])` of thresholds/weighted averages — shared-table scheme;
+//! * `Or([a, b])` of two thresholds/weighted averages — per-part tables.
+
+use adalsh_data::{FieldDistance, MatchRule, Schema};
+use adalsh_lsh::mix::derive_seed;
+use adalsh_lsh::multifield::{optimize_and2, optimize_or2, FieldSpec};
+use adalsh_lsh::scheme::WzScheme;
+
+use crate::hashing::{HashPart, LevelScheme};
+
+/// §5.2 budget-selection strategies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetStrategy {
+    /// Budget multiplies by `factor` per level (`start, start·f, …`).
+    /// The paper's default: start 20, factor 2.
+    Exponential {
+        /// Budget of `H₁`.
+        start: u64,
+        /// Per-level multiplier.
+        factor: u64,
+    },
+    /// Budget grows by a constant `step` (`step, 2·step, 3·step, …`).
+    Linear {
+        /// Budget of `H₁` and the per-level increment.
+        step: u64,
+    },
+}
+
+impl BudgetStrategy {
+    /// The paper's default mode: Exponential starting at 20 hash
+    /// functions, doubling each level (§6.1.1).
+    pub fn default_exponential() -> Self {
+        BudgetStrategy::Exponential {
+            start: 20,
+            factor: 2,
+        }
+    }
+
+    /// Budget of sequence function `Hᵢ` (`i` is 1-based).
+    ///
+    /// # Panics
+    /// Panics if `i == 0`.
+    pub fn budget(&self, i: usize) -> u64 {
+        assert!(i >= 1, "levels are 1-based");
+        match *self {
+            BudgetStrategy::Exponential { start, factor } => {
+                start.saturating_mul(factor.saturating_pow(i as u32 - 1))
+            }
+            BudgetStrategy::Linear { step } => step.saturating_mul(i as u64),
+        }
+    }
+}
+
+/// Designer inputs beyond the rule itself.
+#[derive(Debug, Clone, Copy)]
+pub struct SequenceSpec {
+    /// Constraint-(3) slack `ε` (paper Example 5 uses 0.001).
+    pub epsilon: f64,
+    /// Budget schedule.
+    pub strategy: BudgetStrategy,
+    /// Design levels until the budget reaches/exceeds this value.
+    pub max_budget: u64,
+    /// Seed for the hash parts.
+    pub seed: u64,
+}
+
+impl Default for SequenceSpec {
+    fn default() -> Self {
+        Self {
+            epsilon: 1e-3,
+            strategy: BudgetStrategy::default_exponential(),
+            max_budget: 2560,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// A designed sequence: the elementary parts and per-level schemes, ready
+/// for [`crate::hashing::SequenceHasher::new`].
+#[derive(Debug)]
+pub struct DesignedSequence {
+    /// Elementary hash sources, one per rule part.
+    pub parts: Vec<HashPart>,
+    /// Scheme of every sequence function, in order.
+    pub levels: Vec<LevelScheme>,
+}
+
+/// Normalized view of the rule for scheme design.
+enum RuleShape {
+    /// One elementary part with one threshold.
+    Single { dthr: f64 },
+    /// Shared tables over several parts (AND rule), per-part thresholds.
+    And { dthrs: Vec<f64> },
+    /// Per-part tables (OR rule), per-part thresholds.
+    Or { dthrs: Vec<f64> },
+}
+
+fn linear_p(x: f64) -> f64 {
+    1.0 - x
+}
+
+/// Designs the sequence for `rule` against `schema`.
+///
+/// `dense_dims[f]` must give the vector dimension of every dense field
+/// `f` referenced by the rule (ignored entries may be 0).
+pub fn design(
+    rule: &MatchRule,
+    schema: &Schema,
+    dense_dims: &[usize],
+    spec: &SequenceSpec,
+) -> Result<DesignedSequence, String> {
+    rule.validate(schema)?;
+
+    // Leaf-part builder with resolved dims.
+    let build_leaf = |r: &MatchRule, seed: u64| -> Result<(HashPart, f64), String> {
+        match r {
+            MatchRule::Threshold {
+                field,
+                metric: FieldDistance::Angular,
+                dthr,
+            } => {
+                let dim = *dense_dims
+                    .get(*field)
+                    .filter(|&&d| d > 0)
+                    .ok_or_else(|| format!("missing dense dim for field {field}"))?;
+                Ok((HashPart::dense(*field, dim, seed), *dthr))
+            }
+            MatchRule::Threshold {
+                field,
+                metric: FieldDistance::Jaccard,
+                dthr,
+            } => Ok((HashPart::shingles(*field, seed), *dthr)),
+            MatchRule::WeightedAverage { parts, dthr } => {
+                let comps: Vec<(usize, FieldDistance, f64)> = parts
+                    .iter()
+                    .map(|p| (p.field, p.metric, p.weight))
+                    .collect();
+                let dims: Vec<usize> = parts
+                    .iter()
+                    .map(|p| dense_dims.get(p.field).copied().unwrap_or(0))
+                    .collect();
+                Ok((HashPart::weighted(&comps, &dims, seed), *dthr))
+            }
+            other => Err(format!("not a leaf rule: {other:?}")),
+        }
+    };
+
+    // Normalize the rule shape.
+    let (parts, shape): (Vec<HashPart>, RuleShape) = match rule {
+        MatchRule::Threshold { .. } | MatchRule::WeightedAverage { .. } => {
+            let (part, dthr) = build_leaf(rule, derive_seed(spec.seed, 0))?;
+            (vec![part], RuleShape::Single { dthr })
+        }
+        MatchRule::And(children) => {
+            let mut parts = Vec::new();
+            let mut dthrs = Vec::new();
+            for (i, child) in children.iter().enumerate() {
+                let (part, dthr) = build_leaf(child, derive_seed(spec.seed, i as u64))?;
+                parts.push(part);
+                dthrs.push(dthr);
+            }
+            if parts.len() == 1 {
+                (parts, RuleShape::Single { dthr: dthrs[0] })
+            } else if parts.len() == 2 {
+                (parts, RuleShape::And { dthrs })
+            } else {
+                return Err("AND rules with more than two parts are not supported; \
+                            combine fields with a weighted average first (Appendix C.4)"
+                    .into());
+            }
+        }
+        MatchRule::Or(children) => {
+            let mut parts = Vec::new();
+            let mut dthrs = Vec::new();
+            for (i, child) in children.iter().enumerate() {
+                let (part, dthr) = build_leaf(child, derive_seed(spec.seed, i as u64))?;
+                parts.push(part);
+                dthrs.push(dthr);
+            }
+            if parts.len() == 1 {
+                (parts, RuleShape::Single { dthr: dthrs[0] })
+            } else if parts.len() == 2 {
+                (parts, RuleShape::Or { dthrs })
+            } else {
+                return Err("OR rules with more than two parts are not supported".into());
+            }
+        }
+    };
+
+    // Walk the budget schedule.
+    let mut levels: Vec<LevelScheme> = Vec::new();
+    let mut i = 1usize;
+    loop {
+        let budget = spec.strategy.budget(i);
+        let scheme = match &shape {
+            RuleShape::Single { dthr } => {
+                let (min_w, min_z) = match levels.last() {
+                    Some(LevelScheme::Shared { ws, z }) => (ws[0], *z),
+                    _ => (1, 1),
+                };
+                single_scheme_le(budget, *dthr, spec.epsilon, min_w, min_z)
+                    .map(|s| LevelScheme::Shared {
+                        ws: vec![s.w],
+                        z: s.z,
+                    })
+            }
+            RuleShape::And { dthrs } => {
+                let (min_ws, min_z) = match levels.last() {
+                    Some(LevelScheme::Shared { ws, z }) => ([ws[0], ws[1]], *z),
+                    _ => ([1, 1], 1),
+                };
+                let fields = [
+                    FieldSpec {
+                        dthr: dthrs[0],
+                        p: &linear_p,
+                    },
+                    FieldSpec {
+                        dthr: dthrs[1],
+                        p: &linear_p,
+                    },
+                ];
+                // Program (4)–(6) needs (w+u) | budget; if the exact budget
+                // is unlucky, retreat a little.
+                let mut found = None;
+                let floor = levels
+                    .last()
+                    .map(|l| l.budget() + 1)
+                    .unwrap_or(2)
+                    .max(budget.saturating_sub(budget / 8));
+                let mut b = budget;
+                while b >= floor {
+                    if let Some(s) = optimize_and2(b, &fields, spec.epsilon, min_ws, min_z) {
+                        found = Some(LevelScheme::Shared { ws: s.ws, z: s.z });
+                        break;
+                    }
+                    b -= 1;
+                }
+                found
+            }
+            RuleShape::Or { dthrs } => {
+                match levels.last() {
+                    None => {
+                        // First level: full Program (7)–(10) search.
+                        let fields = [
+                            FieldSpec {
+                                dthr: dthrs[0],
+                                p: &linear_p,
+                            },
+                            FieldSpec {
+                                dthr: dthrs[1],
+                                p: &linear_p,
+                            },
+                        ];
+                        optimize_or2(budget, &fields, spec.epsilon, [(1, 1), (1, 1)])
+                            .map(|s| LevelScheme::PerPart { parts: s.parts })
+                    }
+                    Some(LevelScheme::PerPart { parts: prev }) => {
+                        // Later levels: keep the budget split proportional
+                        // to the first level's and grow each part under
+                        // its own monotonicity constraints.
+                        let prev_total: u64 = prev.iter().map(WzScheme::budget).sum();
+                        let mut grown = Vec::with_capacity(prev.len());
+                        for (p, prev_s) in prev.iter().enumerate() {
+                            let share = (budget as f64 * prev_s.budget() as f64
+                                / prev_total as f64)
+                                .round() as u64;
+                            let s = single_scheme_le(
+                                share.max(prev_s.budget()),
+                                dthrs[p],
+                                spec.epsilon,
+                                prev_s.w,
+                                prev_s.z,
+                            );
+                            match s {
+                                Some(s) => grown.push(s),
+                                None => {
+                                    grown.clear();
+                                    break;
+                                }
+                            }
+                        }
+                        (!grown.is_empty()).then_some(LevelScheme::PerPart { parts: grown })
+                    }
+                    Some(LevelScheme::Shared { .. }) => unreachable!("shape is uniform"),
+                }
+            }
+        };
+        match scheme {
+            Some(s) => {
+                if let Some(prev) = levels.last() {
+                    debug_assert!(s.extends(prev), "designer produced a shrinking level");
+                }
+                levels.push(s);
+            }
+            None if levels.is_empty() => {
+                // H₁'s budget can be too small to satisfy constraint (3);
+                // skip ahead to the first feasible budget.
+                if budget > spec.max_budget {
+                    return Err(format!(
+                        "no feasible scheme up to max_budget {}",
+                        spec.max_budget
+                    ));
+                }
+            }
+            None => {
+                return Err(format!(
+                    "level {i} (budget {budget}) became infeasible after a feasible prefix"
+                ));
+            }
+        }
+        if budget >= spec.max_budget {
+            break;
+        }
+        i += 1;
+    }
+    if levels.is_empty() {
+        return Err("empty sequence design".into());
+    }
+    Ok(DesignedSequence { parts, levels })
+}
+
+/// Largest feasible `w` with `z = ⌊budget/w⌋`, honoring `w ≥ min_w`,
+/// `z ≥ min_z` — the §5.1 selection adapted to the `w·z ≤ budget` form
+/// (monotonicity-safe for any budget schedule).
+fn single_scheme_le(
+    budget: u64,
+    dthr: f64,
+    epsilon: f64,
+    min_w: u32,
+    min_z: u32,
+) -> Option<WzScheme> {
+    let p_thr = linear_p(dthr);
+    let feasible = |w: u32, z: u32| -> bool {
+        1.0 - (1.0 - p_thr.powi(w as i32)).powi(z as i32) >= 1.0 - epsilon
+    };
+    let mut best: Option<WzScheme> = None;
+    let mut w = min_w.max(1);
+    while u64::from(w) <= budget {
+        let z = (budget / u64::from(w)) as u32;
+        if z < min_z.max(1) {
+            break;
+        }
+        if !feasible(w, z) {
+            break; // monotone: larger w only gets worse
+        }
+        best = Some(WzScheme::new(w, z));
+        w += 1;
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adalsh_data::FieldKind;
+
+    fn shingle_schema() -> Schema {
+        Schema::single("s", FieldKind::Shingles)
+    }
+
+    #[test]
+    fn exponential_budgets() {
+        let s = BudgetStrategy::default_exponential();
+        assert_eq!(s.budget(1), 20);
+        assert_eq!(s.budget(2), 40);
+        assert_eq!(s.budget(3), 80);
+        assert_eq!(s.budget(5), 320);
+    }
+
+    #[test]
+    fn linear_budgets() {
+        let s = BudgetStrategy::Linear { step: 100 };
+        assert_eq!(s.budget(1), 100);
+        assert_eq!(s.budget(2), 200);
+        assert_eq!(s.budget(3), 300);
+    }
+
+    #[test]
+    fn single_field_design_monotone() {
+        let rule = MatchRule::threshold(0, FieldDistance::Jaccard, 0.4);
+        let spec = SequenceSpec {
+            max_budget: 640,
+            ..SequenceSpec::default()
+        };
+        let d = design(&rule, &shingle_schema(), &[0], &spec).expect("design");
+        assert!(d.levels.len() >= 4, "20→640 doubles at least 5 times");
+        for pair in d.levels.windows(2) {
+            assert!(pair[1].extends(&pair[0]));
+            assert!(pair[1].budget() > pair[0].budget());
+        }
+        // Budgets approximately follow the schedule (≤ budget, ≥ 3/4).
+        for (i, lvl) in d.levels.iter().enumerate() {
+            let target = spec.strategy.budget(i + 1);
+            assert!(lvl.budget() <= target);
+            assert!(lvl.budget() * 4 >= target * 3, "budget underuse at {i}");
+        }
+    }
+
+    #[test]
+    fn later_levels_are_sharper() {
+        // w must grow along the sequence for a Jaccard threshold of 0.4.
+        let rule = MatchRule::threshold(0, FieldDistance::Jaccard, 0.4);
+        let spec = SequenceSpec {
+            max_budget: 1280,
+            ..SequenceSpec::default()
+        };
+        let d = design(&rule, &shingle_schema(), &[0], &spec).unwrap();
+        let first_w = match &d.levels[0] {
+            LevelScheme::Shared { ws, .. } => ws[0],
+            _ => unreachable!(),
+        };
+        let last_w = match d.levels.last().unwrap() {
+            LevelScheme::Shared { ws, .. } => ws[0],
+            _ => unreachable!(),
+        };
+        assert!(last_w > first_w, "{first_w} vs {last_w}");
+    }
+
+    #[test]
+    fn and_rule_design() {
+        let schema = Schema::new(vec![
+            ("a", FieldKind::Shingles),
+            ("b", FieldKind::Shingles),
+        ]);
+        let rule = MatchRule::And(vec![
+            MatchRule::threshold(0, FieldDistance::Jaccard, 0.3),
+            MatchRule::threshold(1, FieldDistance::Jaccard, 0.8),
+        ]);
+        let spec = SequenceSpec {
+            max_budget: 320,
+            ..SequenceSpec::default()
+        };
+        let d = design(&rule, &schema, &[0, 0], &spec).expect("design");
+        assert_eq!(d.parts.len(), 2);
+        for lvl in &d.levels {
+            match lvl {
+                LevelScheme::Shared { ws, z } => {
+                    assert_eq!(ws.len(), 2);
+                    assert!(*z >= 1);
+                }
+                _ => panic!("AND must use shared tables"),
+            }
+        }
+        for pair in d.levels.windows(2) {
+            assert!(pair[1].extends(&pair[0]));
+        }
+    }
+
+    #[test]
+    fn or_rule_design() {
+        let schema = Schema::new(vec![
+            ("a", FieldKind::Shingles),
+            ("b", FieldKind::Shingles),
+        ]);
+        let rule = MatchRule::Or(vec![
+            MatchRule::threshold(0, FieldDistance::Jaccard, 0.3),
+            MatchRule::threshold(1, FieldDistance::Jaccard, 0.2),
+        ]);
+        let spec = SequenceSpec {
+            max_budget: 320,
+            ..SequenceSpec::default()
+        };
+        let d = design(&rule, &schema, &[0, 0], &spec).expect("design");
+        for lvl in &d.levels {
+            assert!(matches!(lvl, LevelScheme::PerPart { parts } if parts.len() == 2));
+        }
+        for pair in d.levels.windows(2) {
+            assert!(pair[1].extends(&pair[0]));
+        }
+    }
+
+    #[test]
+    fn weighted_average_design() {
+        use adalsh_data::rule::WeightedPart;
+        let schema = Schema::new(vec![
+            ("a", FieldKind::Shingles),
+            ("b", FieldKind::Shingles),
+        ]);
+        let rule = MatchRule::WeightedAverage {
+            parts: vec![
+                WeightedPart {
+                    field: 0,
+                    metric: FieldDistance::Jaccard,
+                    weight: 0.5,
+                },
+                WeightedPart {
+                    field: 1,
+                    metric: FieldDistance::Jaccard,
+                    weight: 0.5,
+                },
+            ],
+            dthr: 0.3,
+        };
+        let spec = SequenceSpec {
+            max_budget: 160,
+            ..SequenceSpec::default()
+        };
+        let d = design(&rule, &schema, &[0, 0], &spec).expect("design");
+        assert_eq!(d.parts.len(), 1, "weighted average is one part");
+        assert!(matches!(d.parts[0], HashPart::Weighted { .. }));
+    }
+
+    #[test]
+    fn angular_rule_needs_dims() {
+        let schema = Schema::single("v", FieldKind::Dense);
+        let rule = MatchRule::threshold(0, FieldDistance::Angular, 3.0 / 180.0);
+        let spec = SequenceSpec::default();
+        assert!(design(&rule, &schema, &[0], &spec).is_err());
+        let d = design(&rule, &schema, &[64], &spec).expect("with dims");
+        assert!(!d.levels.is_empty());
+    }
+
+    #[test]
+    fn three_part_and_rejected() {
+        let schema = Schema::new(vec![
+            ("a", FieldKind::Shingles),
+            ("b", FieldKind::Shingles),
+            ("c", FieldKind::Shingles),
+        ]);
+        let rule = MatchRule::And(vec![
+            MatchRule::threshold(0, FieldDistance::Jaccard, 0.3),
+            MatchRule::threshold(1, FieldDistance::Jaccard, 0.3),
+            MatchRule::threshold(2, FieldDistance::Jaccard, 0.3),
+        ]);
+        assert!(design(&rule, &schema, &[0, 0, 0], &SequenceSpec::default()).is_err());
+    }
+
+    #[test]
+    fn single_scheme_le_respects_bounds() {
+        let s = single_scheme_le(100, 0.4, 0.01, 2, 5).unwrap();
+        assert!(s.w >= 2 && s.z >= 5);
+        assert!(s.budget() <= 100);
+        // Infeasible when min_z forces too few functions per table…
+        // actually min_z large keeps z high which HELPS feasibility; an
+        // infeasible case is a tiny budget with strict epsilon:
+        assert!(single_scheme_le(2, 0.5, 1e-12, 1, 1).is_none());
+    }
+}

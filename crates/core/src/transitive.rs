@@ -1,0 +1,287 @@
+//! Transitive hashing functions (paper Definition 1, Appendix B.2).
+//!
+//! Applying sequence function `Hᵢ` to a cluster `S` hashes every record
+//! of `S` into `Hᵢ`'s tables and outputs one cluster per connected
+//! component of the "shared a bucket" graph. Tables are **fresh per
+//! invocation** (Appendix B.2) so clusters from different invocations can
+//! never merge. Components are maintained with the parent-pointer
+//! [`Forest`] using the four insertion cases of Figure 19:
+//!
+//! 1. bucket empty, record not yet in a tree → new singleton tree;
+//! 2. bucket empty, record already in a tree → just record the occupant;
+//! 3. bucket occupied, record not in a tree → attach the record as a new
+//!    leaf of the occupant's tree;
+//! 4. bucket occupied, record in a tree → merge the two trees under a new
+//!    root (no-op if they are already the same tree).
+//!
+//! Bucket lookup starts from the record *last added* to the bucket — its
+//! root path is the shortest (Appendix B.2) — which the map realizes by
+//! always storing the most recent record per bucket.
+
+use std::collections::HashMap;
+
+use adalsh_data::Dataset;
+use adalsh_lsh::mix::combine;
+
+use crate::hashing::{RecordHashState, SequenceHasher};
+use crate::ppt::Forest;
+use crate::stats::Stats;
+
+/// Applies sequence function `H_to_level` to `cluster` (record ids),
+/// advancing each record's incremental hash state as needed, and returns
+/// the output clusters (record-id lists).
+///
+/// # Panics
+/// Panics if `to_level` is out of range for the hasher or any record's
+/// state is ahead of `to_level`.
+pub fn apply_transitive(
+    hasher: &SequenceHasher,
+    states: &mut [RecordHashState],
+    dataset: &Dataset,
+    cluster: &[u32],
+    to_level: usize,
+    stats: &mut Stats,
+) -> Vec<Vec<u32>> {
+    apply_transitive_threaded(hasher, states, dataset, cluster, to_level, 1, stats)
+}
+
+/// Like [`apply_transitive`], hashing records on up to `threads` worker
+/// threads. Hash evaluation is embarrassingly parallel (each record's
+/// state is independent and the hasher is immutable after construction);
+/// bucket insertion and cluster maintenance stay sequential — they are a
+/// small fraction of the work for any non-trivial scheme. Output and
+/// statistics are identical to the sequential path.
+pub fn apply_transitive_threaded(
+    hasher: &SequenceHasher,
+    states: &mut [RecordHashState],
+    dataset: &Dataset,
+    cluster: &[u32],
+    to_level: usize,
+    threads: usize,
+    stats: &mut Stats,
+) -> Vec<Vec<u32>> {
+    stats.transitive_calls += 1;
+
+    // Phase 1: advance every record's hash state to `to_level`.
+    let threads = threads.max(1).min(cluster.len().max(1));
+    if threads == 1 || cluster.len() < 64 {
+        for &rid in cluster {
+            hasher.advance(dataset.record(rid), &mut states[rid as usize], to_level, stats);
+        }
+    } else {
+        // Pull the touched states out so each worker owns a disjoint
+        // chunk; put them back afterwards.
+        let mut owned: Vec<(u32, RecordHashState)> = cluster
+            .iter()
+            .map(|&rid| (rid, std::mem::take(&mut states[rid as usize])))
+            .collect();
+        let chunk = owned.len().div_ceil(threads);
+        let per_thread: Vec<Stats> = crossbeam_utils::thread::scope(|scope| {
+            let handles: Vec<_> = owned
+                .chunks_mut(chunk)
+                .map(|chunk| {
+                    scope.spawn(move |_| {
+                        let mut local = Stats::default();
+                        for (rid, state) in chunk {
+                            hasher.advance(dataset.record(*rid), state, to_level, &mut local);
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("hash worker panicked"))
+                .collect()
+        })
+        .expect("thread scope");
+        for s in &per_thread {
+            stats.merge(s);
+        }
+        for (rid, state) in owned {
+            states[rid as usize] = state;
+        }
+    }
+
+    // Phase 2: bucket insertion and component maintenance (sequential).
+    let mut forest = Forest::new(cluster.len());
+    // Fresh tables for this invocation: bucket → last-added record slot.
+    let mut buckets: HashMap<u64, u32> = HashMap::with_capacity(cluster.len() * 2);
+
+    for (slot, &rid) in cluster.iter().enumerate() {
+        let slot = slot as u32;
+        let state = &states[rid as usize];
+        for (table_tag, key) in hasher.keys(state, to_level) {
+            let bucket = combine(table_tag, key);
+            stats.bucket_inserts += 1;
+            match buckets.entry(bucket) {
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    // Cases 1 and 2.
+                    if forest.leaf_of(slot).is_none() {
+                        forest.add_singleton(slot);
+                    }
+                    v.insert(slot);
+                }
+                std::collections::hash_map::Entry::Occupied(mut o) => {
+                    let occupant = *o.get();
+                    if occupant != slot {
+                        let r2 = forest
+                            .find_root_of_slot(occupant)
+                            .expect("bucket occupants are always in a tree");
+                        match forest.leaf_of(slot) {
+                            // Case 3.
+                            None => {
+                                forest.attach_leaf(r2, slot);
+                            }
+                            // Case 4.
+                            Some(leaf) => {
+                                let r1 = forest.find_root(leaf);
+                                if r1 != r2 {
+                                    forest.merge_roots(r1, r2);
+                                }
+                            }
+                        }
+                        o.insert(slot);
+                    }
+                }
+            }
+        }
+    }
+
+    forest
+        .clusters()
+        .into_iter()
+        .map(|slots| slots.into_iter().map(|s| cluster[s as usize]).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hashing::{HashPart, LevelScheme};
+    use adalsh_data::{FieldKind, FieldValue, Record, Schema, ShingleSet};
+
+    /// Builds a dataset of shingle records from the raw sets.
+    fn dataset(sets: &[&[u64]]) -> Dataset {
+        let schema = Schema::single("s", FieldKind::Shingles);
+        let records = sets
+            .iter()
+            .map(|s| Record::single(FieldValue::Shingles(ShingleSet::new(s.to_vec()))))
+            .collect();
+        let gt = (0..sets.len() as u32).collect();
+        Dataset::new(schema, records, gt)
+    }
+
+    fn hasher(levels: Vec<LevelScheme>) -> SequenceHasher {
+        SequenceHasher::new(vec![HashPart::shingles(0, 77)], levels)
+    }
+
+    fn sorted(mut clusters: Vec<Vec<u32>>) -> Vec<Vec<u32>> {
+        clusters.iter_mut().for_each(|c| c.sort_unstable());
+        clusters.sort();
+        clusters
+    }
+
+    #[test]
+    fn identical_records_cluster_together() {
+        let d = dataset(&[&[1, 2, 3], &[1, 2, 3], &[100, 200, 300]]);
+        let mut h = hasher(vec![LevelScheme::Shared { ws: vec![2], z: 8 }]);
+        let mut states = vec![RecordHashState::default(); d.len()];
+        let mut st = Stats::default();
+        let out = apply_transitive(&mut h, &mut states, &d, &[0, 1, 2], 1, &mut st);
+        assert_eq!(sorted(out), vec![vec![0, 1], vec![2]]);
+        assert_eq!(st.transitive_calls, 1);
+        assert!(st.hash_evals > 0 && st.bucket_inserts > 0);
+    }
+
+    #[test]
+    fn all_disjoint_records_stay_singletons() {
+        let sets: Vec<Vec<u64>> = (0..5).map(|i| ((i * 100)..(i * 100 + 20)).collect()).collect();
+        let refs: Vec<&[u64]> = sets.iter().map(|v| v.as_slice()).collect();
+        let d = dataset(&refs);
+        let mut h = hasher(vec![LevelScheme::Shared { ws: vec![4], z: 10 }]);
+        let mut states = vec![RecordHashState::default(); d.len()];
+        let mut st = Stats::default();
+        let out = apply_transitive(&mut h, &mut states, &d, &[0, 1, 2, 3, 4], 1, &mut st);
+        assert_eq!(out.len(), 5, "disjoint sets must not merge");
+    }
+
+    #[test]
+    fn transitivity_chains_clusters() {
+        // a ~ b (2/3 overlap), b ~ c (2/3 overlap), a ∩ c smaller: with a
+        // permissive scheme all three should land in one cluster via b.
+        let d = dataset(&[&[1, 2, 3], &[2, 3, 4], &[3, 4, 5]]);
+        let mut h = hasher(vec![LevelScheme::Shared { ws: vec![1], z: 30 }]);
+        let mut states = vec![RecordHashState::default(); d.len()];
+        let mut st = Stats::default();
+        let out = apply_transitive(&mut h, &mut states, &d, &[0, 1, 2], 1, &mut st);
+        assert_eq!(sorted(out), vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn later_levels_split_coarse_clusters() {
+        // Moderate overlap (1/3): a w=1,z=20 scheme merges them; a much
+        // stricter w=16,z=4 scheme should split them apart.
+        let d = dataset(&[&[1, 2, 3, 4], &[3, 4, 50, 60], &[1, 2, 3, 4]]);
+        let levels = vec![
+            LevelScheme::Shared { ws: vec![1], z: 20 },
+            LevelScheme::Shared { ws: vec![16], z: 20 },
+        ];
+        let mut h = hasher(levels);
+        let mut states = vec![RecordHashState::default(); d.len()];
+        let mut st = Stats::default();
+        let coarse = apply_transitive(&mut h, &mut states, &d, &[0, 1, 2], 1, &mut st);
+        assert_eq!(sorted(coarse.clone()), vec![vec![0, 1, 2]]);
+        // Apply the next level to the merged cluster.
+        let merged = &coarse[0];
+        let fine = apply_transitive(&mut h, &mut states, &d, merged, 2, &mut st);
+        let fine = sorted(fine);
+        assert!(
+            fine.contains(&vec![0, 2]),
+            "identical pair must stay together: {fine:?}"
+        );
+        assert_eq!(fine.len(), 2, "moderate-overlap record must split off");
+    }
+
+    #[test]
+    fn invocations_use_fresh_tables() {
+        // The same records processed in two separate invocations must not
+        // see each other's buckets: process {0} then {1} — identical
+        // records, but separate invocations, so two singleton outputs.
+        let d = dataset(&[&[1, 2, 3], &[1, 2, 3]]);
+        let mut h = hasher(vec![LevelScheme::Shared { ws: vec![2], z: 4 }]);
+        let mut states = vec![RecordHashState::default(); d.len()];
+        let mut st = Stats::default();
+        let a = apply_transitive(&mut h, &mut states, &d, &[0], 1, &mut st);
+        let b = apply_transitive(&mut h, &mut states, &d, &[1], 1, &mut st);
+        assert_eq!(a, vec![vec![0]]);
+        assert_eq!(b, vec![vec![1]]);
+    }
+
+    #[test]
+    fn output_partitions_input() {
+        let sets: Vec<Vec<u64>> = (0..20)
+            .map(|i| vec![i / 3 * 10, i / 3 * 10 + 1, i])
+            .collect();
+        let refs: Vec<&[u64]> = sets.iter().map(|v| v.as_slice()).collect();
+        let d = dataset(&refs);
+        let ids: Vec<u32> = (0..20).collect();
+        let mut h = hasher(vec![LevelScheme::Shared { ws: vec![2], z: 6 }]);
+        let mut states = vec![RecordHashState::default(); d.len()];
+        let mut st = Stats::default();
+        let out = apply_transitive(&mut h, &mut states, &d, &ids, 1, &mut st);
+        let mut all: Vec<u32> = out.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, ids, "output must partition the input exactly");
+    }
+
+    #[test]
+    fn single_record_cluster() {
+        let d = dataset(&[&[1, 2]]);
+        let mut h = hasher(vec![LevelScheme::Shared { ws: vec![2], z: 3 }]);
+        let mut states = vec![RecordHashState::default(); 1];
+        let mut st = Stats::default();
+        let out = apply_transitive(&mut h, &mut states, &d, &[0], 1, &mut st);
+        assert_eq!(out, vec![vec![0]]);
+    }
+}

@@ -1,0 +1,88 @@
+//! Property-based tests for the online mode: any interleaving of pushes
+//! and queries must agree with batch resolution on the same snapshot.
+
+use adalsh_core::algorithm::{AdaLshConfig, FilterMethod};
+use adalsh_core::baselines::Pairs;
+use adalsh_core::online::OnlineAdaLsh;
+use adalsh_data::{
+    Dataset, FieldDistance, FieldKind, FieldValue, MatchRule, Record, Schema, ShingleSet,
+};
+use proptest::prelude::*;
+
+fn record(entity: u64, noise: u64) -> Record {
+    let mut s: Vec<u64> = (0..15).map(|i| entity * 1000 + i).collect();
+    s.push(entity * 1000 + 500 + noise % 4);
+    Record::single(FieldValue::Shingles(ShingleSet::new(s)))
+}
+
+fn rule() -> MatchRule {
+    MatchRule::threshold(0, FieldDistance::Jaccard, 0.4)
+}
+
+fn bootstrap() -> Dataset {
+    let schema = Schema::single("s", FieldKind::Shingles);
+    let records: Vec<Record> = (0..12).map(|i| record(i % 3, i)).collect();
+    let gt = (0..12).map(|i| (i % 3) as u32).collect();
+    Dataset::new(schema, records, gt)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Push an arbitrary stream (entity ids 0..5) with interleaved
+    /// queries; every query must equal Pairs on the snapshot.
+    #[test]
+    fn online_queries_match_batch(
+        stream in prop::collection::vec((0u64..5, any::<u64>(), prop::bool::ANY), 1..40),
+    ) {
+        let boot = bootstrap();
+        let mut online = OnlineAdaLsh::new(&boot, AdaLshConfig::new(rule())).unwrap();
+        let mut all_records: Vec<Record> = boot.records().to_vec();
+        for (entity, noise, query_now) in stream {
+            let r = record(entity, noise);
+            online.push(r.clone());
+            all_records.push(r);
+            if query_now {
+                let out = online.query(1);
+                let snapshot = Dataset::new(
+                    boot.schema().clone(),
+                    all_records.clone(),
+                    vec![0; all_records.len()],
+                );
+                let gold = Pairs::new(rule()).filter(&snapshot, 1);
+                // Sizes must agree (record sets may differ only under
+                // exact size ties, which this stream can produce).
+                prop_assert_eq!(
+                    out.clusters[0].len(),
+                    gold.clusters[0].len(),
+                    "online vs batch top-1 size"
+                );
+            }
+        }
+        // Final full check: top-2 record sets match exactly when untied.
+        let snapshot = Dataset::new(
+            boot.schema().clone(),
+            all_records.clone(),
+            vec![0; all_records.len()],
+        );
+        let gold = Pairs::new(rule()).filter(&snapshot, 2);
+        let sizes: Vec<usize> = gold.clusters.iter().map(Vec::len).collect();
+        prop_assume!(sizes.len() < 2 || sizes[0] != sizes[1]);
+        let out = online.query(2);
+        prop_assert_eq!(out.clusters[0].clone(), gold.clusters[0].clone());
+    }
+
+    /// Query cost is monotone-amortized: an immediate repeat query does
+    /// zero hash evaluations.
+    #[test]
+    fn repeat_queries_are_free(pushes in 0usize..20) {
+        let boot = bootstrap();
+        let mut online = OnlineAdaLsh::new(&boot, AdaLshConfig::new(rule())).unwrap();
+        for i in 0..pushes {
+            online.push(record((i % 4) as u64, i as u64));
+        }
+        let _ = online.query(2);
+        let again = online.query(2);
+        prop_assert_eq!(again.stats.hash_evals, 0);
+    }
+}

@@ -1,0 +1,200 @@
+//! Property-based tests for the core data structures: the parent-pointer
+//! forest against a reference union-find, the bin index against a sorted
+//! oracle, and metric invariants.
+
+use adalsh_core::bins::BinIndex;
+use adalsh_core::metrics::{map_mar, set_metrics};
+use adalsh_core::ppt::Forest;
+use proptest::prelude::*;
+
+/// Reference disjoint-set for differential testing.
+struct NaiveDsu {
+    parent: Vec<usize>,
+}
+
+impl NaiveDsu {
+    fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n).collect(),
+        }
+    }
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let r = self.find(self.parent[x]);
+            self.parent[x] = r;
+        }
+        self.parent[x]
+    }
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+    fn clusters(&mut self, n: usize) -> Vec<Vec<u32>> {
+        let mut map: std::collections::BTreeMap<usize, Vec<u32>> = Default::default();
+        for x in 0..n {
+            let r = self.find(x);
+            map.entry(r).or_default().push(x as u32);
+        }
+        let mut out: Vec<Vec<u32>> = map.into_values().collect();
+        out.sort();
+        out
+    }
+}
+
+fn forest_clusters_sorted(forest: &Forest) -> Vec<Vec<u32>> {
+    let mut out = forest.clusters();
+    out.iter_mut().for_each(|c| c.sort_unstable());
+    out.sort();
+    out
+}
+
+proptest! {
+    /// The forest under arbitrary merge sequences partitions slots
+    /// exactly like a reference union-find.
+    #[test]
+    fn forest_equals_naive_dsu(
+        n in 2usize..40,
+        merges in prop::collection::vec((0usize..40, 0usize..40), 0..80),
+    ) {
+        let mut forest = Forest::new(n);
+        for s in 0..n as u32 {
+            forest.add_singleton(s);
+        }
+        let mut dsu = NaiveDsu::new(n);
+        for (a, b) in merges {
+            let (a, b) = (a % n, b % n);
+            if a == b {
+                continue;
+            }
+            let ra = forest.find_root_of_slot(a as u32).unwrap();
+            let rb = forest.find_root_of_slot(b as u32).unwrap();
+            if ra != rb {
+                forest.merge_roots(ra, rb);
+            }
+            dsu.union(a, b);
+        }
+        prop_assert_eq!(forest_clusters_sorted(&forest), dsu.clusters(n));
+    }
+
+    /// Leaf counts at the roots always equal the actual leaf-chain
+    /// lengths, and the chains partition all slots.
+    #[test]
+    fn forest_leaf_chain_invariants(
+        n in 1usize..30,
+        merges in prop::collection::vec((0usize..30, 0usize..30), 0..40),
+    ) {
+        let mut forest = Forest::new(n);
+        for s in 0..n as u32 {
+            forest.add_singleton(s);
+        }
+        for (a, b) in merges {
+            let (a, b) = (a % n, b % n);
+            let ra = forest.find_root_of_slot(a as u32).unwrap();
+            let rb = forest.find_root_of_slot(b as u32).unwrap();
+            if ra != rb {
+                forest.merge_roots(ra, rb);
+            }
+        }
+        let mut all: Vec<u32> = Vec::new();
+        for root in forest.roots() {
+            let slots = forest.cluster_slots(root);
+            prop_assert_eq!(slots.len(), forest.cluster_size(root));
+            all.extend(slots);
+        }
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..n as u32).collect::<Vec<_>>());
+    }
+
+    /// The bin index pops sizes in exactly descending order.
+    #[test]
+    fn bins_pop_descending(sizes in prop::collection::vec(1u32..10_000, 1..200)) {
+        let mut idx = BinIndex::new();
+        for (i, &s) in sizes.iter().enumerate() {
+            idx.push(s, i as u32);
+        }
+        let mut popped = Vec::new();
+        while let Some(e) = idx.pop_largest() {
+            popped.push(e.size);
+        }
+        let mut expected = sizes.clone();
+        expected.sort_unstable_by(|a, b| b.cmp(a));
+        prop_assert_eq!(popped, expected);
+    }
+
+    /// Interleaved pushes and pops still respect the max-invariant: a
+    /// pop always returns the current maximum.
+    #[test]
+    fn bins_interleaved_max_invariant(
+        ops in prop::collection::vec(prop::option::of(1u32..1000), 1..120),
+    ) {
+        let mut idx = BinIndex::new();
+        let mut model: Vec<u32> = Vec::new();
+        for (i, op) in ops.into_iter().enumerate() {
+            match op {
+                Some(size) => {
+                    idx.push(size, i as u32);
+                    model.push(size);
+                }
+                None => {
+                    let got = idx.pop_largest().map(|e| e.size);
+                    model.sort_unstable();
+                    let want = model.pop();
+                    prop_assert_eq!(got, want);
+                }
+            }
+            prop_assert_eq!(idx.len(), model.len());
+        }
+    }
+
+    /// Set metrics stay in [0, 1] and F1 is the harmonic mean.
+    #[test]
+    fn set_metrics_bounds(
+        output in prop::collection::vec(0u32..100, 0..60),
+        gold in prop::collection::vec(0u32..100, 0..60),
+    ) {
+        let m = set_metrics(&output, &gold);
+        prop_assert!((0.0..=1.0).contains(&m.precision));
+        prop_assert!((0.0..=1.0).contains(&m.recall));
+        prop_assert!((0.0..=1.0).contains(&m.f1));
+        if m.precision + m.recall > 0.0 {
+            let h = 2.0 * m.precision * m.recall / (m.precision + m.recall);
+            prop_assert!((m.f1 - h).abs() < 1e-12);
+        }
+    }
+
+    /// mAP/mAR are 1 exactly when comparing a clustering to itself.
+    #[test]
+    fn map_mar_self_identity(
+        clusters in prop::collection::vec(
+            prop::collection::btree_set(0u32..1000, 1..10),
+            1..8,
+        ),
+        k in 1usize..8,
+    ) {
+        // Make clusters disjoint by offsetting.
+        let clusters: Vec<Vec<u32>> = clusters
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| c.into_iter().map(|x| x + (i as u32) * 10_000).collect())
+            .collect();
+        let (map, mar) = map_mar(&clusters, &clusters, k);
+        prop_assert!((map - 1.0).abs() < 1e-12);
+        prop_assert!((mar - 1.0).abs() < 1e-12);
+    }
+
+    /// mAP/mAR never leave [0, 1].
+    #[test]
+    fn map_mar_bounds(
+        a in prop::collection::vec(prop::collection::btree_set(0u32..50, 1..6), 1..6),
+        b in prop::collection::vec(prop::collection::btree_set(0u32..50, 1..6), 1..6),
+        k in 1usize..6,
+    ) {
+        let a: Vec<Vec<u32>> = a.into_iter().map(|c| c.into_iter().collect()).collect();
+        let b: Vec<Vec<u32>> = b.into_iter().map(|c| c.into_iter().collect()).collect();
+        let (map, mar) = map_mar(&a, &b, k);
+        prop_assert!((0.0..=1.0).contains(&map));
+        prop_assert!((0.0..=1.0).contains(&mar));
+    }
+}

@@ -1,0 +1,205 @@
+//! Datasets: records plus ground-truth entity labels.
+//!
+//! A [`Dataset`] owns the records handed to a filtering method and, for
+//! evaluation, the ground-truth clustering `C* = {C*₁, …}` (paper §2.1):
+//! each record refers to exactly one entity. Ground truth is *never*
+//! consulted by the filtering algorithms themselves — only by the accuracy
+//! metrics and the "perfect recovery" process of §6.2.
+
+use serde::{Deserialize, Serialize};
+
+use crate::record::{Record, Schema};
+
+/// Opaque entity label. Records with equal labels refer to the same entity.
+pub type EntityId = u32;
+
+/// A set of records with a schema and ground-truth entity labels.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dataset {
+    schema: Schema,
+    records: Vec<Record>,
+    /// `ground_truth[i]` is the entity of record `i`.
+    ground_truth: Vec<EntityId>,
+}
+
+impl Dataset {
+    /// Creates a dataset, validating every record against the schema.
+    ///
+    /// # Panics
+    /// Panics if lengths disagree, the dataset is empty, or any record
+    /// fails schema validation.
+    pub fn new(schema: Schema, records: Vec<Record>, ground_truth: Vec<EntityId>) -> Self {
+        assert_eq!(
+            records.len(),
+            ground_truth.len(),
+            "one ground-truth label per record"
+        );
+        assert!(!records.is_empty(), "dataset must be non-empty");
+        for (i, r) in records.iter().enumerate() {
+            if let Err(e) = schema.validate(r) {
+                panic!("record {i} violates schema: {e}");
+            }
+        }
+        Self {
+            schema,
+            records,
+            ground_truth,
+        }
+    }
+
+    /// The dataset schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of records `|R|`.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when empty (never, by construction — kept for idiom).
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The record with id `i`.
+    pub fn record(&self, i: u32) -> &Record {
+        &self.records[i as usize]
+    }
+
+    /// All records in id order.
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// Ground-truth entity of record `i`.
+    pub fn entity_of(&self, i: u32) -> EntityId {
+        self.ground_truth[i as usize]
+    }
+
+    /// Ground-truth labels in record-id order.
+    pub fn ground_truth(&self) -> &[EntityId] {
+        &self.ground_truth
+    }
+
+    /// The ground-truth clustering `C*`, **sorted by descending cluster
+    /// size** (ties broken by ascending entity id, for determinism).
+    /// Each cluster lists record ids in ascending order.
+    pub fn ground_truth_clusters(&self) -> Vec<Vec<u32>> {
+        let mut by_entity: std::collections::BTreeMap<EntityId, Vec<u32>> =
+            std::collections::BTreeMap::new();
+        for (i, &e) in self.ground_truth.iter().enumerate() {
+            by_entity.entry(e).or_default().push(i as u32);
+        }
+        let mut clusters: Vec<(EntityId, Vec<u32>)> = by_entity.into_iter().collect();
+        clusters.sort_by(|(ea, a), (eb, b)| b.len().cmp(&a.len()).then(ea.cmp(eb)));
+        clusters.into_iter().map(|(_, c)| c).collect()
+    }
+
+    /// Record ids of the `k` largest ground-truth entities — the gold
+    /// output `O*` of the filtering stage (paper §2.1). If the dataset has
+    /// fewer than `k` entities, all records are returned.
+    pub fn gold_records(&self, k: usize) -> Vec<u32> {
+        let clusters = self.ground_truth_clusters();
+        let mut out: Vec<u32> = clusters.into_iter().take(k).flatten().collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Sizes of all ground-truth entities, descending.
+    pub fn entity_sizes(&self) -> Vec<usize> {
+        self.ground_truth_clusters()
+            .iter()
+            .map(Vec::len)
+            .collect()
+    }
+
+    /// Number of distinct entities.
+    pub fn num_entities(&self) -> usize {
+        let mut ids: Vec<EntityId> = self.ground_truth.clone();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.len()
+    }
+
+    /// Restricts the dataset to the records with the given ids (in the
+    /// given order), remapping ids to `0..ids.len()`. Useful for building
+    /// reduced datasets from a filtering output.
+    ///
+    /// # Panics
+    /// Panics if any id is out of range.
+    pub fn subset(&self, ids: &[u32]) -> Dataset {
+        let records = ids.iter().map(|&i| self.record(i).clone()).collect();
+        let gt = ids.iter().map(|&i| self.entity_of(i)).collect();
+        Dataset::new(self.schema.clone(), records, gt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{FieldKind, FieldValue};
+    use crate::shingle::ShingleSet;
+
+    fn toy() -> Dataset {
+        let schema = Schema::single("s", FieldKind::Shingles);
+        let recs: Vec<Record> = (0..6)
+            .map(|i| Record::single(FieldValue::Shingles(ShingleSet::new(vec![i]))))
+            .collect();
+        // entity 7: records 0,1,2 — entity 3: records 3,4 — entity 9: record 5
+        Dataset::new(schema, recs, vec![7, 7, 7, 3, 3, 9])
+    }
+
+    #[test]
+    fn clusters_sorted_by_size_desc() {
+        let d = toy();
+        let c = d.ground_truth_clusters();
+        assert_eq!(c, vec![vec![0, 1, 2], vec![3, 4], vec![5]]);
+    }
+
+    #[test]
+    fn gold_records_top_k() {
+        let d = toy();
+        assert_eq!(d.gold_records(1), vec![0, 1, 2]);
+        assert_eq!(d.gold_records(2), vec![0, 1, 2, 3, 4]);
+        assert_eq!(d.gold_records(10), vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn entity_sizes_and_count() {
+        let d = toy();
+        assert_eq!(d.entity_sizes(), vec![3, 2, 1]);
+        assert_eq!(d.num_entities(), 3);
+    }
+
+    #[test]
+    fn size_tie_broken_by_entity_id() {
+        let schema = Schema::single("s", FieldKind::Shingles);
+        let recs: Vec<Record> = (0..4)
+            .map(|i| Record::single(FieldValue::Shingles(ShingleSet::new(vec![i]))))
+            .collect();
+        // Two entities of size 2: entity 5 (records 2,3) and entity 8 (0,1).
+        let d = Dataset::new(schema, recs, vec![8, 8, 5, 5]);
+        let c = d.ground_truth_clusters();
+        assert_eq!(c[0], vec![2, 3], "lower entity id wins ties");
+    }
+
+    #[test]
+    fn subset_remaps() {
+        let d = toy();
+        let s = d.subset(&[5, 0]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.entity_of(0), 9);
+        assert_eq!(s.entity_of(1), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "one ground-truth label per record")]
+    fn mismatched_lengths_panic() {
+        let schema = Schema::single("s", FieldKind::Shingles);
+        let recs = vec![Record::single(FieldValue::Shingles(ShingleSet::new(
+            vec![1],
+        )))];
+        let _ = Dataset::new(schema, recs, vec![1, 2]);
+    }
+}

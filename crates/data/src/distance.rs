@@ -1,0 +1,98 @@
+//! Per-field distance metrics, all normalized to `[0, 1]`.
+//!
+//! The LSH machinery in this workspace (paper §3, Appendix A) assumes the
+//! collision probability of its elementary hash families is `p(x) = 1 − x`
+//! for distance `x ∈ [0, 1]`. Both metrics here satisfy that for their
+//! natural family:
+//!
+//! * [`FieldDistance::Angular`] — normalized angle `θ/180`, matched by the
+//!   random-hyperplane family (paper Example 6);
+//! * [`FieldDistance::Jaccard`] — Jaccard distance, matched by MinHash
+//!   (paper Appendix C.1, "the family of minhash functions for the Jaccard
+//!   distance").
+
+use serde::{Deserialize, Serialize};
+
+use crate::record::{FieldKind, FieldValue};
+
+/// A normalized distance metric over one field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FieldDistance {
+    /// Normalized angular (cosine) distance `θ / 180` over dense vectors.
+    Angular,
+    /// Jaccard distance `1 − |A∩B|/|A∪B|` over shingle sets.
+    Jaccard,
+}
+
+impl FieldDistance {
+    /// The field kind this metric applies to.
+    pub fn expected_kind(self) -> FieldKind {
+        match self {
+            FieldDistance::Angular => FieldKind::Dense,
+            FieldDistance::Jaccard => FieldKind::Shingles,
+        }
+    }
+
+    /// Evaluates the distance between two field values.
+    ///
+    /// # Panics
+    /// Panics if either value's kind does not match the metric.
+    pub fn eval(self, a: &FieldValue, b: &FieldValue) -> f64 {
+        match self {
+            FieldDistance::Angular => a.as_dense().angular_distance(b.as_dense()),
+            FieldDistance::Jaccard => a.as_shingles().jaccard_distance(b.as_shingles()),
+        }
+    }
+
+    /// The collision probability `p(x)` of the metric's natural LSH family
+    /// at distance `x` — `1 − x` for both families shipped here.
+    ///
+    /// Exposed so the scheme optimizer (Program (1)–(3), paper §5.1) can be
+    /// driven directly from a [`FieldDistance`].
+    pub fn collision_prob(self, x: f64) -> f64 {
+        debug_assert!((0.0..=1.0).contains(&x), "distance out of range: {x}");
+        1.0 - x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shingle::ShingleSet;
+    use crate::vector::DenseVector;
+
+    #[test]
+    fn angular_eval() {
+        let a = FieldValue::Dense(DenseVector::new(vec![1.0, 0.0]));
+        let b = FieldValue::Dense(DenseVector::new(vec![0.0, 1.0]));
+        assert!((FieldDistance::Angular.eval(&a, &b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaccard_eval() {
+        let a = FieldValue::Shingles(ShingleSet::new(vec![1, 2, 3, 4]));
+        let b = FieldValue::Shingles(ShingleSet::new(vec![3, 4, 5]));
+        assert!((FieldDistance::Jaccard.eval(&a, &b) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn collision_prob_is_one_minus_x() {
+        assert_eq!(FieldDistance::Angular.collision_prob(0.0), 1.0);
+        assert_eq!(FieldDistance::Jaccard.collision_prob(1.0), 0.0);
+        assert!((FieldDistance::Angular.collision_prob(0.25) - 0.75).abs() < 1e-15);
+    }
+
+    #[test]
+    fn expected_kinds() {
+        assert_eq!(FieldDistance::Angular.expected_kind(), FieldKind::Dense);
+        assert_eq!(FieldDistance::Jaccard.expected_kind(), FieldKind::Shingles);
+    }
+
+    #[test]
+    #[should_panic]
+    fn kind_mismatch_panics() {
+        let a = FieldValue::Shingles(ShingleSet::new(vec![1]));
+        let b = FieldValue::Shingles(ShingleSet::new(vec![1]));
+        let _ = FieldDistance::Angular.eval(&a, &b);
+    }
+}

@@ -1,0 +1,207 @@
+//! Dataset serialization: JSON and JSON-lines interchange.
+//!
+//! A [`Dataset`] round-trips through serde (all model types derive
+//! `Serialize`/`Deserialize`). For large datasets the JSON-lines format
+//! is friendlier: a header line with the schema followed by one line per
+//! record — streamable and diff-able.
+//!
+//! ```text
+//! {"schema":{...}}
+//! {"entity":0,"fields":[{"Shingles":[1,2,3]}]}
+//! {"entity":0,"fields":[{"Shingles":[1,2,4]}]}
+//! ```
+
+use std::io::{BufRead, Write};
+
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::{Dataset, EntityId};
+use crate::record::{Record, Schema};
+
+/// Header line of the JSON-lines format.
+#[derive(Debug, Serialize, Deserialize)]
+struct Header {
+    schema: Schema,
+}
+
+/// Record line of the JSON-lines format.
+#[derive(Debug, Serialize, Deserialize)]
+struct Line {
+    entity: EntityId,
+    fields: Record,
+}
+
+/// Writes a dataset in JSON-lines format.
+///
+/// # Errors
+/// Propagates I/O and serialization errors as `std::io::Error`.
+pub fn write_jsonl<W: Write>(dataset: &Dataset, mut out: W) -> std::io::Result<()> {
+    let header = Header {
+        schema: dataset.schema().clone(),
+    };
+    writeln!(out, "{}", serde_json::to_string(&header)?)?;
+    for i in 0..dataset.len() as u32 {
+        let line = Line {
+            entity: dataset.entity_of(i),
+            fields: dataset.record(i).clone(),
+        };
+        writeln!(out, "{}", serde_json::to_string(&line)?)?;
+    }
+    Ok(())
+}
+
+/// Reads a dataset from JSON-lines format.
+///
+/// # Errors
+/// Fails on I/O errors, malformed JSON, a missing header, an empty body,
+/// or records that violate the header schema.
+pub fn read_jsonl<R: BufRead>(input: R) -> std::io::Result<Dataset> {
+    let mut lines = input.lines();
+    let header_line = lines
+        .next()
+        .ok_or_else(|| bad_data("missing header line"))??;
+    let header: Header = serde_json::from_str(&header_line)?;
+    let mut records = Vec::new();
+    let mut gt = Vec::new();
+    for line in lines {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let parsed: Line = serde_json::from_str(&line)?;
+        header
+            .schema
+            .validate(&parsed.fields)
+            .map_err(bad_data)?;
+        records.push(parsed.fields);
+        gt.push(parsed.entity);
+    }
+    if records.is_empty() {
+        return Err(bad_data("dataset has no records"));
+    }
+    Ok(Dataset::new(header.schema, records, gt))
+}
+
+/// Writes a dataset to a file in JSON-lines format.
+///
+/// # Errors
+/// See [`write_jsonl`].
+pub fn save(dataset: &Dataset, path: &std::path::Path) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_jsonl(dataset, std::io::BufWriter::new(file))
+}
+
+/// Reads a dataset from a JSON-lines file.
+///
+/// # Errors
+/// See [`read_jsonl`].
+pub fn load(path: &std::path::Path) -> std::io::Result<Dataset> {
+    let file = std::fs::File::open(path)?;
+    read_jsonl(std::io::BufReader::new(file))
+}
+
+fn bad_data(msg: impl ToString) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{FieldKind, FieldValue};
+    use crate::shingle::ShingleSet;
+    use crate::vector::DenseVector;
+
+    fn sample() -> Dataset {
+        let schema = Schema::new(vec![
+            ("tokens", FieldKind::Shingles),
+            ("vec", FieldKind::Dense),
+        ]);
+        let mk = |s: &[u64], v: &[f64]| {
+            Record::new(vec![
+                FieldValue::Shingles(ShingleSet::new(s.to_vec())),
+                FieldValue::Dense(DenseVector::new(v.to_vec())),
+            ])
+        };
+        Dataset::new(
+            schema,
+            vec![mk(&[1, 2], &[0.5, 0.5]), mk(&[3], &[1.0, 0.0])],
+            vec![7, 9],
+        )
+    }
+
+    #[test]
+    fn jsonl_round_trip() {
+        let d = sample();
+        let mut buf = Vec::new();
+        write_jsonl(&d, &mut buf).unwrap();
+        let back = read_jsonl(std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(back.len(), d.len());
+        assert_eq!(back.schema(), d.schema());
+        assert_eq!(back.ground_truth(), d.ground_truth());
+        for i in 0..d.len() as u32 {
+            assert_eq!(back.record(i), d.record(i));
+        }
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let d = sample();
+        let dir = std::env::temp_dir().join("adalsh_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ds.jsonl");
+        save(&d, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(back.len(), d.len());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_header_rejected() {
+        let r = read_jsonl(std::io::Cursor::new(Vec::<u8>::new()));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn malformed_json_rejected() {
+        let r = read_jsonl(std::io::Cursor::new(b"not json\n".to_vec()));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn schema_violation_rejected() {
+        let d = sample();
+        let mut buf = Vec::new();
+        write_jsonl(&d, &mut buf).unwrap();
+        let mut text = String::from_utf8(buf).unwrap();
+        // Append a record with the wrong arity.
+        text.push_str("{\"entity\":1,\"fields\":{\"fields\":[{\"Shingles\":[1]}]}}\n");
+        let r = read_jsonl(std::io::Cursor::new(text.into_bytes()));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn blank_lines_ignored() {
+        let d = sample();
+        let mut buf = Vec::new();
+        write_jsonl(&d, &mut buf).unwrap();
+        let mut text = String::from_utf8(buf).unwrap();
+        text.push('\n');
+        let back = read_jsonl(std::io::Cursor::new(text.into_bytes())).unwrap();
+        assert_eq!(back.len(), 2);
+    }
+
+    #[test]
+    fn empty_body_rejected() {
+        let d = sample();
+        let mut buf = Vec::new();
+        write_jsonl(&d, &mut buf).unwrap();
+        let header_only: String = String::from_utf8(buf)
+            .unwrap()
+            .lines()
+            .take(1)
+            .collect::<Vec<_>>()
+            .join("\n");
+        let r = read_jsonl(std::io::Cursor::new(header_only.into_bytes()));
+        assert!(r.is_err());
+    }
+}

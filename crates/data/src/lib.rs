@@ -1,0 +1,31 @@
+//! # adalsh-data
+//!
+//! Record model, distance metrics, and match rules for the adaLSH top-k
+//! entity-resolution system.
+//!
+//! The paper's clustering functions operate over records with one or more
+//! *fields*; each field carries either a dense numeric vector (e.g. an RGB
+//! histogram for an image) compared with the **cosine (angular) distance**,
+//! or a set of shingles / tokens (e.g. the word shingles of a publication
+//! title) compared with the **Jaccard distance**. Records are declared a
+//! *match* by a [`MatchRule`]: a single threshold on one field, or an
+//! AND / OR / weighted-average combination over several fields
+//! (paper §3 and Appendix C).
+//!
+//! This crate is dependency-light on purpose: it defines the vocabulary
+//! types every other crate in the workspace speaks.
+
+pub mod dataset;
+pub mod distance;
+pub mod io;
+pub mod record;
+pub mod rule;
+pub mod shingle;
+pub mod vector;
+
+pub use dataset::{Dataset, EntityId};
+pub use distance::FieldDistance;
+pub use record::{FieldKind, FieldValue, Record, Schema};
+pub use rule::MatchRule;
+pub use shingle::ShingleSet;
+pub use vector::DenseVector;

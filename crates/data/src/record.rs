@@ -1,0 +1,260 @@
+//! Records, fields, and schemas.
+//!
+//! A [`Record`] is an ordered list of field values conforming to a
+//! [`Schema`]. The paper's datasets map onto this model as:
+//!
+//! * **Cora** — three shingle-set fields (`title`, `authors`, `rest`);
+//! * **SpotSigs** — one shingle-set field (the article's spot signatures);
+//! * **PopularImages** — one dense-vector field (the RGB histogram).
+
+use serde::{Deserialize, Serialize};
+
+use crate::shingle::ShingleSet;
+use crate::vector::DenseVector;
+
+/// The type of a field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FieldKind {
+    /// Dense numeric vector compared with the angular (cosine) distance.
+    Dense,
+    /// Shingle set compared with the Jaccard distance.
+    Shingles,
+}
+
+/// A single field value of a record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FieldValue {
+    /// Dense vector (e.g. image histogram).
+    Dense(DenseVector),
+    /// Shingle set (e.g. title word shingles).
+    Shingles(ShingleSet),
+}
+
+impl FieldValue {
+    /// The kind of this value.
+    pub fn kind(&self) -> FieldKind {
+        match self {
+            FieldValue::Dense(_) => FieldKind::Dense,
+            FieldValue::Shingles(_) => FieldKind::Shingles,
+        }
+    }
+
+    /// Borrows the dense vector, panicking on a kind mismatch.
+    ///
+    /// # Panics
+    /// Panics if the value is not [`FieldValue::Dense`].
+    pub fn as_dense(&self) -> &DenseVector {
+        match self {
+            FieldValue::Dense(v) => v,
+            FieldValue::Shingles(_) => panic!("field is a shingle set, expected dense vector"),
+        }
+    }
+
+    /// Borrows the shingle set, panicking on a kind mismatch.
+    ///
+    /// # Panics
+    /// Panics if the value is not [`FieldValue::Shingles`].
+    pub fn as_shingles(&self) -> &ShingleSet {
+        match self {
+            FieldValue::Shingles(s) => s,
+            FieldValue::Dense(_) => panic!("field is a dense vector, expected shingle set"),
+        }
+    }
+}
+
+/// Declaration of one field in a [`Schema`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FieldDef {
+    /// Human-readable field name (used in error messages and reports).
+    pub name: String,
+    /// The field's value kind.
+    pub kind: FieldKind,
+}
+
+/// An ordered list of field declarations shared by all records of a
+/// [`crate::Dataset`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    fields: Vec<FieldDef>,
+}
+
+impl Schema {
+    /// Creates a schema from `(name, kind)` pairs.
+    ///
+    /// # Panics
+    /// Panics if no fields are given or names repeat.
+    pub fn new(fields: Vec<(&str, FieldKind)>) -> Self {
+        assert!(!fields.is_empty(), "schema must have at least one field");
+        let defs: Vec<FieldDef> = fields
+            .into_iter()
+            .map(|(name, kind)| FieldDef {
+                name: name.to_string(),
+                kind,
+            })
+            .collect();
+        for i in 0..defs.len() {
+            for j in (i + 1)..defs.len() {
+                assert_ne!(defs[i].name, defs[j].name, "duplicate field name");
+            }
+        }
+        Self { fields: defs }
+    }
+
+    /// Convenience constructor for the common single-field case.
+    pub fn single(name: &str, kind: FieldKind) -> Self {
+        Self::new(vec![(name, kind)])
+    }
+
+    /// Number of fields.
+    pub fn num_fields(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Field declarations in order.
+    pub fn fields(&self) -> &[FieldDef] {
+        &self.fields
+    }
+
+    /// Index of the field with the given name, if any.
+    pub fn field_index(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+
+    /// Checks that `record` conforms to this schema.
+    pub fn validate(&self, record: &Record) -> Result<(), String> {
+        if record.num_fields() != self.num_fields() {
+            return Err(format!(
+                "record has {} fields, schema has {}",
+                record.num_fields(),
+                self.num_fields()
+            ));
+        }
+        for (i, def) in self.fields.iter().enumerate() {
+            let got = record.field(i).kind();
+            if got != def.kind {
+                return Err(format!(
+                    "field {} ({}) has kind {:?}, schema expects {:?}",
+                    i, def.name, got, def.kind
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A record: an ordered list of field values.
+///
+/// Records carry no identity of their own; a record's *id* is its index in
+/// the owning [`crate::Dataset`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Record {
+    fields: Vec<FieldValue>,
+}
+
+impl Record {
+    /// Creates a record from field values.
+    ///
+    /// # Panics
+    /// Panics if `fields` is empty.
+    pub fn new(fields: Vec<FieldValue>) -> Self {
+        assert!(!fields.is_empty(), "record must have at least one field");
+        Self { fields }
+    }
+
+    /// Single-field convenience constructor.
+    pub fn single(value: FieldValue) -> Self {
+        Self::new(vec![value])
+    }
+
+    /// Number of fields.
+    pub fn num_fields(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// The `i`-th field value.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn field(&self, i: usize) -> &FieldValue {
+        &self.fields[i]
+    }
+
+    /// All field values in order.
+    pub fn fields(&self) -> &[FieldValue] {
+        &self.fields
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense(c: &[f64]) -> FieldValue {
+        FieldValue::Dense(DenseVector::new(c.to_vec()))
+    }
+
+    fn sh(v: &[u64]) -> FieldValue {
+        FieldValue::Shingles(ShingleSet::new(v.to_vec()))
+    }
+
+    #[test]
+    fn schema_lookup() {
+        let s = Schema::new(vec![
+            ("title", FieldKind::Shingles),
+            ("hist", FieldKind::Dense),
+        ]);
+        assert_eq!(s.num_fields(), 2);
+        assert_eq!(s.field_index("hist"), Some(1));
+        assert_eq!(s.field_index("nope"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate field name")]
+    fn schema_rejects_duplicates() {
+        let _ = Schema::new(vec![
+            ("a", FieldKind::Dense),
+            ("a", FieldKind::Shingles),
+        ]);
+    }
+
+    #[test]
+    fn validate_accepts_conforming_record() {
+        let s = Schema::new(vec![
+            ("title", FieldKind::Shingles),
+            ("hist", FieldKind::Dense),
+        ]);
+        let r = Record::new(vec![sh(&[1, 2]), dense(&[0.5, 0.5])]);
+        assert!(s.validate(&r).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_wrong_arity() {
+        let s = Schema::single("hist", FieldKind::Dense);
+        let r = Record::new(vec![dense(&[1.0]), dense(&[1.0])]);
+        assert!(s.validate(&r).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_wrong_kind() {
+        let s = Schema::single("hist", FieldKind::Dense);
+        let r = Record::single(sh(&[1]));
+        let err = s.validate(&r).unwrap_err();
+        assert!(err.contains("hist"));
+    }
+
+    #[test]
+    fn field_value_kind_and_accessors() {
+        let d = dense(&[1.0]);
+        assert_eq!(d.kind(), FieldKind::Dense);
+        assert_eq!(d.as_dense().dim(), 1);
+        let s = sh(&[1, 2]);
+        assert_eq!(s.kind(), FieldKind::Shingles);
+        assert_eq!(s.as_shingles().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected dense vector")]
+    fn as_dense_panics_on_shingles() {
+        let _ = sh(&[1]).as_dense();
+    }
+}

@@ -1,0 +1,316 @@
+//! Match rules: when do two records refer to the same entity?
+//!
+//! The simplest rule is a single distance threshold (paper §3): records
+//! `a`, `b` match when `d(a, b) ≤ dthr`. Real datasets have several fields,
+//! so Appendix C extends this to **AND rules**, **OR rules**, **weighted
+//! average rules**, and arbitrary combinations of the three. The pairwise
+//! computation function `P` (paper Definition 2) evaluates these rules
+//! exactly; the transitive hashing functions approximate them with
+//! AND-OR-amplified LSH schemes.
+
+use serde::{Deserialize, Serialize};
+
+use crate::distance::FieldDistance;
+use crate::record::{Record, Schema};
+
+/// One component of a weighted-average rule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WeightedPart {
+    /// Field index into the record.
+    pub field: usize,
+    /// Metric applied to that field.
+    pub metric: FieldDistance,
+    /// Non-negative weight `αᵢ`; weights of a rule sum to 1.
+    pub weight: f64,
+}
+
+/// A match rule over multi-field records (paper Appendix C).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MatchRule {
+    /// `d(f, f') ≤ dthr` on a single field.
+    Threshold {
+        /// Field index into the record.
+        field: usize,
+        /// Metric applied to that field.
+        metric: FieldDistance,
+        /// Normalized distance threshold in `[0, 1]`.
+        dthr: f64,
+    },
+    /// All sub-rules must match (Appendix C.1).
+    And(Vec<MatchRule>),
+    /// At least one sub-rule must match (Appendix C.2).
+    Or(Vec<MatchRule>),
+    /// `Σ αᵢ · dᵢ(fᵢ, fᵢ') ≤ dthr` (Appendix C.3).
+    WeightedAverage {
+        /// The weighted components; weights must sum to 1.
+        parts: Vec<WeightedPart>,
+        /// Threshold on the weighted-average distance.
+        dthr: f64,
+    },
+}
+
+impl MatchRule {
+    /// Convenience constructor for the single-field threshold rule.
+    pub fn threshold(field: usize, metric: FieldDistance, dthr: f64) -> Self {
+        MatchRule::Threshold {
+            field,
+            metric,
+            dthr,
+        }
+    }
+
+    /// Do two records match under this rule?
+    pub fn matches(&self, a: &Record, b: &Record) -> bool {
+        match self {
+            MatchRule::Threshold {
+                field,
+                metric,
+                dthr,
+            } => metric.eval(a.field(*field), b.field(*field)) <= *dthr,
+            MatchRule::And(subs) => subs.iter().all(|r| r.matches(a, b)),
+            MatchRule::Or(subs) => subs.iter().any(|r| r.matches(a, b)),
+            MatchRule::WeightedAverage { parts, dthr } => {
+                weighted_distance(parts, a, b) <= *dthr
+            }
+        }
+    }
+
+    /// Number of *elementary* distance evaluations performed by
+    /// [`MatchRule::matches`] in the worst case. Used by the cost model to
+    /// convert "pairwise comparisons" into comparable units.
+    pub fn num_elementary_distances(&self) -> usize {
+        match self {
+            MatchRule::Threshold { .. } => 1,
+            MatchRule::And(subs) | MatchRule::Or(subs) => {
+                subs.iter().map(Self::num_elementary_distances).sum()
+            }
+            MatchRule::WeightedAverage { parts, .. } => parts.len(),
+        }
+    }
+
+    /// Validates the rule against a schema: field indices in range, metric
+    /// kinds consistent, thresholds in `[0, 1]`, weights positive and
+    /// summing to 1 (within `1e-9`), combinators non-empty.
+    pub fn validate(&self, schema: &Schema) -> Result<(), String> {
+        match self {
+            MatchRule::Threshold {
+                field,
+                metric,
+                dthr,
+            } => {
+                check_field(schema, *field, *metric)?;
+                check_threshold(*dthr)
+            }
+            MatchRule::And(subs) | MatchRule::Or(subs) => {
+                if subs.is_empty() {
+                    return Err("AND/OR rule must have at least one sub-rule".into());
+                }
+                subs.iter().try_for_each(|r| r.validate(schema))
+            }
+            MatchRule::WeightedAverage { parts, dthr } => {
+                if parts.is_empty() {
+                    return Err("weighted-average rule must have at least one part".into());
+                }
+                let mut total = 0.0;
+                for p in parts {
+                    check_field(schema, p.field, p.metric)?;
+                    if p.weight <= 0.0 {
+                        return Err(format!("non-positive weight {}", p.weight));
+                    }
+                    total += p.weight;
+                }
+                if (total - 1.0).abs() > 1e-9 {
+                    return Err(format!("weights sum to {total}, expected 1"));
+                }
+                check_threshold(*dthr)
+            }
+        }
+    }
+}
+
+/// The weighted-average distance `d̄(a, b) = Σ αᵢ dᵢ` of Appendix C.3.
+pub fn weighted_distance(parts: &[WeightedPart], a: &Record, b: &Record) -> f64 {
+    parts
+        .iter()
+        .map(|p| p.weight * p.metric.eval(a.field(p.field), b.field(p.field)))
+        .sum()
+}
+
+fn check_field(schema: &Schema, field: usize, metric: FieldDistance) -> Result<(), String> {
+    let def = schema
+        .fields()
+        .get(field)
+        .ok_or_else(|| format!("field index {field} out of range"))?;
+    if def.kind != metric.expected_kind() {
+        return Err(format!(
+            "metric {:?} incompatible with field {} of kind {:?}",
+            metric, def.name, def.kind
+        ));
+    }
+    Ok(())
+}
+
+fn check_threshold(dthr: f64) -> Result<(), String> {
+    if (0.0..=1.0).contains(&dthr) {
+        Ok(())
+    } else {
+        Err(format!("threshold {dthr} outside [0, 1]"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{FieldKind, FieldValue};
+    use crate::shingle::ShingleSet;
+    use crate::vector::DenseVector;
+
+    fn two_field_schema() -> Schema {
+        Schema::new(vec![
+            ("title", FieldKind::Shingles),
+            ("hist", FieldKind::Dense),
+        ])
+    }
+
+    fn rec(shingles: &[u64], vec: &[f64]) -> Record {
+        Record::new(vec![
+            FieldValue::Shingles(ShingleSet::new(shingles.to_vec())),
+            FieldValue::Dense(DenseVector::new(vec.to_vec())),
+        ])
+    }
+
+    #[test]
+    fn threshold_rule_matches() {
+        let r = MatchRule::threshold(0, FieldDistance::Jaccard, 0.6);
+        let a = rec(&[1, 2, 3, 4], &[1.0]);
+        let b = rec(&[3, 4, 5], &[1.0]);
+        // Jaccard distance is exactly 0.6 — inclusive threshold.
+        assert!(r.matches(&a, &b));
+        let strict = MatchRule::threshold(0, FieldDistance::Jaccard, 0.59);
+        assert!(!strict.matches(&a, &b));
+    }
+
+    #[test]
+    fn and_rule_requires_all() {
+        let rule = MatchRule::And(vec![
+            MatchRule::threshold(0, FieldDistance::Jaccard, 0.6),
+            MatchRule::threshold(1, FieldDistance::Angular, 0.1),
+        ]);
+        let a = rec(&[1, 2, 3, 4], &[1.0, 0.0]);
+        let close = rec(&[3, 4, 5], &[1.0, 0.05]);
+        let far = rec(&[3, 4, 5], &[0.0, 1.0]);
+        assert!(rule.matches(&a, &close));
+        assert!(!rule.matches(&a, &far));
+    }
+
+    #[test]
+    fn or_rule_requires_any() {
+        let rule = MatchRule::Or(vec![
+            MatchRule::threshold(0, FieldDistance::Jaccard, 0.1),
+            MatchRule::threshold(1, FieldDistance::Angular, 0.1),
+        ]);
+        let a = rec(&[1, 2], &[1.0, 0.0]);
+        let b = rec(&[9, 10], &[1.0, 0.01]); // far shingles, close vector
+        assert!(rule.matches(&a, &b));
+        let c = rec(&[9, 10], &[0.0, 1.0]); // far on both
+        assert!(!rule.matches(&a, &c));
+    }
+
+    #[test]
+    fn weighted_average_rule() {
+        let parts = vec![
+            WeightedPart {
+                field: 0,
+                metric: FieldDistance::Jaccard,
+                weight: 0.5,
+            },
+            WeightedPart {
+                field: 1,
+                metric: FieldDistance::Angular,
+                weight: 0.5,
+            },
+        ];
+        let a = rec(&[1, 2, 3, 4], &[1.0, 0.0]);
+        let b = rec(&[3, 4, 5], &[0.0, 1.0]);
+        // 0.5·0.6 + 0.5·0.5 = 0.55
+        let d = weighted_distance(&parts, &a, &b);
+        assert!((d - 0.55).abs() < 1e-12);
+        let rule = MatchRule::WeightedAverage { parts, dthr: 0.55 };
+        assert!(rule.matches(&a, &b));
+    }
+
+    #[test]
+    fn validate_good_rules() {
+        let s = two_field_schema();
+        let rule = MatchRule::And(vec![
+            MatchRule::threshold(0, FieldDistance::Jaccard, 0.4),
+            MatchRule::Or(vec![MatchRule::threshold(1, FieldDistance::Angular, 0.2)]),
+        ]);
+        assert!(rule.validate(&s).is_ok());
+    }
+
+    #[test]
+    fn validate_catches_kind_mismatch() {
+        let s = two_field_schema();
+        let rule = MatchRule::threshold(0, FieldDistance::Angular, 0.4);
+        assert!(rule.validate(&s).is_err());
+    }
+
+    #[test]
+    fn validate_catches_bad_field_index() {
+        let s = two_field_schema();
+        let rule = MatchRule::threshold(7, FieldDistance::Jaccard, 0.4);
+        assert!(rule.validate(&s).is_err());
+    }
+
+    #[test]
+    fn validate_catches_bad_threshold() {
+        let s = two_field_schema();
+        let rule = MatchRule::threshold(0, FieldDistance::Jaccard, 1.4);
+        assert!(rule.validate(&s).is_err());
+    }
+
+    #[test]
+    fn validate_catches_bad_weights() {
+        let s = two_field_schema();
+        let rule = MatchRule::WeightedAverage {
+            parts: vec![WeightedPart {
+                field: 0,
+                metric: FieldDistance::Jaccard,
+                weight: 0.7,
+            }],
+            dthr: 0.5,
+        };
+        assert!(rule.validate(&s).is_err(), "weights must sum to 1");
+    }
+
+    #[test]
+    fn validate_catches_empty_combinator() {
+        let s = two_field_schema();
+        assert!(MatchRule::And(vec![]).validate(&s).is_err());
+        assert!(MatchRule::Or(vec![]).validate(&s).is_err());
+    }
+
+    #[test]
+    fn elementary_distance_counts() {
+        let rule = MatchRule::And(vec![
+            MatchRule::threshold(0, FieldDistance::Jaccard, 0.4),
+            MatchRule::WeightedAverage {
+                parts: vec![
+                    WeightedPart {
+                        field: 0,
+                        metric: FieldDistance::Jaccard,
+                        weight: 0.5,
+                    },
+                    WeightedPart {
+                        field: 1,
+                        metric: FieldDistance::Angular,
+                        weight: 0.5,
+                    },
+                ],
+                dthr: 0.3,
+            },
+        ]);
+        assert_eq!(rule.num_elementary_distances(), 3);
+    }
+}

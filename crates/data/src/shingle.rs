@@ -1,0 +1,206 @@
+//! Shingle sets and the Jaccard distance.
+//!
+//! Text fields (publication titles, author lists, spot signatures of web
+//! articles — paper §6.3) are represented as *sets of shingles*. Each
+//! shingle is pre-hashed to a `u64`, so set operations are cheap integer
+//! work regardless of the original token length. Sets are stored as
+//! sorted, deduplicated vectors: intersection/union run in a single merge
+//! pass and the representation is cache-friendly.
+
+use serde::{Deserialize, Serialize};
+
+/// A set of 64-bit shingle hashes, stored sorted and deduplicated.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShingleSet(Vec<u64>);
+
+impl ShingleSet {
+    /// Builds a set from arbitrary (unsorted, possibly duplicated) hashes.
+    pub fn new(mut shingles: Vec<u64>) -> Self {
+        shingles.sort_unstable();
+        shingles.dedup();
+        Self(shingles)
+    }
+
+    /// Builds a set by hashing string tokens with [`hash_token`].
+    pub fn from_tokens<S: AsRef<str>>(tokens: impl IntoIterator<Item = S>) -> Self {
+        Self::new(tokens.into_iter().map(|t| hash_token(t.as_ref())).collect())
+    }
+
+    /// Builds the set of `k`-gram word shingles of `text` (whitespace
+    /// tokenization, lowercased). `k = 1` yields the bag-of-words set.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn word_shingles(text: &str, k: usize) -> Self {
+        assert!(k > 0, "shingle length must be positive");
+        let tokens: Vec<String> = text
+            .split_whitespace()
+            .map(|t| t.to_lowercase())
+            .collect();
+        if tokens.len() < k {
+            // Shorter than one shingle: fall back to the whole text as a
+            // single shingle so tiny fields still compare meaningfully.
+            if tokens.is_empty() {
+                return Self(Vec::new());
+            }
+            return Self::new(vec![hash_token(&tokens.join(" "))]);
+        }
+        let shingles = tokens
+            .windows(k)
+            .map(|w| hash_token(&w.join(" ")))
+            .collect();
+        Self::new(shingles)
+    }
+
+    /// Number of distinct shingles.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Sorted view of the shingle hashes.
+    pub fn shingles(&self) -> &[u64] {
+        &self.0
+    }
+
+    /// Size of the intersection with `other` (single merge pass).
+    pub fn intersection_size(&self, other: &Self) -> usize {
+        let (mut i, mut j, mut n) = (0, 0, 0);
+        while i < self.0.len() && j < other.0.len() {
+            match self.0[i].cmp(&other.0[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    n += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// Jaccard *similarity* `|A ∩ B| / |A ∪ B| ∈ [0, 1]`.
+    ///
+    /// Two empty sets are defined to be identical (similarity 1).
+    pub fn jaccard_similarity(&self, other: &Self) -> f64 {
+        if self.is_empty() && other.is_empty() {
+            return 1.0;
+        }
+        let inter = self.intersection_size(other);
+        let union = self.0.len() + other.0.len() - inter;
+        inter as f64 / union as f64
+    }
+
+    /// Jaccard *distance* `1 − similarity ∈ [0, 1]` — the form every LSH
+    /// component in this workspace consumes.
+    pub fn jaccard_distance(&self, other: &Self) -> f64 {
+        1.0 - self.jaccard_similarity(other)
+    }
+}
+
+/// Hashes a token to a `u64` with the FNV-1a function.
+///
+/// FNV-1a is tiny, has no dependencies, and its diffusion is more than
+/// enough for shingle identity; MinHash applies its own mixing on top.
+pub fn hash_token(token: &str) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for b in token.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_and_sort() {
+        let s = ShingleSet::new(vec![5, 1, 5, 3, 1]);
+        assert_eq!(s.shingles(), &[1, 3, 5]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn intersection_size_merge() {
+        let a = ShingleSet::new(vec![1, 2, 3, 4]);
+        let b = ShingleSet::new(vec![3, 4, 5]);
+        assert_eq!(a.intersection_size(&b), 2);
+        assert_eq!(b.intersection_size(&a), 2);
+    }
+
+    #[test]
+    fn jaccard_known_value() {
+        let a = ShingleSet::new(vec![1, 2, 3, 4]);
+        let b = ShingleSet::new(vec![3, 4, 5]);
+        // |A ∩ B| = 2, |A ∪ B| = 5.
+        assert!((a.jaccard_similarity(&b) - 0.4).abs() < 1e-12);
+        assert!((a.jaccard_distance(&b) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaccard_identical_sets() {
+        let a = ShingleSet::new(vec![7, 8]);
+        assert_eq!(a.jaccard_similarity(&a.clone()), 1.0);
+        assert_eq!(a.jaccard_distance(&a.clone()), 0.0);
+    }
+
+    #[test]
+    fn jaccard_disjoint_sets() {
+        let a = ShingleSet::new(vec![1]);
+        let b = ShingleSet::new(vec![2]);
+        assert_eq!(a.jaccard_similarity(&b), 0.0);
+        assert_eq!(a.jaccard_distance(&b), 1.0);
+    }
+
+    #[test]
+    fn jaccard_empty_sets_match() {
+        let e = ShingleSet::new(vec![]);
+        assert_eq!(e.jaccard_similarity(&e.clone()), 1.0);
+    }
+
+    #[test]
+    fn jaccard_empty_vs_nonempty() {
+        let e = ShingleSet::new(vec![]);
+        let a = ShingleSet::new(vec![1]);
+        assert_eq!(e.jaccard_similarity(&a), 0.0);
+    }
+
+    #[test]
+    fn word_shingles_bigrams() {
+        let s = ShingleSet::word_shingles("the quick brown fox", 2);
+        // "the quick", "quick brown", "brown fox"
+        assert_eq!(s.len(), 3);
+        let t = ShingleSet::word_shingles("THE QUICK brown fox", 2);
+        assert_eq!(s, t, "shingling must be case-insensitive");
+    }
+
+    #[test]
+    fn word_shingles_short_text() {
+        let s = ShingleSet::word_shingles("hello", 3);
+        assert_eq!(s.len(), 1);
+        let e = ShingleSet::word_shingles("   ", 3);
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn from_tokens_matches_manual_hash() {
+        let s = ShingleSet::from_tokens(["a", "b"]);
+        let manual = ShingleSet::new(vec![hash_token("a"), hash_token("b")]);
+        assert_eq!(s, manual);
+    }
+
+    #[test]
+    fn hash_token_distinguishes_tokens() {
+        assert_ne!(hash_token("abc"), hash_token("abd"));
+        assert_ne!(hash_token(""), hash_token("a"));
+    }
+}

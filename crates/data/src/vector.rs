@@ -1,0 +1,174 @@
+//! Dense numeric vectors and the cosine / angular distance.
+//!
+//! The paper's image experiments represent each record as an RGB-histogram
+//! vector and declare two records a match when the *angle* between their
+//! vectors is below a threshold (paper §6.3, PopularImages). Throughout the
+//! workspace distances are **normalized to `[0, 1]`**: an angle of `θ`
+//! degrees maps to `θ / 180` (paper Example 5, `x = θ/180`).
+
+use serde::{Deserialize, Serialize};
+
+/// A dense vector of `f64` components.
+///
+/// Invariant: never empty. Construction normalizes nothing — callers that
+/// want unit vectors should call [`DenseVector::normalized`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DenseVector(Vec<f64>);
+
+impl DenseVector {
+    /// Creates a vector from raw components.
+    ///
+    /// # Panics
+    /// Panics if `components` is empty.
+    pub fn new(components: Vec<f64>) -> Self {
+        assert!(!components.is_empty(), "DenseVector must be non-empty");
+        Self(components)
+    }
+
+    /// Number of dimensions.
+    pub fn dim(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Read-only view of the components.
+    pub fn components(&self) -> &[f64] {
+        &self.0
+    }
+
+    /// Dot product with another vector.
+    ///
+    /// # Panics
+    /// Panics if the dimensions differ.
+    pub fn dot(&self, other: &Self) -> f64 {
+        assert_eq!(self.dim(), other.dim(), "dimension mismatch");
+        self.0
+            .iter()
+            .zip(other.0.iter())
+            .map(|(a, b)| a * b)
+            .sum()
+    }
+
+    /// Euclidean norm.
+    pub fn norm(&self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Returns a unit-length copy of this vector.
+    ///
+    /// A zero vector is returned unchanged (there is no direction to keep).
+    pub fn normalized(&self) -> Self {
+        let n = self.norm();
+        if n == 0.0 {
+            return self.clone();
+        }
+        Self(self.0.iter().map(|c| c / n).collect())
+    }
+
+    /// The angle between two vectors, in **degrees**, in `[0, 180]`.
+    ///
+    /// Zero vectors are defined to be at angle 0 from everything: they carry
+    /// no direction, and treating them as maximally distant would make a
+    /// single empty histogram poison transitive closure.
+    pub fn angle_degrees(&self, other: &Self) -> f64 {
+        let denom = self.norm() * other.norm();
+        if denom == 0.0 {
+            return 0.0;
+        }
+        let cos = (self.dot(other) / denom).clamp(-1.0, 1.0);
+        cos.acos().to_degrees()
+    }
+
+    /// The normalized angular distance `θ / 180 ∈ [0, 1]` used everywhere
+    /// in the paper for the cosine metric (Example 5).
+    pub fn angular_distance(&self, other: &Self) -> f64 {
+        self.angle_degrees(other) / 180.0
+    }
+}
+
+/// Converts a threshold expressed in degrees to the normalized distance
+/// in `[0, 1]` used by [`DenseVector::angular_distance`] and by the LSH
+/// scheme optimizer.
+pub fn degrees_to_distance(theta_degrees: f64) -> f64 {
+    theta_degrees / 180.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(c: &[f64]) -> DenseVector {
+        DenseVector::new(c.to_vec())
+    }
+
+    #[test]
+    fn dot_and_norm() {
+        let a = v(&[3.0, 4.0]);
+        let b = v(&[1.0, 0.0]);
+        assert_eq!(a.dot(&b), 3.0);
+        assert_eq!(a.norm(), 5.0);
+    }
+
+    #[test]
+    fn normalized_has_unit_norm() {
+        let a = v(&[3.0, 4.0]).normalized();
+        assert!((a.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_zero_vector_is_identity() {
+        let z = v(&[0.0, 0.0]);
+        assert_eq!(z.normalized(), z);
+    }
+
+    #[test]
+    fn angle_orthogonal_is_90() {
+        let a = v(&[1.0, 0.0]);
+        let b = v(&[0.0, 1.0]);
+        assert!((a.angle_degrees(&b) - 90.0).abs() < 1e-9);
+        assert!((a.angular_distance(&b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn angle_opposite_is_180() {
+        let a = v(&[1.0, 0.0]);
+        let b = v(&[-1.0, 0.0]);
+        assert!((a.angle_degrees(&b) - 180.0).abs() < 1e-9);
+        assert!((a.angular_distance(&b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn angle_same_direction_is_zero() {
+        let a = v(&[2.0, 1.0]);
+        let b = v(&[4.0, 2.0]);
+        // acos is ill-conditioned near cos = 1; a few 1e-5 degrees of
+        // numerical slack is far below any threshold we ever use (≥ 2°).
+        assert!(a.angle_degrees(&b).abs() < 1e-3);
+    }
+
+    #[test]
+    fn angle_with_zero_vector_is_zero() {
+        let a = v(&[1.0, 2.0]);
+        let z = v(&[0.0, 0.0]);
+        assert_eq!(a.angle_degrees(&z), 0.0);
+    }
+
+    #[test]
+    fn degrees_conversion_matches_paper_example() {
+        // Paper Example 5: dthr = 15/180.
+        assert!((degrees_to_distance(15.0) - 15.0 / 180.0).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_vector_rejected() {
+        let _ = DenseVector::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dot_dimension_mismatch_panics() {
+        let a = v(&[1.0]);
+        let b = v(&[1.0, 2.0]);
+        let _ = a.dot(&b);
+    }
+}

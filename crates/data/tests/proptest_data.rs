@@ -1,0 +1,110 @@
+//! Property-based tests for the record model: metric axioms and
+//! representation invariants that must hold for arbitrary inputs.
+
+use adalsh_data::{DenseVector, FieldDistance, FieldValue, MatchRule, ShingleSet};
+use proptest::prelude::*;
+
+fn shingle_strategy() -> impl Strategy<Value = ShingleSet> {
+    prop::collection::vec(0u64..500, 0..60).prop_map(ShingleSet::new)
+}
+
+fn vector_strategy() -> impl Strategy<Value = DenseVector> {
+    prop::collection::vec(-100.0f64..100.0, 1..32).prop_map(DenseVector::new)
+}
+
+proptest! {
+    #[test]
+    fn jaccard_distance_in_unit_interval(a in shingle_strategy(), b in shingle_strategy()) {
+        let d = a.jaccard_distance(&b);
+        prop_assert!((0.0..=1.0).contains(&d));
+    }
+
+    #[test]
+    fn jaccard_is_symmetric(a in shingle_strategy(), b in shingle_strategy()) {
+        prop_assert_eq!(a.jaccard_distance(&b), b.jaccard_distance(&a));
+    }
+
+    #[test]
+    fn jaccard_identity(a in shingle_strategy()) {
+        prop_assert_eq!(a.jaccard_distance(&a.clone()), 0.0);
+    }
+
+    #[test]
+    fn jaccard_triangle_inequality(
+        a in shingle_strategy(),
+        b in shingle_strategy(),
+        c in shingle_strategy(),
+    ) {
+        // The Jaccard distance is a proper metric.
+        let ab = a.jaccard_distance(&b);
+        let bc = b.jaccard_distance(&c);
+        let ac = a.jaccard_distance(&c);
+        prop_assert!(ac <= ab + bc + 1e-12, "ac={ac} ab={ab} bc={bc}");
+    }
+
+    #[test]
+    fn intersection_bounded_by_sizes(a in shingle_strategy(), b in shingle_strategy()) {
+        let i = a.intersection_size(&b);
+        prop_assert!(i <= a.len() && i <= b.len());
+    }
+
+    #[test]
+    fn shingle_set_is_sorted_dedup(v in prop::collection::vec(0u64..100, 0..100)) {
+        let s = ShingleSet::new(v);
+        let sh = s.shingles();
+        prop_assert!(sh.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn angular_distance_in_unit_interval(a in vector_strategy()) {
+        // Compare against a fixed same-dimension vector.
+        let b = DenseVector::new(vec![1.0; a.dim()]);
+        let d = a.angular_distance(&b);
+        prop_assert!((0.0..=1.0).contains(&d));
+    }
+
+    #[test]
+    fn angular_is_symmetric(a in vector_strategy()) {
+        let b = DenseVector::new(vec![0.5; a.dim()]);
+        prop_assert!((a.angular_distance(&b) - b.angular_distance(&a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn angular_scale_invariant(a in vector_strategy(), scale in 0.001f64..1000.0) {
+        let b = DenseVector::new(vec![1.0; a.dim()]);
+        let scaled = DenseVector::new(a.components().iter().map(|x| x * scale).collect());
+        let d1 = a.angular_distance(&b);
+        let d2 = scaled.angular_distance(&b);
+        prop_assert!((d1 - d2).abs() < 1e-6, "{d1} vs {d2}");
+    }
+
+    #[test]
+    fn threshold_rule_consistent_with_distance(
+        a in shingle_strategy(),
+        b in shingle_strategy(),
+        dthr in 0.0f64..=1.0,
+    ) {
+        let rule = MatchRule::threshold(0, FieldDistance::Jaccard, dthr);
+        let ra = adalsh_data::Record::single(FieldValue::Shingles(a.clone()));
+        let rb = adalsh_data::Record::single(FieldValue::Shingles(b.clone()));
+        let matched = rule.matches(&ra, &rb);
+        prop_assert_eq!(matched, a.jaccard_distance(&b) <= dthr);
+    }
+
+    #[test]
+    fn and_rule_is_intersection_of_parts(
+        a in shingle_strategy(),
+        b in shingle_strategy(),
+        t1 in 0.0f64..=1.0,
+        t2 in 0.0f64..=1.0,
+    ) {
+        let r1 = MatchRule::threshold(0, FieldDistance::Jaccard, t1);
+        let r2 = MatchRule::threshold(0, FieldDistance::Jaccard, t2);
+        let and = MatchRule::And(vec![r1.clone(), r2.clone()]);
+        let or = MatchRule::Or(vec![r1.clone(), r2.clone()]);
+        let ra = adalsh_data::Record::single(FieldValue::Shingles(a));
+        let rb = adalsh_data::Record::single(FieldValue::Shingles(b));
+        prop_assert_eq!(and.matches(&ra, &rb), r1.matches(&ra, &rb) && r2.matches(&ra, &rb));
+        prop_assert_eq!(or.matches(&ra, &rb), r1.matches(&ra, &rb) || r2.matches(&ra, &rb));
+    }
+}

@@ -1,0 +1,31 @@
+//! # adalsh-datagen
+//!
+//! Synthetic dataset generators standing in for the paper's three
+//! evaluation datasets (§6.3), which are external artifacts not available
+//! offline. Each generator preserves the properties the algorithms are
+//! sensitive to — entity-size distribution, record dimensionality /
+//! per-hash cost, and the density of near-threshold distractor pairs —
+//! as documented per generator and in `DESIGN.md` §3.
+//!
+//! * [`cora`] — multi-field publication records (title/authors/rest
+//!   shingle sets) matched by an AND-of-(weighted-average, threshold)
+//!   rule, like the paper's Cora setup;
+//! * [`spotsigs`] — high-dimensional spot-signature sets matched by a
+//!   single Jaccard threshold, like SpotSigs;
+//! * [`popimages`] — RGB-histogram-like unit vectors matched by an
+//!   angular threshold with tunable Zipf exponent, like PopularImages;
+//! * [`zipf`] — the shared Zipfian entity-size machinery;
+//! * [`upsample`](scale::upsample()) — the paper's Nx dataset scaling
+//!   (uniform entity, then uniform record, duplicated in).
+
+pub mod cora;
+pub mod popimages;
+pub mod scale;
+pub mod spotsigs;
+pub mod zipf;
+
+pub use cora::{CoraConfig, Publication};
+pub use popimages::PopImagesConfig;
+pub use scale::upsample;
+pub use spotsigs::SpotSigsConfig;
+pub use zipf::zipf_sizes;

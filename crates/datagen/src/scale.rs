@@ -1,0 +1,120 @@
+//! The paper's Nx dataset scaling (§6.3).
+//!
+//! "To extend the original dataset, we uniformly at random select an
+//! entity `a` and uniformly at random pick a record `rₐ` referring to
+//! `a`, for each record added to the dataset." Note the two-stage
+//! uniformity: entities are drawn uniformly (not size-weighted), so
+//! scaling flattens the size distribution somewhat — small entities grow
+//! as fast as large ones in absolute terms.
+
+use adalsh_data::Dataset;
+use rand::{Rng, SeedableRng};
+
+/// Extends `dataset` to `target_len` records by the paper's process:
+/// repeatedly duplicate a uniformly-chosen record of a uniformly-chosen
+/// entity. Returns a new dataset; the original records keep their ids
+/// `0..n`.
+///
+/// # Panics
+/// Panics if `target_len < dataset.len()`.
+pub fn upsample(dataset: &Dataset, target_len: usize, seed: u64) -> Dataset {
+    assert!(
+        target_len >= dataset.len(),
+        "target must not shrink the dataset"
+    );
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let clusters = dataset.ground_truth_clusters();
+    let mut records: Vec<_> = dataset.records().to_vec();
+    let mut gt: Vec<u32> = dataset.ground_truth().to_vec();
+    while records.len() < target_len {
+        let entity = &clusters[rng.random_range(0..clusters.len())];
+        let rid = entity[rng.random_range(0..entity.len())];
+        records.push(dataset.record(rid).clone());
+        gt.push(dataset.entity_of(rid));
+    }
+    Dataset::new(dataset.schema().clone(), records, gt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adalsh_data::{FieldKind, FieldValue, Record, Schema, ShingleSet};
+
+    fn toy() -> Dataset {
+        let schema = Schema::single("s", FieldKind::Shingles);
+        let mk = |v: u64| Record::single(FieldValue::Shingles(ShingleSet::new(vec![v])));
+        Dataset::new(
+            schema,
+            vec![mk(1), mk(1), mk(2), mk(3)],
+            vec![0, 0, 1, 2],
+        )
+    }
+
+    #[test]
+    fn reaches_target_length() {
+        let d = toy();
+        let up = upsample(&d, 20, 7);
+        assert_eq!(up.len(), 20);
+    }
+
+    #[test]
+    fn prefix_is_the_original() {
+        let d = toy();
+        let up = upsample(&d, 10, 7);
+        for i in 0..d.len() as u32 {
+            assert_eq!(up.record(i), d.record(i));
+            assert_eq!(up.entity_of(i), d.entity_of(i));
+        }
+    }
+
+    #[test]
+    fn added_records_are_copies_of_existing() {
+        let d = toy();
+        let up = upsample(&d, 30, 9);
+        for i in d.len() as u32..30 {
+            let rec = up.record(i);
+            let entity = up.entity_of(i);
+            assert!(
+                (0..d.len() as u32)
+                    .any(|j| d.record(j) == rec && d.entity_of(j) == entity),
+                "record {i} is not a copy"
+            );
+        }
+    }
+
+    #[test]
+    fn entity_set_is_preserved() {
+        let d = toy();
+        let up = upsample(&d, 50, 3);
+        assert_eq!(up.num_entities(), d.num_entities());
+    }
+
+    #[test]
+    fn uniform_entity_choice_flattens_distribution() {
+        // Entity 0 starts with 2 of 4 records (50%); after heavy
+        // upsampling its expected share tends to 1/3 (uniform over the
+        // three entities).
+        let d = toy();
+        let up = upsample(&d, 4000, 11);
+        let share = up.entity_sizes()[0] as f64 / up.len() as f64;
+        assert!(
+            (0.30..0.40).contains(&share),
+            "top share {share} should approach 1/3"
+        );
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let d = toy();
+        let a = upsample(&d, 12, 5);
+        let b = upsample(&d, 12, 5);
+        assert_eq!(a.ground_truth(), b.ground_truth());
+    }
+
+    #[test]
+    fn noop_when_target_equals_len() {
+        let d = toy();
+        let up = upsample(&d, 4, 1);
+        assert_eq!(up.len(), 4);
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests for the dataset generators: structural
+//! invariants that must hold for arbitrary configurations.
+
+use adalsh_datagen::popimages::{self, PopImagesConfig};
+use adalsh_datagen::spotsigs::{self, SpotSigsConfig};
+use adalsh_datagen::{cora, upsample, zipf_sizes, CoraConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn zipf_partitions_any_feasible_input(
+        n in 1usize..300,
+        extra in 0usize..3000,
+        exp_milli in 100u32..2500,
+    ) {
+        let total = n + extra;
+        let sizes = zipf_sizes(n, total, exp_milli as f64 / 1000.0);
+        prop_assert_eq!(sizes.len(), n);
+        prop_assert_eq!(sizes.iter().sum::<usize>(), total);
+        prop_assert!(sizes.windows(2).all(|w| w[0] >= w[1]));
+        prop_assert!(sizes.iter().all(|&s| s >= 1));
+    }
+
+    #[test]
+    fn cora_structure_for_any_size(
+        entities in 5usize..60,
+        per_entity in 2usize..8,
+        seed in 0u64..100,
+    ) {
+        let cfg = CoraConfig {
+            num_entities: entities,
+            num_records: entities * per_entity,
+            seed,
+            ..CoraConfig::default()
+        };
+        let (d, texts) = cora::generate(&cfg);
+        prop_assert_eq!(d.len(), entities * per_entity);
+        prop_assert_eq!(texts.len(), d.len());
+        prop_assert_eq!(d.num_entities(), entities);
+        prop_assert!(cora::match_rule().validate(d.schema()).is_ok());
+        // Every record's fields are non-empty shingle sets.
+        for i in 0..d.len() as u32 {
+            for f in d.record(i).fields() {
+                prop_assert!(!f.as_shingles().is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn spotsigs_structure_for_any_size(
+        entities in 5usize..40,
+        per_entity in 3usize..8,
+        singleton_pct in 0u32..=50,
+        seed in 0u64..100,
+    ) {
+        let clustered = entities * per_entity;
+        let total = (clustered as f64 / (1.0 - singleton_pct as f64 / 100.0)).ceil() as usize;
+        let cfg = SpotSigsConfig {
+            num_entities: entities,
+            num_records: total,
+            singleton_frac: singleton_pct as f64 / 100.0,
+            seed,
+            ..SpotSigsConfig::default()
+        };
+        let d = spotsigs::generate(&cfg);
+        prop_assert_eq!(d.len(), total);
+        // Entities = clustered + singletons actually generated.
+        let singles = (total as f64 * cfg.singleton_frac) as usize;
+        prop_assert_eq!(d.num_entities(), entities + singles);
+    }
+
+    #[test]
+    fn popimages_unit_vectors_for_any_config(
+        entities in 5usize..30,
+        per_entity in 2usize..6,
+        exp_centi in 100u32..140,
+        seed in 0u64..50,
+    ) {
+        let cfg = PopImagesConfig {
+            num_entities: entities,
+            num_records: entities * per_entity,
+            num_archetypes: (entities / 4).max(2),
+            zipf_exponent: exp_centi as f64 / 100.0,
+            seed,
+            ..PopImagesConfig::default()
+        };
+        let d = popimages::generate(&cfg);
+        prop_assert_eq!(d.len(), entities * per_entity);
+        for i in 0..d.len().min(30) as u32 {
+            let n = d.record(i).field(0).as_dense().norm();
+            prop_assert!((n - 1.0).abs() < 1e-9, "norm {}", n);
+        }
+    }
+
+    #[test]
+    fn upsample_invariants(
+        factor in 1usize..6,
+        seed in 0u64..100,
+    ) {
+        let base = spotsigs::generate(&SpotSigsConfig {
+            num_entities: 10,
+            num_records: 60,
+            ..SpotSigsConfig::default()
+        });
+        let up = upsample(&base, base.len() * factor, seed);
+        prop_assert_eq!(up.len(), base.len() * factor);
+        prop_assert_eq!(up.num_entities(), base.num_entities());
+        // The original is a prefix.
+        for i in 0..base.len() as u32 {
+            prop_assert_eq!(up.entity_of(i), base.entity_of(i));
+        }
+    }
+}

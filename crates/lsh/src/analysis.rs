@@ -1,0 +1,161 @@
+//! Scheme diagnostics: where does a scheme actually separate?
+//!
+//! The optimizer guarantees recall at the threshold (constraint (3)) and
+//! minimizes the integrated false-positive area (objective (1)), but two
+//! practical questions remain for a *given* dataset:
+//!
+//! * **Fuzzy zone** — over which distance band does the scheme's
+//!   collision probability fall from "almost always" to "almost never"?
+//!   Pairs inside the band are merged essentially at random; a heavy
+//!   mass of pairs there (e.g. near-duplicate "versions" at 1.2× the
+//!   threshold) makes the scheme's output unstable and is the tell-tale
+//!   of a dataset that needs `P` verification.
+//! * **Expected false-merge mass** — given a histogram of pair
+//!   distances, how many beyond-threshold pairs does one invocation of
+//!   the scheme merge in expectation?
+//!
+//! These diagnostics power the library's tuning guidance (and were used
+//! to calibrate the experiment generators in `adalsh-datagen`).
+
+use crate::scheme::Scheme;
+
+/// The distance band over which a scheme's collision probability falls
+/// from `hi` to `lo`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FuzzyZone {
+    /// Largest distance with collision probability ≥ `hi`.
+    pub certain_until: f64,
+    /// Smallest distance with collision probability ≤ `lo`.
+    pub negligible_from: f64,
+}
+
+impl FuzzyZone {
+    /// Band width `negligible_from − certain_until`.
+    pub fn width(&self) -> f64 {
+        self.negligible_from - self.certain_until
+    }
+}
+
+/// Computes the fuzzy zone of `scheme` under elementary collision
+/// probability `p(x)`, between probability levels `hi` (e.g. 0.99) and
+/// `lo` (e.g. 0.01), by scanning `[0, 1]` at resolution `steps`.
+///
+/// # Panics
+/// Panics unless `0 < lo < hi < 1` and `steps ≥ 2`.
+pub fn fuzzy_zone(
+    scheme: &Scheme,
+    p: &dyn Fn(f64) -> f64,
+    hi: f64,
+    lo: f64,
+    steps: usize,
+) -> FuzzyZone {
+    assert!(0.0 < lo && lo < hi && hi < 1.0, "need 0 < lo < hi < 1");
+    assert!(steps >= 2);
+    let mut certain_until = 0.0;
+    let mut negligible_from = 1.0;
+    let mut seen_negligible = false;
+    for i in 0..=steps {
+        let x = i as f64 / steps as f64;
+        let c = scheme.collision_prob(p(x));
+        if c >= hi {
+            certain_until = x;
+        }
+        if c <= lo && !seen_negligible {
+            negligible_from = x;
+            seen_negligible = true;
+        }
+    }
+    FuzzyZone {
+        certain_until,
+        negligible_from,
+    }
+}
+
+/// Expected number of beyond-threshold pairs merged by one invocation of
+/// `scheme`, given a histogram of pair distances: `histogram[i]` counts
+/// pairs in the distance bin `[i/bins, (i+1)/bins)`.
+pub fn expected_false_merges(
+    scheme: &Scheme,
+    p: &dyn Fn(f64) -> f64,
+    dthr: f64,
+    histogram: &[u64],
+) -> f64 {
+    assert!(!histogram.is_empty());
+    let bins = histogram.len();
+    histogram
+        .iter()
+        .enumerate()
+        .map(|(i, &count)| {
+            let mid = (i as f64 + 0.5) / bins as f64;
+            if mid <= dthr {
+                0.0
+            } else {
+                count as f64 * scheme.collision_prob(p(mid))
+            }
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear(x: f64) -> f64 {
+        1.0 - x
+    }
+
+    #[test]
+    fn fuzzy_zone_ordering() {
+        let s = Scheme::pure(10, 40);
+        let z = fuzzy_zone(&s, &linear, 0.99, 0.01, 400);
+        assert!(z.certain_until < z.negligible_from);
+        assert!(z.width() > 0.0);
+    }
+
+    #[test]
+    fn sharper_schemes_have_narrower_zones_at_same_recall_point() {
+        // Same "certain" point, bigger w·z: the drop is steeper.
+        let blunt = Scheme::pure(2, 12);
+        let sharp = Scheme::pure(8, 1500);
+        let zb = fuzzy_zone(&blunt, &linear, 0.95, 0.05, 800);
+        let zs = fuzzy_zone(&sharp, &linear, 0.95, 0.05, 800);
+        // Compare relative widths (normalized by the certain point).
+        let rel = |z: FuzzyZone| z.width() / z.negligible_from.max(1e-9);
+        assert!(
+            rel(zs) < rel(zb),
+            "sharp {:?} vs blunt {:?}",
+            zs,
+            zb
+        );
+    }
+
+    #[test]
+    fn false_merges_counts_only_beyond_threshold() {
+        let s = Scheme::pure(1, 1);
+        // All mass below the threshold ⇒ zero false merges.
+        let hist = [100, 100, 0, 0];
+        assert_eq!(expected_false_merges(&s, &linear, 0.6, &hist), 0.0);
+        // Mass far beyond the threshold with a permissive scheme.
+        let hist = [0, 0, 0, 100];
+        let fm = expected_false_merges(&s, &linear, 0.5, &hist);
+        // Bin mid 0.875, p = 0.125 per pair, 100 pairs.
+        assert!((fm - 12.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn false_merges_shrink_with_sharper_schemes() {
+        let hist = [0u64, 0, 50, 200, 400, 100];
+        let blunt = Scheme::pure(1, 20);
+        let sharp = Scheme::pure(6, 400);
+        let fb = expected_false_merges(&blunt, &linear, 0.3, &hist);
+        let fs = expected_false_merges(&sharp, &linear, 0.3, &hist);
+        assert!(fs < fb);
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < lo < hi < 1")]
+    fn bad_levels_rejected() {
+        let s = Scheme::pure(2, 2);
+        let _ = fuzzy_zone(&s, &linear, 0.01, 0.99, 100);
+    }
+}

@@ -1,0 +1,145 @@
+//! AND/OR amplification of locality-sensitive families.
+//!
+//! Implements the sensitivity algebra of paper Appendix A: a family is
+//! `(d₁, d₂, p₁, p₂)`-sensitive (Definition 4) when records within
+//! distance `d₁` collide with probability ≥ `p₁` and records beyond `d₂`
+//! collide with probability ≤ `p₂`. The AND-construction over `w`
+//! functions yields `(d₁, d₂, p₁ʷ, p₂ʷ)` (Definition 5); the
+//! OR-construction over `z` yields
+//! `(d₁, d₂, 1−(1−p₁)ᶻ, 1−(1−p₂)ᶻ)` (Definition 6). A `(w,z)`-scheme is
+//! the AND-OR composition.
+
+use serde::{Deserialize, Serialize};
+
+/// A `(d₁, d₂, p₁, p₂)` sensitivity claim (paper Definition 4).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sensitivity {
+    /// "Near" distance: pairs within `d1` collide w.p. ≥ `p1`.
+    pub d1: f64,
+    /// "Far" distance: pairs beyond `d2` collide w.p. ≤ `p2`.
+    pub d2: f64,
+    /// Lower bound on near-pair collision probability.
+    pub p1: f64,
+    /// Upper bound on far-pair collision probability.
+    pub p2: f64,
+}
+
+impl Sensitivity {
+    /// Constructs a sensitivity, checking `d1 < d2` and `p1 > p2` — the
+    /// "useful family" conditions noted after Definition 4.
+    ///
+    /// # Panics
+    /// Panics if the conditions fail or values leave their ranges.
+    pub fn new(d1: f64, d2: f64, p1: f64, p2: f64) -> Self {
+        assert!(d1 < d2, "need d1 < d2 (got {d1} >= {d2})");
+        assert!(p1 > p2, "need p1 > p2 (got {p1} <= {p2})");
+        assert!((0.0..=1.0).contains(&p1) && (0.0..=1.0).contains(&p2));
+        Self { d1, d2, p1, p2 }
+    }
+
+    /// The sensitivity of a family with `p(x) = 1 − x` (hyperplanes,
+    /// MinHash) at the chosen near/far distances — paper Example 6
+    /// (`(θ₁, θ₂, 1−θ₁/180, 1−θ₂/180)` in normalized form).
+    pub fn linear(d1: f64, d2: f64) -> Self {
+        Self::new(d1, d2, 1.0 - d1, 1.0 - d2)
+    }
+
+    /// AND-construction over `w` functions (Definition 5).
+    pub fn and_construction(&self, w: u32) -> Self {
+        Self {
+            d1: self.d1,
+            d2: self.d2,
+            p1: self.p1.powi(w as i32),
+            p2: self.p2.powi(w as i32),
+        }
+    }
+
+    /// OR-construction over `z` functions (Definition 6).
+    pub fn or_construction(&self, z: u32) -> Self {
+        Self {
+            d1: self.d1,
+            d2: self.d2,
+            p1: 1.0 - (1.0 - self.p1).powi(z as i32),
+            p2: 1.0 - (1.0 - self.p2).powi(z as i32),
+        }
+    }
+
+    /// AND-OR composition: `w` functions per table, `z` tables — the
+    /// `(w,z)`-scheme amplification used throughout the paper.
+    pub fn and_or(&self, w: u32, z: u32) -> Self {
+        self.and_construction(w).or_construction(z)
+    }
+
+    /// The amplification *gap* `p1 − p2`; AND-OR should widen it.
+    pub fn gap(&self) -> f64 {
+        self.p1 - self.p2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_matches_example6() {
+        // θ₁ = 30°, θ₂ = 60° normalized: (1/6, 1/3, 1−1/6, 1−1/3).
+        let s = Sensitivity::linear(30.0 / 180.0, 60.0 / 180.0);
+        assert!((s.p1 - (1.0 - 30.0 / 180.0)).abs() < 1e-15);
+        assert!((s.p2 - (1.0 - 60.0 / 180.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn and_construction_powers() {
+        let s = Sensitivity::new(0.1, 0.5, 0.9, 0.5);
+        let a = s.and_construction(3);
+        assert!((a.p1 - 0.9f64.powi(3)).abs() < 1e-15);
+        assert!((a.p2 - 0.5f64.powi(3)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn or_construction_complements() {
+        let s = Sensitivity::new(0.1, 0.5, 0.9, 0.5);
+        let o = s.or_construction(2);
+        assert!((o.p1 - (1.0 - 0.1f64 * 0.1)).abs() < 1e-12);
+        assert!((o.p2 - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn example3_probability() {
+        // Paper Example 3: θ = x·180, w = 3, z = 2 ⇒
+        // 1 − (1 − (1 − θ/180)³)².
+        let theta: f64 = 40.0;
+        let s = Sensitivity::linear(theta / 180.0, 0.9);
+        let amp = s.and_or(3, 2);
+        let p = 1.0 - theta / 180.0;
+        let expected = 1.0 - (1.0 - p.powi(3)).powi(2);
+        assert!((amp.p1 - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn and_or_widens_gap_for_good_params() {
+        // w=5, z=20 on a (0.1, 0.6, 0.9, 0.4) family.
+        let s = Sensitivity::new(0.1, 0.6, 0.9, 0.4);
+        let amp = s.and_or(5, 20);
+        assert!(amp.gap() > s.gap(), "amplification should widen the gap");
+        assert!(amp.p1 > 0.99);
+        assert!(amp.p2 < 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "p1 > p2")]
+    fn useless_family_rejected() {
+        let _ = Sensitivity::new(0.1, 0.5, 0.4, 0.4);
+    }
+
+    #[test]
+    fn amplification_keeps_probabilities_in_range() {
+        let s = Sensitivity::new(0.05, 0.5, 0.95, 0.5);
+        for &(w, z) in &[(1u32, 1u32), (30, 70), (60, 35), (15, 140)] {
+            let a = s.and_or(w, z);
+            assert!((0.0..=1.0).contains(&a.p1));
+            assert!((0.0..=1.0).contains(&a.p2));
+            assert!(a.p1 >= a.p2);
+        }
+    }
+}

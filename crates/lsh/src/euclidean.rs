@@ -1,0 +1,235 @@
+//! p-stable LSH family for the Euclidean (L2) distance.
+//!
+//! Datar–Immorlica–Indyk–Mirrokni hashing: project onto a random
+//! Gaussian direction, shift by a random offset, and quantize with
+//! bucket width `r`:
+//!
+//! ```text
+//! h(v) = ⌊(⟨a, v⟩ + b) / r⌋,   a ~ N(0, I),   b ~ U[0, r)
+//! ```
+//!
+//! For two vectors at L2 distance `c`, the collision probability is
+//!
+//! ```text
+//! p(c) = 1 − 2Φ(−r/c) − (2c / (√(2π)·r)) · (1 − e^{−r²/(2c²)})
+//! ```
+//!
+//! which is monotone decreasing in `c` — exactly the `p(x)` shape the
+//! scheme optimizer (Program (1)–(3)) consumes, normalized by a caller-
+//! chosen distance scale. The paper's own experiments use cosine/Jaccard
+//! families; this family extends the library to metric spaces those
+//! cannot serve (it is the family behind the entropy-based LSH the paper
+//! cites as related work).
+
+use rand::{Rng, SeedableRng};
+
+use crate::mix::derive_seed;
+
+/// A family of p-stable L2 hash functions over `R^dim`.
+#[derive(Debug, Clone)]
+pub struct EuclideanFamily {
+    dim: usize,
+    /// Quantization bucket width `r`.
+    r: f64,
+    seed: u64,
+    /// Memoized `(direction, offset)` per function.
+    functions: Vec<(Vec<f64>, f64)>,
+}
+
+impl EuclideanFamily {
+    /// Creates a family with bucket width `r` over `dim`-dimensional
+    /// vectors.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0` or `r <= 0`.
+    pub fn new(dim: usize, r: f64, seed: u64) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        assert!(r > 0.0, "bucket width must be positive");
+        Self {
+            dim,
+            r,
+            seed,
+            functions: Vec::new(),
+        }
+    }
+
+    /// The bucket width `r`.
+    pub fn bucket_width(&self) -> f64 {
+        self.r
+    }
+
+    /// Ensures functions `0..n` are materialized.
+    pub fn ensure_functions(&mut self, n: usize) {
+        while self.functions.len() < n {
+            let idx = self.functions.len() as u64;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(derive_seed(self.seed, idx));
+            let direction: Vec<f64> = (0..self.dim).map(|_| gaussian(&mut rng)).collect();
+            let offset: f64 = rng.random::<f64>() * self.r;
+            self.functions.push((direction, offset));
+        }
+    }
+
+    /// Evaluates hash function `fn_index` on `v` (a signed bucket index,
+    /// bit-cast to `u64` for uniformity with the other families).
+    ///
+    /// # Panics
+    /// Panics if the function is not materialized or dimensions differ.
+    pub fn hash(&self, fn_index: usize, v: &[f64]) -> u64 {
+        let (direction, offset) = &self.functions[fn_index];
+        assert_eq!(v.len(), self.dim, "vector dimension mismatch");
+        let dot: f64 = direction.iter().zip(v).map(|(a, x)| a * x).sum();
+        (((dot + offset) / self.r).floor() as i64) as u64
+    }
+
+    /// Collision probability of one hash function for two vectors at L2
+    /// distance `c` (the DIIM formula). `collision_prob(0) = 1`;
+    /// monotone decreasing in `c`.
+    pub fn collision_prob(&self, c: f64) -> f64 {
+        collision_prob(c, self.r)
+    }
+}
+
+/// The DIIM collision probability for bucket width `r` at distance `c`.
+pub fn collision_prob(c: f64, r: f64) -> f64 {
+    assert!(c >= 0.0 && r > 0.0);
+    if c == 0.0 {
+        return 1.0;
+    }
+    let t = r / c;
+    let phi_term = 1.0 - 2.0 * std_normal_cdf(-t);
+    let density_term =
+        (2.0 / (std::f64::consts::TAU.sqrt() * t)) * (1.0 - (-t * t / 2.0).exp());
+    (phi_term - density_term).clamp(0.0, 1.0)
+}
+
+/// Standard normal CDF via the Abramowitz–Stegun 7.1.26 erf polynomial
+/// (|error| < 1.5e-7 — far below what scheme selection needs).
+pub fn std_normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+fn gaussian<R: Rng>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.random();
+        if u1 > f64::EPSILON {
+            let u2: f64 = rng.random();
+            return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::{OptimizerInput, SchemeOptimizer};
+
+    #[test]
+    fn erf_reference_values() {
+        // erf(0) = 0, erf(1) ≈ 0.8427, erf(−1) = −erf(1), erf(2) ≈ 0.9953.
+        // The A&S 7.1.26 polynomial is accurate to ~1.5e-7, so the
+        // tolerances here reflect that (not machine precision).
+        assert!(erf(0.0).abs() < 1e-6);
+        assert!((erf(1.0) - 0.842_700_79).abs() < 1e-6);
+        assert!((erf(-1.0) + erf(1.0)).abs() < 1e-6);
+        assert!((erf(2.0) - 0.995_322_27).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normal_cdf_reference_values() {
+        assert!((std_normal_cdf(0.0) - 0.5).abs() < 1e-6);
+        assert!((std_normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((std_normal_cdf(-1.96) - 0.025).abs() < 1e-3);
+    }
+
+    #[test]
+    fn collision_prob_boundary_and_monotone() {
+        let r = 4.0;
+        assert_eq!(collision_prob(0.0, r), 1.0);
+        let mut prev = 1.0;
+        for i in 1..=100 {
+            let c = i as f64 * 0.2;
+            let p = collision_prob(c, r);
+            assert!((0.0..=1.0).contains(&p));
+            assert!(p <= prev + 1e-12, "must be nonincreasing at c={c}");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn wider_buckets_collide_more() {
+        for &c in &[0.5f64, 1.0, 3.0] {
+            assert!(collision_prob(c, 8.0) > collision_prob(c, 2.0));
+        }
+    }
+
+    #[test]
+    fn empirical_collision_rate_matches_formula() {
+        let mut fam = EuclideanFamily::new(8, 4.0, 11);
+        let n = 6000;
+        fam.ensure_functions(n);
+        let a: Vec<f64> = vec![0.0; 8];
+        // b at L2 distance 2 from a.
+        let mut b = a.clone();
+        b[0] = 2.0;
+        let collisions = (0..n).filter(|&i| fam.hash(i, &a) == fam.hash(i, &b)).count();
+        let rate = collisions as f64 / n as f64;
+        let expected = collision_prob(2.0, 4.0);
+        assert!(
+            (rate - expected).abs() < 0.03,
+            "rate {rate} vs formula {expected}"
+        );
+    }
+
+    #[test]
+    fn identical_vectors_always_collide() {
+        let mut fam = EuclideanFamily::new(4, 1.0, 3);
+        fam.ensure_functions(64);
+        let v = [0.3, -0.7, 2.2, 0.0];
+        for i in 0..64 {
+            assert_eq!(fam.hash(i, &v), fam.hash(i, &v));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mk = || {
+            let mut f = EuclideanFamily::new(4, 2.0, 9);
+            f.ensure_functions(16);
+            f
+        };
+        let (f1, f2) = (mk(), mk());
+        let v = [1.0, -2.0, 0.5, 3.3];
+        for i in 0..16 {
+            assert_eq!(f1.hash(i, &v), f2.hash(i, &v));
+        }
+    }
+
+    #[test]
+    fn optimizer_accepts_euclidean_p() {
+        // Program (1)–(3) with the DIIM p(x), distances normalized so the
+        // unit interval spans L2 distances 0..10 with r = 4.
+        let p = |x: f64| collision_prob(x * 10.0, 4.0);
+        let input = OptimizerInput::new(240, 0.1, 0.01, &p);
+        let s = SchemeOptimizer::optimize_divisor(&input).expect("feasible");
+        assert!(SchemeOptimizer::feasible(&s.into(), &input));
+        assert!(s.w >= 1 && s.budget() == 240);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width")]
+    fn zero_bucket_width_rejected() {
+        let _ = EuclideanFamily::new(4, 0.0, 1);
+    }
+}

@@ -1,0 +1,203 @@
+//! Random-hyperplane family for the cosine (angular) distance.
+//!
+//! Each hash function is a random hyperplane through the origin (paper
+//! Example 2): the hash of a vector is which side of the hyperplane it
+//! lies on. For two vectors at angle `θ` degrees the collision probability
+//! is `1 − θ/180` (Example 6), i.e. `p(x) = 1 − x` for the normalized
+//! angular distance `x = θ/180`.
+//!
+//! Hyperplane normals are sampled i.i.d. standard Gaussian per component
+//! (any rotation-invariant distribution works). Normals are generated
+//! deterministically from `(seed, function-index)` and memoized, so
+//! function `i` is identical no matter when it is first evaluated.
+
+use rand::{Rng, SeedableRng};
+
+use crate::mix::derive_seed;
+
+/// A family of random-hyperplane hash functions over `R^dim`.
+#[derive(Debug, Clone)]
+pub struct HyperplaneFamily {
+    dim: usize,
+    seed: u64,
+    /// Memoized hyperplane normals; `normals[i]` is function `i`.
+    normals: Vec<Vec<f64>>,
+}
+
+impl HyperplaneFamily {
+    /// Creates a family for `dim`-dimensional vectors.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0`.
+    pub fn new(dim: usize, seed: u64) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        Self {
+            dim,
+            seed,
+            normals: Vec::new(),
+        }
+    }
+
+    /// The vector dimension this family hashes.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Ensures functions `0..n` are materialized.
+    pub fn ensure_functions(&mut self, n: usize) {
+        while self.normals.len() < n {
+            let idx = self.normals.len() as u64;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(derive_seed(self.seed, idx));
+            let normal = (0..self.dim).map(|_| gaussian(&mut rng)).collect();
+            self.normals.push(normal);
+        }
+    }
+
+    /// Number of materialized functions.
+    pub fn num_functions(&self) -> usize {
+        self.normals.len()
+    }
+
+    /// Evaluates hash function `fn_index` on `v`: returns `1` when `v` lies
+    /// on the positive side of the hyperplane, else `0`.
+    ///
+    /// # Panics
+    /// Panics if the function is not materialized (call
+    /// [`HyperplaneFamily::ensure_functions`] first) or dimensions differ.
+    #[inline]
+    pub fn hash(&self, fn_index: usize, v: &[f64]) -> u64 {
+        let normal = &self.normals[fn_index];
+        assert_eq!(v.len(), self.dim, "vector dimension mismatch");
+        let dot: f64 = normal.iter().zip(v.iter()).map(|(n, x)| n * x).sum();
+        u64::from(dot >= 0.0)
+    }
+
+    /// Collision probability `p(x) = 1 − x` at normalized angular distance
+    /// `x` (paper Example 6).
+    pub fn collision_prob(x: f64) -> f64 {
+        1.0 - x
+    }
+}
+
+/// One standard Gaussian sample via Box–Muller (we avoid the `rand_distr`
+/// dependency; this is off the hot path — normals are memoized).
+fn gaussian<R: Rng>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.random();
+        if u1 > f64::EPSILON {
+            let u2: f64 = rng.random();
+            return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn family(dim: usize, n: usize) -> HyperplaneFamily {
+        let mut f = HyperplaneFamily::new(dim, 7);
+        f.ensure_functions(n);
+        f
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let f1 = family(8, 16);
+        let f2 = family(8, 16);
+        let v: Vec<f64> = (0..8).map(|i| (i as f64).sin()).collect();
+        for i in 0..16 {
+            assert_eq!(f1.hash(i, &v), f2.hash(i, &v));
+        }
+    }
+
+    #[test]
+    fn growth_order_does_not_change_functions() {
+        let mut f1 = HyperplaneFamily::new(4, 3);
+        f1.ensure_functions(2);
+        f1.ensure_functions(10);
+        let f2 = family_with_seed(4, 10, 3);
+        let v = [0.3, -0.7, 0.1, 0.9];
+        for i in 0..10 {
+            assert_eq!(f1.hash(i, &v), f2.hash(i, &v));
+        }
+    }
+
+    fn family_with_seed(dim: usize, n: usize, seed: u64) -> HyperplaneFamily {
+        let mut f = HyperplaneFamily::new(dim, seed);
+        f.ensure_functions(n);
+        f
+    }
+
+    #[test]
+    fn identical_vectors_always_collide() {
+        let f = family(16, 64);
+        let v: Vec<f64> = (0..16).map(|i| (i as f64 * 0.37).cos()).collect();
+        for i in 0..64 {
+            assert_eq!(f.hash(i, &v), f.hash(i, &v));
+        }
+    }
+
+    #[test]
+    fn scaled_vector_hashes_identically() {
+        // Hyperplane hashing depends only on direction.
+        let f = family(8, 32);
+        let v: Vec<f64> = (0..8).map(|i| (i as f64) - 3.5).collect();
+        let w: Vec<f64> = v.iter().map(|x| x * 5.0).collect();
+        for i in 0..32 {
+            assert_eq!(f.hash(i, &v), f.hash(i, &w));
+        }
+    }
+
+    #[test]
+    fn opposite_vectors_rarely_collide() {
+        let f = family(8, 256);
+        let v: Vec<f64> = (0..8).map(|i| (i as f64 * 0.61).sin() + 0.1).collect();
+        let neg: Vec<f64> = v.iter().map(|x| -x).collect();
+        let collisions = (0..256).filter(|&i| f.hash(i, &v) == f.hash(i, &neg)).count();
+        // p(collision) = 1 − 180/180 = 0 up to the dot == 0 edge case.
+        assert_eq!(collisions, 0);
+    }
+
+    #[test]
+    fn empirical_collision_rate_matches_angle() {
+        // Two vectors at 60°: p = 1 − 60/180 = 2/3. With 4000 functions the
+        // sample rate should be within a few percent.
+        let f = family(2, 4000);
+        let a = [1.0, 0.0];
+        let b = [0.5, 3.0_f64.sqrt() / 2.0]; // 60 degrees from a
+        let collisions = (0..4000).filter(|&i| f.hash(i, &a) == f.hash(i, &b)).count();
+        let rate = collisions as f64 / 4000.0;
+        assert!(
+            (rate - 2.0 / 3.0).abs() < 0.03,
+            "rate {rate} too far from 2/3"
+        );
+    }
+
+    #[test]
+    fn different_seeds_give_different_families() {
+        let f1 = family_with_seed(4, 64, 1);
+        let f2 = family_with_seed(4, 64, 2);
+        let v = [0.2, -0.4, 0.8, -0.1];
+        let same = (0..64).filter(|&i| f1.hash(i, &v) == f2.hash(i, &v)).count();
+        assert!(same < 64, "independent families should differ somewhere");
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dimension_mismatch_panics() {
+        let f = family(4, 1);
+        let _ = f.hash(0, &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn gaussian_moments_sane() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+}

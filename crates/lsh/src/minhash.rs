@@ -1,0 +1,127 @@
+//! MinHash family for the Jaccard distance.
+//!
+//! Hash function `i` applies a random permutation `πᵢ` to the shingle
+//! universe and returns the minimum permuted value of the set. For two
+//! sets `A`, `B`: `Pr[minᵢ(A) = minᵢ(B)] = |A∩B| / |A∪B|`, i.e.
+//! `p(x) = 1 − x` for the Jaccard distance `x` — exactly the form the
+//! scheme optimizer assumes (paper Appendix C.1 cites MinHash as the
+//! family where Theorem 3 applies).
+//!
+//! Permutations are implemented as keyed 64-bit mixes — statistically
+//! indistinguishable from random permutations of the 64-bit universe for
+//! this purpose and far cheaper than explicit permutation tables.
+
+use crate::mix::{combine, derive_seed};
+
+/// A family of MinHash functions over shingle sets (`&[u64]`).
+#[derive(Debug, Clone, Copy)]
+pub struct MinHashFamily {
+    seed: u64,
+}
+
+/// Hash value assigned to the empty set: all empty sets collide with each
+/// other (Jaccard similarity of two empty sets is 1) and essentially never
+/// with a non-empty set.
+pub const EMPTY_SET_HASH: u64 = u64::MAX;
+
+impl MinHashFamily {
+    /// Creates a family with the given seed.
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+
+    /// Evaluates hash function `fn_index` on a shingle set.
+    ///
+    /// The set may be in any order; the result is order-independent.
+    #[inline]
+    pub fn hash(&self, fn_index: usize, set: &[u64]) -> u64 {
+        if set.is_empty() {
+            return EMPTY_SET_HASH;
+        }
+        let key = derive_seed(self.seed, fn_index as u64);
+        set.iter()
+            .map(|&s| combine(key, s))
+            .min()
+            .expect("non-empty set")
+    }
+
+    /// Collision probability `p(x) = 1 − x` at Jaccard distance `x`.
+    pub fn collision_prob(x: f64) -> f64 {
+        1.0 - x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let f = MinHashFamily::new(3);
+        let s = [5u64, 9, 1];
+        assert_eq!(f.hash(0, &s), f.hash(0, &s));
+        assert_ne!(f.hash(0, &s), f.hash(1, &s));
+    }
+
+    #[test]
+    fn order_independent() {
+        let f = MinHashFamily::new(3);
+        let a = [5u64, 9, 1];
+        let b = [1u64, 5, 9];
+        for i in 0..32 {
+            assert_eq!(f.hash(i, &a), f.hash(i, &b));
+        }
+    }
+
+    #[test]
+    fn identical_sets_always_collide() {
+        let f = MinHashFamily::new(8);
+        let s: Vec<u64> = (0..50).map(|i| i * 31 + 7).collect();
+        for i in 0..128 {
+            assert_eq!(f.hash(i, &s), f.hash(i, &s.clone()));
+        }
+    }
+
+    #[test]
+    fn empty_sets_collide_with_each_other() {
+        let f = MinHashFamily::new(8);
+        assert_eq!(f.hash(0, &[]), EMPTY_SET_HASH);
+        assert_eq!(f.hash(17, &[]), EMPTY_SET_HASH);
+    }
+
+    #[test]
+    fn empirical_collision_rate_matches_jaccard() {
+        // A = {0..60}, B = {30..90}: |A∩B| = 30, |A∪B| = 90, sim = 1/3.
+        let f = MinHashFamily::new(99);
+        let a: Vec<u64> = (0..60).collect();
+        let b: Vec<u64> = (30..90).collect();
+        let n = 6000;
+        let collisions = (0..n).filter(|&i| f.hash(i, &a) == f.hash(i, &b)).count();
+        let rate = collisions as f64 / n as f64;
+        assert!(
+            (rate - 1.0 / 3.0).abs() < 0.025,
+            "rate {rate} too far from 1/3"
+        );
+    }
+
+    #[test]
+    fn disjoint_sets_rarely_collide() {
+        let f = MinHashFamily::new(4);
+        let a: Vec<u64> = (0..40).collect();
+        let b: Vec<u64> = (1000..1040).collect();
+        let collisions = (0..2000).filter(|&i| f.hash(i, &a) == f.hash(i, &b)).count();
+        assert_eq!(collisions, 0, "disjoint 40-element sets should not collide");
+    }
+
+    #[test]
+    fn subset_collision_rate() {
+        // B ⊂ A with |B| = |A|/2: sim = 1/2.
+        let f = MinHashFamily::new(21);
+        let a: Vec<u64> = (0..80).collect();
+        let b: Vec<u64> = (0..40).collect();
+        let n = 6000;
+        let collisions = (0..n).filter(|&i| f.hash(i, &a) == f.hash(i, &b)).count();
+        let rate = collisions as f64 / n as f64;
+        assert!((rate - 0.5).abs() < 0.03, "rate {rate} too far from 1/2");
+    }
+}

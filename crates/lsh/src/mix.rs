@@ -1,0 +1,60 @@
+//! Small deterministic 64-bit mixing utilities.
+//!
+//! Every randomized component in the workspace derives its per-function
+//! randomness from `(seed, function-index)` pairs through these mixers, so
+//! hash function `i` of a family is the same function regardless of the
+//! order in which functions are first used — a prerequisite for the
+//! *incremental computation* property (paper §2.2, Property 4).
+
+/// SplitMix64 finalizer: a high-quality 64→64 bit mixer.
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Combines two 64-bit values into one, order-sensitively.
+#[inline]
+pub fn combine(a: u64, b: u64) -> u64 {
+    splitmix64(a ^ b.rotate_left(23).wrapping_mul(0x2545_f491_4f6c_dd1d))
+}
+
+/// Derives the seed of sub-component `index` from a parent `seed`.
+#[inline]
+pub fn derive_seed(seed: u64, index: u64) -> u64 {
+    splitmix64(seed ^ splitmix64(index.wrapping_add(0xa076_1d64_78bd_642f)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_nontrivial() {
+        assert_eq!(splitmix64(42), splitmix64(42));
+        assert_ne!(splitmix64(42), splitmix64(43));
+        assert_ne!(splitmix64(0), 0);
+    }
+
+    #[test]
+    fn combine_is_order_sensitive() {
+        assert_ne!(combine(1, 2), combine(2, 1));
+    }
+
+    #[test]
+    fn derive_seed_distinguishes_indices() {
+        let s = 0xdead_beef;
+        assert_ne!(derive_seed(s, 0), derive_seed(s, 1));
+        assert_ne!(derive_seed(s, 0), derive_seed(s + 1, 0));
+    }
+
+    #[test]
+    fn splitmix_spreads_low_bits() {
+        // Consecutive inputs should not produce consecutive outputs.
+        let a = splitmix64(100);
+        let b = splitmix64(101);
+        assert!(a.abs_diff(b) > 1 << 32);
+    }
+}

@@ -1,0 +1,91 @@
+//! Numeric integration helpers for the scheme optimizers.
+//!
+//! The objective of Program (1)–(3) (paper §5.1) is the area under the
+//! collision-probability curve, `∫₀¹ [1 − (1 − pʷ(x))ᶻ] dx`; the
+//! multi-field programs (Appendix C) integrate over `[0,1]²`. Composite
+//! Simpson quadrature is plenty: the integrands are smooth and we only
+//! compare candidate schemes against each other.
+
+/// Composite Simpson integration of `f` over `[a, b]` with `n` intervals
+/// (`n` is rounded up to even).
+///
+/// # Panics
+/// Panics if `a > b` or `n == 0`.
+pub fn simpson<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, n: usize) -> f64 {
+    assert!(a <= b, "invalid interval");
+    assert!(n > 0, "need at least one interval");
+    if a == b {
+        return 0.0;
+    }
+    let n = if n % 2 == 0 { n } else { n + 1 };
+    let h = (b - a) / n as f64;
+    let mut sum = f(a) + f(b);
+    for i in 1..n {
+        let x = a + h * i as f64;
+        sum += f(x) * if i % 2 == 1 { 4.0 } else { 2.0 };
+    }
+    sum * h / 3.0
+}
+
+/// Composite Simpson integration of `f` over `[0,1] × [0,1]` with `n`
+/// intervals per axis.
+pub fn simpson2<F: Fn(f64, f64) -> f64>(f: F, n: usize) -> f64 {
+    simpson(|x| simpson(|y| f(x, y), 0.0, 1.0, n), 0.0, 1.0, n)
+}
+
+/// Default interval count used by the optimizers: enough for ~6 correct
+/// digits on these smooth curves, cheap enough for exhaustive searches.
+pub const DEFAULT_INTERVALS: usize = 96;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integrates_polynomial_exactly() {
+        // Simpson is exact for cubics.
+        let v = simpson(|x| 3.0 * x * x, 0.0, 1.0, 2);
+        assert!((v - 1.0).abs() < 1e-12);
+        let v = simpson(|x| x * x * x, 0.0, 2.0, 2);
+        assert!((v - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn integrates_transcendental_accurately() {
+        let v = simpson(f64::sin, 0.0, std::f64::consts::PI, 64);
+        // Composite Simpson error ~ (b−a)·h⁴·max|f⁗|/180 ≈ 1e-7 here.
+        assert!((v - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_interval_is_zero() {
+        assert_eq!(simpson(|x| x, 1.0, 1.0, 8), 0.0);
+    }
+
+    #[test]
+    fn odd_interval_count_rounds_up() {
+        let a = simpson(|x| x * x, 0.0, 1.0, 3);
+        let b = simpson(|x| x * x, 0.0, 1.0, 4);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_dimensional_product() {
+        // ∫∫ x·y = 1/4.
+        let v = simpson2(|x, y| x * y, 16);
+        assert!((v - 0.25).abs() < 1e-10);
+    }
+
+    #[test]
+    fn scheme_objective_value() {
+        // Area under 1 − (1 − p³(x))² with p = 1 − x: compare against a
+        // high-resolution reference.
+        let f = |x: f64| {
+            let p: f64 = 1.0 - x;
+            1.0 - (1.0 - p.powi(3)).powi(2)
+        };
+        let coarse = simpson(f, 0.0, 1.0, DEFAULT_INTERVALS);
+        let fine = simpson(f, 0.0, 1.0, 4096);
+        assert!((coarse - fine).abs() < 1e-8);
+    }
+}

@@ -1,0 +1,217 @@
+//! `(w,z)`-schemes and their collision-probability curves.
+//!
+//! A `(w,z)`-scheme (paper §3, §5.1) uses `z` hash tables with `w` hash
+//! functions concatenated per table. Two records at elementary collision
+//! probability `p` hash to the same bucket in at least one table with
+//! probability `1 − (1 − pʷ)ᶻ` — the curve plotted in the paper's
+//! Figures 5 and 7.
+//!
+//! §5.1 also considers budgets where `budget / w` is not an integer: the
+//! leftover `w' = budget − w·z` functions form one extra, shorter table,
+//! and the probability becomes `1 − (1 − pʷ)ᶻ · (1 − pʷ′)`. [`Scheme`]
+//! covers both cases (`w_rem = 0` recovers the pure `(w,z)`-scheme).
+
+use serde::{Deserialize, Serialize};
+
+/// A pure `(w,z)`-scheme: `z` tables × `w` functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WzScheme {
+    /// Hash functions per table (AND width).
+    pub w: u32,
+    /// Number of tables (OR width).
+    pub z: u32,
+}
+
+impl WzScheme {
+    /// Creates a scheme.
+    ///
+    /// # Panics
+    /// Panics if `w` or `z` is zero.
+    pub fn new(w: u32, z: u32) -> Self {
+        assert!(w > 0 && z > 0, "w and z must be positive");
+        Self { w, z }
+    }
+
+    /// Total hash-function budget `w · z`.
+    pub fn budget(&self) -> u64 {
+        u64::from(self.w) * u64::from(self.z)
+    }
+
+    /// Probability of hashing to the same bucket in ≥ 1 table, given
+    /// elementary collision probability `p`: `1 − (1 − pʷ)ᶻ`.
+    pub fn collision_prob(&self, p: f64) -> f64 {
+        debug_assert!((0.0..=1.0).contains(&p));
+        1.0 - (1.0 - p.powi(self.w as i32)).powi(self.z as i32)
+    }
+}
+
+/// A scheme with an optional remainder table of `w_rem < w` functions,
+/// covering non-divisor budgets (paper §5.1's extension).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Scheme {
+    /// Hash functions per full table.
+    pub w: u32,
+    /// Number of full tables.
+    pub z: u32,
+    /// Functions in the remainder table (`0` = no remainder table).
+    pub w_rem: u32,
+}
+
+impl Scheme {
+    /// A pure `(w,z)`-scheme.
+    pub fn pure(w: u32, z: u32) -> Self {
+        let s = WzScheme::new(w, z);
+        Self {
+            w: s.w,
+            z: s.z,
+            w_rem: 0,
+        }
+    }
+
+    /// A scheme exhausting `budget` with tables of width `w`:
+    /// `z = ⌊budget/w⌋` full tables plus a remainder table of
+    /// `budget − w·z` functions.
+    ///
+    /// # Panics
+    /// Panics if `w == 0` or `w > budget`.
+    pub fn exhausting(budget: u64, w: u32) -> Self {
+        assert!(w > 0, "w must be positive");
+        assert!(u64::from(w) <= budget, "w exceeds budget");
+        let z = (budget / u64::from(w)) as u32;
+        let w_rem = (budget - u64::from(w) * u64::from(z)) as u32;
+        Self { w, z, w_rem }
+    }
+
+    /// Total number of hash functions used.
+    pub fn budget(&self) -> u64 {
+        u64::from(self.w) * u64::from(self.z) + u64::from(self.w_rem)
+    }
+
+    /// Number of tables, including the remainder table if present.
+    pub fn num_tables(&self) -> u32 {
+        self.z + u32::from(self.w_rem > 0)
+    }
+
+    /// Width (function count) of table `t`.
+    ///
+    /// # Panics
+    /// Panics if `t` is out of range.
+    pub fn table_width(&self, t: u32) -> u32 {
+        assert!(t < self.num_tables(), "table index out of range");
+        if t < self.z {
+            self.w
+        } else {
+            self.w_rem
+        }
+    }
+
+    /// Collision probability `1 − (1 − pʷ)ᶻ · (1 − pʷ′)` (paper §5.1).
+    pub fn collision_prob(&self, p: f64) -> f64 {
+        debug_assert!((0.0..=1.0).contains(&p));
+        let full = (1.0 - p.powi(self.w as i32)).powi(self.z as i32);
+        let rem = if self.w_rem > 0 {
+            1.0 - p.powi(self.w_rem as i32)
+        } else {
+            1.0
+        };
+        1.0 - full * rem
+    }
+}
+
+impl From<WzScheme> for Scheme {
+    fn from(s: WzScheme) -> Self {
+        Scheme::pure(s.w, s.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example3_curve_value() {
+        // Paper Example 3: w=3, z=2, θ=55° ⇒ 1 − (1 − (1−55/180)³)².
+        let s = WzScheme::new(3, 2);
+        let p: f64 = 1.0 - 55.0 / 180.0;
+        let expected = 1.0 - (1.0 - p.powi(3)).powi(2);
+        assert!((s.collision_prob(p) - expected).abs() < 1e-15);
+    }
+
+    #[test]
+    fn figure5_ordering_below_and_above_threshold() {
+        // Figure 5: with more functions (w=30,z=70 vs w=15,z=20) the curve
+        // is higher below ~55° and drops more sharply after.
+        let small = WzScheme::new(15, 20);
+        let large = WzScheme::new(30, 70);
+        let p_at = |deg: f64| 1.0 - deg / 180.0;
+        assert!(large.collision_prob(p_at(15.0)) > 0.99);
+        assert!(small.collision_prob(p_at(15.0)) > 0.9);
+        // Far pairs: the large-w scheme suppresses better at 80°.
+        assert!(large.collision_prob(p_at(80.0)) < small.collision_prob(p_at(80.0)));
+    }
+
+    #[test]
+    fn collision_prob_monotone_in_p() {
+        let s = WzScheme::new(10, 40);
+        let mut prev = 0.0;
+        for i in 0..=100 {
+            let p = i as f64 / 100.0;
+            let c = s.collision_prob(p);
+            assert!(c >= prev - 1e-12, "curve must be nondecreasing in p");
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn collision_prob_extremes() {
+        let s = WzScheme::new(5, 7);
+        assert_eq!(s.collision_prob(1.0), 1.0);
+        assert_eq!(s.collision_prob(0.0), 0.0);
+    }
+
+    #[test]
+    fn exhausting_splits_budget() {
+        let s = Scheme::exhausting(100, 30);
+        assert_eq!((s.w, s.z, s.w_rem), (30, 3, 10));
+        assert_eq!(s.budget(), 100);
+        assert_eq!(s.num_tables(), 4);
+        assert_eq!(s.table_width(0), 30);
+        assert_eq!(s.table_width(3), 10);
+    }
+
+    #[test]
+    fn exhausting_exact_divisor_has_no_remainder() {
+        let s = Scheme::exhausting(100, 25);
+        assert_eq!((s.w, s.z, s.w_rem), (25, 4, 0));
+        assert_eq!(s.num_tables(), 4);
+    }
+
+    #[test]
+    fn fractional_probability_formula() {
+        let s = Scheme::exhausting(7, 3); // z=2, w_rem=1
+        let p: f64 = 0.8;
+        let expected = 1.0 - (1.0 - p.powi(3)).powi(2) * (1.0 - p);
+        assert!((s.collision_prob(p) - expected).abs() < 1e-15);
+    }
+
+    #[test]
+    fn pure_scheme_equals_wz() {
+        let a = Scheme::pure(4, 9);
+        let b = WzScheme::new(4, 9);
+        for i in 0..=10 {
+            let p = i as f64 / 10.0;
+            assert!((a.collision_prob(p) - b.collision_prob(p)).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn remainder_table_only_helps() {
+        // Adding a remainder table can only increase collision probability.
+        let pure = Scheme::pure(3, 2);
+        let frac = Scheme::exhausting(7, 3);
+        for i in 1..10 {
+            let p = i as f64 / 10.0;
+            assert!(frac.collision_prob(p) >= pure.collision_prob(p));
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Quickstart: filter a small document collection down to its top-2
+//! near-duplicate groups.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use adalsh::prelude::*;
+
+fn main() {
+    // Six "documents", tokenized and shingled. Two groups of
+    // near-duplicates (a news story copied across sites, say) plus
+    // unique noise documents.
+    let docs = [
+        "breaking storm hits the northern coast overnight",
+        "storm hits the northern coast overnight causing floods",
+        "breaking storm hits northern coast overnight",
+        "local team wins the championship after dramatic final",
+        "team wins championship after a dramatic final game",
+        "recipe slow cooked lamb with rosemary and garlic",
+        "review the quiet novel that surprised everyone this year",
+    ];
+    let schema = Schema::single("text", FieldKind::Shingles);
+    let records: Vec<Record> = docs
+        .iter()
+        .map(|d| Record::single(FieldValue::Shingles(ShingleSet::word_shingles(d, 2))))
+        .collect();
+    // Ground truth (only used for evaluation, never by the filter).
+    let ground_truth = vec![0, 0, 0, 1, 1, 2, 3];
+    let dataset = Dataset::new(schema, records, ground_truth);
+
+    // Two documents match when their bigram Jaccard distance is ≤ 0.75.
+    let rule = MatchRule::threshold(0, FieldDistance::Jaccard, 0.75);
+
+    let mut engine =
+        AdaLsh::for_dataset(&dataset, AdaLshConfig::new(rule)).expect("designable rule");
+    println!(
+        "designed a {}-function sequence with budgets {:?}",
+        engine.num_levels(),
+        engine.levels().iter().map(|l| l.budget()).collect::<Vec<_>>()
+    );
+
+    let out = engine.run(&dataset, 2);
+    println!(
+        "\ntop-2 groups found in {:?} ({} hash evals, {} pair comparisons):",
+        out.wall, out.stats.hash_evals, out.stats.pair_comparisons
+    );
+    for (rank, cluster) in out.clusters.iter().enumerate() {
+        println!("\n#{} ({} documents):", rank + 1, cluster.len());
+        for &id in cluster {
+            println!("   [{}] {}", id, docs[id as usize]);
+        }
+    }
+
+    // How good was it, against the ground truth?
+    let m = set_metrics(&out.records(), &dataset.gold_records(2));
+    println!(
+        "\nprecision {:.2}  recall {:.2}  F1 {:.2}",
+        m.precision, m.recall, m.f1
+    );
+}

@@ -1,0 +1,74 @@
+//! Tuning tour: how the sequence design knobs change behaviour.
+//!
+//! Sweeps the budget strategy (§5.2), the constraint slack ε (§5.1), and
+//! the cost-model noise factor (Appendix E.2) on one corpus, showing the
+//! time/accuracy consequences of each knob.
+//!
+//! ```sh
+//! cargo run --release --example tuning
+//! ```
+
+use adalsh::datagen::spotsigs::{self, SpotSigsConfig};
+use adalsh::prelude::*;
+
+fn run(corpus: &Dataset, cfg: AdaLshConfig, label: &str) {
+    match AdaLsh::for_dataset(corpus, cfg) {
+        Ok(mut engine) => {
+            let out = engine.run(corpus, 10);
+            let m = set_metrics(&out.records(), &corpus.gold_records(10));
+            println!(
+                "  {label:<26} L={} time={:>9.3?} hashes={:<9} F1={:.3}",
+                engine.num_levels(),
+                out.wall,
+                out.stats.hash_evals,
+                m.f1
+            );
+        }
+        Err(e) => println!("  {label:<26} design failed: {e}"),
+    }
+}
+
+fn main() {
+    let corpus = spotsigs::generate(&SpotSigsConfig::default());
+    let rule = spotsigs::match_rule(0.4);
+    println!("{} articles, top sizes {:?}", corpus.len(), &corpus.entity_sizes()[..3]);
+
+    println!("\nbudget strategy (§5.2):");
+    for (label, strategy) in [
+        ("Exponential(20, ×2)", BudgetStrategy::Exponential { start: 20, factor: 2 }),
+        ("Exponential(40, ×2)", BudgetStrategy::Exponential { start: 40, factor: 2 }),
+        ("Exponential(20, ×4)", BudgetStrategy::Exponential { start: 20, factor: 4 }),
+        ("Linear(320)", BudgetStrategy::Linear { step: 320 }),
+        ("Linear(640)", BudgetStrategy::Linear { step: 640 }),
+    ] {
+        let mut cfg = AdaLshConfig::new(rule.clone());
+        cfg.spec.strategy = strategy;
+        run(&corpus, cfg, label);
+    }
+
+    println!("\nconstraint slack ε (§5.1):");
+    for eps in [1e-4, 1e-3, 1e-2, 5e-2] {
+        let mut cfg = AdaLshConfig::new(rule.clone());
+        cfg.spec.epsilon = eps;
+        run(&corpus, cfg, &format!("ε = {eps}"));
+    }
+
+    println!("\ncost-model noise nf (Appendix E.2):");
+    for nf in [0.2, 0.5, 1.0, 2.0, 5.0] {
+        let mut cfg = AdaLshConfig::new(rule.clone());
+        cfg.cost_noise = nf;
+        run(&corpus, cfg, &format!("nf = {nf}"));
+    }
+
+    println!("\nselection strategy (Theorem 1 ablation):");
+    for (label, sel) in [
+        ("LargestFirst (paper)", SelectionStrategy::LargestFirst),
+        ("SmallestFirst", SelectionStrategy::SmallestFirst),
+        ("Random", SelectionStrategy::Random),
+        ("Fifo", SelectionStrategy::Fifo),
+    ] {
+        let mut cfg = AdaLshConfig::new(rule.clone());
+        cfg.selection = sel;
+        run(&corpus, cfg, label);
+    }
+}

@@ -1,0 +1,59 @@
+//! # adalsh — Top-K Entity Resolution with Adaptive Locality-Sensitive Hashing
+//!
+//! A from-scratch implementation of the adaLSH filtering system: given a
+//! dataset of records, find — fast — the records belonging to the `k`
+//! largest entities, without resolving the whole dataset.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use adalsh::prelude::*;
+//!
+//! // Records: shingle sets (e.g. hashed tokens of near-duplicate docs).
+//! let schema = Schema::single("tokens", FieldKind::Shingles);
+//! let mk = |v: &[u64]| Record::single(FieldValue::Shingles(ShingleSet::new(v.to_vec())));
+//! let records = vec![
+//!     mk(&[1, 2, 3, 4]), mk(&[1, 2, 3, 5]), mk(&[1, 2, 3, 6]), // entity A
+//!     mk(&[10, 11, 12]), mk(&[10, 11, 13]),                    // entity B
+//!     mk(&[100, 200]),                                         // noise
+//! ];
+//! let dataset = Dataset::new(schema, records, vec![0, 0, 0, 1, 1, 2]);
+//!
+//! // Match rule: Jaccard distance at most 0.5.
+//! let rule = MatchRule::threshold(0, FieldDistance::Jaccard, 0.5);
+//!
+//! // Filter for the top-1 entity.
+//! let mut engine = AdaLsh::for_dataset(&dataset, AdaLshConfig::new(rule)).unwrap();
+//! let out = engine.run(&dataset, 1);
+//! assert_eq!(out.clusters[0].len(), 3);
+//! ```
+//!
+//! ## Crate map
+//!
+//! * [`data`] — records, fields, distances, match rules, datasets;
+//! * [`lsh`] — hash families, AND/OR amplification, scheme optimizers;
+//! * [`core`] — the adaLSH engine (Algorithm 1), baselines, metrics,
+//!   recovery;
+//! * [`datagen`] — synthetic Cora / SpotSigs / PopularImages-like
+//!   generators used by the experiments.
+
+pub use adalsh_core as core;
+pub use adalsh_data as data;
+pub use adalsh_datagen as datagen;
+pub use adalsh_lsh as lsh;
+
+/// One-stop imports for typical use.
+pub mod prelude {
+    pub use crate::core::algorithm::{
+        AdaLsh, AdaLshConfig, FilterMethod, FilterOutput, SelectionStrategy,
+    };
+    pub use crate::core::baselines::{LshBlocking, Pairs};
+    pub use crate::core::metrics::{map_mar, set_metrics, SpeedupModel};
+    pub use crate::core::recovery::{perfect_recovery, rule_recovery};
+    pub use crate::core::sequence::{BudgetStrategy, SequenceSpec};
+    pub use crate::core::Stats;
+    pub use crate::data::{
+        Dataset, DenseVector, FieldDistance, FieldKind, FieldValue, MatchRule, Record, Schema,
+        ShingleSet,
+    };
+}

@@ -1,0 +1,270 @@
+//! Cross-crate integration tests: full filtering pipelines over every
+//! dataset family, compared against exact resolution.
+
+use adalsh::datagen::popimages::{self, PopImagesConfig};
+use adalsh::datagen::spotsigs::{self, SpotSigsConfig};
+use adalsh::datagen::{cora, upsample, CoraConfig};
+use adalsh::prelude::*;
+
+fn small_spotsigs() -> Dataset {
+    spotsigs::generate(&SpotSigsConfig {
+        num_entities: 60,
+        num_records: 400,
+        ..SpotSigsConfig::default()
+    })
+}
+
+fn small_cora() -> Dataset {
+    cora::generate(&CoraConfig {
+        num_entities: 80,
+        num_records: 400,
+        ..CoraConfig::default()
+    })
+    .0
+}
+
+fn small_popimages() -> Dataset {
+    popimages::generate(&PopImagesConfig {
+        num_entities: 60,
+        num_records: 500,
+        num_archetypes: 8,
+        ..PopImagesConfig::default()
+    })
+}
+
+/// adaLSH must reproduce the exact (Pairs) top-k output on every dataset
+/// family — the paper's §7.1 "adaLSH always gives the same (or very
+/// slightly different) outcome as Pairs".
+#[test]
+fn adalsh_matches_pairs_on_all_families() {
+    let cases: Vec<(&str, Dataset, MatchRule, usize)> = vec![
+        ("spotsigs", small_spotsigs(), spotsigs::match_rule(0.4), 5),
+        ("cora", small_cora(), cora::match_rule(), 5),
+        ("popimages", small_popimages(), popimages::match_rule(3.0), 5),
+    ];
+    for (name, dataset, rule, k) in cases {
+        let gold = Pairs::new(rule.clone()).filter(&dataset, k);
+        let mut ada = AdaLsh::for_dataset(&dataset, AdaLshConfig::new(rule)).unwrap();
+        let out = ada.run(&dataset, k);
+        let m = set_metrics(&out.records(), &gold.records());
+        assert!(
+            m.f1 > 0.99,
+            "{name}: adaLSH vs Pairs F1 = {} (sizes {:?} vs {:?})",
+            m.f1,
+            out.clusters.iter().map(Vec::len).collect::<Vec<_>>(),
+            gold.clusters.iter().map(Vec::len).collect::<Vec<_>>()
+        );
+    }
+}
+
+/// The filtering output tracks the ground truth well on all families.
+/// SpotSigs is *designed* to cap out around 0.8 at k̂ = k (its entities
+/// fragment into versions below the match threshold, like the paper's
+/// real corpus — Figure 10(b)); the other two should be near-perfect.
+#[test]
+fn f1_gold_is_high_on_all_families() {
+    let cases: Vec<(&str, Dataset, MatchRule, f64)> = vec![
+        ("spotsigs", small_spotsigs(), spotsigs::match_rule(0.4), 0.7),
+        ("cora", small_cora(), cora::match_rule(), 0.9),
+        ("popimages", small_popimages(), popimages::match_rule(3.0), 0.9),
+    ];
+    for (name, dataset, rule, floor) in cases {
+        let mut ada = AdaLsh::for_dataset(&dataset, AdaLshConfig::new(rule)).unwrap();
+        let out = ada.run(&dataset, 5);
+        let m = set_metrics(&out.records(), &dataset.gold_records(5));
+        assert!(m.f1 > floor, "{name}: F1 gold = {}", m.f1);
+    }
+}
+
+/// On SpotSigs, raising k̂ recovers the fragmented secondary versions:
+/// recall at k̂ = k is visibly below 1 and climbs with k̂ (Figure 11's
+/// headline behaviour).
+#[test]
+fn spotsigs_recall_climbs_with_khat() {
+    let dataset = small_spotsigs();
+    let rule = spotsigs::match_rule(0.4);
+    let gold = dataset.gold_records(5);
+    let mut ada = AdaLsh::for_dataset(&dataset, AdaLshConfig::new(rule)).unwrap();
+    let at_k = set_metrics(&ada.run(&dataset, 5).records(), &gold).recall;
+    let at_4k = set_metrics(&ada.run(&dataset, 20).records(), &gold).recall;
+    assert!(at_k < 0.98, "recall at k̂ = k should be imperfect: {at_k}");
+    assert!(
+        at_4k > at_k + 0.05,
+        "recall must climb with k̂: {at_k} -> {at_4k}"
+    );
+}
+
+/// LSH-X blocking agrees with Pairs for a range of X (its P stage makes
+/// it exact up to missed candidates, which the budgets here prevent).
+#[test]
+fn lsh_x_exactness_across_budgets() {
+    let dataset = small_spotsigs();
+    let rule = spotsigs::match_rule(0.4);
+    let gold = Pairs::new(rule.clone()).filter(&dataset, 5).records();
+    for x in [80, 320, 1280] {
+        let out = LshBlocking::new(rule.clone(), x).filter(&dataset, 5);
+        let m = set_metrics(&out.records(), &gold);
+        assert!(m.f1 > 0.99, "LSH{x}: F1 vs Pairs = {}", m.f1);
+    }
+}
+
+/// Recall against a fixed gold-k never decreases as k̂ grows.
+#[test]
+fn khat_recall_is_monotone() {
+    let dataset = small_spotsigs();
+    let rule = spotsigs::match_rule(0.4);
+    let gold = dataset.gold_records(5);
+    let mut ada = AdaLsh::for_dataset(&dataset, AdaLshConfig::new(rule)).unwrap();
+    let mut prev = 0.0;
+    for khat in [5, 8, 12, 16] {
+        let out = ada.run(&dataset, khat);
+        let recall = set_metrics(&out.records(), &gold).recall;
+        assert!(
+            recall >= prev - 1e-9,
+            "recall must be nondecreasing in k̂ ({prev} -> {recall} at {khat})"
+        );
+        prev = recall;
+    }
+}
+
+/// Perfect recovery completes every represented entity; with a modest
+/// k̂ > k every gold entity is represented and mAP/mAR reach 1 (the
+/// Figure 14(b) behaviour). At k̂ = k they may fall just short — entity
+/// fragmentation can misrank a component out of the output.
+#[test]
+fn perfect_recovery_completes_entities() {
+    let dataset = small_spotsigs();
+    let rule = spotsigs::match_rule(0.4);
+    let mut ada = AdaLsh::for_dataset(&dataset, AdaLshConfig::new(rule)).unwrap();
+    let out = ada.run(&dataset, 15);
+    let recovered = perfect_recovery(&dataset, &out.records());
+    let (map, mar) = map_mar(&recovered, &dataset.ground_truth_clusters(), 5);
+    assert!(map > 0.999, "mAP with recovery {map}");
+    assert!(mar > 0.999, "mAR with recovery {mar}");
+    // And recovery at k̂ = k is already better than no recovery.
+    let out_k = ada.run(&dataset, 5);
+    let rec_k = perfect_recovery(&dataset, &out_k.records());
+    let (_, mar_rec) = map_mar(&rec_k, &dataset.ground_truth_clusters(), 5);
+    let (_, mar_raw) = map_mar(&out_k.clusters, &dataset.ground_truth_clusters(), 5);
+    assert!(mar_rec >= mar_raw - 1e-12);
+}
+
+/// Rule-based recovery can only help recall and never hurts precision
+/// against the exact clustering.
+#[test]
+fn rule_recovery_improves_recall() {
+    let dataset = small_spotsigs();
+    let rule = spotsigs::match_rule(0.4);
+    let mut ada = AdaLsh::for_dataset(&dataset, AdaLshConfig::new(rule.clone())).unwrap();
+    let out = ada.run(&dataset, 5);
+    let before = set_metrics(&out.records(), &dataset.gold_records(5)).recall;
+    let mut stats = Stats::default();
+    let rec = rule_recovery(&dataset, &rule, &out.clusters, &mut stats);
+    let rec_records: Vec<u32> = rec.iter().flatten().copied().collect();
+    let after = set_metrics(&rec_records, &dataset.gold_records(5)).recall;
+    assert!(after >= before - 1e-12);
+}
+
+/// Incremental mode emits exactly the clusters of the full run, in
+/// descending size order (Theorem 2 prefix property).
+#[test]
+fn incremental_mode_is_prefix_consistent() {
+    let dataset = small_spotsigs();
+    let rule = spotsigs::match_rule(0.4);
+    let mk = || AdaLsh::for_dataset(&dataset, AdaLshConfig::new(rule.clone())).unwrap();
+    let full = mk().run(&dataset, 6);
+    let mut streamed: Vec<Vec<u32>> = Vec::new();
+    let _ = mk().run_incremental(&dataset, 6, |_, c| streamed.push(c.to_vec()));
+    assert_eq!(streamed.len(), full.clusters.len());
+    for (s, f) in streamed.iter().zip(&full.clusters) {
+        let mut s = s.clone();
+        let mut f = f.clone();
+        s.sort_unstable();
+        f.sort_unstable();
+        assert_eq!(s, f);
+    }
+}
+
+/// Upsampled (2x/4x) datasets keep pipelines exact, and the upsample
+/// preserves the original as a prefix.
+#[test]
+fn upsampled_pipeline_stays_exact() {
+    let base = small_spotsigs();
+    let rule = spotsigs::match_rule(0.4);
+    for factor in [2usize, 4] {
+        let big = upsample(&base, base.len() * factor, 42);
+        assert_eq!(big.len(), base.len() * factor);
+        let gold = Pairs::new(rule.clone()).filter(&big, 5).records();
+        let mut ada = AdaLsh::for_dataset(&big, AdaLshConfig::new(rule.clone())).unwrap();
+        let out = ada.run(&big, 5);
+        let m = set_metrics(&out.records(), &gold);
+        assert!(m.f1 > 0.99, "{factor}x: F1 vs Pairs = {}", m.f1);
+    }
+}
+
+/// adaLSH must hash dramatically less than single-stage LSH at the same
+/// exactness (the headline adaptive-cost claim).
+#[test]
+fn adaptive_cost_is_sublinear_in_budget() {
+    let dataset = small_spotsigs();
+    let rule = spotsigs::match_rule(0.4);
+    let mut ada = AdaLsh::for_dataset(&dataset, AdaLshConfig::new(rule.clone())).unwrap();
+    let ada_out = ada.run(&dataset, 5);
+    let lsh_out = LshBlocking::new(rule, 1280).filter(&dataset, 5);
+    assert!(
+        ada_out.stats.hash_evals * 3 < lsh_out.stats.hash_evals,
+        "adaLSH {} evals vs LSH1280 {}",
+        ada_out.stats.hash_evals,
+        lsh_out.stats.hash_evals
+    );
+}
+
+/// The engine is reusable: repeated runs are deterministic.
+#[test]
+fn engine_reuse_is_deterministic() {
+    let dataset = small_cora();
+    let mut ada = AdaLsh::for_dataset(&dataset, AdaLshConfig::new(cora::match_rule())).unwrap();
+    let a = ada.run(&dataset, 3);
+    let b = ada.run(&dataset, 3);
+    assert_eq!(a.clusters, b.clusters);
+    assert_eq!(a.stats.hash_evals, b.stats.hash_evals);
+}
+
+/// Different engine seeds agree on the answer (the algorithm is robust
+/// to its own randomness).
+#[test]
+fn seeds_agree_on_output() {
+    let dataset = small_spotsigs();
+    let rule = spotsigs::match_rule(0.4);
+    let mut outputs = Vec::new();
+    for seed in [1u64, 2, 3] {
+        let mut cfg = AdaLshConfig::new(rule.clone());
+        cfg.spec.seed = seed;
+        let mut ada = AdaLsh::for_dataset(&dataset, cfg).unwrap();
+        outputs.push(ada.run(&dataset, 5).records());
+    }
+    assert_eq!(outputs[0], outputs[1]);
+    assert_eq!(outputs[1], outputs[2]);
+}
+
+/// Cost-model noise (Appendix E.2) shifts work between hashing and P but
+/// must not change the answer.
+#[test]
+fn cost_noise_does_not_change_output() {
+    let dataset = small_spotsigs();
+    let rule = spotsigs::match_rule(0.4);
+    let mut baseline = None;
+    for nf in [0.2, 1.0, 5.0] {
+        let mut cfg = AdaLshConfig::new(rule.clone());
+        cfg.cost_noise = nf;
+        let mut ada = AdaLsh::for_dataset(&dataset, cfg).unwrap();
+        let records = ada.run(&dataset, 5).records();
+        match &baseline {
+            None => baseline = Some(records),
+            Some(b) => {
+                let m = set_metrics(&records, b);
+                assert!(m.f1 > 0.99, "nf={nf} changed the output: F1 {}", m.f1);
+            }
+        }
+    }
+}
