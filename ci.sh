@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Local CI gate: format, lint (warnings are errors), release build, tests.
+# Run from the workspace root before pushing.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q --workspace
+
+echo "CI OK"

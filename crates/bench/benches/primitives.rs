@@ -25,7 +25,9 @@ fn shingle_dataset(n: usize, set_size: usize, seed: u64) -> Dataset {
     let records: Vec<Record> = (0..n)
         .map(|i| {
             let e = i % 10;
-            let mut s: Vec<u64> = (0..set_size as u64).map(|j| (e as u64) * 100_000 + j).collect();
+            let mut s: Vec<u64> = (0..set_size as u64)
+                .map(|j| (e as u64) * 100_000 + j)
+                .collect();
             for x in s.iter_mut().take(set_size / 10) {
                 *x = rng.random();
             }
@@ -115,6 +117,67 @@ fn bench_families(c: &mut Criterion) {
     g.finish();
 }
 
+/// Scalar-vs-batched MinHash at batch widths 16 / 128 / 1024: `width`
+/// functions over one 120-shingle set, the workload shape of a table
+/// group's advance step. The batched kernel makes ONE pass over the set.
+fn bench_minhash_batch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("minhash_batch");
+    let set: Vec<u64> = (0..120).collect();
+    let fam = MinHashFamily::new(3);
+    for &width in &[16usize, 128, 1024] {
+        let idx: Vec<usize> = (0..width).collect();
+        g.throughput(Throughput::Elements(width as u64));
+        g.bench_function(format!("scalar/{width}"), |b| {
+            let mut out = vec![0u64; width];
+            b.iter(|| {
+                for (o, &i) in out.iter_mut().zip(&idx) {
+                    *o = fam.hash(i, black_box(&set));
+                }
+                black_box(out[width - 1])
+            })
+        });
+        g.bench_function(format!("batched/{width}"), |b| {
+            let mut out = vec![0u64; width];
+            b.iter(|| {
+                fam.hash_batch(&idx, black_box(&set), &mut out);
+                black_box(out[width - 1])
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Scalar-vs-batched hyperplane signs at batch widths 16 / 128 / 1024
+/// over one 64-dim vector. Both paths read the same flat row-major
+/// matrix; batching saves the per-call dispatch, not the dot products.
+fn bench_hyperplane_batch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hyperplane_batch");
+    let v: Vec<f64> = (0..64).map(|i| (i as f64 * 0.37).sin()).collect();
+    let mut hp = HyperplaneFamily::new(64, 3);
+    hp.ensure_functions(1024);
+    for &width in &[16usize, 128, 1024] {
+        let idx: Vec<usize> = (0..width).collect();
+        g.throughput(Throughput::Elements(width as u64));
+        g.bench_function(format!("scalar/{width}"), |b| {
+            let mut out = vec![0u64; width];
+            b.iter(|| {
+                for (o, &i) in out.iter_mut().zip(&idx) {
+                    *o = hp.hash(i, black_box(&v));
+                }
+                black_box(out[width - 1])
+            })
+        });
+        g.bench_function(format!("batched/{width}"), |b| {
+            let mut out = vec![0u64; width];
+            b.iter(|| {
+                hp.hash_batch(&idx, black_box(&v), &mut out);
+                black_box(out[width - 1])
+            })
+        });
+    }
+    g.finish();
+}
+
 fn test_levels() -> Vec<LevelScheme> {
     vec![
         LevelScheme::Shared { ws: vec![1], z: 20 },
@@ -125,6 +188,7 @@ fn test_levels() -> Vec<LevelScheme> {
 }
 
 fn bench_incremental_advance(c: &mut Criterion) {
+    use adalsh_core::hashing::HashScratch;
     let mut g = c.benchmark_group("advance");
     let dataset = shingle_dataset(64, 120, 9);
     g.bench_function("level1_to_4_per_record", |b| {
@@ -137,8 +201,40 @@ fn bench_incremental_advance(c: &mut Criterion) {
                 )
             },
             |(hasher, mut states, mut stats)| {
+                let mut scratch = HashScratch::default();
                 for i in 0..dataset.len() as u32 {
-                    hasher.advance(dataset.record(i), &mut states[i as usize], 4, &mut stats);
+                    hasher.advance_with_scratch(
+                        dataset.record(i),
+                        &mut states[i as usize],
+                        4,
+                        &mut stats,
+                        &mut scratch,
+                    );
+                }
+                black_box(stats.hash_evals)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    // The scalar oracle on the identical workload: the in-run control for
+    // the batched path above (same binary, same machine conditions).
+    g.bench_function("level1_to_4_per_record_scalar", |b| {
+        b.iter_batched(
+            || {
+                (
+                    SequenceHasher::new(vec![HashPart::shingles(0, 7)], test_levels()),
+                    vec![RecordHashState::default(); dataset.len()],
+                    Stats::default(),
+                )
+            },
+            |(hasher, mut states, mut stats)| {
+                for i in 0..dataset.len() as u32 {
+                    hasher.advance_scalar(
+                        dataset.record(i),
+                        &mut states[i as usize],
+                        4,
+                        &mut stats,
+                    );
                 }
                 black_box(stats.hash_evals)
             },
@@ -162,9 +258,9 @@ fn bench_transitive_and_pairwise(c: &mut Criterion) {
                     Stats::default(),
                 )
             },
-            |(mut hasher, mut states, mut stats)| {
+            |(hasher, mut states, mut stats)| {
                 black_box(apply_transitive(
-                    &mut hasher,
+                    &hasher,
                     &mut states,
                     &dataset,
                     &ids,
@@ -218,6 +314,8 @@ criterion_group!(
     bench_forest,
     bench_bins,
     bench_families,
+    bench_minhash_batch,
+    bench_hyperplane_batch,
     bench_incremental_advance,
     bench_transitive_and_pairwise,
     bench_end_to_end,

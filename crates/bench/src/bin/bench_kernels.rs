@@ -1,0 +1,108 @@
+//! Kernel baseline recorder: times the scalar and batched MinHash /
+//! hyperplane kernels at batch widths 16 / 128 / 1024 and writes
+//! per-kernel throughput (ops/sec, one op = one hash-function
+//! evaluation) to `BENCH_kernels.json` at the workspace root.
+//!
+//! Unlike the Criterion benches (`cargo bench -p adalsh-bench`), this is
+//! a one-shot recorder producing a small machine-readable baseline that
+//! can be committed and diffed across optimization PRs:
+//!
+//! ```sh
+//! cargo run --release -p adalsh-bench --bin bench_kernels
+//! ```
+
+use adalsh_lsh::{HyperplaneFamily, MinHashFamily};
+use std::hint::black_box;
+use std::time::Instant;
+
+const WIDTHS: [usize; 3] = [16, 128, 1024];
+const SET_SIZE: usize = 120;
+const DIM: usize = 64;
+
+/// Runs `f` (which performs `ops_per_iter` hash evaluations) repeatedly
+/// for at least ~0.3 s after warmup and returns ops/sec.
+fn measure(ops_per_iter: usize, mut f: impl FnMut()) -> f64 {
+    for _ in 0..16 {
+        f();
+    }
+    let mut iters = 0u64;
+    let start = Instant::now();
+    loop {
+        f();
+        iters += 1;
+        if iters.is_multiple_of(16) && start.elapsed().as_secs_f64() > 0.3 {
+            break;
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    (iters as f64 * ops_per_iter as f64) / secs
+}
+
+fn main() {
+    let set: Vec<u64> = (0..SET_SIZE as u64).collect();
+    let mh = MinHashFamily::new(3);
+    let v: Vec<f64> = (0..DIM).map(|i| (i as f64 * 0.37).sin()).collect();
+    let mut hp = HyperplaneFamily::new(DIM, 3);
+    hp.ensure_functions(*WIDTHS.iter().max().unwrap());
+
+    let mut rows: Vec<(String, f64)> = Vec::new();
+    for &width in &WIDTHS {
+        let idx: Vec<usize> = (0..width).collect();
+        let mut out = vec![0u64; width];
+
+        let ops = measure(width, || {
+            for (o, &i) in out.iter_mut().zip(&idx) {
+                *o = mh.hash(i, black_box(&set));
+            }
+            black_box(out[width - 1]);
+        });
+        rows.push((format!("minhash_scalar/{width}"), ops));
+
+        let ops = measure(width, || {
+            mh.hash_batch(&idx, black_box(&set), &mut out);
+            black_box(out[width - 1]);
+        });
+        rows.push((format!("minhash_batch/{width}"), ops));
+
+        let ops = measure(width, || {
+            for (o, &i) in out.iter_mut().zip(&idx) {
+                *o = hp.hash(i, black_box(&v));
+            }
+            black_box(out[width - 1]);
+        });
+        rows.push((format!("hyperplane_scalar/{width}"), ops));
+
+        let ops = measure(width, || {
+            hp.hash_batch(&idx, black_box(&v), &mut out);
+            black_box(out[width - 1]);
+        });
+        rows.push((format!("hyperplane_batch/{width}"), ops));
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"_meta\": {{ \"set_size\": {SET_SIZE}, \"dim\": {DIM}, \"unit\": \"hash evaluations per second\" }}"
+    ));
+    for (name, ops) in &rows {
+        json.push_str(&format!(",\n  \"{name}\": {:.0}", ops));
+    }
+    json.push_str("\n}\n");
+
+    let path = "BENCH_kernels.json";
+    std::fs::write(path, &json).expect("write baseline");
+    println!("{json}");
+    for w in WIDTHS {
+        let get = |n: &str| {
+            rows.iter()
+                .find(|(name, _)| name == &format!("{n}/{w}"))
+                .map(|&(_, o)| o)
+                .unwrap_or(f64::NAN)
+        };
+        println!(
+            "width {w:>4}: minhash batched/scalar = {:.2}x, hyperplane batched/scalar = {:.2}x",
+            get("minhash_batch") / get("minhash_scalar"),
+            get("hyperplane_batch") / get("hyperplane_scalar"),
+        );
+    }
+    println!("wrote {path}");
+}

@@ -41,10 +41,7 @@ fn main() {
     let mut ada = AdaLsh::for_dataset(&dataset, AdaLshConfig::new(rule.clone())).unwrap();
     eprintln!(
         "adaLSH sequence: {:?}",
-        ada.levels()
-            .iter()
-            .map(|l| l.budget())
-            .collect::<Vec<_>>()
+        ada.levels().iter().map(|l| l.budget()).collect::<Vec<_>>()
     );
     run(&mut ada);
     run(&mut LshBlocking::new(rule.clone(), 1280));

@@ -50,5 +50,11 @@ fn main() {
     bench("SpotSigs8x", &spot8, &spotsigs::match_rule(0.4), 10, 1280);
 
     let pop = popimages::generate(&PopImagesConfig::default());
-    bench("PopularImages(1.05)", &pop, &popimages::match_rule(3.0), 10, 2560);
+    bench(
+        "PopularImages(1.05)",
+        &pop,
+        &popimages::match_rule(3.0),
+        10,
+        2560,
+    );
 }

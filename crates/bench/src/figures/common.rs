@@ -7,9 +7,20 @@ use adalsh_data::{Dataset, MatchRule};
 use crate::harness::{evaluate, label, pair_cost, Eval, LabeledEval};
 
 /// Builds a default-configured adaLSH engine for a dataset/rule.
+///
+/// Thread count defaults to available parallelism; set `ADALSH_THREADS`
+/// (e.g. `ADALSH_THREADS=1`) to pin it for reproducible single-threaded
+/// timing runs. Output and statistics are identical at any thread count.
 pub fn ada(dataset: &Dataset, rule: &MatchRule) -> AdaLsh {
-    AdaLsh::for_dataset(dataset, AdaLshConfig::new(rule.clone()))
-        .expect("sequence designable for experiment rule")
+    let mut config = AdaLshConfig::new(rule.clone());
+    if let Some(n) = std::env::var("ADALSH_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        config.threads = n;
+    }
+    AdaLsh::for_dataset(dataset, config).expect("sequence designable for experiment rule")
 }
 
 /// A method roster entry for comparison figures.
@@ -75,7 +86,8 @@ impl TimeGrid {
         let pc = pair_cost(&d1, &rule, 1000, 7);
 
         println!("--- (a) execution time vs k (1x, {} records)", d1.len());
-        let mut ta = crate::harness::Table::new(&["k", "adaLSH", &format!("LSH{}", self.lsh_x), "Pairs"]);
+        let mut ta =
+            crate::harness::Table::new(&["k", "adaLSH", &format!("LSH{}", self.lsh_x), "Pairs"]);
         for k in [2usize, 5, 10, 20] {
             let mut cells = vec![k.to_string()];
             for m in [Method::Ada, Method::Lsh(self.lsh_x), Method::Pairs] {

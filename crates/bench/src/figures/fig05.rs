@@ -25,7 +25,9 @@ pub struct CurvePoint {
 /// Prints both curve families and the Example-5 optimizer outcome.
 pub fn run() -> Vec<CurvePoint> {
     let mut rows = Vec::new();
-    let angles = [5.0f64, 15.0, 25.0, 35.0, 45.0, 55.0, 65.0, 80.0, 100.0, 140.0, 180.0];
+    let angles = [
+        5.0f64, 15.0, 25.0, 35.0, 45.0, 55.0, 65.0, 80.0, 100.0, 140.0, 180.0,
+    ];
 
     println!("--- Figure 5: P[same bucket] vs cosine distance");
     let fig5 = [(1u32, 1u32), (15, 20), (30, 70)];

@@ -4,7 +4,9 @@
 //! precision decays.
 
 use crate::figures::common::ada;
-use crate::harness::{datasets, evaluate_output, f3, label, pair_cost, write_rows, LabeledEval, Table};
+use crate::harness::{
+    datasets, evaluate_output, f3, label, pair_cost, write_rows, LabeledEval, Table,
+};
 
 /// Gold k of the experiment.
 pub const K: usize = 5;
@@ -31,10 +33,7 @@ pub fn run() -> Vec<LabeledEval> {
             prec_rows[i].push(f3(e.precision_gold));
             rows.push(label(
                 "fig11",
-                &[
-                    ("threshold", thr.to_string()),
-                    ("khat", khat.to_string()),
-                ],
+                &[("threshold", thr.to_string()), ("khat", khat.to_string())],
                 e,
             ));
         }

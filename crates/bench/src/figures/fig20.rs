@@ -41,8 +41,12 @@ pub fn run() -> Vec<Fig20Row> {
         ("LSH640nP", Method::LshNoP(640)),
     ];
 
-    let mut time_t = Table::new(&["records", "adaLSH", "LSH20", "LSH640", "LSH20nP", "LSH640nP"]);
-    let mut f1_t = Table::new(&["records", "adaLSH", "LSH20", "LSH640", "LSH20nP", "LSH640nP"]);
+    let mut time_t = Table::new(&[
+        "records", "adaLSH", "LSH20", "LSH640", "LSH20nP", "LSH640nP",
+    ]);
+    let mut f1_t = Table::new(&[
+        "records", "adaLSH", "LSH20", "LSH640", "LSH20nP", "LSH640nP",
+    ]);
     for factor in [1usize, 2, 4, 8] {
         let (dataset, rule) = datasets::spotsigs(factor, 0.4);
         let pc = pair_cost(&dataset, &rule, 500, 7);

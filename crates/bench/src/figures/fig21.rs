@@ -32,8 +32,13 @@ pub struct Fig21Row {
 /// Runs both panels (k = 2 and k = 10).
 pub fn run() -> Vec<Fig21Row> {
     let mut rows = Vec::new();
-    let noises: [(&str, f64); 5] =
-        [("clean", 1.0), ("1/2", 0.5), ("2/1", 2.0), ("1/5", 0.2), ("5/1", 5.0)];
+    let noises: [(&str, f64); 5] = [
+        ("clean", 1.0),
+        ("1/2", 0.5),
+        ("2/1", 2.0),
+        ("1/5", 0.2),
+        ("5/1", 5.0),
+    ];
     for k in [2usize, 10] {
         println!("--- Figure 21 (k = {k}): execution time under cost-model noise");
         let mut t = Table::new(&["records", "clean", "1/2", "2/1", "1/5", "5/1"]);

@@ -31,18 +31,20 @@ pub struct Fig22Row {
 
 fn modes() -> [(&'static str, BudgetStrategy); 4] {
     [
-        ("expo", BudgetStrategy::Exponential { start: 20, factor: 2 }),
+        (
+            "expo",
+            BudgetStrategy::Exponential {
+                start: 20,
+                factor: 2,
+            },
+        ),
         ("lin320", BudgetStrategy::Linear { step: 320 }),
         ("lin640", BudgetStrategy::Linear { step: 640 }),
         ("lin1280", BudgetStrategy::Linear { step: 1280 }),
     ]
 }
 
-fn panel(
-    name: &str,
-    dataset_fn: fn(usize) -> (Dataset, MatchRule),
-    rows: &mut Vec<Fig22Row>,
-) {
+fn panel(name: &str, dataset_fn: fn(usize) -> (Dataset, MatchRule), rows: &mut Vec<Fig22Row>) {
     println!("--- Figure 22: budget modes on {name} (k = 10)");
     let mut t = Table::new(&["records", "expo", "lin320", "lin640", "lin1280"]);
     for factor in [1usize, 2, 4, 8] {
@@ -72,7 +74,7 @@ fn panel(
 /// Runs both panels.
 pub fn run() -> Vec<Fig22Row> {
     let mut rows = Vec::new();
-    panel("cora", |f| datasets::cora(f), &mut rows);
+    panel("cora", datasets::cora, &mut rows);
     panel("spotsigs", |f| datasets::spotsigs(f, 0.4), &mut rows);
     write_rows("fig22_budget_modes", &rows);
     rows

@@ -69,9 +69,7 @@ impl Args {
     {
         match self.flag(name) {
             None => Ok(default),
-            Some(v) => v
-                .parse()
-                .map_err(|e| format!("--{name} {v}: {e}")),
+            Some(v) => v.parse().map_err(|e| format!("--{name} {v}: {e}")),
         }
     }
 

@@ -17,9 +17,7 @@ use crate::rules;
 /// `adalsh generate <family> --out file …`
 pub fn generate(args: &Args) -> Result<(), String> {
     let family = args.positional(0, "dataset family")?;
-    let out = args
-        .flag("out")
-        .ok_or("generate requires --out <file>")?;
+    let out = args.flag("out").ok_or("generate requires --out <file>")?;
     let seed: u64 = args.flag_or("seed", 42u64)?;
     let dataset = match family {
         "cora" => {
@@ -77,10 +75,7 @@ pub fn info(args: &Args) -> Result<(), String> {
         sizes.len().min(10)
     };
     println!("top entity sizes: {:?}", &sizes[..shown]);
-    println!(
-        "singletons: {}",
-        sizes.iter().filter(|&&s| s == 1).count()
-    );
+    println!("singletons: {}", sizes.iter().filter(|&&s| s == 1).count());
     Ok(())
 }
 
@@ -103,8 +98,7 @@ pub fn filter(args: &Args) -> Result<(), String> {
         println!("#{:<3} size {:<6} e.g. {:?}", i + 1, c.len(), preview);
     }
     if let Some(path) = args.flag("out") {
-        let json = serde_json::to_string_pretty(&out.clusters)
-            .map_err(|e| e.to_string())?;
+        let json = serde_json::to_string_pretty(&out.clusters).map_err(|e| e.to_string())?;
         std::fs::write(path, json).map_err(|e| format!("write {path}: {e}"))?;
         println!("clusters written to {path}");
     }
@@ -129,9 +123,11 @@ pub fn evaluate(args: &Args) -> Result<(), String> {
     println!("filtering time:    {:?}", out.wall);
     println!("hash evaluations:  {}", out.stats.hash_evals);
     println!("pair comparisons:  {}", out.stats.pair_comparisons);
-    println!("output records:    {} ({:.1}% of dataset)",
+    println!(
+        "output records:    {} ({:.1}% of dataset)",
         out.records().len(),
-        reduction_pct(out.records().len(), dataset.len()));
+        reduction_pct(out.records().len(), dataset.len())
+    );
     println!("precision gold:    {:.4}", m.precision);
     println!("recall gold:       {:.4}", m.recall);
     println!("F1 gold:           {:.4}", m.f1);
@@ -153,10 +149,15 @@ fn run_method(
 ) -> Result<(String, FilterOutput), String> {
     let method = args.flag("method").unwrap_or("adalsh");
     let mut boxed: Box<dyn FilterMethod> = match method {
-        "adalsh" => Box::new(AdaLsh::for_dataset(
-            dataset,
-            AdaLshConfig::new(rule.clone()),
-        )?),
+        "adalsh" => {
+            let mut config = AdaLshConfig::new(rule.clone());
+            // 0 = auto (the config default: available parallelism).
+            let threads: usize = args.flag_or("threads", 0usize)?;
+            if threads > 0 {
+                config.threads = threads;
+            }
+            Box::new(AdaLsh::for_dataset(dataset, config)?)
+        }
         "pairs" => Box::new(Pairs::new(rule.clone())),
         m if m.starts_with("lsh") => {
             let x: u64 = m[3..]

@@ -24,13 +24,19 @@ adalsh — top-k entity resolution with adaptive LSH
 USAGE:
   adalsh generate <cora|spotsigs|popimages> --out <file> [--records N] [--entities N] [--seed S] [--exponent E]
   adalsh info <data.jsonl>
-  adalsh filter <data.jsonl> --k <K> [--method adalsh|pairs|lsh<X>] [--rule <spec>] [--out <file>]
-  adalsh evaluate <data.jsonl> --k <K> [--khat <K2>] [--method <m>] [--rule <spec>]
+  adalsh filter <data.jsonl> --k <K> [--method adalsh|pairs|lsh<X>] [--rule <spec>] [--threads <N>] [--out <file>]
+  adalsh evaluate <data.jsonl> --k <K> [--khat <K2>] [--method <m>] [--rule <spec>] [--threads <N>]
 
 RULE SPECS:
   jaccard:<dthr>     Jaccard distance threshold on field 0 (e.g. jaccard:0.6)
   angular:<degrees>  angular threshold in degrees on field 0 (e.g. angular:3)
   cora               the three-field publication AND rule
+
+THREADS:
+  --threads <N>      worker threads for adaLSH transitive hashing
+                     (default: auto = available parallelism; --threads 1
+                     runs the sequential reference path; output and
+                     statistics are identical at any thread count)
 ";
 
 fn main() {

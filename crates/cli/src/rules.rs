@@ -21,9 +21,7 @@ pub fn resolve(spec: Option<&str>, dataset: &Dataset) -> Result<MatchRule, Strin
                 .map_err(|e| format!("bad rule threshold '{value}': {e}"))?;
             match kind {
                 "jaccard" => MatchRule::threshold(0, FieldDistance::Jaccard, value),
-                "angular" => {
-                    MatchRule::threshold(0, FieldDistance::Angular, value / 180.0)
-                }
+                "angular" => MatchRule::threshold(0, FieldDistance::Angular, value / 180.0),
                 other => return Err(format!("unknown rule kind '{other}'")),
             }
         }
@@ -48,9 +46,9 @@ mod tests {
     fn shingle_dataset() -> Dataset {
         Dataset::new(
             Schema::single("s", FieldKind::Shingles),
-            vec![Record::single(FieldValue::Shingles(ShingleSet::new(
-                vec![1],
-            )))],
+            vec![Record::single(FieldValue::Shingles(ShingleSet::new(vec![
+                1,
+            ])))],
             vec![0],
         )
     }

@@ -1,7 +1,7 @@
 //! End-to-end tests of the `adalsh` binary: generate → info → filter →
 //! evaluate over a temporary dataset file.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::Command;
 
 fn bin() -> Command {
@@ -14,7 +14,7 @@ fn tmpfile(name: &str) -> PathBuf {
     dir.join(name)
 }
 
-fn generate(path: &PathBuf) {
+fn generate(path: &Path) {
     let out = bin()
         .args([
             "generate",
@@ -28,7 +28,11 @@ fn generate(path: &PathBuf) {
         ])
         .output()
         .expect("run generate");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 }
 
 #[test]
@@ -63,7 +67,11 @@ fn filter_prints_clusters_and_writes_json() {
         ])
         .output()
         .expect("run filter");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("adaLSH: 3 clusters"), "{text}");
     let json = std::fs::read_to_string(&clusters).expect("clusters file");
@@ -107,6 +115,48 @@ fn evaluate_methods_agree() {
             String::from_utf8_lossy(&out.stderr)
         );
     }
+}
+
+#[test]
+fn thread_count_does_not_change_results() {
+    let data = tmpfile("t.jsonl");
+    generate(&data);
+    let run = |threads: &str| {
+        let out = bin()
+            .args([
+                "filter",
+                data.to_str().unwrap(),
+                "--k",
+                "3",
+                "--threads",
+                threads,
+            ])
+            .output()
+            .expect("run filter");
+        assert!(
+            out.status.success(),
+            "--threads {threads}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    let single = run("1");
+    let multi = run("4");
+    // Identical clusters and identical operation counts at any thread
+    // count — the parallel path's determinism contract.
+    let strip_time = |s: &str| {
+        s.lines()
+            .map(|l| {
+                if let (Some(i), Some(j)) = (l.find("clusters, "), l.find(" (")) {
+                    format!("{}{}", &l[..i], &l[j..])
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(strip_time(&single), strip_time(&multi));
 }
 
 #[test]

@@ -67,8 +67,10 @@ pub struct AdaLshConfig {
     /// deterministic analytic model.
     pub measured_cost: bool,
     /// Hash records on this many worker threads inside each transitive
-    /// invocation (1 = sequential; evaluation order and output are
-    /// identical either way).
+    /// invocation. Defaults to the machine's available parallelism; set
+    /// to 1 for the sequential reference (output and `Stats` counters
+    /// are identical either way, so 1 is an escape hatch for timing
+    /// reproducibility, not correctness).
     pub threads: usize,
     /// Extend the sequence so its last budget is at least ~2·|R|,
     /// guaranteeing the Line-5 gate can fire on a cluster of *any* size
@@ -92,10 +94,18 @@ impl AdaLshConfig {
             cost_noise: 1.0,
             disable_jump_gate: false,
             measured_cost: false,
-            threads: 1,
+            threads: default_threads(),
             scale_max_budget: true,
         }
     }
+}
+
+/// The default worker-thread count: the machine's available parallelism,
+/// or 1 when it cannot be determined.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
 }
 
 /// The result of a filtering run.
@@ -311,8 +321,7 @@ impl AdaLsh {
         let mut stats = Stats::default();
         let n = dataset.len();
         let num_levels = self.hasher.num_levels();
-        let mut rng =
-            rand::rngs::StdRng::seed_from_u64(derive_seed(self.config.spec.seed, 0xA1));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(derive_seed(self.config.spec.seed, 0xA1));
 
         let mut arena: Vec<Option<ArenaEntry>> = Vec::new();
         let mut pool = Pool::new(self.config.selection);

@@ -210,10 +210,7 @@ mod tests {
     #[test]
     fn names_follow_paper_convention() {
         assert_eq!(LshBlocking::new(rule(), 1280).name(), "LSH1280");
-        assert_eq!(
-            LshBlocking::without_pairwise(rule(), 20).name(),
-            "LSH20nP"
-        );
+        assert_eq!(LshBlocking::without_pairwise(rule(), 20).name(), "LSH20nP");
     }
 
     #[test]

@@ -69,7 +69,10 @@ impl CostModel {
                     // Uniform over choices is close enough for a gate
                     // heuristic; exact weights would need the selection's
                     // internals.
-                    choices.iter().map(|c| part_unit(c, field_size)).sum::<f64>()
+                    choices
+                        .iter()
+                        .map(|c| part_unit(c, field_size))
+                        .sum::<f64>()
                         / choices.len() as f64
                 }
             }
@@ -145,8 +148,7 @@ impl CostModel {
         let sample_records: Vec<&Record> = (0..samples)
             .map(|_| dataset.record(rng.random_range(0..n)))
             .collect();
-        let mut states: Vec<RecordHashState> =
-            vec![RecordHashState::default(); samples];
+        let mut states: Vec<RecordHashState> = vec![RecordHashState::default(); samples];
         let mut cumulative = 0.0;
         for level in 1..=num_levels {
             let start = Instant::now();

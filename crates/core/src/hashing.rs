@@ -25,6 +25,19 @@ use adalsh_lsh::{HyperplaneFamily, MinHashFamily};
 
 use crate::stats::Stats;
 
+/// Reusable buffers for the batched advance path. One instance per
+/// worker thread amortizes every allocation across records; the
+/// convenience [`SequenceHasher::advance`] creates a throwaway one.
+#[derive(Debug, Default)]
+pub struct HashScratch {
+    /// Per-group value buffer, laid out in canonical task order.
+    vals: Vec<u64>,
+    /// Staging buffer for weighted sub-part batches before scattering.
+    tmp: Vec<u64>,
+    /// Per-part read cursors used by the fold.
+    cursors: Vec<usize>,
+}
+
 /// One function `Hᵢ` of the sequence: its per-part table parameters.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum LevelScheme {
@@ -68,16 +81,10 @@ impl LevelScheme {
     pub fn extends(&self, prev: &LevelScheme) -> bool {
         match (self, prev) {
             (LevelScheme::Shared { ws: w1, z: z1 }, LevelScheme::Shared { ws: w0, z: z0 }) => {
-                w1.len() == w0.len()
-                    && z1 >= z0
-                    && w1.iter().zip(w0).all(|(a, b)| a >= b)
+                w1.len() == w0.len() && z1 >= z0 && w1.iter().zip(w0).all(|(a, b)| a >= b)
             }
             (LevelScheme::PerPart { parts: p1 }, LevelScheme::PerPart { parts: p0 }) => {
-                p1.len() == p0.len()
-                    && p1
-                        .iter()
-                        .zip(p0)
-                        .all(|(a, b)| a.w >= b.w && a.z >= b.z)
+                p1.len() == p0.len() && p1.iter().zip(p0).all(|(a, b)| a.w >= b.w && a.z >= b.z)
             }
             _ => false,
         }
@@ -151,8 +158,12 @@ impl HashPart {
             .iter()
             .enumerate()
             .map(|(i, &(field, metric, _))| match metric {
-                FieldDistance::Angular => HashPart::dense(field, dims[i], derive_seed(seed, 1 + i as u64)),
-                FieldDistance::Jaccard => HashPart::shingles(field, derive_seed(seed, 1 + i as u64)),
+                FieldDistance::Angular => {
+                    HashPart::dense(field, dims[i], derive_seed(seed, 1 + i as u64))
+                }
+                FieldDistance::Jaccard => {
+                    HashPart::shingles(field, derive_seed(seed, 1 + i as u64))
+                }
             })
             .collect();
         HashPart::Weighted { selection, choices }
@@ -190,8 +201,9 @@ impl HashPart {
     /// Panics if a dense function was not materialized.
     fn eval(&self, t: u32, j: u32, record: &Record) -> u64 {
         match self {
-            HashPart::Dense { field, tables, .. } => tables[t as usize]
-                .hash(j as usize, record.field(*field).as_dense().components()),
+            HashPart::Dense { field, tables, .. } => {
+                tables[t as usize].hash(j as usize, record.field(*field).as_dense().components())
+            }
             HashPart::Shingles { field, family } => {
                 let idx = u64::from(t) * TABLE_STRIDE + u64::from(j);
                 family.hash(idx as usize, record.field(*field).as_shingles().shingles())
@@ -207,7 +219,10 @@ impl HashPart {
 
 /// Per-record incremental hash state: the current level and one
 /// accumulator per table, grouped as the scheme dictates.
-#[derive(Debug, Clone, Default)]
+///
+/// `PartialEq` compares the full state (level and every accumulator) —
+/// the equality the batched/scalar differential tests rely on.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RecordHashState {
     /// Last sequence level applied to this record (0 = none).
     pub level: u16,
@@ -216,12 +231,238 @@ pub struct RecordHashState {
     groups: Vec<Vec<u64>>,
 }
 
+/// Precomputed work-list for advancing one level (`lvl−1 → lvl`): the
+/// `(table, function)` tasks of every group/part in the exact canonical
+/// order the scalar fold consumes them, plus per-task data (MinHash keys,
+/// hyperplane function runs, weighted sub-part partitions) derived once
+/// at construction instead of once per record.
+#[derive(Debug)]
+struct LevelPlan {
+    groups: Vec<GroupPlan>,
+}
+
+/// One table group of a level plan (`Shared` has a single group fed by
+/// all parts; `PerPart` one group per part).
+#[derive(Debug)]
+struct GroupPlan {
+    /// Group tag folded into fresh-table accumulator seeds.
+    group: u32,
+    /// Tables `0..z_from` already exist and are extended; tables
+    /// `z_from..z_to` are fresh.
+    z_from: u32,
+    z_to: u32,
+    /// Total task count across `parts` (the group's buffer length).
+    total: usize,
+    /// Per part feeding this group, in part order.
+    parts: Vec<PartPlan>,
+}
+
+/// One part's slice of a group plan. Tasks are ordered phase-A first
+/// (existing tables `t < z_from`, new functions `w_from..w_to`), then
+/// phase-B (fresh tables, functions `0..w_to`) — matching the canonical
+/// fold order of the scalar path.
+#[derive(Debug)]
+struct PartPlan {
+    /// Index into `SequenceHasher::parts`.
+    part: usize,
+    w_from: u32,
+    w_to: u32,
+    /// Start of this part's values in the group buffer.
+    offset: usize,
+    /// Number of tasks (= values produced).
+    count: usize,
+    kind: PartPlanKind,
+}
+
+#[derive(Debug)]
+enum PartPlanKind {
+    /// MinHash: per-task keys (`derive_seed(family_seed, t·STRIDE + j)`)
+    /// cached so record hashing never re-derives them.
+    Shingles { keys: Vec<u64> },
+    /// Hyperplanes: one `(table, ascending function list)` run per table,
+    /// in task order.
+    Dense { runs: Vec<(u32, Vec<usize>)> },
+    /// Weighted selection: tasks partitioned by the selected sub-part,
+    /// each remembering its position in the part's value slice so the
+    /// fold order is preserved.
+    Weighted { choices: Vec<ChoicePlan> },
+}
+
+/// The tasks a weighted part routes to one of its sub-parts.
+#[derive(Debug)]
+struct ChoicePlan {
+    /// Index into the weighted part's `choices`.
+    choice: usize,
+    /// Positions within the part's value slice, ascending.
+    positions: Vec<usize>,
+    kind: ChoiceKind,
+}
+
+#[derive(Debug)]
+enum ChoiceKind {
+    /// Cached MinHash keys, aligned with `positions`.
+    Shingles { keys: Vec<u64> },
+    /// Hyperplane runs, aligned with `positions` when flattened.
+    Dense { runs: Vec<(u32, Vec<usize>)> },
+}
+
+/// The canonical `(table, function)` task list for one part of one
+/// level transition: phase A then phase B (see [`PartPlan`]).
+fn canonical_tasks(w_from: u32, w_to: u32, z_from: u32, z_to: u32) -> Vec<(u32, u32)> {
+    let mut tasks =
+        Vec::with_capacity((z_from * (w_to - w_from) + (z_to - z_from) * w_to) as usize);
+    for t in 0..z_from {
+        for j in w_from..w_to {
+            tasks.push((t, j));
+        }
+    }
+    for t in z_from..z_to {
+        for j in 0..w_to {
+            tasks.push((t, j));
+        }
+    }
+    tasks
+}
+
+/// Groups a task list into per-table runs of ascending function indices.
+fn dense_runs(tasks: &[(u32, u32)]) -> Vec<(u32, Vec<usize>)> {
+    let mut runs: Vec<(u32, Vec<usize>)> = Vec::new();
+    for &(t, j) in tasks {
+        match runs.last_mut() {
+            Some((rt, js)) if *rt == t => js.push(j as usize),
+            _ => runs.push((t, vec![j as usize])),
+        }
+    }
+    runs
+}
+
+fn build_part_plan(
+    parts: &[HashPart],
+    part: usize,
+    w_from: u32,
+    w_to: u32,
+    z_from: u32,
+    z_to: u32,
+    offset: usize,
+) -> PartPlan {
+    let tasks = canonical_tasks(w_from, w_to, z_from, z_to);
+    let kind = match &parts[part] {
+        HashPart::Shingles { family, .. } => PartPlanKind::Shingles {
+            keys: tasks
+                .iter()
+                .map(|&(t, j)| {
+                    family.key_for((u64::from(t) * TABLE_STRIDE + u64::from(j)) as usize)
+                })
+                .collect(),
+        },
+        HashPart::Dense { .. } => PartPlanKind::Dense {
+            runs: dense_runs(&tasks),
+        },
+        HashPart::Weighted { selection, choices } => {
+            let mut plans: Vec<ChoicePlan> = choices
+                .iter()
+                .enumerate()
+                .map(|(c, choice)| ChoicePlan {
+                    choice: c,
+                    positions: Vec::new(),
+                    kind: match choice {
+                        HashPart::Shingles { .. } => ChoiceKind::Shingles { keys: Vec::new() },
+                        HashPart::Dense { .. } => ChoiceKind::Dense { runs: Vec::new() },
+                        HashPart::Weighted { .. } => {
+                            unreachable!("Definition 7 selections are one level deep")
+                        }
+                    },
+                })
+                .collect();
+            for (pos, &(t, j)) in tasks.iter().enumerate() {
+                let idx = u64::from(t) * TABLE_STRIDE + u64::from(j);
+                let c = selection.field_for(idx as usize);
+                plans[c].positions.push(pos);
+                match (&mut plans[c].kind, &choices[c]) {
+                    (ChoiceKind::Shingles { keys }, HashPart::Shingles { family, .. }) => {
+                        keys.push(family.key_for(idx as usize));
+                    }
+                    (ChoiceKind::Dense { runs }, HashPart::Dense { .. }) => match runs.last_mut() {
+                        Some((rt, js)) if *rt == t => js.push(j as usize),
+                        _ => runs.push((t, vec![j as usize])),
+                    },
+                    _ => unreachable!("choice plan kind matches sub-part kind"),
+                }
+            }
+            plans.retain(|p| !p.positions.is_empty());
+            PartPlanKind::Weighted { choices: plans }
+        }
+    };
+    PartPlan {
+        part,
+        w_from,
+        w_to,
+        offset,
+        count: tasks.len(),
+        kind,
+    }
+}
+
+/// Builds the per-level plans (one per `lvl−1 → lvl` transition; jumps
+/// advance level by level, so these cover every transition that occurs).
+fn build_plans(parts: &[HashPart], levels: &[LevelScheme]) -> Vec<LevelPlan> {
+    let mut plans = Vec::with_capacity(levels.len());
+    for (li, level) in levels.iter().enumerate() {
+        let prev = if li == 0 { None } else { Some(&levels[li - 1]) };
+        let groups = match level {
+            LevelScheme::Shared { ws, z } => {
+                let (ws_from, z_from) = match prev {
+                    None => (vec![0u32; ws.len()], 0),
+                    Some(LevelScheme::Shared { ws, z }) => (ws.clone(), *z),
+                    Some(LevelScheme::PerPart { .. }) => unreachable!("structure is uniform"),
+                };
+                let mut pps = Vec::with_capacity(ws.len());
+                let mut offset = 0usize;
+                for (p, &w_to) in ws.iter().enumerate() {
+                    let pp = build_part_plan(parts, p, ws_from[p], w_to, z_from, *z, offset);
+                    offset += pp.count;
+                    pps.push(pp);
+                }
+                vec![GroupPlan {
+                    group: 0,
+                    z_from,
+                    z_to: *z,
+                    total: offset,
+                    parts: pps,
+                }]
+            }
+            LevelScheme::PerPart { parts: tos } => tos
+                .iter()
+                .enumerate()
+                .map(|(p, s)| {
+                    let (w_from, z_from) = match prev {
+                        None => (0, 0),
+                        Some(LevelScheme::PerPart { parts }) => (parts[p].w, parts[p].z),
+                        Some(LevelScheme::Shared { .. }) => unreachable!("structure is uniform"),
+                    };
+                    let pp = build_part_plan(parts, p, w_from, s.w, z_from, s.z, 0);
+                    GroupPlan {
+                        group: p as u32,
+                        z_from,
+                        z_to: s.z,
+                        total: pp.count,
+                        parts: vec![pp],
+                    }
+                })
+                .collect(),
+        };
+        plans.push(LevelPlan { groups });
+    }
+    plans
+}
+
 /// The full hashing side of a sequence `H₁ … H_L`: elementary parts plus
-/// per-level schemes.
+/// per-level schemes and the precomputed batch plans.
 #[derive(Debug)]
 pub struct SequenceHasher {
     parts: Vec<HashPart>,
     levels: Vec<LevelScheme>,
+    plans: Vec<LevelPlan>,
 }
 
 impl SequenceHasher {
@@ -247,7 +488,11 @@ impl SequenceHasher {
                 pair[0]
             );
         }
-        let mut hasher = Self { parts, levels };
+        let mut hasher = Self {
+            parts,
+            levels,
+            plans: Vec::new(),
+        };
         // Materialize every hyperplane normal the whole sequence can
         // touch (the last level dominates, by monotonicity). After this,
         // evaluation is pure — `advance` takes `&self` and records can be
@@ -265,6 +510,7 @@ impl SequenceHasher {
                 }
             }
         }
+        hasher.plans = build_plans(&hasher.parts, &hasher.levels);
         hasher
     }
 
@@ -297,9 +543,173 @@ impl SequenceHasher {
     /// 0→1→2→3, or cross-record bucket comparisons would silently fail
     /// for multi-part schemes.
     ///
+    /// Evaluation is **batched**: each level dispatches one kernel call
+    /// per part ([`MinHashFamily::hash_batch_keys`] /
+    /// [`HyperplaneFamily::hash_batch`]) over the precomputed work-list,
+    /// then folds the values in the canonical order — states and
+    /// `Stats.hash_evals` are bit-identical to
+    /// [`SequenceHasher::advance_scalar`].
+    ///
     /// # Panics
     /// Panics if `to_level` is out of range or behind the record's level.
     pub fn advance(
+        &self,
+        record: &Record,
+        state: &mut RecordHashState,
+        to_level: usize,
+        stats: &mut Stats,
+    ) {
+        let mut scratch = HashScratch::default();
+        self.advance_with_scratch(record, state, to_level, stats, &mut scratch);
+    }
+
+    /// Like [`SequenceHasher::advance`], reusing caller-owned scratch
+    /// buffers — the form hot loops (one scratch per worker thread) use.
+    ///
+    /// # Panics
+    /// Panics if `to_level` is out of range or behind the record's level.
+    pub fn advance_with_scratch(
+        &self,
+        record: &Record,
+        state: &mut RecordHashState,
+        to_level: usize,
+        stats: &mut Stats,
+        scratch: &mut HashScratch,
+    ) {
+        assert!(
+            (1..=self.levels.len()).contains(&to_level),
+            "level out of range"
+        );
+        let from = state.level as usize;
+        assert!(from <= to_level, "hash state cannot move backwards");
+        for lvl in (from + 1)..=to_level {
+            self.advance_one_batched(record, state, lvl, stats, scratch);
+        }
+    }
+
+    /// Advances exactly one level via the batch plans.
+    fn advance_one_batched(
+        &self,
+        record: &Record,
+        state: &mut RecordHashState,
+        to_level: usize,
+        stats: &mut Stats,
+        scratch: &mut HashScratch,
+    ) {
+        debug_assert_eq!(state.level as usize + 1, to_level);
+        let plan = &self.plans[to_level - 1];
+        if state.groups.is_empty() {
+            state.groups = vec![Vec::new(); plan.groups.len()];
+        }
+        for (g, gp) in plan.groups.iter().enumerate() {
+            scratch.vals.clear();
+            scratch.vals.resize(gp.total, 0);
+            for pp in &gp.parts {
+                let out = &mut scratch.vals[pp.offset..pp.offset + pp.count];
+                match &pp.kind {
+                    PartPlanKind::Shingles { keys } => {
+                        let HashPart::Shingles { field, .. } = &self.parts[pp.part] else {
+                            unreachable!("plan kind matches part kind")
+                        };
+                        let set = record.field(*field).as_shingles().shingles();
+                        MinHashFamily::hash_batch_keys(keys, set, out);
+                    }
+                    PartPlanKind::Dense { runs } => {
+                        let HashPart::Dense { field, tables, .. } = &self.parts[pp.part] else {
+                            unreachable!("plan kind matches part kind")
+                        };
+                        let v = record.field(*field).as_dense().components();
+                        let mut cur = 0usize;
+                        for (t, js) in runs {
+                            tables[*t as usize].hash_batch(js, v, &mut out[cur..cur + js.len()]);
+                            cur += js.len();
+                        }
+                    }
+                    PartPlanKind::Weighted { choices: cplans } => {
+                        let HashPart::Weighted { choices, .. } = &self.parts[pp.part] else {
+                            unreachable!("plan kind matches part kind")
+                        };
+                        for cp in cplans {
+                            scratch.tmp.clear();
+                            scratch.tmp.resize(cp.positions.len(), 0);
+                            match (&cp.kind, &choices[cp.choice]) {
+                                (
+                                    ChoiceKind::Shingles { keys },
+                                    HashPart::Shingles { field, .. },
+                                ) => {
+                                    let set = record.field(*field).as_shingles().shingles();
+                                    MinHashFamily::hash_batch_keys(keys, set, &mut scratch.tmp);
+                                }
+                                (
+                                    ChoiceKind::Dense { runs },
+                                    HashPart::Dense { field, tables, .. },
+                                ) => {
+                                    let v = record.field(*field).as_dense().components();
+                                    let mut cur = 0usize;
+                                    for (t, js) in runs {
+                                        tables[*t as usize].hash_batch(
+                                            js,
+                                            v,
+                                            &mut scratch.tmp[cur..cur + js.len()],
+                                        );
+                                        cur += js.len();
+                                    }
+                                }
+                                _ => unreachable!("choice plan kind matches sub-part kind"),
+                            }
+                            for (&pos, &val) in cp.positions.iter().zip(&scratch.tmp) {
+                                out[pos] = val;
+                            }
+                        }
+                    }
+                }
+            }
+            stats.hash_evals += gp.total as u64;
+
+            // Fold the values into the accumulators in the exact order
+            // the scalar path uses: existing tables first (new function
+            // range per part), then fresh tables (full widths), parts in
+            // order within each table.
+            let accs = &mut state.groups[g];
+            debug_assert_eq!(accs.len(), gp.z_from as usize);
+            scratch.cursors.clear();
+            scratch.cursors.extend(gp.parts.iter().map(|pp| pp.offset));
+            for t in 0..gp.z_from {
+                let mut acc = accs[t as usize];
+                for (pi, pp) in gp.parts.iter().enumerate() {
+                    let n = (pp.w_to - pp.w_from) as usize;
+                    let c = scratch.cursors[pi];
+                    for &v in &scratch.vals[c..c + n] {
+                        acc = combine(acc, v);
+                    }
+                    scratch.cursors[pi] = c + n;
+                }
+                accs[t as usize] = acc;
+            }
+            for t in gp.z_from..gp.z_to {
+                let mut acc = splitmix64(u64::from(gp.group) << 32 | u64::from(t));
+                for (pi, pp) in gp.parts.iter().enumerate() {
+                    let n = pp.w_to as usize;
+                    let c = scratch.cursors[pi];
+                    for &v in &scratch.vals[c..c + n] {
+                        acc = combine(acc, v);
+                    }
+                    scratch.cursors[pi] = c + n;
+                }
+                accs.push(acc);
+            }
+        }
+        state.level = to_level as u16;
+    }
+
+    /// Reference implementation of [`SequenceHasher::advance`]: one
+    /// scalar `eval` per hash function, folding as it goes. Kept as the
+    /// differential-test oracle for the batched path; not used on hot
+    /// paths.
+    ///
+    /// # Panics
+    /// Panics if `to_level` is out of range or behind the record's level.
+    pub fn advance_scalar(
         &self,
         record: &Record,
         state: &mut RecordHashState,
@@ -317,7 +727,7 @@ impl SequenceHasher {
         }
     }
 
-    /// Advances exactly one level (from `lvl − 1` to `lvl`).
+    /// Advances exactly one level (from `lvl − 1` to `lvl`), scalar path.
     fn advance_one(
         &self,
         record: &Record,
@@ -666,15 +1076,109 @@ mod tests {
             &[0, 0],
             9,
         );
-        let h = SequenceHasher::new(
-            vec![part],
-            vec![LevelScheme::Shared { ws: vec![8], z: 2 }],
-        );
+        let h = SequenceHasher::new(vec![part], vec![LevelScheme::Shared { ws: vec![8], z: 2 }]);
         let mut st = Stats::default();
         let mut s = RecordHashState::default();
         h.advance(&rec, &mut s, 1, &mut st);
         assert_eq!(st.hash_evals, 16);
         assert_eq!(h.keys(&s, 1).count(), 2);
+    }
+
+    /// Advances `rec` to every level along both paths and asserts states
+    /// and eval counts stay bit-identical throughout.
+    fn assert_paths_agree(h: &SequenceHasher, rec: &Record) {
+        let mut scratch = HashScratch::default();
+        let mut sb = RecordHashState::default();
+        let mut ss = RecordHashState::default();
+        let (mut stb, mut sts) = (Stats::default(), Stats::default());
+        for lvl in 1..=h.num_levels() {
+            h.advance_with_scratch(rec, &mut sb, lvl, &mut stb, &mut scratch);
+            h.advance_scalar(rec, &mut ss, lvl, &mut sts);
+            assert_eq!(sb, ss, "state mismatch at level {lvl}");
+            assert_eq!(stb.hash_evals, sts.hash_evals, "eval count at level {lvl}");
+        }
+        // A direct jump must also agree.
+        let mut jump = RecordHashState::default();
+        let mut stj = Stats::default();
+        h.advance(rec, &mut jump, h.num_levels(), &mut stj);
+        assert_eq!(jump, sb, "jump state mismatch");
+        assert_eq!(stj.hash_evals, stb.hash_evals);
+    }
+
+    #[test]
+    fn batched_matches_scalar_shared_shingles() {
+        let h = SequenceHasher::new(vec![HashPart::shingles(0, 11)], shared_levels());
+        assert_paths_agree(&h, &shingle_record(&[1, 5, 9, 42, 77, 1000]));
+        assert_paths_agree(&h, &shingle_record(&[3]));
+        assert_paths_agree(&h, &shingle_record(&[]));
+    }
+
+    #[test]
+    fn batched_matches_scalar_multipart_shared() {
+        let rec = Record::new(vec![
+            FieldValue::Shingles(ShingleSet::new(vec![1, 2, 3])),
+            FieldValue::Dense(DenseVector::new(vec![0.5, -0.25, 1.5])),
+        ]);
+        let levels = vec![
+            LevelScheme::Shared {
+                ws: vec![2, 1],
+                z: 2,
+            },
+            LevelScheme::Shared {
+                ws: vec![3, 4],
+                z: 5,
+            },
+        ];
+        let h = SequenceHasher::new(
+            vec![HashPart::shingles(0, 5), HashPart::dense(1, 3, 6)],
+            levels,
+        );
+        assert_paths_agree(&h, &rec);
+    }
+
+    #[test]
+    fn batched_matches_scalar_per_part() {
+        let rec = Record::new(vec![
+            FieldValue::Shingles(ShingleSet::new(vec![1, 2, 3])),
+            FieldValue::Shingles(ShingleSet::new(vec![100, 200])),
+        ]);
+        let levels = vec![
+            LevelScheme::PerPart {
+                parts: vec![WzScheme::new(2, 2), WzScheme::new(1, 3)],
+            },
+            LevelScheme::PerPart {
+                parts: vec![WzScheme::new(2, 4), WzScheme::new(2, 3)],
+            },
+        ];
+        let h = SequenceHasher::new(
+            vec![HashPart::shingles(0, 1), HashPart::shingles(1, 2)],
+            levels,
+        );
+        assert_paths_agree(&h, &rec);
+    }
+
+    #[test]
+    fn batched_matches_scalar_weighted() {
+        let rec = Record::new(vec![
+            FieldValue::Shingles(ShingleSet::new(vec![1, 2, 3, 7])),
+            FieldValue::Dense(DenseVector::new(vec![0.1, -0.9])),
+        ]);
+        let part = HashPart::weighted(
+            &[
+                (0, FieldDistance::Jaccard, 0.6),
+                (1, FieldDistance::Angular, 0.4),
+            ],
+            &[0, 2],
+            9,
+        );
+        let h = SequenceHasher::new(
+            vec![part],
+            vec![
+                LevelScheme::Shared { ws: vec![4], z: 2 },
+                LevelScheme::Shared { ws: vec![8], z: 6 },
+            ],
+        );
+        assert_paths_agree(&h, &rec);
     }
 
     #[test]

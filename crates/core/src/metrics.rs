@@ -35,8 +35,16 @@ pub fn set_metrics(output: &[u32], gold: &[u32]) -> SetMetrics {
     let o: HashSet<u32> = output.iter().copied().collect();
     let g: HashSet<u32> = gold.iter().copied().collect();
     let inter = o.intersection(&g).count() as f64;
-    let precision = if o.is_empty() { 1.0 } else { inter / o.len() as f64 };
-    let recall = if g.is_empty() { 1.0 } else { inter / g.len() as f64 };
+    let precision = if o.is_empty() {
+        1.0
+    } else {
+        inter / o.len() as f64
+    };
+    let recall = if g.is_empty() {
+        1.0
+    } else {
+        inter / g.len() as f64
+    };
     let f1 = if precision + recall == 0.0 {
         0.0
     } else {
@@ -126,12 +134,7 @@ impl SpeedupModel {
     }
 
     /// `Speedup w/o Recovery = WholeTime / (FilteringTime + ReducedTime)`.
-    pub fn speedup_without_recovery(
-        &self,
-        n: usize,
-        output: usize,
-        filtering: Duration,
-    ) -> f64 {
+    pub fn speedup_without_recovery(&self, n: usize, output: usize, filtering: Duration) -> f64 {
         let whole = self.er_time(n);
         whole / (filtering.as_secs_f64() + self.er_time(output))
     }
@@ -140,10 +143,7 @@ impl SpeedupModel {
     /// + RecoveryTime)`.
     pub fn speedup_with_recovery(&self, n: usize, output: usize, filtering: Duration) -> f64 {
         let whole = self.er_time(n);
-        whole
-            / (filtering.as_secs_f64()
-                + self.er_time(output)
-                + self.recovery_time(output, n))
+        whole / (filtering.as_secs_f64() + self.er_time(output) + self.recovery_time(output, n))
     }
 }
 

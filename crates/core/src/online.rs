@@ -97,8 +97,8 @@ impl OnlineAdaLsh {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::baselines::Pairs;
     use crate::algorithm::FilterMethod;
+    use crate::baselines::Pairs;
     use adalsh_data::{FieldDistance, FieldKind, FieldValue, MatchRule, ShingleSet};
 
     fn record(core: u64, noise: u64) -> Record {

@@ -147,10 +147,7 @@ mod tests {
     #[test]
     fn multifield_rule_distance_accounting() {
         use adalsh_data::rule::WeightedPart;
-        let schema = Schema::new(vec![
-            ("a", FieldKind::Shingles),
-            ("b", FieldKind::Shingles),
-        ]);
+        let schema = Schema::new(vec![("a", FieldKind::Shingles), ("b", FieldKind::Shingles)]);
         let rec = |x: &[u64], y: &[u64]| {
             Record::new(vec![
                 FieldValue::Shingles(ShingleSet::new(x.to_vec())),

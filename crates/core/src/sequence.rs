@@ -214,11 +214,12 @@ pub fn design(
                     Some(LevelScheme::Shared { ws, z }) => (ws[0], *z),
                     _ => (1, 1),
                 };
-                single_scheme_le(budget, *dthr, spec.epsilon, min_w, min_z)
-                    .map(|s| LevelScheme::Shared {
+                single_scheme_le(budget, *dthr, spec.epsilon, min_w, min_z).map(|s| {
+                    LevelScheme::Shared {
                         ws: vec![s.w],
                         z: s.z,
-                    })
+                    }
+                })
             }
             RuleShape::And { dthrs } => {
                 let (min_ws, min_z) = match levels.last() {
@@ -277,8 +278,7 @@ pub fn design(
                         let prev_total: u64 = prev.iter().map(WzScheme::budget).sum();
                         let mut grown = Vec::with_capacity(prev.len());
                         for (p, prev_s) in prev.iter().enumerate() {
-                            let share = (budget as f64 * prev_s.budget() as f64
-                                / prev_total as f64)
+                            let share = (budget as f64 * prev_s.budget() as f64 / prev_total as f64)
                                 .round() as u64;
                             let s = single_scheme_le(
                                 share.max(prev_s.budget()),
@@ -434,10 +434,7 @@ mod tests {
 
     #[test]
     fn and_rule_design() {
-        let schema = Schema::new(vec![
-            ("a", FieldKind::Shingles),
-            ("b", FieldKind::Shingles),
-        ]);
+        let schema = Schema::new(vec![("a", FieldKind::Shingles), ("b", FieldKind::Shingles)]);
         let rule = MatchRule::And(vec![
             MatchRule::threshold(0, FieldDistance::Jaccard, 0.3),
             MatchRule::threshold(1, FieldDistance::Jaccard, 0.8),
@@ -464,10 +461,7 @@ mod tests {
 
     #[test]
     fn or_rule_design() {
-        let schema = Schema::new(vec![
-            ("a", FieldKind::Shingles),
-            ("b", FieldKind::Shingles),
-        ]);
+        let schema = Schema::new(vec![("a", FieldKind::Shingles), ("b", FieldKind::Shingles)]);
         let rule = MatchRule::Or(vec![
             MatchRule::threshold(0, FieldDistance::Jaccard, 0.3),
             MatchRule::threshold(1, FieldDistance::Jaccard, 0.2),
@@ -488,10 +482,7 @@ mod tests {
     #[test]
     fn weighted_average_design() {
         use adalsh_data::rule::WeightedPart;
-        let schema = Schema::new(vec![
-            ("a", FieldKind::Shingles),
-            ("b", FieldKind::Shingles),
-        ]);
+        let schema = Schema::new(vec![("a", FieldKind::Shingles), ("b", FieldKind::Shingles)]);
         let rule = MatchRule::WeightedAverage {
             parts: vec![
                 WeightedPart {

@@ -23,9 +23,16 @@ use std::collections::HashMap;
 use adalsh_data::Dataset;
 use adalsh_lsh::mix::combine;
 
-use crate::hashing::{RecordHashState, SequenceHasher};
+use crate::hashing::{HashScratch, RecordHashState, SequenceHasher};
 use crate::ppt::Forest;
 use crate::stats::Stats;
+
+/// Minimum estimated new hash evaluations before phase 1 fans out to
+/// worker threads. Below this, thread spawn/join overhead (~tens of µs)
+/// rivals the hashing itself; the estimate is `|cluster| ·
+/// budget(H_to)`, an upper bound on the work since records may already
+/// be partially advanced.
+const MIN_PARALLEL_EVALS: u64 = 1 << 15;
 
 /// Applies sequence function `H_to_level` to `cluster` (record ids),
 /// advancing each record's incremental hash state as needed, and returns
@@ -49,8 +56,10 @@ pub fn apply_transitive(
 /// threads. Hash evaluation is embarrassingly parallel (each record's
 /// state is independent and the hasher is immutable after construction);
 /// bucket insertion and cluster maintenance stay sequential — they are a
-/// small fraction of the work for any non-trivial scheme. Output and
-/// statistics are identical to the sequential path.
+/// small fraction of the work for any non-trivial scheme. Clusters whose
+/// estimated hashing work falls under [`MIN_PARALLEL_EVALS`] are
+/// processed sequentially regardless of `threads`. Output and statistics
+/// are identical to the sequential path.
 pub fn apply_transitive_threaded(
     hasher: &SequenceHasher,
     states: &mut [RecordHashState],
@@ -64,9 +73,17 @@ pub fn apply_transitive_threaded(
 
     // Phase 1: advance every record's hash state to `to_level`.
     let threads = threads.max(1).min(cluster.len().max(1));
-    if threads == 1 || cluster.len() < 64 {
+    let est_evals = cluster.len() as u64 * hasher.level(to_level).budget();
+    if threads == 1 || est_evals < MIN_PARALLEL_EVALS {
+        let mut scratch = HashScratch::default();
         for &rid in cluster {
-            hasher.advance(dataset.record(rid), &mut states[rid as usize], to_level, stats);
+            hasher.advance_with_scratch(
+                dataset.record(rid),
+                &mut states[rid as usize],
+                to_level,
+                stats,
+                &mut scratch,
+            );
         }
     } else {
         // Pull the touched states out so each worker owns a disjoint
@@ -76,14 +93,21 @@ pub fn apply_transitive_threaded(
             .map(|&rid| (rid, std::mem::take(&mut states[rid as usize])))
             .collect();
         let chunk = owned.len().div_ceil(threads);
-        let per_thread: Vec<Stats> = crossbeam_utils::thread::scope(|scope| {
+        let per_thread: Vec<Stats> = std::thread::scope(|scope| {
             let handles: Vec<_> = owned
                 .chunks_mut(chunk)
                 .map(|chunk| {
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let mut local = Stats::default();
+                        let mut scratch = HashScratch::default();
                         for (rid, state) in chunk {
-                            hasher.advance(dataset.record(*rid), state, to_level, &mut local);
+                            hasher.advance_with_scratch(
+                                dataset.record(*rid),
+                                state,
+                                to_level,
+                                &mut local,
+                                &mut scratch,
+                            );
                         }
                         local
                     })
@@ -93,8 +117,7 @@ pub fn apply_transitive_threaded(
                 .into_iter()
                 .map(|h| h.join().expect("hash worker panicked"))
                 .collect()
-        })
-        .expect("thread scope");
+        });
         for s in &per_thread {
             stats.merge(s);
         }
@@ -185,10 +208,10 @@ mod tests {
     #[test]
     fn identical_records_cluster_together() {
         let d = dataset(&[&[1, 2, 3], &[1, 2, 3], &[100, 200, 300]]);
-        let mut h = hasher(vec![LevelScheme::Shared { ws: vec![2], z: 8 }]);
+        let h = hasher(vec![LevelScheme::Shared { ws: vec![2], z: 8 }]);
         let mut states = vec![RecordHashState::default(); d.len()];
         let mut st = Stats::default();
-        let out = apply_transitive(&mut h, &mut states, &d, &[0, 1, 2], 1, &mut st);
+        let out = apply_transitive(&h, &mut states, &d, &[0, 1, 2], 1, &mut st);
         assert_eq!(sorted(out), vec![vec![0, 1], vec![2]]);
         assert_eq!(st.transitive_calls, 1);
         assert!(st.hash_evals > 0 && st.bucket_inserts > 0);
@@ -196,13 +219,15 @@ mod tests {
 
     #[test]
     fn all_disjoint_records_stay_singletons() {
-        let sets: Vec<Vec<u64>> = (0..5).map(|i| ((i * 100)..(i * 100 + 20)).collect()).collect();
+        let sets: Vec<Vec<u64>> = (0..5)
+            .map(|i| ((i * 100)..(i * 100 + 20)).collect())
+            .collect();
         let refs: Vec<&[u64]> = sets.iter().map(|v| v.as_slice()).collect();
         let d = dataset(&refs);
-        let mut h = hasher(vec![LevelScheme::Shared { ws: vec![4], z: 10 }]);
+        let h = hasher(vec![LevelScheme::Shared { ws: vec![4], z: 10 }]);
         let mut states = vec![RecordHashState::default(); d.len()];
         let mut st = Stats::default();
-        let out = apply_transitive(&mut h, &mut states, &d, &[0, 1, 2, 3, 4], 1, &mut st);
+        let out = apply_transitive(&h, &mut states, &d, &[0, 1, 2, 3, 4], 1, &mut st);
         assert_eq!(out.len(), 5, "disjoint sets must not merge");
     }
 
@@ -211,10 +236,10 @@ mod tests {
         // a ~ b (2/3 overlap), b ~ c (2/3 overlap), a ∩ c smaller: with a
         // permissive scheme all three should land in one cluster via b.
         let d = dataset(&[&[1, 2, 3], &[2, 3, 4], &[3, 4, 5]]);
-        let mut h = hasher(vec![LevelScheme::Shared { ws: vec![1], z: 30 }]);
+        let h = hasher(vec![LevelScheme::Shared { ws: vec![1], z: 30 }]);
         let mut states = vec![RecordHashState::default(); d.len()];
         let mut st = Stats::default();
-        let out = apply_transitive(&mut h, &mut states, &d, &[0, 1, 2], 1, &mut st);
+        let out = apply_transitive(&h, &mut states, &d, &[0, 1, 2], 1, &mut st);
         assert_eq!(sorted(out), vec![vec![0, 1, 2]]);
     }
 
@@ -225,16 +250,19 @@ mod tests {
         let d = dataset(&[&[1, 2, 3, 4], &[3, 4, 50, 60], &[1, 2, 3, 4]]);
         let levels = vec![
             LevelScheme::Shared { ws: vec![1], z: 20 },
-            LevelScheme::Shared { ws: vec![16], z: 20 },
+            LevelScheme::Shared {
+                ws: vec![16],
+                z: 20,
+            },
         ];
-        let mut h = hasher(levels);
+        let h = hasher(levels);
         let mut states = vec![RecordHashState::default(); d.len()];
         let mut st = Stats::default();
-        let coarse = apply_transitive(&mut h, &mut states, &d, &[0, 1, 2], 1, &mut st);
+        let coarse = apply_transitive(&h, &mut states, &d, &[0, 1, 2], 1, &mut st);
         assert_eq!(sorted(coarse.clone()), vec![vec![0, 1, 2]]);
         // Apply the next level to the merged cluster.
         let merged = &coarse[0];
-        let fine = apply_transitive(&mut h, &mut states, &d, merged, 2, &mut st);
+        let fine = apply_transitive(&h, &mut states, &d, merged, 2, &mut st);
         let fine = sorted(fine);
         assert!(
             fine.contains(&vec![0, 2]),
@@ -249,11 +277,11 @@ mod tests {
         // see each other's buckets: process {0} then {1} — identical
         // records, but separate invocations, so two singleton outputs.
         let d = dataset(&[&[1, 2, 3], &[1, 2, 3]]);
-        let mut h = hasher(vec![LevelScheme::Shared { ws: vec![2], z: 4 }]);
+        let h = hasher(vec![LevelScheme::Shared { ws: vec![2], z: 4 }]);
         let mut states = vec![RecordHashState::default(); d.len()];
         let mut st = Stats::default();
-        let a = apply_transitive(&mut h, &mut states, &d, &[0], 1, &mut st);
-        let b = apply_transitive(&mut h, &mut states, &d, &[1], 1, &mut st);
+        let a = apply_transitive(&h, &mut states, &d, &[0], 1, &mut st);
+        let b = apply_transitive(&h, &mut states, &d, &[1], 1, &mut st);
         assert_eq!(a, vec![vec![0]]);
         assert_eq!(b, vec![vec![1]]);
     }
@@ -266,10 +294,10 @@ mod tests {
         let refs: Vec<&[u64]> = sets.iter().map(|v| v.as_slice()).collect();
         let d = dataset(&refs);
         let ids: Vec<u32> = (0..20).collect();
-        let mut h = hasher(vec![LevelScheme::Shared { ws: vec![2], z: 6 }]);
+        let h = hasher(vec![LevelScheme::Shared { ws: vec![2], z: 6 }]);
         let mut states = vec![RecordHashState::default(); d.len()];
         let mut st = Stats::default();
-        let out = apply_transitive(&mut h, &mut states, &d, &ids, 1, &mut st);
+        let out = apply_transitive(&h, &mut states, &d, &ids, 1, &mut st);
         let mut all: Vec<u32> = out.into_iter().flatten().collect();
         all.sort_unstable();
         assert_eq!(all, ids, "output must partition the input exactly");
@@ -278,10 +306,10 @@ mod tests {
     #[test]
     fn single_record_cluster() {
         let d = dataset(&[&[1, 2]]);
-        let mut h = hasher(vec![LevelScheme::Shared { ws: vec![2], z: 3 }]);
+        let h = hasher(vec![LevelScheme::Shared { ws: vec![2], z: 3 }]);
         let mut states = vec![RecordHashState::default(); 1];
         let mut st = Stats::default();
-        let out = apply_transitive(&mut h, &mut states, &d, &[0], 1, &mut st);
+        let out = apply_transitive(&h, &mut states, &d, &[0], 1, &mut st);
         assert_eq!(out, vec![vec![0]]);
     }
 }

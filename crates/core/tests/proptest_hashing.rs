@@ -1,0 +1,192 @@
+//! Differential property tests: the batched advance path (one-pass
+//! kernels + precomputed level plans) against the scalar oracle
+//! [`SequenceHasher::advance_scalar`], over random scheme shapes, random
+//! level ladders, and random records. States must be **bit-identical**
+//! at every level — including the `Stats::hash_evals` count — for all
+//! three scheme structures (Shared, PerPart, Weighted parts).
+
+use adalsh_core::hashing::{HashPart, HashScratch, LevelScheme, RecordHashState, SequenceHasher};
+use adalsh_core::stats::Stats;
+use adalsh_data::{DenseVector, FieldDistance, FieldValue, Record, ShingleSet};
+use adalsh_lsh::scheme::WzScheme;
+use proptest::prelude::*;
+
+/// Advances `rec` along both paths through every level of `h` and
+/// asserts the full hash state and the eval counter agree throughout,
+/// then checks a direct 0→max jump agrees with the stepwise result.
+fn check_paths_agree(
+    h: &SequenceHasher,
+    rec: &Record,
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    let mut scratch = HashScratch::default();
+    let mut batched = RecordHashState::default();
+    let mut scalar = RecordHashState::default();
+    let (mut stb, mut sts) = (Stats::default(), Stats::default());
+    for lvl in 1..=h.num_levels() {
+        h.advance_with_scratch(rec, &mut batched, lvl, &mut stb, &mut scratch);
+        h.advance_scalar(rec, &mut scalar, lvl, &mut sts);
+        prop_assert_eq!(&batched, &scalar, "state diverged at level {}", lvl);
+        prop_assert_eq!(
+            stb.hash_evals,
+            sts.hash_evals,
+            "eval count at level {}",
+            lvl
+        );
+    }
+    let mut jump = RecordHashState::default();
+    let mut stj = Stats::default();
+    h.advance_with_scratch(rec, &mut jump, h.num_levels(), &mut stj, &mut scratch);
+    prop_assert_eq!(&jump, &batched, "direct jump diverged from stepwise");
+    prop_assert_eq!(stj.hash_evals, stb.hash_evals);
+    Ok(())
+}
+
+/// Builds a monotone level ladder from per-level `(w, z)` increments so
+/// every level extends the previous one (the sequence invariant).
+fn shared_ladder(increments: &[(u32, u32)], num_parts: usize, skew: u32) -> Vec<LevelScheme> {
+    let mut ws = vec![1u32; num_parts];
+    let mut z = 1u32;
+    let mut levels = Vec::new();
+    for (li, &(dw, dz)) in increments.iter().enumerate() {
+        for (p, w) in ws.iter_mut().enumerate() {
+            // Parts grow at slightly different rates so widths differ.
+            *w += dw + ((li + p) as u32 % (skew + 1));
+        }
+        z += dz;
+        levels.push(LevelScheme::Shared { ws: ws.clone(), z });
+    }
+    levels
+}
+
+fn per_part_ladder(increments: &[(u32, u32)], num_parts: usize) -> Vec<LevelScheme> {
+    let mut parts: Vec<(u32, u32)> = vec![(1, 1); num_parts];
+    let mut levels = Vec::new();
+    for (li, &(dw, dz)) in increments.iter().enumerate() {
+        for (p, wz) in parts.iter_mut().enumerate() {
+            wz.0 += dw + ((li + p) as u32 % 2);
+            wz.1 += dz + (p as u32 % 2);
+        }
+        levels.push(LevelScheme::PerPart {
+            parts: parts.iter().map(|&(w, z)| WzScheme::new(w, z)).collect(),
+        });
+    }
+    levels
+}
+
+fn shingle_field(shingles: Vec<u64>) -> FieldValue {
+    FieldValue::Shingles(ShingleSet::new(shingles))
+}
+
+fn dense_field(raw: Vec<u64>, dim: usize) -> FieldValue {
+    // Map raw u64 draws to components in [-1, 1); pad/cut to `dim`.
+    let v: Vec<f64> = (0..dim)
+        .map(|i| {
+            let bits = raw.get(i).copied().unwrap_or(i as u64 * 0x9e37_79b9);
+            (bits % 2000) as f64 / 1000.0 - 1.0
+        })
+        .collect();
+    FieldValue::Dense(DenseVector::new(v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Shared scheme over a shingle part and a dense part: batched path
+    /// is bit-identical to the scalar oracle for random ladders and
+    /// records (including empty and tiny shingle sets).
+    #[test]
+    fn batched_equals_scalar_shared(
+        increments in prop::collection::vec((0u32..3, 0u32..3), 1..5),
+        skew in 0u32..3,
+        shingles in prop::collection::vec(any::<u64>(), 0..24),
+        dense_raw in prop::collection::vec(any::<u64>(), 0..8),
+        dim in 2usize..7,
+        seed in any::<u64>(),
+    ) {
+        let levels = shared_ladder(&increments, 2, skew);
+        let h = SequenceHasher::new(
+            vec![HashPart::shingles(0, seed), HashPart::dense(1, dim, seed ^ 0xabcd)],
+            levels,
+        );
+        let rec = Record::new(vec![shingle_field(shingles), dense_field(dense_raw, dim)]);
+        check_paths_agree(&h, &rec)?;
+    }
+
+    /// PerPart (OR-rule) scheme: independent table groups per part still
+    /// fold identically on both paths.
+    #[test]
+    fn batched_equals_scalar_per_part(
+        increments in prop::collection::vec((0u32..3, 0u32..2), 1..4),
+        sh_a in prop::collection::vec(any::<u64>(), 0..16),
+        sh_b in prop::collection::vec(any::<u64>(), 0..16),
+        seed in any::<u64>(),
+    ) {
+        let levels = per_part_ladder(&increments, 2);
+        let h = SequenceHasher::new(
+            vec![HashPart::shingles(0, seed), HashPart::shingles(1, seed ^ 0x55)],
+            levels,
+        );
+        let rec = Record::new(vec![shingle_field(sh_a), shingle_field(sh_b)]);
+        check_paths_agree(&h, &rec)?;
+    }
+
+    /// Definition-7 weighted part (Jaccard + Angular components): the
+    /// per-function sub-part selection partitions the batch work-list;
+    /// the scattered results must fold exactly like the scalar path.
+    #[test]
+    fn batched_equals_scalar_weighted(
+        increments in prop::collection::vec((0u32..3, 0u32..3), 1..4),
+        weight in 0.15f64..0.85,
+        shingles in prop::collection::vec(any::<u64>(), 0..20),
+        dense_raw in prop::collection::vec(any::<u64>(), 0..6),
+        dim in 2usize..6,
+        seed in any::<u64>(),
+    ) {
+        let levels = shared_ladder(&increments, 1, 1);
+        let part = HashPart::weighted(
+            &[
+                (0, FieldDistance::Jaccard, weight),
+                (1, FieldDistance::Angular, 1.0 - weight),
+            ],
+            &[0, dim],
+            seed,
+        );
+        let h = SequenceHasher::new(vec![part], levels);
+        let rec = Record::new(vec![shingle_field(shingles), dense_field(dense_raw, dim)]);
+        check_paths_agree(&h, &rec)?;
+    }
+
+    /// A mixed three-part AND rule (shingles + dense + weighted) under a
+    /// deeper ladder — the heaviest structural combination.
+    #[test]
+    fn batched_equals_scalar_mixed_parts(
+        increments in prop::collection::vec((0u32..2, 0u32..2), 2..5),
+        shingles in prop::collection::vec(any::<u64>(), 1..16),
+        dense_raw in prop::collection::vec(any::<u64>(), 0..5),
+        seed in any::<u64>(),
+    ) {
+        let dim = 4usize;
+        let levels = shared_ladder(&increments, 3, 2);
+        let weighted = HashPart::weighted(
+            &[
+                (0, FieldDistance::Jaccard, 0.5),
+                (1, FieldDistance::Angular, 0.5),
+            ],
+            &[0, dim],
+            seed ^ 0xf00d,
+        );
+        let h = SequenceHasher::new(
+            vec![
+                HashPart::shingles(0, seed),
+                HashPart::dense(1, dim, seed ^ 1),
+                weighted,
+            ],
+            levels,
+        );
+        let rec = Record::new(vec![
+            shingle_field(shingles),
+            dense_field(dense_raw, dim),
+        ]);
+        check_paths_agree(&h, &rec)?;
+    }
+}

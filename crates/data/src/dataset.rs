@@ -108,10 +108,7 @@ impl Dataset {
 
     /// Sizes of all ground-truth entities, descending.
     pub fn entity_sizes(&self) -> Vec<usize> {
-        self.ground_truth_clusters()
-            .iter()
-            .map(Vec::len)
-            .collect()
+        self.ground_truth_clusters().iter().map(Vec::len).collect()
     }
 
     /// Number of distinct entities.
@@ -197,9 +194,9 @@ mod tests {
     #[should_panic(expected = "one ground-truth label per record")]
     fn mismatched_lengths_panic() {
         let schema = Schema::single("s", FieldKind::Shingles);
-        let recs = vec![Record::single(FieldValue::Shingles(ShingleSet::new(
-            vec![1],
-        )))];
+        let recs = vec![Record::single(FieldValue::Shingles(ShingleSet::new(vec![
+            1,
+        ])))];
         let _ = Dataset::new(schema, recs, vec![1, 2]);
     }
 }

@@ -69,10 +69,7 @@ pub fn read_jsonl<R: BufRead>(input: R) -> std::io::Result<Dataset> {
             continue;
         }
         let parsed: Line = serde_json::from_str(&line)?;
-        header
-            .schema
-            .validate(&parsed.fields)
-            .map_err(bad_data)?;
+        header.schema.validate(&parsed.fields).map_err(bad_data)?;
         records.push(parsed.fields);
         gt.push(parsed.entity);
     }

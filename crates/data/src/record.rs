@@ -211,10 +211,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "duplicate field name")]
     fn schema_rejects_duplicates() {
-        let _ = Schema::new(vec![
-            ("a", FieldKind::Dense),
-            ("a", FieldKind::Shingles),
-        ]);
+        let _ = Schema::new(vec![("a", FieldKind::Dense), ("a", FieldKind::Shingles)]);
     }
 
     #[test]

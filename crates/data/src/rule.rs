@@ -69,9 +69,7 @@ impl MatchRule {
             } => metric.eval(a.field(*field), b.field(*field)) <= *dthr,
             MatchRule::And(subs) => subs.iter().all(|r| r.matches(a, b)),
             MatchRule::Or(subs) => subs.iter().any(|r| r.matches(a, b)),
-            MatchRule::WeightedAverage { parts, dthr } => {
-                weighted_distance(parts, a, b) <= *dthr
-            }
+            MatchRule::WeightedAverage { parts, dthr } => weighted_distance(parts, a, b) <= *dthr,
         }
     }
 

@@ -33,10 +33,7 @@ impl ShingleSet {
     /// Panics if `k == 0`.
     pub fn word_shingles(text: &str, k: usize) -> Self {
         assert!(k > 0, "shingle length must be positive");
-        let tokens: Vec<String> = text
-            .split_whitespace()
-            .map(|t| t.to_lowercase())
-            .collect();
+        let tokens: Vec<String> = text.split_whitespace().map(|t| t.to_lowercase()).collect();
         if tokens.len() < k {
             // Shorter than one shingle: fall back to the whole text as a
             // single shingle so tiny fields still compare meaningfully.

@@ -41,11 +41,7 @@ impl DenseVector {
     /// Panics if the dimensions differ.
     pub fn dot(&self, other: &Self) -> f64 {
         assert_eq!(self.dim(), other.dim(), "dimension mismatch");
-        self.0
-            .iter()
-            .zip(other.0.iter())
-            .map(|(a, b)| a * b)
-            .sum()
+        self.0.iter().zip(other.0.iter()).map(|(a, b)| a * b).sum()
     }
 
     /// Euclidean norm.

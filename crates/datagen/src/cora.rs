@@ -75,13 +75,54 @@ pub struct Publication {
 /// from a large synthetic vocabulary so cross-entity title similarity
 /// stays low (~0.05), as with real publication titles.
 const TITLE_WORDS: &[&str] = &[
-    "adaptive", "learning", "entity", "resolution", "hashing", "locality", "sensitive",
-    "clustering", "records", "database", "query", "optimization", "distributed", "systems",
-    "scalable", "efficient", "approximate", "nearest", "neighbor", "search", "graph",
-    "streaming", "parallel", "indexing", "similarity", "matching", "blocking", "dedup",
-    "networks", "probabilistic", "models", "inference", "sampling", "sketching", "top",
-    "ranking", "aggregation", "joins", "transactions", "storage", "memory", "cache",
-    "crowdsourcing", "quality", "cleaning", "integration", "schemas", "knowledge",
+    "adaptive",
+    "learning",
+    "entity",
+    "resolution",
+    "hashing",
+    "locality",
+    "sensitive",
+    "clustering",
+    "records",
+    "database",
+    "query",
+    "optimization",
+    "distributed",
+    "systems",
+    "scalable",
+    "efficient",
+    "approximate",
+    "nearest",
+    "neighbor",
+    "search",
+    "graph",
+    "streaming",
+    "parallel",
+    "indexing",
+    "similarity",
+    "matching",
+    "blocking",
+    "dedup",
+    "networks",
+    "probabilistic",
+    "models",
+    "inference",
+    "sampling",
+    "sketching",
+    "top",
+    "ranking",
+    "aggregation",
+    "joins",
+    "transactions",
+    "storage",
+    "memory",
+    "cache",
+    "crowdsourcing",
+    "quality",
+    "cleaning",
+    "integration",
+    "schemas",
+    "knowledge",
 ];
 
 /// Size of the synthetic rare-term vocabulary mixed into titles.
@@ -92,9 +133,32 @@ const FIRST_NAMES: &[&str] = &[
 ];
 
 const LAST_NAMES: &[&str] = &[
-    "garcia", "molina", "verroios", "smith", "chen", "kumar", "ivanov", "tanaka", "mueller",
-    "rossi", "silva", "kim", "papadakis", "johnson", "lee", "wang", "brown", "davis",
-    "martin", "lopez", "gonzalez", "wilson", "anderson", "thomas", "taylor", "moore",
+    "garcia",
+    "molina",
+    "verroios",
+    "smith",
+    "chen",
+    "kumar",
+    "ivanov",
+    "tanaka",
+    "mueller",
+    "rossi",
+    "silva",
+    "kim",
+    "papadakis",
+    "johnson",
+    "lee",
+    "wang",
+    "brown",
+    "davis",
+    "martin",
+    "lopez",
+    "gonzalez",
+    "wilson",
+    "anderson",
+    "thomas",
+    "taylor",
+    "moore",
 ];
 
 /// Size of the synthetic surname pool appended to [`LAST_NAMES`].
@@ -140,7 +204,11 @@ pub fn schema() -> Schema {
 /// human-readable publication text of every record (index-aligned).
 pub fn generate(config: &CoraConfig) -> (Dataset, Vec<Publication>) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
-    let sizes = zipf_sizes(config.num_entities, config.num_records, config.zipf_exponent);
+    let sizes = zipf_sizes(
+        config.num_entities,
+        config.num_records,
+        config.zipf_exponent,
+    );
 
     // Base publication per entity.
     struct Base {
@@ -156,9 +224,7 @@ pub fn generate(config: &CoraConfig) -> (Dataset, Vec<Publication>) {
             let mut title: Vec<String> = (0..2)
                 .map(|_| TITLE_WORDS[rng.random_range(0..TITLE_WORDS.len())].to_string())
                 .collect();
-            title.extend(
-                (0..title_len).map(|_| format!("t{}", rng.random_range(0..RARE_VOCAB))),
-            );
+            title.extend((0..title_len).map(|_| format!("t{}", rng.random_range(0..RARE_VOCAB))));
             let num_authors = rng.random_range(2..=4);
             let mut authors = Vec::new();
             for _ in 0..num_authors {
@@ -188,23 +254,24 @@ pub fn generate(config: &CoraConfig) -> (Dataset, Vec<Publication>) {
         })
         .collect();
 
-    let noise = |tokens: &[String], rng: &mut rand::rngs::StdRng, cfg: &CoraConfig| -> Vec<String> {
-        let mut out = Vec::with_capacity(tokens.len());
-        for t in tokens {
-            let r: f64 = rng.random();
-            if r < cfg.dropout {
-                continue; // dropped
-            } else if r < cfg.dropout + cfg.typo {
-                out.push(format!("{t}~{}", rng.random_range(0..3u8))); // typo
-            } else {
-                out.push(t.clone());
+    let noise =
+        |tokens: &[String], rng: &mut rand::rngs::StdRng, cfg: &CoraConfig| -> Vec<String> {
+            let mut out = Vec::with_capacity(tokens.len());
+            for t in tokens {
+                let r: f64 = rng.random();
+                if r < cfg.dropout {
+                    continue; // dropped
+                } else if r < cfg.dropout + cfg.typo {
+                    out.push(format!("{t}~{}", rng.random_range(0..3u8))); // typo
+                } else {
+                    out.push(t.clone());
+                }
             }
-        }
-        if out.is_empty() {
-            out.push(tokens[0].clone()); // never fully erase a field
-        }
-        out
-    };
+            if out.is_empty() {
+                out.push(tokens[0].clone()); // never fully erase a field
+            }
+            out
+        };
 
     let mut records = Vec::with_capacity(config.num_records);
     let mut gt = Vec::with_capacity(config.num_records);
@@ -300,9 +367,8 @@ mod tests {
         for a in 0..clusters.len().min(12) {
             for b in (a + 1)..clusters.len().min(12) {
                 total += 1;
-                matched += usize::from(
-                    rule.matches(d.record(clusters[a][0]), d.record(clusters[b][0])),
-                );
+                matched +=
+                    usize::from(rule.matches(d.record(clusters[a][0]), d.record(clusters[b][0])));
             }
         }
         let rate = matched as f64 / total as f64;
@@ -330,8 +396,8 @@ mod tests {
     #[test]
     fn texts_are_nonempty() {
         let (_, texts) = generate(&small());
-        assert!(texts.iter().all(|t| !t.title.is_empty()
-            && !t.authors.is_empty()
-            && !t.rest.is_empty()));
+        assert!(texts
+            .iter()
+            .all(|t| !t.title.is_empty() && !t.authors.is_empty() && !t.rest.is_empty()));
     }
 }

@@ -92,7 +92,11 @@ pub fn schema() -> Schema {
 /// the requested separation).
 pub fn generate(config: &PopImagesConfig) -> Dataset {
     let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
-    let sizes = zipf_sizes(config.num_entities, config.num_records, config.zipf_exponent);
+    let sizes = zipf_sizes(
+        config.num_entities,
+        config.num_records,
+        config.zipf_exponent,
+    );
 
     // Archetypes: random nonnegative unit vectors (histograms are
     // nonnegative, which concentrates angles and adds realism).
@@ -120,9 +124,7 @@ pub fn generate(config: &PopImagesConfig) -> Dataset {
             // around the archetype without collapsing onto it.
             let s = config.archetype_spread_deg.to_radians() * rng.random_range(0.6..1.4);
             let cand = rotate_towards_random(archetype, s, &mut rng);
-            let ok = bases
-                .iter()
-                .all(|b| angle_between(b, &cand) >= min_sep);
+            let ok = bases.iter().all(|b| angle_between(b, &cand) >= min_sep);
             if ok {
                 break cand;
             }
@@ -243,8 +245,7 @@ mod tests {
         let cfg = small();
         let d = generate(&cfg);
         let clusters = d.ground_truth_clusters();
-        let bound =
-            cfg.min_base_separation_deg - 2.0 * cfg.jitter_deg * cfg.heavy_multiplier;
+        let bound = cfg.min_base_separation_deg - 2.0 * cfg.jitter_deg * cfg.heavy_multiplier;
         assert!(bound > 5.0, "config must keep cross-entity pairs above 5°");
         for a in 0..clusters.len().min(10) {
             for b in (a + 1)..clusters.len().min(10) {

@@ -43,11 +43,7 @@ mod tests {
     fn toy() -> Dataset {
         let schema = Schema::single("s", FieldKind::Shingles);
         let mk = |v: u64| Record::single(FieldValue::Shingles(ShingleSet::new(vec![v])));
-        Dataset::new(
-            schema,
-            vec![mk(1), mk(1), mk(2), mk(3)],
-            vec![0, 0, 1, 2],
-        )
+        Dataset::new(schema, vec![mk(1), mk(1), mk(2), mk(3)], vec![0, 0, 1, 2])
     }
 
     #[test]
@@ -75,8 +71,7 @@ mod tests {
             let rec = up.record(i);
             let entity = up.entity_of(i);
             assert!(
-                (0..d.len() as u32)
-                    .any(|j| d.record(j) == rec && d.entity_of(j) == entity),
+                (0..d.len() as u32).any(|j| d.record(j) == rec && d.entity_of(j) == entity),
                 "record {i} is not a copy"
             );
         }

@@ -96,12 +96,7 @@ impl Default for SpotSigsConfig {
 
 /// Replaces a `frac` of the signatures with draws from the global
 /// boilerplate pool.
-fn mix_in_common(
-    sig: &mut [u64],
-    pool: &[u64],
-    frac: f64,
-    rng: &mut rand::rngs::StdRng,
-) {
+fn mix_in_common(sig: &mut [u64], pool: &[u64], frac: f64, rng: &mut rand::rngs::StdRng) {
     if pool.is_empty() {
         return;
     }
@@ -159,10 +154,7 @@ pub fn generate(config: &SpotSigsConfig) -> Dataset {
     let bases: Vec<Vec<u64>> = (0..config.num_entities)
         .map(|e| {
             let pool = &pools[e / config.family_size];
-            let mut base: Vec<u64> = pool
-                .choose_multiple(&mut rng, from_pool)
-                .copied()
-                .collect();
+            let mut base: Vec<u64> = pool.choose_multiple(&mut rng, from_pool).copied().collect();
             while base.len() < config.sig_size {
                 base.push(fresh_token(&mut rng));
             }
@@ -193,8 +185,7 @@ pub fn generate(config: &SpotSigsConfig) -> Dataset {
             // Entities with ≥ 4 records put a fixed fraction of them in
             // the secondary version (deterministic split keeps component
             // sizes stable across seeds).
-            let secondary = size >= 4
-                && (r as f64) < size as f64 * config.secondary_version_frac;
+            let secondary = size >= 4 && (r as f64) < size as f64 * config.secondary_version_frac;
             let base = if secondary { &vbases[e] } else { &bases[e] };
             let mut sig: Vec<u64> = base
                 .iter()
@@ -260,10 +251,7 @@ mod tests {
         // 40 clustered entities + 40% singleton tail.
         let singletons = (220.0 * 0.40) as usize;
         assert_eq!(d.num_entities(), 40 + singletons);
-        assert_eq!(
-            d.entity_sizes().iter().filter(|&&s| s == 1).count() >= singletons,
-            true
-        );
+        assert!(d.entity_sizes().iter().filter(|&&s| s == 1).count() >= singletons);
         assert!(match_rule(0.4).validate(d.schema()).is_ok());
     }
 
@@ -285,7 +273,10 @@ mod tests {
         let clusters = d.ground_truth_clusters();
         let big = &clusters[0];
         // Find a singleton record.
-        let singleton = clusters.iter().find(|c| c.len() == 1).expect("has singletons")[0];
+        let singleton = clusters
+            .iter()
+            .find(|c| c.len() == 1)
+            .expect("has singletons")[0];
         assert!(
             !rule.matches(d.record(singleton), d.record(big[0])),
             "singletons must not match clustered entities"
@@ -344,17 +335,11 @@ mod tests {
         // entity: should be ≈ (1 − secondary_frac) of the entity.
         let mut best_component = 0usize;
         for &r in big {
-            let comp = big
-                .iter()
-                .filter(|&&o| jaccard_sim(&d, r, o) > 0.4)
-                .count();
+            let comp = big.iter().filter(|&&o| jaccard_sim(&d, r, o) > 0.4).count();
             best_component = best_component.max(comp);
         }
         let frac = best_component as f64 / big.len() as f64;
-        assert!(
-            (0.6..0.9).contains(&frac),
-            "main-component fraction {frac}"
-        );
+        assert!((0.6..0.9).contains(&frac), "main-component fraction {frac}");
     }
 
     #[test]
@@ -362,16 +347,24 @@ mod tests {
         let cfg = small();
         let d = generate(&cfg);
         let clusters = d.ground_truth_clusters();
-        // Entities of the same family share the pool: measure similarity
-        // between entities 0 and 1 by entity id (same family of 8).
-        let by_entity: std::collections::HashMap<u32, u32> = clusters
-            .iter()
-            .map(|c| (d.entity_of(c[0]), c[0]))
-            .collect();
+        // Entities of the same family share the pool: for consecutive
+        // entity pairs of family 0, measure the *closest* cross-entity
+        // record pair. (The mean over arbitrary representatives is
+        // diluted by secondary-version rewrites, which keep only ~35% of
+        // the base; the distractor role is about the nearest near-miss
+        // pairs.)
+        let by_entity: std::collections::HashMap<u32, &Vec<u32>> =
+            clusters.iter().map(|c| (d.entity_of(c[0]), c)).collect();
         let mut cross = Vec::new();
         for e in 0..(cfg.family_size as u32 - 1) {
-            if let (Some(&a), Some(&b)) = (by_entity.get(&e), by_entity.get(&(e + 1))) {
-                cross.push(jaccard_sim(&d, a, b));
+            if let (Some(a), Some(b)) = (by_entity.get(&e), by_entity.get(&(e + 1))) {
+                let mut best = 0.0f64;
+                for &ra in a.iter() {
+                    for &rb in b.iter() {
+                        best = best.max(jaccard_sim(&d, ra, rb));
+                    }
+                }
+                cross.push(best);
             }
         }
         assert!(!cross.is_empty());

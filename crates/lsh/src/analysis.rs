@@ -121,12 +121,7 @@ mod tests {
         let zs = fuzzy_zone(&sharp, &linear, 0.95, 0.05, 800);
         // Compare relative widths (normalized by the certain point).
         let rel = |z: FuzzyZone| z.width() / z.negligible_from.max(1e-9);
-        assert!(
-            rel(zs) < rel(zb),
-            "sharp {:?} vs blunt {:?}",
-            zs,
-            zb
-        );
+        assert!(rel(zs) < rel(zb), "sharp {:?} vs blunt {:?}", zs, zb);
     }
 
     #[test]

@@ -97,8 +97,7 @@ pub fn collision_prob(c: f64, r: f64) -> f64 {
     }
     let t = r / c;
     let phi_term = 1.0 - 2.0 * std_normal_cdf(-t);
-    let density_term =
-        (2.0 / (std::f64::consts::TAU.sqrt() * t)) * (1.0 - (-t * t / 2.0).exp());
+    let density_term = (2.0 / (std::f64::consts::TAU.sqrt() * t)) * (1.0 - (-t * t / 2.0).exp());
     (phi_term - density_term).clamp(0.0, 1.0)
 }
 
@@ -183,7 +182,9 @@ mod tests {
         // b at L2 distance 2 from a.
         let mut b = a.clone();
         b[0] = 2.0;
-        let collisions = (0..n).filter(|&i| fam.hash(i, &a) == fam.hash(i, &b)).count();
+        let collisions = (0..n)
+            .filter(|&i| fam.hash(i, &a) == fam.hash(i, &b))
+            .count();
         let rate = collisions as f64 / n as f64;
         let expected = collision_prob(2.0, 4.0);
         assert!(

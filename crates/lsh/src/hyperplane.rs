@@ -16,12 +16,17 @@ use rand::{Rng, SeedableRng};
 use crate::mix::derive_seed;
 
 /// A family of random-hyperplane hash functions over `R^dim`.
+///
+/// Normals are stored as one contiguous **row-major matrix** (`row i` =
+/// function `i`'s normal), so batch evaluation walks memory linearly
+/// instead of chasing one heap allocation per function.
 #[derive(Debug, Clone)]
 pub struct HyperplaneFamily {
     dim: usize,
     seed: u64,
-    /// Memoized hyperplane normals; `normals[i]` is function `i`.
-    normals: Vec<Vec<f64>>,
+    /// Memoized hyperplane normals, row-major: function `i` occupies
+    /// `matrix[i*dim .. (i+1)*dim]`.
+    matrix: Vec<f64>,
 }
 
 impl HyperplaneFamily {
@@ -34,7 +39,7 @@ impl HyperplaneFamily {
         Self {
             dim,
             seed,
-            normals: Vec::new(),
+            matrix: Vec::new(),
         }
     }
 
@@ -45,17 +50,23 @@ impl HyperplaneFamily {
 
     /// Ensures functions `0..n` are materialized.
     pub fn ensure_functions(&mut self, n: usize) {
-        while self.normals.len() < n {
-            let idx = self.normals.len() as u64;
+        while self.num_functions() < n {
+            let idx = self.num_functions() as u64;
             let mut rng = rand::rngs::StdRng::seed_from_u64(derive_seed(self.seed, idx));
-            let normal = (0..self.dim).map(|_| gaussian(&mut rng)).collect();
-            self.normals.push(normal);
+            self.matrix
+                .extend((0..self.dim).map(|_| gaussian(&mut rng)));
         }
     }
 
     /// Number of materialized functions.
     pub fn num_functions(&self) -> usize {
-        self.normals.len()
+        self.matrix.len() / self.dim
+    }
+
+    /// The normal of function `fn_index` (a row of the matrix).
+    #[inline]
+    fn normal(&self, fn_index: usize) -> &[f64] {
+        &self.matrix[fn_index * self.dim..(fn_index + 1) * self.dim]
     }
 
     /// Evaluates hash function `fn_index` on `v`: returns `1` when `v` lies
@@ -66,10 +77,37 @@ impl HyperplaneFamily {
     /// [`HyperplaneFamily::ensure_functions`] first) or dimensions differ.
     #[inline]
     pub fn hash(&self, fn_index: usize, v: &[f64]) -> u64 {
-        let normal = &self.normals[fn_index];
         assert_eq!(v.len(), self.dim, "vector dimension mismatch");
-        let dot: f64 = normal.iter().zip(v.iter()).map(|(n, x)| n * x).sum();
+        let dot: f64 = self
+            .normal(fn_index)
+            .iter()
+            .zip(v.iter())
+            .map(|(n, x)| n * x)
+            .sum();
         u64::from(dot >= 0.0)
+    }
+
+    /// Evaluates many hash functions on one vector. The requested rows of
+    /// the normal matrix are walked contiguously and `v` stays cache-hot
+    /// across all dot products; each `out[i]` receives exactly what
+    /// `hash(fn_indices[i], v)` would (the per-function summation order is
+    /// identical, so results are bit-for-bit the same).
+    ///
+    /// # Panics
+    /// Panics if lengths differ, the dimension mismatches, or a function
+    /// is not materialized.
+    pub fn hash_batch(&self, fn_indices: &[usize], v: &[f64], out: &mut [u64]) {
+        assert_eq!(fn_indices.len(), out.len(), "output length mismatch");
+        assert_eq!(v.len(), self.dim, "vector dimension mismatch");
+        for (o, &i) in out.iter_mut().zip(fn_indices) {
+            let dot: f64 = self
+                .normal(i)
+                .iter()
+                .zip(v.iter())
+                .map(|(n, x)| n * x)
+                .sum();
+            *o = u64::from(dot >= 0.0);
+        }
     }
 
     /// Collision probability `p(x) = 1 − x` at normalized angular distance
@@ -154,7 +192,9 @@ mod tests {
         let f = family(8, 256);
         let v: Vec<f64> = (0..8).map(|i| (i as f64 * 0.61).sin() + 0.1).collect();
         let neg: Vec<f64> = v.iter().map(|x| -x).collect();
-        let collisions = (0..256).filter(|&i| f.hash(i, &v) == f.hash(i, &neg)).count();
+        let collisions = (0..256)
+            .filter(|&i| f.hash(i, &v) == f.hash(i, &neg))
+            .count();
         // p(collision) = 1 − 180/180 = 0 up to the dot == 0 edge case.
         assert_eq!(collisions, 0);
     }
@@ -166,7 +206,9 @@ mod tests {
         let f = family(2, 4000);
         let a = [1.0, 0.0];
         let b = [0.5, 3.0_f64.sqrt() / 2.0]; // 60 degrees from a
-        let collisions = (0..4000).filter(|&i| f.hash(i, &a) == f.hash(i, &b)).count();
+        let collisions = (0..4000)
+            .filter(|&i| f.hash(i, &a) == f.hash(i, &b))
+            .count();
         let rate = collisions as f64 / 4000.0;
         assert!(
             (rate - 2.0 / 3.0).abs() < 0.03,
@@ -179,7 +221,9 @@ mod tests {
         let f1 = family_with_seed(4, 64, 1);
         let f2 = family_with_seed(4, 64, 2);
         let v = [0.2, -0.4, 0.8, -0.1];
-        let same = (0..64).filter(|&i| f1.hash(i, &v) == f2.hash(i, &v)).count();
+        let same = (0..64)
+            .filter(|&i| f1.hash(i, &v) == f2.hash(i, &v))
+            .count();
         assert!(same < 64, "independent families should differ somewhere");
     }
 
@@ -188,6 +232,43 @@ mod tests {
     fn dimension_mismatch_panics() {
         let f = family(4, 1);
         let _ = f.hash(0, &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn batch_matches_scalar() {
+        let f = family(16, 200);
+        let v: Vec<f64> = (0..16).map(|i| (i as f64 * 0.73).sin() - 0.2).collect();
+        // Scattered, repeated, and out-of-order function indices.
+        let idx: Vec<usize> = vec![199, 0, 7, 7, 42, 100, 3, 198, 1];
+        let mut out = vec![9u64; idx.len()];
+        f.hash_batch(&idx, &v, &mut out);
+        for (&i, &o) in idx.iter().zip(&out) {
+            assert_eq!(o, f.hash(i, &v));
+        }
+    }
+
+    #[test]
+    fn flat_matrix_preserves_function_identity() {
+        // A family grown in two steps agrees with one grown at once for
+        // every function (the matrix layout must not perturb sampling).
+        let mut f1 = HyperplaneFamily::new(6, 9);
+        f1.ensure_functions(3);
+        f1.ensure_functions(40);
+        let f2 = family_with_seed(6, 40, 9);
+        let v: Vec<f64> = (0..6).map(|i| (i as f64) * 0.31 - 1.0).collect();
+        let idx: Vec<usize> = (0..40).collect();
+        let (mut o1, mut o2) = (vec![0u64; 40], vec![0u64; 40]);
+        f1.hash_batch(&idx, &v, &mut o1);
+        f2.hash_batch(&idx, &v, &mut o2);
+        assert_eq!(o1, o2);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn batch_dimension_mismatch_panics() {
+        let f = family(4, 1);
+        let mut out = [0u64; 1];
+        f.hash_batch(&[0], &[1.0, 2.0], &mut out);
     }
 
     #[test]

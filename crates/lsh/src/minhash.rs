@@ -11,7 +11,7 @@
 //! indistinguishable from random permutations of the 64-bit universe for
 //! this purpose and far cheaper than explicit permutation tables.
 
-use crate::mix::{combine, derive_seed};
+use crate::mix::{combine, combine_premixed, derive_seed, premix};
 
 /// A family of MinHash functions over shingle sets (`&[u64]`).
 #[derive(Debug, Clone, Copy)]
@@ -43,6 +43,53 @@ impl MinHashFamily {
             .map(|&s| combine(key, s))
             .min()
             .expect("non-empty set")
+    }
+
+    /// The per-function key mixed with every shingle by function
+    /// `fn_index` — the value [`MinHashFamily::hash`] derives on every
+    /// call. Callers evaluating the same function against many sets can
+    /// derive it once and use [`MinHashFamily::hash_batch_keys`].
+    #[inline]
+    pub fn key_for(&self, fn_index: usize) -> u64 {
+        derive_seed(self.seed, fn_index as u64)
+    }
+
+    /// Evaluates many hash functions on one set in a **single pass** over
+    /// the shingles, maintaining one running minimum per function.
+    /// `out[i]` receives the same value `hash(fn_indices[i], set)` would.
+    ///
+    /// # Panics
+    /// Panics if `fn_indices` and `out` lengths differ.
+    pub fn hash_batch(&self, fn_indices: &[usize], set: &[u64], out: &mut [u64]) {
+        assert_eq!(fn_indices.len(), out.len(), "output length mismatch");
+        let keys: Vec<u64> = fn_indices.iter().map(|&i| self.key_for(i)).collect();
+        Self::hash_batch_keys(&keys, set, out);
+    }
+
+    /// Like [`MinHashFamily::hash_batch`] but with the per-function keys
+    /// already derived (`keys[i] == key_for(fn_indices[i])`), so hot
+    /// paths evaluating a fixed function block against many sets skip the
+    /// key derivation entirely. Each shingle is premixed once (see
+    /// [`premix`]) and combined with every key, streaming the minima.
+    ///
+    /// # Panics
+    /// Panics if `keys` and `out` lengths differ.
+    pub fn hash_batch_keys(keys: &[u64], set: &[u64], out: &mut [u64]) {
+        assert_eq!(keys.len(), out.len(), "output length mismatch");
+        if set.is_empty() {
+            out.fill(EMPTY_SET_HASH);
+            return;
+        }
+        out.fill(u64::MAX);
+        for &s in set {
+            let pre = premix(s);
+            for (o, &key) in out.iter_mut().zip(keys) {
+                let h = combine_premixed(key, pre);
+                if h < *o {
+                    *o = h;
+                }
+            }
+        }
     }
 
     /// Collision probability `p(x) = 1 − x` at Jaccard distance `x`.
@@ -90,6 +137,59 @@ mod tests {
     }
 
     #[test]
+    fn batch_matches_scalar() {
+        let f = MinHashFamily::new(31);
+        let set: Vec<u64> = (0..57).map(|i| i * 997 + 13).collect();
+        // Non-contiguous, repeated, and large-stride function indices.
+        let idx: Vec<usize> = vec![0, 5, 5, 1, 1 << 25, 123_456, 2, 999];
+        let mut out = vec![0u64; idx.len()];
+        f.hash_batch(&idx, &set, &mut out);
+        for (&i, &o) in idx.iter().zip(&out) {
+            assert_eq!(o, f.hash(i, &set));
+        }
+    }
+
+    #[test]
+    fn batch_keys_matches_scalar() {
+        let f = MinHashFamily::new(7);
+        let set: Vec<u64> = (0u64..33).map(|i| i.wrapping_mul(0x9e37_79b9)).collect();
+        let idx: Vec<usize> = (0..64).collect();
+        let keys: Vec<u64> = idx.iter().map(|&i| f.key_for(i)).collect();
+        let mut out = vec![0u64; idx.len()];
+        MinHashFamily::hash_batch_keys(&keys, &set, &mut out);
+        for (&i, &o) in idx.iter().zip(&out) {
+            assert_eq!(o, f.hash(i, &set));
+        }
+    }
+
+    #[test]
+    fn batch_on_empty_set() {
+        let f = MinHashFamily::new(2);
+        let mut out = vec![0u64; 4];
+        f.hash_batch(&[0, 1, 2, 3], &[], &mut out);
+        assert!(out.iter().all(|&o| o == EMPTY_SET_HASH));
+    }
+
+    #[test]
+    fn batch_on_singleton_set() {
+        let f = MinHashFamily::new(2);
+        let mut out = vec![0u64; 3];
+        f.hash_batch(&[4, 9, 0], &[42], &mut out);
+        for (&i, &o) in [4usize, 9, 0].iter().zip(&out) {
+            assert_eq!(o, f.hash(i, &[42]));
+        }
+    }
+
+    #[test]
+    fn key_for_matches_hash_derivation() {
+        // `hash` on a singleton {s} must equal combine(key_for(i), s).
+        let f = MinHashFamily::new(77);
+        for i in [0usize, 3, 1 << 20] {
+            assert_eq!(f.hash(i, &[555]), crate::mix::combine(f.key_for(i), 555));
+        }
+    }
+
+    #[test]
     fn empirical_collision_rate_matches_jaccard() {
         // A = {0..60}, B = {30..90}: |A∩B| = 30, |A∪B| = 90, sim = 1/3.
         let f = MinHashFamily::new(99);
@@ -109,7 +209,9 @@ mod tests {
         let f = MinHashFamily::new(4);
         let a: Vec<u64> = (0..40).collect();
         let b: Vec<u64> = (1000..1040).collect();
-        let collisions = (0..2000).filter(|&i| f.hash(i, &a) == f.hash(i, &b)).count();
+        let collisions = (0..2000)
+            .filter(|&i| f.hash(i, &a) == f.hash(i, &b))
+            .count();
         assert_eq!(collisions, 0, "disjoint 40-element sets should not collide");
     }
 

@@ -18,7 +18,21 @@ pub fn splitmix64(mut x: u64) -> u64 {
 /// Combines two 64-bit values into one, order-sensitively.
 #[inline]
 pub fn combine(a: u64, b: u64) -> u64 {
-    splitmix64(a ^ b.rotate_left(23).wrapping_mul(0x2545_f491_4f6c_dd1d))
+    combine_premixed(a, premix(b))
+}
+
+/// The `b`-side preprocessing of [`combine`], exposed so batch kernels
+/// evaluating `combine(kᵢ, b)` for many keys `kᵢ` can mix `b` once:
+/// `combine(a, b) == combine_premixed(a, premix(b))`.
+#[inline]
+pub fn premix(b: u64) -> u64 {
+    b.rotate_left(23).wrapping_mul(0x2545_f491_4f6c_dd1d)
+}
+
+/// Finishes [`combine`] from a premixed `b` (see [`premix`]).
+#[inline]
+pub fn combine_premixed(a: u64, pre: u64) -> u64 {
+    splitmix64(a ^ pre)
 }
 
 /// Derives the seed of sub-component `index` from a parent `seed`.
@@ -41,6 +55,18 @@ mod tests {
     #[test]
     fn combine_is_order_sensitive() {
         assert_ne!(combine(1, 2), combine(2, 1));
+    }
+
+    #[test]
+    fn premix_factors_combine() {
+        for (a, b) in [
+            (0u64, 0u64),
+            (1, 2),
+            (u64::MAX, 42),
+            (0xdead_beef, u64::MAX),
+        ] {
+            assert_eq!(combine(a, b), combine_premixed(a, premix(b)));
+        }
     }
 
     #[test]

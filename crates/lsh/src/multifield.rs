@@ -109,12 +109,12 @@ impl AndScheme {
                 .collect();
             total += self.collision_prob(&ps);
             // odometer increment
-            for d in 0..f {
-                idx[d] += 1;
-                if idx[d] < grid {
+            for digit in idx.iter_mut() {
+                *digit += 1;
+                if *digit < grid {
                     break;
                 }
-                idx[d] = 0;
+                *digit = 0;
             }
         }
         total / cells as f64
@@ -202,9 +202,10 @@ impl OrScheme {
     /// Constraints (9)–(10): *each field's own* scheme must nearly-surely
     /// collide at that field's threshold.
     pub fn feasible(&self, fields: &[FieldSpec<'_>], epsilon: f64) -> bool {
-        self.parts.iter().zip(fields).all(|(s, f)| {
-            s.collision_prob((f.p)(f.dthr)) >= 1.0 - epsilon
-        })
+        self.parts
+            .iter()
+            .zip(fields)
+            .all(|(s, f)| s.collision_prob((f.p)(f.dthr)) >= 1.0 - epsilon)
     }
 
     /// The Program-(7) objective for two fields.
@@ -403,8 +404,7 @@ mod tests {
             parts: vec![WzScheme::new(2, 3), WzScheme::new(4, 5)],
         };
         let (p1, p2): (f64, f64) = (0.7, 0.9);
-        let expected =
-            1.0 - (1.0 - p1.powi(2)).powi(3) * (1.0 - p2.powi(4)).powi(5);
+        let expected = 1.0 - (1.0 - p1.powi(2)).powi(3) * (1.0 - p2.powi(4)).powi(5);
         assert!((s.collision_prob(&[p1, p2]) - expected).abs() < 1e-15);
         assert_eq!(s.budget(), 26);
     }

@@ -69,12 +69,7 @@ impl SchemeOptimizer {
     /// The Program-(1) objective of a scheme: area under its
     /// collision-probability curve.
     pub fn objective(scheme: &Scheme, p: &dyn Fn(f64) -> f64) -> f64 {
-        simpson(
-            |x| scheme.collision_prob(p(x)),
-            0.0,
-            1.0,
-            DEFAULT_INTERVALS,
-        )
+        simpson(|x| scheme.collision_prob(p(x)), 0.0, 1.0, DEFAULT_INTERVALS)
     }
 
     /// Does constraint (3) hold for this scheme? Because `p` is
@@ -176,7 +171,7 @@ fn divisors_of(n: u64) -> Vec<u32> {
     let mut large = Vec::new();
     let mut d = 1u64;
     while d * d <= n {
-        if n % d == 0 {
+        if n.is_multiple_of(d) {
             small.push(d as u32);
             if d * d != n {
                 large.push((n / d) as u32);
@@ -247,9 +242,7 @@ mod tests {
         // Binary search must agree with linear scan.
         let linear_best = divisors
             .iter()
-            .filter(|&&w| {
-                SchemeOptimizer::feasible(&Scheme::pure(w, 2100 / w), &input)
-            })
+            .filter(|&&w| SchemeOptimizer::feasible(&Scheme::pure(w, 2100 / w), &input))
             .max()
             .copied()
             .unwrap();
@@ -316,10 +309,7 @@ mod tests {
             if 720 % w != 0 {
                 continue;
             }
-            let f = SchemeOptimizer::feasible(
-                &Scheme::pure(w as u32, (720 / w) as u32),
-                &input,
-            );
+            let f = SchemeOptimizer::feasible(&Scheme::pure(w as u32, (720 / w) as u32), &input);
             if !f {
                 seen_infeasible = true;
             }

@@ -7,8 +7,8 @@
 //! cargo run --release --example news_dedup
 //! ```
 
-use adalsh::prelude::*;
 use adalsh::datagen::spotsigs::{self, SpotSigsConfig};
+use adalsh::prelude::*;
 
 fn main() {
     // A SpotSigs-like corpus: ~1100 articles, 120 syndicated stories with

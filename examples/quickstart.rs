@@ -37,7 +37,11 @@ fn main() {
     println!(
         "designed a {}-function sequence with budgets {:?}",
         engine.num_levels(),
-        engine.levels().iter().map(|l| l.budget()).collect::<Vec<_>>()
+        engine
+            .levels()
+            .iter()
+            .map(|l| l.budget())
+            .collect::<Vec<_>>()
     );
 
     let out = engine.run(&dataset, 2);

@@ -31,13 +31,35 @@ fn run(corpus: &Dataset, cfg: AdaLshConfig, label: &str) {
 fn main() {
     let corpus = spotsigs::generate(&SpotSigsConfig::default());
     let rule = spotsigs::match_rule(0.4);
-    println!("{} articles, top sizes {:?}", corpus.len(), &corpus.entity_sizes()[..3]);
+    println!(
+        "{} articles, top sizes {:?}",
+        corpus.len(),
+        &corpus.entity_sizes()[..3]
+    );
 
     println!("\nbudget strategy (§5.2):");
     for (label, strategy) in [
-        ("Exponential(20, ×2)", BudgetStrategy::Exponential { start: 20, factor: 2 }),
-        ("Exponential(40, ×2)", BudgetStrategy::Exponential { start: 40, factor: 2 }),
-        ("Exponential(20, ×4)", BudgetStrategy::Exponential { start: 20, factor: 4 }),
+        (
+            "Exponential(20, ×2)",
+            BudgetStrategy::Exponential {
+                start: 20,
+                factor: 2,
+            },
+        ),
+        (
+            "Exponential(40, ×2)",
+            BudgetStrategy::Exponential {
+                start: 40,
+                factor: 2,
+            },
+        ),
+        (
+            "Exponential(20, ×4)",
+            BudgetStrategy::Exponential {
+                start: 20,
+                factor: 4,
+            },
+        ),
         ("Linear(320)", BudgetStrategy::Linear { step: 320 }),
         ("Linear(640)", BudgetStrategy::Linear { step: 640 }),
     ] {

@@ -56,9 +56,6 @@ fn main() {
         let mut engine = AdaLsh::for_dataset(&feed, AdaLshConfig::new(rule)).unwrap();
         let out = engine.run(&feed, k);
         let m = set_metrics(&out.records(), &feed.gold_records(k));
-        println!(
-            "  {deg}°: F1 {:.3}, filtering time {:?}",
-            m.f1, out.wall
-        );
+        println!("  {deg}°: F1 {:.3}, filtering time {:?}", m.f1, out.wall);
     }
 }

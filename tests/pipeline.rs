@@ -40,7 +40,12 @@ fn adalsh_matches_pairs_on_all_families() {
     let cases: Vec<(&str, Dataset, MatchRule, usize)> = vec![
         ("spotsigs", small_spotsigs(), spotsigs::match_rule(0.4), 5),
         ("cora", small_cora(), cora::match_rule(), 5),
-        ("popimages", small_popimages(), popimages::match_rule(3.0), 5),
+        (
+            "popimages",
+            small_popimages(),
+            popimages::match_rule(3.0),
+            5,
+        ),
     ];
     for (name, dataset, rule, k) in cases {
         let gold = Pairs::new(rule.clone()).filter(&dataset, k);
@@ -66,7 +71,12 @@ fn f1_gold_is_high_on_all_families() {
     let cases: Vec<(&str, Dataset, MatchRule, f64)> = vec![
         ("spotsigs", small_spotsigs(), spotsigs::match_rule(0.4), 0.7),
         ("cora", small_cora(), cora::match_rule(), 0.9),
-        ("popimages", small_popimages(), popimages::match_rule(3.0), 0.9),
+        (
+            "popimages",
+            small_popimages(),
+            popimages::match_rule(3.0),
+            0.9,
+        ),
     ];
     for (name, dataset, rule, floor) in cases {
         let mut ada = AdaLsh::for_dataset(&dataset, AdaLshConfig::new(rule)).unwrap();
@@ -175,14 +185,24 @@ fn incremental_mode_is_prefix_consistent() {
     let full = mk().run(&dataset, 6);
     let mut streamed: Vec<Vec<u32>> = Vec::new();
     let _ = mk().run_incremental(&dataset, 6, |_, c| streamed.push(c.to_vec()));
-    assert_eq!(streamed.len(), full.clusters.len());
-    for (s, f) in streamed.iter().zip(&full.clusters) {
-        let mut s = s.clone();
-        let mut f = f.clone();
-        s.sort_unstable();
-        f.sort_unstable();
-        assert_eq!(s, f);
+    // Largest-First streams finals in descending size order…
+    assert!(
+        streamed.windows(2).all(|w| w[0].len() >= w[1].len()),
+        "sizes not descending: {:?}",
+        streamed.iter().map(Vec::len).collect::<Vec<_>>()
+    );
+    // …and the stream holds exactly the finals of the full run. Clusters
+    // tied in size may stream in either discovery order (and ties with
+    // the k-th final are streamed too), so apply the same canonical
+    // (size desc, smallest-id asc) sort + truncation `run` itself uses
+    // before comparing.
+    assert!(streamed.len() >= full.clusters.len());
+    for c in &mut streamed {
+        c.sort_unstable();
     }
+    streamed.sort_by(|a, b| b.len().cmp(&a.len()).then_with(|| a[0].cmp(&b[0])));
+    streamed.truncate(6);
+    assert_eq!(streamed, full.clusters);
 }
 
 /// Upsampled (2x/4x) datasets keep pipelines exact, and the upsample

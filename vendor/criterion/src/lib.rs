@@ -1,0 +1,229 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the same bench-authoring surface (`criterion_group!`,
+//! `criterion_main!`, `benchmark_group`, `bench_function`, `iter`,
+//! `iter_batched`) with a simple calibrated timing loop instead of
+//! criterion's statistical machinery: each benchmark is auto-scaled to a
+//! target sample duration, run for several samples, and the best sample's
+//! mean ns/iter is printed. Good enough to compare kernels before/after;
+//! not a statistics suite.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation (recorded for display only).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup (the stub treats all variants the
+/// same: setup runs untimed before every routine invocation).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+    NumIterations(u64),
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_count: usize,
+    target_sample: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_count: 5,
+            target_sample: Duration::from_millis(60),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_count_override: None,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_count_override: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count_override = Some(n.clamp(2, 20));
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            target_sample: self.criterion.target_sample,
+            samples: self
+                .sample_count_override
+                .unwrap_or(self.criterion.sample_count),
+            best_ns_per_iter: f64::INFINITY,
+            iters_per_sample: 0,
+        };
+        f(&mut bencher);
+        let label = format!("{}/{}", self.name, id);
+        let ns = bencher.best_ns_per_iter;
+        let per_sec = if ns > 0.0 { 1e9 / ns } else { f64::INFINITY };
+        let extra = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  ({:.1} Melem/s)", per_sec * n as f64 / 1e6)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  ({:.1} MiB/s)", per_sec * n as f64 / (1024.0 * 1024.0))
+            }
+            None => String::new(),
+        };
+        println!("bench  {label:<48} {:>14.1} ns/iter{extra}", ns);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to the benchmark closure; runs the measured loops.
+pub struct Bencher {
+    target_sample: Duration,
+    samples: usize,
+    /// Best (lowest-noise) observed mean, exposed via the printed report.
+    best_ns_per_iter: f64,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `routine` directly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        self.calibrate(|| {
+            black_box(routine());
+        });
+        for _ in 0..self.samples {
+            let iters = self.iters_per_sample;
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.record(start.elapsed(), iters);
+        }
+    }
+
+    /// Times `routine` on inputs built (untimed) by `setup`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Calibrate with a single timed run (setup excluded).
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        let once = start.elapsed().max(Duration::from_nanos(20));
+        let per_sample = (self.target_sample.as_nanos() / once.as_nanos()).clamp(1, 100_000);
+        self.iters_per_sample = per_sample as u64;
+        for _ in 0..self.samples {
+            let mut total = Duration::ZERO;
+            for _ in 0..self.iters_per_sample {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                total += start.elapsed();
+            }
+            self.record(total, self.iters_per_sample);
+        }
+    }
+
+    fn calibrate(&mut self, mut once: impl FnMut()) {
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                once();
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.target_sample / 4 || iters >= 1 << 24 {
+                let scale = (self.target_sample.as_nanos() as f64
+                    / elapsed.as_nanos().max(1) as f64)
+                    .clamp(1.0, 16.0);
+                self.iters_per_sample = ((iters as f64) * scale).max(1.0) as u64;
+                return;
+            }
+            iters *= 4;
+        }
+    }
+
+    fn record(&mut self, elapsed: Duration, iters: u64) {
+        let ns = elapsed.as_nanos() as f64 / iters.max(1) as f64;
+        if ns < self.best_ns_per_iter {
+            self.best_ns_per_iter = ns;
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_iter_and_iter_batched() {
+        let mut c = Criterion {
+            sample_count: 2,
+            target_sample: Duration::from_millis(2),
+        };
+        let mut g = c.benchmark_group("stub");
+        g.throughput(Throughput::Elements(10));
+        g.bench_function("iter", |b| {
+            b.iter(|| (0..100u64).sum::<u64>())
+        });
+        g.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 64],
+                |v| v.into_iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,506 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset this workspace's property tests use: the
+//! [`proptest!`] macro (with optional `#![proptest_config(...)]`),
+//! `prop_assert*` / `prop_assume`, range and tuple strategies,
+//! `prop_map`, `prop::collection::{vec, btree_set}`, `prop::option::of`,
+//! `prop::bool::ANY`, and `any::<T>()` for primitives. Cases are drawn
+//! from a deterministic per-test RNG. Failing inputs are reported via
+//! panic message; there is **no shrinking** — failures print the attempt
+//! number so a run can be reproduced under a debugger.
+
+pub mod test_runner {
+    /// Runner configuration (`ProptestConfig` in the prelude).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of accepted (non-rejected) cases to run per test.
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// Input rejected by `prop_assume!` — retried, not a failure.
+        Reject(String),
+        /// Assertion failure — aborts the whole test.
+        Fail(String),
+    }
+
+    /// Deterministic per-test RNG, seeded from the test's name.
+    pub fn new_rng(test_name: &str) -> rand::rngs::StdRng {
+        use rand::SeedableRng;
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        rand::rngs::StdRng::seed_from_u64(h)
+    }
+}
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::SampleRange;
+
+    /// A generator of values of `Self::Value`.
+    pub trait Strategy {
+        type Value;
+
+        /// Draws one value.
+        fn gen_value(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Transforms generated values with `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { source: self, f }
+        }
+    }
+
+    /// `prop_map` combinator.
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn gen_value(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.source.gen_value(rng))
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn gen_value(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    impl<T> Strategy for std::ops::Range<T>
+    where
+        std::ops::Range<T>: SampleRange<T> + Clone,
+    {
+        type Value = T;
+        fn gen_value(&self, rng: &mut StdRng) -> T {
+            self.clone().sample_from(rng)
+        }
+    }
+
+    impl<T> Strategy for std::ops::RangeInclusive<T>
+    where
+        std::ops::RangeInclusive<T>: SampleRange<T> + Clone,
+    {
+        type Value = T;
+        fn gen_value(&self, rng: &mut StdRng) -> T {
+            self.clone().sample_from(rng)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident, $idx:tt),+);)*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn gen_value(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.gen_value(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_tuple_strategy! {
+        (A, 0);
+        (A, 0, B, 1);
+        (A, 0, B, 1, C, 2);
+        (A, 0, B, 1, C, 2, D, 3);
+        (A, 0, B, 1, C, 2, D, 3, E, 4);
+    }
+
+    /// Fair coin (`prop::bool::ANY`).
+    #[derive(Debug, Clone, Copy)]
+    pub struct BoolAny;
+
+    impl Strategy for BoolAny {
+        type Value = bool;
+        fn gen_value(&self, rng: &mut StdRng) -> bool {
+            use rand::Rng;
+            rng.random()
+        }
+    }
+
+    /// `prop::option::of` combinator.
+    pub struct OptionStrategy<S> {
+        pub(crate) inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn gen_value(&self, rng: &mut StdRng) -> Option<S::Value> {
+            use rand::Rng;
+            if rng.random_bool(0.7) {
+                Some(self.inner.gen_value(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        fn sample_any(rng: &mut StdRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn sample_any(rng: &mut StdRng) -> Self {
+                    rng.random()
+                }
+            }
+        )*};
+    }
+    impl_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f64);
+
+    /// The strategy returned by [`any`].
+    pub struct AnyStrategy<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut StdRng) -> T {
+            T::sample_any(rng)
+        }
+    }
+
+    /// Full-domain strategy for `T` (`any::<u64>()` etc.).
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::collections::BTreeSet;
+
+    /// Size bound accepted by the collection strategies.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl SizeRange {
+        fn sample(self, rng: &mut StdRng) -> usize {
+            rng.random_range(self.lo..self.hi_exclusive)
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            SizeRange {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_exclusive: r.end() + 1,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    /// Strategy for `Vec`s of `element`-generated values.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn gen_value(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet`s; may fall short of the sampled size when
+    /// the element domain is too small to supply distinct values.
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn gen_value(&self, rng: &mut StdRng) -> BTreeSet<S::Value> {
+            let target = self.size.sample(rng);
+            let mut out = BTreeSet::new();
+            let mut attempts = 0usize;
+            while out.len() < target && attempts < target * 20 + 20 {
+                out.insert(self.element.gen_value(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+/// The `prop::` namespace used inside test bodies.
+pub mod prop {
+    pub use crate::collection;
+
+    pub mod bool {
+        /// Fair-coin strategy.
+        pub const ANY: crate::strategy::BoolAny = crate::strategy::BoolAny;
+    }
+
+    pub mod option {
+        use crate::strategy::{OptionStrategy, Strategy};
+
+        /// `Option` strategy: `Some` ~70% of the time.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy { inner }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::Config::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let mut rng = $crate::test_runner::new_rng(concat!(module_path!(), "::", stringify!($name)));
+            let mut accepted: u32 = 0;
+            let mut attempts: u32 = 0;
+            while accepted < config.cases {
+                attempts += 1;
+                if attempts > config.cases.saturating_mul(20).saturating_add(100) {
+                    panic!(
+                        "proptest stub: {} rejected too many inputs ({} attempts for {} cases)",
+                        stringify!($name), attempts, config.cases
+                    );
+                }
+                let ($($arg,)+) = (
+                    $($crate::strategy::Strategy::gen_value(&($strat), &mut rng),)+
+                );
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => accepted += 1,
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!("{} failed on attempt {}: {}", stringify!($name), attempts, msg);
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                ::std::string::String::from(stringify!($cond)),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `left != right`\n  both: `{:?}`",
+            left
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(a in 3u32..17, b in 0.25f64..=0.75, c in 1usize..=4) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!((0.25..=0.75).contains(&b));
+            prop_assert!((1..=4).contains(&c));
+        }
+
+        #[test]
+        fn vec_and_map_compose(
+            v in prop::collection::vec(0u64..100, 2..8).prop_map(|mut v| { v.sort_unstable(); v }),
+        ) {
+            prop_assert!((2..8).contains(&v.len()));
+            prop_assert!(v.windows(2).all(|w| w[0] <= w[1]));
+        }
+
+        #[test]
+        fn tuples_and_options(
+            pairs in prop::collection::vec((0usize..10, prop::option::of(1u32..5)), 0..20),
+            flip in prop::bool::ANY,
+            seed in any::<u64>(),
+        ) {
+            let _ = (flip, seed);
+            for (i, o) in pairs {
+                prop_assert!(i < 10);
+                if let Some(x) = o {
+                    prop_assert!((1..5).contains(&x));
+                }
+            }
+        }
+
+        #[test]
+        fn btree_sets_are_bounded(s in prop::collection::btree_set(0u32..1000, 1..10)) {
+            prop_assert!(!s.is_empty() && s.len() < 10);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0u32..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        use crate::strategy::Strategy;
+        let mut a = crate::test_runner::new_rng("x");
+        let mut b = crate::test_runner::new_rng("x");
+        let s = 0u64..1_000_000;
+        for _ in 0..50 {
+            assert_eq!(s.gen_value(&mut a), s.gen_value(&mut b));
+        }
+    }
+}

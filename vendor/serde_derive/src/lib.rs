@@ -1,0 +1,409 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` against
+//! the vendored `serde` stub's `to_value`/`from_value` traits, without
+//! `syn`/`quote` (unavailable offline): the item's `TokenStream` is walked
+//! structurally and the generated impl is emitted as a parsed string.
+//!
+//! Supported shapes — exactly what this workspace derives on:
+//! named-field structs (incl. `#[serde(flatten)]` fields), newtype
+//! structs, and externally-tagged enums with unit, newtype, and
+//! struct variants. Generic items are rejected with a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+type TokenIter = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
+
+struct Field {
+    name: String,
+    flatten: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Newtype,
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Item {
+    NamedStruct { name: String, fields: Vec<Field> },
+    NewtypeStruct { name: String },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, generate: fn(&Item) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => generate(&item)
+            .parse()
+            .expect("serde_derive stub generated invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+// ---- parsing ---------------------------------------------------------
+
+/// Consumes leading `#[...]` attributes; returns true if any of them was
+/// `#[serde(flatten)]`.
+fn take_attrs(iter: &mut TokenIter) -> bool {
+    let mut flatten = false;
+    while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        iter.next();
+        let Some(TokenTree::Group(group)) = iter.next() else {
+            break;
+        };
+        let mut inner = group.stream().into_iter();
+        let is_serde =
+            matches!(inner.next(), Some(TokenTree::Ident(id)) if id.to_string() == "serde");
+        if !is_serde {
+            continue;
+        }
+        if let Some(TokenTree::Group(list)) = inner.next() {
+            for tok in list.stream() {
+                if matches!(&tok, TokenTree::Ident(id) if id.to_string() == "flatten") {
+                    flatten = true;
+                }
+            }
+        }
+    }
+    flatten
+}
+
+/// Consumes `pub` / `pub(...)` if present.
+fn skip_vis(iter: &mut TokenIter) {
+    if matches!(iter.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        iter.next();
+        if matches!(
+            iter.peek(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            iter.next();
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut iter = input.into_iter().peekable();
+    take_attrs(&mut iter);
+    skip_vis(&mut iter);
+    let keyword = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum keyword, got {other:?}")),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde_derive stub: generic item `{name}` is not supported"
+        ));
+    }
+    match (keyword.as_str(), iter.next()) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Ok(Item::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream())?,
+            })
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            if count_tuple_fields(g.stream()) != 1 {
+                return Err(format!(
+                    "serde_derive stub: tuple struct `{name}` must be a newtype"
+                ));
+            }
+            Ok(Item::NewtypeStruct { name })
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Ok(Item::Enum {
+                name,
+                variants: parse_variants(g.stream())?,
+            })
+        }
+        (kw, other) => Err(format!("unsupported item: {kw} followed by {other:?}")),
+    }
+}
+
+/// Parses `name: Type, ...` fields, honouring `#[serde(flatten)]` and
+/// skipping type tokens with angle-bracket awareness.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let mut iter = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let flatten = take_attrs(&mut iter);
+        skip_vis(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected field name, got {other:?}")),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected ':' after field `{name}`, got {other:?}")),
+        }
+        let mut angle_depth = 0i32;
+        while let Some(tok) = iter.next() {
+            if let TokenTree::Punct(p) = &tok {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+        fields.push(Field { name, flatten });
+    }
+    Ok(fields)
+}
+
+/// Number of fields in a tuple-struct / tuple-variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut angle_depth = 0i32;
+    let mut segments = 0usize;
+    let mut in_segment = false;
+    for tok in stream {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    in_segment = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        if !in_segment {
+            segments += 1;
+            in_segment = true;
+        }
+    }
+    segments
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut iter = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        take_attrs(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        let kind = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let Some(TokenTree::Group(g)) = iter.next() else {
+                    unreachable!()
+                };
+                if count_tuple_fields(g.stream()) != 1 {
+                    return Err(format!(
+                        "serde_derive stub: variant `{name}` must be unit, newtype, or struct"
+                    ));
+                }
+                VariantKind::Newtype
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let Some(TokenTree::Group(g)) = iter.next() else {
+                    unreachable!()
+                };
+                VariantKind::Struct(parse_named_fields(g.stream())?)
+            }
+            _ => VariantKind::Unit,
+        };
+        if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            iter.next();
+        }
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+// ---- generation ------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let mut body = String::from(
+                "let mut m: Vec<(String, ::serde::Value)> = Vec::new();\n",
+            );
+            for f in fields {
+                if f.flatten {
+                    body.push_str(&format!(
+                        "match ::serde::Serialize::to_value(&self.{0}) {{\n\
+                         ::serde::Value::Map(inner) => m.extend(inner),\n\
+                         other => m.push((String::from(\"{0}\"), other)),\n}}\n",
+                        f.name
+                    ));
+                } else {
+                    body.push_str(&format!(
+                        "m.push((String::from(\"{0}\"), ::serde::Serialize::to_value(&self.{0})));\n",
+                        f.name
+                    ));
+                }
+            }
+            body.push_str("::serde::Value::Map(m)");
+            wrap_serialize(name, &body)
+        }
+        Item::NewtypeStruct { name } => {
+            wrap_serialize(name, "::serde::Serialize::to_value(&self.0)")
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{0} => ::serde::Value::Str(String::from(\"{0}\")),\n",
+                        v.name
+                    )),
+                    VariantKind::Newtype => arms.push_str(&format!(
+                        "{name}::{0}(x) => ::serde::Value::Map(vec![(String::from(\"{0}\"), \
+                         ::serde::Serialize::to_value(x))]),\n",
+                        v.name
+                    )),
+                    VariantKind::Struct(fields) => {
+                        let bindings: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut inner = String::from(
+                            "let mut m: Vec<(String, ::serde::Value)> = Vec::new();\n",
+                        );
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "m.push((String::from(\"{0}\"), ::serde::Serialize::to_value({0})));\n",
+                                f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{0} {{ {1} }} => {{\n{inner}\n\
+                             ::serde::Value::Map(vec![(String::from(\"{0}\"), ::serde::Value::Map(m))])\n}}\n",
+                            v.name,
+                            bindings.join(", ")
+                        ));
+                    }
+                }
+            }
+            wrap_serialize(name, &format!("match self {{\n{arms}}}"))
+        }
+    }
+}
+
+fn wrap_serialize(name: &str, body: &str) -> String {
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+/// Expression extracting field `fname` out of a map binding `entries`
+/// (with the whole-value binding `whole` used for flattened fields).
+fn field_extract(fname: &str, flatten: bool, whole: &str, entries: &str) -> String {
+    if flatten {
+        format!(
+            "::serde::Deserialize::from_value({whole})\
+             .map_err(|e| ::serde::Error::in_field(\"{fname}\", e))?"
+        )
+    } else {
+        format!(
+            "::serde::Deserialize::from_value({entries}.iter()\
+             .find(|(k, _)| k == \"{fname}\").map(|(_, val)| val)\
+             .unwrap_or(&::serde::Value::Null))\
+             .map_err(|e| ::serde::Error::in_field(\"{fname}\", e))?"
+        )
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let mut init = String::new();
+            for f in fields {
+                init.push_str(&format!(
+                    "{}: {},\n",
+                    f.name,
+                    field_extract(&f.name, f.flatten, "v", "entries")
+                ));
+            }
+            let body = format!(
+                "let ::serde::Value::Map(entries) = v else {{\n\
+                 return Err(::serde::Error::custom(\"expected map for struct {name}\"));\n}};\n\
+                 let _ = &entries;\n\
+                 Ok({name} {{\n{init}}})"
+            );
+            wrap_deserialize(name, &body)
+        }
+        Item::NewtypeStruct { name } => {
+            wrap_deserialize(name, &format!("Ok({name}(::serde::Deserialize::from_value(v)?))"))
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "\"{0}\" => Ok({name}::{0}),\n",
+                        v.name
+                    )),
+                    VariantKind::Newtype => tagged_arms.push_str(&format!(
+                        "\"{0}\" => Ok({name}::{0}(::serde::Deserialize::from_value(val)\
+                         .map_err(|e| ::serde::Error::in_field(\"{0}\", e))?)),\n",
+                        v.name
+                    )),
+                    VariantKind::Struct(fields) => {
+                        let mut init = String::new();
+                        for f in fields {
+                            init.push_str(&format!(
+                                "{}: {},\n",
+                                f.name,
+                                field_extract(&f.name, f.flatten, "val", "entries")
+                            ));
+                        }
+                        tagged_arms.push_str(&format!(
+                            "\"{0}\" => {{\n\
+                             let ::serde::Value::Map(entries) = val else {{\n\
+                             return Err(::serde::Error::custom(\"expected map for variant {0}\"));\n}};\n\
+                             let _ = &entries;\n\
+                             Ok({name}::{0} {{\n{init}}})\n}}\n",
+                            v.name
+                        ));
+                    }
+                }
+            }
+            let body = format!(
+                "match v {{\n\
+                 ::serde::Value::Str(s) => match s.as_str() {{\n{unit_arms}\
+                 other => Err(::serde::Error::custom(format!(\
+                 \"unknown unit variant `{{other}}` for {name}\"))),\n}},\n\
+                 ::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                 let (tag, val) = &entries[0];\n\
+                 match tag.as_str() {{\n{tagged_arms}\
+                 other => Err(::serde::Error::custom(format!(\
+                 \"unknown variant `{{other}}` for {name}\"))),\n}}\n}}\n\
+                 _ => Err(::serde::Error::custom(\"bad enum representation for {name}\")),\n}}"
+            );
+            wrap_deserialize(name, &body)
+        }
+    }
+}
+
+fn wrap_deserialize(name: &str, body: &str) -> String {
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n}}\n}}\n"
+    )
+}
