@@ -1,8 +1,24 @@
 #!/usr/bin/env bash
 # Local CI gate: format, lint (warnings are errors), release build, tests.
 # Run from the workspace root before pushing.
+#
+#   ./ci.sh                # the default gate
+#   ./ci.sh --bench-smoke  # gate + a tiny end-to-end run of the P
+#                          # baseline recorder (exercises bench_pairwise
+#                          # without touching the committed baseline)
 set -euo pipefail
 cd "$(dirname "$0")"
+
+bench_smoke=0
+for arg in "$@"; do
+    case "$arg" in
+    --bench-smoke) bench_smoke=1 ;;
+    *)
+        echo "unknown flag: $arg" >&2
+        exit 2
+        ;;
+    esac
+done
 
 echo "==> cargo fmt --check"
 cargo fmt --check
@@ -15,5 +31,10 @@ cargo build --release
 
 echo "==> cargo test -q"
 cargo test -q --workspace
+
+if [ "$bench_smoke" = 1 ]; then
+    echo "==> bench_pairwise --smoke"
+    cargo run --release -p adalsh-bench --bin bench_pairwise -- --smoke
+fi
 
 echo "CI OK"

@@ -276,7 +276,7 @@ fn bench_transitive_and_pairwise(c: &mut Criterion) {
     g.bench_function("pairwise_P_120rec", |b| {
         b.iter(|| {
             let mut stats = Stats::default();
-            black_box(apply_pairwise(&dataset, &rule, &small, &mut stats))
+            black_box(apply_pairwise(&dataset, &rule, &small, 1, &mut stats))
         })
     });
     g.finish();

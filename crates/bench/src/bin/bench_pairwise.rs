@@ -1,0 +1,104 @@
+//! `P` baseline recorder: times the scalar oracle against the
+//! block-wavefront path at cluster sizes 256 / 1024 / 4096 in the
+//! match-dense and match-sparse regimes and writes wall-clock seconds
+//! per `P` application (plus the speedup ratios) to
+//! `BENCH_pairwise.json` at the workspace root.
+//!
+//! Like `bench_kernels`, this is a one-shot recorder producing a small
+//! machine-readable baseline that can be committed and diffed across
+//! optimization PRs:
+//!
+//! ```sh
+//! cargo run --release -p adalsh-bench --bin bench_pairwise
+//! cargo run --release -p adalsh-bench --bin bench_pairwise -- --smoke
+//! ```
+//!
+//! `--smoke` (used by `ci.sh --bench-smoke`) runs a single tiny size so
+//! CI exercises the recorder end-to-end in under a second; it does not
+//! overwrite the committed baseline.
+
+use adalsh_bench::pairwise_bench::{match_dense, match_sparse};
+use adalsh_core::algorithm::default_threads;
+use adalsh_core::pairwise::{apply_pairwise, apply_pairwise_scalar};
+use adalsh_core::stats::Stats;
+use adalsh_data::{Dataset, MatchRule};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Times one full `P` application, repeated after one warmup run until
+/// ≥ 2 iterations and ≥ 0.4 s have elapsed. Returns seconds per run.
+fn measure(mut f: impl FnMut()) -> f64 {
+    f();
+    let mut iters = 0u64;
+    let start = Instant::now();
+    loop {
+        f();
+        iters += 1;
+        if iters >= 2 && start.elapsed().as_secs_f64() > 0.4 {
+            break;
+        }
+    }
+    start.elapsed().as_secs_f64() / iters as f64
+}
+
+fn time_pair(dataset: &Dataset, rule: &MatchRule, threads: usize) -> (f64, f64) {
+    let ids: Vec<u32> = (0..dataset.len() as u32).collect();
+    let scalar = measure(|| {
+        let mut stats = Stats::default();
+        black_box(apply_pairwise_scalar(
+            dataset,
+            rule,
+            black_box(&ids),
+            &mut stats,
+        ));
+    });
+    let wavefront = measure(|| {
+        let mut stats = Stats::default();
+        black_box(apply_pairwise(
+            dataset,
+            rule,
+            black_box(&ids),
+            threads,
+            &mut stats,
+        ));
+    });
+    (scalar, wavefront)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let sizes: &[usize] = if smoke { &[64] } else { &[256, 1024, 4096] };
+    let threads = default_threads();
+
+    let mut rows: Vec<(String, f64, f64)> = Vec::new();
+    for &n in sizes {
+        for (regime, (dataset, rule)) in [("dense", match_dense(n)), ("sparse", match_sparse(n))] {
+            let (scalar, wavefront) = time_pair(&dataset, &rule, threads);
+            println!(
+                "{regime:>6}/{n:<5} scalar {scalar:>9.5}s  wavefront {wavefront:>9.5}s  speedup {:>5.2}x",
+                scalar / wavefront
+            );
+            rows.push((format!("{regime}/{n}"), scalar, wavefront));
+        }
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"_meta\": {{ \"threads\": {threads}, \"unit\": \"seconds per P application\" }}"
+    ));
+    for (name, scalar, wavefront) in &rows {
+        json.push_str(&format!(
+            ",\n  \"scalar/{name}\": {scalar:.6},\n  \"wavefront/{name}\": {wavefront:.6},\n  \"speedup/{name}\": {:.3}",
+            scalar / wavefront
+        ));
+    }
+    json.push_str("\n}\n");
+
+    if smoke {
+        println!("smoke mode: baseline not written");
+        return;
+    }
+    let path = "BENCH_pairwise.json";
+    std::fs::write(path, &json).expect("write baseline");
+    println!("wrote {path}");
+}

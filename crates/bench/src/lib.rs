@@ -7,3 +7,4 @@
 
 pub mod figures;
 pub mod harness;
+pub mod pairwise_bench;

@@ -1,0 +1,130 @@
+//! Shared workloads for the `P` (pairwise verification) benchmarks —
+//! used by both the Criterion bench (`benches/pairwise.rs`) and the
+//! one-shot baseline recorder (`bin/bench_pairwise.rs`).
+//!
+//! Two regimes bracket `P`'s behaviour on a cluster of `n` records:
+//!
+//! * **match-dense** — one planted entity with high within-entity
+//!   similarity under a Jaccard rule. Early merges transitively close
+//!   all later pairs, so the run is dominated by `find_root` skips, not
+//!   distance kernels; this is the regime adaLSH's Line-5 jump gate
+//!   produces (a near-pure cluster handed to `P`).
+//! * **match-sparse** — every record its own entity, an angular rule on
+//!   dense vectors that almost never fires. All `n(n−1)/2` pairs run the
+//!   distance kernel; this is the worst case charged by Definition 3 and
+//!   the regime where the cached-norm kernel (one dot product instead of
+//!   three) and multi-threaded evaluation pay off.
+
+use adalsh_data::{
+    Dataset, DenseVector, FieldDistance, FieldKind, FieldValue, MatchRule, Record, Schema,
+    ShingleSet,
+};
+
+/// Deterministic SplitMix64 — the benches must not depend on `rand`
+/// being seeded the same way across versions.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4B9F9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Match-dense workload: one planted entity — every record keeps a
+/// 30-token core and perturbs 3 tokens, so all pairs match under the
+/// Jaccard rule. This is the cluster shape the Line-5 jump gate hands to
+/// `P`: after the `n−1` spanning merges, the remaining `O(n²)` pairs are
+/// transitively closed and only pay a `find_root`. Returns the dataset
+/// and its rule.
+pub fn match_dense(n: usize) -> (Dataset, MatchRule) {
+    let mut rng = 0xD15EA5Eu64;
+    let schema = Schema::single("s", FieldKind::Shingles);
+    let records: Vec<Record> = (0..n)
+        .map(|_| {
+            let mut s: Vec<u64> = (0..30).collect();
+            for x in s.iter_mut().take(3) {
+                *x = splitmix(&mut rng) | (1 << 60);
+            }
+            Record::single(FieldValue::Shingles(ShingleSet::new(s)))
+        })
+        .collect();
+    let gt = vec![0u32; n];
+    (
+        Dataset::new(schema, records, gt),
+        MatchRule::threshold(0, FieldDistance::Jaccard, 0.4),
+    )
+}
+
+/// Match-sparse workload: `n` singleton entities with 128-dimensional
+/// dense vectors (embedding-sized) in near-random directions and an
+/// angular rule tight enough that matches are rare. Returns the dataset
+/// and its rule.
+pub fn match_sparse(n: usize) -> (Dataset, MatchRule) {
+    let mut rng = 0x5CA7E0u64;
+    let schema = Schema::single("v", FieldKind::Dense);
+    let records: Vec<Record> = (0..n)
+        .map(|_| {
+            let v: Vec<f64> = (0..128)
+                .map(|_| (splitmix(&mut rng) % 2001) as f64 / 1000.0 - 1.0)
+                .collect();
+            Record::single(FieldValue::Dense(DenseVector::new(v)))
+        })
+        .collect();
+    let gt = (0..n as u32).collect();
+    (
+        Dataset::new(schema, records, gt),
+        // Random high-d directions concentrate near 90°; 0.2 (36°)
+        // almost never fires, so every pair pays the full kernel.
+        MatchRule::threshold(0, FieldDistance::Angular, 0.2),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adalsh_core::pairwise::{apply_pairwise, apply_pairwise_scalar};
+    use adalsh_core::stats::Stats;
+
+    #[test]
+    fn regimes_have_the_intended_shape() {
+        let n = 96;
+        let ids: Vec<u32> = (0..n as u32).collect();
+        let all_pairs = (n * (n - 1) / 2) as u64;
+
+        let (d, rule) = match_dense(n);
+        let mut st = Stats::default();
+        let out = apply_pairwise(&d, &rule, &ids, 2, &mut st);
+        assert_eq!(out.len(), 1, "dense regime is one entity");
+        assert_eq!(
+            st.pair_comparisons,
+            (n - 1) as u64,
+            "dense regime runs only the spanning comparisons"
+        );
+
+        let (d, rule) = match_sparse(n);
+        let mut st = Stats::default();
+        let out = apply_pairwise(&d, &rule, &ids, 2, &mut st);
+        assert!(
+            out.len() > n * 9 / 10,
+            "sparse regime leaves almost everything unmerged ({} clusters)",
+            out.len()
+        );
+        assert!(
+            st.pair_comparisons > all_pairs * 9 / 10,
+            "sparse regime evaluates almost every pair"
+        );
+    }
+
+    #[test]
+    fn workloads_are_deterministic_and_match_scalar() {
+        for (d, rule) in [match_dense(48), match_sparse(48)] {
+            let ids: Vec<u32> = (0..48).collect();
+            let mut st_a = Stats::default();
+            let a = apply_pairwise(&d, &rule, &ids, 3, &mut st_a);
+            let mut st_b = Stats::default();
+            let b = apply_pairwise_scalar(&d, &rule, &ids, &mut st_b);
+            assert_eq!(a, b);
+            assert_eq!(st_a, st_b);
+        }
+    }
+}

@@ -148,22 +148,33 @@ fn run_method(
     k: usize,
 ) -> Result<(String, FilterOutput), String> {
     let method = args.flag("method").unwrap_or("adalsh");
+    // 0 = auto (the methods' default: available parallelism). Applies to
+    // every method — they all end in `P` or threaded hashing.
+    let threads: usize = args.flag_or("threads", 0usize)?;
     let mut boxed: Box<dyn FilterMethod> = match method {
         "adalsh" => {
             let mut config = AdaLshConfig::new(rule.clone());
-            // 0 = auto (the config default: available parallelism).
-            let threads: usize = args.flag_or("threads", 0usize)?;
             if threads > 0 {
                 config.threads = threads;
             }
             Box::new(AdaLsh::for_dataset(dataset, config)?)
         }
-        "pairs" => Box::new(Pairs::new(rule.clone())),
+        "pairs" => {
+            let mut pairs = Pairs::new(rule.clone());
+            if threads > 0 {
+                pairs = pairs.with_threads(threads);
+            }
+            Box::new(pairs)
+        }
         m if m.starts_with("lsh") => {
             let x: u64 = m[3..]
                 .parse()
                 .map_err(|_| format!("bad method '{m}' (want lsh<X>, e.g. lsh1280)"))?;
-            Box::new(LshBlocking::new(rule.clone(), x))
+            let mut lsh = LshBlocking::new(rule.clone(), x);
+            if threads > 0 {
+                lsh = lsh.with_threads(threads);
+            }
+            Box::new(lsh)
         }
         other => return Err(format!("unknown method '{other}'")),
     };

@@ -121,13 +121,15 @@ fn evaluate_methods_agree() {
 fn thread_count_does_not_change_results() {
     let data = tmpfile("t.jsonl");
     generate(&data);
-    let run = |threads: &str| {
+    let run = |method: &str, threads: &str| {
         let out = bin()
             .args([
                 "filter",
                 data.to_str().unwrap(),
                 "--k",
                 "3",
+                "--method",
+                method,
                 "--threads",
                 threads,
             ])
@@ -135,15 +137,14 @@ fn thread_count_does_not_change_results() {
             .expect("run filter");
         assert!(
             out.status.success(),
-            "--threads {threads}: {}",
+            "--method {method} --threads {threads}: {}",
             String::from_utf8_lossy(&out.stderr)
         );
         String::from_utf8_lossy(&out.stdout).into_owned()
     };
-    let single = run("1");
-    let multi = run("4");
     // Identical clusters and identical operation counts at any thread
-    // count — the parallel path's determinism contract.
+    // count — the parallel path's determinism contract, for every
+    // method that runs `P` or threaded hashing.
     let strip_time = |s: &str| {
         s.lines()
             .map(|l| {
@@ -156,7 +157,11 @@ fn thread_count_does_not_change_results() {
             .collect::<Vec<_>>()
             .join("\n")
     };
-    assert_eq!(strip_time(&single), strip_time(&multi));
+    for method in ["adalsh", "pairs", "lsh320"] {
+        let single = run(method, "1");
+        let multi = run(method, "4");
+        assert_eq!(strip_time(&single), strip_time(&multi), "method {method}");
+    }
 }
 
 #[test]

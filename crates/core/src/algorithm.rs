@@ -387,7 +387,13 @@ impl AdaLsh {
             let (subs, level) = if use_pairwise {
                 stats.modeled_cost += self.cost.pairwise_cost(size);
                 (
-                    apply_pairwise(dataset, &self.config.rule, &entry.records, &mut stats),
+                    apply_pairwise(
+                        dataset,
+                        &self.config.rule,
+                        &entry.records,
+                        self.config.threads,
+                        &mut stats,
+                    ),
                     ClusterLevel::Pairwise,
                 )
             } else {
@@ -563,7 +569,7 @@ mod tests {
         let out = ada.run(&d, 3);
         let mut st = Stats::default();
         let all: Vec<u32> = (0..d.len() as u32).collect();
-        let mut exact = apply_pairwise(&d, &jaccard_config().rule, &all, &mut st);
+        let mut exact = apply_pairwise(&d, &jaccard_config().rule, &all, 1, &mut st);
         exact.sort_by_key(|c| std::cmp::Reverse(c.len()));
         let mut expected: Vec<u32> = exact[..3].iter().flatten().copied().collect();
         expected.sort_unstable();

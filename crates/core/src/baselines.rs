@@ -17,7 +17,7 @@
 
 use adalsh_data::{Dataset, MatchRule};
 
-use crate::algorithm::{AdaLsh, AdaLshConfig, FilterMethod, FilterOutput};
+use crate::algorithm::{default_threads, AdaLsh, AdaLshConfig, FilterMethod, FilterOutput};
 use crate::pairwise::apply_pairwise;
 use crate::sequence::{BudgetStrategy, SequenceSpec};
 use crate::stats::Stats;
@@ -26,12 +26,23 @@ use crate::stats::Stats;
 #[derive(Debug, Clone)]
 pub struct Pairs {
     rule: MatchRule,
+    threads: usize,
 }
 
 impl Pairs {
     /// Creates the baseline for a rule.
     pub fn new(rule: MatchRule) -> Self {
-        Self { rule }
+        Self {
+            rule,
+            threads: default_threads(),
+        }
+    }
+
+    /// Overrides the worker-thread count for `P` (output and `Stats` are
+    /// identical at any count).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 }
 
@@ -44,7 +55,7 @@ impl FilterMethod for Pairs {
         let start = std::time::Instant::now();
         let mut stats = Stats::default();
         let all: Vec<u32> = (0..dataset.len() as u32).collect();
-        let mut clusters = apply_pairwise(dataset, &self.rule, &all, &mut stats);
+        let mut clusters = apply_pairwise(dataset, &self.rule, &all, self.threads, &mut stats);
         // Canonical order (see the same normalization in the engine).
         for c in &mut clusters {
             c.sort_unstable();
@@ -69,6 +80,9 @@ pub struct LshBlocking {
     apply_p: bool,
     epsilon: f64,
     seed: u64,
+    /// Worker-thread override for the underlying engine; `None` keeps the
+    /// engine's default ([`default_threads`]).
+    threads: Option<usize>,
 }
 
 impl LshBlocking {
@@ -80,6 +94,7 @@ impl LshBlocking {
             apply_p: true,
             epsilon: 1e-3,
             seed: 0x5EED,
+            threads: None,
         }
     }
 
@@ -103,6 +118,13 @@ impl LshBlocking {
         self
     }
 
+    /// Overrides the worker-thread count (output and `Stats` are
+    /// identical at any count).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
     /// Builds the single-level engine for a dataset.
     fn engine(&self, dataset: &Dataset) -> Result<AdaLsh, String> {
         let mut config = AdaLshConfig::new(self.rule.clone());
@@ -114,6 +136,9 @@ impl LshBlocking {
             seed: self.seed,
         };
         config.require_pairwise_final = self.apply_p;
+        if let Some(threads) = self.threads {
+            config.threads = threads;
+        }
         // LSH-X applies exactly X functions per record — never extend.
         config.scale_max_budget = false;
         AdaLsh::for_dataset(dataset, config)

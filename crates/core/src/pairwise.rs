@@ -12,15 +12,197 @@
 //!
 //! The *cost model* nevertheless charges `P` for all `|C|·(|C|−1)/2`
 //! pairs (paper Definition 3 is conservative; see Appendix B.3's remark).
+//!
+//! # Block-wavefront parallelism
+//!
+//! [`apply_pairwise`] processes the canonical pair sequence
+//! `(0,1), (0,2), …, (n−2,n−1)` in fixed-size blocks. At the start of a
+//! block the forest is frozen (no merges happen while the block is
+//! collected), and every pair whose endpoints are in different trees
+//! *per that snapshot* is evaluated — the match rule applied through the
+//! cached distance kernels ([`MatchRule::matches_in`]) — across up to
+//! `threads` workers, each owning a disjoint slice of the verdict
+//! buffer. Verdicts are then **folded into the forest sequentially in
+//! canonical pair order**, re-applying the closure-skip test against the
+//! live forest, so the merge sequence and the `pair_comparisons` /
+//! `distance_evals` charges are bit-identical to the retained scalar
+//! oracle [`apply_pairwise_scalar`]:
+//!
+//! * a pair closed at snapshot time is still closed whenever the scalar
+//!   loop reaches it (transitive closure only grows) — skipped and
+//!   uncharged on both paths;
+//! * a pair open at snapshot but closed by an earlier merge of the same
+//!   block is skipped at fold time — its evaluation was *speculative*,
+//!   wasted work bounded by the block size, and is never charged;
+//! * a pair still open at fold time is charged and folded with exactly
+//!   the verdict the scalar loop would compute (the rule is
+//!   deterministic and `matches_in` is bit-equivalent to `matches`).
 
 use adalsh_data::{Dataset, MatchRule};
 
 use crate::ppt::Forest;
 use crate::stats::Stats;
 
+/// Pairs per wavefront block. Bounds speculative (uncharged, wasted)
+/// evaluations per block while keeping enough work in flight to amortize
+/// thread synchronization.
+pub const DEFAULT_PAIR_BLOCK: usize = 4096;
+
+/// Minimum open pairs in a block before fanning out to worker threads;
+/// below this, spawn/join overhead rivals the evaluations themselves.
+const MIN_PARALLEL_PAIRS: usize = 512;
+
 /// Applies `P` to `cluster` (record ids) under `rule`, returning the
-/// connected components as record-id lists.
+/// connected components as record-id lists. Pair evaluation runs on up
+/// to `threads` workers in blocks of [`DEFAULT_PAIR_BLOCK`] pairs;
+/// output and statistics are identical at any thread count.
 pub fn apply_pairwise(
+    dataset: &Dataset,
+    rule: &MatchRule,
+    cluster: &[u32],
+    threads: usize,
+    stats: &mut Stats,
+) -> Vec<Vec<u32>> {
+    apply_pairwise_blocked(dataset, rule, cluster, threads, DEFAULT_PAIR_BLOCK, stats)
+}
+
+/// [`apply_pairwise`] with an explicit block size (exposed so the
+/// differential tests can sweep degenerate and adversarial block sizes;
+/// any `block_pairs >= 1` produces identical output and stats).
+pub fn apply_pairwise_blocked(
+    dataset: &Dataset,
+    rule: &MatchRule,
+    cluster: &[u32],
+    threads: usize,
+    block_pairs: usize,
+    stats: &mut Stats,
+) -> Vec<Vec<u32>> {
+    stats.pairwise_calls += 1;
+    let n = cluster.len();
+    let mut forest = Forest::new(n);
+    for slot in 0..n as u32 {
+        forest.add_singleton(slot);
+    }
+    let per_pair_distances = rule.num_elementary_distances() as u64;
+    let threads = threads.max(1);
+    let block_pairs = block_pairs.max(1);
+
+    // Single worker: the wavefront degenerates to block size 1 with an
+    // immediate fold — fuse the two and skip the block buffers entirely.
+    // Same pair order, same skips, same charges; only the bookkeeping
+    // goes away (and the cached kernels still apply).
+    if threads == 1 {
+        for i in 0..n as u32 {
+            for j in (i + 1)..n as u32 {
+                let ri = forest.find_root_of_slot(i).expect("added above");
+                let rj = forest.find_root_of_slot(j).expect("added above");
+                if ri == rj {
+                    continue;
+                }
+                stats.pair_comparisons += 1;
+                stats.distance_evals += per_pair_distances;
+                if rule.matches_in(dataset, cluster[i as usize], cluster[j as usize]) {
+                    forest.merge_roots(ri, rj);
+                }
+            }
+        }
+        return clusters_of(forest, cluster);
+    }
+
+    // Cursor over the canonical pair sequence.
+    let (mut i, mut j) = (0u32, 1u32);
+    let mut open: Vec<(u32, u32)> = Vec::with_capacity(block_pairs.min(1 << 16));
+    let mut verdicts: Vec<bool> = Vec::new();
+    while (i as usize) + 1 < n {
+        // Collect the next block: walk up to `block_pairs` pairs of the
+        // canonical sequence, keeping those open per the block-start
+        // forest snapshot (the forest is not mutated during collection,
+        // so the live find *is* the snapshot).
+        open.clear();
+        let mut taken = 0;
+        while taken < block_pairs && (i as usize) + 1 < n {
+            let ri = forest.find_root_of_slot(i).expect("added above");
+            let rj = forest.find_root_of_slot(j).expect("added above");
+            if ri != rj {
+                open.push((i, j));
+            }
+            taken += 1;
+            j += 1;
+            if j as usize == n {
+                i += 1;
+                j = i + 1;
+            }
+        }
+
+        evaluate_block(dataset, rule, cluster, &open, threads, &mut verdicts);
+
+        // Fold verdicts sequentially in canonical pair order, re-applying
+        // the closure-skip test so accounting matches the scalar oracle.
+        for (&(a, b), &matched) in open.iter().zip(&verdicts) {
+            let ra = forest.find_root_of_slot(a).expect("added above");
+            let rb = forest.find_root_of_slot(b).expect("added above");
+            if ra == rb {
+                // Closed by an earlier merge of this block: the
+                // evaluation was speculative and is not charged.
+                continue;
+            }
+            stats.pair_comparisons += 1;
+            stats.distance_evals += per_pair_distances;
+            if matched {
+                forest.merge_roots(ra, rb);
+            }
+        }
+    }
+    clusters_of(forest, cluster)
+}
+
+/// Maps the forest's slot clusters back to record ids.
+fn clusters_of(forest: Forest, cluster: &[u32]) -> Vec<Vec<u32>> {
+    forest
+        .clusters()
+        .into_iter()
+        .map(|slots| slots.into_iter().map(|s| cluster[s as usize]).collect())
+        .collect()
+}
+
+/// Evaluates the match rule on every open pair of a block, writing one
+/// verdict per pair. Parallel when the block is big enough: each worker
+/// owns a disjoint chunk of the pair list and the matching chunk of the
+/// verdict buffer (its per-worker scratch), so no synchronization beyond
+/// the final join is needed.
+fn evaluate_block(
+    dataset: &Dataset,
+    rule: &MatchRule,
+    cluster: &[u32],
+    open: &[(u32, u32)],
+    threads: usize,
+    verdicts: &mut Vec<bool>,
+) {
+    verdicts.clear();
+    verdicts.resize(open.len(), false);
+    let eval = |pairs: &[(u32, u32)], out: &mut [bool]| {
+        for (v, &(a, b)) in out.iter_mut().zip(pairs) {
+            *v = rule.matches_in(dataset, cluster[a as usize], cluster[b as usize]);
+        }
+    };
+    if threads == 1 || open.len() < MIN_PARALLEL_PAIRS {
+        eval(open, verdicts);
+        return;
+    }
+    let chunk = open.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (pairs, out) in open.chunks(chunk).zip(verdicts.chunks_mut(chunk)) {
+            scope.spawn(move || eval(pairs, out));
+        }
+    });
+}
+
+/// The scalar reference implementation of `P`: one pair at a time, in
+/// canonical order, through the plain (uncached) [`MatchRule::matches`]
+/// kernels. Retained as the differential-test oracle for
+/// [`apply_pairwise`] — clusters *and* `Stats` must be bit-identical —
+/// exactly like `advance_scalar` anchors the batched hash kernels.
+pub fn apply_pairwise_scalar(
     dataset: &Dataset,
     rule: &MatchRule,
     cluster: &[u32],
@@ -50,11 +232,7 @@ pub fn apply_pairwise(
             }
         }
     }
-    forest
-        .clusters()
-        .into_iter()
-        .map(|slots| slots.into_iter().map(|s| cluster[s as usize]).collect())
-        .collect()
+    clusters_of(forest, cluster)
 }
 
 #[cfg(test)]
@@ -87,7 +265,7 @@ mod tests {
         // 0~1 (sim 0.5), 2 far from both.
         let d = dataset(&[&[1, 2, 3, 4], &[3, 4, 5, 6], &[100, 200]]);
         let mut st = Stats::default();
-        let out = apply_pairwise(&d, &jaccard_rule(0.7), &[0, 1, 2], &mut st);
+        let out = apply_pairwise(&d, &jaccard_rule(0.7), &[0, 1, 2], 1, &mut st);
         assert_eq!(sorted(out), vec![vec![0, 1], vec![2]]);
         assert_eq!(st.pairwise_calls, 1);
     }
@@ -99,7 +277,7 @@ mod tests {
         let d = dataset(&[&[1, 2, 3], &[2, 3, 4], &[3, 4, 5]]);
         // d(0,1) = 1 − 2/4 = 0.5; d(0,2) = 1 − 1/5 = 0.8.
         let mut st = Stats::default();
-        let out = apply_pairwise(&d, &jaccard_rule(0.5), &[0, 1, 2], &mut st);
+        let out = apply_pairwise(&d, &jaccard_rule(0.5), &[0, 1, 2], 1, &mut st);
         assert_eq!(sorted(out), vec![vec![0, 1, 2]]);
     }
 
@@ -109,16 +287,33 @@ mod tests {
         // (1,3), (2,3) are closed ⇒ only 3 of 6 comparisons run.
         let d = dataset(&[&[1], &[1], &[1], &[1]]);
         let mut st = Stats::default();
-        let out = apply_pairwise(&d, &jaccard_rule(0.1), &[0, 1, 2, 3], &mut st);
+        let out = apply_pairwise(&d, &jaccard_rule(0.1), &[0, 1, 2, 3], 1, &mut st);
         assert_eq!(out.len(), 1);
         assert_eq!(st.pair_comparisons, 3);
+    }
+
+    #[test]
+    fn speculative_evals_are_uncharged_at_any_block_size() {
+        // Same four identical records: with the whole cluster in one
+        // block, pairs (1,2), (1,3), (2,3) are evaluated speculatively
+        // (open at snapshot, closed by the (0,·) merges at fold time) —
+        // the charge must still be 3, identical to the scalar oracle.
+        let d = dataset(&[&[1], &[1], &[1], &[1]]);
+        for block in [1usize, 2, 3, 6, 100] {
+            let mut st = Stats::default();
+            let out =
+                apply_pairwise_blocked(&d, &jaccard_rule(0.1), &[0, 1, 2, 3], 2, block, &mut st);
+            assert_eq!(out.len(), 1, "block {block}");
+            assert_eq!(st.pair_comparisons, 3, "block {block}");
+            assert_eq!(st.distance_evals, 3, "block {block}");
+        }
     }
 
     #[test]
     fn all_far_pairs_compare_everything() {
         let d = dataset(&[&[1], &[2], &[3], &[4]]);
         let mut st = Stats::default();
-        let out = apply_pairwise(&d, &jaccard_rule(0.1), &[0, 1, 2, 3], &mut st);
+        let out = apply_pairwise(&d, &jaccard_rule(0.1), &[0, 1, 2, 3], 1, &mut st);
         assert_eq!(out.len(), 4);
         assert_eq!(st.pair_comparisons, 6);
         assert_eq!(st.distance_evals, 6);
@@ -128,9 +323,9 @@ mod tests {
     fn empty_and_singleton_inputs() {
         let d = dataset(&[&[1]]);
         let mut st = Stats::default();
-        let out = apply_pairwise(&d, &jaccard_rule(0.5), &[], &mut st);
+        let out = apply_pairwise(&d, &jaccard_rule(0.5), &[], 4, &mut st);
         assert!(out.is_empty());
-        let out = apply_pairwise(&d, &jaccard_rule(0.5), &[0], &mut st);
+        let out = apply_pairwise(&d, &jaccard_rule(0.5), &[0], 4, &mut st);
         assert_eq!(out, vec![vec![0]]);
         assert_eq!(st.pair_comparisons, 0);
     }
@@ -140,8 +335,37 @@ mod tests {
         // The cluster lists non-contiguous record ids.
         let d = dataset(&[&[1, 2], &[99], &[1, 2]]);
         let mut st = Stats::default();
-        let out = apply_pairwise(&d, &jaccard_rule(0.2), &[2, 0], &mut st);
+        let out = apply_pairwise(&d, &jaccard_rule(0.2), &[2, 0], 1, &mut st);
         assert_eq!(sorted(out), vec![vec![0, 2]]);
+    }
+
+    #[test]
+    fn parallel_equals_scalar_on_mixed_cluster() {
+        // A chain of overlapping sets plus isolated singletons — exercises
+        // merges across block boundaries.
+        let sets: Vec<Vec<u64>> = (0..40)
+            .map(|k| {
+                if k % 3 == 0 {
+                    vec![1000 + k, 2000 + k] // isolated
+                } else {
+                    (k / 4 * 10..k / 4 * 10 + 8).collect() // banded overlap
+                }
+            })
+            .collect();
+        let refs: Vec<&[u64]> = sets.iter().map(Vec::as_slice).collect();
+        let d = dataset(&refs);
+        let ids: Vec<u32> = (0..40).collect();
+        let mut st_scalar = Stats::default();
+        let scalar = apply_pairwise_scalar(&d, &jaccard_rule(0.4), &ids, &mut st_scalar);
+        for threads in [1usize, 2, 5] {
+            for block in [1usize, 7, 64, 10_000] {
+                let mut st = Stats::default();
+                let out =
+                    apply_pairwise_blocked(&d, &jaccard_rule(0.4), &ids, threads, block, &mut st);
+                assert_eq!(sorted(out), sorted(scalar.clone()), "t={threads} b={block}");
+                assert_eq!(st, st_scalar, "t={threads} b={block}");
+            }
+        }
     }
 
     #[test]
@@ -175,7 +399,7 @@ mod tests {
             dthr: 0.2,
         };
         let mut st = Stats::default();
-        let out = apply_pairwise(&d, &rule, &[0, 1, 2], &mut st);
+        let out = apply_pairwise(&d, &rule, &[0, 1, 2], 1, &mut st);
         assert_eq!(sorted(out), vec![vec![0, 1], vec![2]]);
         // 3 comparisons × 2 elementary distances each.
         assert_eq!(st.pair_comparisons, 3);

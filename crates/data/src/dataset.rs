@@ -8,18 +8,24 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::record::{Record, Schema};
+use crate::record::{FieldValue, Record, Schema};
 
 /// Opaque entity label. Records with equal labels refer to the same entity.
 pub type EntityId = u32;
 
 /// A set of records with a schema and ground-truth entity labels.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Dataset {
     schema: Schema,
     records: Vec<Record>,
     /// `ground_truth[i]` is the entity of record `i`.
     ground_truth: Vec<EntityId>,
+    /// Euclidean norm of every dense field, row-major
+    /// `[record × num_fields]` (0.0 for shingle fields), computed once at
+    /// construction. The pairwise kernels evaluate `O(n²)` angular
+    /// distances; recomputing both norms inside every call doubles the
+    /// dot-product work, so the cache pays for itself after one pair.
+    field_norms: Vec<f64>,
 }
 
 impl Dataset {
@@ -40,10 +46,12 @@ impl Dataset {
                 panic!("record {i} violates schema: {e}");
             }
         }
+        let field_norms = compute_field_norms(&records);
         Self {
             schema,
             records,
             ground_truth,
+            field_norms,
         }
     }
 
@@ -75,6 +83,14 @@ impl Dataset {
     /// Ground-truth entity of record `i`.
     pub fn entity_of(&self, i: u32) -> EntityId {
         self.ground_truth[i as usize]
+    }
+
+    /// Cached Euclidean norm of field `field` of record `i` — exactly the
+    /// bits `record.field(field).as_dense().norm()` would produce, paid
+    /// once at construction instead of on every distance evaluation.
+    /// Shingle fields report 0.0 (they have no norm).
+    pub fn field_norm(&self, i: u32, field: usize) -> f64 {
+        self.field_norms[i as usize * self.schema.num_fields() + field]
     }
 
     /// Ground-truth labels in record-id order.
@@ -129,6 +145,59 @@ impl Dataset {
         let records = ids.iter().map(|&i| self.record(i).clone()).collect();
         let gt = ids.iter().map(|&i| self.entity_of(i)).collect();
         Dataset::new(self.schema.clone(), records, gt)
+    }
+}
+
+fn compute_field_norms(records: &[Record]) -> Vec<f64> {
+    let mut norms = Vec::with_capacity(records.len() * records[0].num_fields());
+    for r in records {
+        for f in r.fields() {
+            norms.push(match f {
+                FieldValue::Dense(v) => v.norm(),
+                FieldValue::Shingles(_) => 0.0,
+            });
+        }
+    }
+    norms
+}
+
+// Hand-written serde impls: the norm cache is derived data and must stay
+// out of the wire format (the vendored derive has no `#[serde(skip)]`).
+// Deserialization funnels through `Dataset::new`, which re-validates and
+// rebuilds the cache.
+impl Serialize for Dataset {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("schema".to_string(), self.schema.to_value()),
+            ("records".to_string(), self.records.to_value()),
+            ("ground_truth".to_string(), self.ground_truth.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Dataset {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let field = |name: &str| {
+            v.get(name)
+                .ok_or_else(|| serde::Error::custom(format!("Dataset missing field `{name}`")))
+        };
+        let schema = Schema::from_value(field("schema")?)
+            .map_err(|e| serde::Error::in_field("schema", e))?;
+        let records = Vec::<Record>::from_value(field("records")?)
+            .map_err(|e| serde::Error::in_field("records", e))?;
+        let ground_truth = Vec::<EntityId>::from_value(field("ground_truth")?)
+            .map_err(|e| serde::Error::in_field("ground_truth", e))?;
+        if records.len() != ground_truth.len() || records.is_empty() {
+            return Err(serde::Error::custom(
+                "Dataset: records/ground_truth length mismatch or empty",
+            ));
+        }
+        for r in &records {
+            if let Err(e) = schema.validate(r) {
+                return Err(serde::Error::custom(format!("record violates schema: {e}")));
+            }
+        }
+        Ok(Dataset::new(schema, records, ground_truth))
     }
 }
 
@@ -188,6 +257,53 @@ mod tests {
         assert_eq!(s.len(), 2);
         assert_eq!(s.entity_of(0), 9);
         assert_eq!(s.entity_of(1), 7);
+    }
+
+    #[test]
+    fn field_norms_cached_at_construction() {
+        use crate::vector::DenseVector;
+        let schema = Schema::new(vec![("s", FieldKind::Shingles), ("v", FieldKind::Dense)]);
+        let recs = vec![
+            Record::new(vec![
+                FieldValue::Shingles(ShingleSet::new(vec![1])),
+                FieldValue::Dense(DenseVector::new(vec![3.0, 4.0])),
+            ]),
+            Record::new(vec![
+                FieldValue::Shingles(ShingleSet::new(vec![2])),
+                FieldValue::Dense(DenseVector::new(vec![0.0, 0.0])),
+            ]),
+        ];
+        let d = Dataset::new(schema, recs, vec![0, 1]);
+        assert_eq!(d.field_norm(0, 0), 0.0, "shingle fields have no norm");
+        assert_eq!(d.field_norm(0, 1).to_bits(), 5.0f64.to_bits());
+        assert_eq!(d.field_norm(1, 1), 0.0);
+        // The cache holds exactly the bits `norm()` produces.
+        for i in 0..2u32 {
+            assert_eq!(
+                d.field_norm(i, 1).to_bits(),
+                d.record(i).field(1).as_dense().norm().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip_rebuilds_norm_cache() {
+        let d = toy();
+        let json = serde_json::to_string(&d).unwrap();
+        assert!(
+            !json.contains("field_norms"),
+            "cache must stay off the wire"
+        );
+        let back: Dataset = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.len(), d.len());
+        assert_eq!(back.ground_truth(), d.ground_truth());
+        for i in 0..d.len() as u32 {
+            assert_eq!(back.record(i), d.record(i));
+            assert_eq!(
+                back.field_norm(i, 0).to_bits(),
+                d.field_norm(i, 0).to_bits()
+            );
+        }
     }
 
     #[test]

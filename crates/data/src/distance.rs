@@ -44,6 +44,55 @@ impl FieldDistance {
         }
     }
 
+    /// [`FieldDistance::eval`] with caller-supplied vector norms
+    /// (`Dataset::field_norm`). For [`FieldDistance::Angular`] this skips
+    /// the two per-call norm recomputations; for
+    /// [`FieldDistance::Jaccard`] the norms are ignored. Bit-identical to
+    /// `eval` when the norms are the vectors' own.
+    ///
+    /// # Panics
+    /// Panics if either value's kind does not match the metric.
+    pub fn eval_with_norms(self, a: &FieldValue, b: &FieldValue, norm_a: f64, norm_b: f64) -> f64 {
+        match self {
+            FieldDistance::Angular => {
+                a.as_dense()
+                    .angle_degrees_with_norms(b.as_dense(), norm_a, norm_b)
+                    / 180.0
+            }
+            FieldDistance::Jaccard => a.as_shingles().jaccard_distance(b.as_shingles()),
+        }
+    }
+
+    /// Threshold fast path: `eval(a, b) <= dthr`, decided with the
+    /// cheapest safe kernel — cached norms plus a guarded cosine-space
+    /// compare for the angular metric
+    /// ([`crate::DenseVector::angular_at_most_with_norms`]), the
+    /// size-ratio early exit plus galloping intersection for Jaccard
+    /// ([`crate::ShingleSet::jaccard_at_most`]). The verdict is
+    /// **bit-identical** to evaluating the full distance and comparing;
+    /// only the work to reach it shrinks. Cost accounting is unaffected:
+    /// callers charge per elementary distance regardless of early exits
+    /// (the paper's Definition 3 is conservative).
+    ///
+    /// # Panics
+    /// Panics if either value's kind does not match the metric.
+    pub fn distance_at_most(
+        self,
+        a: &FieldValue,
+        b: &FieldValue,
+        dthr: f64,
+        norm_a: f64,
+        norm_b: f64,
+    ) -> bool {
+        match self {
+            FieldDistance::Angular => {
+                a.as_dense()
+                    .angular_at_most_with_norms(b.as_dense(), dthr, norm_a, norm_b)
+            }
+            FieldDistance::Jaccard => a.as_shingles().jaccard_at_most(b.as_shingles(), dthr),
+        }
+    }
+
     /// The collision probability `p(x)` of the metric's natural LSH family
     /// at distance `x` — `1 − x` for both families shipped here.
     ///
@@ -80,6 +129,45 @@ mod tests {
         assert_eq!(FieldDistance::Angular.collision_prob(0.0), 1.0);
         assert_eq!(FieldDistance::Jaccard.collision_prob(1.0), 0.0);
         assert!((FieldDistance::Angular.collision_prob(0.25) - 0.75).abs() < 1e-15);
+    }
+
+    #[test]
+    fn fast_paths_agree_with_eval() {
+        let sh = |v: &[u64]| FieldValue::Shingles(ShingleSet::new(v.to_vec()));
+        let dn = |v: &[f64]| FieldValue::Dense(DenseVector::new(v.to_vec()));
+        let jacc_pairs = [
+            (sh(&[1, 2, 3, 4]), sh(&[3, 4, 5])),
+            (sh(&[1]), sh(&(0..40).collect::<Vec<_>>())),
+            (sh(&[]), sh(&[7])),
+        ];
+        for (a, b) in &jacc_pairs {
+            for t in [0.0, 0.3, 0.6, 1.0] {
+                assert_eq!(
+                    FieldDistance::Jaccard.distance_at_most(a, b, t, 0.0, 0.0),
+                    FieldDistance::Jaccard.eval(a, b) <= t
+                );
+            }
+        }
+        let dense_pairs = [
+            (dn(&[1.0, 0.0]), dn(&[0.0, 1.0])),
+            (dn(&[0.3, -0.7]), dn(&[0.3, -0.7])),
+            (dn(&[0.0, 0.0]), dn(&[1.0, 2.0])),
+        ];
+        for (a, b) in &dense_pairs {
+            let (na, nb) = (a.as_dense().norm(), b.as_dense().norm());
+            assert_eq!(
+                FieldDistance::Angular
+                    .eval_with_norms(a, b, na, nb)
+                    .to_bits(),
+                FieldDistance::Angular.eval(a, b).to_bits()
+            );
+            for t in [0.0, 0.4, 0.5, 1.0] {
+                assert_eq!(
+                    FieldDistance::Angular.distance_at_most(a, b, t, na, nb),
+                    FieldDistance::Angular.eval(a, b) <= t
+                );
+            }
+        }
     }
 
     #[test]

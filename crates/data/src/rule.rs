@@ -10,6 +10,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::dataset::Dataset;
 use crate::distance::FieldDistance;
 use crate::record::{Record, Schema};
 
@@ -70,6 +71,53 @@ impl MatchRule {
             MatchRule::And(subs) => subs.iter().all(|r| r.matches(a, b)),
             MatchRule::Or(subs) => subs.iter().any(|r| r.matches(a, b)),
             MatchRule::WeightedAverage { parts, dthr } => weighted_distance(parts, a, b) <= *dthr,
+        }
+    }
+
+    /// Do records `i` and `j` of `dataset` match under this rule?
+    ///
+    /// Semantically identical to [`MatchRule::matches`] on the two
+    /// records — same verdict for every input, bit for bit — but routed
+    /// through the cached distance kernels: precomputed vector norms
+    /// (`Dataset::field_norm`) and the per-metric threshold fast paths
+    /// ([`FieldDistance::distance_at_most`]). This is the kernel the
+    /// quadratic pairwise verification loop hammers; `matches` remains
+    /// the plain-record path (and the differential-test oracle).
+    pub fn matches_in(&self, dataset: &Dataset, i: u32, j: u32) -> bool {
+        let (a, b) = (dataset.record(i), dataset.record(j));
+        match self {
+            MatchRule::Threshold {
+                field,
+                metric,
+                dthr,
+            } => metric.distance_at_most(
+                a.field(*field),
+                b.field(*field),
+                *dthr,
+                dataset.field_norm(i, *field),
+                dataset.field_norm(j, *field),
+            ),
+            // Same short-circuit order as `matches`.
+            MatchRule::And(subs) => subs.iter().all(|r| r.matches_in(dataset, i, j)),
+            MatchRule::Or(subs) => subs.iter().any(|r| r.matches_in(dataset, i, j)),
+            MatchRule::WeightedAverage { parts, dthr } => {
+                // Same iteration order and summation as `weighted_distance`
+                // (no early exit: a partial-sum cutoff could not reproduce
+                // the exact fold), only the norm lookups are cached.
+                let d: f64 = parts
+                    .iter()
+                    .map(|p| {
+                        p.weight
+                            * p.metric.eval_with_norms(
+                                a.field(p.field),
+                                b.field(p.field),
+                                dataset.field_norm(i, p.field),
+                                dataset.field_norm(j, p.field),
+                            )
+                    })
+                    .sum();
+                d <= *dthr
+            }
         }
     }
 
@@ -235,6 +283,61 @@ mod tests {
         assert!((d - 0.55).abs() < 1e-12);
         let rule = MatchRule::WeightedAverage { parts, dthr: 0.55 };
         assert!(rule.matches(&a, &b));
+    }
+
+    #[test]
+    fn matches_in_equals_matches_all_rule_kinds() {
+        use crate::dataset::Dataset;
+        let schema = two_field_schema();
+        let records: Vec<Record> = (0..6)
+            .map(|i| {
+                let sh: Vec<u64> = (0..(3 + i % 3) as u64)
+                    .map(|t| t + (i as u64 / 2) * 2)
+                    .collect();
+                let ang = (i as f64) * 0.5;
+                rec(&sh, &[ang.cos(), ang.sin()])
+            })
+            .collect();
+        let gt = (0..6).collect();
+        let d = Dataset::new(schema, records, gt);
+        let rules = [
+            MatchRule::threshold(0, FieldDistance::Jaccard, 0.5),
+            MatchRule::threshold(1, FieldDistance::Angular, 0.2),
+            MatchRule::And(vec![
+                MatchRule::threshold(0, FieldDistance::Jaccard, 0.7),
+                MatchRule::threshold(1, FieldDistance::Angular, 0.4),
+            ]),
+            MatchRule::Or(vec![
+                MatchRule::threshold(0, FieldDistance::Jaccard, 0.2),
+                MatchRule::threshold(1, FieldDistance::Angular, 0.3),
+            ]),
+            MatchRule::WeightedAverage {
+                parts: vec![
+                    WeightedPart {
+                        field: 0,
+                        metric: FieldDistance::Jaccard,
+                        weight: 0.6,
+                    },
+                    WeightedPart {
+                        field: 1,
+                        metric: FieldDistance::Angular,
+                        weight: 0.4,
+                    },
+                ],
+                dthr: 0.45,
+            },
+        ];
+        for rule in &rules {
+            for i in 0..6u32 {
+                for j in 0..6u32 {
+                    assert_eq!(
+                        rule.matches_in(&d, i, j),
+                        rule.matches(d.record(i), d.record(j)),
+                        "rule {rule:?} pair ({i},{j})"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

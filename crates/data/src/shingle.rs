@@ -9,6 +9,10 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Size ratio `|large| / |small|` at which [`ShingleSet::intersection_size`]
+/// switches from the linear merge to galloping search.
+pub const GALLOP_RATIO: usize = 8;
+
 /// A set of 64-bit shingle hashes, stored sorted and deduplicated.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ShingleSet(Vec<u64>);
@@ -64,8 +68,32 @@ impl ShingleSet {
         &self.0
     }
 
-    /// Size of the intersection with `other` (single merge pass).
+    /// Size of the intersection with `other`.
+    ///
+    /// Comparable-size inputs use a single merge pass; when one set is at
+    /// least [`GALLOP_RATIO`] times larger, the merge would walk the large
+    /// set element by element, so a galloping search (exponential probe +
+    /// binary search per small-set element, `O(|small| · log |large|)`)
+    /// is used instead. Both paths return the exact same count.
     pub fn intersection_size(&self, other: &Self) -> usize {
+        let (small, large) = if self.0.len() <= other.0.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        if small.0.is_empty() {
+            return 0;
+        }
+        if large.0.len() >= GALLOP_RATIO * small.0.len() {
+            small.intersection_size_galloping(large)
+        } else {
+            small.intersection_size_merge(large)
+        }
+    }
+
+    /// Intersection size via the plain linear merge pass. Exposed so the
+    /// galloping path can be pinned against it in tests and benches.
+    pub fn intersection_size_merge(&self, other: &Self) -> usize {
         let (mut i, mut j, mut n) = (0, 0, 0);
         while i < self.0.len() && j < other.0.len() {
             match self.0[i].cmp(&other.0[j]) {
@@ -76,6 +104,42 @@ impl ShingleSet {
                     i += 1;
                     j += 1;
                 }
+            }
+        }
+        n
+    }
+
+    /// Intersection size via galloping: for each element of `self` (the
+    /// smaller set), probe forward in `other` with doubling steps from
+    /// the last hit position, then binary-search the bracketed run.
+    /// Exposed so tests can pin it against the merge on any size ratio.
+    pub fn intersection_size_galloping(&self, other: &Self) -> usize {
+        let large = &other.0;
+        let (mut lo, mut n) = (0usize, 0usize);
+        for &x in &self.0 {
+            if lo >= large.len() {
+                break;
+            }
+            let pos = if large[lo] >= x {
+                lo
+            } else {
+                // Invariant: large[base] < x. Double the step until the
+                // probe overshoots, then binary-search the bracket.
+                let mut base = lo;
+                let mut step = 1;
+                while base + step < large.len() && large[base + step] < x {
+                    base += step;
+                    step *= 2;
+                }
+                let hi = (base + step).min(large.len());
+                // The first element >= x (if any) lies in (base, hi].
+                base + 1 + large[base + 1..hi].partition_point(|&y| y < x)
+            };
+            if pos < large.len() && large[pos] == x {
+                n += 1;
+                lo = pos + 1;
+            } else {
+                lo = pos;
             }
         }
         n
@@ -97,6 +161,34 @@ impl ShingleSet {
     /// component in this workspace consumes.
     pub fn jaccard_distance(&self, other: &Self) -> f64 {
         1.0 - self.jaccard_similarity(other)
+    }
+
+    /// Threshold check `jaccard_distance(other) <= dthr` with a size-ratio
+    /// early exit: the similarity is at most `min(|A|,|B|) / max(|A|,|B|)`
+    /// (the intersection is bounded by the smaller set, the union by the
+    /// larger), so when that bound already falls below the required
+    /// similarity the sets cannot match and the intersection is never
+    /// computed.
+    ///
+    /// The early exit is evaluated with the same rounding-monotone
+    /// operations (`/`, `1.0 −`, `<=`) as the exact path, so it fires only
+    /// when the exact comparison is guaranteed to fail: the result is
+    /// **bit-identical** to `jaccard_distance(other) <= dthr` for every
+    /// input, including empty sets and thresholds of exactly 0 or 1.
+    pub fn jaccard_at_most(&self, other: &Self, dthr: f64) -> bool {
+        if self.is_empty() && other.is_empty() {
+            // Distance defined as 0 for two empty sets.
+            return 0.0 <= dthr;
+        }
+        let small = self.0.len().min(other.0.len());
+        let large = self.0.len().max(other.0.len());
+        // similarity <= small/large, and x -> 1.0 - x, / are monotone under
+        // IEEE round-to-nearest, so this bound exceeding dthr implies the
+        // exact distance does too.
+        if 1.0 - (small as f64 / large as f64) > dthr {
+            return false;
+        }
+        self.jaccard_distance(other) <= dthr
     }
 }
 
@@ -186,6 +278,116 @@ mod tests {
         assert_eq!(s.len(), 1);
         let e = ShingleSet::word_shingles("   ", 3);
         assert!(e.is_empty());
+    }
+
+    /// Simple deterministic pseudo-random stream for test data.
+    fn lcg(seed: u64) -> impl FnMut() -> u64 {
+        let mut s = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        move || {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            s >> 16
+        }
+    }
+
+    #[test]
+    fn galloping_equals_merge_random_sets() {
+        let mut rng = lcg(42);
+        for case in 0..200 {
+            let la = (case % 37) + 1;
+            let lb = ((case * 7) % 211) + 1;
+            let modulus = 1 + (case as u64 % 97) * 4;
+            let a = ShingleSet::new((0..la).map(|_| rng() % modulus).collect());
+            let b = ShingleSet::new((0..lb).map(|_| rng() % modulus).collect());
+            assert_eq!(
+                a.intersection_size_galloping(&b),
+                a.intersection_size_merge(&b),
+                "case {case}: a={:?} b={:?}",
+                a.shingles(),
+                b.shingles()
+            );
+            assert_eq!(a.intersection_size(&b), a.intersection_size_merge(&b));
+            assert_eq!(b.intersection_size(&a), a.intersection_size_merge(&b));
+        }
+    }
+
+    #[test]
+    fn galloping_equals_merge_adversarial_sets() {
+        let nested_small = ShingleSet::new((0..8).map(|i| i * 100).collect());
+        let nested_large = ShingleSet::new((0..800).collect());
+        let disjoint_low = ShingleSet::new((0..16).collect());
+        let disjoint_high = ShingleSet::new((1000..1600).collect());
+        let interleaved = ShingleSet::new((0..500).map(|i| i * 2).collect());
+        let odd = ShingleSet::new((0..50).map(|i| i * 2 + 1).collect());
+        let empty = ShingleSet::new(vec![]);
+        let single = ShingleSet::new(vec![250]);
+        let cases = [
+            (&nested_small, &nested_large),  // small fully contained
+            (&disjoint_low, &disjoint_high), // disjoint, all-below
+            (&disjoint_high, &disjoint_low), // disjoint, all-above
+            (&odd, &interleaved),            // duplicate-free interleave, no hits
+            (&single, &interleaved),         // one element, found mid-run
+            (&empty, &nested_large),         // empty small side
+        ];
+        for (a, b) in cases {
+            assert_eq!(
+                a.intersection_size_galloping(b),
+                a.intersection_size_merge(b),
+                "a={:?} b={:?}",
+                a.shingles(),
+                b.shingles()
+            );
+            assert_eq!(a.intersection_size(b), b.intersection_size(a));
+        }
+    }
+
+    #[test]
+    fn gallop_ratio_dispatch_is_invisible() {
+        // Straddle the dispatch boundary: |large| = 8 * |small| ± 1.
+        let small = ShingleSet::new(vec![3, 80, 161]);
+        for n in [23usize, 24, 25] {
+            let large = ShingleSet::new((0..n as u64).map(|i| i * 7).collect());
+            assert_eq!(
+                small.intersection_size(&large),
+                small.intersection_size_merge(&large)
+            );
+        }
+    }
+
+    #[test]
+    fn jaccard_at_most_equals_exact_check() {
+        let mut rng = lcg(7);
+        let thresholds = [0.0, 0.1, 0.4, 0.6, 0.9, 1.0];
+        for case in 0..120 {
+            let la = case % 31;
+            let lb = (case * 11) % 257;
+            let a = ShingleSet::new((0..la).map(|_| rng() % 64).collect());
+            let b = ShingleSet::new((0..lb).map(|_| rng() % 64).collect());
+            for &t in &thresholds {
+                assert_eq!(
+                    a.jaccard_at_most(&b, t),
+                    a.jaccard_distance(&b) <= t,
+                    "case {case} thr {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn jaccard_at_most_size_ratio_exit() {
+        // |A| = 2, |B| = 40: similarity can be at most 0.05, so a 0.5
+        // threshold (requiring similarity >= 0.5) must fail even though
+        // A ⊂ B.
+        let a = ShingleSet::new(vec![0, 1]);
+        let b = ShingleSet::new((0..40).collect());
+        assert!(!a.jaccard_at_most(&b, 0.5));
+        assert!(a.jaccard_at_most(&b, 0.95));
+        // Empty-set edge cases.
+        let e = ShingleSet::new(vec![]);
+        assert!(e.jaccard_at_most(&e.clone(), 0.0));
+        assert!(!e.jaccard_at_most(&a, 0.99));
+        assert!(e.jaccard_at_most(&a, 1.0));
     }
 
     #[test]

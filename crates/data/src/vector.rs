@@ -66,7 +66,17 @@ impl DenseVector {
     /// no direction, and treating them as maximally distant would make a
     /// single empty histogram poison transitive closure.
     pub fn angle_degrees(&self, other: &Self) -> f64 {
-        let denom = self.norm() * other.norm();
+        self.angle_degrees_with_norms(other, self.norm(), other.norm())
+    }
+
+    /// [`DenseVector::angle_degrees`] with the two norms supplied by the
+    /// caller. The quadratic pairwise loop evaluates `O(n²)` angles over
+    /// `n` vectors; precomputing each vector's norm once (see
+    /// `Dataset::field_norm`) removes two of the three dot products per
+    /// pair. Passing `self.norm()` / `other.norm()` reproduces
+    /// [`DenseVector::angle_degrees`] bit-for-bit.
+    pub fn angle_degrees_with_norms(&self, other: &Self, self_norm: f64, other_norm: f64) -> f64 {
+        let denom = self_norm * other_norm;
         if denom == 0.0 {
             return 0.0;
         }
@@ -79,7 +89,51 @@ impl DenseVector {
     pub fn angular_distance(&self, other: &Self) -> f64 {
         self.angle_degrees(other) / 180.0
     }
+
+    /// Threshold fast path: `angular_distance(other) <= dthr`, decided in
+    /// **cosine space** whenever that is safe. `acos` is monotone
+    /// decreasing, so `θ/180 ≤ dthr ⟺ cos θ ≥ cos(dthr·π)`; comparing
+    /// cosines skips the `acos` that otherwise runs on every pair of the
+    /// quadratic verification loop. Within a guard band of
+    /// [`COS_GUARD`] around the threshold cosine — where rounding of the
+    /// forward (`cos`) and inverse (`acos`, `to_degrees`, `/ 180`)
+    /// transforms could disagree — the exact kernel decides instead, so
+    /// the verdict is **bit-identical** to evaluating the distance and
+    /// comparing. The band is ~10⁵ wider than the few-ulp error of
+    /// either transform, and `acos`'s sensitivity near `cos = ±1` only
+    /// widens the true angle gap, never narrows it.
+    pub fn angular_at_most_with_norms(
+        &self,
+        other: &Self,
+        dthr: f64,
+        self_norm: f64,
+        other_norm: f64,
+    ) -> bool {
+        let denom = self_norm * other_norm;
+        if denom == 0.0 {
+            // `angle_degrees` defines zero vectors to be at distance 0.
+            return 0.0 <= dthr;
+        }
+        if !(0.0..=1.0).contains(&dthr) {
+            // Out-of-range thresholds (the distance is always in [0, 1]).
+            return dthr >= 1.0;
+        }
+        let cos = (self.dot(other) / denom).clamp(-1.0, 1.0);
+        let cos_thr = (dthr * std::f64::consts::PI).cos();
+        if cos >= cos_thr + COS_GUARD {
+            return true;
+        }
+        if cos <= cos_thr - COS_GUARD {
+            return false;
+        }
+        self.angle_degrees_with_norms(other, self_norm, other_norm) / 180.0 <= dthr
+    }
 }
+
+/// Guard-band half-width (in cosine units) inside which
+/// [`DenseVector::angular_at_most_with_norms`] falls back to the exact
+/// `acos` kernel. See that method for the safety argument.
+pub const COS_GUARD: f64 = 1e-9;
 
 /// Converts a threshold expressed in degrees to the normalized distance
 /// in `[0, 1]` used by [`DenseVector::angular_distance`] and by the LSH
@@ -146,6 +200,61 @@ mod tests {
         let a = v(&[1.0, 2.0]);
         let z = v(&[0.0, 0.0]);
         assert_eq!(a.angle_degrees(&z), 0.0);
+    }
+
+    #[test]
+    fn cached_norms_are_bit_identical() {
+        let pairs = [
+            ([3.0, 4.0], [1.0, 0.0]),
+            ([0.1, -0.7], [-0.3, 0.9]),
+            ([1e-8, 2e-8], [5e7, -1e7]),
+            ([0.0, 0.0], [1.0, 1.0]),
+        ];
+        for (a, b) in pairs {
+            let (a, b) = (v(&a), v(&b));
+            let direct = a.angle_degrees(&b);
+            let cached = a.angle_degrees_with_norms(&b, a.norm(), b.norm());
+            assert_eq!(direct.to_bits(), cached.to_bits());
+        }
+    }
+
+    #[test]
+    fn angular_at_most_equals_exact_check() {
+        // A deterministic sweep of directions, plus degenerate vectors.
+        let mut vs: Vec<DenseVector> = (0..12)
+            .map(|i| {
+                let t = i as f64 * 0.53;
+                v(&[t.cos(), t.sin(), (t * 1.7).cos() * 0.4])
+            })
+            .collect();
+        vs.push(v(&[0.0, 0.0, 0.0]));
+        vs.push(v(&[1e-12, 0.0, 0.0]));
+        for a in &vs {
+            for b in &vs {
+                let (na, nb) = (a.norm(), b.norm());
+                let exact = a.angular_distance(b);
+                // Thresholds away from, *at*, and tightly around the
+                // exact distance — the last ones land inside the guard
+                // band and must take the exact-kernel fallback.
+                let thresholds = [
+                    0.0,
+                    0.25,
+                    1.0,
+                    exact,
+                    (exact - 1e-14).clamp(0.0, 1.0),
+                    (exact + 1e-14).clamp(0.0, 1.0),
+                    -0.5,
+                    1.5,
+                ];
+                for t in thresholds {
+                    assert_eq!(
+                        a.angular_at_most_with_norms(b, t, na, nb),
+                        exact <= t,
+                        "a={a:?} b={b:?} t={t}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]
