@@ -27,10 +27,51 @@ echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> cargo build --release"
-cargo build --release
+cargo build --release --workspace
 
 echo "==> cargo test -q"
 cargo test -q --workspace
+
+echo "==> cargo doc --no-deps (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
+
+echo "==> serve smoke"
+# Boot the service on an ephemeral port, hit /healthz and /topk over raw
+# TCP (bash /dev/tcp: no curl dependency), and shut it down.
+serve_smoke() {
+    local data log addr pid
+    data=$(mktemp /tmp/adalsh-serve-smoke-XXXXXX.jsonl)
+    log=$(mktemp /tmp/adalsh-serve-smoke-XXXXXX.log)
+    ./target/release/adalsh generate spotsigs --out "$data" \
+        --records 200 --entities 30 >/dev/null
+    ./target/release/adalsh serve "$data" --addr 127.0.0.1:0 >"$log" &
+    pid=$!
+    trap 'kill "$pid" 2>/dev/null || true' RETURN
+    # Wait for the bound-address announcement.
+    for _ in $(seq 1 100); do
+        addr=$(sed -n 's#^listening on http://##p' "$log")
+        [ -n "$addr" ] && break
+        sleep 0.1
+    done
+    [ -n "$addr" ] || { echo "serve never announced its address" >&2; cat "$log" >&2; return 1; }
+    local host=${addr%:*} port=${addr##*:}
+
+    exec 3<>"/dev/tcp/$host/$port"
+    printf 'GET /healthz HTTP/1.1\r\nHost: smoke\r\n\r\n' >&3
+    grep -q '"status":"ok"' <&3 || { echo "/healthz failed" >&2; return 1; }
+    exec 3<&- 3>&-
+
+    exec 3<>"/dev/tcp/$host/$port"
+    printf 'GET /topk?k=2 HTTP/1.1\r\nHost: smoke\r\n\r\n' >&3
+    grep -q '"clusters":' <&3 || { echo "/topk failed" >&2; return 1; }
+    exec 3<&- 3>&-
+
+    # Clean shutdown.
+    kill "$pid"
+    wait "$pid" 2>/dev/null || true
+    rm -f "$data" "$log"
+}
+serve_smoke
 
 if [ "$bench_smoke" = 1 ]; then
     echo "==> bench_pairwise --smoke"

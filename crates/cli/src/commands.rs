@@ -1,15 +1,18 @@
 //! The CLI subcommands.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use adalsh_core::algorithm::{AdaLsh, AdaLshConfig, FilterMethod, FilterOutput};
 use adalsh_core::baselines::{LshBlocking, Pairs};
 use adalsh_core::metrics::{map_mar, reduction_pct, set_metrics};
 use adalsh_core::recovery::perfect_recovery;
+use adalsh_core::OnlineAdaLsh;
 use adalsh_data::{io as dio, Dataset};
 use adalsh_datagen::popimages::PopImagesConfig;
 use adalsh_datagen::spotsigs::SpotSigsConfig;
 use adalsh_datagen::CoraConfig;
+use adalsh_serve::{ServeSnapshot, Server, ServerConfig, Service};
 
 use crate::args::Args;
 use crate::rules;
@@ -134,6 +137,57 @@ pub fn evaluate(args: &Args) -> Result<(), String> {
     println!("mAP / mAR:         {map:.4} / {mar:.4}");
     println!("with recovery:     {map_r:.4} / {mar_r:.4}");
     Ok(())
+}
+
+/// `adalsh serve <bootstrap.jsonl> [--addr A] [--rule spec] …` or
+/// `adalsh serve --resume <snapshot.json> [--addr A] …`
+///
+/// Boots the online resolution service. A fresh start bootstraps the
+/// engine design from the dataset file; `--resume` restores records and
+/// hash states from a `POST /snapshot` file instead (the match rule is
+/// taken from the snapshot, so already-hashed records are never
+/// re-hashed). Prints `listening on http://<addr>` once ready — with
+/// `--addr 127.0.0.1:0` the line reveals the ephemeral port.
+pub fn serve(args: &Args) -> Result<(), String> {
+    let addr = args.flag("addr").unwrap_or("127.0.0.1:8080");
+    let workers: usize = args.flag_or("workers", 4usize)?;
+    let threads: usize = args.flag_or("threads", 0usize)?;
+    let snapshot_out = args.flag("snapshot-out").map(PathBuf::from);
+
+    let (resolver, rule) = if let Some(path) = args.flag("resume") {
+        let snapshot = ServeSnapshot::load(Path::new(path))?;
+        let rule = snapshot.rule.clone();
+        let mut config = AdaLshConfig::new(rule.clone());
+        if threads > 0 {
+            config.threads = threads;
+        }
+        let resolver = snapshot.restore(config)?;
+        println!("resumed {} records from {path}", resolver.len());
+        (resolver, rule)
+    } else {
+        let dataset = load(args)?;
+        let rule = rules::resolve(args.flag("rule"), &dataset)?;
+        let mut config = AdaLshConfig::new(rule.clone());
+        if threads > 0 {
+            config.threads = threads;
+        }
+        let resolver = OnlineAdaLsh::new(&dataset, config)?;
+        println!("bootstrapped engine from {} records", resolver.len());
+        (resolver, rule)
+    };
+
+    let service = Arc::new(Service::new(resolver, rule, snapshot_out));
+    let config = ServerConfig {
+        workers,
+        ..ServerConfig::default()
+    };
+    let server = Server::start(service, addr, config).map_err(|e| format!("bind {addr}: {e}"))?;
+    println!("listening on http://{}", server.local_addr());
+    // Serve until the process is terminated (`park` tolerates spurious
+    // wake-ups; there is nothing else for the main thread to do).
+    loop {
+        std::thread::park();
+    }
 }
 
 fn load(args: &Args) -> Result<Dataset, String> {

@@ -5,6 +5,8 @@
 //! adalsh info <data.jsonl>
 //! adalsh filter <data.jsonl> --k K [--method adalsh|pairs|lshX] [--rule …] [--out clusters.json]
 //! adalsh evaluate <data.jsonl> --k K [--method …] [--khat K2] [--rule …]
+//! adalsh serve <bootstrap.jsonl> [--addr 127.0.0.1:8080] [--rule …] [--snapshot-out s.json]
+//! adalsh serve --resume s.json [--addr …]
 //! ```
 //!
 //! Rule selection (`--rule`): `jaccard:<dthr>` or `angular:<degrees>`
@@ -26,6 +28,16 @@ USAGE:
   adalsh info <data.jsonl>
   adalsh filter <data.jsonl> --k <K> [--method adalsh|pairs|lsh<X>] [--rule <spec>] [--threads <N>] [--out <file>]
   adalsh evaluate <data.jsonl> --k <K> [--khat <K2>] [--method <m>] [--rule <spec>] [--threads <N>]
+  adalsh serve <bootstrap.jsonl> [--addr <host:port>] [--rule <spec>] [--snapshot-out <file>]
+               [--workers <N>] [--threads <N>]
+  adalsh serve --resume <snapshot.json> [--addr <host:port>] [--workers <N>] [--threads <N>]
+
+SERVE:
+  Boots the online top-k resolution HTTP service (POST /ingest,
+  GET /topk?k=N, GET /healthz, GET /metrics, POST /snapshot). A fresh
+  start designs the engine from the bootstrap dataset; --resume restores
+  a POST /snapshot file without re-hashing any record. --addr with port
+  0 picks an ephemeral port (printed on stdout once bound).
 
 RULE SPECS:
   jaccard:<dthr>     Jaccard distance threshold on field 0 (e.g. jaccard:0.6)
@@ -57,6 +69,7 @@ fn main() {
         "info" => commands::info(&args),
         "filter" => commands::filter(&args),
         "evaluate" => commands::evaluate(&args),
+        "serve" => commands::serve(&args),
         other => Err(format!("unknown command '{other}'")),
     };
     if let Err(e) = result {

@@ -165,6 +165,64 @@ fn thread_count_does_not_change_results() {
 }
 
 #[test]
+fn serve_boots_answers_health_and_topk_and_dies_cleanly() {
+    use std::io::{BufRead, BufReader, Read, Write};
+    use std::net::TcpStream;
+
+    let data = tmpfile("serve.jsonl");
+    generate(&data);
+
+    let mut child = bin()
+        .args([
+            "serve",
+            data.to_str().unwrap(),
+            "--addr",
+            "127.0.0.1:0",
+            "--rule",
+            "jaccard:0.6",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+
+    // The server prints its bound address once ready; with port 0 this
+    // is the only way to learn the ephemeral port.
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let addr = loop {
+        let line = lines
+            .next()
+            .expect("serve exited before announcing its address")
+            .expect("read stdout");
+        if let Some(rest) = line.strip_prefix("listening on http://") {
+            break rest.to_string();
+        }
+    };
+
+    let http = |raw: String| -> String {
+        let mut stream = TcpStream::connect(&addr).expect("connect");
+        stream.write_all(raw.as_bytes()).expect("send");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("receive");
+        response
+    };
+
+    let health = http("GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n".to_string());
+    assert!(health.starts_with("HTTP/1.1 200"), "{health}");
+    assert!(health.contains("\"records\":300"), "{health}");
+
+    let topk = http("GET /topk?k=2 HTTP/1.1\r\nHost: t\r\n\r\n".to_string());
+    assert!(topk.starts_with("HTTP/1.1 200"), "{topk}");
+    assert!(topk.contains("\"clusters\":"), "{topk}");
+
+    let metrics = http("GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n".to_string());
+    assert!(metrics.contains("adalsh_requests_total"), "{metrics}");
+
+    child.kill().expect("kill serve");
+    child.wait().expect("reap serve");
+}
+
+#[test]
 fn unknown_command_fails_cleanly() {
     let out = bin().args(["frobnicate"]).output().expect("run");
     assert!(!out.status.success());

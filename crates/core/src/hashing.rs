@@ -11,17 +11,20 @@
 //! table counts are nondecreasing along the sequence (`wᵢ ≤ wᵢ₊₁`,
 //! `zᵢ ≤ zᵢ₊₁`, §4.1) — so advancing a record from level `i−1` to `i`
 //! evaluates only the *new* hash functions. Per-record state is one u64
-//! accumulator per table ([`RecordHashState`]); the accumulator folds the
-//! table's hash values in a fixed order, so two records share a bucket at
-//! level `i` exactly when all their table-`t` values agree (up to a
-//! 2⁻⁶⁴ mixing collision, which merely merges two clusters — harmless for
-//! a conservative filter).
+//! accumulator per table per completed level ([`RecordHashState`]); the
+//! accumulator folds the table's hash values in a fixed order, so two
+//! records share a bucket at level `i` exactly when all their table-`t`
+//! values agree (up to a 2⁻⁶⁴ mixing collision, which merely merges two
+//! clusters — harmless for a conservative filter). Completed levels stay
+//! addressable ([`SequenceHasher::keys`]) so a later run re-applying an
+//! earlier sequence function to an already-deep record is a free lookup.
 
 use adalsh_data::{FieldDistance, Record};
 use adalsh_lsh::mix::{combine, derive_seed, splitmix64};
 use adalsh_lsh::multifield::WeightedSelection;
 use adalsh_lsh::scheme::WzScheme;
 use adalsh_lsh::{HyperplaneFamily, MinHashFamily};
+use serde::{Deserialize, Serialize};
 
 use crate::stats::Stats;
 
@@ -217,18 +220,42 @@ impl HashPart {
     }
 }
 
-/// Per-record incremental hash state: the current level and one
-/// accumulator per table, grouped as the scheme dictates.
+/// Per-record incremental hash state: the deepest level applied so far
+/// and the finalized table accumulators of **every** completed level.
+///
+/// Keeping each level's accumulators (rather than only the deepest —
+/// lower-level tables are extended in place as levels advance, so they
+/// are not recoverable after the fact) is what lets a *later* run
+/// re-apply an earlier sequence function to an already-deep record as a
+/// free lookup: repeated top-k queries over a growing dataset start
+/// from `H₁` every time, and Property 4's "never recompute a hash
+/// value" promise has to hold for every level, not just the frontier.
+/// The cost is one `u64` per table per completed level per record.
 ///
 /// `PartialEq` compares the full state (level and every accumulator) —
 /// the equality the batched/scalar differential tests rely on.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// The state is serde-serializable so a snapshot of an online resolver
+/// carries the raw hash work already spent on each record across a
+/// restart (accumulators are exact `u64`s; nothing is re-derived on
+/// load).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RecordHashState {
-    /// Last sequence level applied to this record (0 = none).
+    /// Deepest sequence level applied to this record (0 = none).
     pub level: u16,
-    /// Accumulators: `groups[g][t]` for group `g`, table `t`.
-    /// `Shared` schemes use a single group; `PerPart` one per part.
-    groups: Vec<Vec<u64>>,
+    /// `history[l - 1]` holds the accumulators after completing level
+    /// `l`: `history[l - 1][g][t]` for group `g`, table `t`. `Shared`
+    /// schemes use a single group; `PerPart` one per part.
+    history: Vec<Vec<Vec<u64>>>,
+}
+
+impl RecordHashState {
+    /// True when the accumulator history matches the claimed level —
+    /// the invariant [`SequenceHasher::keys`] relies on. Deserialized
+    /// states (snapshot resume) must be checked before use.
+    pub fn is_well_formed(&self) -> bool {
+        self.history.len() == self.level as usize
+    }
 }
 
 /// Precomputed work-list for advancing one level (`lvl−1 → lvl`): the
@@ -535,7 +562,9 @@ impl SequenceHasher {
     }
 
     /// Advances a record's state to `to_level` (1-based), evaluating only
-    /// the hash functions not yet applied. No-op if already there.
+    /// the hash functions not yet applied. No-op if already at or past
+    /// `to_level` — re-applying an earlier level costs nothing, its keys
+    /// are served from the state's history.
     ///
     /// Levels are applied one at a time so every record folds its table
     /// accumulators in the same canonical order — a record advanced
@@ -551,7 +580,7 @@ impl SequenceHasher {
     /// [`SequenceHasher::advance_scalar`].
     ///
     /// # Panics
-    /// Panics if `to_level` is out of range or behind the record's level.
+    /// Panics if `to_level` is out of range.
     pub fn advance(
         &self,
         record: &Record,
@@ -567,7 +596,7 @@ impl SequenceHasher {
     /// buffers — the form hot loops (one scratch per worker thread) use.
     ///
     /// # Panics
-    /// Panics if `to_level` is out of range or behind the record's level.
+    /// Panics if `to_level` is out of range.
     pub fn advance_with_scratch(
         &self,
         record: &Record,
@@ -581,7 +610,8 @@ impl SequenceHasher {
             "level out of range"
         );
         let from = state.level as usize;
-        assert!(from <= to_level, "hash state cannot move backwards");
+        // Already at or past `to_level`: nothing to evaluate — the
+        // target level's keys are served from the state's history.
         for lvl in (from + 1)..=to_level {
             self.advance_one_batched(record, state, lvl, stats, scratch);
         }
@@ -598,9 +628,15 @@ impl SequenceHasher {
     ) {
         debug_assert_eq!(state.level as usize + 1, to_level);
         let plan = &self.plans[to_level - 1];
-        if state.groups.is_empty() {
-            state.groups = vec![Vec::new(); plan.groups.len()];
-        }
+        // This level's accumulators start as a copy of the previous
+        // level's (existing tables are extended, fresh ones appended);
+        // the previous entry stays untouched so its keys remain servable.
+        let prev = match state.history.last() {
+            Some(g) => g.clone(),
+            None => vec![Vec::new(); plan.groups.len()],
+        };
+        state.history.push(prev);
+        let groups = state.history.last_mut().expect("just pushed");
         for (g, gp) in plan.groups.iter().enumerate() {
             scratch.vals.clear();
             scratch.vals.resize(gp.total, 0);
@@ -670,7 +706,7 @@ impl SequenceHasher {
             // the scalar path uses: existing tables first (new function
             // range per part), then fresh tables (full widths), parts in
             // order within each table.
-            let accs = &mut state.groups[g];
+            let accs = &mut groups[g];
             debug_assert_eq!(accs.len(), gp.z_from as usize);
             scratch.cursors.clear();
             scratch.cursors.extend(gp.parts.iter().map(|pp| pp.offset));
@@ -708,7 +744,7 @@ impl SequenceHasher {
     /// paths.
     ///
     /// # Panics
-    /// Panics if `to_level` is out of range or behind the record's level.
+    /// Panics if `to_level` is out of range.
     pub fn advance_scalar(
         &self,
         record: &Record,
@@ -721,7 +757,6 @@ impl SequenceHasher {
             "level out of range"
         );
         let from = state.level as usize;
-        assert!(from <= to_level, "hash state cannot move backwards");
         for lvl in (from + 1)..=to_level {
             self.advance_one(record, state, lvl, stats);
         }
@@ -737,6 +772,9 @@ impl SequenceHasher {
     ) {
         let from = state.level as usize;
         debug_assert_eq!(from + 1, to_level);
+        // As in the batched path: extend a copy of the previous level's
+        // accumulators so every completed level stays servable.
+        let mut groups = state.history.last().cloned().unwrap_or_default();
         match &self.levels[to_level - 1] {
             LevelScheme::Shared { ws, z } => {
                 let (ws_from, z_from) = if from == 0 {
@@ -747,14 +785,14 @@ impl SequenceHasher {
                         LevelScheme::PerPart { .. } => unreachable!("structure is uniform"),
                     }
                 };
-                if state.groups.is_empty() {
-                    state.groups.push(Vec::new());
+                if groups.is_empty() {
+                    groups.push(Vec::new());
                 }
                 let ws = ws.clone();
                 let z = *z;
                 Self::extend_group(
                     &self.parts,
-                    &mut state.groups[0],
+                    &mut groups[0],
                     record,
                     &ws_from,
                     z_from,
@@ -773,8 +811,8 @@ impl SequenceHasher {
                         LevelScheme::Shared { .. } => unreachable!("structure is uniform"),
                     }
                 };
-                if state.groups.is_empty() {
-                    state.groups = vec![Vec::new(); to_parts.len()];
+                if groups.is_empty() {
+                    groups = vec![Vec::new(); to_parts.len()];
                 }
                 let to_parts = to_parts.clone();
                 for (p, to_s) in to_parts.iter().enumerate() {
@@ -786,7 +824,7 @@ impl SequenceHasher {
                     let part = &self.parts[p..=p];
                     Self::extend_group(
                         part,
-                        &mut state.groups[p],
+                        &mut groups[p],
                         record,
                         &[w_from],
                         z_from,
@@ -798,6 +836,7 @@ impl SequenceHasher {
                 }
             }
         }
+        state.history.push(groups);
         state.level = to_level as u16;
     }
 
@@ -841,22 +880,32 @@ impl SequenceHasher {
         }
     }
 
-    /// Bucket keys of a record at its current level: `(table_tag, key)`
-    /// pairs, where `table_tag` is unique per (group, table).
+    /// Bucket keys of a record at any *completed* level: `(table_tag,
+    /// key)` pairs, where `table_tag` is unique per (group, table).
+    /// Earlier levels stay addressable after the record advances — a
+    /// later run re-applying `H₁` to a deep record reads the persisted
+    /// level-1 keys instead of re-hashing.
     ///
     /// # Panics
-    /// Panics if the state's level does not match `level`.
+    /// Panics if `level` is 0 or beyond the record's current level.
     pub fn keys<'s>(
         &self,
         state: &'s RecordHashState,
         level: usize,
     ) -> impl Iterator<Item = (u64, u64)> + 's {
-        assert_eq!(state.level as usize, level, "state not at requested level");
-        state.groups.iter().enumerate().flat_map(|(g, accs)| {
-            accs.iter()
-                .enumerate()
-                .map(move |(t, &acc)| ((g as u64) << 32 | t as u64, acc))
-        })
+        assert!(
+            (1..=state.level as usize).contains(&level),
+            "level {level} not yet applied to this record (state at {})",
+            state.level
+        );
+        state.history[level - 1]
+            .iter()
+            .enumerate()
+            .flat_map(|(g, accs)| {
+                accs.iter()
+                    .enumerate()
+                    .map(move |(t, &acc)| ((g as u64) << 32 | t as u64, acc))
+            })
     }
 }
 
@@ -994,6 +1043,47 @@ mod tests {
         let ka: Vec<_> = h.keys(&sa, 2).collect();
         let kb: Vec<_> = h.keys(&sb, 2).collect();
         assert_eq!(ka, kb);
+    }
+
+    /// A record advanced straight to level 3 must serve the same level-1
+    /// and level-2 keys as records stopped at those levels: completed
+    /// levels stay addressable from the history, which is what lets a
+    /// later query re-apply an earlier sequence function for free.
+    #[test]
+    fn earlier_level_keys_stay_readable_after_advancing() {
+        let r = shingle_record(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        let h = SequenceHasher::new(vec![HashPart::shingles(0, 5)], shared_levels());
+        let mut st = Stats::default();
+        let mut deep = RecordHashState::default();
+        h.advance(&r, &mut deep, 3, &mut st);
+        for lvl in 1..=2 {
+            let mut shallow = RecordHashState::default();
+            h.advance(&r, &mut shallow, lvl, &mut st);
+            assert_eq!(
+                h.keys(&deep, lvl).collect::<Vec<_>>(),
+                h.keys(&shallow, lvl).collect::<Vec<_>>(),
+                "level {lvl} keys must survive deeper advancement"
+            );
+        }
+    }
+
+    /// Re-applying any already-completed level is a free no-op — the
+    /// state is untouched and no hash function is evaluated.
+    #[test]
+    fn re_advancing_to_a_completed_level_is_free() {
+        let r = shingle_record(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        let h = SequenceHasher::new(vec![HashPart::shingles(0, 5)], shared_levels());
+        let mut st = Stats::default();
+        let mut s = RecordHashState::default();
+        h.advance(&r, &mut s, 3, &mut st);
+        let frozen = s.clone();
+        let evals = st.hash_evals;
+        for lvl in 1..=3 {
+            h.advance(&r, &mut s, lvl, &mut st);
+            h.advance_scalar(&r, &mut s, lvl, &mut st);
+        }
+        assert_eq!(s, frozen, "no-op advances must not mutate the state");
+        assert_eq!(st.hash_evals, evals, "and must not evaluate anything");
     }
 
     #[test]
@@ -1182,6 +1272,24 @@ mod tests {
     }
 
     #[test]
+    fn state_serde_roundtrip_is_exact() {
+        let r = shingle_record(&[1, 5, 9, 42, 77]);
+        let h = SequenceHasher::new(vec![HashPart::shingles(0, 11)], shared_levels());
+        let mut s = RecordHashState::default();
+        let mut st = Stats::default();
+        h.advance(&r, &mut s, 2, &mut st);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: RecordHashState = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s, "restored state must be bit-identical");
+        // A restored state advances exactly like the original.
+        let mut st2 = Stats::default();
+        let (mut a, mut b) = (s.clone(), back);
+        h.advance(&r, &mut a, 3, &mut st);
+        h.advance(&r, &mut b, 3, &mut st2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
     #[should_panic(expected = "nondecreasing")]
     fn shrinking_levels_rejected() {
         let _ = SequenceHasher::new(
@@ -1193,15 +1301,17 @@ mod tests {
         );
     }
 
+    /// A state whose claimed level exceeds its history (corrupt or
+    /// hand-edited) is detectable before use.
     #[test]
-    #[should_panic(expected = "cannot move backwards")]
-    fn backwards_advance_rejected() {
+    fn corrupt_level_is_not_well_formed() {
         let r = shingle_record(&[1]);
         let h = SequenceHasher::new(vec![HashPart::shingles(0, 1)], shared_levels());
         let mut s = RecordHashState::default();
         let mut st = Stats::default();
         h.advance(&r, &mut s, 2, &mut st);
+        assert!(s.is_well_formed());
         s.level = 3; // simulate corruption
-        h.advance(&r, &mut s, 2, &mut st);
+        assert!(!s.is_well_formed());
     }
 }

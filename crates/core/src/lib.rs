@@ -43,6 +43,6 @@ pub mod transitive;
 pub use algorithm::{AdaLsh, AdaLshConfig, FilterOutput, SelectionStrategy};
 pub use baselines::{LshBlocking, Pairs};
 pub use cost::CostModel;
-pub use online::OnlineAdaLsh;
+pub use online::{OnlineAdaLsh, OnlineSnapshot};
 pub use sequence::{design, BudgetStrategy, SequenceSpec};
 pub use stats::Stats;

@@ -14,21 +14,61 @@
 //! batch semantics of fresh tables per invocation are preserved exactly,
 //! so every answer equals what the batch algorithm would return on the
 //! same snapshot).
+//!
+//! The resolver maintains its snapshot [`Dataset`] **incrementally**:
+//! each [`OnlineAdaLsh::push`] appends one record (and its cached field
+//! norm) in place, and [`OnlineAdaLsh::query`] borrows that dataset —
+//! steady-state queries pay no per-query copy of the record vectors.
+//!
+//! For long-lived services the full resolver state round-trips through
+//! an [`OnlineSnapshot`]: records, labels, per-record hash states, and
+//! the bootstrap prefix the engine was designed from. Restoring with
+//! [`OnlineAdaLsh::from_snapshot`] under the same configuration rebuilds
+//! an identical engine (sequence design and seeds are deterministic in
+//! the bootstrap data and config), so no hash value is ever recomputed
+//! for an already-hashed record.
 
 use adalsh_data::{Dataset, Record, Schema};
+use serde::{Deserialize, Serialize};
 
 use crate::algorithm::{AdaLsh, AdaLshConfig, FilterOutput};
 use crate::hashing::RecordHashState;
 
+/// Ground-truth label attached to records ingested online (their entity
+/// is unknown; labels are never consulted by the filter itself).
+const UNKNOWN_ENTITY: u32 = u32::MAX;
+
 /// An online top-k resolver over a stream of records.
 pub struct OnlineAdaLsh {
     engine: AdaLsh,
-    schema: Schema,
-    records: Vec<Record>,
-    /// Ground-truth labels are optional in online use; we keep a dummy
-    /// label per record to satisfy [`Dataset`]'s invariants.
-    labels: Vec<u32>,
+    config: AdaLshConfig,
+    /// The first `bootstrap_len` records seeded the engine design.
+    bootstrap_len: usize,
+    /// Current snapshot, grown in place on every push.
+    dataset: Dataset,
     states: Vec<RecordHashState>,
+}
+
+/// The full serializable state of an [`OnlineAdaLsh`]: everything needed
+/// to resume resolution after a restart without re-hashing any record.
+///
+/// The engine itself (hash families, sequence design, cost model) is
+/// *not* stored: it is a deterministic function of the bootstrap prefix
+/// and the configuration, and [`OnlineAdaLsh::from_snapshot`] rebuilds
+/// it bit-identically from `records[..bootstrap_len]`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OnlineSnapshot {
+    /// Number of leading records that seeded the engine design.
+    pub bootstrap_len: usize,
+    /// The record schema.
+    pub schema: Schema,
+    /// All records seen so far, in id order.
+    pub records: Vec<Record>,
+    /// Per-record entity labels (bootstrap labels are real; online
+    /// arrivals carry `u32::MAX` = unknown).
+    pub labels: Vec<u32>,
+    /// Per-record incremental hash states, aligned with `records`.
+    pub states: Vec<RecordHashState>,
 }
 
 impl OnlineAdaLsh {
@@ -36,61 +76,174 @@ impl OnlineAdaLsh {
     /// record — it seeds the schema, the sequence design, and the cost
     /// model (both are data-dependent; a representative bootstrap sample
     /// gives a representative design).
+    ///
+    /// # Errors
+    /// Fails when no feasible sequence design exists for the bootstrap
+    /// dataset under `config`.
     pub fn new(bootstrap: &Dataset, config: AdaLshConfig) -> Result<Self, String> {
-        let engine = AdaLsh::for_dataset(bootstrap, config)?;
+        let engine = AdaLsh::for_dataset(bootstrap, config.clone())?;
         Ok(Self {
             engine,
-            schema: bootstrap.schema().clone(),
-            records: bootstrap.records().to_vec(),
-            labels: bootstrap.ground_truth().to_vec(),
+            config,
+            bootstrap_len: bootstrap.len(),
+            dataset: bootstrap.clone(),
             states: vec![RecordHashState::default(); bootstrap.len()],
         })
     }
 
     /// Number of records seen so far.
     pub fn len(&self) -> usize {
-        self.records.len()
+        self.dataset.len()
     }
 
     /// True when no records have been ingested (impossible by
     /// construction; kept for idiom).
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.dataset.is_empty()
     }
 
-    /// Ingests one record, returning its id.
+    /// The record schema every ingested record must conform to.
+    pub fn schema(&self) -> &Schema {
+        self.dataset.schema()
+    }
+
+    /// All records seen so far, in id order.
+    pub fn records(&self) -> &[Record] {
+        self.dataset.records()
+    }
+
+    /// The configuration the engine was built with.
+    pub fn config(&self) -> &AdaLshConfig {
+        &self.config
+    }
+
+    /// Ingests one record, returning its assigned id.
     ///
-    /// # Panics
-    /// Panics if the record violates the schema.
-    pub fn push(&mut self, record: Record) -> u32 {
-        self.schema
-            .validate(&record)
-            .unwrap_or_else(|e| panic!("record violates schema: {e}"));
-        let id = self.records.len() as u32;
-        self.records.push(record);
-        self.labels.push(u32::MAX); // unknown entity
+    /// # Errors
+    /// Fails (ingesting nothing) if the record violates the schema — a
+    /// service rejects bad records per-request instead of dying.
+    pub fn push(&mut self, record: Record) -> Result<u32, String> {
+        let id = self.dataset.push(record, UNKNOWN_ENTITY)?;
         self.states.push(RecordHashState::default());
-        id
+        Ok(id)
     }
 
-    /// Ingests many records.
-    pub fn extend(&mut self, records: impl IntoIterator<Item = Record>) {
-        for r in records {
-            self.push(r);
+    /// Ingests a batch of records, returning their assigned ids.
+    ///
+    /// The batch is atomic: every record is schema-validated before any
+    /// is ingested, so a rejected batch leaves the resolver unchanged.
+    ///
+    /// # Errors
+    /// Fails if any record violates the schema (the message names the
+    /// offending batch position).
+    pub fn extend(
+        &mut self,
+        records: impl IntoIterator<Item = Record>,
+    ) -> Result<Vec<u32>, String> {
+        let records: Vec<Record> = records.into_iter().collect();
+        for (i, r) in records.iter().enumerate() {
+            self.schema()
+                .validate(r)
+                .map_err(|e| format!("record {i} of batch: {e}"))?;
         }
+        let mut ids = Vec::with_capacity(records.len());
+        for r in records {
+            ids.push(self.push(r).expect("batch pre-validated"));
+        }
+        Ok(ids)
     }
 
     /// Answers a top-`k` query over everything ingested so far. Hashing
     /// work persists across queries; the answer is identical to running
-    /// the batch algorithm on the current snapshot.
+    /// the batch algorithm on the current snapshot. The snapshot dataset
+    /// is borrowed, not rebuilt — a steady-state query does no per-record
+    /// copying.
     pub fn query(&mut self, k: usize) -> FilterOutput {
-        let snapshot = Dataset::new(
-            self.schema.clone(),
-            self.records.clone(),
-            self.labels.clone(),
-        );
         self.engine
-            .run_with_states(&snapshot, k, &mut self.states, |_, _| {})
+            .run_with_states(&self.dataset, k, &mut self.states, |_, _| {})
+    }
+
+    /// Captures the resolver's full state for persistence.
+    pub fn snapshot(&self) -> OnlineSnapshot {
+        OnlineSnapshot {
+            bootstrap_len: self.bootstrap_len,
+            schema: self.dataset.schema().clone(),
+            records: self.dataset.records().to_vec(),
+            labels: self.dataset.ground_truth().to_vec(),
+            states: self.states.clone(),
+        }
+    }
+
+    /// Restores a resolver from a snapshot, rebuilding the engine from
+    /// the bootstrap prefix under `config`. With the same configuration
+    /// the snapshot was taken under, the rebuilt engine is bit-identical
+    /// (the design and every hash seed are deterministic), so restored
+    /// hash states line up exactly and already-hashed records are never
+    /// re-hashed.
+    ///
+    /// # Errors
+    /// Fails on inconsistent snapshot shapes (length mismatches, empty or
+    /// out-of-range bootstrap, schema-violating records) or when the
+    /// engine cannot be rebuilt under `config`.
+    pub fn from_snapshot(snapshot: OnlineSnapshot, config: AdaLshConfig) -> Result<Self, String> {
+        let OnlineSnapshot {
+            bootstrap_len,
+            schema,
+            records,
+            labels,
+            states,
+        } = snapshot;
+        if records.is_empty() {
+            return Err("snapshot has no records".to_string());
+        }
+        if records.len() != labels.len() || records.len() != states.len() {
+            return Err(format!(
+                "snapshot shape mismatch: {} records, {} labels, {} states",
+                records.len(),
+                labels.len(),
+                states.len()
+            ));
+        }
+        if bootstrap_len == 0 || bootstrap_len > records.len() {
+            return Err(format!(
+                "snapshot bootstrap_len {} out of range 1..={}",
+                bootstrap_len,
+                records.len()
+            ));
+        }
+        for (i, r) in records.iter().enumerate() {
+            schema
+                .validate(r)
+                .map_err(|e| format!("snapshot record {i}: {e}"))?;
+        }
+        let bootstrap = Dataset::new(
+            schema.clone(),
+            records[..bootstrap_len].to_vec(),
+            labels[..bootstrap_len].to_vec(),
+        );
+        let engine = AdaLsh::for_dataset(&bootstrap, config.clone())?;
+        let max_level = engine.num_levels() as u16;
+        if let Some(bad) = states.iter().position(|s| s.level > max_level) {
+            return Err(format!(
+                "snapshot state {bad} is at level {} but the engine has only {max_level} levels \
+                 (was the snapshot taken under a different configuration?)",
+                states[bad].level
+            ));
+        }
+        if let Some(bad) = states.iter().position(|s| !s.is_well_formed()) {
+            return Err(format!(
+                "snapshot state {bad} claims level {} but its accumulator history does not \
+                 match (corrupt or hand-edited snapshot?)",
+                states[bad].level
+            ));
+        }
+        Ok(Self {
+            engine,
+            config,
+            bootstrap_len,
+            dataset: Dataset::new(schema, records, labels),
+            states,
+        })
     }
 }
 
@@ -124,14 +277,14 @@ mod tests {
         let mut online = OnlineAdaLsh::new(&boot, AdaLshConfig::new(rule())).unwrap();
         // Ingest a burst making entity 7 the largest.
         for i in 0..9 {
-            online.push(record(7, i));
+            online.push(record(7, i)).unwrap();
         }
         let out = online.query(1);
         // Batch reference on the same snapshot.
         let gold = Pairs::new(rule()).filter(
             &Dataset::new(
                 boot.schema().clone(),
-                online.records.clone(),
+                online.records().to_vec(),
                 vec![0; online.len()],
             ),
             1,
@@ -154,12 +307,61 @@ mod tests {
         );
     }
 
+    /// With the jump gate disabled every cluster walks the full
+    /// sequence, so hash states advance past level 1 — the regime where
+    /// a later query re-applies `H₁` to already-deep records. (With the
+    /// gate on, small test datasets jump to pairwise straight from
+    /// level 1 and never exercise this.) A re-query must serve every
+    /// earlier level's bucket keys from the persisted state instead of
+    /// re-hashing — or panicking.
+    #[test]
+    fn requery_after_deep_hashing_reuses_every_level() {
+        let mut config = AdaLshConfig::new(rule());
+        config.disable_jump_gate = true;
+        let mut online = OnlineAdaLsh::new(&bootstrap(), config).unwrap();
+        let first = online.query(2);
+        assert!(
+            first.stats.transitive_calls > 1,
+            "precondition: the run must apply more than one sequence level \
+             (got {} transitive calls)",
+            first.stats.transitive_calls
+        );
+        let second = online.query(2);
+        assert_eq!(first.records(), second.records());
+        assert_eq!(
+            second.stats.hash_evals, 0,
+            "re-query must reuse the persisted keys of every level"
+        );
+    }
+
+    /// Same regime through the snapshot round-trip: deep states must
+    /// resume with zero re-hashing, not just level-1 states.
+    #[test]
+    fn snapshot_roundtrip_preserves_deep_hash_states() {
+        let mut config = AdaLshConfig::new(rule());
+        config.disable_jump_gate = true;
+        let mut online = OnlineAdaLsh::new(&bootstrap(), config.clone()).unwrap();
+        let before = online.query(2);
+        assert!(before.stats.transitive_calls > 1, "precondition: deep run");
+
+        let json = serde_json::to_string(&online.snapshot()).unwrap();
+        let restored: OnlineSnapshot = serde_json::from_str(&json).unwrap();
+        let mut resumed = OnlineAdaLsh::from_snapshot(restored, config).unwrap();
+
+        let after = resumed.query(2);
+        assert_eq!(after.clusters, before.clusters, "same answer after resume");
+        assert_eq!(
+            after.stats.hash_evals, 0,
+            "resumed deep states must not re-hash any record"
+        );
+    }
+
     #[test]
     fn new_arrivals_pay_only_their_own_hashing() {
         let boot = bootstrap();
         let mut online = OnlineAdaLsh::new(&boot, AdaLshConfig::new(rule())).unwrap();
         let first = online.query(2);
-        online.push(record(0, 99));
+        online.push(record(0, 99)).unwrap();
         let third = online.query(2);
         assert!(
             third.stats.hash_evals < first.stats.hash_evals / 2,
@@ -176,19 +378,120 @@ mod tests {
         let before = online.query(1);
         assert_eq!(before.clusters[0].len(), 5, "entities are 5/5/5/5");
         for i in 0..10 {
-            online.push(record(2, 50 + i));
+            online.push(record(2, 50 + i)).unwrap();
         }
         let after = online.query(1);
         assert_eq!(after.clusters[0].len(), 15, "entity 2 grew to 15");
     }
 
     #[test]
-    #[should_panic(expected = "violates schema")]
-    fn schema_violations_rejected() {
+    fn schema_violations_rejected_without_state_change() {
         let boot = bootstrap();
         let mut online = OnlineAdaLsh::new(&boot, AdaLshConfig::new(rule())).unwrap();
-        online.push(Record::single(FieldValue::Dense(
-            adalsh_data::DenseVector::new(vec![1.0]),
-        )));
+        let bad = Record::single(FieldValue::Dense(adalsh_data::DenseVector::new(vec![1.0])));
+        let err = online.push(bad).unwrap_err();
+        assert!(err.contains("kind"), "error should describe the mismatch");
+        assert_eq!(online.len(), boot.len(), "nothing ingested");
+        assert_eq!(online.states.len(), boot.len(), "no orphan state");
+        // The resolver still works after the rejection.
+        let out = online.query(1);
+        assert_eq!(out.clusters[0].len(), 5);
+    }
+
+    #[test]
+    fn extend_is_atomic_on_batch_rejection() {
+        let boot = bootstrap();
+        let mut online = OnlineAdaLsh::new(&boot, AdaLshConfig::new(rule())).unwrap();
+        let bad = Record::single(FieldValue::Dense(adalsh_data::DenseVector::new(vec![1.0])));
+        let err = online
+            .extend(vec![record(1, 0), bad, record(1, 1)])
+            .unwrap_err();
+        assert!(err.contains("record 1"), "error names the position: {err}");
+        assert_eq!(online.len(), boot.len(), "rejected batch ingests nothing");
+        let ids = online.extend(vec![record(1, 0), record(1, 1)]).unwrap();
+        assert_eq!(ids, vec![20, 21]);
+    }
+
+    /// The incrementally-grown snapshot dataset must be bit-identical —
+    /// records, labels, and cached field norms — to rebuilding a
+    /// [`Dataset`] from scratch over the same records (what `query` did
+    /// before it stopped cloning).
+    #[test]
+    fn incremental_snapshot_equals_rebuilt_dataset() {
+        let boot = bootstrap();
+        let mut online = OnlineAdaLsh::new(&boot, AdaLshConfig::new(rule())).unwrap();
+        for i in 0..7 {
+            online.push(record(i % 5, i)).unwrap();
+        }
+        let rebuilt = Dataset::new(
+            boot.schema().clone(),
+            online.records().to_vec(),
+            online.dataset.ground_truth().to_vec(),
+        );
+        assert_eq!(online.dataset.records(), rebuilt.records());
+        assert_eq!(online.dataset.ground_truth(), rebuilt.ground_truth());
+        for i in 0..rebuilt.len() as u32 {
+            assert_eq!(
+                online.dataset.field_norm(i, 0).to_bits(),
+                rebuilt.field_norm(i, 0).to_bits()
+            );
+        }
+        // And querying the grown snapshot equals batch resolution on the
+        // rebuilt one.
+        let out = online.query(2);
+        let gold = Pairs::new(rule()).filter(&rebuilt, 2);
+        assert_eq!(out.records(), gold.records());
+    }
+
+    #[test]
+    fn snapshot_roundtrip_resumes_without_rehashing() {
+        let boot = bootstrap();
+        let config = AdaLshConfig::new(rule());
+        let mut online = OnlineAdaLsh::new(&boot, config.clone()).unwrap();
+        for i in 0..9 {
+            online.push(record(7, i)).unwrap();
+        }
+        let before = online.query(1);
+        assert!(before.stats.hash_evals > 0);
+
+        let snap = online.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let restored: OnlineSnapshot = serde_json::from_str(&json).unwrap();
+        let mut resumed = OnlineAdaLsh::from_snapshot(restored, config).unwrap();
+
+        let after = resumed.query(1);
+        assert_eq!(after.clusters, before.clusters, "same answer after resume");
+        assert_eq!(
+            after.stats.hash_evals, 0,
+            "resume must not re-hash any already-hashed record"
+        );
+        // The resumed resolver keeps working incrementally.
+        resumed.push(record(7, 100)).unwrap();
+        let grown = resumed.query(1);
+        assert_eq!(grown.clusters[0].len(), 10);
+    }
+
+    #[test]
+    fn from_snapshot_rejects_inconsistent_shapes() {
+        let boot = bootstrap();
+        let config = AdaLshConfig::new(rule());
+        let online = OnlineAdaLsh::new(&boot, config.clone()).unwrap();
+        let good = online.snapshot();
+
+        let mut missing_state = good.clone();
+        missing_state.states.pop();
+        assert!(OnlineAdaLsh::from_snapshot(missing_state, config.clone()).is_err());
+
+        let mut bad_boot = good.clone();
+        bad_boot.bootstrap_len = 0;
+        assert!(OnlineAdaLsh::from_snapshot(bad_boot, config.clone()).is_err());
+
+        let mut deep_state = good;
+        deep_state.states[0].level = u16::MAX;
+        let err = match OnlineAdaLsh::from_snapshot(deep_state, config) {
+            Ok(_) => panic!("over-deep state must be rejected"),
+            Err(e) => e,
+        };
+        assert!(err.contains("level"), "{err}");
     }
 }

@@ -36,11 +36,13 @@ const MIN_PARALLEL_EVALS: u64 = 1 << 15;
 
 /// Applies sequence function `H_to_level` to `cluster` (record ids),
 /// advancing each record's incremental hash state as needed, and returns
-/// the output clusters (record-id lists).
+/// the output clusters (record-id lists). Records already at or past
+/// `to_level` contribute their persisted keys without any hashing — the
+/// normal case when a query re-runs over states advanced by an earlier
+/// query (Property 4 across runs).
 ///
 /// # Panics
-/// Panics if `to_level` is out of range for the hasher or any record's
-/// state is ahead of `to_level`.
+/// Panics if `to_level` is out of range for the hasher.
 pub fn apply_transitive(
     hasher: &SequenceHasher,
     states: &mut [RecordHashState],
@@ -57,7 +59,7 @@ pub fn apply_transitive(
 /// state is independent and the hasher is immutable after construction);
 /// bucket insertion and cluster maintenance stay sequential — they are a
 /// small fraction of the work for any non-trivial scheme. Clusters whose
-/// estimated hashing work falls under [`MIN_PARALLEL_EVALS`] are
+/// estimated hashing work falls under `MIN_PARALLEL_EVALS` are
 /// processed sequentially regardless of `threads`. Output and statistics
 /// are identical to the sequential path.
 pub fn apply_transitive_threaded(

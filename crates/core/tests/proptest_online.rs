@@ -40,7 +40,7 @@ proptest! {
         let mut all_records: Vec<Record> = boot.records().to_vec();
         for (entity, noise, query_now) in stream {
             let r = record(entity, noise);
-            online.push(r.clone());
+            online.push(r.clone()).unwrap();
             all_records.push(r);
             if query_now {
                 let out = online.query(1);
@@ -79,7 +79,7 @@ proptest! {
         let boot = bootstrap();
         let mut online = OnlineAdaLsh::new(&boot, AdaLshConfig::new(rule())).unwrap();
         for i in 0..pushes {
-            online.push(record((i % 4) as u64, i as u64));
+            online.push(record((i % 4) as u64, i as u64)).unwrap();
         }
         let _ = online.query(2);
         let again = online.query(2);

@@ -135,6 +135,29 @@ impl Dataset {
         ids.len()
     }
 
+    /// Appends one record, growing the norm cache incrementally — the
+    /// resulting dataset is bit-identical (records, labels, and cached
+    /// norms) to rebuilding from scratch with [`Dataset::new`]. This is
+    /// the online-ingestion path: unlike construction, a bad record is
+    /// an `Err`, not a panic.
+    ///
+    /// # Errors
+    /// Fails (leaving the dataset unchanged) if the record violates the
+    /// schema.
+    pub fn push(&mut self, record: Record, entity: EntityId) -> Result<u32, String> {
+        self.schema.validate(&record)?;
+        for f in record.fields() {
+            self.field_norms.push(match f {
+                FieldValue::Dense(v) => v.norm(),
+                FieldValue::Shingles(_) => 0.0,
+            });
+        }
+        let id = self.records.len() as u32;
+        self.records.push(record);
+        self.ground_truth.push(entity);
+        Ok(id)
+    }
+
     /// Restricts the dataset to the records with the given ids (in the
     /// given order), remapping ids to `0..ids.len()`. Useful for building
     /// reduced datasets from a filtering output.
@@ -304,6 +327,49 @@ mod tests {
                 d.field_norm(i, 0).to_bits()
             );
         }
+    }
+
+    #[test]
+    fn push_matches_from_scratch_construction() {
+        use crate::vector::DenseVector;
+        let schema = Schema::new(vec![("s", FieldKind::Shingles), ("v", FieldKind::Dense)]);
+        let mk = |s: u64, x: f64| {
+            Record::new(vec![
+                FieldValue::Shingles(ShingleSet::new(vec![s])),
+                FieldValue::Dense(DenseVector::new(vec![x, -x])),
+            ])
+        };
+        let mut grown = Dataset::new(schema.clone(), vec![mk(1, 0.5)], vec![0]);
+        assert_eq!(grown.push(mk(2, -3.25), 1).unwrap(), 1);
+        assert_eq!(grown.push(mk(3, 7.0), 1).unwrap(), 2);
+        let rebuilt = Dataset::new(
+            schema,
+            vec![mk(1, 0.5), mk(2, -3.25), mk(3, 7.0)],
+            vec![0, 1, 1],
+        );
+        assert_eq!(grown.records(), rebuilt.records());
+        assert_eq!(grown.ground_truth(), rebuilt.ground_truth());
+        for i in 0..3u32 {
+            for f in 0..2 {
+                assert_eq!(
+                    grown.field_norm(i, f).to_bits(),
+                    rebuilt.field_norm(i, f).to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn push_rejects_schema_violation_and_leaves_dataset_intact() {
+        let mut d = toy();
+        let before = d.len();
+        let bad = Record::new(vec![
+            FieldValue::Shingles(ShingleSet::new(vec![1])),
+            FieldValue::Shingles(ShingleSet::new(vec![2])),
+        ]);
+        assert!(d.push(bad, 0).is_err());
+        assert_eq!(d.len(), before);
+        assert_eq!(d.field_norms.len(), before * d.schema().num_fields());
     }
 
     #[test]

@@ -1,7 +1,10 @@
 //! Property-based tests for the record model: metric axioms and
 //! representation invariants that must hold for arbitrary inputs.
 
-use adalsh_data::{DenseVector, FieldDistance, FieldValue, MatchRule, ShingleSet};
+use adalsh_data::{
+    Dataset, DenseVector, FieldDistance, FieldKind, FieldValue, MatchRule, Record, Schema,
+    ShingleSet,
+};
 use proptest::prelude::*;
 
 fn shingle_strategy() -> impl Strategy<Value = ShingleSet> {
@@ -10,6 +13,32 @@ fn shingle_strategy() -> impl Strategy<Value = ShingleSet> {
 
 fn vector_strategy() -> impl Strategy<Value = DenseVector> {
     prop::collection::vec(-100.0f64..100.0, 1..32).prop_map(DenseVector::new)
+}
+
+/// Arbitrary well-formed datasets over a two-field (shingles + dense)
+/// schema, with arbitrary ground-truth labels.
+fn dataset_strategy() -> impl Strategy<Value = Dataset> {
+    prop::collection::vec(
+        (
+            shingle_strategy(),
+            prop::collection::vec(-50.0f64..50.0, 4),
+            0u32..5,
+        ),
+        1..12,
+    )
+    .prop_map(|rows| {
+        let schema = Schema::new(vec![("s", FieldKind::Shingles), ("v", FieldKind::Dense)]);
+        let mut records = Vec::with_capacity(rows.len());
+        let mut ground_truth = Vec::with_capacity(rows.len());
+        for (shingles, components, entity) in rows {
+            records.push(Record::new(vec![
+                FieldValue::Shingles(shingles),
+                FieldValue::Dense(DenseVector::new(components)),
+            ]));
+            ground_truth.push(entity);
+        }
+        Dataset::new(schema, records, ground_truth)
+    })
 }
 
 proptest! {
@@ -89,6 +118,27 @@ proptest! {
         let rb = adalsh_data::Record::single(FieldValue::Shingles(b.clone()));
         let matched = rule.matches(&ra, &rb);
         prop_assert_eq!(matched, a.jaccard_distance(&b) <= dthr);
+    }
+
+    #[test]
+    fn dataset_serde_roundtrip_is_exact(dataset in dataset_strategy()) {
+        // The hand-written Dataset serde keeps the derived norm cache
+        // off the wire; deserialization must rebuild it bit-identically
+        // (deserialization funnels through `Dataset::new`).
+        let json = serde_json::to_string(&dataset).unwrap();
+        let back: Dataset = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back.schema(), dataset.schema());
+        prop_assert_eq!(back.records(), dataset.records());
+        prop_assert_eq!(back.ground_truth(), dataset.ground_truth());
+        for i in 0..dataset.len() as u32 {
+            for field in 0..dataset.schema().num_fields() {
+                prop_assert_eq!(
+                    back.field_norm(i, field).to_bits(),
+                    dataset.field_norm(i, field).to_bits(),
+                    "norm cache differs at record {} field {}", i, field
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,274 @@
+//! Minimal HTTP/1.1 over `std::net`: request parsing and response
+//! writing for the resolver service.
+//!
+//! Deliberately small: one request per connection (`Connection: close`),
+//! `Content-Length` framing only (no chunked bodies), no keep-alive, no
+//! TLS. Robustness over features: header and body sizes are bounded,
+//! socket timeouts are set by the accept loop before a byte is read, and
+//! every parse failure maps to a structured JSON error response instead
+//! of a dropped connection or a panic.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on the request line plus all header bytes.
+pub const MAX_HEADER_BYTES: usize = 16 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, …).
+    pub method: String,
+    /// Path without the query string (e.g. `/topk`).
+    pub path: String,
+    /// Decoded `key=value` pairs of the query string, in order.
+    pub query: Vec<(String, String)>,
+    /// Raw request body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of query parameter `name`, if present.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The request body as UTF-8 text.
+    ///
+    /// # Errors
+    /// Fails on invalid UTF-8.
+    pub fn body_utf8(&self) -> Result<&str, String> {
+        std::str::from_utf8(&self.body).map_err(|e| format!("body is not valid UTF-8: {e}"))
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum RequestError {
+    /// Malformed request line, headers, or framing → `400`.
+    Bad(String),
+    /// Declared body exceeds the configured limit → `413`.
+    TooLarge {
+        /// The limit that was exceeded, in bytes.
+        limit: usize,
+    },
+    /// Socket-level failure (including read timeouts).
+    Io(std::io::Error),
+}
+
+/// Reads and parses one request from the stream.
+///
+/// # Errors
+/// See [`RequestError`]; timeouts surface as [`RequestError::Io`] with
+/// kind `TimedOut`/`WouldBlock`.
+pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, RequestError> {
+    let clone = stream.try_clone().map_err(RequestError::Io)?;
+    let mut reader = BufReader::new(clone);
+    let mut header_bytes = 0usize;
+
+    let request_line = read_line_bounded(&mut reader, &mut header_bytes)?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| RequestError::Bad("empty request line".into()))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| RequestError::Bad("request line missing target".into()))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| RequestError::Bad("request line missing HTTP version".into()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(RequestError::Bad(format!(
+            "unsupported protocol '{version}'"
+        )));
+    }
+
+    let mut content_length = 0usize;
+    loop {
+        let line = read_line_bounded(&mut reader, &mut header_bytes)?;
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(RequestError::Bad(format!("malformed header '{line}'")));
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|e| RequestError::Bad(format!("bad Content-Length: {e}")))?;
+        }
+    }
+    if content_length > max_body {
+        return Err(RequestError::TooLarge { limit: max_body });
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(RequestError::Io)?;
+
+    let (path, query) = parse_target(target);
+    Ok(Request {
+        method,
+        path,
+        query,
+        body,
+    })
+}
+
+/// Reads one CRLF/LF-terminated line, charging against the header budget.
+fn read_line_bounded(
+    reader: &mut BufReader<TcpStream>,
+    used: &mut usize,
+) -> Result<String, RequestError> {
+    let mut line = String::new();
+    let n = reader.read_line(&mut line).map_err(RequestError::Io)?;
+    if n == 0 {
+        return Err(RequestError::Bad("connection closed mid-request".into()));
+    }
+    *used += n;
+    if *used > MAX_HEADER_BYTES {
+        return Err(RequestError::Bad(format!(
+            "headers exceed {MAX_HEADER_BYTES} bytes"
+        )));
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(line)
+}
+
+/// Splits a request target into path and query pairs. Values are taken
+/// verbatim (no percent-decoding — the service's parameters are plain
+/// integers and paths).
+fn parse_target(target: &str) -> (String, Vec<(String, String)>) {
+    match target.split_once('?') {
+        None => (target.to_string(), Vec::new()),
+        Some((path, qs)) => {
+            let query = qs
+                .split('&')
+                .filter(|kv| !kv.is_empty())
+                .map(|kv| match kv.split_once('=') {
+                    Some((k, v)) => (k.to_string(), v.to_string()),
+                    None => (kv.to_string(), String::new()),
+                })
+                .collect();
+            (path.to_string(), query)
+        }
+    }
+}
+
+/// An HTTP response about to be written.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// Status code (200, 400, …).
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response from pre-rendered text.
+    pub fn json(status: u16, body: String) -> Self {
+        Self {
+            status,
+            content_type: "application/json",
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A plain-text response (used by `/metrics`).
+    pub fn text(status: u16, body: String) -> Self {
+        Self {
+            status,
+            content_type: "text/plain; version=0.0.4",
+            body: body.into_bytes(),
+        }
+    }
+
+    /// The structured error shape every failure returns:
+    /// `{"error": "<message>"}`.
+    pub fn error(status: u16, message: &str) -> Self {
+        let body = serde::Value::Map(vec![(
+            "error".to_string(),
+            serde::Value::Str(message.to_string()),
+        )]);
+        Self::json(
+            status,
+            serde_json::to_string(&body).unwrap_or_else(|_| "{\"error\":\"error\"}".into()),
+        )
+    }
+}
+
+/// Writes a response and flushes. Every response closes the connection.
+///
+/// # Errors
+/// Propagates socket errors (including write timeouts).
+pub fn write_response(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        response.status,
+        status_reason(response.status),
+        response.content_type,
+        response.body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&response.body)?;
+    stream.flush()
+}
+
+/// Canonical reason phrase for the status codes the service emits.
+pub fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn target_parsing_splits_path_and_query() {
+        let (path, query) = parse_target("/topk?k=5&x=y&flag");
+        assert_eq!(path, "/topk");
+        assert_eq!(
+            query,
+            vec![
+                ("k".to_string(), "5".to_string()),
+                ("x".to_string(), "y".to_string()),
+                ("flag".to_string(), String::new()),
+            ]
+        );
+        let (path, query) = parse_target("/healthz");
+        assert_eq!(path, "/healthz");
+        assert!(query.is_empty());
+    }
+
+    #[test]
+    fn error_response_is_structured_json() {
+        let r = Response::error(400, "bad \"thing\"");
+        assert_eq!(r.status, 400);
+        let text = String::from_utf8(r.body).unwrap();
+        assert_eq!(text, "{\"error\":\"bad \\\"thing\\\"\"}");
+    }
+
+    #[test]
+    fn reason_phrases_cover_service_codes() {
+        for code in [200, 400, 404, 405, 408, 413, 500, 503] {
+            assert_ne!(status_reason(code), "Unknown");
+        }
+    }
+}

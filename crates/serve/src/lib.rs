@@ -1,0 +1,42 @@
+//! # adalsh-serve
+//!
+//! An online top-k entity-resolution HTTP service over the adaLSH
+//! engine — the paper's §9 online setting (see
+//! [`adalsh_core::online`]) turned into a long-lived process.
+//!
+//! The service is std-only by design: a hand-rolled HTTP/1.1 layer over
+//! [`std::net::TcpListener`] with a bounded worker-thread pool — no
+//! async runtime, no web framework. The workload doesn't want one:
+//! queries serialize on the resolver lock anyway (they mutate
+//! per-record hash states), so a small pool of blocking workers is both
+//! sufficient and simple to reason about.
+//!
+//! Module map:
+//!
+//! * [`http`] — request parsing / response writing, bounded and
+//!   timeout-aware
+//! * [`server`] — accept loop, bounded queue, worker pool, graceful
+//!   drain on shutdown
+//! * [`service`] — routing and the resolver lock discipline
+//! * [`metrics`] — Prometheus text exposition (`/metrics`)
+//! * [`snapshot`] — durable resume: restart without re-hashing
+//!
+//! Endpoints:
+//!
+//! | Endpoint | Effect |
+//! |---|---|
+//! | `POST /ingest` | schema-validated batch intake, returns assigned ids |
+//! | `GET /topk?k=N` | current top-k clusters + engine stats |
+//! | `GET /healthz` | lock-free liveness + record count |
+//! | `GET /metrics` | Prometheus text: requests, latency, engine counters |
+//! | `POST /snapshot` | atomic state persistence for `--resume` |
+
+pub mod http;
+pub mod metrics;
+pub mod server;
+pub mod service;
+pub mod snapshot;
+
+pub use server::{Server, ServerConfig};
+pub use service::Service;
+pub use snapshot::{ServeSnapshot, SNAPSHOT_VERSION};

@@ -1,0 +1,178 @@
+//! Service metrics with Prometheus text exposition.
+//!
+//! The registry is lock-light: scalar counters are atomics, and the only
+//! mutex guards the small per-`(endpoint, status)` request-count map. A
+//! scrape renders the standard text format (`# HELP`/`# TYPE` preamble,
+//! one sample per line) without touching the resolver lock, so
+//! `/metrics` stays responsive while a long query holds the engine.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use adalsh_core::Stats;
+
+/// Upper bounds (seconds) of the request-latency histogram buckets; a
+/// final `+Inf` bucket is implicit. Spans sub-millisecond health checks
+/// to multi-second cold queries.
+pub const LATENCY_BUCKETS_SECS: [f64; 8] = [0.001, 0.005, 0.025, 0.1, 0.25, 1.0, 2.5, 10.0];
+
+/// All counters exported on `/metrics`.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Requests by `(endpoint, status)`.
+    requests: Mutex<BTreeMap<(String, u16), u64>>,
+    /// Cumulative request-latency histogram: one counter per bucket in
+    /// [`LATENCY_BUCKETS_SECS`], plus `+Inf` at the end.
+    latency_buckets: [AtomicU64; LATENCY_BUCKETS_SECS.len() + 1],
+    latency_sum_micros: AtomicU64,
+    latency_count: AtomicU64,
+    /// Records accepted by `/ingest` since startup (resumed records are
+    /// not counted: this meters service work, not corpus size).
+    ingested_records: AtomicU64,
+    /// Cumulative engine counters accumulated over all queries.
+    hash_evals: AtomicU64,
+    pairwise_evals: AtomicU64,
+}
+
+impl Metrics {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one finished request: its endpoint label (the matched
+    /// path, or `"unmatched"`), response status, and wall latency.
+    pub fn observe_request(&self, endpoint: &str, status: u16, latency: Duration) {
+        {
+            let mut map = lock_unpoisoned(&self.requests);
+            *map.entry((endpoint.to_string(), status)).or_insert(0) += 1;
+        }
+        let secs = latency.as_secs_f64();
+        for (i, bound) in LATENCY_BUCKETS_SECS.iter().enumerate() {
+            if secs <= *bound {
+                self.latency_buckets[i].fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.latency_buckets[LATENCY_BUCKETS_SECS.len()].fetch_add(1, Ordering::Relaxed);
+        self.latency_sum_micros
+            .fetch_add(latency.as_micros() as u64, Ordering::Relaxed);
+        self.latency_count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds newly ingested records to the intake counter.
+    pub fn observe_ingest(&self, records: usize) {
+        self.ingested_records
+            .fetch_add(records as u64, Ordering::Relaxed);
+    }
+
+    /// Folds one query's engine counters into the cumulative totals.
+    pub fn observe_query_stats(&self, stats: &Stats) {
+        self.hash_evals
+            .fetch_add(stats.hash_evals, Ordering::Relaxed);
+        self.pairwise_evals
+            .fetch_add(stats.pair_comparisons, Ordering::Relaxed);
+    }
+
+    /// Renders the registry in Prometheus text exposition format.
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(2048);
+
+        out.push_str("# HELP adalsh_requests_total Requests served, by endpoint and status.\n");
+        out.push_str("# TYPE adalsh_requests_total counter\n");
+        for ((endpoint, status), count) in lock_unpoisoned(&self.requests).iter() {
+            out.push_str(&format!(
+                "adalsh_requests_total{{endpoint=\"{endpoint}\",status=\"{status}\"}} {count}\n"
+            ));
+        }
+
+        out.push_str("# HELP adalsh_request_seconds Request wall latency.\n");
+        out.push_str("# TYPE adalsh_request_seconds histogram\n");
+        for (i, bound) in LATENCY_BUCKETS_SECS.iter().enumerate() {
+            let v = self.latency_buckets[i].load(Ordering::Relaxed);
+            out.push_str(&format!(
+                "adalsh_request_seconds_bucket{{le=\"{bound}\"}} {v}\n"
+            ));
+        }
+        let inf = self.latency_buckets[LATENCY_BUCKETS_SECS.len()].load(Ordering::Relaxed);
+        out.push_str(&format!(
+            "adalsh_request_seconds_bucket{{le=\"+Inf\"}} {inf}\n"
+        ));
+        let sum = self.latency_sum_micros.load(Ordering::Relaxed) as f64 / 1e6;
+        out.push_str(&format!("adalsh_request_seconds_sum {sum}\n"));
+        out.push_str(&format!(
+            "adalsh_request_seconds_count {}\n",
+            self.latency_count.load(Ordering::Relaxed)
+        ));
+
+        for (name, help, value) in [
+            (
+                "adalsh_ingested_records_total",
+                "Records accepted over /ingest since startup.",
+                self.ingested_records.load(Ordering::Relaxed),
+            ),
+            (
+                "adalsh_hash_evals_total",
+                "Elementary hash evaluations across all queries.",
+                self.hash_evals.load(Ordering::Relaxed),
+            ),
+            (
+                "adalsh_pairwise_evals_total",
+                "Record-pair comparisons across all queries.",
+                self.pairwise_evals.load(Ordering::Relaxed),
+            ),
+        ] {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
+            ));
+        }
+        out
+    }
+}
+
+/// Locks a mutex, recovering the data from a poisoned lock (metrics must
+/// survive a panicking worker).
+fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_contains_all_families() {
+        let m = Metrics::new();
+        m.observe_request("/topk", 200, Duration::from_millis(3));
+        m.observe_request("/topk", 200, Duration::from_millis(40));
+        m.observe_request("/ingest", 400, Duration::from_micros(200));
+        m.observe_ingest(7);
+        m.observe_query_stats(&Stats {
+            hash_evals: 11,
+            pair_comparisons: 5,
+            ..Stats::default()
+        });
+
+        let text = m.render();
+        assert!(text.contains("adalsh_requests_total{endpoint=\"/topk\",status=\"200\"} 2"));
+        assert!(text.contains("adalsh_requests_total{endpoint=\"/ingest\",status=\"400\"} 1"));
+        assert!(text.contains("adalsh_request_seconds_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("adalsh_request_seconds_count 3"));
+        assert!(text.contains("adalsh_ingested_records_total 7"));
+        assert!(text.contains("adalsh_hash_evals_total 11"));
+        assert!(text.contains("adalsh_pairwise_evals_total 5"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let m = Metrics::new();
+        m.observe_request("/healthz", 200, Duration::from_micros(500));
+        let text = m.render();
+        // A 0.5ms request lands in every bucket from le="0.001" upward.
+        assert!(text.contains("adalsh_request_seconds_bucket{le=\"0.001\"} 1"));
+        assert!(text.contains("adalsh_request_seconds_bucket{le=\"10\"} 1"));
+    }
+}

@@ -1,0 +1,214 @@
+//! The TCP accept loop and bounded worker pool.
+//!
+//! Architecture: one accept thread polls a non-blocking
+//! [`TcpListener`], stamps per-connection read/write timeouts, and
+//! pushes accepted sockets onto a **bounded** queue
+//! (`mpsc::sync_channel`). A fixed pool of worker threads pops from the
+//! queue, parses one request per connection, dispatches it to the
+//! [`Service`], and writes the response. When the queue is full the
+//! accept thread answers `503` inline instead of queueing unboundedly —
+//! overload sheds load instead of growing memory.
+//!
+//! Shutdown is graceful: [`Server::shutdown`] flips a flag, the accept
+//! thread stops accepting and drops the queue sender, workers drain
+//! whatever was already queued, and everything is joined before
+//! `shutdown` returns.
+
+use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::http::{read_request, write_response, Request, RequestError, Response};
+use crate::service::{Service, DEFAULT_MAX_BODY_BYTES};
+
+/// Tunables for the HTTP layer.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads handling requests.
+    pub workers: usize,
+    /// Cap on request bodies, in bytes (`413` beyond it).
+    pub max_body_bytes: usize,
+    /// Per-connection socket read timeout.
+    pub read_timeout: Duration,
+    /// Per-connection socket write timeout.
+    pub write_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            max_body_bytes: DEFAULT_MAX_BODY_BYTES,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// A running server; dropping it without calling [`Server::shutdown`]
+/// detaches the threads (the process exit reaps them).
+pub struct Server {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_handle: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and
+    /// starts the accept thread plus worker pool.
+    ///
+    /// # Errors
+    /// Fails if the address cannot be bound.
+    pub fn start(service: Arc<Service>, addr: &str, config: ServerConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+
+        let accept_handle = {
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::Builder::new()
+                .name("adalsh-accept".to_string())
+                .spawn(move || accept_loop(listener, service, config, &shutdown))?
+        };
+
+        Ok(Self {
+            local_addr,
+            shutdown,
+            accept_handle: Some(accept_handle),
+        })
+    }
+
+    /// The address actually bound (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops accepting, drains queued connections, and joins every
+    /// thread before returning.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Accepts connections until shutdown, then drops the queue sender so
+/// workers drain and exit.
+fn accept_loop(
+    listener: TcpListener,
+    service: Arc<Service>,
+    config: ServerConfig,
+    shutdown: &AtomicBool,
+) {
+    let workers = config.workers.max(1);
+    let (sender, receiver) = sync_channel::<TcpStream>(workers * 2);
+    let receiver = Arc::new(Mutex::new(receiver));
+    let worker_handles: Vec<JoinHandle<()>> = (0..workers)
+        .map(|i| {
+            let receiver = Arc::clone(&receiver);
+            let service = Arc::clone(&service);
+            let max_body = config.max_body_bytes;
+            std::thread::Builder::new()
+                .name(format!("adalsh-worker-{i}"))
+                .spawn(move || worker_loop(&receiver, &service, max_body))
+                .expect("spawn worker thread")
+        })
+        .collect();
+
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let _ = stream.set_read_timeout(Some(config.read_timeout));
+                let _ = stream.set_write_timeout(Some(config.write_timeout));
+                match sender.try_send(stream) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(mut stream)) => {
+                        let response = Response::error(503, "server overloaded, retry later");
+                        let _ = write_response(&mut stream, &response);
+                        service.metrics().observe_request(
+                            "unmatched",
+                            503,
+                            Duration::from_micros(0),
+                        );
+                    }
+                    Err(TrySendError::Disconnected(_)) => break,
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+
+    // Graceful drain: close the queue, let workers finish what's in it.
+    drop(sender);
+    for handle in worker_handles {
+        let _ = handle.join();
+    }
+}
+
+/// Pops connections until the queue closes.
+fn worker_loop(receiver: &Arc<Mutex<Receiver<TcpStream>>>, service: &Service, max_body: usize) {
+    loop {
+        let next = {
+            let guard = receiver
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            guard.recv()
+        };
+        match next {
+            Ok(stream) => handle_connection(service, stream, max_body),
+            Err(_) => return, // sender dropped: shutdown
+        }
+    }
+}
+
+/// Serves exactly one request on a connection. Every failure path that
+/// can still be answered is answered with a structured JSON error; a
+/// worker never unwinds out of this function.
+fn handle_connection(service: &Service, mut stream: TcpStream, max_body: usize) {
+    let start = Instant::now();
+    let (endpoint, response) = match read_request(&mut stream, max_body) {
+        Ok(request) => dispatch(service, &request),
+        Err(RequestError::Bad(message)) => ("unmatched", Response::error(400, &message)),
+        Err(RequestError::TooLarge { limit }) => (
+            "unmatched",
+            Response::error(413, &format!("request body exceeds the {limit}-byte limit")),
+        ),
+        Err(RequestError::Io(e))
+            if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut =>
+        {
+            (
+                "unmatched",
+                Response::error(408, "timed out reading request"),
+            )
+        }
+        // The peer is gone; nothing to answer.
+        Err(RequestError::Io(_)) => return,
+    };
+    let status = response.status;
+    let _ = write_response(&mut stream, &response);
+    service
+        .metrics()
+        .observe_request(endpoint, status, start.elapsed());
+}
+
+/// Runs the service handler, converting a panic into a `500` so one bad
+/// request cannot take a worker (or the server) down.
+fn dispatch(service: &Service, request: &Request) -> (&'static str, Response) {
+    match catch_unwind(AssertUnwindSafe(|| service.handle(request))) {
+        Ok(result) => result,
+        Err(_) => (
+            "unmatched",
+            Response::error(500, "internal error handling request"),
+        ),
+    }
+}

@@ -1,0 +1,330 @@
+//! Request routing and the resolver lock discipline.
+//!
+//! One [`Mutex`] guards the [`OnlineAdaLsh`]: ingest mutates the record
+//! set, queries mutate per-record hash states (Property 4's persistent
+//! progress), and snapshots need a consistent view — so all three
+//! serialize on the same lock. Everything else is deliberately kept off
+//! that lock: `/healthz` answers from a lock-free record counter, and
+//! `/metrics` renders from its own atomics, so liveness probes and
+//! scrapes never stall behind a long query.
+//!
+//! Handlers never panic across the service boundary: schema violations,
+//! malformed JSON, bad parameters, and snapshot failures all map to
+//! structured `{"error": …}` responses with the appropriate status.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use adalsh_core::{FilterOutput, OnlineAdaLsh};
+use adalsh_data::{MatchRule, Record};
+use serde::{Deserialize, Serialize, Value};
+
+use crate::http::{Request, Response};
+use crate::metrics::Metrics;
+use crate::snapshot::ServeSnapshot;
+
+/// Default cap on request bodies (`/ingest` batches), in bytes.
+pub const DEFAULT_MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
+
+/// The resolver service behind the HTTP layer.
+pub struct Service {
+    resolver: Mutex<OnlineAdaLsh>,
+    rule: MatchRule,
+    metrics: Metrics,
+    /// Mirror of the resolver's record count for lock-free `/healthz`.
+    record_count: AtomicU64,
+    /// Where `POST /snapshot` persists state (absent → snapshot disabled).
+    snapshot_path: Option<PathBuf>,
+}
+
+impl Service {
+    /// Wraps a resolver configured with `rule`.
+    pub fn new(resolver: OnlineAdaLsh, rule: MatchRule, snapshot_path: Option<PathBuf>) -> Self {
+        let record_count = AtomicU64::new(resolver.len() as u64);
+        Self {
+            resolver: Mutex::new(resolver),
+            rule,
+            metrics: Metrics::new(),
+            record_count,
+            snapshot_path,
+        }
+    }
+
+    /// The service's metrics registry (the server layer records request
+    /// latencies into it).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Routes one request to its handler. Returns the endpoint label
+    /// used in metrics alongside the response.
+    pub fn handle(&self, request: &Request) -> (&'static str, Response) {
+        match (request.method.as_str(), request.path.as_str()) {
+            ("GET", "/healthz") => ("/healthz", self.healthz()),
+            ("GET", "/topk") => ("/topk", self.topk(request)),
+            ("GET", "/metrics") => ("/metrics", Response::text(200, self.metrics.render())),
+            ("POST", "/ingest") => ("/ingest", self.ingest(request)),
+            ("POST", "/snapshot") => ("/snapshot", self.snapshot()),
+            (_, "/healthz" | "/topk" | "/metrics" | "/ingest" | "/snapshot") => (
+                "unmatched",
+                Response::error(405, &format!("method {} not allowed here", request.method)),
+            ),
+            (_, path) => (
+                "unmatched",
+                Response::error(404, &format!("no route for {path}")),
+            ),
+        }
+    }
+
+    /// Liveness: served from an atomic, never touches the resolver lock.
+    fn healthz(&self) -> Response {
+        let body = Value::Map(vec![
+            ("status".to_string(), Value::Str("ok".to_string())),
+            (
+                "records".to_string(),
+                Value::U64(self.record_count.load(Ordering::Relaxed)),
+            ),
+        ]);
+        json_ok(&body)
+    }
+
+    /// `GET /topk?k=N`: runs the adaptive filter over everything
+    /// ingested so far.
+    fn topk(&self, request: &Request) -> Response {
+        let k: usize = match request.query_param("k") {
+            None => return Response::error(400, "missing required query parameter k"),
+            Some(raw) => match raw.parse() {
+                Ok(k) if k >= 1 => k,
+                Ok(_) => return Response::error(400, "k must be at least 1"),
+                Err(e) => return Response::error(400, &format!("bad k '{raw}': {e}")),
+            },
+        };
+        let output = {
+            let mut resolver = lock_unpoisoned(&self.resolver);
+            resolver.query(k)
+        };
+        self.metrics.observe_query_stats(&output.stats);
+        json_ok(&filter_output_value(&output, k))
+    }
+
+    /// `POST /ingest`: schema-validated batch intake. The batch is
+    /// atomic — one bad record rejects the whole request and the
+    /// resolver is left unchanged.
+    fn ingest(&self, request: &Request) -> Response {
+        let body = match request.body_utf8() {
+            Ok(text) => text,
+            Err(e) => return Response::error(400, &e),
+        };
+        let parsed: Value = match serde_json::from_str(body) {
+            Ok(v) => v,
+            Err(e) => return Response::error(400, &format!("body is not valid JSON: {e}")),
+        };
+        let Some(records_value) = parsed.get("records") else {
+            return Response::error(400, "body must be an object with a 'records' array");
+        };
+        let records = match Vec::<Record>::from_value(records_value) {
+            Ok(r) => r,
+            Err(e) => return Response::error(400, &format!("bad record in 'records': {e}")),
+        };
+        if records.is_empty() {
+            return Response::error(400, "'records' must not be empty");
+        }
+
+        let ids = {
+            let mut resolver = lock_unpoisoned(&self.resolver);
+            match resolver.extend(records) {
+                Ok(ids) => ids,
+                Err(e) => return Response::error(400, &e),
+            }
+        };
+        self.record_count
+            .fetch_add(ids.len() as u64, Ordering::Relaxed);
+        self.metrics.observe_ingest(ids.len());
+        let body = Value::Map(vec![
+            ("ids".to_string(), ids.to_value()),
+            ("count".to_string(), Value::U64(ids.len() as u64)),
+        ]);
+        json_ok(&body)
+    }
+
+    /// `POST /snapshot`: persists the full resolver state atomically.
+    fn snapshot(&self) -> Response {
+        let Some(path) = &self.snapshot_path else {
+            return Response::error(
+                400,
+                "snapshotting is disabled: start the server with --snapshot-out <path>",
+            );
+        };
+        let snapshot = {
+            let resolver = lock_unpoisoned(&self.resolver);
+            ServeSnapshot::capture(&resolver, self.rule.clone())
+        };
+        let records = snapshot.resolver.records.len();
+        if let Err(e) = snapshot.save(path) {
+            return Response::error(500, &e);
+        }
+        let body = Value::Map(vec![
+            ("path".to_string(), Value::Str(path.display().to_string())),
+            ("records".to_string(), Value::U64(records as u64)),
+        ]);
+        json_ok(&body)
+    }
+}
+
+/// Renders a value as a 200 JSON response.
+fn json_ok(value: &Value) -> Response {
+    match serde_json::to_string(value) {
+        Ok(body) => Response::json(200, body),
+        Err(e) => Response::error(500, &format!("response serialization failed: {e}")),
+    }
+}
+
+/// JSON shape of a query answer. `FilterOutput` holds a `Duration`, so
+/// the value is assembled by hand instead of derived.
+fn filter_output_value(output: &FilterOutput, k: usize) -> Value {
+    Value::Map(vec![
+        ("k".to_string(), Value::U64(k as u64)),
+        ("clusters".to_string(), output.clusters.to_value()),
+        ("stats".to_string(), output.stats.to_value()),
+        (
+            "wall_micros".to_string(),
+            Value::U64(output.wall.as_micros() as u64),
+        ),
+    ])
+}
+
+/// Locks a mutex, recovering from poisoning: a worker that panicked
+/// mid-request must not take the whole service down with it.
+fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adalsh_core::AdaLshConfig;
+    use adalsh_data::{Dataset, FieldDistance, FieldKind, FieldValue, Schema, ShingleSet};
+
+    fn shingle_record(items: &[u64]) -> Record {
+        Record::single(FieldValue::Shingles(ShingleSet::new(items.to_vec())))
+    }
+
+    fn test_service() -> Service {
+        let schema = Schema::single("s", FieldKind::Shingles);
+        let records: Vec<Record> = (0..8)
+            .map(|i| shingle_record(&[i, i + 1, i + 2, 100]))
+            .collect();
+        let labels = (0..8).map(|i| i as u32 / 2).collect();
+        let dataset = Dataset::new(schema, records, labels);
+        let rule = MatchRule::threshold(0, FieldDistance::Jaccard, 0.6);
+        let resolver = OnlineAdaLsh::new(&dataset, AdaLshConfig::new(rule.clone())).unwrap();
+        Service::new(resolver, rule, None)
+    }
+
+    fn get(path: &str) -> Request {
+        let (path, query) = match path.split_once('?') {
+            None => (path.to_string(), Vec::new()),
+            Some((p, qs)) => (
+                p.to_string(),
+                qs.split('&')
+                    .map(|kv| {
+                        let (k, v) = kv.split_once('=').unwrap_or((kv, ""));
+                        (k.to_string(), v.to_string())
+                    })
+                    .collect(),
+            ),
+        };
+        Request {
+            method: "GET".to_string(),
+            path,
+            query,
+            body: Vec::new(),
+        }
+    }
+
+    fn post(path: &str, body: &str) -> Request {
+        Request {
+            method: "POST".to_string(),
+            path: path.to_string(),
+            query: Vec::new(),
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    #[test]
+    fn healthz_reports_record_count() {
+        let service = test_service();
+        let (endpoint, response) = service.handle(&get("/healthz"));
+        assert_eq!(endpoint, "/healthz");
+        assert_eq!(response.status, 200);
+        let text = String::from_utf8(response.body).unwrap();
+        assert!(text.contains("\"records\":8"), "{text}");
+    }
+
+    #[test]
+    fn topk_requires_a_valid_k() {
+        let service = test_service();
+        assert_eq!(service.handle(&get("/topk")).1.status, 400);
+        assert_eq!(service.handle(&get("/topk?k=0")).1.status, 400);
+        assert_eq!(service.handle(&get("/topk?k=nope")).1.status, 400);
+        let ok = service.handle(&get("/topk?k=2")).1;
+        assert_eq!(ok.status, 200);
+        let text = String::from_utf8(ok.body).unwrap();
+        assert!(text.contains("\"clusters\":"), "{text}");
+        assert!(text.contains("\"hash_evals\":"), "{text}");
+    }
+
+    #[test]
+    fn ingest_validates_and_is_atomic() {
+        let service = test_service();
+        // Not JSON.
+        assert_eq!(service.handle(&post("/ingest", "nope")).1.status, 400);
+        // JSON but wrong shape.
+        assert_eq!(service.handle(&post("/ingest", "{}")).1.status, 400);
+        assert_eq!(
+            service
+                .handle(&post("/ingest", "{\"records\":[]}"))
+                .1
+                .status,
+            400
+        );
+        // Second record violates the schema (two fields) — nothing lands.
+        let bad = "{\"records\":[{\"fields\":[{\"Shingles\":[1,2]}]},\
+                    {\"fields\":[{\"Shingles\":[1]},{\"Shingles\":[2]}]}]}";
+        assert_eq!(service.handle(&post("/ingest", bad)).1.status, 400);
+        let health = String::from_utf8(service.handle(&get("/healthz")).1.body).unwrap();
+        assert!(health.contains("\"records\":8"), "{health}");
+
+        // A clean batch is accepted and ids come back in order.
+        let good = "{\"records\":[{\"fields\":[{\"Shingles\":[1,2,3]}]},\
+                     {\"fields\":[{\"Shingles\":[4,5,6]}]}]}";
+        let response = service.handle(&post("/ingest", good)).1;
+        assert_eq!(response.status, 200);
+        let text = String::from_utf8(response.body).unwrap();
+        assert!(text.contains("\"ids\":[8,9]"), "{text}");
+        assert!(text.contains("\"count\":2"), "{text}");
+    }
+
+    #[test]
+    fn unknown_routes_and_methods_are_structured_errors() {
+        let service = test_service();
+        let (endpoint, response) = service.handle(&get("/nope"));
+        assert_eq!(endpoint, "unmatched");
+        assert_eq!(response.status, 404);
+        assert!(String::from_utf8(response.body)
+            .unwrap()
+            .contains("\"error\""));
+        assert_eq!(service.handle(&post("/topk", "")).1.status, 405);
+        assert_eq!(service.handle(&get("/ingest")).1.status, 405);
+    }
+
+    #[test]
+    fn snapshot_without_a_path_is_rejected() {
+        let service = test_service();
+        let response = service.handle(&post("/snapshot", "")).1;
+        assert_eq!(response.status, 400);
+    }
+}

@@ -1,0 +1,95 @@
+//! Durable snapshots of the serving state.
+//!
+//! A snapshot file is the JSON of [`ServeSnapshot`]: a format version,
+//! the match rule the engine was configured with, and the resolver's
+//! full [`OnlineSnapshot`] (records, labels, per-record hash states,
+//! bootstrap prefix length). Restoring under the same rule rebuilds a
+//! bit-identical engine, so a restarted server answers its first query
+//! without re-hashing a single already-hashed record.
+//!
+//! Writes are atomic: the JSON is written to a `.tmp` sibling and then
+//! renamed over the target, so a crash mid-snapshot never corrupts the
+//! previous snapshot.
+
+use std::path::Path;
+
+use adalsh_core::{AdaLshConfig, OnlineAdaLsh, OnlineSnapshot};
+use adalsh_data::MatchRule;
+use serde::{Deserialize, Serialize};
+
+/// Current snapshot format version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Everything persisted by `POST /snapshot` / loaded by `--resume`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServeSnapshot {
+    /// Format version ([`SNAPSHOT_VERSION`]).
+    pub version: u32,
+    /// The match rule the resolver was configured with. Stored so a
+    /// resume under a different rule is rejected instead of silently
+    /// rebuilding a different engine (which would invalidate every
+    /// persisted hash state).
+    pub rule: MatchRule,
+    /// The resolver state proper.
+    pub resolver: OnlineSnapshot,
+}
+
+impl ServeSnapshot {
+    /// Captures the state of a resolver configured with `rule`.
+    pub fn capture(resolver: &OnlineAdaLsh, rule: MatchRule) -> Self {
+        Self {
+            version: SNAPSHOT_VERSION,
+            rule,
+            resolver: resolver.snapshot(),
+        }
+    }
+
+    /// Restores a resolver, verifying version and rule agreement.
+    ///
+    /// `config` must be the configuration the restarted server would use
+    /// anyway; its rule is checked against the persisted one.
+    ///
+    /// # Errors
+    /// Fails on version or rule mismatch, or on an inconsistent resolver
+    /// snapshot (see [`OnlineAdaLsh::from_snapshot`]).
+    pub fn restore(self, config: AdaLshConfig) -> Result<OnlineAdaLsh, String> {
+        if self.version != SNAPSHOT_VERSION {
+            return Err(format!(
+                "snapshot version {} unsupported (expected {SNAPSHOT_VERSION})",
+                self.version
+            ));
+        }
+        if self.rule != config.rule {
+            return Err(format!(
+                "snapshot was taken under rule {:?} but the server is configured with {:?}; \
+                 resuming would rebuild a different engine and invalidate every hash state",
+                self.rule, config.rule
+            ));
+        }
+        OnlineAdaLsh::from_snapshot(self.resolver, config)
+    }
+
+    /// Serializes and atomically writes the snapshot to `path`.
+    ///
+    /// # Errors
+    /// Fails on serialization or filesystem errors.
+    pub fn save(&self, path: &Path) -> Result<(), String> {
+        let json = serde_json::to_string(self).map_err(|e| format!("serialize snapshot: {e}"))?;
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, json.as_bytes())
+            .map_err(|e| format!("write {}: {e}", tmp.display()))?;
+        std::fs::rename(&tmp, path)
+            .map_err(|e| format!("rename {} -> {}: {e}", tmp.display(), path.display()))?;
+        Ok(())
+    }
+
+    /// Reads and parses a snapshot file.
+    ///
+    /// # Errors
+    /// Fails on filesystem or parse errors.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        serde_json::from_str(&text).map_err(|e| format!("parse {}: {e}", path.display()))
+    }
+}

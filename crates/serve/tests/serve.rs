@@ -1,0 +1,279 @@
+//! End-to-end tests: a real server on an ephemeral port, driven over
+//! raw TCP.
+//!
+//! The load-bearing assertions mirror the crate's contract:
+//!
+//! 1. the answer served on `/topk` after an HTTP ingest burst is
+//!    **bit-identical** to the batch `Pairs` oracle run on the same
+//!    record snapshot;
+//! 2. `POST /snapshot` → restart with resume → `/topk` returns the same
+//!    answer with **zero** additional hash evaluations for
+//!    already-hashed records;
+//! 3. malformed traffic gets structured JSON errors, never a dropped
+//!    connection or a crash.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+
+use adalsh_core::algorithm::FilterMethod;
+use adalsh_core::{AdaLshConfig, OnlineAdaLsh, Pairs};
+use adalsh_data::{
+    Dataset, FieldDistance, FieldKind, FieldValue, MatchRule, Record, Schema, ShingleSet,
+};
+use adalsh_serve::{ServeSnapshot, Server, ServerConfig, Service};
+use serde::{Deserialize, Serialize, Value};
+
+fn record(core: u64, noise: u64) -> Record {
+    let mut s: Vec<u64> = (0..15).map(|i| core * 1000 + i).collect();
+    s.push(core * 1000 + 500 + noise % 4);
+    Record::single(FieldValue::Shingles(ShingleSet::new(s)))
+}
+
+fn bootstrap() -> Dataset {
+    let schema = Schema::single("s", FieldKind::Shingles);
+    let records: Vec<Record> = (0..20).map(|i| record(i % 4, i)).collect();
+    let gt = (0..20).map(|i| (i % 4) as u32).collect();
+    Dataset::new(schema, records, gt)
+}
+
+fn rule() -> MatchRule {
+    MatchRule::threshold(0, FieldDistance::Jaccard, 0.4)
+}
+
+fn start_server(snapshot_path: Option<std::path::PathBuf>) -> (Server, Arc<Service>) {
+    let resolver = OnlineAdaLsh::new(&bootstrap(), AdaLshConfig::new(rule())).unwrap();
+    start_server_with(resolver, snapshot_path, ServerConfig::default())
+}
+
+fn start_server_with(
+    resolver: OnlineAdaLsh,
+    snapshot_path: Option<std::path::PathBuf>,
+    config: ServerConfig,
+) -> (Server, Arc<Service>) {
+    let service = Arc::new(Service::new(resolver, rule(), snapshot_path));
+    let server = Server::start(Arc::clone(&service), "127.0.0.1:0", config).unwrap();
+    (server, service)
+}
+
+/// Sends one raw HTTP/1.1 request and returns `(status, body)`.
+fn http(addr: SocketAddr, raw: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.write_all(raw.as_bytes()).unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    let status = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("unparsable response: {response:?}"));
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+    http(addr, &format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n"))
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
+    http(
+        addr,
+        &format!(
+            "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+/// The `/ingest` body for a batch of records.
+fn ingest_body(records: &[Record]) -> String {
+    let value = Value::Map(vec![("records".to_string(), records.to_value())]);
+    serde_json::to_string(&value).unwrap()
+}
+
+fn parse(body: &str) -> Value {
+    serde_json::from_str(body).unwrap_or_else(|e| panic!("bad JSON {body:?}: {e}"))
+}
+
+fn clusters_of(topk_body: &str) -> Vec<Vec<u32>> {
+    let value = parse(topk_body);
+    Vec::<Vec<u32>>::from_value(value.get("clusters").expect("clusters field")).unwrap()
+}
+
+fn hash_evals_of(topk_body: &str) -> u64 {
+    let value = parse(topk_body);
+    u64::from_value(value.get("stats").unwrap().get("hash_evals").unwrap()).unwrap()
+}
+
+#[test]
+fn ingest_then_topk_matches_batch_pairs_oracle() {
+    let (server, _service) = start_server(None);
+    let addr = server.local_addr();
+
+    // Liveness before any traffic.
+    let (status, body) = get(addr, "/healthz");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"records\":20"), "{body}");
+
+    // Ingest a burst over HTTP: 9 records growing entity 7.
+    let burst: Vec<Record> = (0..9).map(|i| record(7, i)).collect();
+    let (status, body) = post(addr, "/ingest", &ingest_body(&burst));
+    assert_eq!(status, 200, "{body}");
+    let ids = Vec::<u32>::from_value(parse(&body).get("ids").unwrap()).unwrap();
+    assert_eq!(ids, (20..29).collect::<Vec<u32>>());
+
+    // Query the service.
+    let (status, body) = get(addr, "/topk?k=2");
+    assert_eq!(status, 200, "{body}");
+    let served = clusters_of(&body);
+
+    // Batch oracle on the identical record snapshot.
+    let snapshot_records: Vec<Record> = bootstrap()
+        .records()
+        .iter()
+        .cloned()
+        .chain(burst.iter().cloned())
+        .collect();
+    let n = snapshot_records.len();
+    let oracle_dataset = Dataset::new(
+        Schema::single("s", FieldKind::Shingles),
+        snapshot_records,
+        vec![0; n],
+    );
+    let gold = Pairs::new(rule()).filter(&oracle_dataset, 2);
+
+    assert_eq!(
+        served, gold.clusters,
+        "served top-k must be bit-identical to the batch Pairs oracle"
+    );
+    assert_eq!(
+        served[0].len(),
+        9,
+        "entity 7's burst is the largest cluster"
+    );
+
+    // Metrics reflect the traffic served so far.
+    let (status, metrics) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(
+        metrics.contains("adalsh_ingested_records_total 9"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("adalsh_requests_total{endpoint=\"/topk\",status=\"200\"} 1"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("adalsh_request_seconds_bucket"),
+        "{metrics}"
+    );
+    assert!(
+        !metrics.contains("adalsh_hash_evals_total 0\n"),
+        "{metrics}"
+    );
+
+    server.shutdown();
+}
+
+#[test]
+fn snapshot_restart_resumes_without_rehashing() {
+    let path = std::env::temp_dir().join(format!("adalsh-serve-test-{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+
+    let (server, _service) = start_server(Some(path.clone()));
+    let addr = server.local_addr();
+
+    let burst: Vec<Record> = (0..6).map(|i| record(2, 40 + i)).collect();
+    let (status, _) = post(addr, "/ingest", &ingest_body(&burst));
+    assert_eq!(status, 200);
+
+    // First query pays the hashing; its answer is the reference.
+    let (_, first_body) = get(addr, "/topk?k=2");
+    let first_clusters = clusters_of(&first_body);
+    assert!(hash_evals_of(&first_body) > 0, "cold query must hash");
+
+    // Persist and stop.
+    let (status, body) = post(addr, "/snapshot", "");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"records\":26"), "{body}");
+    server.shutdown();
+
+    // Restart from disk under the same rule.
+    let restored = ServeSnapshot::load(&path)
+        .unwrap()
+        .restore(AdaLshConfig::new(rule()))
+        .unwrap();
+    let (server, _service) = start_server_with(restored, None, ServerConfig::default());
+    let addr = server.local_addr();
+
+    let (status, body) = get(addr, "/healthz");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"records\":26"), "{body}");
+
+    // Same answer, zero additional hash evaluations: every persisted
+    // hash state lined up with the rebuilt engine.
+    let (status, resumed_body) = get(addr, "/topk?k=2");
+    assert_eq!(status, 200);
+    assert_eq!(clusters_of(&resumed_body), first_clusters);
+    assert_eq!(
+        hash_evals_of(&resumed_body),
+        0,
+        "resumed server must not re-hash already-hashed records"
+    );
+
+    server.shutdown();
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn malformed_traffic_gets_structured_errors() {
+    let config = ServerConfig {
+        max_body_bytes: 256,
+        ..ServerConfig::default()
+    };
+    let resolver = OnlineAdaLsh::new(&bootstrap(), AdaLshConfig::new(rule())).unwrap();
+    let (server, _service) = start_server_with(resolver, None, config);
+    let addr = server.local_addr();
+
+    // Unknown route.
+    let (status, body) = get(addr, "/nope");
+    assert_eq!(status, 404);
+    assert!(parse(&body).get("error").is_some(), "{body}");
+
+    // Wrong method on a known route.
+    let (status, body) = post(addr, "/topk", "");
+    assert_eq!(status, 405);
+    assert!(parse(&body).get("error").is_some(), "{body}");
+
+    // Body that is not JSON.
+    let (status, body) = post(addr, "/ingest", "definitely not json");
+    assert_eq!(status, 400);
+    assert!(parse(&body).get("error").is_some(), "{body}");
+
+    // Schema-violating batch is atomic: nothing lands.
+    let bad = "{\"records\":[{\"fields\":[{\"Shingles\":[1]},{\"Shingles\":[2]}]}]}";
+    let (status, body) = post(addr, "/ingest", bad);
+    assert_eq!(status, 400, "{body}");
+    let (_, health) = get(addr, "/healthz");
+    assert!(health.contains("\"records\":20"), "{health}");
+
+    // Declared body above the configured cap.
+    let oversize = "x".repeat(512);
+    let (status, body) = post(addr, "/ingest", &oversize);
+    assert_eq!(status, 413);
+    assert!(parse(&body).get("error").is_some(), "{body}");
+
+    // Garbage request line.
+    let (status, body) = http(addr, "BOGUS\r\n\r\n");
+    assert_eq!(status, 400);
+    assert!(parse(&body).get("error").is_some(), "{body}");
+
+    // The server is still healthy after all of it.
+    let (status, _) = get(addr, "/healthz");
+    assert_eq!(status, 200);
+
+    server.shutdown();
+}
