@@ -66,12 +66,51 @@ serve_smoke() {
     grep -q '"clusters":' <&3 || { echo "/topk failed" >&2; return 1; }
     exec 3<&- 3>&-
 
+    # The engine's trace events must surface as adalsh_engine_* families
+    # on the scrape (the query above emitted at least one hash round).
+    local scrape
+    scrape=$(mktemp /tmp/adalsh-serve-smoke-XXXXXX.metrics)
+    exec 3<>"/dev/tcp/$host/$port"
+    printf 'GET /metrics HTTP/1.1\r\nHost: smoke\r\n\r\n' >&3
+    cat <&3 >"$scrape"
+    exec 3<&- 3>&-
+    grep -q 'adalsh_engine_hash_round_seconds_bucket' "$scrape" ||
+        { echo "/metrics missing engine hash-round histogram" >&2; return 1; }
+    grep -q 'adalsh_engine_pairwise_block_seconds_bucket' "$scrape" ||
+        { echo "/metrics missing engine pairwise-block histogram" >&2; return 1; }
+    grep -q 'adalsh_engine_gate_decisions_total' "$scrape" ||
+        { echo "/metrics missing engine gate-decision counter" >&2; return 1; }
+    if grep -q 'adalsh_engine_hash_round_seconds_count 0' "$scrape"; then
+        echo "engine hash-round histogram never observed a round" >&2
+        return 1
+    fi
+    rm -f "$scrape"
+
     # Clean shutdown.
     kill "$pid"
     wait "$pid" 2>/dev/null || true
     rm -f "$data" "$log"
 }
 serve_smoke
+
+echo "==> trace smoke"
+# Run the adaptive filter with --trace-out and check the emitted JSONL
+# validates (taxonomy + trace↔Stats reconciliation) and summarizes.
+trace_smoke() {
+    local data trace
+    data=$(mktemp /tmp/adalsh-trace-smoke-XXXXXX.jsonl)
+    trace=$(mktemp /tmp/adalsh-trace-smoke-XXXXXX.trace.jsonl)
+    ./target/release/adalsh generate spotsigs --out "$data" \
+        --records 200 --entities 30 >/dev/null
+    ./target/release/adalsh filter "$data" --k 3 --rule jaccard:0.6 \
+        --trace-out "$trace" >/dev/null
+    ./target/release/adalsh trace validate "$trace" | grep -q 'OK' ||
+        { echo "trace validate failed" >&2; return 1; }
+    ./target/release/adalsh trace summarize "$trace" | grep -q 'H1' ||
+        { echo "trace summarize missing level table" >&2; return 1; }
+    rm -f "$data" "$trace"
+}
+trace_smoke
 
 if [ "$bench_smoke" = 1 ]; then
     echo "==> bench_pairwise --smoke"

@@ -1,0 +1,92 @@
+//! End-to-end adaLSH baseline recorder: times a full Algorithm-1 run
+//! (design + filter, top-10 on a spotsigs corpus) with tracing disabled
+//! and with a discarding subscriber attached, and writes seconds per run
+//! plus the tracing overhead ratio to `BENCH_adalsh.json` at the
+//! workspace root.
+//!
+//! Like `bench_kernels` and `bench_pairwise`, this is a one-shot
+//! recorder producing a small machine-readable baseline that can be
+//! committed and diffed across PRs — in particular it pins the
+//! "tracing off costs nothing" contract: `overhead/noop` is the factor
+//! a *subscribed* run pays, and `disabled_seconds` is the number any
+//! future observability change must not regress.
+//!
+//! ```sh
+//! cargo run --release -p adalsh-bench --bin bench_adalsh
+//! cargo run --release -p adalsh-bench --bin bench_adalsh -- --smoke
+//! ```
+//!
+//! `--smoke` runs a smaller corpus and does not overwrite the committed
+//! baseline.
+
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+use adalsh_core::algorithm::default_threads;
+use adalsh_core::{AdaLsh, AdaLshConfig, TraceSink};
+use adalsh_data::{FieldDistance, MatchRule};
+use adalsh_datagen::spotsigs::{self, SpotSigsConfig};
+use adalsh_obs::NoopSubscriber;
+
+/// Times one run, repeated after one warmup until ≥ 2 iterations and
+/// ≥ 0.4 s have elapsed. Returns seconds per run.
+fn measure(mut f: impl FnMut()) -> f64 {
+    f();
+    let mut iters = 0u64;
+    let start = Instant::now();
+    loop {
+        f();
+        iters += 1;
+        if iters >= 2 && start.elapsed().as_secs_f64() > 0.4 {
+            break;
+        }
+    }
+    start.elapsed().as_secs_f64() / iters as f64
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (num_records, num_entities) = if smoke { (300, 40) } else { (1100, 120) };
+    let k = 10;
+    let threads = default_threads();
+
+    let dataset = spotsigs::generate(&SpotSigsConfig {
+        num_records,
+        num_entities,
+        seed: 42,
+        ..SpotSigsConfig::default()
+    });
+    let rule = MatchRule::threshold(0, FieldDistance::Jaccard, 0.6);
+
+    let run = |trace: TraceSink| {
+        let mut config = AdaLshConfig::new(rule.clone());
+        config.threads = threads;
+        config.trace = trace;
+        let mut ada = AdaLsh::for_dataset(&dataset, config).expect("design");
+        black_box(ada.run(&dataset, k));
+    };
+
+    let disabled = measure(|| run(TraceSink::disabled()));
+    let noop = measure(|| run(TraceSink::new(Arc::new(NoopSubscriber))));
+    let overhead = noop / disabled;
+    println!(
+        "adalsh/{num_records}r  disabled {disabled:>9.5}s  noop-subscribed {noop:>9.5}s  \
+         overhead {overhead:>5.3}x"
+    );
+
+    let json = format!(
+        "{{\n  \"_meta\": {{ \"records\": {num_records}, \"entities\": {num_entities}, \
+         \"k\": {k}, \"threads\": {threads}, \"unit\": \"seconds per filter run\" }},\n  \
+         \"disabled_seconds\": {disabled:.6},\n  \"noop_seconds\": {noop:.6},\n  \
+         \"overhead/noop\": {overhead:.3}\n}}\n"
+    );
+
+    if smoke {
+        println!("smoke mode: baseline not written");
+        return;
+    }
+    let path = "BENCH_adalsh.json";
+    std::fs::write(path, &json).expect("write baseline");
+    println!("wrote {path}");
+}

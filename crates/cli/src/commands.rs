@@ -12,6 +12,7 @@ use adalsh_data::{io as dio, Dataset};
 use adalsh_datagen::popimages::PopImagesConfig;
 use adalsh_datagen::spotsigs::SpotSigsConfig;
 use adalsh_datagen::CoraConfig;
+use adalsh_obs::{jsonl, schema, summary, JsonlSubscriber, TraceSink};
 use adalsh_serve::{ServeSnapshot, Server, ServerConfig, Service};
 
 use crate::args::Args;
@@ -153,6 +154,13 @@ pub fn serve(args: &Args) -> Result<(), String> {
     let workers: usize = args.flag_or("workers", 4usize)?;
     let threads: usize = args.flag_or("threads", 0usize)?;
     let snapshot_out = args.flag("snapshot-out").map(PathBuf::from);
+    let trace = match args.flag("trace-out") {
+        Some(path) => {
+            println!("tracing engine rounds to {path}");
+            trace_sink(path)?
+        }
+        None => TraceSink::disabled(),
+    };
 
     let (resolver, rule) = if let Some(path) = args.flag("resume") {
         let snapshot = ServeSnapshot::load(Path::new(path))?;
@@ -161,6 +169,7 @@ pub fn serve(args: &Args) -> Result<(), String> {
         if threads > 0 {
             config.threads = threads;
         }
+        config.trace = trace;
         let resolver = snapshot.restore(config)?;
         println!("resumed {} records from {path}", resolver.len());
         (resolver, rule)
@@ -171,6 +180,7 @@ pub fn serve(args: &Args) -> Result<(), String> {
         if threads > 0 {
             config.threads = threads;
         }
+        config.trace = trace;
         let resolver = OnlineAdaLsh::new(&dataset, config)?;
         println!("bootstrapped engine from {} records", resolver.len());
         (resolver, rule)
@@ -205,11 +215,21 @@ fn run_method(
     // 0 = auto (the methods' default: available parallelism). Applies to
     // every method — they all end in `P` or threaded hashing.
     let threads: usize = args.flag_or("threads", 0usize)?;
+    let trace_out = args.flag("trace-out");
+    if trace_out.is_some() && method != "adalsh" {
+        return Err(format!(
+            "--trace-out instruments the adaLSH round loop; method '{method}' does not emit trace \
+             events (drop --trace-out or use --method adalsh)"
+        ));
+    }
     let mut boxed: Box<dyn FilterMethod> = match method {
         "adalsh" => {
             let mut config = AdaLshConfig::new(rule.clone());
             if threads > 0 {
                 config.threads = threads;
+            }
+            if let Some(path) = trace_out {
+                config.trace = trace_sink(path)?;
             }
             Box::new(AdaLsh::for_dataset(dataset, config)?)
         }
@@ -233,5 +253,44 @@ fn run_method(
         other => return Err(format!("unknown method '{other}'")),
     };
     let out = boxed.filter(dataset, k);
+    if let Some(path) = trace_out {
+        println!("trace written to {path}");
+    }
     Ok((boxed.name(), out))
+}
+
+/// Opens a JSONL trace writer as a [`TraceSink`].
+fn trace_sink(path: &str) -> Result<TraceSink, String> {
+    let subscriber =
+        JsonlSubscriber::create(Path::new(path)).map_err(|e| format!("create {path}: {e}"))?;
+    Ok(TraceSink::new(Arc::new(subscriber)))
+}
+
+/// `adalsh trace <validate|summarize> <file.jsonl>`
+///
+/// `validate` checks the trace against the event taxonomy and every
+/// reconciliation identity (trace event sums must equal the run's
+/// `Stats` totals — see `adalsh_obs::schema`); `summarize` renders a
+/// per-level table of rounds, hash work, pairwise work, and wall time.
+pub fn trace(args: &Args) -> Result<(), String> {
+    let action = args.positional(0, "trace action (validate|summarize)")?;
+    let path = args.positional(1, "trace file")?;
+    let events = jsonl::read_events(Path::new(path))?;
+    match action {
+        "validate" => {
+            let report = schema::validate(&events)?;
+            println!(
+                "{path}: OK — {} events, {} complete run(s), all reconciliation identities hold",
+                report.events, report.runs
+            );
+            Ok(())
+        }
+        "summarize" => {
+            print!("{}", summary::summarize(&events));
+            Ok(())
+        }
+        other => Err(format!(
+            "unknown trace action '{other}' (want validate or summarize)"
+        )),
+    }
 }

@@ -7,6 +7,7 @@
 //! adalsh evaluate <data.jsonl> --k K [--method …] [--khat K2] [--rule …]
 //! adalsh serve <bootstrap.jsonl> [--addr 127.0.0.1:8080] [--rule …] [--snapshot-out s.json]
 //! adalsh serve --resume s.json [--addr …]
+//! adalsh trace <validate|summarize> <trace.jsonl>
 //! ```
 //!
 //! Rule selection (`--rule`): `jaccard:<dthr>` or `angular:<degrees>`
@@ -27,10 +28,13 @@ USAGE:
   adalsh generate <cora|spotsigs|popimages> --out <file> [--records N] [--entities N] [--seed S] [--exponent E]
   adalsh info <data.jsonl>
   adalsh filter <data.jsonl> --k <K> [--method adalsh|pairs|lsh<X>] [--rule <spec>] [--threads <N>] [--out <file>]
+                [--trace-out <file.jsonl>]
   adalsh evaluate <data.jsonl> --k <K> [--khat <K2>] [--method <m>] [--rule <spec>] [--threads <N>]
+                [--trace-out <file.jsonl>]
   adalsh serve <bootstrap.jsonl> [--addr <host:port>] [--rule <spec>] [--snapshot-out <file>]
-               [--workers <N>] [--threads <N>]
+               [--workers <N>] [--threads <N>] [--trace-out <file.jsonl>]
   adalsh serve --resume <snapshot.json> [--addr <host:port>] [--workers <N>] [--threads <N>]
+  adalsh trace <validate|summarize> <trace.jsonl>
 
 SERVE:
   Boots the online top-k resolution HTTP service (POST /ingest,
@@ -38,6 +42,17 @@ SERVE:
   start designs the engine from the bootstrap dataset; --resume restores
   a POST /snapshot file without re-hashing any record. --addr with port
   0 picks an ephemeral port (printed on stdout once bound).
+
+TRACING:
+  --trace-out <file>  write one JSON object per engine event (hash
+                      rounds, gate decisions, pairwise blocks, finals)
+                      to <file>; adaLSH method only. Inspect with
+                      `adalsh trace summarize <file>` (per-level table)
+                      or `adalsh trace validate <file>` (checks every
+                      event against the taxonomy and reconciles trace
+                      sums against the run's Stats totals). The serve
+                      command additionally folds these events into
+                      adalsh_engine_* histograms on GET /metrics.
 
 RULE SPECS:
   jaccard:<dthr>     Jaccard distance threshold on field 0 (e.g. jaccard:0.6)
@@ -70,6 +85,7 @@ fn main() {
         "filter" => commands::filter(&args),
         "evaluate" => commands::evaluate(&args),
         "serve" => commands::serve(&args),
+        "trace" => commands::trace(&args),
         other => Err(format!("unknown command '{other}'")),
     };
     if let Err(e) = result {

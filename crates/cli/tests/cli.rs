@@ -223,6 +223,97 @@ fn serve_boots_answers_health_and_topk_and_dies_cleanly() {
 }
 
 #[test]
+fn filter_trace_roundtrip_validates_and_summarizes() {
+    let data = tmpfile("tr.jsonl");
+    let trace = tmpfile("tr_trace.jsonl");
+    generate(&data);
+    let out = bin()
+        .args([
+            "filter",
+            data.to_str().unwrap(),
+            "--k",
+            "3",
+            "--rule",
+            "jaccard:0.6",
+            "--trace-out",
+            trace.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run filter");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("trace written to"), "{text}");
+
+    // Every line is a flat JSON event, bracketed by run_start/run_end.
+    let raw = std::fs::read_to_string(&trace).expect("trace file");
+    assert!(raw.contains("\"ev\":\"run_start\""), "{raw}");
+    assert!(raw.contains("\"ev\":\"run_end\""), "{raw}");
+
+    // `trace validate` reconciles the events against the Stats totals.
+    let out = bin()
+        .args(["trace", "validate", trace.to_str().unwrap()])
+        .output()
+        .expect("run trace validate");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("OK"), "{text}");
+    assert!(text.contains("1 complete run"), "{text}");
+
+    // `trace summarize` renders the per-level table.
+    let out = bin()
+        .args(["trace", "summarize", trace.to_str().unwrap()])
+        .output()
+        .expect("run trace summarize");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("H1"), "{text}");
+    assert!(text.contains("level"), "{text}");
+}
+
+#[test]
+fn trace_out_rejected_for_untraced_methods() {
+    let data = tmpfile("trm.jsonl");
+    generate(&data);
+    let out = bin()
+        .args([
+            "filter",
+            data.to_str().unwrap(),
+            "--k",
+            "2",
+            "--method",
+            "pairs",
+            "--trace-out",
+            tmpfile("trm_trace.jsonl").to_str().unwrap(),
+        ])
+        .output()
+        .expect("run filter");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("adaLSH"), "{err}");
+}
+
+#[test]
+fn trace_validate_rejects_garbage() {
+    let bad = tmpfile("garbage.jsonl");
+    std::fs::write(&bad, "{\"ev\":\"not_an_event\"}\n").unwrap();
+    let out = bin()
+        .args(["trace", "validate", bad.to_str().unwrap()])
+        .output()
+        .expect("run trace validate");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown event"), "{err}");
+}
+
+#[test]
 fn unknown_command_fails_cleanly() {
     let out = bin().args(["frobnicate"]).output().expect("run");
     assert!(!out.status.success());

@@ -20,12 +20,13 @@ use std::time::{Duration, Instant};
 
 use adalsh_data::{Dataset, FieldValue, MatchRule};
 use adalsh_lsh::mix::derive_seed;
+use adalsh_obs::{TraceSink, Value};
 use rand::{Rng, SeedableRng};
 
 use crate::bins::BinIndex;
 use crate::cost::CostModel;
 use crate::hashing::{RecordHashState, SequenceHasher};
-use crate::pairwise::apply_pairwise;
+use crate::pairwise::{apply_pairwise_traced, DEFAULT_PAIR_BLOCK};
 use crate::sequence::{design, SequenceSpec};
 use crate::stats::Stats;
 use crate::transitive::apply_transitive_threaded;
@@ -80,6 +81,10 @@ pub struct AdaLshConfig {
     /// takes `H₁…H_L` as given input). Disable to use
     /// `spec.max_budget` verbatim.
     pub scale_max_budget: bool,
+    /// Structured-trace sink (see `adalsh_obs`). Disabled by default —
+    /// one predicted branch per decision point; no field computation or
+    /// timestamps happen unless a subscriber is attached.
+    pub trace: TraceSink,
 }
 
 impl AdaLshConfig {
@@ -96,6 +101,7 @@ impl AdaLshConfig {
             measured_cost: false,
             threads: default_threads(),
             scale_max_budget: true,
+            trace: TraceSink::disabled(),
         }
     }
 }
@@ -258,11 +264,34 @@ impl AdaLsh {
             CostModel::analytic(&hasher, dataset, &config.rule)
         }
         .with_noise(config.cost_noise);
+        if config.trace.enabled() {
+            for (idx, level) in hasher.levels().iter().enumerate() {
+                config.trace.emit(
+                    "design_level",
+                    &[
+                        ("level", Value::U64(idx as u64 + 1)),
+                        ("budget", Value::U64(level.budget())),
+                    ],
+                );
+            }
+        }
         Ok(Self {
             config,
             hasher,
             cost,
         })
+    }
+
+    /// Installs (or replaces) the trace sink after construction. Useful
+    /// when the engine is built indirectly — e.g. restored from a
+    /// snapshot — and the observer only exists afterwards.
+    pub fn set_trace(&mut self, sink: TraceSink) {
+        self.config.trace = sink;
+    }
+
+    /// The engine's trace sink.
+    pub fn trace(&self) -> &TraceSink {
+        &self.config.trace
     }
 
     /// Number of sequence functions `L` in the designed sequence.
@@ -322,6 +351,16 @@ impl AdaLsh {
         let n = dataset.len();
         let num_levels = self.hasher.num_levels();
         let mut rng = rand::rngs::StdRng::seed_from_u64(derive_seed(self.config.spec.seed, 0xA1));
+        let sink = self.config.trace.clone();
+        sink.emit(
+            "run_start",
+            &[
+                ("records", Value::U64(n as u64)),
+                ("k", Value::U64(k as u64)),
+                ("levels", Value::U64(num_levels as u64)),
+                ("threads", Value::U64(self.config.threads as u64)),
+            ],
+        );
 
         let mut arena: Vec<Option<ArenaEntry>> = Vec::new();
         let mut pool = Pool::new(self.config.selection);
@@ -329,7 +368,10 @@ impl AdaLsh {
 
         // Line 1: apply H₁ to the whole dataset.
         let all: Vec<u32> = (0..n as u32).collect();
-        stats.modeled_cost += self.cost.hash_increment_cost(0, n);
+        let predicted = self.cost.hash_increment_cost(0, n);
+        stats.modeled_cost += predicted;
+        let before = stats;
+        let round_start = sink.enabled().then(Instant::now);
         let first = apply_transitive_threaded(
             &self.hasher,
             states,
@@ -339,6 +381,9 @@ impl AdaLsh {
             self.config.threads,
             &mut stats,
         );
+        if let Some(t0) = round_start {
+            emit_hash_round(&sink, 1, n, &before, &stats, first.len(), t0, predicted);
+        }
         for c in first {
             push_cluster(&mut arena, &mut pool, c, ClusterLevel::Hashed(1));
         }
@@ -373,6 +418,21 @@ impl AdaLsh {
                 }
             };
             if is_final {
+                if sink.enabled() {
+                    let (origin, level) = match entry.level {
+                        ClusterLevel::Pairwise => ("pairwise", 0u64),
+                        ClusterLevel::Hashed(t) => ("hashed", t as u64),
+                    };
+                    sink.emit(
+                        "final_cluster",
+                        &[
+                            ("rank", Value::U64(finals.len() as u64)),
+                            ("size", Value::U64(size as u64)),
+                            ("origin", Value::Str(origin)),
+                            ("level", Value::U64(level)),
+                        ],
+                    );
+                }
                 on_final(finals.len(), &entry.records);
                 finals.push(entry.records);
                 continue;
@@ -382,34 +442,97 @@ impl AdaLsh {
                 ClusterLevel::Pairwise => unreachable!("pairwise is always final"),
             };
             // Line 5: jump-ahead gate (forced when no H_{t+1} exists).
-            let use_pairwise = t == num_levels
-                || (!self.config.disable_jump_gate && self.cost.jump_to_pairwise(t, size));
+            let forced = t == num_levels;
+            let use_pairwise =
+                forced || (!self.config.disable_jump_gate && self.cost.jump_to_pairwise(t, size));
+            if sink.enabled() {
+                let mut fields = vec![
+                    ("level", Value::U64(t as u64)),
+                    ("cluster_size", Value::U64(size as u64)),
+                    (
+                        "predicted_pairwise_cost",
+                        Value::F64(self.cost.pairwise_cost(size)),
+                    ),
+                    (
+                        "action",
+                        Value::Str(if use_pairwise { "pairwise" } else { "hash" }),
+                    ),
+                    ("forced", Value::U64(u64::from(forced))),
+                ];
+                if !forced {
+                    // `hash_increment_cost(t, _)` indexes level t+1, which
+                    // does not exist on a forced jump.
+                    fields.push((
+                        "predicted_hash_cost",
+                        Value::F64(self.cost.hash_increment_cost(t, size)),
+                    ));
+                }
+                sink.emit("gate", &fields);
+            }
             let (subs, level) = if use_pairwise {
-                stats.modeled_cost += self.cost.pairwise_cost(size);
-                (
-                    apply_pairwise(
-                        dataset,
-                        &self.config.rule,
-                        &entry.records,
-                        self.config.threads,
-                        &mut stats,
-                    ),
-                    ClusterLevel::Pairwise,
-                )
+                let predicted = self.cost.pairwise_cost(size);
+                stats.modeled_cost += predicted;
+                let before = stats;
+                let round_start = sink.enabled().then(Instant::now);
+                let (subs, ptrace) = apply_pairwise_traced(
+                    dataset,
+                    &self.config.rule,
+                    &entry.records,
+                    self.config.threads,
+                    DEFAULT_PAIR_BLOCK,
+                    &sink,
+                    &mut stats,
+                );
+                if let Some(t0) = round_start {
+                    sink.emit(
+                        "pairwise",
+                        &[
+                            ("cluster_size", Value::U64(size as u64)),
+                            (
+                                "pairs",
+                                Value::U64(stats.pair_comparisons - before.pair_comparisons),
+                            ),
+                            (
+                                "distance_evals",
+                                Value::U64(stats.distance_evals - before.distance_evals),
+                            ),
+                            ("kernel_checks", Value::U64(ptrace.kernel_checks)),
+                            ("early_exits", Value::U64(ptrace.early_exits)),
+                            ("blocks", Value::U64(ptrace.blocks)),
+                            ("subclusters", Value::U64(subs.len() as u64)),
+                            ("wall_micros", Value::U64(t0.elapsed().as_micros() as u64)),
+                            ("predicted_cost", Value::F64(predicted)),
+                        ],
+                    );
+                }
+                (subs, ClusterLevel::Pairwise)
             } else {
-                stats.modeled_cost += self.cost.hash_increment_cost(t, size);
-                (
-                    apply_transitive_threaded(
-                        &self.hasher,
-                        states,
-                        dataset,
-                        &entry.records,
+                let predicted = self.cost.hash_increment_cost(t, size);
+                stats.modeled_cost += predicted;
+                let before = stats;
+                let round_start = sink.enabled().then(Instant::now);
+                let subs = apply_transitive_threaded(
+                    &self.hasher,
+                    states,
+                    dataset,
+                    &entry.records,
+                    t + 1,
+                    self.config.threads,
+                    &mut stats,
+                );
+                if let Some(t0) = round_start {
+                    emit_hash_round(
+                        &sink,
                         t + 1,
-                        self.config.threads,
-                        &mut stats,
-                    ),
-                    ClusterLevel::Hashed(t as u16 + 1),
-                )
+                        size,
+                        &before,
+                        &stats,
+                        subs.len(),
+                        t0,
+                        predicted,
+                    );
+                }
+                (subs, ClusterLevel::Hashed(t as u16 + 1))
             };
             for c in subs {
                 push_cluster(&mut arena, &mut pool, c, level);
@@ -425,13 +548,72 @@ impl AdaLsh {
             c.sort_unstable();
         }
         finals.sort_by(|a, b| b.len().cmp(&a.len()).then_with(|| a[0].cmp(&b[0])));
+        // `finals` counts final_cluster events — captured before the
+        // truncation so the trace reconciles.
+        let finals_resolved = finals.len();
         finals.truncate(k);
+        let wall = start.elapsed();
+        if sink.enabled() {
+            sink.emit(
+                "run_end",
+                &[
+                    ("rounds", Value::U64(stats.rounds)),
+                    ("finals", Value::U64(finals_resolved as u64)),
+                    ("hash_evals", Value::U64(stats.hash_evals)),
+                    ("distance_evals", Value::U64(stats.distance_evals)),
+                    ("pair_comparisons", Value::U64(stats.pair_comparisons)),
+                    ("bucket_inserts", Value::U64(stats.bucket_inserts)),
+                    ("transitive_calls", Value::U64(stats.transitive_calls)),
+                    ("pairwise_calls", Value::U64(stats.pairwise_calls)),
+                    ("modeled_cost", Value::F64(stats.modeled_cost)),
+                    ("wall_micros", Value::U64(wall.as_micros() as u64)),
+                ],
+            );
+            sink.flush();
+        }
         FilterOutput {
             clusters: finals,
             stats,
-            wall: start.elapsed(),
+            wall,
         }
     }
+}
+
+/// Emits one `hash_round` event from the `Stats` delta of a transitive
+/// invocation. `keys_emitted` is the bucket-insert delta: one insert per
+/// (record, emitted key) — exactly the paper's "keys emitted" notion.
+#[allow(clippy::too_many_arguments)]
+fn emit_hash_round(
+    sink: &TraceSink,
+    level: usize,
+    cluster_size: usize,
+    before: &Stats,
+    after: &Stats,
+    subclusters: usize,
+    round_start: Instant,
+    predicted_cost: f64,
+) {
+    sink.emit(
+        "hash_round",
+        &[
+            ("level", Value::U64(level as u64)),
+            ("cluster_size", Value::U64(cluster_size as u64)),
+            (
+                "hash_evals",
+                Value::U64(after.hash_evals - before.hash_evals),
+            ),
+            (
+                "keys_emitted",
+                Value::U64(after.bucket_inserts - before.bucket_inserts),
+            ),
+            ("subclusters", Value::U64(subclusters as u64)),
+            (
+                "wall_micros",
+                Value::U64(round_start.elapsed().as_micros() as u64),
+            ),
+            ("predicted_cost", Value::F64(predicted_cost)),
+        ],
+    );
 }
 
 fn push_cluster(
@@ -460,6 +642,7 @@ impl FilterMethod for AdaLsh {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pairwise::apply_pairwise;
     use adalsh_data::{FieldDistance, FieldKind, Record, Schema, ShingleSet};
 
     /// A dataset with planted entities: entity e has `sizes[e]` records,

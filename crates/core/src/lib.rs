@@ -40,9 +40,11 @@ pub mod sequence;
 pub mod stats;
 pub mod transitive;
 
+pub use adalsh_obs::TraceSink;
 pub use algorithm::{AdaLsh, AdaLshConfig, FilterOutput, SelectionStrategy};
 pub use baselines::{LshBlocking, Pairs};
 pub use cost::CostModel;
 pub use online::{OnlineAdaLsh, OnlineSnapshot};
+pub use pairwise::PairwiseTrace;
 pub use sequence::{design, BudgetStrategy, SequenceSpec};
 pub use stats::Stats;

@@ -29,6 +29,7 @@
 //! for an already-hashed record.
 
 use adalsh_data::{Dataset, Record, Schema};
+use adalsh_obs::{TraceSink, Value};
 use serde::{Deserialize, Serialize};
 
 use crate::algorithm::{AdaLsh, AdaLshConfig, FilterOutput};
@@ -159,8 +160,50 @@ impl OnlineAdaLsh {
     /// is borrowed, not rebuilt — a steady-state query does no per-record
     /// copying.
     pub fn query(&mut self, k: usize) -> FilterOutput {
-        self.engine
-            .run_with_states(&self.dataset, k, &mut self.states, |_, _| {})
+        let sink = self.engine.trace().clone();
+        // Per-record levels before the run: fresh records (level 0) have
+        // never been hashed; records whose level grows during this query
+        // are the ones pushed deeper than any earlier query needed.
+        let pre_levels: Option<Vec<u16>> = sink
+            .enabled()
+            .then(|| self.states.iter().map(|s| s.level).collect());
+        let out = self
+            .engine
+            .run_with_states(&self.dataset, k, &mut self.states, |_, _| {});
+        if let Some(before) = pre_levels {
+            let fresh = before.iter().filter(|&&level| level == 0).count() as u64;
+            let advanced = self
+                .states
+                .iter()
+                .zip(&before)
+                .filter(|(s, &b)| s.level > b)
+                .count() as u64;
+            sink.emit(
+                "online_query",
+                &[
+                    ("k", Value::U64(k as u64)),
+                    ("records", Value::U64(self.dataset.len() as u64)),
+                    ("fresh_records", Value::U64(fresh)),
+                    ("advanced_records", Value::U64(advanced)),
+                    ("hash_evals", Value::U64(out.stats.hash_evals)),
+                    ("wall_micros", Value::U64(out.wall.as_micros() as u64)),
+                ],
+            );
+            sink.flush();
+        }
+        out
+    }
+
+    /// Installs (or replaces) the engine's trace sink — e.g. the serving
+    /// layer folding engine events into its metrics registry.
+    pub fn set_trace(&mut self, sink: TraceSink) {
+        self.config.trace = sink.clone();
+        self.engine.set_trace(sink);
+    }
+
+    /// The engine's trace sink.
+    pub fn trace(&self) -> &TraceSink {
+        self.engine.trace()
     }
 
     /// Captures the resolver's full state for persistence.

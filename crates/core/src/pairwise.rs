@@ -38,7 +38,8 @@
 //!   the verdict the scalar loop would compute (the rule is
 //!   deterministic and `matches_in` is bit-equivalent to `matches`).
 
-use adalsh_data::{Dataset, MatchRule};
+use adalsh_data::{Dataset, ExitCounts, MatchRule};
+use adalsh_obs::{TraceSink, Value};
 
 use crate::ppt::Forest;
 use crate::stats::Stats;
@@ -156,6 +157,117 @@ pub fn apply_pairwise_blocked(
     clusters_of(forest, cluster)
 }
 
+/// Observability totals from one [`apply_pairwise_traced`] call: how
+/// many wavefront blocks ran, how many threshold kernels fired inside
+/// them (including speculative evaluations that are never charged to
+/// [`Stats`]), and how many of those kernels resolved on an early-exit
+/// path. Purely observational — clusters and `Stats` are bit-identical
+/// to the untraced paths.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PairwiseTrace {
+    /// Wavefront blocks processed (each emitted one `pairwise_block`
+    /// trace event).
+    pub blocks: u64,
+    /// Threshold-kernel invocations across all blocks.
+    pub kernel_checks: u64,
+    /// Kernel invocations resolved without an exact distance computation.
+    pub early_exits: u64,
+}
+
+/// [`apply_pairwise_blocked`] emitting one `pairwise_block` trace event
+/// per wavefront block (fields: `pairs_open`, `pairs_charged`,
+/// `kernel_checks`, `early_exits`, `wall_micros`) and returning the
+/// block/kernel tally alongside the clusters.
+///
+/// With a disabled sink this *is* `apply_pairwise_blocked` (plus a zero
+/// tally). With tracing on, the block-structured wavefront runs even at
+/// `threads == 1` so the per-block events exist; the pair order, skips,
+/// and `Stats` charges are identical either way (the fused single-thread
+/// loop is an optimization of block size 1, and block size is
+/// stats-neutral by construction — see
+/// `parallel_equals_scalar_on_mixed_cluster`).
+pub fn apply_pairwise_traced(
+    dataset: &Dataset,
+    rule: &MatchRule,
+    cluster: &[u32],
+    threads: usize,
+    block_pairs: usize,
+    sink: &TraceSink,
+    stats: &mut Stats,
+) -> (Vec<Vec<u32>>, PairwiseTrace) {
+    if !sink.enabled() {
+        let clusters = apply_pairwise_blocked(dataset, rule, cluster, threads, block_pairs, stats);
+        return (clusters, PairwiseTrace::default());
+    }
+    stats.pairwise_calls += 1;
+    let n = cluster.len();
+    let mut forest = Forest::new(n);
+    for slot in 0..n as u32 {
+        forest.add_singleton(slot);
+    }
+    let per_pair_distances = rule.num_elementary_distances() as u64;
+    let threads = threads.max(1);
+    let block_pairs = block_pairs.max(1);
+    let mut trace = PairwiseTrace::default();
+
+    let (mut i, mut j) = (0u32, 1u32);
+    let mut open: Vec<(u32, u32)> = Vec::with_capacity(block_pairs.min(1 << 16));
+    let mut verdicts: Vec<bool> = Vec::new();
+    while (i as usize) + 1 < n {
+        let block_start = std::time::Instant::now();
+        open.clear();
+        let mut taken = 0;
+        while taken < block_pairs && (i as usize) + 1 < n {
+            let ri = forest.find_root_of_slot(i).expect("added above");
+            let rj = forest.find_root_of_slot(j).expect("added above");
+            if ri != rj {
+                open.push((i, j));
+            }
+            taken += 1;
+            j += 1;
+            if j as usize == n {
+                i += 1;
+                j = i + 1;
+            }
+        }
+
+        let counts = evaluate_block_counted(dataset, rule, cluster, &open, threads, &mut verdicts);
+
+        let mut charged = 0u64;
+        for (&(a, b), &matched) in open.iter().zip(&verdicts) {
+            let ra = forest.find_root_of_slot(a).expect("added above");
+            let rb = forest.find_root_of_slot(b).expect("added above");
+            if ra == rb {
+                continue;
+            }
+            charged += 1;
+            stats.pair_comparisons += 1;
+            stats.distance_evals += per_pair_distances;
+            if matched {
+                forest.merge_roots(ra, rb);
+            }
+        }
+
+        trace.blocks += 1;
+        trace.kernel_checks += counts.checks;
+        trace.early_exits += counts.early_exits;
+        sink.emit(
+            "pairwise_block",
+            &[
+                ("pairs_open", Value::U64(open.len() as u64)),
+                ("pairs_charged", Value::U64(charged)),
+                ("kernel_checks", Value::U64(counts.checks)),
+                ("early_exits", Value::U64(counts.early_exits)),
+                (
+                    "wall_micros",
+                    Value::U64(block_start.elapsed().as_micros() as u64),
+                ),
+            ],
+        );
+    }
+    (clusters_of(forest, cluster), trace)
+}
+
 /// Maps the forest's slot clusters back to record ids.
 fn clusters_of(forest: Forest, cluster: &[u32]) -> Vec<Vec<u32>> {
     forest
@@ -195,6 +307,51 @@ fn evaluate_block(
             scope.spawn(move || eval(pairs, out));
         }
     });
+}
+
+/// [`evaluate_block`] through the counted kernels
+/// ([`MatchRule::matches_in_counted`]), tallying kernel invocations and
+/// early exits per worker and merging the tallies at join time. Verdicts
+/// are bit-identical to the uncounted path (the counted kernels own the
+/// logic; the plain ones delegate).
+fn evaluate_block_counted(
+    dataset: &Dataset,
+    rule: &MatchRule,
+    cluster: &[u32],
+    open: &[(u32, u32)],
+    threads: usize,
+    verdicts: &mut Vec<bool>,
+) -> ExitCounts {
+    verdicts.clear();
+    verdicts.resize(open.len(), false);
+    let eval = |pairs: &[(u32, u32)], out: &mut [bool]| {
+        let mut counts = ExitCounts::default();
+        for (v, &(a, b)) in out.iter_mut().zip(pairs) {
+            *v = rule.matches_in_counted(
+                dataset,
+                cluster[a as usize],
+                cluster[b as usize],
+                &mut counts,
+            );
+        }
+        counts
+    };
+    if threads == 1 || open.len() < MIN_PARALLEL_PAIRS {
+        return eval(open, verdicts);
+    }
+    let chunk = open.len().div_ceil(threads);
+    let mut total = ExitCounts::default();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = open
+            .chunks(chunk)
+            .zip(verdicts.chunks_mut(chunk))
+            .map(|(pairs, out)| scope.spawn(move || eval(pairs, out)))
+            .collect();
+        for handle in handles {
+            total.merge(&handle.join().expect("block worker panicked"));
+        }
+    });
+    total
 }
 
 /// The scalar reference implementation of `P`: one pair at a time, in
@@ -366,6 +523,63 @@ mod tests {
                 assert_eq!(st, st_scalar, "t={threads} b={block}");
             }
         }
+    }
+
+    #[test]
+    fn traced_equals_untraced_and_events_reconcile() {
+        use adalsh_obs::MemorySubscriber;
+        use std::sync::Arc;
+
+        let sets: Vec<Vec<u64>> = (0..30)
+            .map(|k| {
+                if k % 4 == 0 {
+                    vec![5000 + k]
+                } else {
+                    (k / 3 * 10..k / 3 * 10 + 6).collect()
+                }
+            })
+            .collect();
+        let refs: Vec<&[u64]> = sets.iter().map(Vec::as_slice).collect();
+        let d = dataset(&refs);
+        let ids: Vec<u32> = (0..30).collect();
+        let rule = jaccard_rule(0.4);
+        let mut st_plain = Stats::default();
+        let plain = apply_pairwise_blocked(&d, &rule, &ids, 2, 16, &mut st_plain);
+
+        for threads in [1usize, 3] {
+            let mem = Arc::new(MemorySubscriber::default());
+            let sink = TraceSink::new(mem.clone());
+            let mut st = Stats::default();
+            let (out, trace) = apply_pairwise_traced(&d, &rule, &ids, threads, 16, &sink, &mut st);
+            assert_eq!(sorted(out), sorted(plain.clone()), "t={threads}");
+            assert_eq!(st, st_plain, "t={threads}");
+
+            let events = mem.events();
+            assert_eq!(events.len() as u64, trace.blocks, "t={threads}");
+            let (mut charged, mut checks, mut exits) = (0u64, 0u64, 0u64);
+            for ev in &events {
+                assert_eq!(ev.name, "pairwise_block");
+                charged += ev.u64("pairs_charged").unwrap();
+                checks += ev.u64("kernel_checks").unwrap();
+                exits += ev.u64("early_exits").unwrap();
+                assert!(ev.u64("pairs_open").unwrap() >= ev.u64("pairs_charged").unwrap());
+                assert!(ev.u64("wall_micros").is_some());
+            }
+            assert_eq!(charged, st.pair_comparisons, "t={threads}");
+            assert_eq!(checks, trace.kernel_checks, "t={threads}");
+            assert_eq!(exits, trace.early_exits, "t={threads}");
+            // A single-threshold rule fires exactly one kernel per open pair.
+            assert!(trace.kernel_checks >= st.pair_comparisons, "t={threads}");
+            assert!(trace.early_exits <= trace.kernel_checks, "t={threads}");
+        }
+
+        // Disabled sink delegates and reports a zero tally.
+        let sink = TraceSink::disabled();
+        let mut st = Stats::default();
+        let (out, trace) = apply_pairwise_traced(&d, &rule, &ids, 2, 16, &sink, &mut st);
+        assert_eq!(sorted(out), sorted(plain));
+        assert_eq!(st, st_plain);
+        assert_eq!(trace, PairwiseTrace::default());
     }
 
     #[test]

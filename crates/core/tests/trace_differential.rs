@@ -1,0 +1,188 @@
+//! Tracing must be a pure observer: clusters and `Stats` bit-identical
+//! whether the sink is disabled, discarding, or writing JSONL, at any
+//! thread count — and every emitted trace must reconcile exactly with
+//! the run's `Stats` under the `adalsh_obs::schema` identities.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use adalsh_core::{AdaLsh, AdaLshConfig, FilterOutput, OnlineAdaLsh, TraceSink};
+use adalsh_data::{
+    Dataset, FieldDistance, FieldKind, FieldValue, MatchRule, Record, Schema, ShingleSet,
+};
+use adalsh_lsh::mix::derive_seed;
+use adalsh_obs::{jsonl, schema, summary, JsonlSubscriber, MemorySubscriber, NoopSubscriber};
+
+/// A dataset with planted entities: entity `e` has `sizes[e]` records
+/// sharing a 20-shingle core plus two noise shingles.
+fn planted(sizes: &[usize], seed: u64) -> Dataset {
+    let schema = Schema::single("s", FieldKind::Shingles);
+    let mut records = Vec::new();
+    let mut gt = Vec::new();
+    for (e, &sz) in sizes.iter().enumerate() {
+        let base: Vec<u64> = (0..20).map(|i| (e as u64) * 1000 + i).collect();
+        for r in 0..sz {
+            let mut s = base.clone();
+            s.push(derive_seed(seed, (e * 10_000 + r) as u64) % 7 + (e as u64) * 1000 + 500);
+            s.push(derive_seed(seed, (e * 10_000 + r + 5000) as u64) % 7 + (e as u64) * 1000 + 600);
+            records.push(Record::single(FieldValue::Shingles(ShingleSet::new(s))));
+            gt.push(e as u32);
+        }
+    }
+    Dataset::new(schema, records, gt)
+}
+
+fn config(threads: usize) -> AdaLshConfig {
+    let mut cfg = AdaLshConfig::new(MatchRule::threshold(0, FieldDistance::Jaccard, 0.4));
+    cfg.threads = threads;
+    cfg
+}
+
+fn run(dataset: &Dataset, k: usize, cfg: AdaLshConfig) -> FilterOutput {
+    let mut ada = AdaLsh::for_dataset(dataset, cfg).unwrap();
+    ada.run(dataset, k)
+}
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "adalsh-trace-{tag}-{}-{:?}.jsonl",
+        std::process::id(),
+        std::thread::current().id()
+    ))
+}
+
+#[test]
+fn subscribers_and_threads_do_not_change_results() {
+    let d = planted(&[24, 15, 9, 4, 2, 1, 1], 19);
+    let reference = run(&d, 3, config(1));
+    assert_eq!(reference.clusters.len(), 3);
+
+    for threads in [1usize, 4] {
+        // Disabled sink.
+        let out = run(&d, 3, config(threads));
+        assert_eq!(out.clusters, reference.clusters, "disabled t={threads}");
+        assert_eq!(out.stats, reference.stats, "disabled t={threads}");
+
+        // Discarding subscriber: the emission paths run, results don't move.
+        let mut cfg = config(threads);
+        cfg.trace = TraceSink::new(Arc::new(NoopSubscriber));
+        let out = run(&d, 3, cfg);
+        assert_eq!(out.clusters, reference.clusters, "noop t={threads}");
+        assert_eq!(out.stats, reference.stats, "noop t={threads}");
+
+        // JSONL writer: same results, and the file round-trips + validates.
+        let path = temp_path(&format!("diff{threads}"));
+        let mut cfg = config(threads);
+        cfg.trace = TraceSink::new(Arc::new(JsonlSubscriber::create(&path).unwrap()));
+        let out = run(&d, 3, cfg);
+        assert_eq!(out.clusters, reference.clusters, "jsonl t={threads}");
+        assert_eq!(out.stats, reference.stats, "jsonl t={threads}");
+        let events = jsonl::read_events(&path).unwrap();
+        let report = schema::validate(&events).unwrap();
+        assert_eq!(report.runs, 1, "jsonl t={threads}");
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[test]
+fn trace_reconciles_with_stats_exactly() {
+    let d = planted(&[20, 12, 6, 3, 1, 1], 37);
+    for threads in [1usize, 4] {
+        let memory = Arc::new(MemorySubscriber::new());
+        let mut cfg = config(threads);
+        cfg.trace = TraceSink::new(memory.clone());
+        let out = run(&d, 2, cfg);
+        let events = memory.events();
+
+        // The schema validator enforces every identity (Σ hash_evals,
+        // Σ pairs, event counts vs call counters, the bit-exact
+        // modeled_cost fold, …) against the run_end totals; here we pin
+        // run_end to the actual Stats so the identities bind to reality.
+        let end = events.iter().find(|e| e.name == "run_end").unwrap();
+        assert_eq!(end.u64("rounds"), Some(out.stats.rounds), "t={threads}");
+        assert_eq!(
+            end.u64("hash_evals"),
+            Some(out.stats.hash_evals),
+            "t={threads}"
+        );
+        assert_eq!(
+            end.u64("distance_evals"),
+            Some(out.stats.distance_evals),
+            "t={threads}"
+        );
+        assert_eq!(
+            end.u64("pair_comparisons"),
+            Some(out.stats.pair_comparisons),
+            "t={threads}"
+        );
+        assert_eq!(
+            end.u64("bucket_inserts"),
+            Some(out.stats.bucket_inserts),
+            "t={threads}"
+        );
+        assert_eq!(
+            end.u64("transitive_calls"),
+            Some(out.stats.transitive_calls),
+            "t={threads}"
+        );
+        assert_eq!(
+            end.u64("pairwise_calls"),
+            Some(out.stats.pairwise_calls),
+            "t={threads}"
+        );
+        assert_eq!(
+            end.f64("modeled_cost").map(f64::to_bits),
+            Some(out.stats.modeled_cost.to_bits()),
+            "t={threads}"
+        );
+        schema::validate(&events).unwrap_or_else(|e| panic!("t={threads}: {e}"));
+
+        // The human summary renders without panicking and mentions the
+        // hash levels that actually ran.
+        let text = summary::summarize(&events);
+        assert!(text.contains("H1"), "summary lists level 1:\n{text}");
+    }
+}
+
+#[test]
+fn design_level_events_cover_every_level() {
+    let d = planted(&[10, 5, 2], 7);
+    let memory = Arc::new(MemorySubscriber::new());
+    let mut cfg = config(2);
+    cfg.trace = TraceSink::new(memory.clone());
+    let ada = AdaLsh::for_dataset(&d, cfg).unwrap();
+    let designs: Vec<_> = memory
+        .events()
+        .into_iter()
+        .filter(|e| e.name == "design_level")
+        .collect();
+    assert_eq!(designs.len(), ada.num_levels());
+    for (i, ev) in designs.iter().enumerate() {
+        assert_eq!(ev.u64("level"), Some(i as u64 + 1));
+        assert!(ev.u64("budget").unwrap() > 0);
+    }
+}
+
+#[test]
+fn online_query_events_track_freshness() {
+    let d = planted(&[8, 6, 4], 11);
+    let n = d.len() as u64;
+    let memory = Arc::new(MemorySubscriber::new());
+    let mut cfg = config(2);
+    cfg.trace = TraceSink::new(memory.clone());
+    let mut online = OnlineAdaLsh::new(&d, cfg).unwrap();
+
+    let first = online.query(2);
+    let second = online.query(2);
+    assert_eq!(second.stats.hash_evals, 0, "re-query reuses all hashes");
+
+    let events = memory.events();
+    schema::validate(&events).unwrap();
+    let queries: Vec<_> = events.iter().filter(|e| e.name == "online_query").collect();
+    assert_eq!(queries.len(), 2);
+    assert_eq!(queries[0].u64("fresh_records"), Some(n));
+    assert_eq!(queries[0].u64("hash_evals"), Some(first.stats.hash_evals));
+    assert_eq!(queries[1].u64("fresh_records"), Some(0));
+    assert_eq!(queries[1].u64("advanced_records"), Some(0));
+    assert_eq!(queries[1].u64("hash_evals"), Some(0));
+}

@@ -15,6 +15,27 @@ use serde::{Deserialize, Serialize};
 
 use crate::record::{FieldKind, FieldValue};
 
+/// Tally of threshold-kernel invocations and how many of them resolved
+/// on an early-exit path (size-ratio bound, cosine-space compare, or a
+/// degenerate input) without computing the exact distance. Purely
+/// observational: verdicts and cost accounting are identical whether or
+/// not anyone counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExitCounts {
+    /// Threshold-kernel invocations.
+    pub checks: u64,
+    /// Invocations resolved without the exact distance computation.
+    pub early_exits: u64,
+}
+
+impl ExitCounts {
+    /// Folds another tally into this one.
+    pub fn merge(&mut self, other: &ExitCounts) {
+        self.checks += other.checks;
+        self.early_exits += other.early_exits;
+    }
+}
+
 /// A normalized distance metric over one field.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum FieldDistance {
@@ -84,12 +105,32 @@ impl FieldDistance {
         norm_a: f64,
         norm_b: f64,
     ) -> bool {
+        self.distance_at_most_counted(a, b, dthr, norm_a, norm_b).0
+    }
+
+    /// [`FieldDistance::distance_at_most`] reporting whether the verdict
+    /// was reached on an early-exit path: `(verdict, resolved_early)`.
+    /// The verdict is bit-identical either way; the flag feeds the
+    /// [`ExitCounts`] observability tally only.
+    ///
+    /// # Panics
+    /// Panics if either value's kind does not match the metric.
+    pub fn distance_at_most_counted(
+        self,
+        a: &FieldValue,
+        b: &FieldValue,
+        dthr: f64,
+        norm_a: f64,
+        norm_b: f64,
+    ) -> (bool, bool) {
         match self {
             FieldDistance::Angular => {
                 a.as_dense()
-                    .angular_at_most_with_norms(b.as_dense(), dthr, norm_a, norm_b)
+                    .angular_at_most_with_norms_counted(b.as_dense(), dthr, norm_a, norm_b)
             }
-            FieldDistance::Jaccard => a.as_shingles().jaccard_at_most(b.as_shingles(), dthr),
+            FieldDistance::Jaccard => a
+                .as_shingles()
+                .jaccard_at_most_counted(b.as_shingles(), dthr),
         }
     }
 

@@ -24,7 +24,7 @@ pub mod shingle;
 pub mod vector;
 
 pub use dataset::{Dataset, EntityId};
-pub use distance::FieldDistance;
+pub use distance::{ExitCounts, FieldDistance};
 pub use record::{FieldKind, FieldValue, Record, Schema};
 pub use rule::MatchRule;
 pub use shingle::ShingleSet;

@@ -11,7 +11,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::dataset::Dataset;
-use crate::distance::FieldDistance;
+use crate::distance::{ExitCounts, FieldDistance};
 use crate::record::{Record, Schema};
 
 /// One component of a weighted-average rule.
@@ -104,6 +104,65 @@ impl MatchRule {
                 // Same iteration order and summation as `weighted_distance`
                 // (no early exit: a partial-sum cutoff could not reproduce
                 // the exact fold), only the norm lookups are cached.
+                let d: f64 = parts
+                    .iter()
+                    .map(|p| {
+                        p.weight
+                            * p.metric.eval_with_norms(
+                                a.field(p.field),
+                                b.field(p.field),
+                                dataset.field_norm(i, p.field),
+                                dataset.field_norm(j, p.field),
+                            )
+                    })
+                    .sum();
+                d <= *dthr
+            }
+        }
+    }
+
+    /// [`MatchRule::matches_in`] with an [`ExitCounts`] tally: every
+    /// threshold-kernel invocation actually performed (respecting the
+    /// same AND/OR short-circuits) bumps `checks`, and those resolved on
+    /// an early-exit path bump `early_exits`. Weighted-average parts
+    /// always evaluate their exact distances (the fold admits no early
+    /// exit), so they count as checks that never exit early. The verdict
+    /// is bit-identical to `matches_in` for every input.
+    pub fn matches_in_counted(
+        &self,
+        dataset: &Dataset,
+        i: u32,
+        j: u32,
+        counts: &mut ExitCounts,
+    ) -> bool {
+        let (a, b) = (dataset.record(i), dataset.record(j));
+        match self {
+            MatchRule::Threshold {
+                field,
+                metric,
+                dthr,
+            } => {
+                let (verdict, early) = metric.distance_at_most_counted(
+                    a.field(*field),
+                    b.field(*field),
+                    *dthr,
+                    dataset.field_norm(i, *field),
+                    dataset.field_norm(j, *field),
+                );
+                counts.checks += 1;
+                counts.early_exits += u64::from(early);
+                verdict
+            }
+            // Same short-circuit order as `matches_in`: skipped sub-rules
+            // are not counted (their kernels never ran).
+            MatchRule::And(subs) => subs
+                .iter()
+                .all(|r| r.matches_in_counted(dataset, i, j, counts)),
+            MatchRule::Or(subs) => subs
+                .iter()
+                .any(|r| r.matches_in_counted(dataset, i, j, counts)),
+            MatchRule::WeightedAverage { parts, dthr } => {
+                counts.checks += parts.len() as u64;
                 let d: f64 = parts
                     .iter()
                     .map(|p| {
@@ -338,6 +397,95 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn matches_in_counted_equals_matches_in_and_counts_kernels() {
+        use crate::dataset::Dataset;
+        use crate::distance::ExitCounts;
+        let schema = two_field_schema();
+        let records: Vec<Record> = (0..6)
+            .map(|i| {
+                let sh: Vec<u64> = (0..(3 + i % 3) as u64)
+                    .map(|t| t + (i as u64 / 2) * 2)
+                    .collect();
+                let ang = (i as f64) * 0.5;
+                rec(&sh, &[ang.cos(), ang.sin()])
+            })
+            .collect();
+        let gt = (0..6).collect();
+        let d = Dataset::new(schema, records, gt);
+        let rules = [
+            MatchRule::threshold(0, FieldDistance::Jaccard, 0.5),
+            MatchRule::And(vec![
+                MatchRule::threshold(0, FieldDistance::Jaccard, 0.7),
+                MatchRule::threshold(1, FieldDistance::Angular, 0.4),
+            ]),
+            MatchRule::Or(vec![
+                MatchRule::threshold(0, FieldDistance::Jaccard, 0.2),
+                MatchRule::threshold(1, FieldDistance::Angular, 0.3),
+            ]),
+            MatchRule::WeightedAverage {
+                parts: vec![
+                    WeightedPart {
+                        field: 0,
+                        metric: FieldDistance::Jaccard,
+                        weight: 0.6,
+                    },
+                    WeightedPart {
+                        field: 1,
+                        metric: FieldDistance::Angular,
+                        weight: 0.4,
+                    },
+                ],
+                dthr: 0.45,
+            },
+        ];
+        for rule in &rules {
+            let mut counts = ExitCounts::default();
+            let mut pairs = 0u64;
+            for i in 0..6u32 {
+                for j in 0..6u32 {
+                    pairs += 1;
+                    assert_eq!(
+                        rule.matches_in_counted(&d, i, j, &mut counts),
+                        rule.matches_in(&d, i, j),
+                        "rule {rule:?} pair ({i},{j})"
+                    );
+                }
+            }
+            // Every pair runs at least one kernel and the short-circuits
+            // bound the total by the rule's elementary distance count.
+            assert!(counts.checks >= pairs, "rule {rule:?}: {counts:?}");
+            assert!(
+                counts.checks <= pairs * rule.num_elementary_distances() as u64,
+                "rule {rule:?}: {counts:?}"
+            );
+            assert!(counts.early_exits <= counts.checks, "rule {rule:?}");
+            if let MatchRule::WeightedAverage { .. } = rule {
+                assert_eq!(counts.early_exits, 0, "weighted fold has no early exit");
+            }
+        }
+    }
+
+    #[test]
+    fn exit_counts_merge_adds() {
+        use crate::distance::ExitCounts;
+        let mut a = ExitCounts {
+            checks: 3,
+            early_exits: 1,
+        };
+        a.merge(&ExitCounts {
+            checks: 2,
+            early_exits: 2,
+        });
+        assert_eq!(
+            a,
+            ExitCounts {
+                checks: 5,
+                early_exits: 3
+            }
+        );
     }
 
     #[test]

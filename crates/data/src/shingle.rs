@@ -176,9 +176,18 @@ impl ShingleSet {
     /// **bit-identical** to `jaccard_distance(other) <= dthr` for every
     /// input, including empty sets and thresholds of exactly 0 or 1.
     pub fn jaccard_at_most(&self, other: &Self, dthr: f64) -> bool {
+        self.jaccard_at_most_counted(other, dthr).0
+    }
+
+    /// [`ShingleSet::jaccard_at_most`] reporting whether the verdict was
+    /// reached without computing the exact distance: `(verdict,
+    /// resolved_early)`. The verdict is bit-identical to
+    /// `jaccard_distance(other) <= dthr` either way; the flag feeds the
+    /// kernel hit-rate observability counters only.
+    pub fn jaccard_at_most_counted(&self, other: &Self, dthr: f64) -> (bool, bool) {
         if self.is_empty() && other.is_empty() {
             // Distance defined as 0 for two empty sets.
-            return 0.0 <= dthr;
+            return (0.0 <= dthr, true);
         }
         let small = self.0.len().min(other.0.len());
         let large = self.0.len().max(other.0.len());
@@ -186,9 +195,9 @@ impl ShingleSet {
         // IEEE round-to-nearest, so this bound exceeding dthr implies the
         // exact distance does too.
         if 1.0 - (small as f64 / large as f64) > dthr {
-            return false;
+            return (false, true);
         }
-        self.jaccard_distance(other) <= dthr
+        (self.jaccard_distance(other) <= dthr, false)
     }
 }
 

@@ -109,24 +109,43 @@ impl DenseVector {
         self_norm: f64,
         other_norm: f64,
     ) -> bool {
+        self.angular_at_most_with_norms_counted(other, dthr, self_norm, other_norm)
+            .0
+    }
+
+    /// [`DenseVector::angular_at_most_with_norms`] reporting whether the
+    /// verdict was reached on the cosine-space fast path (no `acos`):
+    /// `(verdict, resolved_early)`. The verdict is bit-identical either
+    /// way; the flag feeds the kernel hit-rate observability counters
+    /// only.
+    pub fn angular_at_most_with_norms_counted(
+        &self,
+        other: &Self,
+        dthr: f64,
+        self_norm: f64,
+        other_norm: f64,
+    ) -> (bool, bool) {
         let denom = self_norm * other_norm;
         if denom == 0.0 {
             // `angle_degrees` defines zero vectors to be at distance 0.
-            return 0.0 <= dthr;
+            return (0.0 <= dthr, true);
         }
         if !(0.0..=1.0).contains(&dthr) {
             // Out-of-range thresholds (the distance is always in [0, 1]).
-            return dthr >= 1.0;
+            return (dthr >= 1.0, true);
         }
         let cos = (self.dot(other) / denom).clamp(-1.0, 1.0);
         let cos_thr = (dthr * std::f64::consts::PI).cos();
         if cos >= cos_thr + COS_GUARD {
-            return true;
+            return (true, true);
         }
         if cos <= cos_thr - COS_GUARD {
-            return false;
+            return (false, true);
         }
-        self.angle_degrees_with_norms(other, self_norm, other_norm) / 180.0 <= dthr
+        (
+            self.angle_degrees_with_norms(other, self_norm, other_norm) / 180.0 <= dthr,
+            false,
+        )
     }
 }
 

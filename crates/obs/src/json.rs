@@ -1,0 +1,289 @@
+//! A minimal flat-JSON-object parser for reading trace lines back.
+//!
+//! The trace wire schema (see [`crate::schema`]) is deliberately a flat
+//! object of string/number values per line, so this crate can read its
+//! own output without depending on a JSON library (keeping `adalsh-obs`
+//! dependency-free, per its charter). The parser accepts exactly the
+//! subset the writer emits — one object, string keys, string / number
+//! values — plus `true`/`false`/`null` for robustness, and rejects
+//! nesting: a nested object or array in a trace line is a schema
+//! violation worth failing loudly on.
+
+/// A parsed flat-object value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// A number without sign, fraction, or exponent — kept exact (the
+    /// trace schema's counters must reconcile exactly, and `u64` counts
+    /// near 2⁶⁴ would lose precision through `f64`).
+    U64(u64),
+    /// Any other number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// `true` / `false`.
+    Bool(bool),
+    /// `null`.
+    Null,
+}
+
+/// Parses one line holding a flat JSON object into its key/value pairs,
+/// preserving order.
+///
+/// # Errors
+/// Fails with a position-annotated message on malformed JSON, nested
+/// containers, duplicate keys, or trailing garbage.
+pub fn parse_flat_object(line: &str) -> Result<Vec<(String, JsonValue)>, String> {
+    let mut p = Parser {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    p.expect(b'{')?;
+    let mut out: Vec<(String, JsonValue)> = Vec::new();
+    p.skip_ws();
+    if p.peek() == Some(b'}') {
+        p.pos += 1;
+    } else {
+        loop {
+            p.skip_ws();
+            let key = p.parse_string()?;
+            if out.iter().any(|(k, _)| *k == key) {
+                return Err(format!("duplicate key '{key}'"));
+            }
+            p.skip_ws();
+            p.expect(b':')?;
+            p.skip_ws();
+            let value = p.parse_value()?;
+            out.push((key, value));
+            p.skip_ws();
+            match p.next() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                other => return Err(p.err(&format!("expected ',' or '}}', got {other:?}"))),
+            }
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after object"));
+    }
+    Ok(out)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, what: &str) -> String {
+        format!("byte {}: {what}", self.pos)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        match self.next() {
+            Some(b) if b == want => Ok(()),
+            other => Err(self.err(&format!("expected '{}', got {other:?}", want as char))),
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'"') => Ok(JsonValue::Str(self.parse_string()?)),
+            Some(b't') => self.parse_literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.parse_literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.parse_literal("null", JsonValue::Null),
+            Some(b'{' | b'[') => Err(self.err("nested containers are not part of the flat schema")),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            other => Err(self.err(&format!("unexpected value start {other:?}"))),
+        }
+    }
+
+    fn parse_literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut fractional = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    fractional = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii slice");
+        if !fractional {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(JsonValue::U64(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(JsonValue::F64)
+            .map_err(|e| self.err(&format!("bad number '{text}': {e}")))
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.next() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.next() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000C}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = self
+                            .bytes
+                            .get(self.pos..self.pos + 4)
+                            .ok_or_else(|| self.err("truncated \\u escape"))?;
+                        self.pos += 4;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?,
+                            16,
+                        )
+                        .map_err(|_| self.err("bad \\u escape"))?;
+                        // The writer only escapes control characters, all
+                        // below the surrogate range; reject surrogates
+                        // instead of decoding pairs.
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| self.err("\\u escape is not a scalar value"))?,
+                        );
+                    }
+                    other => return Err(self.err(&format!("bad escape {other:?}"))),
+                },
+                Some(b) if b < 0x20 => return Err(self.err("raw control character in string")),
+                Some(b) => {
+                    // Re-assemble UTF-8 multibyte sequences byte-for-byte.
+                    let len = utf8_len(b).ok_or_else(|| self.err("invalid UTF-8 lead byte"))?;
+                    let start = self.pos - 1;
+                    self.pos = start + len;
+                    let chunk = self
+                        .bytes
+                        .get(start..start + len)
+                        .ok_or_else(|| self.err("truncated UTF-8 sequence"))?;
+                    out.push_str(
+                        std::str::from_utf8(chunk).map_err(|_| self.err("invalid UTF-8"))?,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Length of a UTF-8 sequence from its lead byte (`None` for
+/// continuation or invalid lead bytes).
+fn utf8_len(lead: u8) -> Option<usize> {
+    match lead {
+        0x00..=0x7F => Some(1),
+        0xC0..=0xDF => Some(2),
+        0xE0..=0xEF => Some(3),
+        0xF0..=0xF7 => Some(4),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_writer_subset() {
+        let pairs =
+            parse_flat_object(r#"{"ev":"hash_round","level":2,"wall":0.25,"cost":1e3}"#).unwrap();
+        assert_eq!(pairs[0], ("ev".into(), JsonValue::Str("hash_round".into())));
+        assert_eq!(pairs[1], ("level".into(), JsonValue::U64(2)));
+        assert_eq!(pairs[2], ("wall".into(), JsonValue::F64(0.25)));
+        assert_eq!(pairs[3], ("cost".into(), JsonValue::F64(1e3)));
+    }
+
+    #[test]
+    fn empty_object_and_whitespace() {
+        assert!(parse_flat_object("  { }  ").unwrap().is_empty());
+    }
+
+    #[test]
+    fn integers_stay_exact() {
+        let big = u64::MAX;
+        let pairs = parse_flat_object(&format!("{{\"n\":{big}}}")).unwrap();
+        assert_eq!(pairs[0].1, JsonValue::U64(big));
+        // Negative and fractional numbers fall back to f64.
+        let pairs = parse_flat_object(r#"{"a":-3,"b":2.5}"#).unwrap();
+        assert_eq!(pairs[0].1, JsonValue::F64(-3.0));
+        assert_eq!(pairs[1].1, JsonValue::F64(2.5));
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let mut buf = String::new();
+        crate::jsonl::escape_json_into("a\"b\\c\nd\tü€", &mut buf);
+        let line = format!("{{\"s\":\"{buf}\"}}");
+        let pairs = parse_flat_object(&line).unwrap();
+        assert_eq!(pairs[0].1, JsonValue::Str("a\"b\\c\nd\tü€".into()));
+    }
+
+    #[test]
+    fn literals_parse() {
+        let pairs = parse_flat_object(r#"{"t":true,"f":false,"n":null}"#).unwrap();
+        assert_eq!(pairs[0].1, JsonValue::Bool(true));
+        assert_eq!(pairs[1].1, JsonValue::Bool(false));
+        assert_eq!(pairs[2].1, JsonValue::Null);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "{]",
+            r#"{"a":}"#,
+            r#"{"a":1,}"#,
+            r#"{"a":1}{"#,
+            r#"{"a":{"b":1}}"#,
+            r#"{"a":[1]}"#,
+            r#"{"a":1,"a":2}"#,
+            r#"{"a":"unterminated}"#,
+            "{\"a\":\"raw\ncontrol\"}",
+        ] {
+            assert!(parse_flat_object(bad).is_err(), "accepted: {bad}");
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! The JSON Lines trace writer (and reader).
+//!
+//! One flat JSON object per event, one event per line — the format
+//! `--trace-out` produces, `trace summarize` / `trace validate`
+//! consume, and [`crate::schema`] documents. Writing is hand-rolled
+//! (this crate is dependency-free); reading goes through the matching
+//! minimal parser in [`crate::json`].
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+use crate::json::{parse_flat_object, JsonValue};
+use crate::trace::{Event, OwnedEvent, OwnedValue, Subscriber, Value};
+
+/// A [`Subscriber`] appending each event as one JSON line to a file.
+///
+/// Events are flushed line-by-line: traces are round-granular (low
+/// rate), and a trace that survives `SIGKILL` up to the last completed
+/// round is worth far more than buffered writes. The writer is behind a
+/// [`Mutex`] — events from parallel engine sections serialize here, and
+/// the engine only emits from its sequential control path anyway.
+pub struct JsonlSubscriber {
+    out: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSubscriber {
+    /// Creates (truncating) the trace file at `path`.
+    ///
+    /// # Errors
+    /// Fails when the file cannot be created.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        Ok(Self {
+            out: Mutex::new(BufWriter::new(File::create(path)?)),
+        })
+    }
+
+    fn write_event(&self, event: &Event<'_>) -> std::io::Result<()> {
+        let mut line = String::with_capacity(128);
+        line.push_str("{\"ev\":\"");
+        escape_json_into(event.name, &mut line);
+        line.push('"');
+        for (name, value) in event.fields {
+            line.push_str(",\"");
+            escape_json_into(name, &mut line);
+            line.push_str("\":");
+            match value {
+                Value::U64(v) => line.push_str(&v.to_string()),
+                Value::F64(v) if v.is_finite() => line.push_str(&v.to_string()),
+                // Non-finite measurements have no JSON number form; the
+                // schema treats null as "unmeasurable".
+                Value::F64(_) => line.push_str("null"),
+                Value::Str(v) => {
+                    line.push('"');
+                    escape_json_into(v, &mut line);
+                    line.push('"');
+                }
+            }
+        }
+        line.push_str("}\n");
+        let mut out = self
+            .out
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        out.write_all(line.as_bytes())?;
+        out.flush()
+    }
+}
+
+impl Subscriber for JsonlSubscriber {
+    fn event(&self, event: &Event<'_>) {
+        // Fire-and-forget: a full disk must not take the engine down.
+        let _ = self.write_event(event);
+    }
+
+    fn flush(&self) {
+        let _ = self
+            .out
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .flush();
+    }
+}
+
+/// Appends `text` to `out` with JSON string escaping (quotes,
+/// backslashes, and control characters).
+pub fn escape_json_into(text: &str, out: &mut String) {
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Reads a JSONL trace file back into owned events.
+///
+/// Every line must be a flat object with a string `"ev"` field naming
+/// the event; remaining fields become the event's fields. Booleans and
+/// nulls are rejected here — the engine never writes them (flag fields
+/// are `0`/`1`), so their presence means the file is not an engine
+/// trace.
+///
+/// # Errors
+/// Fails with a line-annotated message on I/O errors or any line that
+/// violates the flat schema.
+pub fn read_events(path: &Path) -> Result<Vec<OwnedEvent>, String> {
+    let file = File::open(path).map_err(|e| format!("open {}: {e}", path.display()))?;
+    let mut events = Vec::new();
+    for (lineno, line) in BufReader::new(file).lines().enumerate() {
+        let line = line.map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let pairs = parse_flat_object(&line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let mut name = None;
+        let mut fields = Vec::with_capacity(pairs.len().saturating_sub(1));
+        for (key, value) in pairs {
+            if key == "ev" {
+                match value {
+                    JsonValue::Str(s) => name = Some(s),
+                    other => {
+                        return Err(format!(
+                            "line {}: 'ev' must be a string, got {other:?}",
+                            lineno + 1
+                        ))
+                    }
+                }
+                continue;
+            }
+            let owned = match value {
+                JsonValue::U64(v) => OwnedValue::U64(v),
+                JsonValue::F64(v) => OwnedValue::F64(v),
+                JsonValue::Str(v) => OwnedValue::Str(v),
+                other => {
+                    return Err(format!(
+                        "line {}: field '{key}' has non-schema value {other:?}",
+                        lineno + 1
+                    ))
+                }
+            };
+            fields.push((key, owned));
+        }
+        let name = name.ok_or_else(|| format!("line {}: missing 'ev' field", lineno + 1))?;
+        events.push(OwnedEvent { name, fields });
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceSink;
+    use std::sync::Arc;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("adalsh_obs_tests");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        dir.join(name)
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let path = tmp("roundtrip.jsonl");
+        let sink = TraceSink::new(Arc::new(JsonlSubscriber::create(&path).unwrap()));
+        sink.emit(
+            "hash_round",
+            &[
+                ("level", Value::U64(2)),
+                ("predicted_cost", Value::F64(12.5)),
+                ("action", Value::Str("hash")),
+            ],
+        );
+        sink.emit("run_end", &[("rounds", Value::U64(3))]);
+        sink.flush();
+
+        let events = read_events(&path).unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].name, "hash_round");
+        assert_eq!(events[0].u64("level"), Some(2));
+        assert_eq!(events[0].f64("predicted_cost"), Some(12.5));
+        assert_eq!(events[0].str("action"), Some("hash"));
+        assert_eq!(events[1].u64("rounds"), Some(3));
+    }
+
+    #[test]
+    fn integral_f64_survives_as_exact_value() {
+        let path = tmp("intfloat.jsonl");
+        let sink = TraceSink::new(Arc::new(JsonlSubscriber::create(&path).unwrap()));
+        // 3.0 serializes as "3"; the reader sees an exact integer and the
+        // f64 accessor coerces it back.
+        sink.emit("e", &[("cost", Value::F64(3.0))]);
+        let events = read_events(&path).unwrap();
+        assert_eq!(events[0].f64("cost"), Some(3.0));
+    }
+
+    #[test]
+    fn read_rejects_non_trace_lines() {
+        let path = tmp("bad.jsonl");
+        std::fs::write(&path, "{\"no_ev\":1}\n").unwrap();
+        assert!(read_events(&path).unwrap_err().contains("missing 'ev'"));
+        std::fs::write(&path, "{\"ev\":\"x\",\"flag\":true}\n").unwrap();
+        assert!(read_events(&path).unwrap_err().contains("non-schema"));
+        std::fs::write(&path, "not json\n").unwrap();
+        assert!(read_events(&path).is_err());
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let path = tmp("blank.jsonl");
+        std::fs::write(&path, "\n{\"ev\":\"a\"}\n\n{\"ev\":\"b\"}\n").unwrap();
+        let events = read_events(&path).unwrap();
+        assert_eq!(events.len(), 2);
+    }
+}

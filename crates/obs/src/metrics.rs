@@ -1,0 +1,426 @@
+//! The shared metrics registry: counters and fixed-bucket histograms
+//! with Prometheus text exposition.
+//!
+//! Extracted and generalized from the registry that previously lived
+//! privately inside `adalsh-serve`. Handles ([`Counter`],
+//! [`LabeledCounter`], [`Histogram`]) are cheap `Arc` clones registered
+//! once and incremented lock-free (the labeled counter's small map is
+//! the one mutex, guarding request-count cells, never hot engine
+//! paths). [`Registry::render`] walks families in registration order.
+//!
+//! ## Histogram correctness
+//!
+//! The Prometheus text format requires `_bucket{le="+Inf"} == _count`
+//! and an exact `_sum`. Both hold here **by construction**: buckets are
+//! stored *non-cumulative* (each observation lands in exactly one
+//! bucket) and cumulated at render time, `+Inf` is the running total
+//! itself, and the sum is an exact `f64` accumulated with a
+//! compare-exchange loop on its bit pattern — not a truncated integer
+//! unit. The matching parser in [`crate::promtext`] turns these
+//! invariants into tests.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotone counter.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increments by `delta`.
+    pub fn add(&self, delta: u64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A counter family keyed by label values (e.g. `(endpoint, status)`).
+#[derive(Clone, Debug)]
+pub struct LabeledCounter {
+    label_names: Arc<[String]>,
+    cells: Arc<Mutex<std::collections::BTreeMap<Vec<String>, u64>>>,
+}
+
+impl LabeledCounter {
+    fn new(label_names: &[&str]) -> Self {
+        Self {
+            label_names: label_names.iter().map(|s| s.to_string()).collect(),
+            cells: Arc::default(),
+        }
+    }
+
+    /// Adds `delta` to the cell for `label_values`.
+    ///
+    /// # Panics
+    /// Panics when the number of values does not match the registered
+    /// label names — a programming error, not a runtime condition.
+    pub fn add(&self, label_values: &[&str], delta: u64) {
+        assert_eq!(
+            label_values.len(),
+            self.label_names.len(),
+            "label arity mismatch"
+        );
+        let mut cells = lock_unpoisoned(&self.cells);
+        *cells
+            .entry(label_values.iter().map(|s| s.to_string()).collect())
+            .or_insert(0) += delta;
+    }
+
+    /// Increments the cell for `label_values` by one.
+    pub fn inc(&self, label_values: &[&str]) {
+        self.add(label_values, 1);
+    }
+
+    /// The value of one cell (0 when never incremented).
+    pub fn get(&self, label_values: &[&str]) -> u64 {
+        lock_unpoisoned(&self.cells)
+            .get(
+                &label_values
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect::<Vec<_>>(),
+            )
+            .copied()
+            .unwrap_or(0)
+    }
+}
+
+/// A fixed-bucket histogram with an exact `f64` sum.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    /// Upper bounds of the finite buckets, strictly increasing.
+    bounds: Arc<[f64]>,
+    /// Non-cumulative per-bucket counts; one extra slot past the last
+    /// finite bound collects overflow (the `+Inf`-only observations).
+    buckets: Arc<[AtomicU64]>,
+    count: Arc<AtomicU64>,
+    /// `f64` bit pattern of the exact observation sum.
+    sum_bits: Arc<AtomicU64>,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        assert!(
+            bounds.iter().all(|b| b.is_finite()),
+            "+Inf is implicit, bounds must be finite"
+        );
+        Self {
+            bounds: bounds.into(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: Arc::default(),
+            sum_bits: Arc::new(AtomicU64::new(0.0f64.to_bits())),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, value: f64) {
+        let slot = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.buckets[slot].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let mut current = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + value).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Exact sum of observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+}
+
+/// One registered metric family.
+enum Family {
+    Counter {
+        name: String,
+        help: String,
+        handle: Counter,
+    },
+    LabeledCounter {
+        name: String,
+        help: String,
+        handle: LabeledCounter,
+    },
+    Histogram {
+        name: String,
+        help: String,
+        handle: Histogram,
+    },
+}
+
+/// A registry of metric families, rendered in registration order.
+#[derive(Default)]
+pub struct Registry {
+    families: Mutex<Vec<Family>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a counter and returns its handle.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        let handle = Counter::default();
+        self.push(Family::Counter {
+            name: name.to_string(),
+            help: help.to_string(),
+            handle: handle.clone(),
+        });
+        handle
+    }
+
+    /// Registers a labeled counter and returns its handle.
+    pub fn labeled_counter(&self, name: &str, help: &str, label_names: &[&str]) -> LabeledCounter {
+        let handle = LabeledCounter::new(label_names);
+        self.push(Family::LabeledCounter {
+            name: name.to_string(),
+            help: help.to_string(),
+            handle: handle.clone(),
+        });
+        handle
+    }
+
+    /// Registers a histogram with the given finite bucket bounds
+    /// (strictly increasing; `+Inf` is implicit) and returns its handle.
+    pub fn histogram(&self, name: &str, help: &str, bounds: &[f64]) -> Histogram {
+        let handle = Histogram::new(bounds);
+        self.push(Family::Histogram {
+            name: name.to_string(),
+            help: help.to_string(),
+            handle: handle.clone(),
+        });
+        handle
+    }
+
+    fn push(&self, family: Family) {
+        let mut families = lock_unpoisoned(&self.families);
+        let name = match &family {
+            Family::Counter { name, .. }
+            | Family::LabeledCounter { name, .. }
+            | Family::Histogram { name, .. } => name,
+        };
+        assert!(
+            !families.iter().any(|f| match f {
+                Family::Counter { name: n, .. }
+                | Family::LabeledCounter { name: n, .. }
+                | Family::Histogram { name: n, .. } => n == name,
+            }),
+            "metric family '{name}' registered twice"
+        );
+        families.push(family);
+    }
+
+    /// Renders every family in Prometheus text exposition format.
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        for family in lock_unpoisoned(&self.families).iter() {
+            match family {
+                Family::Counter { name, help, handle } => {
+                    render_preamble(&mut out, name, help, "counter");
+                    out.push_str(&format!("{name} {}\n", handle.get()));
+                }
+                Family::LabeledCounter { name, help, handle } => {
+                    render_preamble(&mut out, name, help, "counter");
+                    for (values, count) in lock_unpoisoned(&handle.cells).iter() {
+                        out.push_str(name);
+                        out.push('{');
+                        for (i, (label, value)) in handle.label_names.iter().zip(values).enumerate()
+                        {
+                            if i > 0 {
+                                out.push(',');
+                            }
+                            out.push_str(&format!("{label}=\"{}\"", escape_label(value)));
+                        }
+                        out.push_str(&format!("}} {count}\n"));
+                    }
+                }
+                Family::Histogram { name, help, handle } => {
+                    render_preamble(&mut out, name, help, "histogram");
+                    let mut cumulative = 0u64;
+                    for (i, bound) in handle.bounds.iter().enumerate() {
+                        cumulative += handle.buckets[i].load(Ordering::Relaxed);
+                        out.push_str(&format!("{name}_bucket{{le=\"{bound}\"}} {cumulative}\n"));
+                    }
+                    // +Inf is the total count itself — the overflow slot
+                    // only exists so non-cumulative storage stays exact.
+                    out.push_str(&format!(
+                        "{name}_bucket{{le=\"+Inf\"}} {}\n",
+                        handle.count()
+                    ));
+                    out.push_str(&format!("{name}_sum {}\n", handle.sum()));
+                    out.push_str(&format!("{name}_count {}\n", handle.count()));
+                }
+            }
+        }
+        out
+    }
+}
+
+fn render_preamble(out: &mut String, name: &str, help: &str, kind: &str) {
+    out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+}
+
+/// Escapes a label value per the exposition format (backslash, quote,
+/// newline).
+fn escape_label(value: &str) -> String {
+    value
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::promtext::{check_histogram, parse};
+
+    #[test]
+    fn counters_render_and_accumulate() {
+        let registry = Registry::new();
+        let c = registry.counter("adalsh_test_total", "A test counter.");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let text = registry.render();
+        assert!(text.contains("# TYPE adalsh_test_total counter"), "{text}");
+        assert!(text.contains("adalsh_test_total 5"), "{text}");
+    }
+
+    #[test]
+    fn labeled_counter_cells_are_independent() {
+        let registry = Registry::new();
+        let requests = registry.labeled_counter("req_total", "Requests.", &["endpoint", "status"]);
+        requests.inc(&["/topk", "200"]);
+        requests.inc(&["/topk", "200"]);
+        requests.inc(&["/ingest", "400"]);
+        assert_eq!(requests.get(&["/topk", "200"]), 2);
+        assert_eq!(requests.get(&["/none", "500"]), 0);
+        let text = registry.render();
+        assert!(
+            text.contains("req_total{endpoint=\"/topk\",status=\"200\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("req_total{endpoint=\"/ingest\",status=\"400\"} 1"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "label arity mismatch")]
+    fn labeled_counter_rejects_wrong_arity() {
+        let registry = Registry::new();
+        registry
+            .labeled_counter("x_total", "x", &["a", "b"])
+            .inc(&["only-one"]);
+    }
+
+    #[test]
+    fn histogram_buckets_sum_and_count_are_consistent() {
+        let registry = Registry::new();
+        let h = registry.histogram("lat_seconds", "Latency.", &[0.001, 0.01, 0.1]);
+        h.observe(0.0005); // le=0.001
+        h.observe(0.05); // le=0.1
+        h.observe(3.0); // +Inf only
+        assert_eq!(h.count(), 3);
+        assert!((h.sum() - 3.0505).abs() < 1e-12);
+
+        let samples = parse(&registry.render()).unwrap();
+        check_histogram(&samples, "lat_seconds").unwrap();
+        let bucket = |le: &str| {
+            samples
+                .iter()
+                .find(|s| s.name == "lat_seconds_bucket" && s.labels.iter().any(|(_, v)| v == le))
+                .map(|s| s.value)
+                .unwrap()
+        };
+        assert_eq!(bucket("0.001"), 1.0);
+        assert_eq!(bucket("0.01"), 1.0, "buckets are cumulative");
+        assert_eq!(bucket("0.1"), 2.0);
+        assert_eq!(bucket("+Inf"), 3.0);
+    }
+
+    #[test]
+    fn histogram_sum_is_exact_f64_not_truncated() {
+        let registry = Registry::new();
+        let h = registry.histogram("s_seconds", "s", &[1.0]);
+        // Sub-micro observations would each truncate to zero in an
+        // integer-micros sum; the exact f64 sum keeps them.
+        for _ in 0..1000 {
+            h.observe(1e-7);
+        }
+        assert!((h.sum() - 1e-4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boundary_observation_lands_in_its_bucket_inclusively() {
+        let registry = Registry::new();
+        let h = registry.histogram("b_seconds", "b", &[0.1, 1.0]);
+        h.observe(0.1); // le is inclusive
+        let text = registry.render();
+        assert!(text.contains("b_seconds_bucket{le=\"0.1\"} 1"), "{text}");
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_family_names_panic() {
+        let registry = Registry::new();
+        let _a = registry.counter("dup_total", "a");
+        let _b = registry.counter("dup_total", "b");
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_bounds_panic() {
+        let registry = Registry::new();
+        let _ = registry.histogram("h", "h", &[1.0, 0.5]);
+    }
+
+    #[test]
+    fn handles_are_shared_clones() {
+        let registry = Registry::new();
+        let a = registry.counter("shared_total", "s");
+        let b = a.clone();
+        b.inc();
+        assert_eq!(a.get(), 1);
+    }
+}

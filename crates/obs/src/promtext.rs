@@ -1,0 +1,275 @@
+//! A minimal parser for the Prometheus text exposition format, plus the
+//! histogram-consistency checks the serving tests assert with.
+//!
+//! The goal is not a general scrape client — it is to let tests parse
+//! [`crate::metrics::Registry::render`] output (and a live `/metrics`
+//! response) back into samples and verify the format's invariants
+//! mechanically: bucket counts nondecreasing, `+Inf` equal to `_count`,
+//! `_sum` present and finite.
+
+/// One sample line: `name{label="value",...} 1.5`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Metric name (including `_bucket`/`_sum`/`_count` suffixes).
+    pub name: String,
+    /// Label name/value pairs, in source order.
+    pub labels: Vec<(String, String)>,
+    /// Sample value.
+    pub value: f64,
+}
+
+impl Sample {
+    /// The value of a label, if present.
+    pub fn label(&self, name: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Parses exposition text into samples, skipping `# HELP`/`# TYPE`
+/// comment lines and blank lines.
+///
+/// # Errors
+/// Fails with a line-annotated message on lines that are neither
+/// comments nor well-formed samples.
+pub fn parse(text: &str) -> Result<Vec<Sample>, String> {
+    let mut samples = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        samples.push(parse_sample(line).map_err(|e| format!("line {}: {e}", lineno + 1))?);
+    }
+    Ok(samples)
+}
+
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let (ident, value_text) = match line.find('{') {
+        Some(open) => {
+            let close = line[open..]
+                .find('}')
+                .map(|i| open + i)
+                .ok_or("unclosed label braces")?;
+            (&line[..close + 1], line[close + 1..].trim())
+        }
+        None => {
+            let space = line.find(' ').ok_or("missing value")?;
+            (&line[..space], line[space..].trim())
+        }
+    };
+    let (name, labels) = match ident.find('{') {
+        Some(open) => (
+            ident[..open].to_string(),
+            parse_labels(&ident[open + 1..ident.len() - 1])?,
+        ),
+        None => (ident.to_string(), Vec::new()),
+    };
+    if name.is_empty()
+        || !name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    {
+        return Err(format!("bad metric name '{name}'"));
+    }
+    let value = match value_text {
+        "+Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        "NaN" => f64::NAN,
+        v => v
+            .parse::<f64>()
+            .map_err(|e| format!("bad value '{v}': {e}"))?,
+    };
+    Ok(Sample {
+        name,
+        labels,
+        value,
+    })
+}
+
+fn parse_labels(body: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let bytes = body.as_bytes();
+    let mut pos = 0;
+    while pos < bytes.len() {
+        let eq = body[pos..]
+            .find('=')
+            .map(|i| pos + i)
+            .ok_or("label without '='")?;
+        let name = body[pos..eq].trim().to_string();
+        if bytes.get(eq + 1) != Some(&b'"') {
+            return Err("label value must be quoted".into());
+        }
+        let mut value = String::new();
+        let mut i = eq + 2;
+        loop {
+            match bytes.get(i) {
+                None => return Err("unterminated label value".into()),
+                Some(b'"') => break,
+                Some(b'\\') => {
+                    match bytes.get(i + 1) {
+                        Some(b'\\') => value.push('\\'),
+                        Some(b'"') => value.push('"'),
+                        Some(b'n') => value.push('\n'),
+                        other => return Err(format!("bad label escape {other:?}")),
+                    }
+                    i += 2;
+                }
+                Some(_) => {
+                    // Take the full UTF-8 character, not one byte.
+                    let c = body[i..].chars().next().ok_or("invalid UTF-8")?;
+                    value.push(c);
+                    i += c.len_utf8();
+                }
+            }
+        }
+        labels.push((name, value));
+        pos = i + 1;
+        if bytes.get(pos) == Some(&b',') {
+            pos += 1;
+        }
+    }
+    Ok(labels)
+}
+
+/// Checks the exposition invariants of one histogram family:
+///
+/// * at least one `_bucket` sample, with a `+Inf` bucket present;
+/// * bucket counts nondecreasing in `le` order (cumulativeness);
+/// * `_bucket{le="+Inf"} == _count` exactly;
+/// * `_sum` present and finite.
+///
+/// # Errors
+/// Fails with a message naming the violated invariant.
+pub fn check_histogram(samples: &[Sample], family: &str) -> Result<(), String> {
+    let bucket_name = format!("{family}_bucket");
+    let buckets: Vec<&Sample> = samples.iter().filter(|s| s.name == bucket_name).collect();
+    if buckets.is_empty() {
+        return Err(format!("{family}: no _bucket samples"));
+    }
+    let mut bounds: Vec<(f64, f64)> = Vec::with_capacity(buckets.len());
+    for bucket in &buckets {
+        let le = bucket
+            .label("le")
+            .ok_or_else(|| format!("{family}: bucket without le label"))?;
+        let bound = match le {
+            "+Inf" => f64::INFINITY,
+            v => v
+                .parse::<f64>()
+                .map_err(|_| format!("{family}: bad le '{v}'"))?,
+        };
+        bounds.push((bound, bucket.value));
+    }
+    bounds.sort_by(|a, b| a.0.total_cmp(&b.0));
+    for pair in bounds.windows(2) {
+        if pair[1].1 < pair[0].1 {
+            return Err(format!(
+                "{family}: bucket counts decrease ({} -> {})",
+                pair[0].1, pair[1].1
+            ));
+        }
+    }
+    let (last_bound, inf_count) = *bounds.last().expect("nonempty");
+    if !last_bound.is_infinite() {
+        return Err(format!("{family}: missing le=\"+Inf\" bucket"));
+    }
+    let count = samples
+        .iter()
+        .find(|s| s.name == format!("{family}_count"))
+        .ok_or_else(|| format!("{family}: missing _count"))?
+        .value;
+    if inf_count != count {
+        return Err(format!(
+            "{family}: +Inf bucket ({inf_count}) != _count ({count})"
+        ));
+    }
+    let sum = samples
+        .iter()
+        .find(|s| s.name == format!("{family}_sum"))
+        .ok_or_else(|| format!("{family}: missing _sum"))?
+        .value;
+    if !sum.is_finite() {
+        return Err(format!("{family}: _sum is not finite ({sum})"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_plain_and_labeled_samples() {
+        let text = "\
+# HELP x_total Things.
+# TYPE x_total counter
+x_total 5
+req_total{endpoint=\"/topk\",status=\"200\"} 2
+lat_bucket{le=\"+Inf\"} 3
+";
+        let samples = parse(text).unwrap();
+        assert_eq!(samples.len(), 3);
+        assert_eq!(samples[0].name, "x_total");
+        assert_eq!(samples[0].value, 5.0);
+        assert_eq!(samples[1].label("endpoint"), Some("/topk"));
+        assert_eq!(samples[1].label("status"), Some("200"));
+        assert!(samples[2].value == 3.0);
+        assert_eq!(samples[2].label("le"), Some("+Inf"));
+    }
+
+    #[test]
+    fn parses_escaped_label_values() {
+        let samples = parse("m{path=\"a\\\"b\\\\c\\nd\"} 1").unwrap();
+        assert_eq!(samples[0].label("path"), Some("a\"b\\c\nd"));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in [
+            "just_a_name",
+            "m{unclosed 1",
+            "m{l=unquoted} 1",
+            "m notanumber",
+        ] {
+            assert!(parse(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn histogram_check_catches_violations() {
+        let good = "\
+h_bucket{le=\"0.1\"} 1
+h_bucket{le=\"+Inf\"} 2
+h_sum 0.3
+h_count 2
+";
+        check_histogram(&parse(good).unwrap(), "h").unwrap();
+
+        let inf_mismatch = good.replace("h_count 2", "h_count 3");
+        assert!(check_histogram(&parse(&inf_mismatch).unwrap(), "h")
+            .unwrap_err()
+            .contains("+Inf"));
+
+        let decreasing = "\
+h_bucket{le=\"0.1\"} 5
+h_bucket{le=\"+Inf\"} 2
+h_sum 0.3
+h_count 2
+";
+        assert!(check_histogram(&parse(decreasing).unwrap(), "h")
+            .unwrap_err()
+            .contains("decrease"));
+
+        let no_inf = "h_bucket{le=\"0.1\"} 1\nh_sum 0.3\nh_count 1\n";
+        assert!(check_histogram(&parse(no_inf).unwrap(), "h")
+            .unwrap_err()
+            .contains("+Inf"));
+
+        let no_sum = "h_bucket{le=\"+Inf\"} 1\nh_count 1\n";
+        assert!(check_histogram(&parse(no_sum).unwrap(), "h")
+            .unwrap_err()
+            .contains("_sum"));
+    }
+}

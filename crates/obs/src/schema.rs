@@ -1,0 +1,707 @@
+//! The trace event taxonomy and its validator.
+//!
+//! A trace is a sequence of events; the engine emits them from its
+//! *sequential control path* only (worker threads fold their counters
+//! into per-call deltas first), so event order is deterministic given
+//! the run's decisions. One engine run is a **segment**: `run_start`,
+//! round-loop events, `run_end`. A file may hold many segments (the
+//! online resolver emits one per query) plus segment-free events
+//! (`design_level` during engine construction, `online_query` after a
+//! query's segment).
+//!
+//! ## Events
+//!
+//! | event | when | fields |
+//! |---|---|---|
+//! | `design_level` | sequence design picks level `H_i` | `level`, `budget` |
+//! | `run_start` | entering Algorithm 1 | `records`, `k`, `levels`, `threads` |
+//! | `hash_round` | after a transitive hashing call `H_level` | `level`, `cluster_size`, `hash_evals`, `keys_emitted`, `subclusters`, `wall_micros`, `predicted_cost` |
+//! | `gate` | Line-5 decision on a non-final cluster | `level`, `cluster_size`, `predicted_pairwise_cost`, `action` (`hash`\|`pairwise`), `forced` (0\|1), optional `predicted_hash_cost` (absent when forced: no `H_{t+1}` exists to price) |
+//! | `pairwise` | after a pairwise call `P` | `cluster_size`, `pairs`, `distance_evals`, `kernel_checks`, `early_exits`, `blocks`, `subclusters`, `wall_micros`, `predicted_cost` |
+//! | `pairwise_block` | after each wavefront block inside `P` | `pairs_open`, `pairs_charged`, `kernel_checks`, `early_exits`, `wall_micros` |
+//! | `final_cluster` | a cluster is declared final | `rank`, `size`, `origin` (`hashed`\|`pairwise`), `level` (0 when origin is `pairwise`) |
+//! | `run_end` | leaving Algorithm 1 | the full `Stats` mirror: `rounds`, `finals`, `hash_evals`, `distance_evals`, `pair_comparisons`, `bucket_inserts`, `transitive_calls`, `pairwise_calls`, `modeled_cost`, `wall_micros` |
+//! | `online_query` | after an online resolver query | `k`, `records`, `fresh_records`, `advanced_records`, `hash_evals`, `wall_micros` |
+//!
+//! ## Reconciliation identities
+//!
+//! [`validate`] enforces, per segment, that event totals reconcile
+//! **exactly** with the `run_end` `Stats` mirror:
+//!
+//! * Σ `hash_round.hash_evals` = `hash_evals`
+//! * Σ `hash_round.keys_emitted` = `bucket_inserts`
+//! * #`hash_round` = `transitive_calls`
+//! * #`pairwise` = `pairwise_calls`
+//! * Σ `pairwise.pairs` = `pair_comparisons`
+//! * Σ `pairwise.distance_evals` = `distance_evals`
+//! * #`gate` + #`final_cluster` = `rounds` (every selected cluster is
+//!   either declared final or gated)
+//! * #`final_cluster` = `finals`
+//! * Σ `pairwise_block.pairs_charged` = `pair_comparisons`, and the
+//!   blocks' `kernel_checks` / `early_exits` totals equal their
+//!   `pairwise` parents' (each `pairwise` event is the sum of its
+//!   blocks), with #`pairwise_block` = Σ `pairwise.blocks`
+//! * folding `predicted_cost` over `hash_round` and `pairwise` events in
+//!   order reproduces `modeled_cost` **bit-identically** — the engine
+//!   charges its ledger with the same `f64` additions in the same
+//!   order, and the JSONL round trip is exact (shortest round-trip
+//!   float formatting)
+
+use crate::trace::{OwnedEvent, OwnedValue};
+
+/// The wire type of one schema field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FieldKind {
+    /// Unsigned counter (counts, sizes, 0/1 flags).
+    U64,
+    /// Floating-point measurement; an integral value may arrive as `U64`
+    /// off the wire and is accepted.
+    F64,
+    /// Short label.
+    Str,
+}
+
+/// Where an event may appear.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scope {
+    /// Only between `run_start` and `run_end`.
+    Run,
+    /// Anywhere.
+    Any,
+}
+
+/// The schema of one event type.
+#[derive(Debug)]
+pub struct EventSpec {
+    /// Event name.
+    pub name: &'static str,
+    /// Where the event may appear.
+    pub scope: Scope,
+    /// Fields that must be present.
+    pub required: &'static [(&'static str, FieldKind)],
+    /// Fields that may be present.
+    pub optional: &'static [(&'static str, FieldKind)],
+}
+
+/// The full event taxonomy, one spec per event type.
+pub const EVENTS: &[EventSpec] = &[
+    EventSpec {
+        name: "design_level",
+        scope: Scope::Any,
+        required: &[("level", FieldKind::U64), ("budget", FieldKind::U64)],
+        optional: &[],
+    },
+    EventSpec {
+        name: "run_start",
+        scope: Scope::Any,
+        required: &[
+            ("records", FieldKind::U64),
+            ("k", FieldKind::U64),
+            ("levels", FieldKind::U64),
+            ("threads", FieldKind::U64),
+        ],
+        optional: &[],
+    },
+    EventSpec {
+        name: "hash_round",
+        scope: Scope::Run,
+        required: &[
+            ("level", FieldKind::U64),
+            ("cluster_size", FieldKind::U64),
+            ("hash_evals", FieldKind::U64),
+            ("keys_emitted", FieldKind::U64),
+            ("subclusters", FieldKind::U64),
+            ("wall_micros", FieldKind::U64),
+            ("predicted_cost", FieldKind::F64),
+        ],
+        optional: &[],
+    },
+    EventSpec {
+        name: "gate",
+        scope: Scope::Run,
+        required: &[
+            ("level", FieldKind::U64),
+            ("cluster_size", FieldKind::U64),
+            ("predicted_pairwise_cost", FieldKind::F64),
+            ("action", FieldKind::Str),
+            ("forced", FieldKind::U64),
+        ],
+        optional: &[("predicted_hash_cost", FieldKind::F64)],
+    },
+    EventSpec {
+        name: "pairwise",
+        scope: Scope::Run,
+        required: &[
+            ("cluster_size", FieldKind::U64),
+            ("pairs", FieldKind::U64),
+            ("distance_evals", FieldKind::U64),
+            ("kernel_checks", FieldKind::U64),
+            ("early_exits", FieldKind::U64),
+            ("blocks", FieldKind::U64),
+            ("subclusters", FieldKind::U64),
+            ("wall_micros", FieldKind::U64),
+            ("predicted_cost", FieldKind::F64),
+        ],
+        optional: &[],
+    },
+    EventSpec {
+        name: "pairwise_block",
+        scope: Scope::Run,
+        required: &[
+            ("pairs_open", FieldKind::U64),
+            ("pairs_charged", FieldKind::U64),
+            ("kernel_checks", FieldKind::U64),
+            ("early_exits", FieldKind::U64),
+            ("wall_micros", FieldKind::U64),
+        ],
+        optional: &[],
+    },
+    EventSpec {
+        name: "final_cluster",
+        scope: Scope::Run,
+        required: &[
+            ("rank", FieldKind::U64),
+            ("size", FieldKind::U64),
+            ("origin", FieldKind::Str),
+            ("level", FieldKind::U64),
+        ],
+        optional: &[],
+    },
+    EventSpec {
+        name: "run_end",
+        scope: Scope::Run,
+        required: &[
+            ("rounds", FieldKind::U64),
+            ("finals", FieldKind::U64),
+            ("hash_evals", FieldKind::U64),
+            ("distance_evals", FieldKind::U64),
+            ("pair_comparisons", FieldKind::U64),
+            ("bucket_inserts", FieldKind::U64),
+            ("transitive_calls", FieldKind::U64),
+            ("pairwise_calls", FieldKind::U64),
+            ("modeled_cost", FieldKind::F64),
+            ("wall_micros", FieldKind::U64),
+        ],
+        optional: &[],
+    },
+    EventSpec {
+        name: "online_query",
+        scope: Scope::Any,
+        required: &[
+            ("k", FieldKind::U64),
+            ("records", FieldKind::U64),
+            ("fresh_records", FieldKind::U64),
+            ("advanced_records", FieldKind::U64),
+            ("hash_evals", FieldKind::U64),
+            ("wall_micros", FieldKind::U64),
+        ],
+        optional: &[],
+    },
+];
+
+/// Looks up the spec for an event name.
+pub fn spec_of(name: &str) -> Option<&'static EventSpec> {
+    EVENTS.iter().find(|s| s.name == name)
+}
+
+/// What [`validate`] learned about a well-formed trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceReport {
+    /// Number of complete run segments.
+    pub runs: usize,
+    /// Total number of events.
+    pub events: usize,
+}
+
+/// Per-segment accumulators for the reconciliation identities.
+#[derive(Default)]
+struct Segment {
+    hash_rounds: u64,
+    hash_evals: u64,
+    keys_emitted: u64,
+    pairwise_events: u64,
+    pairs: u64,
+    distance_evals: u64,
+    kernel_checks: u64,
+    early_exits: u64,
+    blocks_declared: u64,
+    block_events: u64,
+    block_pairs_charged: u64,
+    block_kernel_checks: u64,
+    block_early_exits: u64,
+    gates: u64,
+    finals: u64,
+    cost_fold: f64,
+}
+
+/// Validates a trace against the taxonomy: field presence and types,
+/// segment structure, enum values, and every reconciliation identity
+/// listed in the module docs.
+///
+/// # Errors
+/// Fails with a message naming the offending event index (0-based) or
+/// the violated identity.
+pub fn validate(events: &[OwnedEvent]) -> Result<TraceReport, String> {
+    let mut runs = 0usize;
+    let mut segment: Option<Segment> = None;
+    for (idx, event) in events.iter().enumerate() {
+        let spec = spec_of(&event.name)
+            .ok_or_else(|| format!("event {idx}: unknown event '{}'", event.name))?;
+        check_fields(idx, event, spec)?;
+        check_enums(idx, event)?;
+
+        if spec.scope == Scope::Run && event.name != "run_end" && segment.is_none() {
+            return Err(format!(
+                "event {idx}: '{}' outside a run segment",
+                event.name
+            ));
+        }
+        match event.name.as_str() {
+            "run_start" => {
+                if segment.is_some() {
+                    return Err(format!("event {idx}: nested run_start"));
+                }
+                segment = Some(Segment::default());
+            }
+            "run_end" => {
+                let seg = segment
+                    .take()
+                    .ok_or_else(|| format!("event {idx}: run_end without run_start"))?;
+                check_segment(runs, &seg, event)?;
+                runs += 1;
+            }
+            _ => {
+                if let Some(seg) = &mut segment {
+                    accumulate(seg, event);
+                }
+            }
+        }
+    }
+    if segment.is_some() {
+        return Err("trace ends inside an unterminated run segment".to_string());
+    }
+    Ok(TraceReport {
+        runs,
+        events: events.len(),
+    })
+}
+
+fn check_fields(idx: usize, event: &OwnedEvent, spec: &EventSpec) -> Result<(), String> {
+    let kind_of = |value: &OwnedValue| match value {
+        OwnedValue::U64(_) => FieldKind::U64,
+        OwnedValue::F64(_) => FieldKind::F64,
+        OwnedValue::Str(_) => FieldKind::Str,
+    };
+    for (name, value) in &event.fields {
+        let want = spec
+            .required
+            .iter()
+            .chain(spec.optional)
+            .find(|(n, _)| n == name)
+            .map(|&(_, k)| k)
+            .ok_or_else(|| format!("event {idx}: '{}' has unknown field '{name}'", event.name))?;
+        let got = kind_of(value);
+        // Integral f64 measurements arrive as U64 off the wire.
+        let ok = got == want || (want == FieldKind::F64 && got == FieldKind::U64);
+        if !ok {
+            return Err(format!(
+                "event {idx}: field '{name}' of '{}' is {got:?}, schema says {want:?}",
+                event.name
+            ));
+        }
+    }
+    for (name, _) in spec.required {
+        if event.get(name).is_none() {
+            return Err(format!(
+                "event {idx}: '{}' is missing required field '{name}'",
+                event.name
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn check_enums(idx: usize, event: &OwnedEvent) -> Result<(), String> {
+    if let Some(action) = event.str("action") {
+        if !matches!(action, "hash" | "pairwise") {
+            return Err(format!("event {idx}: bad gate action '{action}'"));
+        }
+    }
+    if let Some(origin) = event.str("origin") {
+        if !matches!(origin, "hashed" | "pairwise") {
+            return Err(format!("event {idx}: bad final origin '{origin}'"));
+        }
+    }
+    if let Some(forced) = event.u64("forced") {
+        if forced > 1 {
+            return Err(format!(
+                "event {idx}: 'forced' must be 0 or 1, got {forced}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn accumulate(seg: &mut Segment, event: &OwnedEvent) {
+    let u = |name: &str| event.u64(name).unwrap_or(0);
+    match event.name.as_str() {
+        "hash_round" => {
+            seg.hash_rounds += 1;
+            seg.hash_evals += u("hash_evals");
+            seg.keys_emitted += u("keys_emitted");
+            seg.cost_fold += event.f64("predicted_cost").unwrap_or(0.0);
+        }
+        "pairwise" => {
+            seg.pairwise_events += 1;
+            seg.pairs += u("pairs");
+            seg.distance_evals += u("distance_evals");
+            seg.kernel_checks += u("kernel_checks");
+            seg.early_exits += u("early_exits");
+            seg.blocks_declared += u("blocks");
+            seg.cost_fold += event.f64("predicted_cost").unwrap_or(0.0);
+        }
+        "pairwise_block" => {
+            seg.block_events += 1;
+            seg.block_pairs_charged += u("pairs_charged");
+            seg.block_kernel_checks += u("kernel_checks");
+            seg.block_early_exits += u("early_exits");
+        }
+        "gate" => seg.gates += 1,
+        "final_cluster" => seg.finals += 1,
+        _ => {}
+    }
+}
+
+fn check_segment(run: usize, seg: &Segment, end: &OwnedEvent) -> Result<(), String> {
+    let want = |name: &str| -> Result<u64, String> {
+        end.u64(name)
+            .ok_or_else(|| format!("run {run}: run_end missing '{name}'"))
+    };
+    let identities: [(&str, u64, u64); 9] = [
+        (
+            "Σ hash_round.hash_evals = hash_evals",
+            seg.hash_evals,
+            want("hash_evals")?,
+        ),
+        (
+            "Σ hash_round.keys_emitted = bucket_inserts",
+            seg.keys_emitted,
+            want("bucket_inserts")?,
+        ),
+        (
+            "#hash_round = transitive_calls",
+            seg.hash_rounds,
+            want("transitive_calls")?,
+        ),
+        (
+            "#pairwise = pairwise_calls",
+            seg.pairwise_events,
+            want("pairwise_calls")?,
+        ),
+        (
+            "Σ pairwise.pairs = pair_comparisons",
+            seg.pairs,
+            want("pair_comparisons")?,
+        ),
+        (
+            "Σ pairwise.distance_evals = distance_evals",
+            seg.distance_evals,
+            want("distance_evals")?,
+        ),
+        (
+            "#gate + #final_cluster = rounds",
+            seg.gates + seg.finals,
+            want("rounds")?,
+        ),
+        ("#final_cluster = finals", seg.finals, want("finals")?),
+        (
+            "Σ pairwise_block.pairs_charged = pair_comparisons",
+            seg.block_pairs_charged,
+            want("pair_comparisons")?,
+        ),
+    ];
+    for (name, got, expected) in identities {
+        if got != expected {
+            return Err(format!(
+                "run {run}: identity '{name}' violated: {got} != {expected}"
+            ));
+        }
+    }
+    let block_identities: [(&str, u64, u64); 3] = [
+        (
+            "#pairwise_block = Σ pairwise.blocks",
+            seg.block_events,
+            seg.blocks_declared,
+        ),
+        (
+            "Σ pairwise_block.kernel_checks = Σ pairwise.kernel_checks",
+            seg.block_kernel_checks,
+            seg.kernel_checks,
+        ),
+        (
+            "Σ pairwise_block.early_exits = Σ pairwise.early_exits",
+            seg.block_early_exits,
+            seg.early_exits,
+        ),
+    ];
+    for (name, got, expected) in block_identities {
+        if got != expected {
+            return Err(format!(
+                "run {run}: identity '{name}' violated: {got} != {expected}"
+            ));
+        }
+    }
+    let modeled = end
+        .f64("modeled_cost")
+        .ok_or_else(|| format!("run {run}: run_end missing 'modeled_cost'"))?;
+    if seg.cost_fold.to_bits() != modeled.to_bits() {
+        return Err(format!(
+            "run {run}: predicted_cost fold {} is not bit-identical to modeled_cost {}",
+            seg.cost_fold, modeled
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &str, fields: &[(&str, OwnedValue)]) -> OwnedEvent {
+        OwnedEvent {
+            name: name.to_string(),
+            fields: fields
+                .iter()
+                .map(|(n, v)| (n.to_string(), v.clone()))
+                .collect(),
+        }
+    }
+
+    fn u(v: u64) -> OwnedValue {
+        OwnedValue::U64(v)
+    }
+
+    fn f(v: f64) -> OwnedValue {
+        OwnedValue::F64(v)
+    }
+
+    fn s(v: &str) -> OwnedValue {
+        OwnedValue::Str(v.to_string())
+    }
+
+    /// A minimal but fully consistent segment: one hash round over 3
+    /// records, one gate choosing pairwise, one pairwise call in one
+    /// block, two finals.
+    fn valid_trace() -> Vec<OwnedEvent> {
+        vec![
+            ev("design_level", &[("level", u(1)), ("budget", u(8))]),
+            ev(
+                "run_start",
+                &[
+                    ("records", u(3)),
+                    ("k", u(2)),
+                    ("levels", u(1)),
+                    ("threads", u(1)),
+                ],
+            ),
+            ev(
+                "hash_round",
+                &[
+                    ("level", u(1)),
+                    ("cluster_size", u(3)),
+                    ("hash_evals", u(24)),
+                    ("keys_emitted", u(6)),
+                    ("subclusters", u(2)),
+                    ("wall_micros", u(10)),
+                    ("predicted_cost", f(1.5)),
+                ],
+            ),
+            ev(
+                "gate",
+                &[
+                    ("level", u(1)),
+                    ("cluster_size", u(2)),
+                    ("predicted_pairwise_cost", f(0.5)),
+                    ("action", s("pairwise")),
+                    ("forced", u(1)),
+                ],
+            ),
+            ev(
+                "pairwise",
+                &[
+                    ("cluster_size", u(2)),
+                    ("pairs", u(1)),
+                    ("distance_evals", u(1)),
+                    ("kernel_checks", u(1)),
+                    ("early_exits", u(0)),
+                    ("blocks", u(1)),
+                    ("subclusters", u(1)),
+                    ("wall_micros", u(3)),
+                    ("predicted_cost", f(0.5)),
+                ],
+            ),
+            ev(
+                "pairwise_block",
+                &[
+                    ("pairs_open", u(1)),
+                    ("pairs_charged", u(1)),
+                    ("kernel_checks", u(1)),
+                    ("early_exits", u(0)),
+                    ("wall_micros", u(3)),
+                ],
+            ),
+            ev(
+                "final_cluster",
+                &[
+                    ("rank", u(0)),
+                    ("size", u(2)),
+                    ("origin", s("pairwise")),
+                    ("level", u(0)),
+                ],
+            ),
+            ev(
+                "final_cluster",
+                &[
+                    ("rank", u(1)),
+                    ("size", u(1)),
+                    ("origin", s("hashed")),
+                    ("level", u(1)),
+                ],
+            ),
+            ev(
+                "run_end",
+                &[
+                    ("rounds", u(3)),
+                    ("finals", u(2)),
+                    ("hash_evals", u(24)),
+                    ("distance_evals", u(1)),
+                    ("pair_comparisons", u(1)),
+                    ("bucket_inserts", u(6)),
+                    ("transitive_calls", u(1)),
+                    ("pairwise_calls", u(1)),
+                    ("modeled_cost", f(2.0)),
+                    ("wall_micros", u(20)),
+                ],
+            ),
+            ev(
+                "online_query",
+                &[
+                    ("k", u(2)),
+                    ("records", u(3)),
+                    ("fresh_records", u(3)),
+                    ("advanced_records", u(3)),
+                    ("hash_evals", u(24)),
+                    ("wall_micros", u(25)),
+                ],
+            ),
+        ]
+    }
+
+    fn set(events: &mut [OwnedEvent], name: &str, field: &str, value: OwnedValue) {
+        let event = events.iter_mut().find(|e| e.name == name).unwrap();
+        let slot = event.fields.iter_mut().find(|(n, _)| n == field).unwrap();
+        slot.1 = value;
+    }
+
+    #[test]
+    fn valid_trace_passes() {
+        let report = validate(&valid_trace()).unwrap();
+        assert_eq!(report.runs, 1);
+        assert_eq!(report.events, 10);
+    }
+
+    #[test]
+    fn empty_trace_is_valid_with_zero_runs() {
+        assert_eq!(validate(&[]).unwrap().runs, 0);
+    }
+
+    #[test]
+    fn each_counter_identity_is_enforced() {
+        for (field, message) in [
+            ("hash_evals", "hash_evals"),
+            ("bucket_inserts", "keys_emitted"),
+            ("transitive_calls", "transitive_calls"),
+            ("pairwise_calls", "pairwise_calls"),
+            ("pair_comparisons", "pair_comparisons"),
+            ("distance_evals", "distance_evals"),
+            ("rounds", "rounds"),
+            ("finals", "finals"),
+        ] {
+            let mut t = valid_trace();
+            set(&mut t, "run_end", field, u(999));
+            let err = validate(&t).unwrap_err();
+            assert!(err.contains(message), "field {field}: {err}");
+        }
+    }
+
+    #[test]
+    fn modeled_cost_must_be_bit_identical() {
+        let mut t = valid_trace();
+        set(&mut t, "run_end", "modeled_cost", f(2.0 + 1e-13));
+        assert!(validate(&t).unwrap_err().contains("bit-identical"));
+    }
+
+    #[test]
+    fn block_totals_must_match_their_parents() {
+        let mut t = valid_trace();
+        set(&mut t, "pairwise_block", "kernel_checks", u(5));
+        assert!(validate(&t).unwrap_err().contains("kernel_checks"));
+        let mut t = valid_trace();
+        set(&mut t, "pairwise", "blocks", u(7));
+        assert!(validate(&t).unwrap_err().contains("blocks"));
+    }
+
+    #[test]
+    fn structure_violations_are_rejected() {
+        // Run-scoped event outside a segment.
+        let t = vec![valid_trace()[2].clone()];
+        assert!(validate(&t).unwrap_err().contains("outside a run segment"));
+        // Unterminated segment.
+        let t = vec![valid_trace()[1].clone()];
+        assert!(validate(&t).unwrap_err().contains("unterminated"));
+        // Nested run_start.
+        let t = vec![valid_trace()[1].clone(), valid_trace()[1].clone()];
+        assert!(validate(&t).unwrap_err().contains("nested"));
+    }
+
+    #[test]
+    fn field_schema_is_enforced() {
+        // Unknown event.
+        let t = vec![ev("mystery", &[])];
+        assert!(validate(&t).unwrap_err().contains("unknown event"));
+        // Unknown field.
+        let mut t = valid_trace();
+        t[1].fields.push(("extra".into(), u(1)));
+        assert!(validate(&t).unwrap_err().contains("unknown field"));
+        // Missing required field.
+        let mut t = valid_trace();
+        t[1].fields.retain(|(n, _)| n != "k");
+        assert!(validate(&t).unwrap_err().contains("missing required"));
+        // Wrong kind.
+        let mut t = valid_trace();
+        set(&mut t, "run_start", "k", s("two"));
+        assert!(validate(&t).unwrap_err().contains("schema says"));
+        // Bad enums.
+        let mut t = valid_trace();
+        set(&mut t, "gate", "action", s("maybe"));
+        assert!(validate(&t).unwrap_err().contains("action"));
+        let mut t = valid_trace();
+        set(&mut t, "gate", "forced", u(2));
+        assert!(validate(&t).unwrap_err().contains("forced"));
+    }
+
+    #[test]
+    fn integral_f64_field_accepts_u64_wire_value() {
+        let mut t = valid_trace();
+        // modeled_cost 2.0 written as "2" reads back as U64(2).
+        set(&mut t, "run_end", "modeled_cost", u(2));
+        validate(&t).unwrap();
+    }
+
+    #[test]
+    fn multiple_segments_validate_independently() {
+        let mut t = valid_trace();
+        t.extend(valid_trace());
+        assert_eq!(validate(&t).unwrap().runs, 2);
+    }
+}

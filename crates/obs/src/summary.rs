@@ -1,0 +1,312 @@
+//! Renders a trace into the per-level cost/latency table shown by the
+//! CLI's `trace summarize`.
+//!
+//! The table aggregates over every run segment in the trace (an online
+//! trace holds one segment per query): one row per sequence level
+//! `H_i`, one row for the pairwise function `P`, then the gate-decision
+//! and run-total footers. Rendering is read-only and schema-tolerant —
+//! it sums whatever well-named events are present — so it works on
+//! traces [`crate::schema::validate`] would reject; validate first when
+//! integrity matters.
+
+use std::collections::BTreeMap;
+
+use crate::trace::OwnedEvent;
+
+#[derive(Default)]
+struct LevelRow {
+    rounds: u64,
+    records: u64,
+    hash_evals: u64,
+    keys: u64,
+    wall_micros: u64,
+    cost: f64,
+}
+
+#[derive(Default)]
+struct PairwiseRow {
+    calls: u64,
+    records: u64,
+    pairs: u64,
+    distance_evals: u64,
+    kernel_checks: u64,
+    early_exits: u64,
+    blocks: u64,
+    wall_micros: u64,
+    cost: f64,
+}
+
+/// Renders the summary table for a trace.
+pub fn summarize(events: &[OwnedEvent]) -> String {
+    let mut levels: BTreeMap<u64, LevelRow> = BTreeMap::new();
+    let mut pairwise = PairwiseRow::default();
+    let mut gate_hash = 0u64;
+    let mut gate_pairwise = 0u64;
+    let mut gate_forced = 0u64;
+    let mut runs = 0u64;
+    let mut rounds = 0u64;
+    let mut finals = 0u64;
+    let mut wall_micros = 0u64;
+    let mut modeled = 0.0f64;
+    let mut queries = 0u64;
+    let mut query_fresh = 0u64;
+    let mut query_advanced = 0u64;
+    let mut query_hash_evals = 0u64;
+
+    let u = |event: &OwnedEvent, name: &str| event.u64(name).unwrap_or(0);
+    for event in events {
+        match event.name.as_str() {
+            "hash_round" => {
+                let row = levels.entry(u(event, "level")).or_default();
+                row.rounds += 1;
+                row.records += u(event, "cluster_size");
+                row.hash_evals += u(event, "hash_evals");
+                row.keys += u(event, "keys_emitted");
+                row.wall_micros += u(event, "wall_micros");
+                row.cost += event.f64("predicted_cost").unwrap_or(0.0);
+            }
+            "pairwise" => {
+                pairwise.calls += 1;
+                pairwise.records += u(event, "cluster_size");
+                pairwise.pairs += u(event, "pairs");
+                pairwise.distance_evals += u(event, "distance_evals");
+                pairwise.kernel_checks += u(event, "kernel_checks");
+                pairwise.early_exits += u(event, "early_exits");
+                pairwise.blocks += u(event, "blocks");
+                pairwise.wall_micros += u(event, "wall_micros");
+                pairwise.cost += event.f64("predicted_cost").unwrap_or(0.0);
+            }
+            "gate" => {
+                match event.str("action") {
+                    Some("pairwise") => gate_pairwise += 1,
+                    _ => gate_hash += 1,
+                }
+                gate_forced += u(event, "forced");
+            }
+            "run_end" => {
+                runs += 1;
+                rounds += u(event, "rounds");
+                finals += u(event, "finals");
+                wall_micros += u(event, "wall_micros");
+                modeled += event.f64("modeled_cost").unwrap_or(0.0);
+            }
+            "online_query" => {
+                queries += 1;
+                query_fresh += u(event, "fresh_records");
+                query_advanced += u(event, "advanced_records");
+                query_hash_evals += u(event, "hash_evals");
+            }
+            _ => {}
+        }
+    }
+
+    let ms = |micros: u64| format!("{:.3}", micros as f64 / 1000.0);
+    let mut rows: Vec<Vec<String>> = vec![vec![
+        "level".into(),
+        "rounds".into(),
+        "records".into(),
+        "hash evals".into(),
+        "keys".into(),
+        "pairs".into(),
+        "exit rate".into(),
+        "wall ms".into(),
+        "modeled cost".into(),
+    ]];
+    for (level, row) in &levels {
+        rows.push(vec![
+            format!("H{level}"),
+            row.rounds.to_string(),
+            row.records.to_string(),
+            row.hash_evals.to_string(),
+            row.keys.to_string(),
+            "-".into(),
+            "-".into(),
+            ms(row.wall_micros),
+            format!("{:.1}", row.cost),
+        ]);
+    }
+    if pairwise.calls > 0 {
+        let exit_rate = if pairwise.kernel_checks > 0 {
+            format!(
+                "{:.1}%",
+                100.0 * pairwise.early_exits as f64 / pairwise.kernel_checks as f64
+            )
+        } else {
+            "-".into()
+        };
+        rows.push(vec![
+            "P".into(),
+            pairwise.calls.to_string(),
+            pairwise.records.to_string(),
+            "-".into(),
+            "-".into(),
+            pairwise.pairs.to_string(),
+            exit_rate,
+            ms(pairwise.wall_micros),
+            format!("{:.1}", pairwise.cost),
+        ]);
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "trace summary: {runs} run(s), {} event(s)\n\n",
+        events.len()
+    ));
+    out.push_str(&render_table(&rows));
+    out.push_str(&format!(
+        "\ngate decisions: hash={gate_hash} pairwise={gate_pairwise} (forced={gate_forced})\n"
+    ));
+    if pairwise.calls > 0 {
+        out.push_str(&format!(
+            "pairwise kernels: {} checks, {} early exits, {} blocks, {} distance evals\n",
+            pairwise.kernel_checks, pairwise.early_exits, pairwise.blocks, pairwise.distance_evals
+        ));
+    }
+    if queries > 0 {
+        out.push_str(&format!(
+            "online: {queries} query(ies), {query_fresh} fresh records, \
+             {query_advanced} advanced, {query_hash_evals} hash evals\n"
+        ));
+    }
+    out.push_str(&format!(
+        "totals: rounds={rounds} finals={finals} wall={} ms modeled_cost={modeled:.1}\n",
+        ms(wall_micros)
+    ));
+    out
+}
+
+/// Renders rows (first row = header) with right-aligned, padded columns.
+fn render_table(rows: &[Vec<String>]) -> String {
+    let columns = rows.iter().map(Vec::len).max().unwrap_or(0);
+    let mut widths = vec![0usize; columns];
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    for (r, row) in rows.iter().enumerate() {
+        for (i, cell) in row.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            for _ in 0..widths[i].saturating_sub(cell.len()) {
+                out.push(' ');
+            }
+            out.push_str(cell);
+        }
+        out.push('\n');
+        if r == 0 {
+            let total: usize = widths.iter().sum::<usize>() + 2 * (columns.saturating_sub(1));
+            out.extend(std::iter::repeat_n('-', total));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::OwnedValue;
+
+    fn ev(name: &str, fields: &[(&str, OwnedValue)]) -> OwnedEvent {
+        OwnedEvent {
+            name: name.to_string(),
+            fields: fields
+                .iter()
+                .map(|(n, v)| (n.to_string(), v.clone()))
+                .collect(),
+        }
+    }
+
+    fn u(v: u64) -> OwnedValue {
+        OwnedValue::U64(v)
+    }
+
+    #[test]
+    fn aggregates_levels_pairwise_and_gates() {
+        let events = vec![
+            ev(
+                "hash_round",
+                &[
+                    ("level", u(1)),
+                    ("cluster_size", u(100)),
+                    ("hash_evals", u(800)),
+                    ("keys_emitted", u(200)),
+                    ("wall_micros", u(1500)),
+                    ("predicted_cost", OwnedValue::F64(10.0)),
+                ],
+            ),
+            ev(
+                "hash_round",
+                &[
+                    ("level", u(1)),
+                    ("cluster_size", u(50)),
+                    ("hash_evals", u(400)),
+                    ("keys_emitted", u(100)),
+                    ("wall_micros", u(500)),
+                    ("predicted_cost", OwnedValue::F64(5.0)),
+                ],
+            ),
+            ev(
+                "gate",
+                &[
+                    ("action", OwnedValue::Str("pairwise".into())),
+                    ("forced", u(0)),
+                ],
+            ),
+            ev(
+                "pairwise",
+                &[
+                    ("cluster_size", u(10)),
+                    ("pairs", u(45)),
+                    ("kernel_checks", u(50)),
+                    ("early_exits", u(25)),
+                    ("blocks", u(1)),
+                    ("wall_micros", u(100)),
+                ],
+            ),
+            ev(
+                "run_end",
+                &[
+                    ("rounds", u(3)),
+                    ("finals", u(1)),
+                    ("wall_micros", u(2500)),
+                    ("modeled_cost", OwnedValue::F64(15.5)),
+                ],
+            ),
+        ];
+        let table = summarize(&events);
+        assert!(table.contains("H1"), "{table}");
+        assert!(table.contains("1200"), "summed hash evals: {table}");
+        assert!(table.contains("150"), "summed records: {table}");
+        assert!(table.contains("50.0%"), "early-exit rate: {table}");
+        assert!(table.contains("hash=0 pairwise=1"), "{table}");
+        assert!(table.contains("rounds=3 finals=1"), "{table}");
+        assert!(table.contains("modeled_cost=15.5"), "{table}");
+    }
+
+    #[test]
+    fn empty_trace_renders_without_panicking() {
+        let table = summarize(&[]);
+        assert!(table.contains("0 run(s)"), "{table}");
+    }
+
+    #[test]
+    fn online_queries_get_their_own_footer() {
+        let events = vec![ev(
+            "online_query",
+            &[
+                ("k", u(1)),
+                ("records", u(30)),
+                ("fresh_records", u(10)),
+                ("advanced_records", u(12)),
+                ("hash_evals", u(99)),
+                ("wall_micros", u(10)),
+            ],
+        )];
+        let table = summarize(&events);
+        assert!(table.contains("online: 1 query(ies), 10 fresh"), "{table}");
+    }
+}

@@ -1,0 +1,340 @@
+//! The tracing core: events, subscribers, and the [`TraceSink`] handle
+//! instrumented code holds.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Near-zero cost when disabled.** The engine's round loop is the
+//!    hot path of the whole workspace; a disabled sink must cost one
+//!    well-predicted branch. [`TraceSink::enabled`] is the guard —
+//!    instrumentation computes fields (and takes `Instant` timestamps)
+//!    only behind it, and [`TraceSink::emit`] on a disabled sink is a
+//!    `None` check.
+//! 2. **No allocation to emit.** An [`Event`] borrows its name and its
+//!    field slice from the emitter's stack; only subscribers that need
+//!    ownership (JSONL, memory) pay for copies.
+//! 3. **Explicit plumbing, no globals.** Sinks are threaded through
+//!    configuration, never process-wide state, so parallel tests and
+//!    embedded engines cannot observe each other's events.
+
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// One field value of a trace event. The schema is deliberately small:
+/// counters are `u64`, modeled costs and timings are `f64`, and
+/// decisions are short static strings. Booleans are encoded as
+/// `U64(0|1)` so the wire schema stays three-typed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value<'a> {
+    /// Unsigned counter (counts, sizes, 0/1 flags).
+    U64(u64),
+    /// Floating-point measurement (modeled costs, seconds).
+    F64(f64),
+    /// Short label (event actions, origins).
+    Str(&'a str),
+}
+
+/// A structured trace event: a name and a flat bag of fields, both
+/// borrowed from the emitter.
+#[derive(Debug, Clone, Copy)]
+pub struct Event<'a> {
+    /// Event name (see [`crate::schema`] for the taxonomy).
+    pub name: &'a str,
+    /// Field name/value pairs, in emission order.
+    pub fields: &'a [(&'a str, Value<'a>)],
+}
+
+impl<'a> Event<'a> {
+    /// Looks up a field by name.
+    pub fn get(&self, name: &str) -> Option<Value<'a>> {
+        self.fields
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// The field as a `u64`, if present and of that type.
+    pub fn u64(&self, name: &str) -> Option<u64> {
+        match self.get(name) {
+            Some(Value::U64(v)) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The field as an `f64` (`U64` fields coerce losslessly enough for
+    /// metric observation), if present.
+    pub fn f64(&self, name: &str) -> Option<f64> {
+        match self.get(name) {
+            Some(Value::F64(v)) => Some(v),
+            Some(Value::U64(v)) => Some(v as f64),
+            _ => None,
+        }
+    }
+
+    /// The field as a string, if present and of that type.
+    pub fn str(&self, name: &str) -> Option<&'a str> {
+        match self.get(name) {
+            Some(Value::Str(v)) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// A consumer of trace events. Implementations must be cheap and must
+/// never panic across the subscriber boundary — the engine treats
+/// tracing as fire-and-forget.
+pub trait Subscriber: Send + Sync {
+    /// Receives one event. Field slices are only valid for the call.
+    fn event(&self, event: &Event<'_>);
+
+    /// Flushes any buffered output (no-op by default).
+    fn flush(&self) {}
+}
+
+/// The handle instrumented code holds: either disabled (the default —
+/// one branch per decision point) or an [`Arc`] to a subscriber.
+#[derive(Clone, Default)]
+pub struct TraceSink(Option<Arc<dyn Subscriber>>);
+
+impl TraceSink {
+    /// The disabled sink (same as `TraceSink::default()`).
+    pub fn disabled() -> Self {
+        Self(None)
+    }
+
+    /// A sink delivering to one subscriber.
+    pub fn new(subscriber: Arc<dyn Subscriber>) -> Self {
+        Self(Some(subscriber))
+    }
+
+    /// Is any subscriber attached? Instrumentation guards all field
+    /// computation (sizes, deltas, `Instant::now`) behind this.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Delivers one event to the subscriber, if any.
+    #[inline]
+    pub fn emit(&self, name: &str, fields: &[(&str, Value<'_>)]) {
+        if let Some(subscriber) = &self.0 {
+            subscriber.event(&Event { name, fields });
+        }
+    }
+
+    /// Flushes the subscriber, if any.
+    pub fn flush(&self) {
+        if let Some(subscriber) = &self.0 {
+            subscriber.flush();
+        }
+    }
+
+    /// Returns a sink that delivers to this sink's subscriber (if any)
+    /// **and** to `subscriber`. Used by the serving layer to add its
+    /// metrics fold-in without displacing a caller-installed JSONL
+    /// writer.
+    pub fn with(&self, subscriber: Arc<dyn Subscriber>) -> Self {
+        match &self.0 {
+            None => Self::new(subscriber),
+            Some(existing) => Self::new(Arc::new(Fanout(vec![existing.clone(), subscriber]))),
+        }
+    }
+}
+
+impl fmt::Debug for TraceSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(if self.enabled() {
+            "TraceSink(enabled)"
+        } else {
+            "TraceSink(disabled)"
+        })
+    }
+}
+
+/// Delivers every event to each inner subscriber in order.
+struct Fanout(Vec<Arc<dyn Subscriber>>);
+
+impl Subscriber for Fanout {
+    fn event(&self, event: &Event<'_>) {
+        for subscriber in &self.0 {
+            subscriber.event(event);
+        }
+    }
+
+    fn flush(&self) {
+        for subscriber in &self.0 {
+            subscriber.flush();
+        }
+    }
+}
+
+/// A subscriber that discards every event. Distinct from a *disabled*
+/// sink: the engine still walks its emission paths (field computation,
+/// timestamps), which is exactly what the tracing-overhead differential
+/// tests need to exercise.
+#[derive(Debug, Default)]
+pub struct NoopSubscriber;
+
+impl Subscriber for NoopSubscriber {
+    fn event(&self, _event: &Event<'_>) {}
+}
+
+/// An owned copy of an event, as stored by [`MemorySubscriber`] and
+/// returned by [`crate::jsonl::read_events`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct OwnedEvent {
+    /// Event name.
+    pub name: String,
+    /// Field name/value pairs, in emission order.
+    pub fields: Vec<(String, OwnedValue)>,
+}
+
+/// Owned counterpart of [`Value`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum OwnedValue {
+    /// Unsigned counter.
+    U64(u64),
+    /// Floating-point measurement.
+    F64(f64),
+    /// Short label.
+    Str(String),
+}
+
+impl OwnedEvent {
+    /// Looks up a field by name.
+    pub fn get(&self, name: &str) -> Option<&OwnedValue> {
+        self.fields.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// The field as a `u64`, if present and integral.
+    pub fn u64(&self, name: &str) -> Option<u64> {
+        match self.get(name) {
+            Some(OwnedValue::U64(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The field as an `f64` (`U64` coerces), if present.
+    pub fn f64(&self, name: &str) -> Option<f64> {
+        match self.get(name) {
+            Some(OwnedValue::F64(v)) => Some(*v),
+            Some(OwnedValue::U64(v)) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// The field as a string, if present and of that type.
+    pub fn str(&self, name: &str) -> Option<&str> {
+        match self.get(name) {
+            Some(OwnedValue::Str(v)) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+impl From<&Event<'_>> for OwnedEvent {
+    fn from(event: &Event<'_>) -> Self {
+        Self {
+            name: event.name.to_string(),
+            fields: event
+                .fields
+                .iter()
+                .map(|&(n, v)| {
+                    let owned = match v {
+                        Value::U64(x) => OwnedValue::U64(x),
+                        Value::F64(x) => OwnedValue::F64(x),
+                        Value::Str(x) => OwnedValue::Str(x.to_string()),
+                    };
+                    (n.to_string(), owned)
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Collects owned copies of every event — the test-side subscriber
+/// behind the trace↔`Stats` reconciliation and differential tests.
+#[derive(Debug, Default)]
+pub struct MemorySubscriber {
+    events: Mutex<Vec<OwnedEvent>>,
+}
+
+impl MemorySubscriber {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A snapshot of everything collected so far.
+    pub fn events(&self) -> Vec<OwnedEvent> {
+        self.events
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
+    }
+}
+
+impl Subscriber for MemorySubscriber {
+    fn event(&self, event: &Event<'_>) {
+        self.events
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(OwnedEvent::from(event));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_sink_emits_nothing_and_reports_disabled() {
+        let sink = TraceSink::default();
+        assert!(!sink.enabled());
+        sink.emit("x", &[("a", Value::U64(1))]); // must not panic
+        sink.flush();
+        assert_eq!(format!("{sink:?}"), "TraceSink(disabled)");
+    }
+
+    #[test]
+    fn memory_subscriber_collects_in_order() {
+        let memory = Arc::new(MemorySubscriber::new());
+        let sink = TraceSink::new(memory.clone());
+        assert!(sink.enabled());
+        sink.emit("a", &[("n", Value::U64(7)), ("s", Value::Str("hash"))]);
+        sink.emit("b", &[("c", Value::F64(1.5))]);
+        let events = memory.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].name, "a");
+        assert_eq!(events[0].u64("n"), Some(7));
+        assert_eq!(events[0].str("s"), Some("hash"));
+        assert_eq!(events[1].f64("c"), Some(1.5));
+        assert_eq!(events[0].u64("missing"), None);
+    }
+
+    #[test]
+    fn event_field_accessors_coerce_u64_to_f64_only() {
+        let fields = [("n", Value::U64(3)), ("x", Value::F64(0.5))];
+        let event = Event {
+            name: "e",
+            fields: &fields,
+        };
+        assert_eq!(event.f64("n"), Some(3.0));
+        assert_eq!(event.u64("x"), None, "f64 does not silently truncate");
+        assert_eq!(event.str("n"), None);
+    }
+
+    #[test]
+    fn fanout_delivers_to_both() {
+        let a = Arc::new(MemorySubscriber::new());
+        let b = Arc::new(MemorySubscriber::new());
+        let sink = TraceSink::new(a.clone()).with(b.clone());
+        sink.emit("e", &[]);
+        assert_eq!(a.events().len(), 1);
+        assert_eq!(b.events().len(), 1);
+        // `with` on a disabled sink attaches directly.
+        let c = Arc::new(MemorySubscriber::new());
+        let lone = TraceSink::disabled().with(c.clone());
+        lone.emit("e", &[]);
+        assert_eq!(c.events().len(), 1);
+    }
+}

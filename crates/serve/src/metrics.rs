@@ -1,147 +1,194 @@
-//! Service metrics with Prometheus text exposition.
+//! Service metrics with Prometheus text exposition, built on the shared
+//! [`adalsh_obs`] registry.
 //!
-//! The registry is lock-light: scalar counters are atomics, and the only
-//! mutex guards the small per-`(endpoint, status)` request-count map. A
-//! scrape renders the standard text format (`# HELP`/`# TYPE` preamble,
-//! one sample per line) without touching the resolver lock, so
-//! `/metrics` stays responsive while a long query holds the engine.
+//! The registry is lock-light: counters and histogram buckets are
+//! atomics, and the only mutexes guard the small label maps and the
+//! family list. A scrape renders the standard text format without
+//! touching the resolver lock, so `/metrics` stays responsive while a
+//! long query holds the engine.
+//!
+//! Besides the request-level families, the service folds the engine's
+//! structured trace into **engine histograms**: an [`EngineMetrics`]
+//! subscriber rides on the resolver's [`adalsh_obs::TraceSink`] and
+//! turns `hash_round` / `pairwise_block` / `gate` events into
+//! `adalsh_engine_*` families, giving per-round latency distributions
+//! and gate-decision counts on the same scrape endpoint.
 
-use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::Arc;
 use std::time::Duration;
 
 use adalsh_core::Stats;
+use adalsh_obs::{Counter, Event, Histogram, LabeledCounter, Registry, Subscriber};
 
 /// Upper bounds (seconds) of the request-latency histogram buckets; a
 /// final `+Inf` bucket is implicit. Spans sub-millisecond health checks
 /// to multi-second cold queries.
 pub const LATENCY_BUCKETS_SECS: [f64; 8] = [0.001, 0.005, 0.025, 0.1, 0.25, 1.0, 2.5, 10.0];
 
+/// Upper bounds (seconds) for the engine-internal histograms: hash
+/// rounds and pairwise blocks run from microseconds (tiny clusters) to
+/// seconds (the level-1 sweep over the whole corpus).
+pub const ENGINE_BUCKETS_SECS: [f64; 7] = [1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0];
+
 /// All counters exported on `/metrics`.
-#[derive(Debug, Default)]
 pub struct Metrics {
+    registry: Registry,
     /// Requests by `(endpoint, status)`.
-    requests: Mutex<BTreeMap<(String, u16), u64>>,
-    /// Cumulative request-latency histogram: one counter per bucket in
-    /// [`LATENCY_BUCKETS_SECS`], plus `+Inf` at the end.
-    latency_buckets: [AtomicU64; LATENCY_BUCKETS_SECS.len() + 1],
-    latency_sum_micros: AtomicU64,
-    latency_count: AtomicU64,
+    requests: LabeledCounter,
+    /// Request wall latency (exact f64 sum — not truncated to micros).
+    latency: Histogram,
     /// Records accepted by `/ingest` since startup (resumed records are
     /// not counted: this meters service work, not corpus size).
-    ingested_records: AtomicU64,
+    ingested_records: Counter,
     /// Cumulative engine counters accumulated over all queries.
-    hash_evals: AtomicU64,
-    pairwise_evals: AtomicU64,
+    hash_evals: Counter,
+    pairwise_evals: Counter,
+    /// Trace-fed engine families (shares `registry`).
+    engine: Arc<EngineMetrics>,
 }
 
 impl Metrics {
-    /// Creates an empty registry.
+    /// Creates an empty registry with every family pre-registered (so a
+    /// scrape before the first request still lists them all).
     pub fn new() -> Self {
-        Self::default()
+        let registry = Registry::new();
+        let requests = registry.labeled_counter(
+            "adalsh_requests_total",
+            "Requests served, by endpoint and status.",
+            &["endpoint", "status"],
+        );
+        let latency = registry.histogram(
+            "adalsh_request_seconds",
+            "Request wall latency.",
+            &LATENCY_BUCKETS_SECS,
+        );
+        let ingested_records = registry.counter(
+            "adalsh_ingested_records_total",
+            "Records accepted over /ingest since startup.",
+        );
+        let hash_evals = registry.counter(
+            "adalsh_hash_evals_total",
+            "Elementary hash evaluations across all queries.",
+        );
+        let pairwise_evals = registry.counter(
+            "adalsh_pairwise_evals_total",
+            "Record-pair comparisons across all queries.",
+        );
+        let engine = Arc::new(EngineMetrics::register(&registry));
+        Self {
+            registry,
+            requests,
+            latency,
+            ingested_records,
+            hash_evals,
+            pairwise_evals,
+            engine,
+        }
     }
 
     /// Records one finished request: its endpoint label (the matched
     /// path, or `"unmatched"`), response status, and wall latency.
     pub fn observe_request(&self, endpoint: &str, status: u16, latency: Duration) {
-        {
-            let mut map = lock_unpoisoned(&self.requests);
-            *map.entry((endpoint.to_string(), status)).or_insert(0) += 1;
-        }
-        let secs = latency.as_secs_f64();
-        for (i, bound) in LATENCY_BUCKETS_SECS.iter().enumerate() {
-            if secs <= *bound {
-                self.latency_buckets[i].fetch_add(1, Ordering::Relaxed);
-            }
-        }
-        self.latency_buckets[LATENCY_BUCKETS_SECS.len()].fetch_add(1, Ordering::Relaxed);
-        self.latency_sum_micros
-            .fetch_add(latency.as_micros() as u64, Ordering::Relaxed);
-        self.latency_count.fetch_add(1, Ordering::Relaxed);
+        self.requests.inc(&[endpoint, &status.to_string()]);
+        self.latency.observe(latency.as_secs_f64());
     }
 
     /// Adds newly ingested records to the intake counter.
     pub fn observe_ingest(&self, records: usize) {
-        self.ingested_records
-            .fetch_add(records as u64, Ordering::Relaxed);
+        self.ingested_records.add(records as u64);
     }
 
     /// Folds one query's engine counters into the cumulative totals.
     pub fn observe_query_stats(&self, stats: &Stats) {
-        self.hash_evals
-            .fetch_add(stats.hash_evals, Ordering::Relaxed);
-        self.pairwise_evals
-            .fetch_add(stats.pair_comparisons, Ordering::Relaxed);
+        self.hash_evals.add(stats.hash_evals);
+        self.pairwise_evals.add(stats.pair_comparisons);
+    }
+
+    /// The trace subscriber feeding the `adalsh_engine_*` families.
+    /// Install it on the resolver's sink (composed via
+    /// [`adalsh_obs::TraceSink::with`] so a caller-installed JSONL
+    /// writer keeps receiving events too).
+    pub fn engine_subscriber(&self) -> Arc<dyn Subscriber> {
+        self.engine.clone()
     }
 
     /// Renders the registry in Prometheus text exposition format.
     pub fn render(&self) -> String {
-        let mut out = String::with_capacity(2048);
-
-        out.push_str("# HELP adalsh_requests_total Requests served, by endpoint and status.\n");
-        out.push_str("# TYPE adalsh_requests_total counter\n");
-        for ((endpoint, status), count) in lock_unpoisoned(&self.requests).iter() {
-            out.push_str(&format!(
-                "adalsh_requests_total{{endpoint=\"{endpoint}\",status=\"{status}\"}} {count}\n"
-            ));
-        }
-
-        out.push_str("# HELP adalsh_request_seconds Request wall latency.\n");
-        out.push_str("# TYPE adalsh_request_seconds histogram\n");
-        for (i, bound) in LATENCY_BUCKETS_SECS.iter().enumerate() {
-            let v = self.latency_buckets[i].load(Ordering::Relaxed);
-            out.push_str(&format!(
-                "adalsh_request_seconds_bucket{{le=\"{bound}\"}} {v}\n"
-            ));
-        }
-        let inf = self.latency_buckets[LATENCY_BUCKETS_SECS.len()].load(Ordering::Relaxed);
-        out.push_str(&format!(
-            "adalsh_request_seconds_bucket{{le=\"+Inf\"}} {inf}\n"
-        ));
-        let sum = self.latency_sum_micros.load(Ordering::Relaxed) as f64 / 1e6;
-        out.push_str(&format!("adalsh_request_seconds_sum {sum}\n"));
-        out.push_str(&format!(
-            "adalsh_request_seconds_count {}\n",
-            self.latency_count.load(Ordering::Relaxed)
-        ));
-
-        for (name, help, value) in [
-            (
-                "adalsh_ingested_records_total",
-                "Records accepted over /ingest since startup.",
-                self.ingested_records.load(Ordering::Relaxed),
-            ),
-            (
-                "adalsh_hash_evals_total",
-                "Elementary hash evaluations across all queries.",
-                self.hash_evals.load(Ordering::Relaxed),
-            ),
-            (
-                "adalsh_pairwise_evals_total",
-                "Record-pair comparisons across all queries.",
-                self.pairwise_evals.load(Ordering::Relaxed),
-            ),
-        ] {
-            out.push_str(&format!(
-                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
-            ));
-        }
-        out
+        self.registry.render()
     }
 }
 
-/// Locks a mutex, recovering the data from a poisoned lock (metrics must
-/// survive a panicking worker).
-fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    mutex
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner)
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Metrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Metrics").finish_non_exhaustive()
+    }
+}
+
+/// Folds engine trace events into Prometheus families. Lives on the
+/// resolver's [`adalsh_obs::TraceSink`]; events it does not chart
+/// (run bounds, finals, online-query summaries) pass through untouched.
+pub struct EngineMetrics {
+    hash_round_seconds: Histogram,
+    pairwise_block_seconds: Histogram,
+    gate_decisions: LabeledCounter,
+}
+
+impl EngineMetrics {
+    /// Registers the engine families on `registry`.
+    fn register(registry: &Registry) -> Self {
+        Self {
+            hash_round_seconds: registry.histogram(
+                "adalsh_engine_hash_round_seconds",
+                "Wall time of one transitive hashing round (one H_t application).",
+                &ENGINE_BUCKETS_SECS,
+            ),
+            pairwise_block_seconds: registry.histogram(
+                "adalsh_engine_pairwise_block_seconds",
+                "Wall time of one pairwise wavefront block.",
+                &ENGINE_BUCKETS_SECS,
+            ),
+            gate_decisions: registry.labeled_counter(
+                "adalsh_engine_gate_decisions_total",
+                "Line-5 jump-gate decisions, by chosen action.",
+                &["action"],
+            ),
+        }
+    }
+}
+
+impl Subscriber for EngineMetrics {
+    fn event(&self, event: &Event<'_>) {
+        match event.name {
+            "hash_round" => {
+                if let Some(micros) = event.u64("wall_micros") {
+                    self.hash_round_seconds.observe(micros as f64 / 1e6);
+                }
+            }
+            "pairwise_block" => {
+                if let Some(micros) = event.u64("wall_micros") {
+                    self.pairwise_block_seconds.observe(micros as f64 / 1e6);
+                }
+            }
+            "gate" => {
+                if let Some(action) = event.str("action") {
+                    self.gate_decisions.inc(&[action]);
+                }
+            }
+            _ => {}
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use adalsh_obs::{promtext, TraceSink, Value};
 
     #[test]
     fn render_contains_all_families() {
@@ -164,6 +211,9 @@ mod tests {
         assert!(text.contains("adalsh_ingested_records_total 7"));
         assert!(text.contains("adalsh_hash_evals_total 11"));
         assert!(text.contains("adalsh_pairwise_evals_total 5"));
+        // Engine families are pre-registered even before any query.
+        assert!(text.contains("adalsh_engine_hash_round_seconds_count 0"));
+        assert!(text.contains("adalsh_engine_pairwise_block_seconds_count 0"));
     }
 
     #[test]
@@ -174,5 +224,69 @@ mod tests {
         // A 0.5ms request lands in every bucket from le="0.001" upward.
         assert!(text.contains("adalsh_request_seconds_bucket{le=\"0.001\"} 1"));
         assert!(text.contains("adalsh_request_seconds_bucket{le=\"10\"} 1"));
+    }
+
+    /// The seed implementation truncated `_sum` to whole microseconds
+    /// and double-counted nothing into `+Inf`; the parser-backed checks
+    /// pin the correct semantics: `+Inf == _count`, buckets cumulative
+    /// and nondecreasing, `_sum` an exact f64 total.
+    #[test]
+    fn latency_histogram_has_valid_prometheus_semantics() {
+        let m = Metrics::new();
+        m.observe_request("/topk", 200, Duration::from_secs_f64(0.0000007));
+        m.observe_request("/topk", 200, Duration::from_secs_f64(0.0123));
+        m.observe_request("/topk", 200, Duration::from_secs_f64(99.0));
+
+        let samples = promtext::parse(&m.render()).expect("exposition parses");
+        promtext::check_histogram(&samples, "adalsh_request_seconds").expect("valid histogram");
+
+        let sum = samples
+            .iter()
+            .find(|s| s.name == "adalsh_request_seconds_sum")
+            .unwrap()
+            .value;
+        // Sub-microsecond latencies survive: the sum is not truncated to
+        // whole micros (0.0000007 would truncate to 0).
+        assert!(
+            (sum - (0.0000007 + 0.0123 + 99.0)).abs() < 1e-9,
+            "exact f64 sum, got {sum}"
+        );
+        let inf = samples
+            .iter()
+            .find(|s| s.name == "adalsh_request_seconds_bucket" && s.label("le") == Some("+Inf"))
+            .unwrap()
+            .value;
+        assert_eq!(inf as u64, 3, "+Inf bucket counts every observation");
+    }
+
+    #[test]
+    fn engine_subscriber_folds_trace_events() {
+        let m = Metrics::new();
+        let sink = TraceSink::new(m.engine_subscriber());
+        sink.emit(
+            "hash_round",
+            &[("level", Value::U64(1)), ("wall_micros", Value::U64(1500))],
+        );
+        sink.emit("pairwise_block", &[("wall_micros", Value::U64(80))]);
+        sink.emit("pairwise_block", &[("wall_micros", Value::U64(120))]);
+        sink.emit("gate", &[("action", Value::Str("pairwise"))]);
+        sink.emit("gate", &[("action", Value::Str("pairwise"))]);
+        sink.emit("gate", &[("action", Value::Str("hash"))]);
+        sink.emit("final_cluster", &[("rank", Value::U64(0))]); // ignored
+
+        let text = m.render();
+        assert!(
+            text.contains("adalsh_engine_hash_round_seconds_count 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("adalsh_engine_pairwise_block_seconds_count 2"),
+            "{text}"
+        );
+        assert!(text.contains("adalsh_engine_gate_decisions_total{action=\"pairwise\"} 2"));
+        assert!(text.contains("adalsh_engine_gate_decisions_total{action=\"hash\"} 1"));
+        let samples = promtext::parse(&text).unwrap();
+        promtext::check_histogram(&samples, "adalsh_engine_hash_round_seconds").unwrap();
+        promtext::check_histogram(&samples, "adalsh_engine_pairwise_block_seconds").unwrap();
     }
 }

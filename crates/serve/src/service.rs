@@ -39,13 +39,24 @@ pub struct Service {
 }
 
 impl Service {
-    /// Wraps a resolver configured with `rule`.
-    pub fn new(resolver: OnlineAdaLsh, rule: MatchRule, snapshot_path: Option<PathBuf>) -> Self {
+    /// Wraps a resolver configured with `rule`. The service folds the
+    /// engine's trace events into its metrics registry: the resolver's
+    /// sink is composed with the [`Metrics`] engine subscriber, so a
+    /// caller-installed sink (e.g. `--trace-out` JSONL) keeps receiving
+    /// every event as well.
+    pub fn new(
+        mut resolver: OnlineAdaLsh,
+        rule: MatchRule,
+        snapshot_path: Option<PathBuf>,
+    ) -> Self {
+        let metrics = Metrics::new();
+        let composed = resolver.trace().with(metrics.engine_subscriber());
+        resolver.set_trace(composed);
         let record_count = AtomicU64::new(resolver.len() as u64);
         Self {
             resolver: Mutex::new(resolver),
             rule,
-            metrics: Metrics::new(),
+            metrics,
             record_count,
             snapshot_path,
         }

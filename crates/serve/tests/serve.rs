@@ -174,6 +174,24 @@ fn ingest_then_topk_matches_batch_pairs_oracle() {
         !metrics.contains("adalsh_hash_evals_total 0\n"),
         "{metrics}"
     );
+    // The engine's trace events fold into the same scrape: the query's
+    // level-1 sweep emits at least one hash_round observation.
+    assert!(
+        metrics.contains("adalsh_engine_hash_round_seconds_bucket"),
+        "{metrics}"
+    );
+    assert!(
+        !metrics.contains("adalsh_engine_hash_round_seconds_count 0\n"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("adalsh_engine_pairwise_block_seconds_bucket"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("adalsh_engine_gate_decisions_total"),
+        "{metrics}"
+    );
 
     server.shutdown();
 }
