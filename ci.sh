@@ -3,9 +3,12 @@
 # Run from the workspace root before pushing.
 #
 #   ./ci.sh                # the default gate
-#   ./ci.sh --bench-smoke  # gate + a tiny end-to-end run of the P
-#                          # baseline recorder (exercises bench_pairwise
-#                          # without touching the committed baseline)
+#   ./ci.sh --bench-smoke  # gate + compile the Criterion benches + tiny
+#                          # end-to-end runs of the baseline recorders
+#                          # (bench_pairwise, and bench_kernels which
+#                          # fails unless DOPH beats the classic batched
+#                          # MinHash kernel at width 128); committed
+#                          # baselines are never touched
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -113,8 +116,14 @@ trace_smoke() {
 trace_smoke
 
 if [ "$bench_smoke" = 1 ]; then
+    echo "==> cargo bench --no-run (compile gate)"
+    cargo bench --workspace --no-run --quiet
+
     echo "==> bench_pairwise --smoke"
     cargo run --release -p adalsh-bench --bin bench_pairwise -- --smoke
+
+    echo "==> bench_kernels --smoke (doph-beats-classic gate)"
+    cargo run --release -p adalsh-bench --bin bench_kernels -- --smoke
 fi
 
 echo "CI OK"

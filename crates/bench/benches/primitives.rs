@@ -13,7 +13,7 @@ use adalsh_core::transitive::apply_transitive;
 use adalsh_data::{
     Dataset, FieldDistance, FieldKind, FieldValue, MatchRule, Record, Schema, ShingleSet,
 };
-use adalsh_lsh::{HyperplaneFamily, MinHashFamily};
+use adalsh_lsh::{DensifiedMinHash, HyperplaneFamily, MinHashFamily};
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
@@ -143,7 +143,50 @@ fn bench_minhash_batch(c: &mut Criterion) {
                 black_box(out[width - 1])
             })
         });
+        // DOPH fills the same `width` slots in ONE pass over the set
+        // (O(|set| + width) vs O(|set| · width) for classic).
+        let doph = DensifiedMinHash::new(3, width);
+        g.bench_function(format!("doph/{width}"), |b| {
+            let mut out = vec![0u64; width];
+            b.iter(|| {
+                doph.hash_all(black_box(&set), &mut out);
+                black_box(out[width - 1])
+            })
+        });
     }
+    g.finish();
+}
+
+/// Verification-kernel A/B: the flat 4-accumulator dot product against a
+/// sequential fold, and the branch-light merge intersection against
+/// galloping, on workload-shaped inputs (64-dim histogram vectors,
+/// ~120-shingle sets).
+fn bench_distance_kernels(c: &mut Criterion) {
+    use adalsh_data::DenseVector;
+    let mut g = c.benchmark_group("distance_kernels");
+    let a = DenseVector::new((0..64).map(|i| (i as f64 * 0.37).sin()).collect());
+    let b = DenseVector::new((0..64).map(|i| (i as f64 * 0.91).cos()).collect());
+    g.bench_function("dot_flat_64d", |bch| {
+        bch.iter(|| black_box(black_box(&a).dot(black_box(&b))))
+    });
+    g.bench_function("dot_sequential_64d", |bch| {
+        bch.iter(|| {
+            let s: f64 = black_box(a.components())
+                .iter()
+                .zip(black_box(b.components()))
+                .map(|(x, y)| x * y)
+                .sum();
+            black_box(s)
+        })
+    });
+    let sa = ShingleSet::new((0..240).map(|i| i * 3).collect());
+    let sb = ShingleSet::new((0..240).map(|i| i * 4 + 1).collect());
+    g.bench_function("intersect_merge_240", |bch| {
+        bch.iter(|| black_box(black_box(&sa).intersection_size_merge(black_box(&sb))))
+    });
+    g.bench_function("intersect_gallop_240", |bch| {
+        bch.iter(|| black_box(black_box(&sa).intersection_size_galloping(black_box(&sb))))
+    });
     g.finish();
 }
 
@@ -316,6 +359,7 @@ criterion_group!(
     bench_families,
     bench_minhash_batch,
     bench_hyperplane_batch,
+    bench_distance_kernels,
     bench_incremental_advance,
     bench_transitive_and_pairwise,
     bench_end_to_end,

@@ -23,6 +23,7 @@ use std::hint::black_box;
 use std::sync::Arc;
 use std::time::Instant;
 
+use adalsh_bench::recorder::provenance_fields;
 use adalsh_core::algorithm::default_threads;
 use adalsh_core::{AdaLsh, AdaLshConfig, TraceSink};
 use adalsh_data::{FieldDistance, MatchRule};
@@ -77,9 +78,10 @@ fn main() {
 
     let json = format!(
         "{{\n  \"_meta\": {{ \"records\": {num_records}, \"entities\": {num_entities}, \
-         \"k\": {k}, \"threads\": {threads}, \"unit\": \"seconds per filter run\" }},\n  \
+         \"k\": {k}, \"threads\": {threads}, \"unit\": \"seconds per filter run\", {} }},\n  \
          \"disabled_seconds\": {disabled:.6},\n  \"noop_seconds\": {noop:.6},\n  \
-         \"overhead/noop\": {overhead:.3}\n}}\n"
+         \"overhead/noop\": {overhead:.3}\n}}\n",
+        provenance_fields()
     );
 
     if smoke {

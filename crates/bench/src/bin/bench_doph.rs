@@ -1,0 +1,154 @@
+//! Classic-vs-DOPH end-to-end baseline recorder: runs the full adaLSH
+//! top-k filter under both MinHash evaluation schemes on the cora-like
+//! and spotsigs-like corpora, and writes wall-clock seconds per run,
+//! top-k F1 against the gold entities, and hash-eval counts to
+//! `BENCH_doph.json` at the workspace root.
+//!
+//! This pins the two claims the `--minhash-scheme doph` flag makes: the
+//! filter gets *faster* (speedup rows) and stays *as accurate* (the two
+//! schemes' F1 columns, which must agree to within a few points — they
+//! are different unbiased estimators of the same Jaccard similarities).
+//!
+//! ```sh
+//! cargo run --release -p adalsh-bench --bin bench_doph
+//! cargo run --release -p adalsh-bench --bin bench_doph -- --smoke
+//! ```
+//!
+//! `--smoke` runs one small corpus and does not overwrite the baseline.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use adalsh_bench::harness::datasets;
+use adalsh_bench::recorder::provenance_fields;
+use adalsh_core::algorithm::default_threads;
+use adalsh_core::metrics::set_metrics;
+use adalsh_core::{AdaLsh, AdaLshConfig, MinhashScheme};
+use adalsh_data::{Dataset, MatchRule};
+use adalsh_datagen::spotsigs::{self, SpotSigsConfig};
+
+/// Times one run, repeated after one warmup until ≥ 2 iterations and
+/// ≥ 0.4 s have elapsed. Returns seconds per run.
+fn measure(mut f: impl FnMut()) -> f64 {
+    f();
+    let mut iters = 0u64;
+    let start = Instant::now();
+    loop {
+        f();
+        iters += 1;
+        if iters >= 2 && start.elapsed().as_secs_f64() > 0.4 {
+            break;
+        }
+    }
+    start.elapsed().as_secs_f64() / iters as f64
+}
+
+struct Row {
+    corpus: &'static str,
+    scheme: MinhashScheme,
+    seconds: f64,
+    f1: f64,
+    hash_evals: u64,
+}
+
+fn run_scheme(
+    corpus: &'static str,
+    dataset: &Dataset,
+    rule: &MatchRule,
+    scheme: MinhashScheme,
+    k: usize,
+    threads: usize,
+) -> Row {
+    let engine = || {
+        let mut config = AdaLshConfig::new(rule.clone());
+        config.threads = threads;
+        config.minhash_scheme = scheme;
+        AdaLsh::for_dataset(dataset, config).expect("design")
+    };
+    let out = engine().run(dataset, k);
+    let sm = set_metrics(&out.records(), &dataset.gold_records(k));
+    let seconds = measure(|| {
+        black_box(engine().run(dataset, k));
+    });
+    Row {
+        corpus,
+        scheme,
+        seconds,
+        f1: sm.f1,
+        hash_evals: out.stats.hash_evals,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let k = 10;
+    let threads = default_threads();
+
+    let corpora: Vec<(&'static str, Dataset, MatchRule)> = if smoke {
+        let d = spotsigs::generate(&SpotSigsConfig {
+            num_records: 300,
+            num_entities: 40,
+            seed: 42,
+            ..SpotSigsConfig::default()
+        });
+        vec![("spotsigs-small", d, spotsigs::match_rule(0.4))]
+    } else {
+        let (cora, cora_rule) = datasets::cora(1);
+        let (spot, spot_rule) = datasets::spotsigs(1, 0.4);
+        vec![("cora", cora, cora_rule), ("spotsigs", spot, spot_rule)]
+    };
+
+    let mut rows: Vec<Row> = Vec::new();
+    for (corpus, dataset, rule) in &corpora {
+        for scheme in [MinhashScheme::Classic, MinhashScheme::Doph] {
+            let row = run_scheme(corpus, dataset, rule, scheme, k, threads);
+            println!(
+                "{corpus:>15}/{scheme:<7} {:>9.5}s  f1 {:.3}  hash_evals {}",
+                row.seconds, row.f1, row.hash_evals
+            );
+            rows.push(row);
+        }
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"_meta\": {{ \"k\": {k}, \"threads\": {threads}, \
+         \"unit\": \"seconds per filter run\", {} }}",
+        provenance_fields()
+    ));
+    for row in &rows {
+        json.push_str(&format!(
+            ",\n  \"{corpus}/{scheme}/seconds\": {:.6},\n  \"{corpus}/{scheme}/f1\": {:.4},\n  \
+             \"{corpus}/{scheme}/hash_evals\": {}",
+            row.seconds,
+            row.f1,
+            row.hash_evals,
+            corpus = row.corpus,
+            scheme = row.scheme,
+        ));
+    }
+    for pair in rows.chunks(2) {
+        let [classic, doph] = pair else { continue };
+        json.push_str(&format!(
+            ",\n  \"{}/speedup\": {:.3}",
+            classic.corpus,
+            classic.seconds / doph.seconds
+        ));
+        println!(
+            "{:>15}: doph speedup {:.2}x (f1 {:.3} -> {:.3})",
+            classic.corpus,
+            classic.seconds / doph.seconds,
+            classic.f1,
+            doph.f1
+        );
+    }
+    json.push_str("\n}\n");
+
+    if smoke {
+        println!("smoke mode: baseline not written");
+        return;
+    }
+    let path = "BENCH_doph.json";
+    std::fs::write(path, &json).expect("write baseline");
+    println!("wrote {path}");
+}

@@ -1,7 +1,8 @@
 //! Kernel baseline recorder: times the scalar and batched MinHash /
-//! hyperplane kernels at batch widths 16 / 128 / 1024 and writes
-//! per-kernel throughput (ops/sec, one op = one hash-function
-//! evaluation) to `BENCH_kernels.json` at the workspace root.
+//! hyperplane kernels plus the DOPH one-pass kernel at batch widths
+//! 16 / 128 / 1024 and writes per-kernel throughput (ops/sec, one op =
+//! one hash-function evaluation / one produced slot) to
+//! `BENCH_kernels.json` at the workspace root.
 //!
 //! Unlike the Criterion benches (`cargo bench -p adalsh-bench`), this is
 //! a one-shot recorder producing a small machine-readable baseline that
@@ -9,9 +10,16 @@
 //!
 //! ```sh
 //! cargo run --release -p adalsh-bench --bin bench_kernels
+//! cargo run --release -p adalsh-bench --bin bench_kernels -- --smoke
 //! ```
+//!
+//! `--smoke` (used by `ci.sh --bench-smoke`) measures only width 128 with
+//! shortened timing windows, does not overwrite the committed baseline,
+//! and **exits nonzero unless the DOPH kernel beats the classic batched
+//! kernel** — the structural speedup this recorder exists to pin.
 
-use adalsh_lsh::{HyperplaneFamily, MinHashFamily};
+use adalsh_bench::recorder::provenance_fields;
+use adalsh_lsh::{DensifiedMinHash, HyperplaneFamily, MinHashFamily};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -20,8 +28,8 @@ const SET_SIZE: usize = 120;
 const DIM: usize = 64;
 
 /// Runs `f` (which performs `ops_per_iter` hash evaluations) repeatedly
-/// for at least ~0.3 s after warmup and returns ops/sec.
-fn measure(ops_per_iter: usize, mut f: impl FnMut()) -> f64 {
+/// for at least ~`window` seconds after warmup and returns ops/sec.
+fn measure(ops_per_iter: usize, window: f64, mut f: impl FnMut()) -> f64 {
     for _ in 0..16 {
         f();
     }
@@ -30,7 +38,7 @@ fn measure(ops_per_iter: usize, mut f: impl FnMut()) -> f64 {
     loop {
         f();
         iters += 1;
-        if iters.is_multiple_of(16) && start.elapsed().as_secs_f64() > 0.3 {
+        if iters.is_multiple_of(16) && start.elapsed().as_secs_f64() > window {
             break;
         }
     }
@@ -39,6 +47,10 @@ fn measure(ops_per_iter: usize, mut f: impl FnMut()) -> f64 {
 }
 
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let widths: &[usize] = if smoke { &[128] } else { &WIDTHS };
+    let window = if smoke { 0.05 } else { 0.3 };
+
     let set: Vec<u64> = (0..SET_SIZE as u64).collect();
     let mh = MinHashFamily::new(3);
     let v: Vec<f64> = (0..DIM).map(|i| (i as f64 * 0.37).sin()).collect();
@@ -46,11 +58,11 @@ fn main() {
     hp.ensure_functions(*WIDTHS.iter().max().unwrap());
 
     let mut rows: Vec<(String, f64)> = Vec::new();
-    for &width in &WIDTHS {
+    for &width in widths {
         let idx: Vec<usize> = (0..width).collect();
         let mut out = vec![0u64; width];
 
-        let ops = measure(width, || {
+        let ops = measure(width, window, || {
             for (o, &i) in out.iter_mut().zip(&idx) {
                 *o = mh.hash(i, black_box(&set));
             }
@@ -58,13 +70,21 @@ fn main() {
         });
         rows.push((format!("minhash_scalar/{width}"), ops));
 
-        let ops = measure(width, || {
+        let ops = measure(width, window, || {
             mh.hash_batch(&idx, black_box(&set), &mut out);
             black_box(out[width - 1]);
         });
         rows.push((format!("minhash_batch/{width}"), ops));
 
-        let ops = measure(width, || {
+        // DOPH: all `width` slots in ONE pass over the set.
+        let doph = DensifiedMinHash::new(3, width);
+        let ops = measure(width, window, || {
+            doph.hash_all(black_box(&set), &mut out);
+            black_box(out[width - 1]);
+        });
+        rows.push((format!("minhash_doph/{width}"), ops));
+
+        let ops = measure(width, window, || {
             for (o, &i) in out.iter_mut().zip(&idx) {
                 *o = hp.hash(i, black_box(&v));
             }
@@ -72,7 +92,7 @@ fn main() {
         });
         rows.push((format!("hyperplane_scalar/{width}"), ops));
 
-        let ops = measure(width, || {
+        let ops = measure(width, window, || {
             hp.hash_batch(&idx, black_box(&v), &mut out);
             black_box(out[width - 1]);
         });
@@ -81,28 +101,46 @@ fn main() {
 
     let mut json = String::from("{\n");
     json.push_str(&format!(
-        "  \"_meta\": {{ \"set_size\": {SET_SIZE}, \"dim\": {DIM}, \"unit\": \"hash evaluations per second\" }}"
+        "  \"_meta\": {{ \"set_size\": {SET_SIZE}, \"dim\": {DIM}, \
+         \"unit\": \"hash evaluations per second\", {} }}",
+        provenance_fields()
     ));
     for (name, ops) in &rows {
         json.push_str(&format!(",\n  \"{name}\": {:.0}", ops));
     }
     json.push_str("\n}\n");
-
-    let path = "BENCH_kernels.json";
-    std::fs::write(path, &json).expect("write baseline");
     println!("{json}");
-    for w in WIDTHS {
-        let get = |n: &str| {
-            rows.iter()
-                .find(|(name, _)| name == &format!("{n}/{w}"))
-                .map(|&(_, o)| o)
-                .unwrap_or(f64::NAN)
-        };
+
+    let get = |n: &str, w: usize| {
+        rows.iter()
+            .find(|(name, _)| name == &format!("{n}/{w}"))
+            .map(|&(_, o)| o)
+            .unwrap_or(f64::NAN)
+    };
+    for &w in widths {
         println!(
-            "width {w:>4}: minhash batched/scalar = {:.2}x, hyperplane batched/scalar = {:.2}x",
-            get("minhash_batch") / get("minhash_scalar"),
-            get("hyperplane_batch") / get("hyperplane_scalar"),
+            "width {w:>4}: minhash batched/scalar = {:.2}x, doph/batched = {:.2}x, \
+             doph/scalar = {:.2}x, hyperplane batched/scalar = {:.2}x",
+            get("minhash_batch", w) / get("minhash_scalar", w),
+            get("minhash_doph", w) / get("minhash_batch", w),
+            get("minhash_doph", w) / get("minhash_scalar", w),
+            get("hyperplane_batch", w) / get("hyperplane_scalar", w),
         );
     }
+
+    if smoke {
+        // The gate ci.sh --bench-smoke relies on: DOPH's one-pass kernel
+        // must out-throughput the classic batched kernel at K·L = 128.
+        let (doph, classic) = (get("minhash_doph", 128), get("minhash_batch", 128));
+        // NaN (a row failed to measure) must fail the gate too.
+        if doph.partial_cmp(&classic) != Some(std::cmp::Ordering::Greater) {
+            eprintln!("FAIL: doph {doph:.0} ops/s does not beat classic batched {classic:.0} ops/s at width 128");
+            std::process::exit(1);
+        }
+        println!("smoke mode: doph beats classic at width 128; baseline not written");
+        return;
+    }
+    let path = "BENCH_kernels.json";
+    std::fs::write(path, &json).expect("write baseline");
     println!("wrote {path}");
 }

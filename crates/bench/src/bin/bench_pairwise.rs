@@ -18,6 +18,7 @@
 //! overwrite the committed baseline.
 
 use adalsh_bench::pairwise_bench::{match_dense, match_sparse};
+use adalsh_bench::recorder::provenance_fields;
 use adalsh_core::algorithm::default_threads;
 use adalsh_core::pairwise::{apply_pairwise, apply_pairwise_scalar};
 use adalsh_core::stats::Stats;
@@ -84,7 +85,8 @@ fn main() {
 
     let mut json = String::from("{\n");
     json.push_str(&format!(
-        "  \"_meta\": {{ \"threads\": {threads}, \"unit\": \"seconds per P application\" }}"
+        "  \"_meta\": {{ \"threads\": {threads}, \"unit\": \"seconds per P application\", {} }}",
+        provenance_fields()
     ));
     for (name, scalar, wavefront) in &rows {
         json.push_str(&format!(

@@ -8,3 +8,4 @@
 pub mod figures;
 pub mod harness;
 pub mod pairwise_bench;
+pub mod recorder;

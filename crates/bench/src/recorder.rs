@@ -1,0 +1,123 @@
+//! Shared plumbing for the one-shot baseline recorders in `src/bin/`.
+//!
+//! Every `BENCH_*.json` baseline embeds provenance in its `_meta` object
+//! — the git revision the numbers were recorded at and a UTC timestamp —
+//! so a committed baseline can always be traced back to the code that
+//! produced it when diffing across optimization PRs.
+
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// The two provenance entries as a JSON object fragment (no braces):
+/// `"git_rev": "<rev>", "recorded_at": "<iso8601>"`. Recorders splice
+/// this into their hand-built `_meta` objects.
+pub fn provenance_fields() -> String {
+    format!(
+        "\"git_rev\": \"{}\", \"recorded_at\": \"{}\"",
+        git_rev(),
+        recorded_at()
+    )
+}
+
+/// The short git revision of the working tree, or `"unknown"` when git
+/// is unavailable (e.g. running from an unpacked source archive). A
+/// dirty working tree is marked with a `-dirty` suffix so a baseline
+/// recorded mid-edit is never mistaken for the committed revision's.
+pub fn git_rev() -> String {
+    let run = |args: &[&str]| {
+        std::process::Command::new("git")
+            .args(args)
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+    };
+    let Some(rev) = run(&["rev-parse", "--short", "HEAD"]).filter(|s| !s.is_empty()) else {
+        return "unknown".into();
+    };
+    let dirty = run(&["status", "--porcelain"]).is_some_and(|s| !s.is_empty());
+    if dirty {
+        format!("{rev}-dirty")
+    } else {
+        rev
+    }
+}
+
+/// The current UTC time as `YYYY-MM-DDTHH:MM:SSZ`. The workspace has no
+/// date-time dependency, so the civil date is computed directly from the
+/// Unix epoch (days-to-civil conversion below).
+pub fn recorded_at() -> String {
+    let secs = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    iso8601_utc(secs)
+}
+
+/// Formats a Unix timestamp (seconds) as `YYYY-MM-DDTHH:MM:SSZ`.
+pub fn iso8601_utc(unix_secs: u64) -> String {
+    let days = (unix_secs / 86_400) as i64;
+    let rem = unix_secs % 86_400;
+    let (h, m, s) = (rem / 3600, rem % 3600 / 60, rem % 60);
+    let (y, mo, d) = civil_from_days(days);
+    format!("{y:04}-{mo:02}-{d:02}T{h:02}:{m:02}:{s:02}Z")
+}
+
+/// Proleptic-Gregorian date from days since 1970-01-01 (Hinnant's
+/// `civil_from_days` algorithm: 400-year eras of exactly 146097 days,
+/// March-based years so the leap day falls at the end).
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    let y = yoe + era * 400 + i64::from(m <= 2);
+    (y, m, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn civil_date_known_values() {
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+        assert_eq!(civil_from_days(365), (1971, 1, 1));
+        // 2000-02-29 is day 11016 (leap century year).
+        assert_eq!(civil_from_days(11_016), (2000, 2, 29));
+        assert_eq!(civil_from_days(11_017), (2000, 3, 1));
+        // 2026-08-08 is day 20673.
+        assert_eq!(civil_from_days(20_673), (2026, 8, 8));
+    }
+
+    #[test]
+    fn iso8601_formatting() {
+        assert_eq!(iso8601_utc(0), "1970-01-01T00:00:00Z");
+        // 2021-01-01T00:00:00Z.
+        assert_eq!(iso8601_utc(1_609_459_200), "2021-01-01T00:00:00Z");
+        assert_eq!(iso8601_utc(1_609_459_200 + 3661), "2021-01-01T01:01:01Z");
+    }
+
+    #[test]
+    fn provenance_fragment_shape() {
+        let frag = provenance_fields();
+        assert!(frag.starts_with("\"git_rev\": \""), "{frag}");
+        assert!(frag.contains("\"recorded_at\": \""), "{frag}");
+        // Neither value may contain a quote or backslash — the fragment
+        // is spliced verbatim into hand-built JSON.
+        let values = frag.split('"').skip(3).step_by(4);
+        for v in values {
+            assert!(!v.contains('\\'), "{frag}");
+        }
+        let ts = frag
+            .rsplit("\"recorded_at\": \"")
+            .next()
+            .unwrap()
+            .trim_end_matches('"');
+        assert_eq!(ts.len(), 20, "{ts}");
+        assert!(ts.ends_with('Z'), "{ts}");
+    }
+}

@@ -1,0 +1,56 @@
+//! End-to-end accuracy parity between the classic and DOPH MinHash
+//! schemes: on cora-like and spotsigs-like corpora, the adaptive top-k
+//! filter must reach (near-)identical F1 against the gold entities under
+//! either scheme. The two schemes are different unbiased estimators of
+//! the same Jaccard similarities, so their *accuracy* must agree even
+//! though individual hash values differ.
+
+use adalsh_core::metrics::set_metrics;
+use adalsh_core::{AdaLsh, AdaLshConfig, MinhashScheme};
+use adalsh_data::{Dataset, MatchRule};
+use adalsh_datagen::cora::{self, CoraConfig};
+use adalsh_datagen::spotsigs::{self, SpotSigsConfig};
+
+fn f1_under(dataset: &Dataset, rule: &MatchRule, scheme: MinhashScheme, k: usize) -> f64 {
+    let mut config = AdaLshConfig::new(rule.clone());
+    config.minhash_scheme = scheme;
+    let mut ada = AdaLsh::for_dataset(dataset, config).expect("design");
+    let out = ada.run(dataset, k);
+    set_metrics(&out.records(), &dataset.gold_records(k)).f1
+}
+
+fn assert_parity(name: &str, dataset: &Dataset, rule: &MatchRule, k: usize) {
+    let classic = f1_under(dataset, rule, MinhashScheme::Classic, k);
+    let doph = f1_under(dataset, rule, MinhashScheme::Doph, k);
+    println!("{name}: classic f1 {classic:.3}, doph f1 {doph:.3}");
+    assert!(
+        classic > 0.8,
+        "{name}: classic baseline degenerate (f1 {classic:.3})"
+    );
+    assert!(
+        (classic - doph).abs() <= 0.05,
+        "{name}: scheme F1 diverged (classic {classic:.3}, doph {doph:.3})"
+    );
+}
+
+#[test]
+fn spotsigs_topk_f1_parity() {
+    let dataset = spotsigs::generate(&SpotSigsConfig {
+        num_records: 400,
+        num_entities: 50,
+        seed: 7,
+        ..SpotSigsConfig::default()
+    });
+    assert_parity("spotsigs", &dataset, &spotsigs::match_rule(0.4), 10);
+}
+
+#[test]
+fn cora_topk_f1_parity() {
+    let (dataset, _) = cora::generate(&CoraConfig {
+        num_records: 400,
+        num_entities: 60,
+        seed: 11,
+        ..CoraConfig::default()
+    });
+    assert_parity("cora", &dataset, &cora::match_rule(), 10);
+}

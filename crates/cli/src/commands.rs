@@ -7,7 +7,7 @@ use adalsh_core::algorithm::{AdaLsh, AdaLshConfig, FilterMethod, FilterOutput};
 use adalsh_core::baselines::{LshBlocking, Pairs};
 use adalsh_core::metrics::{map_mar, reduction_pct, set_metrics};
 use adalsh_core::recovery::perfect_recovery;
-use adalsh_core::OnlineAdaLsh;
+use adalsh_core::{MinhashScheme, OnlineAdaLsh};
 use adalsh_data::{io as dio, Dataset};
 use adalsh_datagen::popimages::PopImagesConfig;
 use adalsh_datagen::spotsigs::SpotSigsConfig;
@@ -164,6 +164,19 @@ pub fn serve(args: &Args) -> Result<(), String> {
 
     let (resolver, rule) = if let Some(path) = args.flag("resume") {
         let snapshot = ServeSnapshot::load(Path::new(path))?;
+        // The snapshot's hash states were computed under its recorded
+        // scheme; an explicitly conflicting flag is an error rather
+        // than a silent engine rebuild.
+        if let Some(flag) = args.flag("minhash-scheme") {
+            let asked: MinhashScheme = flag.parse()?;
+            if asked != snapshot.scheme {
+                return Err(format!(
+                    "snapshot was taken with --minhash-scheme {} but {asked} was requested; \
+                     resuming would invalidate every persisted hash state",
+                    snapshot.scheme
+                ));
+            }
+        }
         let rule = snapshot.rule.clone();
         let mut config = AdaLshConfig::new(rule.clone());
         if threads > 0 {
@@ -180,6 +193,7 @@ pub fn serve(args: &Args) -> Result<(), String> {
         if threads > 0 {
             config.threads = threads;
         }
+        config.minhash_scheme = args.flag_or("minhash-scheme", MinhashScheme::Classic)?;
         config.trace = trace;
         let resolver = OnlineAdaLsh::new(&dataset, config)?;
         println!("bootstrapped engine from {} records", resolver.len());
@@ -228,6 +242,7 @@ fn run_method(
             if threads > 0 {
                 config.threads = threads;
             }
+            config.minhash_scheme = args.flag_or("minhash-scheme", MinhashScheme::Classic)?;
             if let Some(path) = trace_out {
                 config.trace = trace_sink(path)?;
             }

@@ -28,11 +28,11 @@ USAGE:
   adalsh generate <cora|spotsigs|popimages> --out <file> [--records N] [--entities N] [--seed S] [--exponent E]
   adalsh info <data.jsonl>
   adalsh filter <data.jsonl> --k <K> [--method adalsh|pairs|lsh<X>] [--rule <spec>] [--threads <N>] [--out <file>]
-                [--trace-out <file.jsonl>]
+                [--minhash-scheme classic|doph] [--trace-out <file.jsonl>]
   adalsh evaluate <data.jsonl> --k <K> [--khat <K2>] [--method <m>] [--rule <spec>] [--threads <N>]
-                [--trace-out <file.jsonl>]
+                [--minhash-scheme classic|doph] [--trace-out <file.jsonl>]
   adalsh serve <bootstrap.jsonl> [--addr <host:port>] [--rule <spec>] [--snapshot-out <file>]
-               [--workers <N>] [--threads <N>] [--trace-out <file.jsonl>]
+               [--workers <N>] [--threads <N>] [--minhash-scheme classic|doph] [--trace-out <file.jsonl>]
   adalsh serve --resume <snapshot.json> [--addr <host:port>] [--workers <N>] [--threads <N>]
   adalsh trace <validate|summarize> <trace.jsonl>
 
@@ -64,6 +64,17 @@ THREADS:
                      (default: auto = available parallelism; --threads 1
                      runs the sequential reference path; output and
                      statistics are identical at any thread count)
+
+MINHASH SCHEME (adaLSH method, Jaccard fields):
+  --minhash-scheme classic|doph
+                     classic (default): one keyed permutation per hash
+                     slot — bit-compatible with existing snapshots.
+                     doph: densified one-permutation hashing — all K*L
+                     slots in one pass per record (O(|set| + K*L) instead
+                     of O(|set| * K*L)); hash values and collision
+                     statistics differ slightly from classic, so serve
+                     snapshots record the scheme and refuse a mismatched
+                     resume.
 ";
 
 fn main() {

@@ -23,7 +23,7 @@ use adalsh_data::{FieldDistance, Record};
 use adalsh_lsh::mix::{combine, derive_seed, splitmix64};
 use adalsh_lsh::multifield::WeightedSelection;
 use adalsh_lsh::scheme::WzScheme;
-use adalsh_lsh::{HyperplaneFamily, MinHashFamily};
+use adalsh_lsh::{DensifiedMinHash, HyperplaneFamily, MinHashFamily, MinhashScheme};
 use serde::{Deserialize, Serialize};
 
 use crate::stats::Stats;
@@ -39,6 +39,39 @@ pub struct HashScratch {
     tmp: Vec<u64>,
     /// Per-part read cursors used by the fold.
     cursors: Vec<usize>,
+    /// Per-DOPH-part full slot arrays, indexed by [`DophSlots::space`].
+    /// A multi-level jump reads many slot ranges of the same array, so
+    /// each array is computed at most once per `advance_with_scratch`
+    /// call and the ranges are served from here.
+    doph_vals: Vec<Vec<u64>>,
+    /// Which `doph_vals` entries are valid for the *current* record
+    /// (reset at the top of every advance call).
+    doph_valid: Vec<bool>,
+}
+
+/// Returns the full DOPH slot array for one part and the current record,
+/// computing it on first use within the advance call. Free function over
+/// the two scratch fields so callers holding disjoint borrows of the
+/// other scratch buffers can still reach it.
+fn doph_slot_values<'a>(
+    vals: &'a mut Vec<Vec<u64>>,
+    valid: &mut Vec<bool>,
+    space: usize,
+    family: &DensifiedMinHash,
+    set: &[u64],
+) -> &'a [u64] {
+    if vals.len() <= space {
+        vals.resize_with(space + 1, Vec::new);
+        valid.resize(space + 1, false);
+    }
+    if !valid[space] {
+        let buf = &mut vals[space];
+        buf.clear();
+        buf.resize(family.num_slots(), 0);
+        family.hash_all(set, buf);
+        valid[space] = true;
+    }
+    &vals[space]
 }
 
 /// One function `Hᵢ` of the sequence: its per-part table parameters.
@@ -113,8 +146,11 @@ pub enum HashPart {
     Shingles {
         /// Field index into the record.
         field: usize,
-        /// The MinHash family.
+        /// The classic MinHash family.
         family: MinHashFamily,
+        /// Densified one-permutation evaluator — present exactly when
+        /// the owning hasher was built with [`MinhashScheme::Doph`].
+        doph: Option<DophSlots>,
     },
     /// Definition-7 weighted selection over simple sub-parts.
     Weighted {
@@ -129,6 +165,22 @@ pub enum HashPart {
 /// stateless families.
 const TABLE_STRIDE: u64 = 1 << 24;
 
+/// DOPH evaluation state of one shingle part: a single-permutation
+/// family over the **whole sequence's** slot grid. The last level
+/// dominates (widths and table counts are nondecreasing), so task
+/// `(t, j)` of *any* level maps to the fixed dense slot `t·w_max + j`
+/// of a `z_max·w_max`-slot array — making every slot value a pure
+/// function of the record, independent of which level (or jump) asks.
+#[derive(Debug)]
+pub struct DophSlots {
+    /// The one-permutation family over `z_max · w_max` bins.
+    family: DensifiedMinHash,
+    /// Slot-grid row stride (`w` of the last level).
+    w_max: u32,
+    /// Index into the scratch's per-part slot-array cache.
+    space: usize,
+}
+
 impl HashPart {
     /// Builds a dense part.
     pub fn dense(field: usize, dim: usize, seed: u64) -> Self {
@@ -140,11 +192,13 @@ impl HashPart {
         }
     }
 
-    /// Builds a shingle part.
+    /// Builds a shingle part (classic MinHash until the owning hasher
+    /// materializes it under a scheme).
     pub fn shingles(field: usize, seed: u64) -> Self {
         HashPart::Shingles {
             field,
             family: MinHashFamily::new(seed),
+            doph: None,
         }
     }
 
@@ -173,9 +227,11 @@ impl HashPart {
     }
 
     /// Materializes every lazily-created structure needed to evaluate
-    /// functions `0..w` of tables `0..z` (hyperplane normals). After this
-    /// call, [`HashPart::eval`] is pure and thread-shareable.
-    fn materialize(&mut self, z: u32, w: u32) {
+    /// functions `0..w` of tables `0..z` (hyperplane normals; the DOPH
+    /// slot grid when `scheme` asks for it, drawing one scratch cache
+    /// slot from `next_space` per shingle source). After this call,
+    /// [`HashPart::eval`] is pure and thread-shareable.
+    fn materialize(&mut self, z: u32, w: u32, scheme: MinhashScheme, next_space: &mut usize) {
         match self {
             HashPart::Dense {
                 dim, seed, tables, ..
@@ -188,10 +244,20 @@ impl HashPart {
                     fam.ensure_functions(w as usize);
                 }
             }
-            HashPart::Shingles { .. } => {}
+            HashPart::Shingles { family, doph, .. } => {
+                if scheme == MinhashScheme::Doph && doph.is_none() && z > 0 && w > 0 {
+                    let space = *next_space;
+                    *next_space += 1;
+                    *doph = Some(DophSlots {
+                        family: DensifiedMinHash::new(family.seed(), (z * w) as usize),
+                        w_max: w,
+                        space,
+                    });
+                }
+            }
             HashPart::Weighted { choices, .. } => {
                 for c in choices {
-                    c.materialize(z, w);
+                    c.materialize(z, w, scheme, next_space);
                 }
             }
         }
@@ -207,7 +273,24 @@ impl HashPart {
             HashPart::Dense { field, tables, .. } => {
                 tables[t as usize].hash(j as usize, record.field(*field).as_dense().components())
             }
-            HashPart::Shingles { field, family } => {
+            HashPart::Shingles {
+                field,
+                doph: Some(dp),
+                ..
+            } => {
+                // Scalar oracle for the DOPH scheme: recompute the full
+                // slot array and read one slot. Quadratic over a level —
+                // this path exists for differential tests, not hot loops.
+                let set = record.field(*field).as_shingles().shingles();
+                let mut all = vec![0u64; dp.family.num_slots()];
+                dp.family.hash_all(set, &mut all);
+                all[(t * dp.w_max + j) as usize]
+            }
+            HashPart::Shingles {
+                field,
+                family,
+                doph: None,
+            } => {
                 let idx = u64::from(t) * TABLE_STRIDE + u64::from(j);
                 family.hash(idx as usize, record.field(*field).as_shingles().shingles())
             }
@@ -303,9 +386,14 @@ struct PartPlan {
 
 #[derive(Debug)]
 enum PartPlanKind {
-    /// MinHash: per-task keys (`derive_seed(family_seed, t·STRIDE + j)`)
-    /// cached so record hashing never re-derives them.
+    /// Classic MinHash: per-task keys (`derive_seed(family_seed,
+    /// t·STRIDE + j)`) cached so record hashing never re-derives them.
     Shingles { keys: Vec<u64> },
+    /// DOPH MinHash: this level's tasks as dense indices into the part's
+    /// whole-sequence slot array (`t·w_max + j`, in canonical task
+    /// order) — the level requests a slot range of the one-pass array
+    /// instead of per-function evaluations.
+    DophSlots { slots: Vec<usize> },
     /// Hyperplanes: one `(table, ascending function list)` run per table,
     /// in task order.
     Dense { runs: Vec<(u32, Vec<usize>)> },
@@ -327,8 +415,10 @@ struct ChoicePlan {
 
 #[derive(Debug)]
 enum ChoiceKind {
-    /// Cached MinHash keys, aligned with `positions`.
+    /// Cached classic MinHash keys, aligned with `positions`.
     Shingles { keys: Vec<u64> },
+    /// DOPH slot indices, aligned with `positions`.
+    DophSlots { slots: Vec<usize> },
     /// Hyperplane runs, aligned with `positions` when flattened.
     Dense { runs: Vec<(u32, Vec<usize>)> },
 }
@@ -374,6 +464,12 @@ fn build_part_plan(
 ) -> PartPlan {
     let tasks = canonical_tasks(w_from, w_to, z_from, z_to);
     let kind = match &parts[part] {
+        HashPart::Shingles { doph: Some(dp), .. } => PartPlanKind::DophSlots {
+            slots: tasks
+                .iter()
+                .map(|&(t, j)| (t * dp.w_max + j) as usize)
+                .collect(),
+        },
         HashPart::Shingles { family, .. } => PartPlanKind::Shingles {
             keys: tasks
                 .iter()
@@ -393,6 +489,9 @@ fn build_part_plan(
                     choice: c,
                     positions: Vec::new(),
                     kind: match choice {
+                        HashPart::Shingles { doph: Some(_), .. } => {
+                            ChoiceKind::DophSlots { slots: Vec::new() }
+                        }
                         HashPart::Shingles { .. } => ChoiceKind::Shingles { keys: Vec::new() },
                         HashPart::Dense { .. } => ChoiceKind::Dense { runs: Vec::new() },
                         HashPart::Weighted { .. } => {
@@ -406,6 +505,12 @@ fn build_part_plan(
                 let c = selection.field_for(idx as usize);
                 plans[c].positions.push(pos);
                 match (&mut plans[c].kind, &choices[c]) {
+                    (
+                        ChoiceKind::DophSlots { slots },
+                        HashPart::Shingles { doph: Some(dp), .. },
+                    ) => {
+                        slots.push((t * dp.w_max + j) as usize);
+                    }
                     (ChoiceKind::Shingles { keys }, HashPart::Shingles { family, .. }) => {
                         keys.push(family.key_for(idx as usize));
                     }
@@ -490,15 +595,34 @@ pub struct SequenceHasher {
     parts: Vec<HashPart>,
     levels: Vec<LevelScheme>,
     plans: Vec<LevelPlan>,
+    scheme: MinhashScheme,
 }
 
 impl SequenceHasher {
-    /// Creates a hasher, validating that all levels share the same
-    /// structure, reference every part, and extend one another.
+    /// Creates a classic-scheme hasher; see
+    /// [`SequenceHasher::with_scheme`].
     ///
     /// # Panics
     /// Panics on structural violations.
     pub fn new(parts: Vec<HashPart>, levels: Vec<LevelScheme>) -> Self {
+        Self::with_scheme(parts, levels, MinhashScheme::Classic)
+    }
+
+    /// Creates a hasher, validating that all levels share the same
+    /// structure, reference every part, and extend one another. `scheme`
+    /// selects how shingle parts evaluate MinHash: classic (one keyed
+    /// permutation per slot, bit-compatible with previously persisted
+    /// states) or DOPH (all slots of the sequence in one pass per
+    /// record). The two schemes produce different hash values, so states
+    /// advanced under one must never be advanced under the other.
+    ///
+    /// # Panics
+    /// Panics on structural violations.
+    pub fn with_scheme(
+        parts: Vec<HashPart>,
+        levels: Vec<LevelScheme>,
+        scheme: MinhashScheme,
+    ) -> Self {
         assert!(!levels.is_empty(), "need at least one level");
         for level in &levels {
             assert_eq!(
@@ -519,26 +643,34 @@ impl SequenceHasher {
             parts,
             levels,
             plans: Vec::new(),
+            scheme,
         };
-        // Materialize every hyperplane normal the whole sequence can
-        // touch (the last level dominates, by monotonicity). After this,
-        // evaluation is pure — `advance` takes `&self` and records can be
-        // hashed from multiple threads.
+        // Materialize every hyperplane normal — and, for DOPH, every
+        // slot grid — the whole sequence can touch (the last level
+        // dominates, by monotonicity). After this, evaluation is pure —
+        // `advance` takes `&self` and records can be hashed from
+        // multiple threads.
+        let mut next_space = 0usize;
         let last = hasher.levels.last().expect("non-empty").clone();
         match last {
             LevelScheme::Shared { ws, z } => {
                 for (p, part) in hasher.parts.iter_mut().enumerate() {
-                    part.materialize(z, ws[p]);
+                    part.materialize(z, ws[p], scheme, &mut next_space);
                 }
             }
             LevelScheme::PerPart { parts } => {
                 for (p, part) in hasher.parts.iter_mut().enumerate() {
-                    part.materialize(parts[p].z, parts[p].w);
+                    part.materialize(parts[p].z, parts[p].w, scheme, &mut next_space);
                 }
             }
         }
         hasher.plans = build_plans(&hasher.parts, &hasher.levels);
         hasher
+    }
+
+    /// The MinHash evaluation scheme this hasher was built with.
+    pub fn scheme(&self) -> MinhashScheme {
+        self.scheme
     }
 
     /// Number of sequence functions `L`.
@@ -610,6 +742,10 @@ impl SequenceHasher {
             "level out of range"
         );
         let from = state.level as usize;
+        // DOPH slot arrays are cached per advance call (one record): a
+        // jump across several levels reads disjoint ranges of the same
+        // array, so compute it once here and invalidate on entry.
+        scratch.doph_valid.fill(false);
         // Already at or past `to_level`: nothing to evaluate — the
         // target level's keys are served from the state's history.
         for lvl in (from + 1)..=to_level {
@@ -650,6 +786,27 @@ impl SequenceHasher {
                         let set = record.field(*field).as_shingles().shingles();
                         MinHashFamily::hash_batch_keys(keys, set, out);
                     }
+                    PartPlanKind::DophSlots { slots } => {
+                        let HashPart::Shingles {
+                            field,
+                            doph: Some(dp),
+                            ..
+                        } = &self.parts[pp.part]
+                        else {
+                            unreachable!("plan kind matches part kind")
+                        };
+                        let set = record.field(*field).as_shingles().shingles();
+                        let all = doph_slot_values(
+                            &mut scratch.doph_vals,
+                            &mut scratch.doph_valid,
+                            dp.space,
+                            &dp.family,
+                            set,
+                        );
+                        for (o, &s) in out.iter_mut().zip(slots) {
+                            *o = all[s];
+                        }
+                    }
                     PartPlanKind::Dense { runs } => {
                         let HashPart::Dense { field, tables, .. } = &self.parts[pp.part] else {
                             unreachable!("plan kind matches part kind")
@@ -675,6 +832,26 @@ impl SequenceHasher {
                                 ) => {
                                     let set = record.field(*field).as_shingles().shingles();
                                     MinHashFamily::hash_batch_keys(keys, set, &mut scratch.tmp);
+                                }
+                                (
+                                    ChoiceKind::DophSlots { slots },
+                                    HashPart::Shingles {
+                                        field,
+                                        doph: Some(dp),
+                                        ..
+                                    },
+                                ) => {
+                                    let set = record.field(*field).as_shingles().shingles();
+                                    let all = doph_slot_values(
+                                        &mut scratch.doph_vals,
+                                        &mut scratch.doph_valid,
+                                        dp.space,
+                                        &dp.family,
+                                        set,
+                                    );
+                                    for (o, &s) in scratch.tmp.iter_mut().zip(slots) {
+                                        *o = all[s];
+                                    }
                                 }
                                 (
                                     ChoiceKind::Dense { runs },
@@ -1269,6 +1446,150 @@ mod tests {
             ],
         );
         assert_paths_agree(&h, &rec);
+    }
+
+    /// DOPH: batched path vs scalar oracle vs direct jump, across every
+    /// part topology the planner supports.
+    #[test]
+    fn doph_batched_matches_scalar_shared_shingles() {
+        let h = SequenceHasher::with_scheme(
+            vec![HashPart::shingles(0, 11)],
+            shared_levels(),
+            MinhashScheme::Doph,
+        );
+        assert_paths_agree(&h, &shingle_record(&[1, 5, 9, 42, 77, 1000]));
+        assert_paths_agree(&h, &shingle_record(&[3]));
+        assert_paths_agree(&h, &shingle_record(&[]));
+    }
+
+    #[test]
+    fn doph_batched_matches_scalar_multipart_shared() {
+        let rec = Record::new(vec![
+            FieldValue::Shingles(ShingleSet::new(vec![1, 2, 3])),
+            FieldValue::Dense(DenseVector::new(vec![0.5, -0.25, 1.5])),
+        ]);
+        let levels = vec![
+            LevelScheme::Shared {
+                ws: vec![2, 1],
+                z: 2,
+            },
+            LevelScheme::Shared {
+                ws: vec![3, 4],
+                z: 5,
+            },
+        ];
+        let h = SequenceHasher::with_scheme(
+            vec![HashPart::shingles(0, 5), HashPart::dense(1, 3, 6)],
+            levels,
+            MinhashScheme::Doph,
+        );
+        assert_paths_agree(&h, &rec);
+    }
+
+    #[test]
+    fn doph_batched_matches_scalar_per_part() {
+        let rec = Record::new(vec![
+            FieldValue::Shingles(ShingleSet::new(vec![1, 2, 3])),
+            FieldValue::Shingles(ShingleSet::new(vec![100, 200])),
+        ]);
+        let levels = vec![
+            LevelScheme::PerPart {
+                parts: vec![WzScheme::new(2, 2), WzScheme::new(1, 3)],
+            },
+            LevelScheme::PerPart {
+                parts: vec![WzScheme::new(2, 4), WzScheme::new(2, 3)],
+            },
+        ];
+        let h = SequenceHasher::with_scheme(
+            vec![HashPart::shingles(0, 1), HashPart::shingles(1, 2)],
+            levels,
+            MinhashScheme::Doph,
+        );
+        assert_paths_agree(&h, &rec);
+    }
+
+    #[test]
+    fn doph_batched_matches_scalar_weighted() {
+        let rec = Record::new(vec![
+            FieldValue::Shingles(ShingleSet::new(vec![1, 2, 3, 7])),
+            FieldValue::Dense(DenseVector::new(vec![0.1, -0.9])),
+        ]);
+        let part = HashPart::weighted(
+            &[
+                (0, FieldDistance::Jaccard, 0.6),
+                (1, FieldDistance::Angular, 0.4),
+            ],
+            &[0, 2],
+            9,
+        );
+        let h = SequenceHasher::with_scheme(
+            vec![part],
+            vec![
+                LevelScheme::Shared { ws: vec![4], z: 2 },
+                LevelScheme::Shared { ws: vec![8], z: 6 },
+            ],
+            MinhashScheme::Doph,
+        );
+        assert_paths_agree(&h, &rec);
+    }
+
+    /// The scheme flag must actually change the hash values (and the
+    /// hasher must report it) — otherwise "classic is the bit-compatible
+    /// default" would be vacuous.
+    #[test]
+    fn doph_and_classic_states_differ() {
+        let r = shingle_record(&[1, 5, 9, 42, 77]);
+        let classic = SequenceHasher::new(vec![HashPart::shingles(0, 11)], shared_levels());
+        let doph = SequenceHasher::with_scheme(
+            vec![HashPart::shingles(0, 11)],
+            shared_levels(),
+            MinhashScheme::Doph,
+        );
+        assert_eq!(classic.scheme(), MinhashScheme::Classic);
+        assert_eq!(doph.scheme(), MinhashScheme::Doph);
+        let mut st = Stats::default();
+        let (mut sc, mut sd) = (RecordHashState::default(), RecordHashState::default());
+        classic.advance(&r, &mut sc, 2, &mut st);
+        doph.advance(&r, &mut sd, 2, &mut st);
+        assert_ne!(sc, sd, "schemes must produce different hash values");
+    }
+
+    /// A scratch reused across records (the per-worker pattern) must
+    /// serve each record exactly as a fresh scratch would — the DOPH
+    /// slot cache is per-call, never leaked across records.
+    #[test]
+    fn doph_scratch_reuse_is_deterministic() {
+        let records = [
+            shingle_record(&[1, 5, 9, 42, 77]),
+            shingle_record(&[2, 5, 10]),
+            shingle_record(&[]),
+            shingle_record(&[1, 5, 9, 42, 77]),
+        ];
+        let h = SequenceHasher::with_scheme(
+            vec![HashPart::shingles(0, 11)],
+            shared_levels(),
+            MinhashScheme::Doph,
+        );
+        let mut reused = HashScratch::default();
+        let mut st = Stats::default();
+        let states_reused: Vec<RecordHashState> = records
+            .iter()
+            .map(|r| {
+                let mut s = RecordHashState::default();
+                h.advance_with_scratch(r, &mut s, 3, &mut st, &mut reused);
+                s
+            })
+            .collect();
+        for (r, reused_state) in records.iter().zip(&states_reused) {
+            let mut fresh = RecordHashState::default();
+            let mut scratch = HashScratch::default();
+            h.advance_with_scratch(r, &mut fresh, 3, &mut st, &mut scratch);
+            assert_eq!(&fresh, reused_state, "scratch reuse changed a state");
+        }
+        assert_eq!(
+            states_reused[0], states_reused[3],
+            "same record must always produce the same slots"
+        );
     }
 
     #[test]

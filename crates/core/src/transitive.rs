@@ -29,9 +29,10 @@ use crate::stats::Stats;
 
 /// Minimum estimated new hash evaluations before phase 1 fans out to
 /// worker threads. Below this, thread spawn/join overhead (~tens of µs)
-/// rivals the hashing itself; the estimate is `|cluster| ·
-/// budget(H_to)`, an upper bound on the work since records may already
-/// be partially advanced.
+/// rivals the hashing itself; the estimate sums each record's
+/// *remaining* budget `budget(H_to) − budget(H_reached)`, which is exact
+/// for the classic scheme (every remaining slot is evaluated) and an
+/// upper bound for DOPH.
 const MIN_PARALLEL_EVALS: u64 = 1 << 15;
 
 /// Applies sequence function `H_to_level` to `cluster` (record ids),
@@ -62,6 +63,14 @@ pub fn apply_transitive(
 /// estimated hashing work falls under `MIN_PARALLEL_EVALS` are
 /// processed sequentially regardless of `threads`. Output and statistics
 /// are identical to the sequential path.
+///
+/// The estimate and the chunking are both **remaining-work aware**:
+/// records already at or past `to_level` cost nothing, partially
+/// advanced records cost the budget delta. Workers receive contiguous
+/// chunks of approximately equal estimated work rather than equal record
+/// counts, so a cluster mixing fresh and already-hashed records (the
+/// normal incremental-query shape) does not strand all the real work on
+/// one thread.
 pub fn apply_transitive_threaded(
     hasher: &SequenceHasher,
     states: &mut [RecordHashState],
@@ -75,7 +84,24 @@ pub fn apply_transitive_threaded(
 
     // Phase 1: advance every record's hash state to `to_level`.
     let threads = threads.max(1).min(cluster.len().max(1));
-    let est_evals = cluster.len() as u64 * hasher.level(to_level).budget();
+    let target_budget = hasher.level(to_level).budget();
+    let remaining = |state: &RecordHashState| -> u64 {
+        let reached = usize::from(state.level);
+        if reached >= to_level {
+            return 0;
+        }
+        let done = if reached == 0 {
+            0
+        } else {
+            hasher.level(reached).budget()
+        };
+        target_budget.saturating_sub(done)
+    };
+    let costs: Vec<u64> = cluster
+        .iter()
+        .map(|&rid| remaining(&states[rid as usize]))
+        .collect();
+    let est_evals: u64 = costs.iter().sum();
     if threads == 1 || est_evals < MIN_PARALLEL_EVALS {
         let mut scratch = HashScratch::default();
         for &rid in cluster {
@@ -94,27 +120,52 @@ pub fn apply_transitive_threaded(
             .iter()
             .map(|&rid| (rid, std::mem::take(&mut states[rid as usize])))
             .collect();
-        let chunk = owned.len().div_ceil(threads);
+        // Cut `owned` into at most `threads` contiguous chunks carrying a
+        // fair share of the remaining estimated work each: chunk `t` takes
+        // records until it reaches `left / chunks_left` estimated evals
+        // (recomputed per cut, so an oversized early chunk shrinks the
+        // targets of later ones instead of starving the last thread).
         let per_thread: Vec<Stats> = std::thread::scope(|scope| {
-            let handles: Vec<_> = owned
-                .chunks_mut(chunk)
-                .map(|chunk| {
-                    scope.spawn(move || {
-                        let mut local = Stats::default();
-                        let mut scratch = HashScratch::default();
-                        for (rid, state) in chunk {
-                            hasher.advance_with_scratch(
-                                dataset.record(*rid),
-                                state,
-                                to_level,
-                                &mut local,
-                                &mut scratch,
-                            );
-                        }
-                        local
-                    })
-                })
-                .collect();
+            let mut handles = Vec::with_capacity(threads);
+            let mut rest: &mut [(u32, RecordHashState)] = &mut owned;
+            let mut cost_rest: &[u64] = &costs;
+            let mut left = est_evals;
+            for t in 0..threads {
+                if rest.is_empty() {
+                    break;
+                }
+                let chunks_left = (threads - t) as u64;
+                let cut = if chunks_left == 1 {
+                    rest.len()
+                } else {
+                    let target = left.div_ceil(chunks_left);
+                    let mut acc = 0u64;
+                    let mut cut = 0usize;
+                    while cut < rest.len() && (cut == 0 || acc < target) {
+                        acc += cost_rest[cut];
+                        cut += 1;
+                    }
+                    left -= acc;
+                    cut
+                };
+                let (chunk, tail) = rest.split_at_mut(cut);
+                rest = tail;
+                cost_rest = &cost_rest[cut..];
+                handles.push(scope.spawn(move || {
+                    let mut local = Stats::default();
+                    let mut scratch = HashScratch::default();
+                    for (rid, state) in chunk {
+                        hasher.advance_with_scratch(
+                            dataset.record(*rid),
+                            state,
+                            to_level,
+                            &mut local,
+                            &mut scratch,
+                        );
+                    }
+                    local
+                }));
+            }
             handles
                 .into_iter()
                 .map(|h| h.join().expect("hash worker panicked"))
@@ -303,6 +354,46 @@ mod tests {
         let mut all: Vec<u32> = out.into_iter().flatten().collect();
         all.sort_unstable();
         assert_eq!(all, ids, "output must partition the input exactly");
+    }
+
+    #[test]
+    fn threaded_output_and_stats_identical_across_thread_counts() {
+        // Large enough to clear MIN_PARALLEL_EVALS (budget 180/record ×
+        // 300 records ≈ 54k evals), with half the records pre-advanced to
+        // level 1 so the work-balanced chunking sees mixed per-record
+        // costs. Output clusters and Stats must be identical at every
+        // thread count.
+        let sets: Vec<Vec<u64>> = (0..300)
+            .map(|i| {
+                let e = i / 10 * 1000;
+                (0..40).map(|j| e + j + (i % 10) / 5).collect()
+            })
+            .collect();
+        let refs: Vec<&[u64]> = sets.iter().map(|v| v.as_slice()).collect();
+        let d = dataset(&refs);
+        let ids: Vec<u32> = (0..300).collect();
+        let levels = vec![
+            LevelScheme::Shared { ws: vec![2], z: 30 },
+            LevelScheme::Shared { ws: vec![3], z: 60 },
+        ];
+        let run = |threads: usize| {
+            let h = hasher(levels.clone());
+            let mut states = vec![RecordHashState::default(); d.len()];
+            let mut st = Stats::default();
+            // Pre-advance the even records to level 1 sequentially, so the
+            // threaded call finds records at different levels.
+            let evens: Vec<u32> = ids.iter().copied().filter(|i| i % 2 == 0).collect();
+            apply_transitive(&h, &mut states, &d, &evens, 1, &mut st);
+            let out = apply_transitive_threaded(&h, &mut states, &d, &ids, 2, threads, &mut st);
+            (sorted(out), st, states)
+        };
+        let (out1, st1, states1) = run(1);
+        for threads in [2, 3, 5, 8] {
+            let (out, st, states) = run(threads);
+            assert_eq!(out, out1, "clusters diverged at {threads} threads");
+            assert_eq!(st, st1, "stats diverged at {threads} threads");
+            assert_eq!(states, states1, "states diverged at {threads} threads");
+        }
     }
 
     #[test]

@@ -37,11 +37,19 @@ impl DenseVector {
 
     /// Dot product with another vector.
     ///
+    /// Evaluated by `dot_kernel`: four independent accumulators over
+    /// flat 4-wide chunks, so the products in a chunk carry no
+    /// loop-carried dependency and the compiler vectorizes the loop.
+    /// The summation *order* therefore differs from a sequential fold by
+    /// a few ulps — every consumer in this crate (norms, angles, the
+    /// cosine fast path) goes through this same kernel, so all derived
+    /// comparisons stay mutually consistent.
+    ///
     /// # Panics
     /// Panics if the dimensions differ.
     pub fn dot(&self, other: &Self) -> f64 {
         assert_eq!(self.dim(), other.dim(), "dimension mismatch");
-        self.0.iter().zip(other.0.iter()).map(|(a, b)| a * b).sum()
+        dot_kernel(&self.0, &other.0)
     }
 
     /// Euclidean norm.
@@ -147,6 +155,25 @@ impl DenseVector {
             false,
         )
     }
+}
+
+/// Flat dot-product kernel: four independent partial sums over exact
+/// 4-element chunks (no per-element branching), pairwise-combined, then a
+/// short sequential tail for `len % 4` trailing components.
+fn dot_kernel(a: &[f64], b: &[f64]) -> f64 {
+    let chunks = a.len() / 4 * 4;
+    let mut acc = [0.0f64; 4];
+    for (ca, cb) in a[..chunks].chunks_exact(4).zip(b[..chunks].chunks_exact(4)) {
+        acc[0] += ca[0] * cb[0];
+        acc[1] += ca[1] * cb[1];
+        acc[2] += ca[2] * cb[2];
+        acc[3] += ca[3] * cb[3];
+    }
+    let mut sum = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    for (x, y) in a[chunks..].iter().zip(&b[chunks..]) {
+        sum += x * y;
+    }
+    sum
 }
 
 /// Guard-band half-width (in cosine units) inside which
@@ -274,6 +301,34 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn dot_kernel_matches_sequential_reference() {
+        // The 4-accumulator kernel regroups the sum, so agreement is to
+        // relative precision, not bit-for-bit — check every tail length
+        // (0..4 leftover components) around the chunk boundary.
+        for len in 1..=19usize {
+            let a: Vec<f64> = (0..len).map(|i| (i as f64 * 0.7).sin() * 3.0).collect();
+            let b: Vec<f64> = (0..len).map(|i| (i as f64 * 1.3).cos() - 0.4).collect();
+            let reference: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+            let got = v(&a).dot(&v(&b));
+            let tol = 1e-12 * reference.abs().max(1.0);
+            assert!(
+                (got - reference).abs() <= tol,
+                "len={len}: {got} vs {reference}"
+            );
+        }
+    }
+
+    #[test]
+    fn dot_kernel_exact_on_integral_inputs() {
+        // With integrally-representable products the regrouped sum is
+        // exact, so the kernel must reproduce the mathematical value.
+        let a: Vec<f64> = (0..13).map(|i| (i as f64) - 6.0).collect();
+        let b: Vec<f64> = (0..13).map(|i| ((i * 3) % 7) as f64).collect();
+        let exact: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        assert_eq!(v(&a).dot(&v(&b)), exact);
     }
 
     #[test]

@@ -1,0 +1,357 @@
+//! Densified one-permutation hashing (DOPH) for the Jaccard distance.
+//!
+//! Classic MinHash ([`crate::minhash::MinHashFamily`]) evaluates `K·L`
+//! independent permutations, costing `O(|set| · K·L)` per record. One-
+//! permutation hashing (Li, Owen & Zhang) instead applies a **single**
+//! permutation and splits the hashed universe into `K·L` equal bins; the
+//! minimum within each bin is that bin's hash value, so all `K·L` slots
+//! cost one pass: `O(|set| + K·L)`. Bins that receive no element are
+//! filled by **rotation densification** (Shrivastava & Li; used for
+//! entity-resolution blocking by Steorts & Shrivastava, see PAPERS.md):
+//! an empty bin borrows the value of the nearest occupied bin to its
+//! right (circularly), re-keyed by the borrow distance so borrowing from
+//! distance 1 and distance 2 never collide by construction.
+//!
+//! Collision statistics: for any two sets `A`, `B` and any slot `i`,
+//! `Pr[slot_i(A) = slot_i(B)] ≈ |A∩B| / |A∪B|` — the same `p(x) = 1 − x`
+//! curve as classic MinHash, so the `(w,z)`-scheme optimizer and the
+//! [`crate::scheme`] collision model apply unchanged. The estimator is
+//! only *asymptotically* equivalent: slots of one permutation are not
+//! independent (notably when `|set| ≲ num_slots`, where densification
+//! correlates borrowed slots), which is why the engine treats DOPH as a
+//! separate, opt-in scheme rather than a drop-in replacement — see the
+//! measured-rate pin tests below and `DESIGN.md`.
+//!
+//! The permutation is realized as a keyed 64-bit mix (exactly like
+//! classic MinHash): `h = combine(key, shingle)` is the permuted value,
+//! and the bin is the multiply-shift range reduction `(h · B) >> 64`,
+//! which partitions the 64-bit universe into `B` equal contiguous
+//! intervals without a modulo.
+
+use serde::{Deserialize, Serialize};
+
+use crate::minhash::EMPTY_SET_HASH;
+use crate::mix::{combine, derive_seed};
+
+/// Which MinHash evaluation scheme a Jaccard hash part uses.
+///
+/// `Classic` evaluates each of the `K·L` slot functions independently
+/// (bit-compatible with every previously persisted hash state); `Doph`
+/// computes all slots in one pass over the set. The two schemes produce
+/// *different* hash values (and slightly different collision statistics),
+/// so persisted states from one scheme must never be advanced under the
+/// other — snapshots record the scheme for exactly this reason.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum MinhashScheme {
+    /// One independent keyed permutation per slot (`O(|set| · K·L)`).
+    #[default]
+    Classic,
+    /// Densified one-permutation hashing (`O(|set| + K·L)`).
+    Doph,
+}
+
+impl std::fmt::Display for MinhashScheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MinhashScheme::Classic => write!(f, "classic"),
+            MinhashScheme::Doph => write!(f, "doph"),
+        }
+    }
+}
+
+impl std::str::FromStr for MinhashScheme {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "classic" => Ok(MinhashScheme::Classic),
+            "doph" => Ok(MinhashScheme::Doph),
+            other => Err(format!(
+                "unknown minhash scheme '{other}' (want classic or doph)"
+            )),
+        }
+    }
+}
+
+/// A densified one-permutation MinHash over a fixed number of slots.
+///
+/// The slot count is fixed at construction because the bin an element
+/// falls into depends on it: slot `i` of a `B`-slot family is a pure
+/// function of `(seed, B, set)`, so every evaluation over the lifetime of
+/// a family — whichever slot subrange a caller asks for — agrees with
+/// every other.
+#[derive(Debug, Clone)]
+pub struct DensifiedMinHash {
+    /// The single permutation key.
+    key: u64,
+    /// Total bin count `B`.
+    num_slots: usize,
+}
+
+impl DensifiedMinHash {
+    /// Creates a family with `num_slots` bins.
+    ///
+    /// # Panics
+    /// Panics if `num_slots == 0`.
+    pub fn new(seed: u64, num_slots: usize) -> Self {
+        assert!(num_slots > 0, "need at least one slot");
+        Self {
+            // Decorrelate from classic MinHash function 0 of the same
+            // part seed (which uses indices 0, 1, 2, …).
+            key: derive_seed(seed, 0xD0_95),
+            num_slots,
+        }
+    }
+
+    /// Total number of slots `B`.
+    pub fn num_slots(&self) -> usize {
+        self.num_slots
+    }
+
+    /// Computes every slot of `set` into `out` in one pass: bin each
+    /// permuted element, keep per-bin minima, then densify empty bins by
+    /// borrowing from the nearest occupied bin to the right (circularly),
+    /// re-keyed by the borrow distance. The empty set fills every slot
+    /// with [`EMPTY_SET_HASH`], matching classic MinHash semantics.
+    ///
+    /// The result is order-independent in `set` and identical across
+    /// calls — including calls on clones of the family.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != num_slots`.
+    pub fn hash_all(&self, set: &[u64], out: &mut [u64]) {
+        assert_eq!(out.len(), self.num_slots, "output length mismatch");
+        if set.is_empty() {
+            out.fill(EMPTY_SET_HASH);
+            return;
+        }
+        // `u64::MAX` doubles as the empty-bin sentinel: a real permuted
+        // value of `u64::MAX` (probability 2⁻⁶⁴ per element) would merely
+        // get densified over, costing an ulp of estimator accuracy.
+        out.fill(u64::MAX);
+        let b = self.num_slots as u128;
+        for &s in set {
+            let h = combine(self.key, s);
+            let bin = ((u128::from(h) * b) >> 64) as usize;
+            if h < out[bin] {
+                out[bin] = h;
+            }
+        }
+        self.densify(out);
+    }
+
+    /// Fills empty bins (sentinel `u64::MAX`) by rotation. One right-to-
+    /// left pass: an empty bin at index `j` whose nearest occupied bin
+    /// circularly to the right is `src` at distance `d` takes
+    /// `combine(out[src], d)`. Scanning right-to-left means `out[src]`
+    /// is always an *original* (pre-densification) value.
+    fn densify(&self, out: &mut [u64]) {
+        let n = out.len();
+        let Some(first_filled) = out.iter().position(|&v| v != u64::MAX) else {
+            // Every element permuted to u64::MAX (astronomically rare):
+            // behave like the empty set rather than looping forever.
+            out.fill(EMPTY_SET_HASH);
+            return;
+        };
+        let mut nearest = usize::MAX;
+        for j in (0..n).rev() {
+            if out[j] != u64::MAX {
+                nearest = j;
+                continue;
+            }
+            let (src, d) = if nearest != usize::MAX {
+                (nearest, nearest - j)
+            } else {
+                (first_filled, n - j + first_filled)
+            };
+            out[j] = combine(out[src], d as u64);
+        }
+    }
+
+    /// Collision probability `p(x) = 1 − x` at Jaccard distance `x` —
+    /// the same elementary curve as classic MinHash (asymptotically; see
+    /// the module docs for the finite-set caveat).
+    pub fn collision_prob(x: f64) -> f64 {
+        1.0 - x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::WzScheme;
+
+    fn slots(seed: u64, b: usize, set: &[u64]) -> Vec<u64> {
+        let f = DensifiedMinHash::new(seed, b);
+        let mut out = vec![0u64; b];
+        f.hash_all(set, &mut out);
+        out
+    }
+
+    #[test]
+    fn deterministic_across_instances_and_clones() {
+        let set: Vec<u64> = (0..37).map(|i| i * 131 + 5).collect();
+        let f1 = DensifiedMinHash::new(9, 64);
+        let f2 = f1.clone();
+        let (mut a, mut b) = (vec![0u64; 64], vec![0u64; 64]);
+        f1.hash_all(&set, &mut a);
+        f2.hash_all(&set, &mut b);
+        assert_eq!(a, b);
+        assert_eq!(a, slots(9, 64, &set));
+    }
+
+    #[test]
+    fn order_independent() {
+        let a: Vec<u64> = vec![5, 9, 1, 77, 42];
+        let mut b = a.clone();
+        b.reverse();
+        assert_eq!(slots(3, 32, &a), slots(3, 32, &b));
+    }
+
+    #[test]
+    fn empty_set_fills_empty_set_hash() {
+        assert!(slots(3, 16, &[]).iter().all(|&v| v == EMPTY_SET_HASH));
+    }
+
+    #[test]
+    fn singleton_set_is_fully_densified() {
+        // One element fills one bin; every other bin borrows from it at a
+        // distinct distance, so all slots are defined and deterministic.
+        let out = slots(7, 24, &[42]);
+        assert_eq!(out, slots(7, 24, &[42]));
+        // Distinct borrow distances keep borrowed slots distinct from the
+        // source (up to mixing collisions, none expected in 24 slots).
+        let mut uniq = out.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert!(uniq.len() > 20, "borrowed slots should rarely collide");
+    }
+
+    #[test]
+    fn identical_sets_collide_on_every_slot() {
+        let set: Vec<u64> = (0..50).map(|i| i * 31 + 7).collect();
+        assert_eq!(slots(8, 128, &set), slots(8, 128, &set.clone()));
+    }
+
+    #[test]
+    fn disjoint_sets_rarely_collide() {
+        let a: Vec<u64> = (0..40).collect();
+        let b: Vec<u64> = (1000..1040).collect();
+        let (sa, sb) = (slots(4, 128, &a), slots(4, 128, &b));
+        let collisions = sa.iter().zip(&sb).filter(|(x, y)| x == y).count();
+        assert_eq!(collisions, 0, "disjoint 40-element sets should not collide");
+    }
+
+    #[test]
+    fn different_seeds_give_different_slots() {
+        let set: Vec<u64> = (0..30).collect();
+        assert_ne!(slots(1, 64, &set), slots(2, 64, &set));
+    }
+
+    /// Per-slot collision rate over many independent seeds must track the
+    /// Jaccard similarity — the elementary `p(x) = 1 − x` the scheme
+    /// optimizer assumes. Sets much larger than the bin count keep
+    /// densification (and its correlations) out of the picture.
+    #[test]
+    fn empirical_collision_rate_matches_jaccard() {
+        // A = {0..600}, B = {200..800}: |A∩B| = 400, |A∪B| = 800, sim = 1/2.
+        let a: Vec<u64> = (0..600).collect();
+        let b: Vec<u64> = (200..800).collect();
+        let (mut hits, mut total) = (0usize, 0usize);
+        for seed in 0..200u64 {
+            let (sa, sb) = (slots(seed, 32, &a), slots(seed, 32, &b));
+            hits += sa.iter().zip(&sb).filter(|(x, y)| x == y).count();
+            total += 32;
+        }
+        let rate = hits as f64 / total as f64;
+        assert!((rate - 0.5).abs() < 0.02, "rate {rate} too far from 1/2");
+    }
+
+    /// Densified (borrowed) slots must also collide at ≈ the Jaccard
+    /// similarity: small sets against many bins force most slots through
+    /// the densification path.
+    #[test]
+    fn densified_slots_track_jaccard() {
+        // |A∩B| = 6, |A∪B| = 9, sim = 2/3; 64 bins >> 9 elements.
+        let a: Vec<u64> = vec![1, 2, 3, 4, 5, 6, 100, 101];
+        let b: Vec<u64> = vec![1, 2, 3, 4, 5, 6, 200];
+        let (mut hits, mut total) = (0usize, 0usize);
+        for seed in 0..400u64 {
+            let (sa, sb) = (slots(seed, 64, &a), slots(seed, 64, &b));
+            hits += sa.iter().zip(&sb).filter(|(x, y)| x == y).count();
+            total += 64;
+        }
+        let rate = hits as f64 / total as f64;
+        assert!(
+            (rate - 2.0 / 3.0).abs() < 0.04,
+            "rate {rate} too far from 2/3"
+        );
+    }
+
+    /// Pins the `(w,z)` collision-probability model (`adalsh-lsh::scheme`,
+    /// the curve `1 − (1 − pʷ)ᶻ` that the §5.1 optimizer and the
+    /// `prob`-module integrals consume) against *measured* DOPH table
+    /// collision rates: slice a `B = w·z` slot array into `z` tables of
+    /// `w` concatenated slots, exactly as `SequenceHasher` does.
+    #[test]
+    fn wz_model_pins_measured_doph_rates() {
+        // sim = 3/4 at |A∪B| = 240 (large vs B = 12: slot correlations
+        // negligible, the independent-slot model applies).
+        let a: Vec<u64> = (0..210).collect();
+        let b: Vec<u64> = (30..240).collect();
+        let sim = 180.0 / 240.0;
+        for (w, z) in [(1u32, 12u32), (2, 6), (3, 4)] {
+            let scheme = WzScheme::new(w, z);
+            let b_slots = scheme.budget() as usize;
+            let mut any_hits = 0usize;
+            let trials = 3000u64;
+            for seed in 0..trials {
+                let (sa, sb) = (slots(seed, b_slots, &a), slots(seed, b_slots, &b));
+                let any = (0..z as usize).any(|t| {
+                    let r = t * w as usize..(t + 1) * w as usize;
+                    sa[r.clone()] == sb[r]
+                });
+                any_hits += usize::from(any);
+            }
+            let measured = any_hits as f64 / trials as f64;
+            let predicted = scheme.collision_prob(DensifiedMinHash::collision_prob(1.0 - sim));
+            assert!(
+                (measured - predicted).abs() < 0.03,
+                "(w={w}, z={z}): measured {measured} vs model {predicted}"
+            );
+        }
+    }
+
+    #[test]
+    fn subrange_reads_are_consistent() {
+        // Reading any slot of the full array equals recomputing the full
+        // array and indexing — the property the incremental hasher's
+        // scalar oracle relies on.
+        let set: Vec<u64> = (0..25).map(|i| i * 7 + 3).collect();
+        let full = slots(11, 96, &set);
+        for i in [0usize, 1, 47, 95] {
+            assert_eq!(full[i], slots(11, 96, &set)[i]);
+        }
+    }
+
+    #[test]
+    fn scheme_parses_and_displays() {
+        assert_eq!(
+            "classic".parse::<MinhashScheme>(),
+            Ok(MinhashScheme::Classic)
+        );
+        assert_eq!("doph".parse::<MinhashScheme>(), Ok(MinhashScheme::Doph));
+        assert!("dophh".parse::<MinhashScheme>().is_err());
+        assert_eq!(MinhashScheme::Doph.to_string(), "doph");
+        assert_eq!(MinhashScheme::default(), MinhashScheme::Classic);
+    }
+
+    #[test]
+    #[should_panic(expected = "output length mismatch")]
+    fn wrong_output_length_panics() {
+        let f = DensifiedMinHash::new(1, 8);
+        let mut out = vec![0u64; 7];
+        f.hash_all(&[1, 2], &mut out);
+    }
+}

@@ -15,11 +15,27 @@ use rand::{Rng, SeedableRng};
 
 use crate::mix::derive_seed;
 
+/// Maximum number of dot products accumulated together by the panel
+/// kernel. Sized so the accumulator array lives in registers/L1 (32
+/// lanes = 256 bytes) while still giving the autovectorizer full-width
+/// independent FMA chains.
+const RUN_LANES: usize = 32;
+
+/// Minimum contiguous-run length at which [`HyperplaneFamily::hash_batch`]
+/// switches from per-row dot products to the column-panel kernel. Below
+/// this the panel's strided column loads cost more than they save.
+const MIN_RUN: usize = 4;
+
 /// A family of random-hyperplane hash functions over `R^dim`.
 ///
-/// Normals are stored as one contiguous **row-major matrix** (`row i` =
-/// function `i`'s normal), so batch evaluation walks memory linearly
-/// instead of chasing one heap allocation per function.
+/// Normals are stored twice, both contiguous: a **row-major matrix**
+/// (`row i` = function `i`'s normal) serving single-function evaluation,
+/// and a **column-major panel** (`panel[d·n + i]` = component `d` of
+/// function `i`) serving batched evaluation of contiguous function
+/// ranges with a flat, branch-free, autovectorization-friendly inner
+/// loop. Both are rebuilt together by
+/// [`HyperplaneFamily::ensure_functions`], so they always describe the
+/// same functions.
 #[derive(Debug, Clone)]
 pub struct HyperplaneFamily {
     dim: usize,
@@ -27,6 +43,11 @@ pub struct HyperplaneFamily {
     /// Memoized hyperplane normals, row-major: function `i` occupies
     /// `matrix[i*dim .. (i+1)*dim]`.
     matrix: Vec<f64>,
+    /// The same normals, column-major: component `d` of all functions is
+    /// the contiguous slice `panel[d*n .. (d+1)*n]` for
+    /// `n = num_functions()`. Lets the batched kernel accumulate many
+    /// dot products with unit-stride loads.
+    panel: Vec<f64>,
 }
 
 impl HyperplaneFamily {
@@ -40,6 +61,7 @@ impl HyperplaneFamily {
             dim,
             seed,
             matrix: Vec::new(),
+            panel: Vec::new(),
         }
     }
 
@@ -50,11 +72,29 @@ impl HyperplaneFamily {
 
     /// Ensures functions `0..n` are materialized.
     pub fn ensure_functions(&mut self, n: usize) {
+        let before = self.num_functions();
         while self.num_functions() < n {
             let idx = self.num_functions() as u64;
             let mut rng = rand::rngs::StdRng::seed_from_u64(derive_seed(self.seed, idx));
             self.matrix
                 .extend((0..self.dim).map(|_| gaussian(&mut rng)));
+        }
+        if self.num_functions() != before {
+            self.rebuild_panel();
+        }
+    }
+
+    /// Rebuilds the column-major panel from the row-major matrix. `O(n·d)`
+    /// per growth step — growth happens once per level transition, far off
+    /// the per-record hot path.
+    fn rebuild_panel(&mut self) {
+        let n = self.num_functions();
+        self.panel.clear();
+        self.panel.resize(n * self.dim, 0.0);
+        for i in 0..n {
+            for d in 0..self.dim {
+                self.panel[d * n + i] = self.matrix[i * self.dim + d];
+            }
         }
     }
 
@@ -78,6 +118,13 @@ impl HyperplaneFamily {
     #[inline]
     pub fn hash(&self, fn_index: usize, v: &[f64]) -> u64 {
         assert_eq!(v.len(), self.dim, "vector dimension mismatch");
+        self.sign_row(fn_index, v)
+    }
+
+    /// One row-major dot product and sign, summed in ascending dimension
+    /// order — the reference order every other evaluation path reproduces.
+    #[inline]
+    fn sign_row(&self, fn_index: usize, v: &[f64]) -> u64 {
         let dot: f64 = self
             .normal(fn_index)
             .iter()
@@ -87,11 +134,16 @@ impl HyperplaneFamily {
         u64::from(dot >= 0.0)
     }
 
-    /// Evaluates many hash functions on one vector. The requested rows of
-    /// the normal matrix are walked contiguously and `v` stays cache-hot
-    /// across all dot products; each `out[i]` receives exactly what
-    /// `hash(fn_indices[i], v)` would (the per-function summation order is
-    /// identical, so results are bit-for-bit the same).
+    /// Evaluates many hash functions on one vector. Maximal runs of
+    /// consecutive ascending function indices — the shape every level plan
+    /// requests — are evaluated through the column-major panel:
+    /// `RUN_LANES` dot products accumulate together in a flat array with
+    /// unit-stride loads and no per-element branching, so the compiler
+    /// vectorizes the inner loop. Scattered or descending indices fall
+    /// back to per-row dot products. Each `out[i]` receives exactly what
+    /// `hash(fn_indices[i], v)` would: the panel kernel adds each
+    /// function's terms in the same ascending dimension order as the
+    /// row-major sum, so results are **bit-for-bit** the same.
     ///
     /// # Panics
     /// Panics if lengths differ, the dimension mismatches, or a function
@@ -99,14 +151,48 @@ impl HyperplaneFamily {
     pub fn hash_batch(&self, fn_indices: &[usize], v: &[f64], out: &mut [u64]) {
         assert_eq!(fn_indices.len(), out.len(), "output length mismatch");
         assert_eq!(v.len(), self.dim, "vector dimension mismatch");
-        for (o, &i) in out.iter_mut().zip(fn_indices) {
-            let dot: f64 = self
-                .normal(i)
-                .iter()
-                .zip(v.iter())
-                .map(|(n, x)| n * x)
-                .sum();
-            *o = u64::from(dot >= 0.0);
+        let mut start = 0;
+        while start < fn_indices.len() {
+            // Extend the maximal consecutive ascending run from `start`.
+            let mut end = start + 1;
+            while end < fn_indices.len() && fn_indices[end] == fn_indices[end - 1] + 1 {
+                end += 1;
+            }
+            if end - start >= MIN_RUN {
+                self.hash_run(fn_indices[start], v, &mut out[start..end]);
+            } else {
+                for (o, &i) in out[start..end].iter_mut().zip(&fn_indices[start..end]) {
+                    *o = self.sign_row(i, v);
+                }
+            }
+            start = end;
+        }
+    }
+
+    /// Panel kernel: hashes functions `first .. first + out.len()` into
+    /// `out`. Processes [`RUN_LANES`] functions at a time; for each block
+    /// the outer loop walks dimensions and the inner loop accumulates one
+    /// multiply per lane from a unit-stride panel slice. Accumulator `i`
+    /// receives `panel[d][first+i] · v[d]` for `d = 0, 1, …` — the exact
+    /// fold order of [`HyperplaneFamily::sign_row`] — so the result is
+    /// bit-identical to the row path.
+    fn hash_run(&self, first: usize, v: &[f64], out: &mut [u64]) {
+        let n = self.num_functions();
+        let mut done = 0;
+        while done < out.len() {
+            let len = (out.len() - done).min(RUN_LANES);
+            let base = first + done;
+            let mut acc = [0.0f64; RUN_LANES];
+            for (d, &x) in v.iter().enumerate() {
+                let col = &self.panel[d * n + base..d * n + base + len];
+                for (a, &m) in acc[..len].iter_mut().zip(col) {
+                    *a += m * x;
+                }
+            }
+            for (o, &a) in out[done..done + len].iter_mut().zip(&acc[..len]) {
+                *o = u64::from(a >= 0.0);
+            }
+            done += len;
         }
     }
 
@@ -261,6 +347,61 @@ mod tests {
         f1.hash_batch(&idx, &v, &mut o1);
         f2.hash_batch(&idx, &v, &mut o2);
         assert_eq!(o1, o2);
+    }
+
+    #[test]
+    fn panel_runs_match_scalar_bitwise() {
+        // Contiguous runs of every length from 1 (row fallback) through
+        // several RUN_LANES blocks plus a ragged tail, at varied start
+        // offsets: each must reproduce the scalar path bit-for-bit.
+        let f = family(33, 200); // odd dim: exercises non-power-of-two loops
+        let v: Vec<f64> = (0..33).map(|i| (i as f64 * 0.41).sin() - 0.13).collect();
+        for start in [0usize, 1, 7, 31, 32, 63] {
+            for len in [1usize, 3, 4, 5, 31, 32, 33, 64, 70, 100] {
+                if start + len > 200 {
+                    continue;
+                }
+                let idx: Vec<usize> = (start..start + len).collect();
+                let mut out = vec![9u64; len];
+                f.hash_batch(&idx, &v, &mut out);
+                for (&i, &o) in idx.iter().zip(&out) {
+                    assert_eq!(o, f.hash(i, &v), "start={start} len={len} fn={i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_runs_and_scattered_indices_match_scalar() {
+        let f = family(16, 128);
+        let v: Vec<f64> = (0..16).map(|i| (i as f64 * 0.9).cos()).collect();
+        // A scattered prefix, a long run, a short run, a descending pair.
+        let mut idx: Vec<usize> = vec![90, 2, 2, 50];
+        idx.extend(10..70); // 60-long contiguous run
+        idx.extend([100, 101, 102]); // below MIN_RUN
+        idx.extend([80, 79]); // descending: two 1-runs
+        let mut out = vec![0u64; idx.len()];
+        f.hash_batch(&idx, &v, &mut out);
+        for (&i, &o) in idx.iter().zip(&out) {
+            assert_eq!(o, f.hash(i, &v));
+        }
+    }
+
+    #[test]
+    fn panel_mirrors_matrix_after_growth() {
+        let mut f = HyperplaneFamily::new(5, 21);
+        f.ensure_functions(7);
+        f.ensure_functions(50);
+        let n = f.num_functions();
+        for i in 0..n {
+            for d in 0..5 {
+                assert_eq!(
+                    f.panel[d * n + i].to_bits(),
+                    f.matrix[i * 5 + d].to_bits(),
+                    "fn {i} dim {d}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -30,6 +30,13 @@ impl MinHashFamily {
         Self { seed }
     }
 
+    /// The family seed — lets a sibling scheme over the same part (e.g.
+    /// [`crate::doph::DensifiedMinHash`]) derive its randomness from the
+    /// same root without the caller threading the seed separately.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
     /// Evaluates hash function `fn_index` on a shingle set.
     ///
     /// The set may be in any order; the result is order-independent.
@@ -178,6 +185,61 @@ mod tests {
         for (&i, &o) in [4usize, 9, 0].iter().zip(&out) {
             assert_eq!(o, f.hash(i, &[42]));
         }
+    }
+
+    #[test]
+    fn batch_keys_duplicate_keys_get_identical_minima() {
+        // The same derived key appearing at several output positions must
+        // produce the same minimum at each — the streaming loop keeps one
+        // running minimum per *position*, not per distinct key.
+        let f = MinHashFamily::new(12);
+        let set: Vec<u64> = (0..29).map(|i| i * 31 + 7).collect();
+        let k = f.key_for(5);
+        let keys = [k, f.key_for(9), k, k];
+        let mut out = [0u64; 4];
+        MinHashFamily::hash_batch_keys(&keys, &set, &mut out);
+        assert_eq!(out[0], out[2]);
+        assert_eq!(out[0], out[3]);
+        assert_eq!(out[0], f.hash(5, &set));
+        assert_eq!(out[1], f.hash(9, &set));
+    }
+
+    #[test]
+    fn batch_keys_empty_keys_is_a_no_op() {
+        // Zero requested functions: nothing to write, for any set.
+        let mut out: [u64; 0] = [];
+        MinHashFamily::hash_batch_keys(&[], &[1, 2, 3], &mut out);
+        MinHashFamily::hash_batch_keys(&[], &[], &mut out);
+    }
+
+    #[test]
+    fn batch_keys_empty_set_fills_sentinel() {
+        let f = MinHashFamily::new(3);
+        let keys = [f.key_for(0), f.key_for(1)];
+        let mut out = [7u64; 2];
+        MinHashFamily::hash_batch_keys(&keys, &[], &mut out);
+        assert_eq!(out, [EMPTY_SET_HASH; 2]);
+    }
+
+    #[test]
+    fn batch_keys_duplicate_set_elements_do_not_change_minima() {
+        // Min is idempotent: a multiset input must hash like its set.
+        let f = MinHashFamily::new(21);
+        let set: Vec<u64> = vec![3, 14, 15, 92, 65];
+        let mut dup = set.clone();
+        dup.extend_from_slice(&[14, 14, 92, 3]);
+        let keys: Vec<u64> = (0..16).map(|i| f.key_for(i)).collect();
+        let (mut a, mut b) = (vec![0u64; 16], vec![0u64; 16]);
+        MinHashFamily::hash_batch_keys(&keys, &set, &mut a);
+        MinHashFamily::hash_batch_keys(&keys, &dup, &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "output length mismatch")]
+    fn batch_keys_length_mismatch_panics() {
+        let mut out = [0u64; 1];
+        MinHashFamily::hash_batch_keys(&[1, 2], &[3], &mut out);
     }
 
     #[test]

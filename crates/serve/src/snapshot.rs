@@ -13,7 +13,7 @@
 
 use std::path::Path;
 
-use adalsh_core::{AdaLshConfig, OnlineAdaLsh, OnlineSnapshot};
+use adalsh_core::{AdaLshConfig, MinhashScheme, OnlineAdaLsh, OnlineSnapshot};
 use adalsh_data::MatchRule;
 use serde::{Deserialize, Serialize};
 
@@ -30,6 +30,13 @@ pub struct ServeSnapshot {
     /// rebuilding a different engine (which would invalidate every
     /// persisted hash state).
     pub rule: MatchRule,
+    /// MinHash evaluation scheme the hash states were computed under.
+    /// Classic and DOPH values are incompatible, so restore rebuilds the
+    /// engine under the persisted scheme (serde-defaulted to `classic`
+    /// for snapshots written before the field existed — those were
+    /// always classic).
+    #[serde(default)]
+    pub scheme: MinhashScheme,
     /// The resolver state proper.
     pub resolver: OnlineSnapshot,
 }
@@ -40,6 +47,7 @@ impl ServeSnapshot {
         Self {
             version: SNAPSHOT_VERSION,
             rule,
+            scheme: resolver.config().minhash_scheme,
             resolver: resolver.snapshot(),
         }
     }
@@ -47,12 +55,14 @@ impl ServeSnapshot {
     /// Restores a resolver, verifying version and rule agreement.
     ///
     /// `config` must be the configuration the restarted server would use
-    /// anyway; its rule is checked against the persisted one.
+    /// anyway; its rule is checked against the persisted one, and its
+    /// MinHash scheme is overridden by the persisted one (hash states
+    /// only make sense under the scheme that computed them).
     ///
     /// # Errors
     /// Fails on version or rule mismatch, or on an inconsistent resolver
     /// snapshot (see [`OnlineAdaLsh::from_snapshot`]).
-    pub fn restore(self, config: AdaLshConfig) -> Result<OnlineAdaLsh, String> {
+    pub fn restore(self, mut config: AdaLshConfig) -> Result<OnlineAdaLsh, String> {
         if self.version != SNAPSHOT_VERSION {
             return Err(format!(
                 "snapshot version {} unsupported (expected {SNAPSHOT_VERSION})",
@@ -66,6 +76,7 @@ impl ServeSnapshot {
                 self.rule, config.rule
             ));
         }
+        config.minhash_scheme = self.scheme;
         OnlineAdaLsh::from_snapshot(self.resolver, config)
     }
 
