@@ -5,9 +5,11 @@
 #   ./ci.sh                # the default gate
 #   ./ci.sh --bench-smoke  # gate + compile the Criterion benches + tiny
 #                          # end-to-end runs of the baseline recorders
-#                          # (bench_pairwise, and bench_kernels which
-#                          # fails unless DOPH beats the classic batched
-#                          # MinHash kernel at width 128); committed
+#                          # (bench_pairwise; bench_kernels, which fails
+#                          # unless DOPH beats the classic batched
+#                          # MinHash kernel at width 128; bench_serve,
+#                          # which fails if 16 concurrent readers tank
+#                          # the pipelined server's QPS); committed
 #                          # baselines are never touched
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -69,6 +71,38 @@ serve_smoke() {
     grep -q '"clusters":' <&3 || { echo "/topk failed" >&2; return 1; }
     exec 3<&- 3>&-
 
+    # Write path: ingest a batch, then a read-your-writes barrier read —
+    # the returned visible_epoch plugs straight into ?wait_epoch=.
+    local body='{"records":[{"fields":[{"Shingles":[1,2,3,4]}]},{"fields":[{"Shingles":[1,2,3,5]}]}]}'
+    exec 3<>"/dev/tcp/$host/$port"
+    printf 'POST /ingest HTTP/1.1\r\nHost: smoke\r\nContent-Length: %s\r\n\r\n%s' \
+        "${#body}" "$body" >&3
+    grep -q '"visible_epoch":1' <&3 || { echo "/ingest missing visible_epoch" >&2; return 1; }
+    exec 3<&- 3>&-
+
+    exec 3<>"/dev/tcp/$host/$port"
+    printf 'GET /topk?k=2&wait_epoch=1 HTTP/1.1\r\nHost: smoke\r\n\r\n' >&3
+    grep -q '"epoch":1' <&3 || { echo "read-your-writes barrier failed" >&2; return 1; }
+    exec 3<&- 3>&-
+
+    # Short 4-client load burst against the lock-free read path: every
+    # response must be a 200 even while clients overlap.
+    local c bpid bpids=()
+    for c in 1 2 3 4; do
+        (
+            for _ in $(seq 1 25); do
+                exec 4<>"/dev/tcp/$host/$port"
+                printf 'GET /topk?k=2 HTTP/1.1\r\nHost: burst\r\n\r\n' >&4
+                head -n1 <&4 | grep -q ' 200 ' || exit 1
+                exec 4<&- 4>&-
+            done
+        ) &
+        bpids+=("$!")
+    done
+    for bpid in "${bpids[@]}"; do
+        wait "$bpid" || { echo "load burst client failed" >&2; return 1; }
+    done
+
     # The engine's trace events must surface as adalsh_engine_* families
     # on the scrape (the query above emitted at least one hash round).
     local scrape
@@ -87,6 +121,19 @@ serve_smoke() {
         echo "engine hash-round histogram never observed a round" >&2
         return 1
     fi
+    # The ingest pipeline's queue/epoch families must be on the scrape:
+    # the ingest above was applied, so the epoch gauge reads 1, a batch
+    # was counted, and the queue has drained back to 0.
+    grep -q 'adalsh_ingest_queue_depth 0' "$scrape" ||
+        { echo "/metrics missing drained ingest queue gauge" >&2; return 1; }
+    grep -q 'adalsh_published_epoch 1' "$scrape" ||
+        { echo "/metrics missing published epoch gauge" >&2; return 1; }
+    grep -q 'adalsh_applied_batches_total 1' "$scrape" ||
+        { echo "/metrics missing applied-batches counter" >&2; return 1; }
+    grep -q 'adalsh_resolve_batch_records_bucket' "$scrape" ||
+        { echo "/metrics missing batch-size histogram" >&2; return 1; }
+    grep -q 'adalsh_publish_seconds_bucket' "$scrape" ||
+        { echo "/metrics missing publish-latency histogram" >&2; return 1; }
     rm -f "$scrape"
 
     # Clean shutdown.
@@ -124,6 +171,11 @@ if [ "$bench_smoke" = 1 ]; then
 
     echo "==> bench_kernels --smoke (doph-beats-classic gate)"
     cargo run --release -p adalsh-bench --bin bench_kernels -- --smoke
+
+    echo "==> bench_serve --smoke (read-scaling gate)"
+    # Compiles the serve load driver and fails unless the pipelined
+    # server's 16-client read QPS holds up against its 1-client QPS.
+    cargo run --release -p adalsh-bench --bin bench_serve -- --smoke
 fi
 
 echo "CI OK"

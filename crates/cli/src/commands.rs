@@ -13,7 +13,7 @@ use adalsh_datagen::popimages::PopImagesConfig;
 use adalsh_datagen::spotsigs::SpotSigsConfig;
 use adalsh_datagen::CoraConfig;
 use adalsh_obs::{jsonl, schema, summary, JsonlSubscriber, TraceSink};
-use adalsh_serve::{ServeSnapshot, Server, ServerConfig, Service};
+use adalsh_serve::{PipelineConfig, ServeSnapshot, Server, ServerConfig, Service};
 
 use crate::args::Args;
 use crate::rules;
@@ -147,13 +147,22 @@ pub fn evaluate(args: &Args) -> Result<(), String> {
 /// engine design from the dataset file; `--resume` restores records and
 /// hash states from a `POST /snapshot` file instead (the match rule is
 /// taken from the snapshot, so already-hashed records are never
-/// re-hashed). Prints `listening on http://<addr>` once ready — with
-/// `--addr 127.0.0.1:0` the line reveals the ephemeral port.
+/// re-hashed). `--queue-cap`, `--max-batch`, and `--resolve-k` tune the
+/// ingest pipeline (queue bound, records per resolve pass, published
+/// resolve depth). Prints `listening on http://<addr>` once ready —
+/// with `--addr 127.0.0.1:0` the line reveals the ephemeral port.
 pub fn serve(args: &Args) -> Result<(), String> {
     let addr = args.flag("addr").unwrap_or("127.0.0.1:8080");
     let workers: usize = args.flag_or("workers", 4usize)?;
     let threads: usize = args.flag_or("threads", 0usize)?;
     let snapshot_out = args.flag("snapshot-out").map(PathBuf::from);
+    let pipeline_defaults = PipelineConfig::default();
+    let pipeline = PipelineConfig {
+        queue_cap: args.flag_or("queue-cap", pipeline_defaults.queue_cap)?,
+        max_batch: args.flag_or("max-batch", pipeline_defaults.max_batch)?,
+        resolve_k: args.flag_or("resolve-k", pipeline_defaults.resolve_k)?,
+        ..pipeline_defaults
+    };
     let trace = match args.flag("trace-out") {
         Some(path) => {
             println!("tracing engine rounds to {path}");
@@ -200,7 +209,7 @@ pub fn serve(args: &Args) -> Result<(), String> {
         (resolver, rule)
     };
 
-    let service = Arc::new(Service::new(resolver, rule, snapshot_out));
+    let service = Arc::new(Service::with_config(resolver, rule, snapshot_out, pipeline));
     let config = ServerConfig {
         workers,
         ..ServerConfig::default()

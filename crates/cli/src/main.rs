@@ -32,8 +32,10 @@ USAGE:
   adalsh evaluate <data.jsonl> --k <K> [--khat <K2>] [--method <m>] [--rule <spec>] [--threads <N>]
                 [--minhash-scheme classic|doph] [--trace-out <file.jsonl>]
   adalsh serve <bootstrap.jsonl> [--addr <host:port>] [--rule <spec>] [--snapshot-out <file>]
-               [--workers <N>] [--threads <N>] [--minhash-scheme classic|doph] [--trace-out <file.jsonl>]
+               [--workers <N>] [--threads <N>] [--queue-cap <N>] [--max-batch <N>] [--resolve-k <K>]
+               [--minhash-scheme classic|doph] [--trace-out <file.jsonl>]
   adalsh serve --resume <snapshot.json> [--addr <host:port>] [--workers <N>] [--threads <N>]
+               [--queue-cap <N>] [--max-batch <N>] [--resolve-k <K>]
   adalsh trace <validate|summarize> <trace.jsonl>
 
 SERVE:
@@ -42,6 +44,13 @@ SERVE:
   start designs the engine from the bootstrap dataset; --resume restores
   a POST /snapshot file without re-hashing any record. --addr with port
   0 picks an ephemeral port (printed on stdout once bound).
+
+  Ingest is pipelined: batches land in a bounded queue (--queue-cap,
+  default 64 batches; 503 + Retry-After when full), a resolver thread
+  drains up to --max-batch records per pass (default 2048), resolves top
+  --resolve-k clusters (default 10), and publishes an immutable epoch
+  snapshot. GET /topk?k=N serves N <= resolve-k lock-free; add
+  &wait_epoch=<visible_epoch from /ingest> for read-your-writes.
 
 TRACING:
   --trace-out <file>  write one JSON object per engine event (hash

@@ -57,7 +57,7 @@ pub mod summary;
 pub mod trace;
 
 pub use jsonl::JsonlSubscriber;
-pub use metrics::{Counter, Histogram, LabeledCounter, Registry};
+pub use metrics::{Counter, Gauge, Histogram, LabeledCounter, Registry};
 pub use trace::{
     Event, MemorySubscriber, NoopSubscriber, OwnedEvent, Subscriber, TraceSink, Value,
 };

@@ -43,6 +43,55 @@ impl Counter {
     }
 }
 
+/// A gauge: a value that can move both ways (queue depth, current
+/// epoch). Stored as a `u64` — every gauge in this workspace is a
+/// non-negative count — with saturating decrements so a racy
+/// `dec` during startup can never wrap to `u64::MAX`.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Sets the gauge to an absolute value.
+    pub fn set(&self, value: u64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `delta`.
+    pub fn add(&self, delta: u64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Decrements by one, saturating at zero.
+    pub fn dec(&self) {
+        self.sub(1);
+    }
+
+    /// Subtracts `delta`, saturating at zero.
+    pub fn sub(&self, delta: u64) {
+        let mut current = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = current.saturating_sub(delta);
+            match self
+                .0
+                .compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
 /// A counter family keyed by label values (e.g. `(endpoint, status)`).
 #[derive(Clone, Debug)]
 pub struct LabeledCounter {
@@ -167,6 +216,11 @@ enum Family {
         help: String,
         handle: Counter,
     },
+    Gauge {
+        name: String,
+        help: String,
+        handle: Gauge,
+    },
     LabeledCounter {
         name: String,
         help: String,
@@ -202,6 +256,17 @@ impl Registry {
         handle
     }
 
+    /// Registers a gauge and returns its handle.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        let handle = Gauge::default();
+        self.push(Family::Gauge {
+            name: name.to_string(),
+            help: help.to_string(),
+            handle: handle.clone(),
+        });
+        handle
+    }
+
     /// Registers a labeled counter and returns its handle.
     pub fn labeled_counter(&self, name: &str, help: &str, label_names: &[&str]) -> LabeledCounter {
         let handle = LabeledCounter::new(label_names);
@@ -229,12 +294,14 @@ impl Registry {
         let mut families = lock_unpoisoned(&self.families);
         let name = match &family {
             Family::Counter { name, .. }
+            | Family::Gauge { name, .. }
             | Family::LabeledCounter { name, .. }
             | Family::Histogram { name, .. } => name,
         };
         assert!(
             !families.iter().any(|f| match f {
                 Family::Counter { name: n, .. }
+                | Family::Gauge { name: n, .. }
                 | Family::LabeledCounter { name: n, .. }
                 | Family::Histogram { name: n, .. } => n == name,
             }),
@@ -250,6 +317,10 @@ impl Registry {
             match family {
                 Family::Counter { name, help, handle } => {
                     render_preamble(&mut out, name, help, "counter");
+                    out.push_str(&format!("{name} {}\n", handle.get()));
+                }
+                Family::Gauge { name, help, handle } => {
+                    render_preamble(&mut out, name, help, "gauge");
                     out.push_str(&format!("{name} {}\n", handle.get()));
                 }
                 Family::LabeledCounter { name, help, handle } => {
@@ -323,6 +394,26 @@ mod tests {
         let text = registry.render();
         assert!(text.contains("# TYPE adalsh_test_total counter"), "{text}");
         assert!(text.contains("adalsh_test_total 5"), "{text}");
+    }
+
+    #[test]
+    fn gauges_move_both_ways_and_render_as_gauge() {
+        let registry = Registry::new();
+        let g = registry.gauge("adalsh_queue_depth", "Queued batches.");
+        g.set(3);
+        g.inc();
+        g.add(2);
+        g.dec();
+        assert_eq!(g.get(), 5);
+        g.sub(100);
+        assert_eq!(g.get(), 0, "decrements saturate at zero");
+        g.set(7);
+        let text = registry.render();
+        assert!(text.contains("# TYPE adalsh_queue_depth gauge"), "{text}");
+        assert!(text.contains("adalsh_queue_depth 7"), "{text}");
+        let samples = parse(&text).unwrap();
+        assert_eq!(samples[0].name, "adalsh_queue_depth");
+        assert_eq!(samples[0].value, 7.0);
     }
 
     #[test]

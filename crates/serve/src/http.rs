@@ -167,6 +167,8 @@ pub struct Response {
     pub status: u16,
     /// `Content-Type` header value.
     pub content_type: &'static str,
+    /// Extra headers beyond the framing set (e.g. `Retry-After`).
+    pub headers: Vec<(&'static str, String)>,
     /// Response body bytes.
     pub body: Vec<u8>,
 }
@@ -177,6 +179,7 @@ impl Response {
         Self {
             status,
             content_type: "application/json",
+            headers: Vec::new(),
             body: body.into_bytes(),
         }
     }
@@ -186,8 +189,16 @@ impl Response {
         Self {
             status,
             content_type: "text/plain; version=0.0.4",
+            headers: Vec::new(),
             body: body.into_bytes(),
         }
+    }
+
+    /// Adds one extra response header (builder-style).
+    #[must_use]
+    pub fn with_header(mut self, name: &'static str, value: String) -> Self {
+        self.headers.push((name, value));
+        self
     }
 
     /// The structured error shape every failure returns:
@@ -209,13 +220,20 @@ impl Response {
 /// # Errors
 /// Propagates socket errors (including write timeouts).
 pub fn write_response(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
         response.status,
         status_reason(response.status),
         response.content_type,
         response.body.len()
     );
+    for (name, value) in &response.headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(&response.body)?;
     stream.flush()
@@ -263,6 +281,12 @@ mod tests {
         assert_eq!(r.status, 400);
         let text = String::from_utf8(r.body).unwrap();
         assert_eq!(text, "{\"error\":\"bad \\\"thing\\\"\"}");
+    }
+
+    #[test]
+    fn with_header_appends_extra_headers() {
+        let r = Response::error(503, "queue full").with_header("Retry-After", "1".to_string());
+        assert_eq!(r.headers, vec![("Retry-After", "1".to_string())]);
     }
 
     #[test]

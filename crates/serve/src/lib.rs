@@ -6,10 +6,15 @@
 //!
 //! The service is std-only by design: a hand-rolled HTTP/1.1 layer over
 //! [`std::net::TcpListener`] with a bounded worker-thread pool — no
-//! async runtime, no web framework. The workload doesn't want one:
-//! queries serialize on the resolver lock anyway (they mutate
-//! per-record hash states), so a small pool of blocking workers is both
-//! sufficient and simple to reason about.
+//! async runtime, no web framework.
+//!
+//! The service is **read/write split**: `POST /ingest` lands batches in
+//! a bounded queue, one resolver thread owns the engine and drains the
+//! queue in adaptive batches, and after every pass it epoch-publishes
+//! an immutable [`pipeline::ResolvedSnapshot`] through a lock-free slot
+//! ([`publish`]). `GET /topk`, `/healthz`, and `/metrics` never acquire
+//! a mutex — readers clone an `Arc` and answer from it, so a slow
+//! resolve pass cannot stall the read path.
 //!
 //! Module map:
 //!
@@ -17,7 +22,10 @@
 //!   timeout-aware
 //! * [`server`] — accept loop, bounded queue, worker pool, graceful
 //!   drain on shutdown
-//! * [`service`] — routing and the resolver lock discipline
+//! * [`publish`] — single-writer lock-free `Arc` publication slot
+//! * [`pipeline`] — bounded intake queue, resolver thread, epoch
+//!   publication, read-your-writes barriers
+//! * [`service`] — routing over the pipeline
 //! * [`metrics`] — Prometheus text exposition (`/metrics`)
 //! * [`snapshot`] — durable resume: restart without re-hashing
 //!
@@ -25,18 +33,21 @@
 //!
 //! | Endpoint | Effect |
 //! |---|---|
-//! | `POST /ingest` | schema-validated batch intake, returns assigned ids |
-//! | `GET /topk?k=N` | current top-k clusters + engine stats |
-//! | `GET /healthz` | lock-free liveness + record count |
-//! | `GET /metrics` | Prometheus text: requests, latency, engine counters |
-//! | `POST /snapshot` | atomic state persistence for `--resume` |
+//! | `POST /ingest` | schema-validated batch intake; returns assigned ids + `visible_epoch`; `503` + `Retry-After` when the queue is full |
+//! | `GET /topk?k=N[&wait_epoch=E][&min_records=R]` | top-k clusters + resolve stats from the published snapshot; optional read-your-writes barrier |
+//! | `GET /healthz` | lock-free liveness + record count + epoch |
+//! | `GET /metrics` | Prometheus text: requests, latency, queue/epoch, engine counters |
+//! | `POST /snapshot` | state persisted by the resolver thread at an epoch boundary |
 
 pub mod http;
 pub mod metrics;
+pub mod pipeline;
+pub mod publish;
 pub mod server;
 pub mod service;
 pub mod snapshot;
 
+pub use pipeline::{Pipeline, PipelineConfig, ResolvedSnapshot};
 pub use server::{Server, ServerConfig};
 pub use service::Service;
 pub use snapshot::{ServeSnapshot, SNAPSHOT_VERSION};

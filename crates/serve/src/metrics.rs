@@ -17,8 +17,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use adalsh_core::Stats;
-use adalsh_obs::{Counter, Event, Histogram, LabeledCounter, Registry, Subscriber};
+use adalsh_obs::{Counter, Event, Gauge, Histogram, LabeledCounter, Registry, Subscriber};
 
 /// Upper bounds (seconds) of the request-latency histogram buckets; a
 /// final `+Inf` bucket is implicit. Spans sub-millisecond health checks
@@ -30,6 +29,10 @@ pub const LATENCY_BUCKETS_SECS: [f64; 8] = [0.001, 0.005, 0.025, 0.1, 0.25, 1.0,
 /// seconds (the level-1 sweep over the whole corpus).
 pub const ENGINE_BUCKETS_SECS: [f64; 7] = [1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0];
 
+/// Upper bounds (records) for the resolve-pass batch-size histogram:
+/// one pass coalesces anywhere from a single record to `--max-batch`.
+pub const BATCH_BUCKETS_RECORDS: [f64; 7] = [1.0, 8.0, 32.0, 128.0, 512.0, 2048.0, 8192.0];
+
 /// All counters exported on `/metrics`.
 pub struct Metrics {
     registry: Registry,
@@ -40,11 +43,11 @@ pub struct Metrics {
     /// Records accepted by `/ingest` since startup (resumed records are
     /// not counted: this meters service work, not corpus size).
     ingested_records: Counter,
-    /// Cumulative engine counters accumulated over all queries.
-    hash_evals: Counter,
-    pairwise_evals: Counter,
     /// Trace-fed engine families (shares `registry`).
     engine: Arc<EngineMetrics>,
+    /// Ingest-pipeline families (shares `registry`); handed to the
+    /// [`crate::pipeline::Pipeline`] at construction.
+    pipeline: PipelineMetrics,
 }
 
 impl Metrics {
@@ -68,21 +71,21 @@ impl Metrics {
         );
         let hash_evals = registry.counter(
             "adalsh_hash_evals_total",
-            "Elementary hash evaluations across all queries.",
+            "Elementary hash evaluations across all resolve passes.",
         );
         let pairwise_evals = registry.counter(
             "adalsh_pairwise_evals_total",
-            "Record-pair comparisons across all queries.",
+            "Record-pair comparisons across all resolve passes.",
         );
         let engine = Arc::new(EngineMetrics::register(&registry));
+        let pipeline = PipelineMetrics::register(&registry, hash_evals, pairwise_evals);
         Self {
             registry,
             requests,
             latency,
             ingested_records,
-            hash_evals,
-            pairwise_evals,
             engine,
+            pipeline,
         }
     }
 
@@ -98,10 +101,10 @@ impl Metrics {
         self.ingested_records.add(records as u64);
     }
 
-    /// Folds one query's engine counters into the cumulative totals.
-    pub fn observe_query_stats(&self, stats: &Stats) {
-        self.hash_evals.add(stats.hash_evals);
-        self.pairwise_evals.add(stats.pair_comparisons);
+    /// The pipeline's handle bundle (cheap clone — every member is
+    /// atomics behind an `Arc`).
+    pub fn pipeline(&self) -> PipelineMetrics {
+        self.pipeline.clone()
     }
 
     /// The trace subscriber feeding the `adalsh_engine_*` families.
@@ -127,6 +130,73 @@ impl Default for Metrics {
 impl std::fmt::Debug for Metrics {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Metrics").finish_non_exhaustive()
+    }
+}
+
+/// Handles for the ingest-pipeline families, passed into the pipeline
+/// so the resolver thread and the intake path can record without going
+/// through [`Metrics`].
+#[derive(Clone)]
+pub struct PipelineMetrics {
+    /// `adalsh_ingest_queue_depth` — batches waiting in the intake queue.
+    pub queue_depth: Gauge,
+    /// `adalsh_published_epoch` — epoch of the published snapshot.
+    pub published_epoch: Gauge,
+    /// `adalsh_resolve_batch_records` — records coalesced per resolve pass.
+    pub batch_records: Histogram,
+    /// `adalsh_publish_seconds` — pop-to-publish wall time of one pass.
+    pub publish_seconds: Histogram,
+    /// `adalsh_applied_batches_total` — accepted batches applied.
+    pub applied_batches: Counter,
+    /// `adalsh_rejected_batches_total` — batches shed with 503.
+    pub rejected_batches: Counter,
+    /// `adalsh_hash_evals_total` — cumulative over resolve passes
+    /// (shared with the [`Metrics`] family of the same name).
+    pub hash_evals: Counter,
+    /// `adalsh_pairwise_evals_total` — likewise.
+    pub pairwise_evals: Counter,
+}
+
+impl PipelineMetrics {
+    /// Registers the pipeline families on `registry`. The engine-eval
+    /// totals are handles to families `Metrics` already registered.
+    fn register(registry: &Registry, hash_evals: Counter, pairwise_evals: Counter) -> Self {
+        Self {
+            hash_evals,
+            pairwise_evals,
+            queue_depth: registry.gauge(
+                "adalsh_ingest_queue_depth",
+                "Ingest batches currently waiting in the bounded intake queue.",
+            ),
+            published_epoch: registry.gauge(
+                "adalsh_published_epoch",
+                "Epoch (applied ingest batches) of the published snapshot.",
+            ),
+            batch_records: registry.histogram(
+                "adalsh_resolve_batch_records",
+                "Records coalesced into one resolve pass by the resolver thread.",
+                &BATCH_BUCKETS_RECORDS,
+            ),
+            publish_seconds: registry.histogram(
+                "adalsh_publish_seconds",
+                "Wall time from popping a batch to publishing its snapshot.",
+                &LATENCY_BUCKETS_SECS,
+            ),
+            applied_batches: registry.counter(
+                "adalsh_applied_batches_total",
+                "Accepted ingest batches applied by the resolver thread.",
+            ),
+            rejected_batches: registry.counter(
+                "adalsh_rejected_batches_total",
+                "Ingest batches shed with 503 because the intake queue was full.",
+            ),
+        }
+    }
+}
+
+impl std::fmt::Debug for PipelineMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PipelineMetrics").finish_non_exhaustive()
     }
 }
 
@@ -197,11 +267,9 @@ mod tests {
         m.observe_request("/topk", 200, Duration::from_millis(40));
         m.observe_request("/ingest", 400, Duration::from_micros(200));
         m.observe_ingest(7);
-        m.observe_query_stats(&Stats {
-            hash_evals: 11,
-            pair_comparisons: 5,
-            ..Stats::default()
-        });
+        let p = m.pipeline();
+        p.hash_evals.add(11);
+        p.pairwise_evals.add(5);
 
         let text = m.render();
         assert!(text.contains("adalsh_requests_total{endpoint=\"/topk\",status=\"200\"} 2"));
@@ -214,6 +282,44 @@ mod tests {
         // Engine families are pre-registered even before any query.
         assert!(text.contains("adalsh_engine_hash_round_seconds_count 0"));
         assert!(text.contains("adalsh_engine_pairwise_block_seconds_count 0"));
+        // Pipeline families likewise exist before the first batch.
+        assert!(text.contains("adalsh_ingest_queue_depth 0"));
+        assert!(text.contains("adalsh_published_epoch 0"));
+        assert!(text.contains("adalsh_resolve_batch_records_count 0"));
+        assert!(text.contains("adalsh_publish_seconds_count 0"));
+        assert!(text.contains("adalsh_applied_batches_total 0"));
+        assert!(text.contains("adalsh_rejected_batches_total 0"));
+    }
+
+    #[test]
+    fn pipeline_handles_feed_the_shared_registry() {
+        let m = Metrics::new();
+        let p = m.pipeline();
+        p.queue_depth.inc();
+        p.queue_depth.inc();
+        p.queue_depth.dec();
+        p.published_epoch.set(17);
+        p.batch_records.observe(96.0);
+        p.publish_seconds.observe(0.012);
+        p.applied_batches.add(3);
+        p.rejected_batches.inc();
+
+        let text = m.render();
+        assert!(text.contains("adalsh_ingest_queue_depth 1"), "{text}");
+        assert!(text.contains("adalsh_published_epoch 17"), "{text}");
+        assert!(
+            text.contains("adalsh_resolve_batch_records_count 1"),
+            "{text}"
+        );
+        assert!(text.contains("adalsh_applied_batches_total 3"), "{text}");
+        assert!(text.contains("adalsh_rejected_batches_total 1"), "{text}");
+        assert!(
+            text.contains("# TYPE adalsh_ingest_queue_depth gauge"),
+            "{text}"
+        );
+        let samples = promtext::parse(&text).unwrap();
+        promtext::check_histogram(&samples, "adalsh_resolve_batch_records").unwrap();
+        promtext::check_histogram(&samples, "adalsh_publish_seconds").unwrap();
     }
 
     #[test]

@@ -1,17 +1,25 @@
 //! The TCP accept loop and bounded worker pool.
 //!
-//! Architecture: one accept thread polls a non-blocking
-//! [`TcpListener`], stamps per-connection read/write timeouts, and
-//! pushes accepted sockets onto a **bounded** queue
-//! (`mpsc::sync_channel`). A fixed pool of worker threads pops from the
-//! queue, parses one request per connection, dispatches it to the
-//! [`Service`], and writes the response. When the queue is full the
-//! accept thread answers `503` inline instead of queueing unboundedly —
-//! overload sheds load instead of growing memory.
+//! Architecture: one accept thread blocks on [`TcpListener::accept`],
+//! stamps per-connection read/write timeouts, and pushes accepted
+//! sockets onto a **bounded** queue (`mpsc::sync_channel`). A fixed
+//! pool of worker threads pops from the queue, parses one request per
+//! connection, dispatches it to the [`Service`], and writes the
+//! response. When the queue is full the accept thread answers `503`
+//! inline instead of queueing unboundedly — overload sheds load instead
+//! of growing memory.
 //!
-//! Shutdown is graceful: [`Server::shutdown`] flips a flag, the accept
-//! thread stops accepting and drops the queue sender, workers drain
-//! whatever was already queued, and everything is joined before
+//! The accept call blocks rather than polling: an earlier revision
+//! spun a non-blocking listener with a 5 ms sleep, which put a 5 ms
+//! floor under *every* request a sequential client issues (accept can
+//! only happen on a poll tick). Blocking accepts remove that floor;
+//! shutdown wakes the blocked call by connecting to the listener
+//! itself.
+//!
+//! Shutdown is graceful: [`Server::shutdown`] flips a flag, pokes the
+//! listener with a loopback connection so `accept` returns, and the
+//! accept thread stops accepting and drops the queue sender; workers
+//! drain whatever was already queued, and everything is joined before
 //! `shutdown` returns.
 
 use std::io::ErrorKind;
@@ -66,7 +74,6 @@ impl Server {
     /// Fails if the address cannot be bound.
     pub fn start(service: Arc<Service>, addr: &str, config: ServerConfig) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
-        listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
 
@@ -93,6 +100,11 @@ impl Server {
     /// thread before returning.
     pub fn shutdown(mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the blocking `accept` so it observes the flag: a plain
+        // loopback connection is enough (the accept loop re-checks the
+        // flag after every returned connection and drops this one).
+        let wake = SocketAddr::new([127, 0, 0, 1].into(), self.local_addr.port());
+        let _ = TcpStream::connect_timeout(&wake, Duration::from_secs(1));
         if let Some(handle) = self.accept_handle.take() {
             let _ = handle.join();
         }
@@ -125,6 +137,11 @@ fn accept_loop(
     while !shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _peer)) => {
+                // Re-check after every accept: the shutdown path wakes
+                // this blocking call with a throwaway connection.
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
                 let _ = stream.set_read_timeout(Some(config.read_timeout));
                 let _ = stream.set_write_timeout(Some(config.write_timeout));
                 match sender.try_send(stream) {
@@ -141,9 +158,8 @@ fn accept_loop(
                     Err(TrySendError::Disconnected(_)) => break,
                 }
             }
-            Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(5));
-            }
+            // Transient accept errors (e.g. the peer reset before the
+            // handshake finished) — back off briefly and keep serving.
             Err(_) => std::thread::sleep(Duration::from_millis(5)),
         }
     }

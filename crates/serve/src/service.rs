@@ -1,63 +1,76 @@
-//! Request routing and the resolver lock discipline.
+//! Request routing over the read/write-split pipeline.
 //!
-//! One [`Mutex`] guards the [`OnlineAdaLsh`]: ingest mutates the record
-//! set, queries mutate per-record hash states (Property 4's persistent
-//! progress), and snapshots need a consistent view — so all three
-//! serialize on the same lock. Everything else is deliberately kept off
-//! that lock: `/healthz` answers from a lock-free record counter, and
-//! `/metrics` renders from its own atomics, so liveness probes and
-//! scrapes never stall behind a long query.
+//! Reads (`GET /topk`, `/healthz`, `/metrics`) never acquire a mutex:
+//! they clone the epoch-published `Arc<`[`ResolvedSnapshot`]`>` (or render
+//! the atomic-backed metrics registry) and answer from it, so a slow
+//! resolve pass cannot stall a reader. Writes (`POST /ingest`) validate
+//! against the schema and enqueue into the pipeline's bounded intake
+//! queue — a full queue is `503` + `Retry-After`, never unbounded
+//! memory. `POST /snapshot` asks the resolver thread to persist at the
+//! next epoch boundary; only the snapshot caller waits.
+//!
+//! Read-your-writes is explicit: `/ingest` returns the `visible_epoch`
+//! at which the batch will be readable, and `/topk` accepts
+//! `?wait_epoch=E` / `?min_records=N` to park until the published
+//! snapshot reaches that floor (plain reads never touch the barrier).
 //!
 //! Handlers never panic across the service boundary: schema violations,
 //! malformed JSON, bad parameters, and snapshot failures all map to
 //! structured `{"error": …}` responses with the appropriate status.
 
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 
-use adalsh_core::{FilterOutput, OnlineAdaLsh};
+use adalsh_core::OnlineAdaLsh;
 use adalsh_data::{MatchRule, Record};
 use serde::{Deserialize, Serialize, Value};
 
 use crate::http::{Request, Response};
 use crate::metrics::Metrics;
-use crate::snapshot::ServeSnapshot;
+use crate::pipeline::{Pipeline, PipelineConfig, ResolvedSnapshot, SubmitError};
 
 /// Default cap on request bodies (`/ingest` batches), in bytes.
 pub const DEFAULT_MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
 
 /// The resolver service behind the HTTP layer.
 pub struct Service {
-    resolver: Mutex<OnlineAdaLsh>,
-    rule: MatchRule,
+    pipeline: Pipeline,
     metrics: Metrics,
-    /// Mirror of the resolver's record count for lock-free `/healthz`.
-    record_count: AtomicU64,
-    /// Where `POST /snapshot` persists state (absent → snapshot disabled).
+    /// Echoed in `POST /snapshot` responses (the pipeline owns the
+    /// actual writer).
     snapshot_path: Option<PathBuf>,
 }
 
 impl Service {
-    /// Wraps a resolver configured with `rule`. The service folds the
-    /// engine's trace events into its metrics registry: the resolver's
-    /// sink is composed with the [`Metrics`] engine subscriber, so a
-    /// caller-installed sink (e.g. `--trace-out` JSONL) keeps receiving
-    /// every event as well.
-    pub fn new(
+    /// Like [`Service::with_config`] with a default [`PipelineConfig`].
+    pub fn new(resolver: OnlineAdaLsh, rule: MatchRule, snapshot_path: Option<PathBuf>) -> Self {
+        Self::with_config(resolver, rule, snapshot_path, PipelineConfig::default())
+    }
+
+    /// Wraps a resolver configured with `rule`, resolves + publishes the
+    /// boot snapshot synchronously, and starts the resolver thread. The
+    /// service folds the engine's trace events into its metrics
+    /// registry: the resolver's sink is composed with the [`Metrics`]
+    /// engine subscriber, so a caller-installed sink (e.g. `--trace-out`
+    /// JSONL) keeps receiving every event as well.
+    pub fn with_config(
         mut resolver: OnlineAdaLsh,
         rule: MatchRule,
         snapshot_path: Option<PathBuf>,
+        config: PipelineConfig,
     ) -> Self {
         let metrics = Metrics::new();
         let composed = resolver.trace().with(metrics.engine_subscriber());
         resolver.set_trace(composed);
-        let record_count = AtomicU64::new(resolver.len() as u64);
-        Self {
-            resolver: Mutex::new(resolver),
+        let pipeline = Pipeline::start(
+            resolver,
             rule,
+            snapshot_path.clone(),
+            config,
+            metrics.pipeline(),
+        );
+        Self {
+            pipeline,
             metrics,
-            record_count,
             snapshot_path,
         }
     }
@@ -88,20 +101,23 @@ impl Service {
         }
     }
 
-    /// Liveness: served from an atomic, never touches the resolver lock.
+    /// Liveness: one `Arc` clone of the published snapshot, no locks.
     fn healthz(&self) -> Response {
+        let snapshot = self.pipeline.current();
         let body = Value::Map(vec![
             ("status".to_string(), Value::Str("ok".to_string())),
-            (
-                "records".to_string(),
-                Value::U64(self.record_count.load(Ordering::Relaxed)),
-            ),
+            ("records".to_string(), Value::U64(snapshot.records as u64)),
+            ("epoch".to_string(), Value::U64(snapshot.epoch)),
         ]);
         json_ok(&body)
     }
 
-    /// `GET /topk?k=N`: runs the adaptive filter over everything
-    /// ingested so far.
+    /// `GET /topk?k=N[&wait_epoch=E][&min_records=R]`: serves the first
+    /// `N` clusters of the published snapshot (resolved at `resolve_k`;
+    /// the canonical cluster order makes that prefix exactly the
+    /// top-`N` answer). The optional barriers park until the published
+    /// epoch / record count reaches the floor — plain reads clone an
+    /// `Arc` and return.
     fn topk(&self, request: &Request) -> Response {
         let k: usize = match request.query_param("k") {
             None => return Response::error(400, "missing required query parameter k"),
@@ -111,17 +127,49 @@ impl Service {
                 Err(e) => return Response::error(400, &format!("bad k '{raw}': {e}")),
             },
         };
-        let output = {
-            let mut resolver = lock_unpoisoned(&self.resolver);
-            resolver.query(k)
+        let resolve_k = self.pipeline.resolve_k();
+        if k > resolve_k {
+            return Response::error(
+                400,
+                &format!(
+                    "k={k} exceeds the server's resolve depth {resolve_k}; \
+                     restart with a larger --resolve-k to serve deeper answers"
+                ),
+            );
+        }
+        let wait_epoch = match parse_u64_param(request, "wait_epoch") {
+            Ok(v) => v.unwrap_or(0),
+            Err(response) => return response,
         };
-        self.metrics.observe_query_stats(&output.stats);
-        json_ok(&filter_output_value(&output, k))
+        let min_records = match parse_u64_param(request, "min_records") {
+            Ok(v) => v.unwrap_or(0),
+            Err(response) => return response,
+        };
+
+        let mut snapshot = self.pipeline.current();
+        if snapshot.epoch < wait_epoch || (snapshot.records as u64) < min_records {
+            if !self.pipeline.wait_until(wait_epoch, min_records) {
+                let current = self.pipeline.current();
+                return Response::error(
+                    408,
+                    &format!(
+                        "barrier not reached before timeout: published epoch {} / {} records, \
+                         needed epoch >= {wait_epoch} and records >= {min_records}",
+                        current.epoch, current.records
+                    ),
+                );
+            }
+            snapshot = self.pipeline.current();
+        }
+        json_ok(&topk_value(&snapshot, k))
     }
 
-    /// `POST /ingest`: schema-validated batch intake. The batch is
-    /// atomic — one bad record rejects the whole request and the
-    /// resolver is left unchanged.
+    /// `POST /ingest`: schema-validated batch intake into the bounded
+    /// pipeline queue. The batch is atomic — one bad record rejects the
+    /// whole request and nothing is reserved. An accepted batch is
+    /// answered *before* it is applied; the response carries the epoch
+    /// at which it becomes visible (read-your-writes via
+    /// `GET /topk?wait_epoch=<visible_epoch>`).
     fn ingest(&self, request: &Request) -> Response {
         let body = match request.body_utf8() {
             Ok(text) => text,
@@ -142,24 +190,59 @@ impl Service {
             return Response::error(400, "'records' must not be empty");
         }
 
-        let ids = {
-            let mut resolver = lock_unpoisoned(&self.resolver);
-            match resolver.extend(records) {
-                Ok(ids) => ids,
-                Err(e) => return Response::error(400, &e),
+        match self.pipeline.submit(records) {
+            Ok(accepted) => {
+                self.metrics.observe_ingest(accepted.ids.len());
+                let body = Value::Map(vec![
+                    ("ids".to_string(), accepted.ids.to_value()),
+                    ("count".to_string(), Value::U64(accepted.ids.len() as u64)),
+                    (
+                        "visible_epoch".to_string(),
+                        Value::U64(accepted.visible_epoch),
+                    ),
+                    (
+                        "read_your_writes".to_string(),
+                        Value::Str(format!(
+                            "GET /topk?k=<k>&wait_epoch={} blocks until this batch is visible",
+                            accepted.visible_epoch
+                        )),
+                    ),
+                ]);
+                json_ok(&body)
             }
-        };
-        self.record_count
-            .fetch_add(ids.len() as u64, Ordering::Relaxed);
-        self.metrics.observe_ingest(ids.len());
-        let body = Value::Map(vec![
-            ("ids".to_string(), ids.to_value()),
-            ("count".to_string(), Value::U64(ids.len() as u64)),
-        ]);
-        json_ok(&body)
+            Err(SubmitError::Invalid(message)) => Response::error(400, &message),
+            Err(SubmitError::Overloaded { retry_after_secs }) => {
+                let body = Value::Map(vec![
+                    (
+                        "error".to_string(),
+                        Value::Str("ingest queue full; the batch was NOT accepted".to_string()),
+                    ),
+                    (
+                        "retry_after_seconds".to_string(),
+                        Value::U64(retry_after_secs),
+                    ),
+                    (
+                        "read_your_writes".to_string(),
+                        Value::Str(
+                            "nothing was reserved: retrying the identical request is safe"
+                                .to_string(),
+                        ),
+                    ),
+                ]);
+                match serde_json::to_string(&body) {
+                    Ok(text) => Response::json(503, text)
+                        .with_header("Retry-After", retry_after_secs.to_string()),
+                    Err(e) => Response::error(500, &format!("response serialization failed: {e}")),
+                }
+            }
+            Err(SubmitError::ShuttingDown) => {
+                Response::error(503, "server is shutting down; batch not accepted")
+            }
+        }
     }
 
-    /// `POST /snapshot`: persists the full resolver state atomically.
+    /// `POST /snapshot`: the resolver thread persists at the next epoch
+    /// boundary; readers are never blocked, only this caller waits.
     fn snapshot(&self) -> Response {
         let Some(path) = &self.snapshot_path else {
             return Response::error(
@@ -167,19 +250,28 @@ impl Service {
                 "snapshotting is disabled: start the server with --snapshot-out <path>",
             );
         };
-        let snapshot = {
-            let resolver = lock_unpoisoned(&self.resolver);
-            ServeSnapshot::capture(&resolver, self.rule.clone())
-        };
-        let records = snapshot.resolver.records.len();
-        if let Err(e) = snapshot.save(path) {
-            return Response::error(500, &e);
+        match self.pipeline.snapshot() {
+            Ok(done) => {
+                let body = Value::Map(vec![
+                    ("path".to_string(), Value::Str(path.display().to_string())),
+                    ("records".to_string(), Value::U64(done.records as u64)),
+                    ("epoch".to_string(), Value::U64(done.epoch)),
+                ]);
+                json_ok(&body)
+            }
+            Err(e) => Response::error(500, &e),
         }
-        let body = Value::Map(vec![
-            ("path".to_string(), Value::Str(path.display().to_string())),
-            ("records".to_string(), Value::U64(records as u64)),
-        ]);
-        json_ok(&body)
+    }
+}
+
+/// Parses an optional non-negative integer query parameter.
+fn parse_u64_param(request: &Request, name: &str) -> Result<Option<u64>, Response> {
+    match request.query_param(name) {
+        None => Ok(None),
+        Some(raw) => raw
+            .parse()
+            .map(Some)
+            .map_err(|e| Response::error(400, &format!("bad {name} '{raw}': {e}"))),
     }
 }
 
@@ -191,26 +283,26 @@ fn json_ok(value: &Value) -> Response {
     }
 }
 
-/// JSON shape of a query answer. `FilterOutput` holds a `Duration`, so
-/// the value is assembled by hand instead of derived.
-fn filter_output_value(output: &FilterOutput, k: usize) -> Value {
+/// JSON shape of a `/topk` answer, assembled from the published
+/// snapshot: the first `k` clusters plus the resolve pass's stats and
+/// provenance (`epoch`, `records`, `resolve_k`).
+fn topk_value(snapshot: &ResolvedSnapshot, k: usize) -> Value {
+    let clusters: Vec<Vec<u32>> = snapshot.clusters.iter().take(k).cloned().collect();
     Value::Map(vec![
         ("k".to_string(), Value::U64(k as u64)),
-        ("clusters".to_string(), output.clusters.to_value()),
-        ("stats".to_string(), output.stats.to_value()),
+        ("epoch".to_string(), Value::U64(snapshot.epoch)),
+        ("records".to_string(), Value::U64(snapshot.records as u64)),
+        (
+            "resolve_k".to_string(),
+            Value::U64(snapshot.resolve_k as u64),
+        ),
+        ("clusters".to_string(), clusters.to_value()),
+        ("stats".to_string(), snapshot.stats.to_value()),
         (
             "wall_micros".to_string(),
-            Value::U64(output.wall.as_micros() as u64),
+            Value::U64(snapshot.resolve_wall.as_micros() as u64),
         ),
     ])
-}
-
-/// Locks a mutex, recovering from poisoning: a worker that panicked
-/// mid-request must not take the whole service down with it.
-fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    mutex
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 #[cfg(test)]
@@ -266,26 +358,51 @@ mod tests {
     }
 
     #[test]
-    fn healthz_reports_record_count() {
+    fn healthz_reports_record_count_and_epoch() {
         let service = test_service();
         let (endpoint, response) = service.handle(&get("/healthz"));
         assert_eq!(endpoint, "/healthz");
         assert_eq!(response.status, 200);
         let text = String::from_utf8(response.body).unwrap();
         assert!(text.contains("\"records\":8"), "{text}");
+        assert!(text.contains("\"epoch\":0"), "{text}");
     }
 
     #[test]
-    fn topk_requires_a_valid_k() {
+    fn topk_requires_a_valid_k_within_resolve_depth() {
         let service = test_service();
         assert_eq!(service.handle(&get("/topk")).1.status, 400);
         assert_eq!(service.handle(&get("/topk?k=0")).1.status, 400);
         assert_eq!(service.handle(&get("/topk?k=nope")).1.status, 400);
+        // Deeper than the configured resolve_k cannot be served from the
+        // published snapshot.
+        assert_eq!(service.handle(&get("/topk?k=1000")).1.status, 400);
+        assert_eq!(service.handle(&get("/topk?k=2&wait_epoch=x")).1.status, 400);
         let ok = service.handle(&get("/topk?k=2")).1;
         assert_eq!(ok.status, 200);
         let text = String::from_utf8(ok.body).unwrap();
         assert!(text.contains("\"clusters\":"), "{text}");
         assert!(text.contains("\"hash_evals\":"), "{text}");
+        assert!(text.contains("\"epoch\":0"), "{text}");
+    }
+
+    #[test]
+    fn topk_wait_epoch_observes_a_prior_ingest() {
+        let service = test_service();
+        let good = "{\"records\":[{\"fields\":[{\"Shingles\":[1,2,3]}]},\
+                     {\"fields\":[{\"Shingles\":[4,5,6]}]}]}";
+        let response = service.handle(&post("/ingest", good)).1;
+        assert_eq!(response.status, 200);
+        let text = String::from_utf8(response.body).unwrap();
+        assert!(text.contains("\"visible_epoch\":1"), "{text}");
+
+        let read = service.handle(&get("/topk?k=2&wait_epoch=1")).1;
+        assert_eq!(read.status, 200);
+        let text = String::from_utf8(read.body).unwrap();
+        assert!(text.contains("\"records\":10"), "{text}");
+
+        let read = service.handle(&get("/topk?k=2&min_records=10")).1;
+        assert_eq!(read.status, 200);
     }
 
     #[test]
@@ -309,7 +426,8 @@ mod tests {
         let health = String::from_utf8(service.handle(&get("/healthz")).1.body).unwrap();
         assert!(health.contains("\"records\":8"), "{health}");
 
-        // A clean batch is accepted and ids come back in order.
+        // A clean batch is accepted; ids and the visibility epoch come
+        // back in order (the rejected batch burned neither).
         let good = "{\"records\":[{\"fields\":[{\"Shingles\":[1,2,3]}]},\
                      {\"fields\":[{\"Shingles\":[4,5,6]}]}]}";
         let response = service.handle(&post("/ingest", good)).1;
@@ -317,6 +435,8 @@ mod tests {
         let text = String::from_utf8(response.body).unwrap();
         assert!(text.contains("\"ids\":[8,9]"), "{text}");
         assert!(text.contains("\"count\":2"), "{text}");
+        assert!(text.contains("\"visible_epoch\":1"), "{text}");
+        assert!(text.contains("read_your_writes"), "{text}");
     }
 
     #[test]
