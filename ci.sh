@@ -162,6 +162,32 @@ trace_smoke() {
 }
 trace_smoke
 
+echo "==> oracle chaos smoke"
+# Run the filter through the fault-injected noisy oracle at a fixed seed
+# with a budget tight enough to force graceful degradation. The run must
+# exit 0 (degradation, never abort), report its spend, and the emitted
+# trace must validate — the schema validator reconciles Σ per-call
+# oracle spend against the run_end ledger mirror bit-for-bit.
+oracle_smoke() {
+    local data trace out
+    data=$(mktemp /tmp/adalsh-oracle-smoke-XXXXXX.jsonl)
+    trace=$(mktemp /tmp/adalsh-oracle-smoke-XXXXXX.trace.jsonl)
+    ./target/release/adalsh generate spotsigs --out "$data" \
+        --records 200 --entities 30 >/dev/null
+    out=$(./target/release/adalsh filter "$data" --k 3 --rule jaccard:0.6 \
+        --oracle noisy --oracle-fp 0.05 --oracle-fn 0.05 --oracle-fault 0.2 \
+        --oracle-seed 7 --oracle-budget 500 --trace-out "$trace") ||
+        { echo "noisy-oracle filter did not degrade gracefully" >&2; return 1; }
+    echo "$out" | grep -q 'oracle:' ||
+        { echo "filter output missing the oracle spend summary" >&2; return 1; }
+    echo "$out" | grep -q 'degraded' ||
+        { echo "filter output missing degradation counts" >&2; return 1; }
+    ./target/release/adalsh trace validate "$trace" | grep -q 'OK' ||
+        { echo "oracle trace validate failed" >&2; return 1; }
+    rm -f "$data" "$trace"
+}
+oracle_smoke
+
 if [ "$bench_smoke" = 1 ]; then
     echo "==> cargo bench --no-run (compile gate)"
     cargo bench --workspace --no-run --quiet
@@ -171,6 +197,9 @@ if [ "$bench_smoke" = 1 ]; then
 
     echo "==> bench_kernels --smoke (doph-beats-classic gate)"
     cargo run --release -p adalsh-bench --bin bench_kernels -- --smoke
+
+    echo "==> bench_oracle --smoke (noisy-oracle robustness sweep)"
+    cargo run --release -p adalsh-bench --bin bench_oracle -- --smoke
 
     echo "==> bench_serve --smoke (read-scaling gate)"
     # Compiles the serve load driver and fails unless the pipelined

@@ -1,0 +1,163 @@
+//! Noisy-oracle robustness recorder: runs the full adaLSH top-k filter
+//! under the fault-injected pairwise oracle on the cora-like and
+//! spotsigs-like corpora, sweeping symmetric error rate × spend budget,
+//! and writes top-k F1 plus the full spend ledger (calls, retries,
+//! timeouts, transient errors, degraded pairs, spend, modeled latency)
+//! to `BENCH_oracle.json` at the workspace root.
+//!
+//! This pins the two claims the resilience layer makes: moderate oracle
+//! noise degrades top-k F1 *gracefully* (majority vote absorbs most
+//! verdict flips), and a tight budget trades accuracy for spend via the
+//! cheap-rule fallback instead of aborting — every row completes and
+//! reports how many pairs were settled degraded.
+//!
+//! ```sh
+//! cargo run --release -p adalsh-bench --bin bench_oracle
+//! cargo run --release -p adalsh-bench --bin bench_oracle -- --smoke
+//! ```
+//!
+//! `--smoke` runs one small corpus and does not overwrite the baseline.
+
+use adalsh_bench::harness::datasets;
+use adalsh_bench::recorder::provenance_fields;
+use adalsh_core::algorithm::default_threads;
+use adalsh_core::metrics::set_metrics;
+use adalsh_core::{AdaLsh, AdaLshConfig, NoisyOracleConfig, OracleMode, OracleSpend};
+use adalsh_data::{Dataset, MatchRule};
+use adalsh_datagen::spotsigs::{self, SpotSigsConfig};
+
+/// Symmetric error rates swept (false-match = false-non-match rate).
+const ERROR_RATES: [f64; 4] = [0.0, 0.05, 0.1, 0.2];
+/// Per-attempt injected fault rate (split into timeouts and transient
+/// errors), fixed across the sweep so rows isolate error rate × budget.
+const FAULT_RATE: f64 = 0.1;
+/// Budget tiers as fractions of the unlimited run's spend (`None` =
+/// unlimited). Tight budgets force the graceful-degradation path.
+const BUDGET_TIERS: [(&str, Option<f64>); 3] = [
+    ("unlimited", None),
+    ("half", Some(0.5)),
+    ("tenth", Some(0.1)),
+];
+
+struct Row {
+    corpus: &'static str,
+    error_rate: f64,
+    budget: &'static str,
+    f1: f64,
+    spend: OracleSpend,
+}
+
+fn run_once(
+    dataset: &Dataset,
+    rule: &MatchRule,
+    oracle: NoisyOracleConfig,
+    k: usize,
+    threads: usize,
+) -> (f64, OracleSpend) {
+    let mut config = AdaLshConfig::new(rule.clone());
+    config.threads = threads;
+    config.oracle = OracleMode::Noisy(oracle);
+    let mut engine = AdaLsh::for_dataset(dataset, config).expect("design");
+    let out = engine.run(dataset, k);
+    let sm = set_metrics(&out.records(), &dataset.gold_records(k));
+    (sm.f1, out.oracle.expect("noisy runs carry a ledger"))
+}
+
+fn sweep_corpus(
+    corpus: &'static str,
+    dataset: &Dataset,
+    rule: &MatchRule,
+    k: usize,
+    threads: usize,
+) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for &error_rate in &ERROR_RATES {
+        let base = NoisyOracleConfig {
+            false_match_rate: error_rate,
+            false_non_match_rate: error_rate,
+            fault_rate: FAULT_RATE,
+            seed: 1729,
+            ..NoisyOracleConfig::default()
+        };
+        // The unlimited run anchors the budget tiers: each tighter tier
+        // is a fraction of what this error rate actually spends.
+        let (_, unlimited) = run_once(dataset, rule, base.clone(), k, threads);
+        for (budget, fraction) in BUDGET_TIERS {
+            let config = NoisyOracleConfig {
+                budget: fraction.map(|f| ((unlimited.spent as f64) * f).ceil() as u64),
+                ..base.clone()
+            };
+            let (f1, spend) = run_once(dataset, rule, config, k, threads);
+            println!(
+                "{corpus:>15} err {error_rate:<4} budget {budget:<9} f1 {f1:.3}  \
+                 calls {:>6}  retries {:>5}  timeouts {:>5}  degraded {:>5}  spent {:>7}",
+                spend.calls, spend.retries, spend.timeouts, spend.degraded, spend.spent
+            );
+            rows.push(Row {
+                corpus,
+                error_rate,
+                budget,
+                f1,
+                spend,
+            });
+        }
+    }
+    rows
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let k = 10;
+    let threads = default_threads();
+
+    let corpora: Vec<(&'static str, Dataset, MatchRule)> = if smoke {
+        let d = spotsigs::generate(&SpotSigsConfig {
+            num_records: 300,
+            num_entities: 40,
+            seed: 42,
+            ..SpotSigsConfig::default()
+        });
+        vec![("spotsigs-small", d, spotsigs::match_rule(0.4))]
+    } else {
+        let (cora, cora_rule) = datasets::cora(1);
+        let (spot, spot_rule) = datasets::spotsigs(1, 0.4);
+        vec![("cora", cora, cora_rule), ("spotsigs", spot, spot_rule)]
+    };
+
+    let mut rows: Vec<Row> = Vec::new();
+    for (corpus, dataset, rule) in &corpora {
+        rows.extend(sweep_corpus(corpus, dataset, rule, k, threads));
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"_meta\": {{ \"k\": {k}, \"threads\": {threads}, \"fault_rate\": {FAULT_RATE}, \
+         \"seed\": 1729, \"budget_tiers\": \"fraction of the unlimited run's spend\", {} }}",
+        provenance_fields()
+    ));
+    for row in &rows {
+        let key = format!("{}/err{}/{}", row.corpus, row.error_rate, row.budget);
+        json.push_str(&format!(
+            ",\n  \"{key}/f1\": {:.4},\n  \"{key}/calls\": {},\n  \"{key}/retries\": {},\n  \
+             \"{key}/timeouts\": {},\n  \"{key}/transient_errors\": {},\n  \
+             \"{key}/degraded\": {},\n  \"{key}/spent\": {},\n  \"{key}/latency_micros\": {}",
+            row.f1,
+            row.spend.calls,
+            row.spend.retries,
+            row.spend.timeouts,
+            row.spend.transient_errors,
+            row.spend.degraded,
+            row.spend.spent,
+            row.spend.latency_micros,
+        ));
+    }
+    json.push_str("\n}\n");
+
+    if smoke {
+        println!("smoke mode: baseline not written");
+        return;
+    }
+    let path = "BENCH_oracle.json";
+    std::fs::write(path, &json).expect("write baseline");
+    println!("wrote {path}");
+}

@@ -7,7 +7,7 @@ use adalsh_core::algorithm::{AdaLsh, AdaLshConfig, FilterMethod, FilterOutput};
 use adalsh_core::baselines::{LshBlocking, Pairs};
 use adalsh_core::metrics::{map_mar, reduction_pct, set_metrics};
 use adalsh_core::recovery::perfect_recovery;
-use adalsh_core::{MinhashScheme, OnlineAdaLsh};
+use adalsh_core::{MinhashScheme, NoisyOracleConfig, OnlineAdaLsh, OracleMode, OracleSpend};
 use adalsh_data::{io as dio, Dataset};
 use adalsh_datagen::popimages::PopImagesConfig;
 use adalsh_datagen::spotsigs::SpotSigsConfig;
@@ -97,6 +97,9 @@ pub fn filter(args: &Args) -> Result<(), String> {
         out.stats.hash_evals,
         out.stats.pair_comparisons
     );
+    if let Some(spend) = &out.oracle {
+        println!("{}", oracle_summary(spend));
+    }
     for (i, c) in out.clusters.iter().enumerate() {
         let preview: Vec<u32> = c.iter().take(8).copied().collect();
         println!("#{:<3} size {:<6} e.g. {:?}", i + 1, c.len(), preview);
@@ -137,6 +140,9 @@ pub fn evaluate(args: &Args) -> Result<(), String> {
     println!("F1 gold:           {:.4}", m.f1);
     println!("mAP / mAR:         {map:.4} / {mar:.4}");
     println!("with recovery:     {map_r:.4} / {mar_r:.4}");
+    if let Some(spend) = &out.oracle {
+        println!("{}", oracle_summary(spend));
+    }
     Ok(())
 }
 
@@ -191,6 +197,7 @@ pub fn serve(args: &Args) -> Result<(), String> {
         if threads > 0 {
             config.threads = threads;
         }
+        config.oracle = oracle_mode(args)?;
         config.trace = trace;
         let resolver = snapshot.restore(config)?;
         println!("resumed {} records from {path}", resolver.len());
@@ -203,6 +210,7 @@ pub fn serve(args: &Args) -> Result<(), String> {
             config.threads = threads;
         }
         config.minhash_scheme = args.flag_or("minhash-scheme", MinhashScheme::Classic)?;
+        config.oracle = oracle_mode(args)?;
         config.trace = trace;
         let resolver = OnlineAdaLsh::new(&dataset, config)?;
         println!("bootstrapped engine from {} records", resolver.len());
@@ -228,6 +236,76 @@ fn load(args: &Args) -> Result<Dataset, String> {
     dio::load(Path::new(path)).map_err(|e| format!("read {path}: {e}"))
 }
 
+/// Builds the pairwise-oracle mode from `--oracle` and its satellite
+/// flags. Satellite flags without `--oracle noisy` are an error rather
+/// than silently ignored configuration.
+fn oracle_mode(args: &Args) -> Result<OracleMode, String> {
+    const SATELLITES: [&str; 7] = [
+        "oracle-fp",
+        "oracle-fn",
+        "oracle-fault",
+        "oracle-seed",
+        "oracle-budget",
+        "oracle-votes",
+        "oracle-timeout-ms",
+    ];
+    match args.flag("oracle").unwrap_or("exact") {
+        "exact" => {
+            if let Some(flag) = SATELLITES.iter().find(|f| args.flag(f).is_some()) {
+                return Err(format!("--{flag} requires --oracle noisy"));
+            }
+            Ok(OracleMode::Exact)
+        }
+        "noisy" => {
+            let defaults = NoisyOracleConfig::default();
+            let timeout_ms: u64 =
+                args.flag_or("oracle-timeout-ms", defaults.timeout_micros / 1000)?;
+            let cfg = NoisyOracleConfig {
+                false_match_rate: args.flag_or("oracle-fp", defaults.false_match_rate)?,
+                false_non_match_rate: args.flag_or("oracle-fn", defaults.false_non_match_rate)?,
+                fault_rate: args.flag_or("oracle-fault", defaults.fault_rate)?,
+                seed: args.flag_or("oracle-seed", defaults.seed)?,
+                votes: args.flag_or("oracle-votes", defaults.votes)?,
+                timeout_micros: timeout_ms.saturating_mul(1000),
+                budget: match args.flag("oracle-budget") {
+                    Some(v) => Some(v.parse().map_err(|e| format!("--oracle-budget {v}: {e}"))?),
+                    None => None,
+                },
+                ..defaults
+            };
+            for (name, rate) in [
+                ("oracle-fp", cfg.false_match_rate),
+                ("oracle-fn", cfg.false_non_match_rate),
+                ("oracle-fault", cfg.fault_rate),
+            ] {
+                if !(0.0..=1.0).contains(&rate) {
+                    return Err(format!("--{name} must be in [0, 1], got {rate}"));
+                }
+            }
+            Ok(OracleMode::Noisy(cfg))
+        }
+        other => Err(format!("unknown oracle '{other}' (want exact or noisy)")),
+    }
+}
+
+/// One-line oracle-ledger summary printed after a noisy run.
+fn oracle_summary(spend: &OracleSpend) -> String {
+    let budget = spend
+        .budget
+        .map_or(String::new(), |b| format!(" / budget {b}"));
+    format!(
+        "oracle: {} calls ({} attempts, {} retries, {} timeouts, {} errors), \
+         {} degraded, spend {}{budget}",
+        spend.calls,
+        spend.attempts,
+        spend.retries,
+        spend.timeouts,
+        spend.transient_errors,
+        spend.degraded,
+        spend.spent,
+    )
+}
+
 fn run_method(
     args: &Args,
     dataset: &Dataset,
@@ -245,6 +323,13 @@ fn run_method(
              events (drop --trace-out or use --method adalsh)"
         ));
     }
+    let oracle = oracle_mode(args)?;
+    if oracle != OracleMode::Exact && method != "adalsh" {
+        return Err(format!(
+            "--oracle noisy adjudicates through the adaLSH engine; method '{method}' always \
+             applies the exact rule (drop --oracle or use --method adalsh)"
+        ));
+    }
     let mut boxed: Box<dyn FilterMethod> = match method {
         "adalsh" => {
             let mut config = AdaLshConfig::new(rule.clone());
@@ -252,6 +337,7 @@ fn run_method(
                 config.threads = threads;
             }
             config.minhash_scheme = args.flag_or("minhash-scheme", MinhashScheme::Classic)?;
+            config.oracle = oracle;
             if let Some(path) = trace_out {
                 config.trace = trace_sink(path)?;
             }

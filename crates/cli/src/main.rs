@@ -28,12 +28,12 @@ USAGE:
   adalsh generate <cora|spotsigs|popimages> --out <file> [--records N] [--entities N] [--seed S] [--exponent E]
   adalsh info <data.jsonl>
   adalsh filter <data.jsonl> --k <K> [--method adalsh|pairs|lsh<X>] [--rule <spec>] [--threads <N>] [--out <file>]
-                [--minhash-scheme classic|doph] [--trace-out <file.jsonl>]
+                [--minhash-scheme classic|doph] [--trace-out <file.jsonl>] [--oracle exact|noisy …]
   adalsh evaluate <data.jsonl> --k <K> [--khat <K2>] [--method <m>] [--rule <spec>] [--threads <N>]
-                [--minhash-scheme classic|doph] [--trace-out <file.jsonl>]
+                [--minhash-scheme classic|doph] [--trace-out <file.jsonl>] [--oracle exact|noisy …]
   adalsh serve <bootstrap.jsonl> [--addr <host:port>] [--rule <spec>] [--snapshot-out <file>]
                [--workers <N>] [--threads <N>] [--queue-cap <N>] [--max-batch <N>] [--resolve-k <K>]
-               [--minhash-scheme classic|doph] [--trace-out <file.jsonl>]
+               [--minhash-scheme classic|doph] [--trace-out <file.jsonl>] [--oracle exact|noisy …]
   adalsh serve --resume <snapshot.json> [--addr <host:port>] [--workers <N>] [--threads <N>]
                [--queue-cap <N>] [--max-batch <N>] [--resolve-k <K>]
   adalsh trace <validate|summarize> <trace.jsonl>
@@ -62,6 +62,32 @@ TRACING:
                       sums against the run's Stats totals). The serve
                       command additionally folds these events into
                       adalsh_engine_* histograms on GET /metrics.
+
+ORACLE (adaLSH method; also serve):
+  --oracle exact|noisy
+                     exact (default): pairwise verdicts come straight
+                     from the match rule — byte-for-byte today's path.
+                     noisy: a seeded fault-injected oracle wraps the
+                     rule with an error model, retries with backoff,
+                     majority voting, and a spend budget. Deterministic:
+                     the same --oracle-seed gives bit-identical verdicts
+                     at any thread count. Exhausted budgets or retry
+                     deadlines degrade gracefully to the rule verdict
+                     (counted as degraded, never an abort).
+  --oracle-fp <r>    false-match rate in [0, 1] (default 0)
+  --oracle-fn <r>    false-non-match rate in [0, 1] (default 0)
+  --oracle-fault <r> per-attempt timeout/transient-error rate (default 0)
+  --oracle-seed <S>  noise/fault RNG seed (default 42)
+  --oracle-budget <N> total adjudication spend before degradation
+                     (default unlimited)
+  --oracle-votes <N> majority-vote panel size for low-confidence
+                     verdicts, rounded up to odd (default 3)
+  --oracle-timeout-ms <T> per-attempt modeled timeout (default 50)
+  Noisy runs print an oracle ledger line (calls, retries, timeouts,
+  degraded, spend) and stamp the same totals on run_end trace events,
+  where `adalsh trace validate` reconciles them against the per-call
+  oracle_call events. Under serve, POST /adjudicate accepts external
+  verdicts that override the oracle pair-by-pair.
 
 RULE SPECS:
   jaccard:<dthr>     Jaccard distance threshold on field 0 (e.g. jaccard:0.6)

@@ -27,7 +27,8 @@ use rand::{Rng, SeedableRng};
 use crate::bins::BinIndex;
 use crate::cost::CostModel;
 use crate::hashing::{RecordHashState, SequenceHasher};
-use crate::pairwise::{apply_pairwise_traced, DEFAULT_PAIR_BLOCK};
+use crate::oracle::{NoisyOracle, OracleMode, OracleSpend, SpendLedger, VerdictOverlay};
+use crate::pairwise::{apply_pairwise_oracle, apply_pairwise_traced, DEFAULT_PAIR_BLOCK};
 use crate::sequence::{design, SequenceSpec};
 use crate::stats::Stats;
 use crate::transitive::apply_transitive_threaded;
@@ -93,6 +94,15 @@ pub struct AdaLshConfig {
     /// one predicted branch per decision point; no field computation or
     /// timestamps happen unless a subscriber is attached.
     pub trace: TraceSink,
+    /// Which pairwise adjudicator `P` consults: the exact rule (default,
+    /// byte-for-byte today's path) or a seeded noisy oracle with error /
+    /// fault / cost models and a per-run spend budget (see
+    /// [`crate::oracle`]).
+    pub oracle: OracleMode,
+    /// External-verdict overlay consulted by a noisy oracle before any
+    /// noise is sampled (the serve layer's `POST /adjudicate` writes
+    /// here). Ignored under [`OracleMode::Exact`].
+    pub oracle_overlay: Option<std::sync::Arc<VerdictOverlay>>,
 }
 
 impl AdaLshConfig {
@@ -111,6 +121,8 @@ impl AdaLshConfig {
             threads: default_threads(),
             scale_max_budget: true,
             trace: TraceSink::disabled(),
+            oracle: OracleMode::Exact,
+            oracle_overlay: None,
         }
     }
 }
@@ -132,6 +144,10 @@ pub struct FilterOutput {
     pub stats: Stats,
     /// Wall-clock filtering time.
     pub wall: Duration,
+    /// Oracle spend ledger of the run — `Some` only under
+    /// [`OracleMode::Noisy`]. Kept outside [`Stats`] so the zero-noise
+    /// noisy path stays bit-identical to the exact path in `Stats`.
+    pub oracle: Option<OracleSpend>,
 }
 
 impl FilterOutput {
@@ -304,6 +320,14 @@ impl AdaLsh {
         &self.config.trace
     }
 
+    /// Installs (or replaces) the external-verdict overlay consulted by
+    /// a noisy oracle. A no-op for the exact oracle. Useful when the
+    /// overlay is created after the engine — e.g. by a serving layer
+    /// accepting `/adjudicate` corrections.
+    pub fn set_oracle_overlay(&mut self, overlay: Option<std::sync::Arc<VerdictOverlay>>) {
+        self.config.oracle_overlay = overlay;
+    }
+
     /// Number of sequence functions `L` in the designed sequence.
     pub fn num_levels(&self) -> usize {
         self.hasher.num_levels()
@@ -375,6 +399,13 @@ impl AdaLsh {
         let mut arena: Vec<Option<ArenaEntry>> = Vec::new();
         let mut pool = Pool::new(self.config.selection);
         let mut finals: Vec<Vec<u32>> = Vec::new();
+        // One spend ledger per run: the budget is a per-run contract, and
+        // all charging happens in the sequential round loop, so the cutoff
+        // point replays identically at any thread count.
+        let mut oracle_ledger: Option<SpendLedger> = match &self.config.oracle {
+            OracleMode::Exact => None,
+            OracleMode::Noisy(cfg) => Some(SpendLedger::new(cfg.budget)),
+        };
 
         // Line 1: apply H₁ to the whole dataset.
         let all: Vec<u32> = (0..n as u32).collect();
@@ -484,15 +515,31 @@ impl AdaLsh {
                 stats.modeled_cost += predicted;
                 let before = stats;
                 let round_start = sink.enabled().then(Instant::now);
-                let (subs, ptrace) = apply_pairwise_traced(
-                    dataset,
-                    &self.config.rule,
-                    &entry.records,
-                    self.config.threads,
-                    DEFAULT_PAIR_BLOCK,
-                    &sink,
-                    &mut stats,
-                );
+                let (subs, ptrace) = match (&self.config.oracle, &mut oracle_ledger) {
+                    (OracleMode::Noisy(ocfg), Some(ledger)) => {
+                        let oracle = NoisyOracle::new(&self.config.rule, ocfg.clone())
+                            .with_overlay(self.config.oracle_overlay.clone());
+                        apply_pairwise_oracle(
+                            dataset,
+                            &oracle,
+                            &entry.records,
+                            self.config.threads,
+                            DEFAULT_PAIR_BLOCK,
+                            ledger,
+                            &sink,
+                            &mut stats,
+                        )
+                    }
+                    _ => apply_pairwise_traced(
+                        dataset,
+                        &self.config.rule,
+                        &entry.records,
+                        self.config.threads,
+                        DEFAULT_PAIR_BLOCK,
+                        &sink,
+                        &mut stats,
+                    ),
+                };
                 if let Some(t0) = round_start {
                     sink.emit(
                         "pairwise",
@@ -564,27 +611,41 @@ impl AdaLsh {
         finals.truncate(k);
         let wall = start.elapsed();
         if sink.enabled() {
-            sink.emit(
-                "run_end",
-                &[
-                    ("rounds", Value::U64(stats.rounds)),
-                    ("finals", Value::U64(finals_resolved as u64)),
-                    ("hash_evals", Value::U64(stats.hash_evals)),
-                    ("distance_evals", Value::U64(stats.distance_evals)),
-                    ("pair_comparisons", Value::U64(stats.pair_comparisons)),
-                    ("bucket_inserts", Value::U64(stats.bucket_inserts)),
-                    ("transitive_calls", Value::U64(stats.transitive_calls)),
-                    ("pairwise_calls", Value::U64(stats.pairwise_calls)),
-                    ("modeled_cost", Value::F64(stats.modeled_cost)),
-                    ("wall_micros", Value::U64(wall.as_micros() as u64)),
-                ],
-            );
+            let mut fields = vec![
+                ("rounds", Value::U64(stats.rounds)),
+                ("finals", Value::U64(finals_resolved as u64)),
+                ("hash_evals", Value::U64(stats.hash_evals)),
+                ("distance_evals", Value::U64(stats.distance_evals)),
+                ("pair_comparisons", Value::U64(stats.pair_comparisons)),
+                ("bucket_inserts", Value::U64(stats.bucket_inserts)),
+                ("transitive_calls", Value::U64(stats.transitive_calls)),
+                ("pairwise_calls", Value::U64(stats.pairwise_calls)),
+                ("modeled_cost", Value::F64(stats.modeled_cost)),
+                ("wall_micros", Value::U64(wall.as_micros() as u64)),
+            ];
+            if let Some(ledger) = &oracle_ledger {
+                // Ledger mirror: the validator reconciles these against
+                // the segment's oracle_call events bit-for-bit.
+                let s = ledger.spend();
+                fields.extend([
+                    ("oracle_calls", Value::U64(s.calls)),
+                    ("oracle_attempts", Value::U64(s.attempts)),
+                    ("oracle_retries", Value::U64(s.retries)),
+                    ("oracle_votes", Value::U64(s.votes)),
+                    ("oracle_timeouts", Value::U64(s.timeouts)),
+                    ("oracle_errors", Value::U64(s.transient_errors)),
+                    ("oracle_degraded", Value::U64(s.degraded)),
+                    ("oracle_spent", Value::U64(s.spent)),
+                ]);
+            }
+            sink.emit("run_end", &fields);
             sink.flush();
         }
         FilterOutput {
             clusters: finals,
             stats,
             wall,
+            oracle: oracle_ledger.map(SpendLedger::into_spend),
         }
     }
 }

@@ -66,6 +66,7 @@ impl FilterMethod for Pairs {
             clusters,
             stats,
             wall: start.elapsed(),
+            oracle: None,
         }
     }
 }

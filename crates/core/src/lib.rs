@@ -23,6 +23,7 @@
 //! * [`algorithm`] — Algorithm 1, incremental mode, selection ablations (§4)
 //! * [`baselines`] — Pairs and LSH-X blocking baselines (§6.1.1, App. E.1)
 //! * [`metrics`] — accuracy/performance metrics (§6.2)
+//! * [`oracle`] — pluggable noisy/fault-injected pairwise adjudication
 //! * [`recovery`] — k̂ > k output and recovery processes (§6.1.2)
 //! * [`stats`] — operation counters
 
@@ -33,6 +34,7 @@ pub mod cost;
 pub mod hashing;
 pub mod metrics;
 pub mod online;
+pub mod oracle;
 pub mod pairwise;
 pub mod ppt;
 pub mod recovery;
@@ -46,6 +48,10 @@ pub use algorithm::{AdaLsh, AdaLshConfig, FilterOutput, SelectionStrategy};
 pub use baselines::{LshBlocking, Pairs};
 pub use cost::CostModel;
 pub use online::{OnlineAdaLsh, OnlineSnapshot};
+pub use oracle::{
+    Adjudication, ExactOracle, NoisyOracle, NoisyOracleConfig, OracleMode, OracleSpend,
+    PairwiseOracle, SpendLedger, VerdictOverlay,
+};
 pub use pairwise::PairwiseTrace;
 pub use sequence::{design, BudgetStrategy, SequenceSpec};
 pub use stats::Stats;

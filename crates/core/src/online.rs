@@ -34,6 +34,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::algorithm::{AdaLsh, AdaLshConfig, FilterOutput};
 use crate::hashing::RecordHashState;
+use crate::oracle::VerdictOverlay;
 
 /// Ground-truth label attached to records ingested online (their entity
 /// is unknown; labels are never consulted by the filter itself).
@@ -58,6 +59,10 @@ pub struct OnlineAdaLsh {
 struct ResolveCache {
     records: usize,
     k: usize,
+    /// Version of the external-verdict overlay at resolve time (0 when
+    /// no overlay is installed). A new verdict invalidates the cache
+    /// even though the corpus itself is unchanged.
+    overlay_version: u64,
     output: FilterOutput,
 }
 
@@ -218,8 +223,12 @@ impl OnlineAdaLsh {
     /// This is the resolve primitive for a serving loop that may
     /// re-publish or snapshot an unchanged corpus.
     pub fn query_cached(&mut self, k: usize) -> FilterOutput {
+        let overlay_version = self.overlay_version();
         if let Some(cache) = &self.resolve_cache {
-            if cache.records == self.dataset.len() && cache.k == k {
+            if cache.records == self.dataset.len()
+                && cache.k == k
+                && cache.overlay_version == overlay_version
+            {
                 return cache.output.clone();
             }
         }
@@ -227,9 +236,28 @@ impl OnlineAdaLsh {
         self.resolve_cache = Some(ResolveCache {
             records: self.dataset.len(),
             k,
+            overlay_version,
             output: output.clone(),
         });
         output
+    }
+
+    /// Current version of the installed verdict overlay (0 without one).
+    fn overlay_version(&self) -> u64 {
+        self.config
+            .oracle_overlay
+            .as_ref()
+            .map_or(0, |overlay| overlay.version())
+    }
+
+    /// Installs (or replaces) the external-verdict overlay consulted by
+    /// a noisy oracle — e.g. the store behind a serving layer's
+    /// `/adjudicate` endpoint. Any new verdict bumps the overlay version
+    /// and invalidates the resolve cache on the next `query_cached`.
+    pub fn set_oracle_overlay(&mut self, overlay: Option<std::sync::Arc<VerdictOverlay>>) {
+        self.config.oracle_overlay = overlay.clone();
+        self.engine.set_oracle_overlay(overlay);
+        self.resolve_cache = None;
     }
 
     /// Installs (or replaces) the engine's trace sink — e.g. the serving
@@ -471,6 +499,39 @@ mod tests {
         // And the cached answer equals a fresh uncached query.
         let recheck = online.query(2);
         assert_eq!(recheck.clusters, grown.clusters);
+    }
+
+    /// A new external verdict bumps the overlay version, so the resolve
+    /// cache must miss even though the corpus itself is unchanged — and
+    /// the re-resolve must honor the overlay verdict.
+    #[test]
+    fn overlay_verdicts_invalidate_the_resolve_cache() {
+        use crate::oracle::{NoisyOracleConfig, OracleMode, VerdictOverlay};
+        let mut config = AdaLshConfig::new(rule());
+        // Zero-noise oracle: identical to the exact path until the
+        // overlay says otherwise.
+        config.oracle = OracleMode::Noisy(NoisyOracleConfig::default());
+        let mut online = OnlineAdaLsh::new(&bootstrap(), config).unwrap();
+        let overlay = std::sync::Arc::new(VerdictOverlay::default());
+        online.set_oracle_overlay(Some(overlay.clone()));
+
+        let first = online.query_cached(2);
+        assert!(first.stats.hash_evals > 0, "cold resolve must hash");
+        let cached = online.query_cached(2);
+        assert_eq!(cached.stats, first.stats, "unchanged overlay: cache hit");
+
+        // Force the two largest-cluster members apart: pick two records
+        // resolved into the same top cluster and overrule their match.
+        let top = &first.clusters[0];
+        assert!(top.len() >= 2, "precondition: a non-trivial top cluster");
+        overlay.set(top[0], top[1], false);
+        let revised = online.query_cached(2);
+        assert_eq!(
+            revised.stats.hash_evals, 0,
+            "overlay-invalidated re-resolve reuses every hash"
+        );
+        let spend = revised.oracle.as_ref().expect("noisy run reports spend");
+        assert!(spend.calls > 0, "re-resolve re-adjudicates pairs");
     }
 
     #[test]

@@ -41,6 +41,7 @@
 use adalsh_data::{Dataset, ExitCounts, MatchRule};
 use adalsh_obs::{TraceSink, Value};
 
+use crate::oracle::{emit_oracle_call, Adjudication, PairwiseOracle, SpendLedger};
 use crate::ppt::Forest;
 use crate::stats::Stats;
 
@@ -266,6 +267,167 @@ pub fn apply_pairwise_traced(
         );
     }
     (clusters_of(forest, cluster), trace)
+}
+
+/// `P` through a [`PairwiseOracle`] instead of the bare rule: the same
+/// block wavefront and canonical fold as [`apply_pairwise_blocked`],
+/// with adjudications evaluated speculatively (they are pure functions
+/// of the pair, so parallel evaluation is safe) and **settled through
+/// the ledger only at fold time, in canonical pair order**. Budget
+/// charging, degradation, and `oracle_call` emission all happen at
+/// settle time, which is what keeps verdicts, clusters, `Stats`, and
+/// the oracle spend bit-identical across thread counts and block sizes.
+///
+/// `Stats` charges mirror the rule-based path exactly: one
+/// `pair_comparisons` (+ the oracle's elementary distances) per pair
+/// still open at fold time; speculative evaluations of pairs closed by
+/// an earlier merge of the same block are neither charged nor settled.
+///
+/// With a disabled sink no events are emitted and the returned
+/// [`PairwiseTrace`] is zero, exactly like [`apply_pairwise_traced`];
+/// with tracing on, one `pairwise_block` event per block and one
+/// `oracle_call` event per settled pair are emitted.
+#[allow(clippy::too_many_arguments)]
+pub fn apply_pairwise_oracle(
+    dataset: &Dataset,
+    oracle: &dyn PairwiseOracle,
+    cluster: &[u32],
+    threads: usize,
+    block_pairs: usize,
+    ledger: &mut SpendLedger,
+    sink: &TraceSink,
+    stats: &mut Stats,
+) -> (Vec<Vec<u32>>, PairwiseTrace) {
+    stats.pairwise_calls += 1;
+    let n = cluster.len();
+    let mut forest = Forest::new(n);
+    for slot in 0..n as u32 {
+        forest.add_singleton(slot);
+    }
+    let per_pair_distances = oracle.num_elementary_distances() as u64;
+    let threads = threads.max(1);
+    let block_pairs = block_pairs.max(1);
+    let traced = sink.enabled();
+    let trace = PairwiseTrace::default();
+
+    // Fused single-thread path: adjudicate lazily at fold time, no
+    // speculative work. (With tracing on, the blocked wavefront runs
+    // even at threads == 1 so the per-block events exist — pair order,
+    // skips, charges, and settle order are identical either way.)
+    if threads == 1 && !traced {
+        for i in 0..n as u32 {
+            for j in (i + 1)..n as u32 {
+                let ri = forest.find_root_of_slot(i).expect("added above");
+                let rj = forest.find_root_of_slot(j).expect("added above");
+                if ri == rj {
+                    continue;
+                }
+                let (a_id, b_id) = (cluster[i as usize], cluster[j as usize]);
+                let adj = oracle.adjudicate(dataset, a_id, b_id);
+                stats.pair_comparisons += 1;
+                stats.distance_evals += per_pair_distances;
+                let settled = ledger.settle(a_id, b_id, &adj);
+                if settled.matched {
+                    forest.merge_roots(ri, rj);
+                }
+            }
+        }
+        return (clusters_of(forest, cluster), trace);
+    }
+
+    let mut trace = trace;
+    let (mut i, mut j) = (0u32, 1u32);
+    let mut open: Vec<(u32, u32)> = Vec::with_capacity(block_pairs.min(1 << 16));
+    let mut adjudications: Vec<Adjudication> = Vec::new();
+    while (i as usize) + 1 < n {
+        let block_start = traced.then(std::time::Instant::now);
+        open.clear();
+        let mut taken = 0;
+        while taken < block_pairs && (i as usize) + 1 < n {
+            let ri = forest.find_root_of_slot(i).expect("added above");
+            let rj = forest.find_root_of_slot(j).expect("added above");
+            if ri != rj {
+                open.push((i, j));
+            }
+            taken += 1;
+            j += 1;
+            if j as usize == n {
+                i += 1;
+                j = i + 1;
+            }
+        }
+
+        evaluate_block_oracle(dataset, oracle, cluster, &open, threads, &mut adjudications);
+
+        let mut charged = 0u64;
+        for (&(a, b), adj) in open.iter().zip(&adjudications) {
+            let ra = forest.find_root_of_slot(a).expect("added above");
+            let rb = forest.find_root_of_slot(b).expect("added above");
+            if ra == rb {
+                // Closed by an earlier merge of this block: speculative,
+                // neither charged nor settled.
+                continue;
+            }
+            charged += 1;
+            stats.pair_comparisons += 1;
+            stats.distance_evals += per_pair_distances;
+            let (a_id, b_id) = (cluster[a as usize], cluster[b as usize]);
+            let settled = ledger.settle(a_id, b_id, adj);
+            if traced {
+                emit_oracle_call(sink, &settled);
+            }
+            if settled.matched {
+                forest.merge_roots(ra, rb);
+            }
+        }
+
+        if let Some(t0) = block_start {
+            trace.blocks += 1;
+            trace.kernel_checks += open.len() as u64;
+            sink.emit(
+                "pairwise_block",
+                &[
+                    ("pairs_open", Value::U64(open.len() as u64)),
+                    ("pairs_charged", Value::U64(charged)),
+                    ("kernel_checks", Value::U64(open.len() as u64)),
+                    ("early_exits", Value::U64(0)),
+                    ("wall_micros", Value::U64(t0.elapsed().as_micros() as u64)),
+                ],
+            );
+        }
+    }
+    (clusters_of(forest, cluster), trace)
+}
+
+/// Adjudicates every open pair of a block, writing one [`Adjudication`]
+/// per pair. Parallel when the block is big enough — adjudications are
+/// pure functions of the pair, so workers share nothing but their
+/// disjoint output chunks.
+fn evaluate_block_oracle(
+    dataset: &Dataset,
+    oracle: &dyn PairwiseOracle,
+    cluster: &[u32],
+    open: &[(u32, u32)],
+    threads: usize,
+    out: &mut Vec<Adjudication>,
+) {
+    out.clear();
+    out.resize(open.len(), Adjudication::default());
+    let eval = |pairs: &[(u32, u32)], out: &mut [Adjudication]| {
+        for (slot, &(a, b)) in out.iter_mut().zip(pairs) {
+            *slot = oracle.adjudicate(dataset, cluster[a as usize], cluster[b as usize]);
+        }
+    };
+    if threads == 1 || open.len() < MIN_PARALLEL_PAIRS {
+        eval(open, out);
+        return;
+    }
+    let chunk = open.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (pairs, slots) in open.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            scope.spawn(move || eval(pairs, slots));
+        }
+    });
 }
 
 /// Maps the forest's slot clusters back to record ids.
@@ -580,6 +742,146 @@ mod tests {
         assert_eq!(sorted(out), sorted(plain));
         assert_eq!(st, st_plain);
         assert_eq!(trace, PairwiseTrace::default());
+    }
+
+    #[test]
+    fn oracle_path_with_exact_oracle_equals_rule_path() {
+        use crate::oracle::{ExactOracle, SpendLedger};
+        let sets: Vec<Vec<u64>> = (0..40)
+            .map(|k| {
+                if k % 3 == 0 {
+                    vec![1000 + k, 2000 + k]
+                } else {
+                    (k / 4 * 10..k / 4 * 10 + 8).collect()
+                }
+            })
+            .collect();
+        let refs: Vec<&[u64]> = sets.iter().map(Vec::as_slice).collect();
+        let d = dataset(&refs);
+        let ids: Vec<u32> = (0..40).collect();
+        let rule = jaccard_rule(0.4);
+        let mut st_rule = Stats::default();
+        let plain = apply_pairwise_blocked(&d, &rule, &ids, 2, 16, &mut st_rule);
+        for threads in [1usize, 2, 5] {
+            for block in [1usize, 7, 64, 10_000] {
+                let oracle = ExactOracle::new(&rule);
+                let mut ledger = SpendLedger::new(None);
+                let mut st = Stats::default();
+                let (out, _) = apply_pairwise_oracle(
+                    &d,
+                    &oracle,
+                    &ids,
+                    threads,
+                    block,
+                    &mut ledger,
+                    &TraceSink::disabled(),
+                    &mut st,
+                );
+                assert_eq!(sorted(out), sorted(plain.clone()), "t={threads} b={block}");
+                assert_eq!(st, st_rule, "t={threads} b={block}");
+                assert_eq!(ledger.spend().spent, 0, "exact oracle is free");
+                assert_eq!(ledger.spend().degraded, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn noisy_oracle_is_deterministic_across_threads_blocks_and_sinks() {
+        use crate::oracle::{NoisyOracle, NoisyOracleConfig, OracleSpend, SpendLedger};
+        use adalsh_obs::MemorySubscriber;
+        use std::sync::Arc;
+
+        let sets: Vec<Vec<u64>> = (0..36)
+            .map(|k| (k / 3 * 10..k / 3 * 10 + 6).collect())
+            .collect();
+        let refs: Vec<&[u64]> = sets.iter().map(Vec::as_slice).collect();
+        let d = dataset(&refs);
+        let ids: Vec<u32> = (0..36).collect();
+        let rule = jaccard_rule(0.4);
+        let cfg = NoisyOracleConfig {
+            false_match_rate: 0.15,
+            false_non_match_rate: 0.15,
+            fault_rate: 0.2,
+            seed: 11,
+            budget: Some(300),
+            ..NoisyOracleConfig::default()
+        };
+        let run =
+            |threads: usize, block: usize, traced: bool| -> (Vec<Vec<u32>>, Stats, OracleSpend) {
+                let oracle = NoisyOracle::new(&rule, cfg.clone());
+                let mut ledger = SpendLedger::new(cfg.budget);
+                let mut st = Stats::default();
+                let sink = if traced {
+                    TraceSink::new(Arc::new(MemorySubscriber::default()))
+                } else {
+                    TraceSink::disabled()
+                };
+                let (out, _) = apply_pairwise_oracle(
+                    &d,
+                    &oracle,
+                    &ids,
+                    threads,
+                    block,
+                    &mut ledger,
+                    &sink,
+                    &mut st,
+                );
+                (sorted(out), st, ledger.into_spend())
+            };
+        let baseline = run(1, DEFAULT_PAIR_BLOCK, false);
+        for threads in [1usize, 2, 4] {
+            for block in [1usize, 13, 4096] {
+                for traced in [false, true] {
+                    let got = run(threads, block, traced);
+                    assert_eq!(
+                        got, baseline,
+                        "noisy oracle must replay bit-identically (t={threads} b={block} traced={traced})"
+                    );
+                }
+            }
+        }
+        // The run under this fault rate must actually have exercised the
+        // resilience machinery.
+        let (_, _, spend) = baseline;
+        assert!(spend.retries > 0, "fault injection must trigger retries");
+        assert!(spend.spent <= 300, "budget respected: {}", spend.spent);
+    }
+
+    #[test]
+    fn oracle_budget_degrades_tail_pairs_to_the_rule() {
+        use crate::oracle::{NoisyOracle, NoisyOracleConfig, SpendLedger};
+        // All-distinct records: every pair is open and adjudicated.
+        let d = dataset(&[&[1], &[2], &[3], &[4], &[5]]);
+        let ids: Vec<u32> = (0..5).collect();
+        let rule = jaccard_rule(0.4);
+        let cfg = NoisyOracleConfig {
+            budget: Some(4),
+            ..NoisyOracleConfig::default()
+        };
+        let oracle = NoisyOracle::new(&rule, cfg.clone());
+        let mut ledger = SpendLedger::new(cfg.budget);
+        let mut st = Stats::default();
+        let (out, _) = apply_pairwise_oracle(
+            &d,
+            &oracle,
+            &ids,
+            1,
+            DEFAULT_PAIR_BLOCK,
+            &mut ledger,
+            &TraceSink::disabled(),
+            &mut st,
+        );
+        // Zero noise: the degraded fallback is the same rule verdict, so
+        // clusters match the exact path even with the budget exhausted.
+        let mut st_rule = Stats::default();
+        let plain = apply_pairwise(&d, &rule, &ids, 1, &mut st_rule);
+        assert_eq!(sorted(out), sorted(plain));
+        assert_eq!(st, st_rule, "Stats never carry oracle spend");
+        let spend = ledger.spend();
+        assert_eq!(spend.calls, 10, "all 10 pairs settled");
+        assert_eq!(spend.spent, 4, "budget cap");
+        assert_eq!(spend.degraded, 6, "tail pairs degraded for free");
+        assert_eq!(spend.degraded_pairs.len(), 6);
     }
 
     #[test]

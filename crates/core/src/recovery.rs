@@ -18,7 +18,9 @@
 use std::collections::HashSet;
 
 use adalsh_data::{Dataset, MatchRule};
+use adalsh_obs::TraceSink;
 
+use crate::oracle::{emit_oracle_call, PairwiseOracle, SpendLedger};
 use crate::stats::Stats;
 
 /// The paper's perfect recovery (§6.2.1): for each entity referenced by
@@ -86,6 +88,57 @@ pub fn rule_recovery(
                 stats.pair_comparisons += 1;
                 stats.distance_evals += per_pair;
                 if rule.matches(dataset.record(r), dataset.record(m)) {
+                    cluster.push(r);
+                    break 'next_record;
+                }
+            }
+        }
+    }
+    for c in &mut augmented {
+        c.sort_unstable();
+    }
+    augmented.sort_by(|a, b| b.len().cmp(&a.len()).then_with(|| a[0].cmp(&b[0])));
+    augmented
+}
+
+/// [`rule_recovery`] through a [`PairwiseOracle`]: every excluded-record
+/// vs cluster-member comparison is one adjudication, settled through the
+/// ledger **in the sequential scan order** (recovery is single-threaded,
+/// so that order is the canonical one). Budget exhaustion degrades the
+/// remaining comparisons to the cheap rule rather than aborting — under
+/// a zero-noise oracle the output is identical to [`rule_recovery`]
+/// regardless of budget, because the fallback *is* the rule.
+///
+/// One `oracle_call` trace event is emitted per settled comparison when
+/// the sink is enabled (recovery runs outside engine run segments; the
+/// event is segment-free by schema).
+pub fn rule_recovery_oracle(
+    dataset: &Dataset,
+    oracle: &dyn PairwiseOracle,
+    clusters: &[Vec<u32>],
+    ledger: &mut SpendLedger,
+    sink: &TraceSink,
+    stats: &mut Stats,
+) -> Vec<Vec<u32>> {
+    let included: HashSet<u32> = clusters.iter().flatten().copied().collect();
+    let mut augmented: Vec<Vec<u32>> = clusters.to_vec();
+    let per_pair = oracle.num_elementary_distances() as u64;
+    let traced = sink.enabled();
+    for r in 0..dataset.len() as u32 {
+        if included.contains(&r) {
+            continue;
+        }
+        'next_record: for cluster in &mut augmented {
+            for i in 0..cluster.len() {
+                let m = cluster[i];
+                stats.pair_comparisons += 1;
+                stats.distance_evals += per_pair;
+                let adj = oracle.adjudicate(dataset, r, m);
+                let settled = ledger.settle(r, m, &adj);
+                if traced {
+                    emit_oracle_call(sink, &settled);
+                }
+                if settled.matched {
                     cluster.push(r);
                     break 'next_record;
                 }
@@ -192,5 +245,177 @@ mod tests {
         // 0.99 ⇒ no match ⇒ each compares against the single member).
         let _ = rule_recovery(&d, &rule, &[vec![5]], &mut st);
         assert_eq!(st.pair_comparisons, 5);
+    }
+
+    #[test]
+    fn oracle_recovery_with_exact_oracle_equals_rule_recovery() {
+        use crate::oracle::{ExactOracle, SpendLedger};
+        let d = toy();
+        let rule = MatchRule::threshold(0, FieldDistance::Jaccard, 0.1);
+        let clusters = vec![vec![0, 1], vec![3]];
+        let mut st_rule = Stats::default();
+        let plain = rule_recovery(&d, &rule, &clusters, &mut st_rule);
+        let oracle = ExactOracle::new(&rule);
+        let mut ledger = SpendLedger::new(None);
+        let mut st = Stats::default();
+        let out = rule_recovery_oracle(
+            &d,
+            &oracle,
+            &clusters,
+            &mut ledger,
+            &TraceSink::disabled(),
+            &mut st,
+        );
+        assert_eq!(out, plain);
+        assert_eq!(st, st_rule);
+        assert_eq!(ledger.spend().spent, 0);
+    }
+
+    #[test]
+    fn oracle_recovery_degrades_under_budget_and_stays_correct_at_zero_noise() {
+        use crate::oracle::{NoisyOracle, NoisyOracleConfig, SpendLedger};
+        let d = toy();
+        let rule = MatchRule::threshold(0, FieldDistance::Jaccard, 0.1);
+        let clusters = vec![vec![0, 1], vec![3]];
+        let cfg = NoisyOracleConfig {
+            budget: Some(1),
+            ..NoisyOracleConfig::default()
+        };
+        let oracle = NoisyOracle::new(&rule, cfg.clone());
+        let mut ledger = SpendLedger::new(cfg.budget);
+        let mut st = Stats::default();
+        let out = rule_recovery_oracle(
+            &d,
+            &oracle,
+            &clusters,
+            &mut ledger,
+            &TraceSink::disabled(),
+            &mut st,
+        );
+        // Zero noise ⇒ the degraded fallback is the rule itself, so the
+        // augmented clusters equal plain rule recovery.
+        let mut st_rule = Stats::default();
+        assert_eq!(out, rule_recovery(&d, &rule, &clusters, &mut st_rule));
+        let spend = ledger.spend();
+        assert_eq!(spend.spent, 1, "budget cap hit");
+        assert!(spend.degraded > 0, "tail comparisons degraded");
+        assert_eq!(spend.calls, st.pair_comparisons, "one settle per charge");
+    }
+
+    #[test]
+    fn oracle_recovery_marks_degraded_verdicts_under_total_fault_injection() {
+        use crate::oracle::{NoisyOracle, NoisyOracleConfig, SpendLedger};
+        let d = toy();
+        let rule = MatchRule::threshold(0, FieldDistance::Jaccard, 0.1);
+        let clusters = vec![vec![0, 1], vec![3]];
+        // Every attempt faults: every settled comparison degrades to the
+        // rule, and the run still completes with the right answer.
+        let cfg = NoisyOracleConfig {
+            fault_rate: 1.0,
+            max_retries: 1,
+            ..NoisyOracleConfig::default()
+        };
+        let oracle = NoisyOracle::new(&rule, cfg);
+        let mut ledger = SpendLedger::new(None);
+        let mut st = Stats::default();
+        let out = rule_recovery_oracle(
+            &d,
+            &oracle,
+            &clusters,
+            &mut ledger,
+            &TraceSink::disabled(),
+            &mut st,
+        );
+        assert_eq!(out, vec![vec![0, 1, 2], vec![3, 4]]);
+        let spend = ledger.spend();
+        assert_eq!(spend.degraded, spend.calls, "every verdict was degraded");
+        assert!(spend.retries > 0 && spend.timeouts + spend.transient_errors > 0);
+    }
+
+    #[test]
+    fn oracle_recovery_empty_output_is_a_no_op() {
+        use crate::oracle::{NoisyOracle, NoisyOracleConfig, SpendLedger};
+        let d = toy();
+        let rule = MatchRule::threshold(0, FieldDistance::Jaccard, 0.1);
+        let oracle = NoisyOracle::new(&rule, NoisyOracleConfig::default());
+        let mut ledger = SpendLedger::new(Some(10));
+        let mut st = Stats::default();
+        // No output clusters: nothing to compare against, nothing spent.
+        let out = rule_recovery_oracle(
+            &d,
+            &oracle,
+            &[],
+            &mut ledger,
+            &TraceSink::disabled(),
+            &mut st,
+        );
+        assert!(out.is_empty());
+        assert_eq!(st.pair_comparisons, 0);
+        assert_eq!(ledger.spend().calls, 0);
+    }
+
+    #[test]
+    fn oracle_recovery_cannot_resurrect_all_excluded_entities() {
+        use crate::oracle::{NoisyOracle, NoisyOracleConfig, SpendLedger};
+        let d = toy();
+        let rule = MatchRule::threshold(0, FieldDistance::Jaccard, 0.1);
+        // Output holds only entity 2 ({5}); entities 0 and 1 are entirely
+        // excluded. Their records compare against {5}, never match, and
+        // no new cluster is created for them (§6.1.2's caveat).
+        let oracle = NoisyOracle::new(&rule, NoisyOracleConfig::default());
+        let mut ledger = SpendLedger::new(None);
+        let mut st = Stats::default();
+        let out = rule_recovery_oracle(
+            &d,
+            &oracle,
+            &[vec![5]],
+            &mut ledger,
+            &TraceSink::disabled(),
+            &mut st,
+        );
+        assert_eq!(out, vec![vec![5]]);
+        assert_eq!(ledger.spend().calls, 5, "records 0..4 each settled once");
+    }
+
+    #[test]
+    fn oracle_recovery_after_parallel_pairwise_is_thread_invariant() {
+        use crate::oracle::{NoisyOracle, NoisyOracleConfig, SpendLedger};
+        use crate::pairwise::apply_pairwise_oracle;
+        // Recovery itself is sequential; the determinism claim is about
+        // the whole noisy pipeline — parallel oracle pairwise feeding
+        // recovery must produce identical clusters and spend at any
+        // thread count.
+        let schema = adalsh_data::Schema::single("s", adalsh_data::FieldKind::Shingles);
+        let mk =
+            |v: Vec<u64>| adalsh_data::Record::single(FieldValue::Shingles(ShingleSet::new(v)));
+        let records: Vec<_> = (0..24u64)
+            .map(|i| mk((i / 4 * 10..i / 4 * 10 + 7).collect()))
+            .collect();
+        let gt = (0..24).map(|i| (i / 4) as u32).collect();
+        let d = Dataset::new(schema, records, gt);
+        let rule = MatchRule::threshold(0, FieldDistance::Jaccard, 0.4);
+        let cfg = NoisyOracleConfig {
+            false_match_rate: 0.1,
+            false_non_match_rate: 0.1,
+            fault_rate: 0.15,
+            seed: 5,
+            budget: Some(200),
+            ..NoisyOracleConfig::default()
+        };
+        let ids: Vec<u32> = (0..16).collect(); // records 16..24 excluded
+        let run = |threads: usize| {
+            let oracle = NoisyOracle::new(&rule, cfg.clone());
+            let mut ledger = SpendLedger::new(cfg.budget);
+            let mut st = Stats::default();
+            let sink = TraceSink::disabled();
+            let (clusters, _) =
+                apply_pairwise_oracle(&d, &oracle, &ids, threads, 64, &mut ledger, &sink, &mut st);
+            let out = rule_recovery_oracle(&d, &oracle, &clusters, &mut ledger, &sink, &mut st);
+            (out, st, ledger.into_spend())
+        };
+        let seq = run(1);
+        for threads in [2usize, 4, 8] {
+            assert_eq!(run(threads), seq, "threads={threads}");
+        }
     }
 }

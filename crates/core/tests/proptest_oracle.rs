@@ -1,0 +1,208 @@
+//! Differential property tests for the noisy-oracle pairwise path: at
+//! **zero noise** (no error model, no faults, no budget) the
+//! [`OracleMode::Noisy`] path must be a pure pass-through — clusters
+//! and `Stats` bit-identical to the exact path on arbitrary mixed
+//! datasets, under every rule kind and any thread count. This pins the
+//! invariant that the resilience layer (retry, majority vote, budget
+//! settlement in canonical fold order) is behaviour-free until faults
+//! are actually injected, and that oracle accounting lives entirely in
+//! `OracleSpend` rather than leaking into the paper's counters.
+//!
+//! A second property pins seeded determinism under real noise: the same
+//! `NoisyOracleConfig` yields identical clusters, `Stats`, and full
+//! spend ledgers across thread counts.
+
+use adalsh_core::{AdaLsh, AdaLshConfig, FilterOutput, NoisyOracleConfig, OracleMode};
+use adalsh_data::rule::WeightedPart;
+use adalsh_data::{
+    Dataset, DenseVector, FieldDistance, FieldKind, FieldValue, MatchRule, Record, Schema,
+    ShingleSet,
+};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+/// Datasets with one shingle field and one dense field (same shape as
+/// `proptest_pairwise`): entity `e` has a shingle core and a direction;
+/// records perturb both so match graphs have non-trivial components
+/// under every rule kind.
+fn mixed_dataset() -> impl Strategy<Value = Dataset> {
+    (
+        prop::collection::vec(1usize..7, 2..7), // entity sizes
+        any::<u64>(),                           // noise seed
+    )
+        .prop_map(|(sizes, seed)| {
+            let schema = Schema::new(vec![("s", FieldKind::Shingles), ("v", FieldKind::Dense)]);
+            let mut rng = seed | 1;
+            let mut next = move || {
+                rng = rng
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                rng
+            };
+            let mut records = Vec::new();
+            let mut gt = Vec::new();
+            for (e, &sz) in sizes.iter().enumerate() {
+                let core: Vec<u64> = (0..10).map(|i| (e as u64) * 1000 + i).collect();
+                for _ in 0..sz {
+                    let mut s = core.clone();
+                    for _ in 0..(next() % 3) {
+                        s.push((e as u64) * 1000 + 500 + next() % 30);
+                    }
+                    let dim = 4;
+                    let mut v = vec![0.0f64; dim];
+                    if next() % 7 != 0 {
+                        v[e % dim] = 1.0;
+                        let j = (next() % dim as u64) as usize;
+                        v[j] += (next() % 100) as f64 / 250.0;
+                    }
+                    records.push(Record::new(vec![
+                        FieldValue::Shingles(ShingleSet::new(s)),
+                        FieldValue::Dense(DenseVector::new(v)),
+                    ]));
+                    gt.push(e as u32);
+                }
+            }
+            Dataset::new(schema, records, gt)
+        })
+}
+
+/// All four rule kinds over the two fields, at a tunable threshold.
+fn rules(dthr: f64) -> Vec<MatchRule> {
+    let jacc = MatchRule::threshold(0, FieldDistance::Jaccard, dthr);
+    let ang = MatchRule::threshold(1, FieldDistance::Angular, dthr);
+    vec![
+        jacc.clone(),
+        ang.clone(),
+        MatchRule::And(vec![jacc.clone(), ang.clone()]),
+        MatchRule::Or(vec![jacc, ang]),
+        MatchRule::WeightedAverage {
+            parts: vec![
+                WeightedPart {
+                    field: 0,
+                    metric: FieldDistance::Jaccard,
+                    weight: 0.6,
+                },
+                WeightedPart {
+                    field: 1,
+                    metric: FieldDistance::Angular,
+                    weight: 0.4,
+                },
+            ],
+            dthr,
+        },
+    ]
+}
+
+/// Builds and runs the filter; `Err` when the sequence design is
+/// infeasible at this threshold (construction must not depend on the
+/// oracle mode, so both paths fail or succeed together).
+fn run(
+    dataset: &Dataset,
+    k: usize,
+    rule: MatchRule,
+    threads: usize,
+    oracle: OracleMode,
+) -> Result<FilterOutput, String> {
+    let mut cfg = AdaLshConfig::new(rule);
+    cfg.threads = threads;
+    cfg.oracle = oracle;
+    let mut ada = AdaLsh::for_dataset(dataset, cfg)?;
+    Ok(ada.run(dataset, k))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Zero-noise noisy oracle ≡ exact path: identical clusters and
+    /// identical full `Stats` for every rule kind and thread count. The
+    /// spend ledger still records the traffic (calls > 0 whenever the
+    /// exact path compared pairs) but never degrades.
+    #[test]
+    fn zero_noise_oracle_is_a_pass_through(
+        dataset in mixed_dataset(),
+        dthr in 0.05f64..0.95,
+        threads in 1usize..6,
+        k in 1usize..4,
+    ) {
+        for rule in rules(dthr) {
+            let exact = run(&dataset, k, rule.clone(), threads, OracleMode::Exact);
+            let noisy = run(
+                &dataset,
+                k,
+                rule.clone(),
+                threads,
+                OracleMode::Noisy(NoisyOracleConfig::default()),
+            );
+            let (exact, noisy) = match (exact, noisy) {
+                (Ok(e), Ok(n)) => (e, n),
+                (Err(e), Err(n)) => {
+                    // Infeasible sequence design at this threshold: the
+                    // failure must be oracle-independent.
+                    prop_assert_eq!(e, n, "construction errors diverge");
+                    continue;
+                }
+                (e, n) => {
+                    return Err(TestCaseError::Fail(format!(
+                        "construction feasibility depends on oracle mode: \
+                         exact={e:?} noisy={n:?}"
+                    )));
+                }
+            };
+            prop_assert_eq!(
+                &noisy.clusters,
+                &exact.clusters,
+                "clusters diverge: rule={:?} threads={}", &rule, threads
+            );
+            prop_assert_eq!(
+                &noisy.stats,
+                &exact.stats,
+                "stats diverge: rule={:?} threads={}", &rule, threads
+            );
+            prop_assert!(exact.oracle.is_none(), "exact path must not carry a ledger");
+            let spend = noisy.oracle.expect("noisy path must carry a ledger");
+            prop_assert_eq!(spend.degraded, 0, "zero noise never degrades");
+            prop_assert_eq!(spend.timeouts, 0);
+            prop_assert_eq!(spend.transient_errors, 0);
+            prop_assert_eq!(spend.retries, 0);
+            if noisy.stats.pair_comparisons > 0 {
+                prop_assert!(spend.calls > 0, "compared pairs must be ledgered");
+            }
+        }
+    }
+
+    /// Seeded determinism under real noise: error rates, faults, votes,
+    /// and a finite budget produce identical clusters, `Stats`, and the
+    /// bit-identical spend ledger at every thread count.
+    #[test]
+    fn noisy_runs_are_thread_deterministic(
+        dataset in mixed_dataset(),
+        seed in any::<u64>(),
+        fp in 0.0f64..0.3,
+        fnr in 0.0f64..0.3,
+        fault in 0.0f64..0.4,
+        budget_idx in 0usize..4,
+    ) {
+        let cfg = NoisyOracleConfig {
+            false_match_rate: fp,
+            false_non_match_rate: fnr,
+            fault_rate: fault,
+            seed,
+            budget: [None, Some(0), Some(17), Some(10_000)][budget_idx],
+            ..NoisyOracleConfig::default()
+        };
+        let rule = MatchRule::threshold(0, FieldDistance::Jaccard, 0.4);
+        let reference = run(&dataset, 2, rule.clone(), 1, OracleMode::Noisy(cfg.clone())).unwrap();
+        let ref_spend = reference.oracle.clone().expect("ledger present");
+        for threads in [2usize, 5] {
+            let out =
+                run(&dataset, 2, rule.clone(), threads, OracleMode::Noisy(cfg.clone())).unwrap();
+            prop_assert_eq!(&out.clusters, &reference.clusters, "threads={}", threads);
+            prop_assert_eq!(&out.stats, &reference.stats, "threads={}", threads);
+            prop_assert_eq!(
+                out.oracle.as_ref(),
+                Some(&ref_spend),
+                "spend ledger diverges at threads={}", threads
+            );
+        }
+    }
+}

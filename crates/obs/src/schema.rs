@@ -20,8 +20,13 @@
 //! | `pairwise` | after a pairwise call `P` | `cluster_size`, `pairs`, `distance_evals`, `kernel_checks`, `early_exits`, `blocks`, `subclusters`, `wall_micros`, `predicted_cost` |
 //! | `pairwise_block` | after each wavefront block inside `P` | `pairs_open`, `pairs_charged`, `kernel_checks`, `early_exits`, `wall_micros` |
 //! | `final_cluster` | a cluster is declared final | `rank`, `size`, `origin` (`hashed`\|`pairwise`), `level` (0 when origin is `pairwise`) |
-//! | `run_end` | leaving Algorithm 1 | the full `Stats` mirror: `rounds`, `finals`, `hash_evals`, `distance_evals`, `pair_comparisons`, `bucket_inserts`, `transitive_calls`, `pairwise_calls`, `modeled_cost`, `wall_micros` |
+//! | `oracle_call` | a pairwise-oracle adjudication is settled through the spend ledger | `attempts`, `retries`, `votes`, `timeouts`, `errors`, `spend`, `degraded` (0\|1), `matched` (0\|1), `latency_micros` (modeled) |
+//! | `run_end` | leaving Algorithm 1 | the full `Stats` mirror: `rounds`, `finals`, `hash_evals`, `distance_evals`, `pair_comparisons`, `bucket_inserts`, `transitive_calls`, `pairwise_calls`, `modeled_cost`, `wall_micros`; under a noisy oracle also the ledger mirror: `oracle_calls`, `oracle_attempts`, `oracle_retries`, `oracle_votes`, `oracle_timeouts`, `oracle_errors`, `oracle_degraded`, `oracle_spent` |
 //! | `online_query` | after an online resolver query | `k`, `records`, `fresh_records`, `advanced_records`, `hash_evals`, `wall_micros` |
+//!
+//! `oracle_call` is segment-free by scope: the rule-based recovery
+//! process adjudicates outside any engine run, so its calls appear
+//! between segments and are not reconciled against a `run_end`.
 //!
 //! ## Reconciliation identities
 //!
@@ -46,6 +51,15 @@
 //!   charges its ledger with the same `f64` additions in the same
 //!   order, and the JSONL round trip is exact (shortest round-trip
 //!   float formatting)
+//! * when `run_end` carries the oracle-ledger mirror, the segment's
+//!   `oracle_call` events reconcile against it exactly:
+//!   #`oracle_call` = `oracle_calls`, and Σ `attempts` / `retries` /
+//!   `votes` / `timeouts` / `errors` / `spend` / `degraded` equal
+//!   `oracle_attempts` / `oracle_retries` / `oracle_votes` /
+//!   `oracle_timeouts` / `oracle_errors` / `oracle_spent` /
+//!   `oracle_degraded`. A segment containing `oracle_call` events whose
+//!   `run_end` lacks the mirror is rejected (and the mirror is
+//!   all-or-nothing)
 
 use crate::trace::{OwnedEvent, OwnedValue};
 
@@ -168,6 +182,22 @@ pub const EVENTS: &[EventSpec] = &[
         optional: &[],
     },
     EventSpec {
+        name: "oracle_call",
+        scope: Scope::Any,
+        required: &[
+            ("attempts", FieldKind::U64),
+            ("retries", FieldKind::U64),
+            ("votes", FieldKind::U64),
+            ("timeouts", FieldKind::U64),
+            ("errors", FieldKind::U64),
+            ("spend", FieldKind::U64),
+            ("degraded", FieldKind::U64),
+            ("matched", FieldKind::U64),
+            ("latency_micros", FieldKind::U64),
+        ],
+        optional: &[],
+    },
+    EventSpec {
         name: "run_end",
         scope: Scope::Run,
         required: &[
@@ -182,7 +212,16 @@ pub const EVENTS: &[EventSpec] = &[
             ("modeled_cost", FieldKind::F64),
             ("wall_micros", FieldKind::U64),
         ],
-        optional: &[],
+        optional: &[
+            ("oracle_calls", FieldKind::U64),
+            ("oracle_attempts", FieldKind::U64),
+            ("oracle_retries", FieldKind::U64),
+            ("oracle_votes", FieldKind::U64),
+            ("oracle_timeouts", FieldKind::U64),
+            ("oracle_errors", FieldKind::U64),
+            ("oracle_degraded", FieldKind::U64),
+            ("oracle_spent", FieldKind::U64),
+        ],
     },
     EventSpec {
         name: "online_query",
@@ -232,6 +271,14 @@ struct Segment {
     gates: u64,
     finals: u64,
     cost_fold: f64,
+    oracle_calls: u64,
+    oracle_attempts: u64,
+    oracle_retries: u64,
+    oracle_votes: u64,
+    oracle_timeouts: u64,
+    oracle_errors: u64,
+    oracle_degraded: u64,
+    oracle_spend: u64,
 }
 
 /// Validates a trace against the taxonomy: field presence and types,
@@ -339,6 +386,15 @@ fn check_enums(idx: usize, event: &OwnedEvent) -> Result<(), String> {
             ));
         }
     }
+    if event.name == "oracle_call" {
+        for flag in ["degraded", "matched"] {
+            if let Some(v) = event.u64(flag) {
+                if v > 1 {
+                    return Err(format!("event {idx}: '{flag}' must be 0 or 1, got {v}"));
+                }
+            }
+        }
+    }
     Ok(())
 }
 
@@ -368,6 +424,16 @@ fn accumulate(seg: &mut Segment, event: &OwnedEvent) {
         }
         "gate" => seg.gates += 1,
         "final_cluster" => seg.finals += 1,
+        "oracle_call" => {
+            seg.oracle_calls += 1;
+            seg.oracle_attempts += u("attempts");
+            seg.oracle_retries += u("retries");
+            seg.oracle_votes += u("votes");
+            seg.oracle_timeouts += u("timeouts");
+            seg.oracle_errors += u("errors");
+            seg.oracle_degraded += u("degraded");
+            seg.oracle_spend += u("spend");
+        }
         _ => {}
     }
 }
@@ -459,6 +525,94 @@ fn check_segment(run: usize, seg: &Segment, end: &OwnedEvent) -> Result<(), Stri
             "run {run}: predicted_cost fold {} is not bit-identical to modeled_cost {}",
             seg.cost_fold, modeled
         ));
+    }
+    check_oracle_ledger(run, seg, end)
+}
+
+/// Reconciles the optional oracle-ledger mirror on `run_end` against
+/// the segment's `oracle_call` events. The mirror is all-or-nothing:
+/// a `run_end` carrying any `oracle_*` field must carry all eight, and
+/// a segment containing `oracle_call` events must end with the mirror.
+fn check_oracle_ledger(run: usize, seg: &Segment, end: &OwnedEvent) -> Result<(), String> {
+    const MIRROR: [&str; 8] = [
+        "oracle_calls",
+        "oracle_attempts",
+        "oracle_retries",
+        "oracle_votes",
+        "oracle_timeouts",
+        "oracle_errors",
+        "oracle_degraded",
+        "oracle_spent",
+    ];
+    let present = MIRROR.iter().filter(|f| end.get(f).is_some()).count();
+    if present == 0 {
+        if seg.oracle_calls > 0 {
+            return Err(format!(
+                "run {run}: segment has {} oracle_call events but run_end carries no oracle ledger",
+                seg.oracle_calls
+            ));
+        }
+        return Ok(());
+    }
+    if present != MIRROR.len() {
+        let missing: Vec<&str> = MIRROR
+            .iter()
+            .filter(|f| end.get(f).is_none())
+            .copied()
+            .collect();
+        return Err(format!(
+            "run {run}: run_end oracle ledger is partial, missing {missing:?}"
+        ));
+    }
+    let want = |name: &str| end.u64(name).unwrap_or(0);
+    let identities: [(&str, u64, u64); 8] = [
+        (
+            "#oracle_call = oracle_calls",
+            seg.oracle_calls,
+            want("oracle_calls"),
+        ),
+        (
+            "Σ oracle_call.attempts = oracle_attempts",
+            seg.oracle_attempts,
+            want("oracle_attempts"),
+        ),
+        (
+            "Σ oracle_call.retries = oracle_retries",
+            seg.oracle_retries,
+            want("oracle_retries"),
+        ),
+        (
+            "Σ oracle_call.votes = oracle_votes",
+            seg.oracle_votes,
+            want("oracle_votes"),
+        ),
+        (
+            "Σ oracle_call.timeouts = oracle_timeouts",
+            seg.oracle_timeouts,
+            want("oracle_timeouts"),
+        ),
+        (
+            "Σ oracle_call.errors = oracle_errors",
+            seg.oracle_errors,
+            want("oracle_errors"),
+        ),
+        (
+            "Σ oracle_call.degraded = oracle_degraded",
+            seg.oracle_degraded,
+            want("oracle_degraded"),
+        ),
+        (
+            "Σ oracle_call.spend = oracle_spent",
+            seg.oracle_spend,
+            want("oracle_spent"),
+        ),
+    ];
+    for (name, got, expected) in identities {
+        if got != expected {
+            return Err(format!(
+                "run {run}: identity '{name}' violated: {got} != {expected}"
+            ));
+        }
     }
     Ok(())
 }
@@ -703,5 +857,103 @@ mod tests {
         let mut t = valid_trace();
         t.extend(valid_trace());
         assert_eq!(validate(&t).unwrap().runs, 2);
+    }
+
+    /// `valid_trace()` with one `oracle_call` inside the segment and the
+    /// matching ledger mirror on `run_end`.
+    fn valid_oracle_trace() -> Vec<OwnedEvent> {
+        let mut t = valid_trace();
+        let call = ev(
+            "oracle_call",
+            &[
+                ("attempts", u(3)),
+                ("retries", u(2)),
+                ("votes", u(0)),
+                ("timeouts", u(1)),
+                ("errors", u(1)),
+                ("spend", u(3)),
+                ("degraded", u(0)),
+                ("matched", u(1)),
+                ("latency_micros", u(500)),
+            ],
+        );
+        // Insert just after the pairwise_block, still inside the segment.
+        let at = t.iter().position(|e| e.name == "pairwise_block").unwrap() + 1;
+        t.insert(at, call);
+        let end = t.iter_mut().find(|e| e.name == "run_end").unwrap();
+        end.fields.extend([
+            ("oracle_calls".to_string(), u(1)),
+            ("oracle_attempts".to_string(), u(3)),
+            ("oracle_retries".to_string(), u(2)),
+            ("oracle_votes".to_string(), u(0)),
+            ("oracle_timeouts".to_string(), u(1)),
+            ("oracle_errors".to_string(), u(1)),
+            ("oracle_degraded".to_string(), u(0)),
+            ("oracle_spent".to_string(), u(3)),
+        ]);
+        t
+    }
+
+    #[test]
+    fn oracle_segment_reconciles() {
+        assert_eq!(validate(&valid_oracle_trace()).unwrap().runs, 1);
+    }
+
+    #[test]
+    fn each_oracle_identity_is_enforced() {
+        for field in [
+            "oracle_calls",
+            "oracle_attempts",
+            "oracle_retries",
+            "oracle_votes",
+            "oracle_timeouts",
+            "oracle_errors",
+            "oracle_degraded",
+            "oracle_spent",
+        ] {
+            let mut t = valid_oracle_trace();
+            set(&mut t, "run_end", field, u(999));
+            let err = validate(&t).unwrap_err();
+            assert!(err.contains(field), "field {field}: {err}");
+        }
+    }
+
+    #[test]
+    fn oracle_calls_without_run_end_ledger_are_rejected() {
+        let mut t = valid_oracle_trace();
+        let end = t.iter_mut().find(|e| e.name == "run_end").unwrap();
+        end.fields.retain(|(n, _)| !n.starts_with("oracle_"));
+        assert!(validate(&t).unwrap_err().contains("no oracle ledger"));
+    }
+
+    #[test]
+    fn partial_oracle_ledger_is_rejected() {
+        let mut t = valid_oracle_trace();
+        let end = t.iter_mut().find(|e| e.name == "run_end").unwrap();
+        end.fields.retain(|(n, _)| n != "oracle_spent");
+        assert!(validate(&t).unwrap_err().contains("partial"));
+    }
+
+    #[test]
+    fn oracle_call_outside_a_segment_is_valid() {
+        // The recovery process adjudicates between runs; its calls are
+        // segment-free and not reconciled.
+        let call = valid_oracle_trace()
+            .into_iter()
+            .find(|e| e.name == "oracle_call")
+            .unwrap();
+        let mut t = valid_trace();
+        t.push(call);
+        assert_eq!(validate(&t).unwrap().runs, 1);
+    }
+
+    #[test]
+    fn oracle_call_flags_must_be_binary() {
+        for flag in ["degraded", "matched"] {
+            let mut t = valid_oracle_trace();
+            set(&mut t, "oracle_call", flag, u(2));
+            let err = validate(&t).unwrap_err();
+            assert!(err.contains(flag), "flag {flag}: {err}");
+        }
     }
 }

@@ -52,6 +52,12 @@ pub fn summarize(events: &[OwnedEvent]) -> String {
     let mut query_fresh = 0u64;
     let mut query_advanced = 0u64;
     let mut query_hash_evals = 0u64;
+    let mut oracle_calls = 0u64;
+    let mut oracle_retries = 0u64;
+    let mut oracle_timeouts = 0u64;
+    let mut oracle_errors = 0u64;
+    let mut oracle_degraded = 0u64;
+    let mut oracle_spend = 0u64;
 
     let u = |event: &OwnedEvent, name: &str| event.u64(name).unwrap_or(0);
     for event in events {
@@ -95,6 +101,14 @@ pub fn summarize(events: &[OwnedEvent]) -> String {
                 query_fresh += u(event, "fresh_records");
                 query_advanced += u(event, "advanced_records");
                 query_hash_evals += u(event, "hash_evals");
+            }
+            "oracle_call" => {
+                oracle_calls += 1;
+                oracle_retries += u(event, "retries");
+                oracle_timeouts += u(event, "timeouts");
+                oracle_errors += u(event, "errors");
+                oracle_degraded += u(event, "degraded");
+                oracle_spend += u(event, "spend");
             }
             _ => {}
         }
@@ -166,6 +180,13 @@ pub fn summarize(events: &[OwnedEvent]) -> String {
         out.push_str(&format!(
             "online: {queries} query(ies), {query_fresh} fresh records, \
              {query_advanced} advanced, {query_hash_evals} hash evals\n"
+        ));
+    }
+    if oracle_calls > 0 {
+        out.push_str(&format!(
+            "oracle: {oracle_calls} call(s), {oracle_retries} retries, \
+             {oracle_timeouts} timeouts, {oracle_errors} errors, \
+             {oracle_degraded} degraded, spend={oracle_spend}\n"
         ));
     }
     out.push_str(&format!(
@@ -291,6 +312,43 @@ mod tests {
     fn empty_trace_renders_without_panicking() {
         let table = summarize(&[]);
         assert!(table.contains("0 run(s)"), "{table}");
+    }
+
+    #[test]
+    fn oracle_calls_get_their_own_footer() {
+        let events = vec![
+            ev(
+                "oracle_call",
+                &[
+                    ("attempts", u(3)),
+                    ("retries", u(2)),
+                    ("votes", u(0)),
+                    ("timeouts", u(1)),
+                    ("errors", u(1)),
+                    ("spend", u(3)),
+                    ("degraded", u(0)),
+                    ("matched", u(1)),
+                    ("latency_micros", u(500)),
+                ],
+            ),
+            ev(
+                "oracle_call",
+                &[
+                    ("attempts", u(1)),
+                    ("retries", u(0)),
+                    ("votes", u(0)),
+                    ("timeouts", u(0)),
+                    ("errors", u(0)),
+                    ("spend", u(0)),
+                    ("degraded", u(1)),
+                    ("matched", u(0)),
+                    ("latency_micros", u(0)),
+                ],
+            ),
+        ];
+        let table = summarize(&events);
+        assert!(table.contains("oracle: 2 call(s), 2 retries"), "{table}");
+        assert!(table.contains("1 degraded, spend=3"), "{table}");
     }
 
     #[test]

@@ -36,8 +36,10 @@
 //! | `POST /ingest` | schema-validated batch intake; returns assigned ids + `visible_epoch`; `503` + `Retry-After` when the queue is full |
 //! | `GET /topk?k=N[&wait_epoch=E][&min_records=R]` | top-k clusters + resolve stats from the published snapshot; optional read-your-writes barrier |
 //! | `GET /healthz` | lock-free liveness + record count + epoch |
-//! | `GET /metrics` | Prometheus text: requests, latency, queue/epoch, engine counters |
-//! | `POST /snapshot` | state persisted by the resolver thread at an epoch boundary |
+//! | `GET /metrics` | Prometheus text: requests, latency, queue/epoch, engine + oracle counters |
+//! | `POST /snapshot` | state persisted by the resolver thread at an epoch boundary (fsynced temp file + atomic rename + directory fsync) |
+//! | `POST /adjudicate` | external pairwise verdicts into the noisy oracle's overlay; re-resolves and re-publishes at the current epoch (400 under `--oracle exact`) |
+//! | `GET /adjudicate` | adjudication worklist: overlay version/size + the published snapshot's budget-degraded pairs |
 
 pub mod http;
 pub mod metrics;

@@ -43,6 +43,10 @@ pub struct Metrics {
     /// Records accepted by `/ingest` since startup (resumed records are
     /// not counted: this meters service work, not corpus size).
     ingested_records: Counter,
+    /// External verdicts accepted over `POST /adjudicate`.
+    overlay_verdicts: Counter,
+    /// Version of the external-verdict overlay (bumps per verdict).
+    overlay_version: Gauge,
     /// Trace-fed engine families (shares `registry`).
     engine: Arc<EngineMetrics>,
     /// Ingest-pipeline families (shares `registry`); handed to the
@@ -69,6 +73,14 @@ impl Metrics {
             "adalsh_ingested_records_total",
             "Records accepted over /ingest since startup.",
         );
+        let overlay_verdicts = registry.counter(
+            "adalsh_oracle_overlay_verdicts_total",
+            "External pairwise verdicts accepted over POST /adjudicate.",
+        );
+        let overlay_version = registry.gauge(
+            "adalsh_oracle_overlay_version",
+            "Version of the external-verdict overlay (bumps per verdict).",
+        );
         let hash_evals = registry.counter(
             "adalsh_hash_evals_total",
             "Elementary hash evaluations across all resolve passes.",
@@ -84,6 +96,8 @@ impl Metrics {
             requests,
             latency,
             ingested_records,
+            overlay_verdicts,
+            overlay_version,
             engine,
             pipeline,
         }
@@ -99,6 +113,13 @@ impl Metrics {
     /// Adds newly ingested records to the intake counter.
     pub fn observe_ingest(&self, records: usize) {
         self.ingested_records.add(records as u64);
+    }
+
+    /// Records one accepted `/adjudicate` request: the number of
+    /// verdicts applied and the overlay version they produced.
+    pub fn observe_adjudication(&self, verdicts: usize, overlay_version: u64) {
+        self.overlay_verdicts.add(verdicts as u64);
+        self.overlay_version.set(overlay_version);
     }
 
     /// The pipeline's handle bundle (cheap clone — every member is
@@ -207,6 +228,14 @@ pub struct EngineMetrics {
     hash_round_seconds: Histogram,
     pairwise_block_seconds: Histogram,
     gate_decisions: LabeledCounter,
+    oracle_calls: Counter,
+    oracle_attempts: Counter,
+    oracle_retries: Counter,
+    oracle_timeouts: Counter,
+    oracle_errors: Counter,
+    oracle_degraded: Counter,
+    oracle_spend: Counter,
+    oracle_verdicts: LabeledCounter,
 }
 
 impl EngineMetrics {
@@ -227,6 +256,39 @@ impl EngineMetrics {
                 "adalsh_engine_gate_decisions_total",
                 "Line-5 jump-gate decisions, by chosen action.",
                 &["action"],
+            ),
+            oracle_calls: registry.counter(
+                "adalsh_oracle_calls_total",
+                "Settled pairwise-oracle adjudications.",
+            ),
+            oracle_attempts: registry.counter(
+                "adalsh_oracle_attempts_total",
+                "Oracle attempts, including retries and vote slots.",
+            ),
+            oracle_retries: registry.counter(
+                "adalsh_oracle_retries_total",
+                "Oracle attempts retried after a timeout or transient error.",
+            ),
+            oracle_timeouts: registry.counter(
+                "adalsh_oracle_timeouts_total",
+                "Oracle attempts reaped by the per-attempt timeout.",
+            ),
+            oracle_errors: registry.counter(
+                "adalsh_oracle_errors_total",
+                "Oracle attempts failed with a transient error.",
+            ),
+            oracle_degraded: registry.counter(
+                "adalsh_oracle_degraded_total",
+                "Adjudications degraded to the cheap rule (budget or deadline).",
+            ),
+            oracle_spend: registry.counter(
+                "adalsh_oracle_spend_total",
+                "Budget units charged by settled adjudications.",
+            ),
+            oracle_verdicts: registry.labeled_counter(
+                "adalsh_oracle_verdicts_total",
+                "Settled oracle verdicts, by outcome.",
+                &["verdict"],
             ),
         }
     }
@@ -249,6 +311,22 @@ impl Subscriber for EngineMetrics {
                 if let Some(action) = event.str("action") {
                     self.gate_decisions.inc(&[action]);
                 }
+            }
+            "oracle_call" => {
+                let u = |name: &str| event.u64(name).unwrap_or(0);
+                self.oracle_calls.inc();
+                self.oracle_attempts.add(u("attempts"));
+                self.oracle_retries.add(u("retries"));
+                self.oracle_timeouts.add(u("timeouts"));
+                self.oracle_errors.add(u("errors"));
+                self.oracle_degraded.add(u("degraded"));
+                self.oracle_spend.add(u("spend"));
+                let verdict = if u("matched") == 1 {
+                    "match"
+                } else {
+                    "non-match"
+                };
+                self.oracle_verdicts.inc(&[verdict]);
             }
             _ => {}
         }
@@ -363,6 +441,71 @@ mod tests {
             .unwrap()
             .value;
         assert_eq!(inf as u64, 3, "+Inf bucket counts every observation");
+    }
+
+    #[test]
+    fn oracle_families_fold_oracle_call_events() {
+        let m = Metrics::new();
+        // Pre-registered before any noisy run.
+        let before = m.render();
+        assert!(before.contains("adalsh_oracle_calls_total 0"), "{before}");
+        assert!(
+            before.contains("adalsh_oracle_overlay_verdicts_total 0"),
+            "{before}"
+        );
+
+        let sink = TraceSink::new(m.engine_subscriber());
+        sink.emit(
+            "oracle_call",
+            &[
+                ("attempts", Value::U64(3)),
+                ("retries", Value::U64(2)),
+                ("votes", Value::U64(0)),
+                ("timeouts", Value::U64(1)),
+                ("errors", Value::U64(1)),
+                ("spend", Value::U64(3)),
+                ("degraded", Value::U64(0)),
+                ("matched", Value::U64(1)),
+                ("latency_micros", Value::U64(500)),
+            ],
+        );
+        sink.emit(
+            "oracle_call",
+            &[
+                ("attempts", Value::U64(1)),
+                ("retries", Value::U64(0)),
+                ("votes", Value::U64(0)),
+                ("timeouts", Value::U64(0)),
+                ("errors", Value::U64(0)),
+                ("spend", Value::U64(0)),
+                ("degraded", Value::U64(1)),
+                ("matched", Value::U64(0)),
+                ("latency_micros", Value::U64(0)),
+            ],
+        );
+        m.observe_adjudication(2, 2);
+
+        let text = m.render();
+        assert!(text.contains("adalsh_oracle_calls_total 2"), "{text}");
+        assert!(text.contains("adalsh_oracle_attempts_total 4"), "{text}");
+        assert!(text.contains("adalsh_oracle_retries_total 2"), "{text}");
+        assert!(text.contains("adalsh_oracle_timeouts_total 1"), "{text}");
+        assert!(text.contains("adalsh_oracle_errors_total 1"), "{text}");
+        assert!(text.contains("adalsh_oracle_degraded_total 1"), "{text}");
+        assert!(text.contains("adalsh_oracle_spend_total 3"), "{text}");
+        assert!(
+            text.contains("adalsh_oracle_verdicts_total{verdict=\"match\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("adalsh_oracle_verdicts_total{verdict=\"non-match\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("adalsh_oracle_overlay_verdicts_total 2"),
+            "{text}"
+        );
+        assert!(text.contains("adalsh_oracle_overlay_version 2"), "{text}");
     }
 
     #[test]

@@ -57,7 +57,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use adalsh_core::{OnlineAdaLsh, Stats};
+use adalsh_core::{OnlineAdaLsh, OracleSpend, Stats};
 use adalsh_data::{MatchRule, Record, Schema};
 
 use crate::metrics::PipelineMetrics;
@@ -107,6 +107,10 @@ pub struct ResolvedSnapshot {
     pub clusters: Vec<Vec<u32>>,
     /// Counters of the resolve pass that produced `clusters`.
     pub stats: Stats,
+    /// Oracle-ledger totals of that resolve pass (noisy oracle only):
+    /// spend, retries, and the degraded pairs awaiting external
+    /// adjudication over `POST /adjudicate`.
+    pub oracle: Option<OracleSpend>,
     /// Wall time of that resolve pass.
     pub resolve_wall: Duration,
 }
@@ -151,6 +155,12 @@ enum Command {
     },
     Snapshot {
         reply: SyncSender<Result<SnapshotDone, String>>,
+    },
+    /// Re-resolve and re-publish at the current epoch — issued after
+    /// `POST /adjudicate` lands external verdicts so they become
+    /// visible without waiting for the next ingest.
+    Reresolve {
+        reply: SyncSender<Arc<ResolvedSnapshot>>,
     },
 }
 
@@ -208,6 +218,7 @@ impl Pipeline {
             resolve_k,
             clusters: output.clusters,
             stats: output.stats,
+            oracle: output.oracle,
             resolve_wall: output.wall,
         });
         metrics
@@ -355,6 +366,33 @@ impl Pipeline {
         }
     }
 
+    /// Asks the resolver thread to re-resolve and re-publish at the
+    /// current epoch, returning the fresh snapshot. Used after external
+    /// verdicts land: the resolver's overlay-versioned cache misses and
+    /// the re-adjudicated answer becomes visible immediately.
+    ///
+    /// # Errors
+    /// Fails when the pipeline is shutting down or the resolver is
+    /// stuck behind an enormous backlog.
+    pub fn reresolve(&self) -> Result<Arc<ResolvedSnapshot>, String> {
+        let (reply, done) = sync_channel(1);
+        {
+            let intake = lock_unpoisoned(&self.intake);
+            let Some(sender) = intake.sender.as_ref() else {
+                return Err("pipeline is shutting down".to_string());
+            };
+            self.metrics.queue_depth.inc();
+            if sender.send(Command::Reresolve { reply }).is_err() {
+                self.metrics.queue_depth.dec();
+                return Err("pipeline is shutting down".to_string());
+            }
+        }
+        match done.recv_timeout(Duration::from_secs(60)) {
+            Ok(snapshot) => Ok(snapshot),
+            Err(_) => Err("timed out waiting for the resolver to re-resolve".to_string()),
+        }
+    }
+
     /// Blocks until the published snapshot satisfies `epoch ≥ min_epoch`
     /// and `records ≥ min_records`, or the barrier timeout elapses.
     /// Returns `true` when satisfied. Plain reads never enter here.
@@ -449,6 +487,27 @@ fn drainer_loop(
                 };
                 let _ = reply.send(result);
             }
+            Command::Reresolve { reply } => {
+                let pass_start = Instant::now();
+                let epoch = lock_unpoisoned(&barrier.0).epoch;
+                let output = resolver.query_cached(resolve_k);
+                metrics.hash_evals.add(output.stats.hash_evals);
+                metrics.pairwise_evals.add(output.stats.pair_comparisons);
+                let snapshot = Arc::new(ResolvedSnapshot {
+                    epoch,
+                    records: resolver.len(),
+                    resolve_k,
+                    clusters: output.clusters,
+                    stats: output.stats,
+                    oracle: output.oracle,
+                    resolve_wall: output.wall,
+                });
+                publisher.publish(Arc::clone(&snapshot));
+                metrics
+                    .publish_seconds
+                    .observe(pass_start.elapsed().as_secs_f64());
+                let _ = reply.send(snapshot);
+            }
             Command::Ingest { records, epoch } => {
                 let pass_start = Instant::now();
                 let mut batch = records;
@@ -467,8 +526,10 @@ fn drainer_loop(
                                     last_epoch = epoch;
                                     applied_batches += 1;
                                 }
-                                snapshot @ Command::Snapshot { .. } => {
-                                    carried = Some(snapshot);
+                                other => {
+                                    // Snapshot / re-resolve commands mark an
+                                    // epoch boundary: finish this pass first.
+                                    carried = Some(other);
                                     break;
                                 }
                             }
@@ -490,6 +551,7 @@ fn drainer_loop(
                     resolve_k,
                     clusters: output.clusters,
                     stats: output.stats,
+                    oracle: output.oracle,
                     resolve_wall: output.wall,
                 });
                 let records_total = snapshot.records as u64;

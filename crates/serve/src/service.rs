@@ -19,8 +19,9 @@
 //! structured `{"error": …}` responses with the appropriate status.
 
 use std::path::PathBuf;
+use std::sync::Arc;
 
-use adalsh_core::OnlineAdaLsh;
+use adalsh_core::{OnlineAdaLsh, OracleMode, VerdictOverlay};
 use adalsh_data::{MatchRule, Record};
 use serde::{Deserialize, Serialize, Value};
 
@@ -38,6 +39,10 @@ pub struct Service {
     /// Echoed in `POST /snapshot` responses (the pipeline owns the
     /// actual writer).
     snapshot_path: Option<PathBuf>,
+    /// External-verdict store behind `POST /adjudicate`; present only
+    /// when the resolver runs a noisy oracle. Shared with the resolver,
+    /// which consults it before spending any oracle budget.
+    overlay: Option<Arc<VerdictOverlay>>,
 }
 
 impl Service {
@@ -61,6 +66,16 @@ impl Service {
         let metrics = Metrics::new();
         let composed = resolver.trace().with(metrics.engine_subscriber());
         resolver.set_trace(composed);
+        // A noisy-oracle resolver gets an external-verdict overlay so
+        // POST /adjudicate can overrule individual pair verdicts.
+        let overlay = match resolver.config().oracle {
+            OracleMode::Noisy(_) => {
+                let overlay = Arc::new(VerdictOverlay::default());
+                resolver.set_oracle_overlay(Some(Arc::clone(&overlay)));
+                Some(overlay)
+            }
+            OracleMode::Exact => None,
+        };
         let pipeline = Pipeline::start(
             resolver,
             rule,
@@ -72,6 +87,7 @@ impl Service {
             pipeline,
             metrics,
             snapshot_path,
+            overlay,
         }
     }
 
@@ -90,7 +106,9 @@ impl Service {
             ("GET", "/metrics") => ("/metrics", Response::text(200, self.metrics.render())),
             ("POST", "/ingest") => ("/ingest", self.ingest(request)),
             ("POST", "/snapshot") => ("/snapshot", self.snapshot()),
-            (_, "/healthz" | "/topk" | "/metrics" | "/ingest" | "/snapshot") => (
+            ("POST", "/adjudicate") => ("/adjudicate", self.adjudicate(request)),
+            ("GET", "/adjudicate") => ("/adjudicate", self.adjudication_state()),
+            (_, "/healthz" | "/topk" | "/metrics" | "/ingest" | "/snapshot" | "/adjudicate") => (
                 "unmatched",
                 Response::error(405, &format!("method {} not allowed here", request.method)),
             ),
@@ -241,6 +259,103 @@ impl Service {
         }
     }
 
+    /// `POST /adjudicate`: external pairwise verdicts. Body shape
+    /// `{"verdicts":[{"a":0,"b":1,"matched":false}, …]}`. Each verdict
+    /// lands in the overlay (authoritative for its pair: the noisy
+    /// oracle consults the overlay before spending any budget), then
+    /// the resolver re-resolves at the current epoch so the corrected
+    /// answer is visible to `/topk` when this request returns.
+    fn adjudicate(&self, request: &Request) -> Response {
+        let Some(overlay) = &self.overlay else {
+            return Response::error(
+                400,
+                "external adjudication requires a noisy oracle: \
+                 start the server with --oracle noisy",
+            );
+        };
+        let body = match request.body_utf8() {
+            Ok(text) => text,
+            Err(e) => return Response::error(400, &e),
+        };
+        let parsed: Value = match serde_json::from_str(body) {
+            Ok(v) => v,
+            Err(e) => return Response::error(400, &format!("body is not valid JSON: {e}")),
+        };
+        let Some(verdicts_value) = parsed.get("verdicts") else {
+            return Response::error(400, "body must be an object with a 'verdicts' array");
+        };
+        let verdicts = match Vec::<Verdict>::from_value(verdicts_value) {
+            Ok(v) => v,
+            Err(e) => return Response::error(400, &format!("bad verdict in 'verdicts': {e}")),
+        };
+        if verdicts.is_empty() {
+            return Response::error(400, "'verdicts' must not be empty");
+        }
+        if let Some(bad) = verdicts.iter().find(|v| v.a == v.b) {
+            return Response::error(
+                400,
+                &format!(
+                    "verdict pair ({}, {}) must name two distinct records",
+                    bad.a, bad.b
+                ),
+            );
+        }
+
+        let mut version = overlay.version();
+        for verdict in &verdicts {
+            version = overlay.set(verdict.a, verdict.b, verdict.matched);
+        }
+        self.metrics.observe_adjudication(verdicts.len(), version);
+        match self.pipeline.reresolve() {
+            Ok(snapshot) => {
+                let body = Value::Map(vec![
+                    ("applied".to_string(), Value::U64(verdicts.len() as u64)),
+                    ("overlay_version".to_string(), Value::U64(version)),
+                    ("epoch".to_string(), Value::U64(snapshot.epoch)),
+                    ("records".to_string(), Value::U64(snapshot.records as u64)),
+                ]);
+                json_ok(&body)
+            }
+            Err(e) => Response::error(503, &e),
+        }
+    }
+
+    /// `GET /adjudicate`: the adjudication worklist — overlay state plus
+    /// the published snapshot's degraded pairs (verdicts the oracle fell
+    /// back to the cheap rule for; prime candidates for an external
+    /// verdict).
+    fn adjudication_state(&self) -> Response {
+        let Some(overlay) = &self.overlay else {
+            return Response::error(
+                400,
+                "external adjudication requires a noisy oracle: \
+                 start the server with --oracle noisy",
+            );
+        };
+        let snapshot = self.pipeline.current();
+        let degraded: Vec<Value> = snapshot
+            .oracle
+            .as_ref()
+            .map(|spend| {
+                spend
+                    .degraded_pairs
+                    .iter()
+                    .map(|&(a, b)| Value::Seq(vec![Value::U64(a as u64), Value::U64(b as u64)]))
+                    .collect()
+            })
+            .unwrap_or_default();
+        let body = Value::Map(vec![
+            ("overlay_version".to_string(), Value::U64(overlay.version())),
+            (
+                "overlay_verdicts".to_string(),
+                Value::U64(overlay.len() as u64),
+            ),
+            ("epoch".to_string(), Value::U64(snapshot.epoch)),
+            ("degraded_pairs".to_string(), Value::Seq(degraded)),
+        ]);
+        json_ok(&body)
+    }
+
     /// `POST /snapshot`: the resolver thread persists at the next epoch
     /// boundary; readers are never blocked, only this caller waits.
     fn snapshot(&self) -> Response {
@@ -262,6 +377,14 @@ impl Service {
             Err(e) => Response::error(500, &e),
         }
     }
+}
+
+/// One external pairwise verdict in a `POST /adjudicate` body.
+#[derive(Debug, Deserialize)]
+struct Verdict {
+    a: u32,
+    b: u32,
+    matched: bool,
 }
 
 /// Parses an optional non-negative integer query parameter.
@@ -288,7 +411,7 @@ fn json_ok(value: &Value) -> Response {
 /// provenance (`epoch`, `records`, `resolve_k`).
 fn topk_value(snapshot: &ResolvedSnapshot, k: usize) -> Value {
     let clusters: Vec<Vec<u32>> = snapshot.clusters.iter().take(k).cloned().collect();
-    Value::Map(vec![
+    let mut fields = vec![
         ("k".to_string(), Value::U64(k as u64)),
         ("epoch".to_string(), Value::U64(snapshot.epoch)),
         ("records".to_string(), Value::U64(snapshot.records as u64)),
@@ -302,7 +425,11 @@ fn topk_value(snapshot: &ResolvedSnapshot, k: usize) -> Value {
             "wall_micros".to_string(),
             Value::U64(snapshot.resolve_wall.as_micros() as u64),
         ),
-    ])
+    ];
+    if let Some(spend) = &snapshot.oracle {
+        fields.push(("oracle".to_string(), spend.to_value()));
+    }
+    Value::Map(fields)
 }
 
 #[cfg(test)]
@@ -457,5 +584,174 @@ mod tests {
         let service = test_service();
         let response = service.handle(&post("/snapshot", "")).1;
         assert_eq!(response.status, 400);
+    }
+
+    fn noisy_service(cfg: adalsh_core::NoisyOracleConfig) -> Service {
+        let schema = Schema::single("s", FieldKind::Shingles);
+        let records: Vec<Record> = (0..8)
+            .map(|i| shingle_record(&[i, i + 1, i + 2, 100]))
+            .collect();
+        let labels = (0..8).map(|i| i as u32 / 2).collect();
+        let dataset = Dataset::new(schema, records, labels);
+        let rule = MatchRule::threshold(0, FieldDistance::Jaccard, 0.6);
+        let mut config = AdaLshConfig::new(rule.clone());
+        config.oracle = adalsh_core::OracleMode::Noisy(cfg);
+        let resolver = OnlineAdaLsh::new(&dataset, config).unwrap();
+        Service::new(resolver, rule, None)
+    }
+
+    #[test]
+    fn adjudicate_requires_a_noisy_oracle() {
+        let service = test_service();
+        let body = "{\"verdicts\":[{\"a\":0,\"b\":1,\"matched\":false}]}";
+        assert_eq!(service.handle(&post("/adjudicate", body)).1.status, 400);
+        assert_eq!(service.handle(&get("/adjudicate")).1.status, 400);
+        // Route exists for other methods too: 405, not 404.
+        let put = Request {
+            method: "PUT".to_string(),
+            path: "/adjudicate".to_string(),
+            query: Vec::new(),
+            body: Vec::new(),
+        };
+        assert_eq!(service.handle(&put).1.status, 405);
+    }
+
+    #[test]
+    fn adjudicate_validates_its_body() {
+        let service = noisy_service(adalsh_core::NoisyOracleConfig::default());
+        assert_eq!(service.handle(&post("/adjudicate", "nope")).1.status, 400);
+        assert_eq!(service.handle(&post("/adjudicate", "{}")).1.status, 400);
+        assert_eq!(
+            service
+                .handle(&post("/adjudicate", "{\"verdicts\":[]}"))
+                .1
+                .status,
+            400
+        );
+        // A pair must name two distinct records.
+        let own = "{\"verdicts\":[{\"a\":3,\"b\":3,\"matched\":true}]}";
+        let response = service.handle(&post("/adjudicate", own)).1;
+        assert_eq!(response.status, 400);
+        assert!(String::from_utf8(response.body)
+            .unwrap()
+            .contains("distinct"));
+    }
+
+    #[test]
+    fn adjudicate_overrules_the_oracle_and_republishes() {
+        // Zero noise: the oracle tracks the rule exactly until the
+        // overlay says otherwise.
+        let service = noisy_service(adalsh_core::NoisyOracleConfig::default());
+        let before = service.pipeline.current();
+        assert!(
+            before.stats.pair_comparisons > 0,
+            "precondition: the boot resolve adjudicates pairs through the oracle"
+        );
+        let spend = before
+            .oracle
+            .as_ref()
+            .expect("noisy snapshot carries spend");
+        assert!(spend.calls > 0, "oracle settled the pairwise verdicts");
+        let top = &before.clusters[0];
+        assert!(top.len() >= 2, "precondition: a non-trivial top cluster");
+        let (a, b) = (top[0], top[1]);
+
+        let body = format!("{{\"verdicts\":[{{\"a\":{a},\"b\":{b},\"matched\":false}}]}}");
+        let response = service.handle(&post("/adjudicate", &body)).1;
+        assert_eq!(response.status, 200);
+        let text = String::from_utf8(response.body).unwrap();
+        assert!(text.contains("\"applied\":1"), "{text}");
+        assert!(text.contains("\"overlay_version\":1"), "{text}");
+
+        // The re-published answer no longer co-clusters the pair.
+        let after = service.pipeline.current();
+        assert_eq!(after.epoch, before.epoch, "re-resolve keeps the epoch");
+        assert!(
+            !after
+                .clusters
+                .iter()
+                .any(|c| c.contains(&a) && c.contains(&b)),
+            "overruled pair must be split: {:?}",
+            after.clusters
+        );
+
+        // The worklist endpoint reflects the overlay.
+        let state = service.handle(&get("/adjudicate")).1;
+        assert_eq!(state.status, 200);
+        let text = String::from_utf8(state.body).unwrap();
+        assert!(text.contains("\"overlay_version\":1"), "{text}");
+        assert!(text.contains("\"overlay_verdicts\":1"), "{text}");
+
+        // /topk exposes the oracle ledger of the re-resolve.
+        let read = service.handle(&get("/topk?k=2")).1;
+        assert_eq!(read.status, 200);
+        let text = String::from_utf8(read.body).unwrap();
+        assert!(text.contains("\"oracle\":"), "{text}");
+
+        // Metrics carry the overlay families.
+        let metrics = service.metrics.render();
+        assert!(
+            metrics.contains("adalsh_oracle_overlay_verdicts_total 1"),
+            "{metrics}"
+        );
+        assert!(
+            metrics.contains("adalsh_oracle_overlay_version 1"),
+            "{metrics}"
+        );
+        assert!(metrics.contains("adalsh_oracle_calls_total"), "{metrics}");
+    }
+
+    /// Satellite chaos drill: a resolver-thread panic (injected via the
+    /// oracle's test-only `panic_on_record` hook on the first ingested
+    /// record id) must not wedge readers. `/topk` and `/healthz` keep
+    /// serving the last published epoch lock-free, and `/ingest`
+    /// surfaces 503 once the intake channel disconnects — never a hang,
+    /// never a poisoned-read panic.
+    #[test]
+    fn resolver_panic_keeps_reads_alive_and_sheds_writes() {
+        let service = noisy_service(adalsh_core::NoisyOracleConfig {
+            // Boot records are ids 0..8; the first ingested record gets
+            // id 8 and detonates during its resolve pass.
+            panic_on_record: Some(8),
+            ..Default::default()
+        });
+        let before = service.pipeline.current();
+        assert_eq!(before.epoch, 0, "boot resolve avoids the tripwire");
+
+        // A duplicate of record 0 joins its cluster, forcing a pairwise
+        // adjudication against id 8 on the resolver thread.
+        let body = "{\"records\":[{\"fields\":[{\"Shingles\":[0,1,2,100]}]}]}";
+        let accepted = service.handle(&post("/ingest", body)).1;
+        assert_eq!(accepted.status, 200, "intake happens before the panic");
+
+        // The write path must surface the dead resolver as 503 (the
+        // channel disconnects when the thread unwinds) — bounded wait.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            let response = service.handle(&post("/ingest", body)).1;
+            if response.status == 503 {
+                let text = String::from_utf8(response.body).unwrap();
+                assert!(text.contains("shutting down"), "{text}");
+                break;
+            }
+            assert_eq!(response.status, 200, "before death, ingest still works");
+            assert!(
+                std::time::Instant::now() < deadline,
+                "resolver thread should have died from the injected panic"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+
+        // Reads never wedge: the boot snapshot is still served.
+        let read = service.handle(&get("/topk?k=2")).1;
+        assert_eq!(read.status, 200);
+        let text = String::from_utf8(read.body).unwrap();
+        assert!(text.contains("\"epoch\":0"), "{text}");
+        let health = service.handle(&get("/healthz")).1;
+        assert_eq!(health.status, 200);
+        // A barrier read on the never-published epoch times out with
+        // 408 instead of hanging forever (10s pipeline default).
+        // Plain reads and metrics stay lock-free throughout.
+        assert_eq!(service.handle(&get("/metrics")).1.status, 200);
     }
 }

@@ -7,9 +7,12 @@
 //! bit-identical engine, so a restarted server answers its first query
 //! without re-hashing a single already-hashed record.
 //!
-//! Writes are atomic: the JSON is written to a `.tmp` sibling and then
-//! renamed over the target, so a crash mid-snapshot never corrupts the
-//! previous snapshot.
+//! Writes are atomic *and durable*: the JSON is written to a `.tmp`
+//! sibling, fsynced, renamed over the target, and the parent directory
+//! is fsynced — so a crash (or power loss) mid-snapshot never corrupts
+//! the previous snapshot, and a completed `POST /snapshot` response
+//! means the bytes and the rename have both reached disk. A failed
+//! write removes its `.tmp` sibling instead of leaving it behind.
 
 use std::path::Path;
 
@@ -80,18 +83,23 @@ impl ServeSnapshot {
         OnlineAdaLsh::from_snapshot(self.resolver, config)
     }
 
-    /// Serializes and atomically writes the snapshot to `path`.
+    /// Serializes and atomically writes the snapshot to `path`,
+    /// fsyncing the temp file before the rename and the parent
+    /// directory after it. On any failure the `.tmp` sibling is
+    /// removed — a failed snapshot leaves no debris next to the
+    /// (still intact) previous snapshot.
     ///
     /// # Errors
     /// Fails on serialization or filesystem errors.
     pub fn save(&self, path: &Path) -> Result<(), String> {
         let json = serde_json::to_string(self).map_err(|e| format!("serialize snapshot: {e}"))?;
         let tmp = path.with_extension("tmp");
-        std::fs::write(&tmp, json.as_bytes())
-            .map_err(|e| format!("write {}: {e}", tmp.display()))?;
-        std::fs::rename(&tmp, path)
-            .map_err(|e| format!("rename {} -> {}: {e}", tmp.display(), path.display()))?;
-        Ok(())
+        let result = write_durably(&tmp, path, json.as_bytes());
+        if result.is_err() {
+            // Best-effort cleanup; the original error is what matters.
+            let _ = std::fs::remove_file(&tmp);
+        }
+        result
     }
 
     /// Reads and parses a snapshot file.
@@ -102,5 +110,87 @@ impl ServeSnapshot {
         let text =
             std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
         serde_json::from_str(&text).map_err(|e| format!("parse {}: {e}", path.display()))
+    }
+}
+
+/// Write `bytes` to `tmp`, fsync it, rename onto `path`, and fsync the
+/// parent directory so the rename itself is durable. (On non-Unix
+/// targets directory fsync is skipped — opening a directory for sync is
+/// a Unix capability.)
+fn write_durably(tmp: &Path, path: &Path, bytes: &[u8]) -> Result<(), String> {
+    use std::io::Write;
+    let mut file =
+        std::fs::File::create(tmp).map_err(|e| format!("create {}: {e}", tmp.display()))?;
+    file.write_all(bytes)
+        .map_err(|e| format!("write {}: {e}", tmp.display()))?;
+    file.sync_all()
+        .map_err(|e| format!("fsync {}: {e}", tmp.display()))?;
+    drop(file);
+    std::fs::rename(tmp, path)
+        .map_err(|e| format!("rename {} -> {}: {e}", tmp.display(), path.display()))?;
+    #[cfg(unix)]
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        let dir = std::fs::File::open(parent)
+            .map_err(|e| format!("open directory {}: {e}", parent.display()))?;
+        dir.sync_all()
+            .map_err(|e| format!("fsync directory {}: {e}", parent.display()))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adalsh_data::{Dataset, FieldDistance, FieldKind, FieldValue, Record, Schema, ShingleSet};
+
+    fn test_snapshot() -> ServeSnapshot {
+        let schema = Schema::single("s", FieldKind::Shingles);
+        let records: Vec<Record> = (0..4)
+            .map(|i| Record::single(FieldValue::Shingles(ShingleSet::new(vec![i, i + 1, 100]))))
+            .collect();
+        let labels = (0..4).map(|i| i as u32 / 2).collect();
+        let dataset = Dataset::new(schema, records, labels);
+        let rule = MatchRule::threshold(0, FieldDistance::Jaccard, 0.6);
+        let resolver = OnlineAdaLsh::new(&dataset, AdaLshConfig::new(rule.clone())).unwrap();
+        ServeSnapshot::capture(&resolver, rule)
+    }
+
+    #[test]
+    fn save_is_durable_and_roundtrips() {
+        let dir = std::env::temp_dir().join(format!("adalsh-snap-ok-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.json");
+        let snapshot = test_snapshot();
+        snapshot.save(&path).unwrap();
+        assert!(
+            !path.with_extension("tmp").exists(),
+            "a successful save leaves no temp sibling"
+        );
+        let loaded = ServeSnapshot::load(&path).unwrap();
+        assert_eq!(loaded.resolver.records.len(), 4);
+        // Overwrite is just as atomic: the second save replaces in place.
+        snapshot.save(&path).unwrap();
+        assert!(!path.with_extension("tmp").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A save that fails after the temp file was written (here: the
+    /// rename target is a non-empty directory) must clean up its `.tmp`
+    /// sibling — a crash-prone snapshot path must not accumulate debris
+    /// alongside the intact previous snapshot.
+    #[test]
+    fn failed_save_never_leaves_the_temp_file_behind() {
+        let dir = std::env::temp_dir().join(format!("adalsh-snap-fail-{}", std::process::id()));
+        // The target path IS a non-empty directory: rename must fail.
+        let target = dir.join("snap.json");
+        std::fs::create_dir_all(target.join("occupied")).unwrap();
+        let err = test_snapshot().save(&target).unwrap_err();
+        assert!(err.contains("rename"), "{err}");
+        assert!(
+            !target.with_extension("tmp").exists(),
+            "failed save must remove its temp file"
+        );
+        assert!(target.is_dir(), "the failing target is untouched");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
