@@ -9,8 +9,11 @@
 #                          # unless DOPH beats the classic batched
 #                          # MinHash kernel at width 128; bench_serve,
 #                          # which fails if 16 concurrent readers tank
-#                          # the pipelined server's QPS); committed
-#                          # baselines are never touched
+#                          # the pipelined server's QPS; bench_scale,
+#                          # which fails unless the mapped-store filter
+#                          # is bit-identical to the in-RAM run and
+#                          # streaming ingest stays out-of-core);
+#                          # committed baselines are never touched
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -188,6 +191,31 @@ oracle_smoke() {
 }
 oracle_smoke
 
+echo "==> scale store smoke"
+# Stream the scale generator into a store file, resolve directly off the
+# memory mapping (no positional dataset), and validate the emitted trace
+# — which also checks the run_start event reports source=store.
+scale_smoke() {
+    # grep on captured output, not on a live pipe: `grep -q` would close
+    # the pipe at first match and SIGPIPE the tool under pipefail.
+    local store trace out
+    store=$(mktemp /tmp/adalsh-scale-smoke-XXXXXX.store)
+    trace=$(mktemp /tmp/adalsh-scale-smoke-XXXXXX.trace.jsonl)
+    ./target/release/adalsh datagen --out "$store" --records 10000 --seed 7 >/dev/null
+    ./target/release/adalsh filter --store "$store" --k 5 --rule jaccard:0.4 \
+        --trace-out "$trace" >/dev/null
+    grep -q '"source":"store"' "$trace" ||
+        { echo "trace run_start does not report source=store" >&2; return 1; }
+    out=$(./target/release/adalsh trace validate "$trace")
+    grep -q 'OK' <<<"$out" ||
+        { echo "store-path trace validate failed" >&2; return 1; }
+    out=$(./target/release/adalsh evaluate --store "$store" --k 5 --rule jaccard:0.4)
+    grep -q 'recall gold:       1.0000' <<<"$out" ||
+        { echo "store-path evaluate lost gold recall" >&2; return 1; }
+    rm -f "$store" "$trace"
+}
+scale_smoke
+
 if [ "$bench_smoke" = 1 ]; then
     echo "==> cargo bench --no-run (compile gate)"
     cargo bench --workspace --no-run --quiet
@@ -205,6 +233,12 @@ if [ "$bench_smoke" = 1 ]; then
     # Compiles the serve load driver and fails unless the pipelined
     # server's 16-client read QPS holds up against its 1-client QPS.
     cargo run --release -p adalsh-bench --bin bench_serve -- --smoke
+
+    echo "==> bench_scale --smoke (out-of-core gates)"
+    # Fails unless the mapped-store filter is bit-identical to the
+    # in-RAM run and streaming ingest peaks below the materialized
+    # footprint.
+    cargo run --release -p adalsh-bench --bin bench_scale -- --smoke
 fi
 
 echo "CI OK"

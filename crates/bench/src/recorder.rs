@@ -1,21 +1,35 @@
 //! Shared plumbing for the one-shot baseline recorders in `src/bin/`.
 //!
 //! Every `BENCH_*.json` baseline embeds provenance in its `_meta` object
-//! — the git revision the numbers were recorded at and a UTC timestamp —
-//! so a committed baseline can always be traced back to the code that
-//! produced it when diffing across optimization PRs.
+//! — the git revision the numbers were recorded at, a UTC timestamp, and
+//! the recorder's peak RSS — so a committed baseline can always be
+//! traced back to the code (and memory envelope) that produced it when
+//! diffing across optimization PRs.
 
 use std::time::{SystemTime, UNIX_EPOCH};
 
-/// The two provenance entries as a JSON object fragment (no braces):
-/// `"git_rev": "<rev>", "recorded_at": "<iso8601>"`. Recorders splice
-/// this into their hand-built `_meta` objects.
+/// The provenance entries as a JSON object fragment (no braces):
+/// `"git_rev": "<rev>", "recorded_at": "<iso8601>", "peak_rss_bytes":
+/// <n>`. Recorders splice this into their hand-built `_meta` objects;
+/// call it after the measured work so the high-water mark covers it.
 pub fn provenance_fields() -> String {
     format!(
-        "\"git_rev\": \"{}\", \"recorded_at\": \"{}\"",
+        "\"git_rev\": \"{}\", \"recorded_at\": \"{}\", \"peak_rss_bytes\": {}",
         git_rev(),
-        recorded_at()
+        recorded_at(),
+        peak_rss_bytes().unwrap_or(0)
     )
+}
+
+/// The process's peak resident set size in bytes (`VmHWM` from
+/// `/proc/self/status`), or `None` where procfs is unavailable. This is
+/// a lifetime high-water mark: to attribute RSS to a phase, read it
+/// after that phase and before anything larger runs.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kib: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kib * 1024)
 }
 
 /// The short git revision of the working tree, or `"unknown"` when git
@@ -106,18 +120,34 @@ mod tests {
         let frag = provenance_fields();
         assert!(frag.starts_with("\"git_rev\": \""), "{frag}");
         assert!(frag.contains("\"recorded_at\": \""), "{frag}");
-        // Neither value may contain a quote or backslash — the fragment
-        // is spliced verbatim into hand-built JSON.
+        // None of the string values may contain a quote or backslash —
+        // the fragment is spliced verbatim into hand-built JSON.
         let values = frag.split('"').skip(3).step_by(4);
         for v in values {
             assert!(!v.contains('\\'), "{frag}");
         }
-        let ts = frag
-            .rsplit("\"recorded_at\": \"")
-            .next()
-            .unwrap()
-            .trim_end_matches('"');
+        let tail = frag.rsplit("\"recorded_at\": \"").next().unwrap();
+        let (ts, rest) = tail.split_once('"').unwrap();
         assert_eq!(ts.len(), 20, "{ts}");
         assert!(ts.ends_with('Z'), "{ts}");
+        let rss = rest
+            .rsplit("\"peak_rss_bytes\": ")
+            .next()
+            .unwrap()
+            .parse::<u64>()
+            .unwrap();
+        // Any live Linux process has megabytes resident.
+        assert!(rss > 1 << 20, "implausible peak RSS {rss}");
+    }
+
+    #[test]
+    fn peak_rss_is_plausible_and_monotone() {
+        let before = peak_rss_bytes().expect("procfs available in CI");
+        let ballast = vec![1u8; 64 << 20];
+        std::hint::black_box(&ballast);
+        let after = peak_rss_bytes().unwrap();
+        drop(ballast);
+        assert!(after >= before);
+        assert!(after >= 64 << 20, "high-water mark missed a 64 MiB ballast");
     }
 }

@@ -8,12 +8,13 @@ use adalsh_core::baselines::{LshBlocking, Pairs};
 use adalsh_core::metrics::{map_mar, reduction_pct, set_metrics};
 use adalsh_core::recovery::perfect_recovery;
 use adalsh_core::{MinhashScheme, NoisyOracleConfig, OnlineAdaLsh, OracleMode, OracleSpend};
-use adalsh_data::{io as dio, Dataset};
+use adalsh_data::{io as dio, Dataset, RecordStore};
 use adalsh_datagen::popimages::PopImagesConfig;
 use adalsh_datagen::spotsigs::SpotSigsConfig;
-use adalsh_datagen::CoraConfig;
+use adalsh_datagen::{CoraConfig, ScaleConfig, ScaleGenerator};
 use adalsh_obs::{jsonl, schema, summary, JsonlSubscriber, TraceSink};
 use adalsh_serve::{PipelineConfig, ServeSnapshot, Server, ServerConfig, Service};
+use adalsh_store::{StoreBuilder, StoreView};
 
 use crate::args::Args;
 use crate::rules;
@@ -84,11 +85,14 @@ pub fn info(args: &Args) -> Result<(), String> {
 }
 
 /// `adalsh filter <file> --k K [--method m] [--rule spec] [--out file]`
+/// or `adalsh filter --store <file.store> …` to resolve directly off a
+/// memory-mapped store file without materializing records in RAM.
 pub fn filter(args: &Args) -> Result<(), String> {
-    let dataset = load(args)?;
+    let input = load_input(args)?;
+    let store = input.store();
     let k: usize = args.flag_or("k", 10usize)?;
-    let rule = rules::resolve(args.flag("rule"), &dataset)?;
-    let (name, out) = run_method(args, &dataset, &rule, k)?;
+    let rule = rules::resolve(args.flag("rule"), store.schema())?;
+    let (name, out) = run_method(args, store, &rule, k)?;
     println!(
         "{name}: {} clusters, {} records, {:?} ({} hash evals, {} pair comparisons)",
         out.clusters.len(),
@@ -113,17 +117,19 @@ pub fn filter(args: &Args) -> Result<(), String> {
 }
 
 /// `adalsh evaluate <file> --k K [--khat K2] [--method m] [--rule spec]`
+/// — also accepts `--store <file.store>` in place of the dataset file.
 pub fn evaluate(args: &Args) -> Result<(), String> {
-    let dataset = load(args)?;
+    let input = load_input(args)?;
+    let store = input.store();
     let k: usize = args.flag_or("k", 10usize)?;
     let khat: usize = args.flag_or("khat", k)?;
-    let rule = rules::resolve(args.flag("rule"), &dataset)?;
-    let (name, out) = run_method(args, &dataset, &rule, khat)?;
-    let gold = dataset.gold_records(k);
+    let rule = rules::resolve(args.flag("rule"), store.schema())?;
+    let (name, out) = run_method(args, store, &rule, khat)?;
+    let gold = store.gold_records(k);
     let m = set_metrics(&out.records(), &gold);
-    let gt = dataset.ground_truth_clusters();
+    let gt = store.ground_truth_clusters();
     let (map, mar) = map_mar(&out.clusters, &gt, k);
-    let recovered = perfect_recovery(&dataset, &out.records());
+    let recovered = perfect_recovery(store, &out.records());
     let (map_r, mar_r) = map_mar(&recovered, &gt, k);
     println!("method:            {name}");
     println!("requested k̂:       {khat} (gold k = {k})");
@@ -133,7 +139,7 @@ pub fn evaluate(args: &Args) -> Result<(), String> {
     println!(
         "output records:    {} ({:.1}% of dataset)",
         out.records().len(),
-        reduction_pct(out.records().len(), dataset.len())
+        reduction_pct(out.records().len(), store.len())
     );
     println!("precision gold:    {:.4}", m.precision);
     println!("recall gold:       {:.4}", m.recall);
@@ -204,7 +210,7 @@ pub fn serve(args: &Args) -> Result<(), String> {
         (resolver, rule)
     } else {
         let dataset = load(args)?;
-        let rule = rules::resolve(args.flag("rule"), &dataset)?;
+        let rule = rules::resolve(args.flag("rule"), dataset.schema())?;
         let mut config = AdaLshConfig::new(rule.clone());
         if threads > 0 {
             config.threads = threads;
@@ -234,6 +240,90 @@ pub fn serve(args: &Args) -> Result<(), String> {
 fn load(args: &Args) -> Result<Dataset, String> {
     let path = args.positional(0, "dataset path")?;
     dio::load(Path::new(path)).map_err(|e| format!("read {path}: {e}"))
+}
+
+/// Record source for `filter`/`evaluate`: a dataset file materialized
+/// in RAM, or a store file resolved through its memory mapping.
+enum Input {
+    Ram(Dataset),
+    Mapped(StoreView),
+}
+
+impl Input {
+    fn store(&self) -> &dyn RecordStore {
+        match self {
+            Input::Ram(dataset) => dataset,
+            Input::Mapped(view) => view,
+        }
+    }
+}
+
+/// Loads the positional dataset file, or opens `--store <file.store>`
+/// as a zero-copy mapped view. Exactly one of the two must be given.
+fn load_input(args: &Args) -> Result<Input, String> {
+    match args.flag("store") {
+        Some(path) => {
+            if !args.positional.is_empty() {
+                return Err(
+                    "pass either a dataset file or --store <file.store>, not both".to_string(),
+                );
+            }
+            StoreView::open(Path::new(path))
+                .map(Input::Mapped)
+                .map_err(|e| format!("open store {path}: {e}"))
+        }
+        None => load(args).map(Input::Ram),
+    }
+}
+
+/// `adalsh datagen --out <file.store> [--records N] [--seed S]
+/// [--exponent E] [--max-entity-size N]`
+///
+/// Streams the seeded Zipf scale generator straight into a store file:
+/// records are written as they are drawn, so memory stays constant no
+/// matter how many records are requested. The result is consumed with
+/// `filter --store` / `evaluate --store` and the rule preset
+/// `jaccard:0.4` (a distance threshold; planted entities sit well inside it).
+pub fn datagen(args: &Args) -> Result<(), String> {
+    let out = args
+        .flag("out")
+        .ok_or("datagen requires --out <file.store>")?;
+    let defaults = ScaleConfig::default();
+    let config = ScaleConfig {
+        records: args.flag_or("records", defaults.records)?,
+        seed: args.flag_or("seed", defaults.seed)?,
+        exponent: args.flag_or("exponent", defaults.exponent)?,
+        max_entity_size: args.flag_or("max-entity-size", defaults.max_entity_size)?,
+        ..defaults
+    };
+    if config.records == 0 {
+        return Err("--records must be at least 1".to_string());
+    }
+    let generator = ScaleGenerator::new(config);
+    let mut builder = StoreBuilder::create(Path::new(out), generator.schema())
+        .map_err(|e| format!("create {out}: {e}"))?;
+    let start = std::time::Instant::now();
+    let mut entities = 0u64;
+    let mut last_entity = None;
+    for (record, entity) in generator {
+        if last_entity != Some(entity) {
+            entities += 1;
+            last_entity = Some(entity);
+        }
+        builder
+            .push(&record, entity)
+            .map_err(|e| format!("write {out}: {e}"))?;
+    }
+    let records = builder.len();
+    builder
+        .finish()
+        .map_err(|e| format!("finalize {out}: {e}"))?;
+    let wall = start.elapsed();
+    println!(
+        "wrote {records} records / {entities} entities to {out} in {wall:?} ({:.0} records/s)",
+        records as f64 / wall.as_secs_f64().max(1e-9)
+    );
+    Ok(())
 }
 
 /// Builds the pairwise-oracle mode from `--oracle` and its satellite
@@ -308,7 +398,7 @@ fn oracle_summary(spend: &OracleSpend) -> String {
 
 fn run_method(
     args: &Args,
-    dataset: &Dataset,
+    store: &dyn RecordStore,
     rule: &adalsh_data::MatchRule,
     k: usize,
 ) -> Result<(String, FilterOutput), String> {
@@ -341,7 +431,7 @@ fn run_method(
             if let Some(path) = trace_out {
                 config.trace = trace_sink(path)?;
             }
-            Box::new(AdaLsh::for_dataset(dataset, config)?)
+            Box::new(AdaLsh::for_dataset(store, config)?)
         }
         "pairs" => {
             let mut pairs = Pairs::new(rule.clone());
@@ -362,7 +452,7 @@ fn run_method(
         }
         other => return Err(format!("unknown method '{other}'")),
     };
-    let out = boxed.filter(dataset, k);
+    let out = boxed.filter(store, k);
     if let Some(path) = trace_out {
         println!("trace written to {path}");
     }

@@ -2,9 +2,10 @@
 //!
 //! ```text
 //! adalsh generate <cora|spotsigs|popimages> --out data.jsonl [--records N] [--seed S]
+//! adalsh datagen --out data.store [--records N] [--seed S]
 //! adalsh info <data.jsonl>
-//! adalsh filter <data.jsonl> --k K [--method adalsh|pairs|lshX] [--rule …] [--out clusters.json]
-//! adalsh evaluate <data.jsonl> --k K [--method …] [--khat K2] [--rule …]
+//! adalsh filter <data.jsonl | --store data.store> --k K [--method adalsh|pairs|lshX] [--rule …] [--out clusters.json]
+//! adalsh evaluate <data.jsonl | --store data.store> --k K [--method …] [--khat K2] [--rule …]
 //! adalsh serve <bootstrap.jsonl> [--addr 127.0.0.1:8080] [--rule …] [--snapshot-out s.json]
 //! adalsh serve --resume s.json [--addr …]
 //! adalsh trace <validate|summarize> <trace.jsonl>
@@ -26,10 +27,13 @@ adalsh — top-k entity resolution with adaptive LSH
 
 USAGE:
   adalsh generate <cora|spotsigs|popimages> --out <file> [--records N] [--entities N] [--seed S] [--exponent E]
+  adalsh datagen --out <file.store> [--records N] [--seed S] [--exponent E] [--max-entity-size N]
   adalsh info <data.jsonl>
-  adalsh filter <data.jsonl> --k <K> [--method adalsh|pairs|lsh<X>] [--rule <spec>] [--threads <N>] [--out <file>]
+  adalsh filter <data.jsonl | --store <file.store>> --k <K> [--method adalsh|pairs|lsh<X>] [--rule <spec>]
+                [--threads <N>] [--out <file>]
                 [--minhash-scheme classic|doph] [--trace-out <file.jsonl>] [--oracle exact|noisy …]
-  adalsh evaluate <data.jsonl> --k <K> [--khat <K2>] [--method <m>] [--rule <spec>] [--threads <N>]
+  adalsh evaluate <data.jsonl | --store <file.store>> --k <K> [--khat <K2>] [--method <m>] [--rule <spec>]
+                [--threads <N>]
                 [--minhash-scheme classic|doph] [--trace-out <file.jsonl>] [--oracle exact|noisy …]
   adalsh serve <bootstrap.jsonl> [--addr <host:port>] [--rule <spec>] [--snapshot-out <file>]
                [--workers <N>] [--threads <N>] [--queue-cap <N>] [--max-batch <N>] [--resolve-k <K>]
@@ -37,6 +41,15 @@ USAGE:
   adalsh serve --resume <snapshot.json> [--addr <host:port>] [--workers <N>] [--threads <N>]
                [--queue-cap <N>] [--max-batch <N>] [--resolve-k <K>]
   adalsh trace <validate|summarize> <trace.jsonl>
+
+OUT-OF-CORE STORE:
+  adalsh datagen streams the seeded million-record scale generator
+  (Zipf-sized entities, constant memory) straight into a columnar
+  .store file. filter/evaluate accept --store <file.store> in place of
+  the dataset file and resolve directly off the memory mapping — no
+  record is materialized in RAM, and output is bit-identical to the
+  in-RAM path. Scale-tier stores match the rule preset jaccard:0.4
+  (distance threshold; entities are planted at similarity well above 0.6).
 
 SERVE:
   Boots the online top-k resolution HTTP service (POST /ingest,
@@ -127,6 +140,7 @@ fn main() {
     };
     let result = match args.command.as_str() {
         "generate" => commands::generate(&args),
+        "datagen" => commands::datagen(&args),
         "info" => commands::info(&args),
         "filter" => commands::filter(&args),
         "evaluate" => commands::evaluate(&args),

@@ -1,16 +1,18 @@
 //! Rule-spec parsing for the CLI.
 
-use adalsh_data::{Dataset, FieldDistance, FieldKind, MatchRule};
+use adalsh_data::{FieldDistance, FieldKind, MatchRule, Schema};
 
-/// Parses a `--rule` spec against a dataset, or infers a sensible
-/// default from the first field's kind.
+/// Parses a `--rule` spec against a schema, or infers a sensible
+/// default from the first field's kind. Taking the schema (rather than
+/// a materialized dataset) lets the same path serve in-RAM datasets
+/// and memory-mapped store files.
 ///
 /// # Errors
 /// Fails on unknown specs, non-numeric thresholds, or rules that don't
-/// validate against the dataset's schema.
-pub fn resolve(spec: Option<&str>, dataset: &Dataset) -> Result<MatchRule, String> {
+/// validate against the schema.
+pub fn resolve(spec: Option<&str>, schema: &Schema) -> Result<MatchRule, String> {
     let rule = match spec {
-        None => default_rule(dataset),
+        None => default_rule(schema),
         Some("cora") => adalsh_datagen::cora::match_rule(),
         Some(s) => {
             let (kind, value) = s
@@ -26,13 +28,13 @@ pub fn resolve(spec: Option<&str>, dataset: &Dataset) -> Result<MatchRule, Strin
             }
         }
     };
-    rule.validate(dataset.schema())
+    rule.validate(schema)
         .map_err(|e| format!("rule does not fit dataset: {e}"))?;
     Ok(rule)
 }
 
-fn default_rule(dataset: &Dataset) -> MatchRule {
-    match dataset.schema().fields()[0].kind {
+fn default_rule(schema: &Schema) -> MatchRule {
+    match schema.fields()[0].kind {
         FieldKind::Shingles => MatchRule::threshold(0, FieldDistance::Jaccard, 0.6),
         FieldKind::Dense => MatchRule::threshold(0, FieldDistance::Angular, 3.0 / 180.0),
     }
@@ -41,7 +43,7 @@ fn default_rule(dataset: &Dataset) -> MatchRule {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use adalsh_data::{FieldValue, Record, Schema, ShingleSet};
+    use adalsh_data::{Dataset, FieldValue, Record, ShingleSet};
 
     fn shingle_dataset() -> Dataset {
         Dataset::new(
@@ -56,7 +58,7 @@ mod tests {
     #[test]
     fn default_for_shingles_is_jaccard() {
         let d = shingle_dataset();
-        let r = resolve(None, &d).unwrap();
+        let r = resolve(None, d.schema()).unwrap();
         assert!(matches!(
             r,
             MatchRule::Threshold {
@@ -69,7 +71,7 @@ mod tests {
     #[test]
     fn explicit_jaccard_spec() {
         let d = shingle_dataset();
-        match resolve(Some("jaccard:0.5"), &d).unwrap() {
+        match resolve(Some("jaccard:0.5"), d.schema()).unwrap() {
             MatchRule::Threshold { dthr, .. } => assert!((dthr - 0.5).abs() < 1e-12),
             _ => panic!(),
         }
@@ -85,7 +87,7 @@ mod tests {
             ])))],
             vec![0],
         );
-        match resolve(Some("angular:9"), &d).unwrap() {
+        match resolve(Some("angular:9"), d.schema()).unwrap() {
             MatchRule::Threshold { dthr, .. } => assert!((dthr - 0.05).abs() < 1e-12),
             _ => panic!(),
         }
@@ -94,14 +96,14 @@ mod tests {
     #[test]
     fn mismatched_rule_rejected() {
         let d = shingle_dataset();
-        assert!(resolve(Some("angular:3"), &d).is_err());
+        assert!(resolve(Some("angular:3"), d.schema()).is_err());
     }
 
     #[test]
     fn garbage_specs_rejected() {
         let d = shingle_dataset();
-        assert!(resolve(Some("nope"), &d).is_err());
-        assert!(resolve(Some("jaccard:abc"), &d).is_err());
-        assert!(resolve(Some("minhash:0.3"), &d).is_err());
+        assert!(resolve(Some("nope"), d.schema()).is_err());
+        assert!(resolve(Some("jaccard:abc"), d.schema()).is_err());
+        assert!(resolve(Some("minhash:0.3"), d.schema()).is_err());
     }
 }

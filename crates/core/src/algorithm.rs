@@ -18,7 +18,7 @@
 
 use std::time::{Duration, Instant};
 
-use adalsh_data::{Dataset, FieldValue, MatchRule};
+use adalsh_data::{MatchRule, RecordStore};
 use adalsh_lsh::mix::derive_seed;
 use adalsh_lsh::MinhashScheme;
 use adalsh_obs::{TraceSink, Value};
@@ -171,7 +171,7 @@ pub trait FilterMethod {
     /// Display name used in experiment tables (e.g. `adaLSH`, `LSH1280`).
     fn name(&self) -> String;
     /// Runs the filter for the `k` largest entities.
-    fn filter(&mut self, dataset: &Dataset, k: usize) -> FilterOutput;
+    fn filter(&mut self, store: &dyn RecordStore, k: usize) -> FilterOutput;
 }
 
 /// Tag carried by every cluster in the pool: which function produced it.
@@ -257,18 +257,19 @@ pub struct AdaLsh {
 }
 
 impl AdaLsh {
-    /// Designs the sequence for `dataset` and builds the engine.
+    /// Designs the sequence for a record store (in-RAM dataset or mapped
+    /// store file) and builds the engine.
     ///
-    /// Errors if the rule shape is unsupported or no feasible scheme
-    /// exists within the budget schedule.
-    pub fn for_dataset(dataset: &Dataset, config: AdaLshConfig) -> Result<Self, String> {
-        let dims: Vec<usize> = dataset
-            .record(0)
-            .fields()
-            .iter()
-            .map(|f| match f {
-                FieldValue::Dense(v) => v.dim(),
-                FieldValue::Shingles(_) => 0,
+    /// Errors if the store is empty, the rule shape is unsupported, or no
+    /// feasible scheme exists within the budget schedule.
+    pub fn for_dataset(store: &dyn RecordStore, config: AdaLshConfig) -> Result<Self, String> {
+        if store.is_empty() {
+            return Err("cannot design a sequence for an empty record store".to_string());
+        }
+        let dims: Vec<usize> = (0..store.schema().num_fields())
+            .map(|f| match store.field(0, f) {
+                adalsh_data::FieldRef::Dense(v) => v.len(),
+                adalsh_data::FieldRef::Shingles(_) => 0,
             })
             .collect();
         let mut spec = config.spec;
@@ -278,16 +279,16 @@ impl AdaLsh {
             // hashing to comparison is ≥ 1/2 for every family pair we
             // ship, so max_budget ≥ 2·|R| makes the gate's critical size
             // exceed |R| at the last level.
-            let needed = (dataset.len() as u64).next_power_of_two() * 2;
+            let needed = (store.len() as u64).next_power_of_two() * 2;
             spec.max_budget = spec.max_budget.max(needed);
         }
-        let designed = design(&config.rule, dataset.schema(), &dims, &spec)?;
+        let designed = design(&config.rule, store.schema(), &dims, &spec)?;
         let mut hasher =
             SequenceHasher::with_scheme(designed.parts, designed.levels, config.minhash_scheme);
         let cost = if config.measured_cost {
-            CostModel::measured(&mut hasher, dataset, &config.rule, 100, config.spec.seed)
+            CostModel::measured(&mut hasher, store, &config.rule, 100, config.spec.seed)
         } else {
-            CostModel::analytic(&hasher, dataset, &config.rule)
+            CostModel::analytic(&hasher, store, &config.rule)
         }
         .with_noise(config.cost_noise);
         if config.trace.enabled() {
@@ -344,8 +345,8 @@ impl AdaLsh {
     }
 
     /// Runs the filter for the top-`k` entities.
-    pub fn run(&mut self, dataset: &Dataset, k: usize) -> FilterOutput {
-        self.run_incremental(dataset, k, |_, _| {})
+    pub fn run(&mut self, store: &dyn RecordStore, k: usize) -> FilterOutput {
+        self.run_incremental(store, k, |_, _| {})
     }
 
     /// Incremental mode (§4.2): `on_final(rank, cluster)` fires the moment
@@ -354,12 +355,12 @@ impl AdaLsh {
     /// minimum cost for every `k′ ≤ k` (Theorem 2).
     pub fn run_incremental(
         &mut self,
-        dataset: &Dataset,
+        store: &dyn RecordStore,
         k: usize,
         on_final: impl FnMut(usize, &[u32]),
     ) -> FilterOutput {
-        let mut states: Vec<RecordHashState> = vec![RecordHashState::default(); dataset.len()];
-        self.run_with_states(dataset, k, &mut states, on_final)
+        let mut states: Vec<RecordHashState> = vec![RecordHashState::default(); store.len()];
+        self.run_with_states(store, k, &mut states, on_final)
     }
 
     /// Like [`AdaLsh::run_incremental`], but with caller-owned per-record
@@ -373,16 +374,16 @@ impl AdaLsh {
     /// Panics if `k == 0` or `states.len() != dataset.len()`.
     pub fn run_with_states(
         &mut self,
-        dataset: &Dataset,
+        store: &dyn RecordStore,
         k: usize,
         states: &mut [RecordHashState],
         mut on_final: impl FnMut(usize, &[u32]),
     ) -> FilterOutput {
         assert!(k >= 1, "k must be at least 1");
-        assert_eq!(states.len(), dataset.len(), "one state per record");
+        assert_eq!(states.len(), store.len(), "one state per record");
         let start = Instant::now();
         let mut stats = Stats::default();
-        let n = dataset.len();
+        let n = store.len();
         let num_levels = self.hasher.num_levels();
         let mut rng = rand::rngs::StdRng::seed_from_u64(derive_seed(self.config.spec.seed, 0xA1));
         let sink = self.config.trace.clone();
@@ -393,6 +394,7 @@ impl AdaLsh {
                 ("k", Value::U64(k as u64)),
                 ("levels", Value::U64(num_levels as u64)),
                 ("threads", Value::U64(self.config.threads as u64)),
+                ("source", Value::Str(store.source())),
             ],
         );
 
@@ -416,7 +418,7 @@ impl AdaLsh {
         let first = apply_transitive_threaded(
             &self.hasher,
             states,
-            dataset,
+            store,
             &all,
             1,
             self.config.threads,
@@ -520,7 +522,7 @@ impl AdaLsh {
                         let oracle = NoisyOracle::new(&self.config.rule, ocfg.clone())
                             .with_overlay(self.config.oracle_overlay.clone());
                         apply_pairwise_oracle(
-                            dataset,
+                            store,
                             &oracle,
                             &entry.records,
                             self.config.threads,
@@ -531,7 +533,7 @@ impl AdaLsh {
                         )
                     }
                     _ => apply_pairwise_traced(
-                        dataset,
+                        store,
                         &self.config.rule,
                         &entry.records,
                         self.config.threads,
@@ -571,7 +573,7 @@ impl AdaLsh {
                 let subs = apply_transitive_threaded(
                     &self.hasher,
                     states,
-                    dataset,
+                    store,
                     &entry.records,
                     t + 1,
                     self.config.threads,
@@ -705,8 +707,8 @@ impl FilterMethod for AdaLsh {
         "adaLSH".to_string()
     }
 
-    fn filter(&mut self, dataset: &Dataset, k: usize) -> FilterOutput {
-        self.run(dataset, k)
+    fn filter(&mut self, store: &dyn RecordStore, k: usize) -> FilterOutput {
+        self.run(store, k)
     }
 }
 
@@ -714,7 +716,7 @@ impl FilterMethod for AdaLsh {
 mod tests {
     use super::*;
     use crate::pairwise::apply_pairwise;
-    use adalsh_data::{FieldDistance, FieldKind, Record, Schema, ShingleSet};
+    use adalsh_data::{Dataset, FieldDistance, FieldKind, Record, Schema, ShingleSet};
 
     /// A dataset with planted entities: entity e has `sizes[e]` records,
     /// each sharing a core of shingles with light noise.

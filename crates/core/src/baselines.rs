@@ -15,7 +15,7 @@
 //! stop-early behaviour — so the baselines share every data structure
 //! with the main algorithm, as the paper's comparison demands.
 
-use adalsh_data::{Dataset, MatchRule};
+use adalsh_data::{MatchRule, RecordStore};
 
 use crate::algorithm::{default_threads, AdaLsh, AdaLshConfig, FilterMethod, FilterOutput};
 use crate::pairwise::apply_pairwise;
@@ -51,11 +51,11 @@ impl FilterMethod for Pairs {
         "Pairs".to_string()
     }
 
-    fn filter(&mut self, dataset: &Dataset, k: usize) -> FilterOutput {
+    fn filter(&mut self, store: &dyn RecordStore, k: usize) -> FilterOutput {
         let start = std::time::Instant::now();
         let mut stats = Stats::default();
-        let all: Vec<u32> = (0..dataset.len() as u32).collect();
-        let mut clusters = apply_pairwise(dataset, &self.rule, &all, self.threads, &mut stats);
+        let all: Vec<u32> = (0..store.len() as u32).collect();
+        let mut clusters = apply_pairwise(store, &self.rule, &all, self.threads, &mut stats);
         // Canonical order (see the same normalization in the engine).
         for c in &mut clusters {
             c.sort_unstable();
@@ -126,8 +126,8 @@ impl LshBlocking {
         self
     }
 
-    /// Builds the single-level engine for a dataset.
-    fn engine(&self, dataset: &Dataset) -> Result<AdaLsh, String> {
+    /// Builds the single-level engine for a record store.
+    fn engine(&self, store: &dyn RecordStore) -> Result<AdaLsh, String> {
         let mut config = AdaLshConfig::new(self.rule.clone());
         config.spec = SequenceSpec {
             epsilon: self.epsilon,
@@ -142,7 +142,7 @@ impl LshBlocking {
         }
         // LSH-X applies exactly X functions per record — never extend.
         config.scale_max_budget = false;
-        AdaLsh::for_dataset(dataset, config)
+        AdaLsh::for_dataset(store, config)
     }
 }
 
@@ -155,19 +155,19 @@ impl FilterMethod for LshBlocking {
         }
     }
 
-    fn filter(&mut self, dataset: &Dataset, k: usize) -> FilterOutput {
+    fn filter(&mut self, store: &dyn RecordStore, k: usize) -> FilterOutput {
         let mut engine = self
-            .engine(dataset)
+            .engine(store)
             .expect("LSH-X scheme must be designable for the rule");
         debug_assert_eq!(engine.num_levels(), 1, "LSH-X is single-stage");
-        engine.run(dataset, k)
+        engine.run(store, k)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use adalsh_data::{FieldDistance, FieldKind, FieldValue, Record, Schema, ShingleSet};
+    use adalsh_data::{Dataset, FieldDistance, FieldKind, FieldValue, Record, Schema, ShingleSet};
 
     fn planted(sizes: &[usize]) -> Dataset {
         let schema = Schema::single("s", FieldKind::Shingles);

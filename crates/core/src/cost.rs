@@ -22,7 +22,7 @@
 
 use std::time::Instant;
 
-use adalsh_data::{Dataset, FieldDistance, FieldValue, MatchRule, Record};
+use adalsh_data::{FieldDistance, FieldKind, MatchRule, RecordStore, RecordView};
 use adalsh_lsh::mix::derive_seed;
 use rand::{Rng, SeedableRng};
 
@@ -48,13 +48,16 @@ impl CostModel {
     /// a hyperplane evaluation costs `dim`, a MinHash evaluation costs
     /// the mean shingle-set size of its field (sampled, up to 256
     /// records), a weighted part costs the weight-mean of its choices.
-    pub fn analytic(hasher: &SequenceHasher, dataset: &Dataset, rule: &MatchRule) -> Self {
+    pub fn analytic(hasher: &SequenceHasher, store: &dyn RecordStore, rule: &MatchRule) -> Self {
         let field_size = |field: usize| -> f64 {
-            let n = dataset.len().min(256);
+            let n = store.len().min(256);
+            if n == 0 {
+                return 1.0;
+            }
             let total: usize = (0..n)
-                .map(|i| match dataset.record(i as u32).field(field) {
-                    FieldValue::Dense(v) => v.dim(),
-                    FieldValue::Shingles(s) => s.len().max(1),
+                .map(|i| match store.schema().fields()[field].kind {
+                    FieldKind::Dense => store.field(i as u32, field).as_dense().len(),
+                    FieldKind::Shingles => store.field(i as u32, field).as_shingles().len().max(1),
                 })
                 .sum();
             total as f64 / n as f64
@@ -133,20 +136,20 @@ impl CostModel {
     /// random pairwise comparisons (the paper's 100-sample estimation).
     pub fn measured(
         hasher: &mut SequenceHasher,
-        dataset: &Dataset,
+        store: &dyn RecordStore,
         rule: &MatchRule,
         samples: usize,
         seed: u64,
     ) -> Self {
         let mut rng = rand::rngs::StdRng::seed_from_u64(derive_seed(seed, 0xC057));
-        let n = dataset.len() as u32;
+        let n = store.len() as u32;
         let samples = samples.max(1);
         let mut stats = Stats::default();
 
         let num_levels = hasher.num_levels();
         let mut level_cost = vec![0.0];
-        let sample_records: Vec<&Record> = (0..samples)
-            .map(|_| dataset.record(rng.random_range(0..n)))
+        let sample_records: Vec<RecordView<'_>> = (0..samples)
+            .map(|_| RecordView::new(store, rng.random_range(0..n)))
             .collect();
         let mut states: Vec<RecordHashState> = vec![RecordHashState::default(); samples];
         let mut cumulative = 0.0;
@@ -159,18 +162,13 @@ impl CostModel {
             level_cost.push(cumulative);
         }
 
-        let pairs: Vec<(&Record, &Record)> = (0..samples)
-            .map(|_| {
-                (
-                    dataset.record(rng.random_range(0..n)),
-                    dataset.record(rng.random_range(0..n)),
-                )
-            })
+        let pairs: Vec<(u32, u32)> = (0..samples)
+            .map(|_| (rng.random_range(0..n), rng.random_range(0..n)))
             .collect();
         let start = Instant::now();
         let mut matches = 0usize;
-        for (a, b) in &pairs {
-            matches += usize::from(rule.matches(a, b));
+        for &(a, b) in &pairs {
+            matches += usize::from(rule.matches_in(store, a, b));
         }
         std::hint::black_box(matches);
         let cost_p = start.elapsed().as_secs_f64() / samples as f64;
@@ -223,7 +221,7 @@ impl CostModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use adalsh_data::{FieldKind, Schema, ShingleSet};
+    use adalsh_data::{Dataset, FieldValue, Record, Schema, ShingleSet};
 
     fn shingle_dataset(sets: &[&[u64]]) -> Dataset {
         let schema = Schema::single("s", FieldKind::Shingles);

@@ -19,7 +19,7 @@
 //! addressable ([`SequenceHasher::keys`]) so a later run re-applying an
 //! earlier sequence function to an already-deep record is a free lookup.
 
-use adalsh_data::{FieldDistance, Record};
+use adalsh_data::{FieldDistance, RecordFields};
 use adalsh_lsh::mix::{combine, derive_seed, splitmix64};
 use adalsh_lsh::multifield::WeightedSelection;
 use adalsh_lsh::scheme::WzScheme;
@@ -268,10 +268,10 @@ impl HashPart {
     ///
     /// # Panics
     /// Panics if a dense function was not materialized.
-    fn eval(&self, t: u32, j: u32, record: &Record) -> u64 {
+    fn eval<R: RecordFields>(&self, t: u32, j: u32, record: &R) -> u64 {
         match self {
             HashPart::Dense { field, tables, .. } => {
-                tables[t as usize].hash(j as usize, record.field(*field).as_dense().components())
+                tables[t as usize].hash(j as usize, record.field_ref(*field).as_dense())
             }
             HashPart::Shingles {
                 field,
@@ -281,7 +281,7 @@ impl HashPart {
                 // Scalar oracle for the DOPH scheme: recompute the full
                 // slot array and read one slot. Quadratic over a level —
                 // this path exists for differential tests, not hot loops.
-                let set = record.field(*field).as_shingles().shingles();
+                let set = record.field_ref(*field).as_shingles();
                 let mut all = vec![0u64; dp.family.num_slots()];
                 dp.family.hash_all(set, &mut all);
                 all[(t * dp.w_max + j) as usize]
@@ -292,7 +292,7 @@ impl HashPart {
                 doph: None,
             } => {
                 let idx = u64::from(t) * TABLE_STRIDE + u64::from(j);
-                family.hash(idx as usize, record.field(*field).as_shingles().shingles())
+                family.hash(idx as usize, record.field_ref(*field).as_shingles())
             }
             HashPart::Weighted { selection, choices } => {
                 let idx = u64::from(t) * TABLE_STRIDE + u64::from(j);
@@ -713,9 +713,9 @@ impl SequenceHasher {
     ///
     /// # Panics
     /// Panics if `to_level` is out of range.
-    pub fn advance(
+    pub fn advance<R: RecordFields>(
         &self,
-        record: &Record,
+        record: &R,
         state: &mut RecordHashState,
         to_level: usize,
         stats: &mut Stats,
@@ -729,9 +729,9 @@ impl SequenceHasher {
     ///
     /// # Panics
     /// Panics if `to_level` is out of range.
-    pub fn advance_with_scratch(
+    pub fn advance_with_scratch<R: RecordFields>(
         &self,
-        record: &Record,
+        record: &R,
         state: &mut RecordHashState,
         to_level: usize,
         stats: &mut Stats,
@@ -754,9 +754,9 @@ impl SequenceHasher {
     }
 
     /// Advances exactly one level via the batch plans.
-    fn advance_one_batched(
+    fn advance_one_batched<R: RecordFields>(
         &self,
-        record: &Record,
+        record: &R,
         state: &mut RecordHashState,
         to_level: usize,
         stats: &mut Stats,
@@ -783,7 +783,7 @@ impl SequenceHasher {
                         let HashPart::Shingles { field, .. } = &self.parts[pp.part] else {
                             unreachable!("plan kind matches part kind")
                         };
-                        let set = record.field(*field).as_shingles().shingles();
+                        let set = record.field_ref(*field).as_shingles();
                         MinHashFamily::hash_batch_keys(keys, set, out);
                     }
                     PartPlanKind::DophSlots { slots } => {
@@ -795,7 +795,7 @@ impl SequenceHasher {
                         else {
                             unreachable!("plan kind matches part kind")
                         };
-                        let set = record.field(*field).as_shingles().shingles();
+                        let set = record.field_ref(*field).as_shingles();
                         let all = doph_slot_values(
                             &mut scratch.doph_vals,
                             &mut scratch.doph_valid,
@@ -811,7 +811,7 @@ impl SequenceHasher {
                         let HashPart::Dense { field, tables, .. } = &self.parts[pp.part] else {
                             unreachable!("plan kind matches part kind")
                         };
-                        let v = record.field(*field).as_dense().components();
+                        let v = record.field_ref(*field).as_dense();
                         let mut cur = 0usize;
                         for (t, js) in runs {
                             tables[*t as usize].hash_batch(js, v, &mut out[cur..cur + js.len()]);
@@ -830,7 +830,7 @@ impl SequenceHasher {
                                     ChoiceKind::Shingles { keys },
                                     HashPart::Shingles { field, .. },
                                 ) => {
-                                    let set = record.field(*field).as_shingles().shingles();
+                                    let set = record.field_ref(*field).as_shingles();
                                     MinHashFamily::hash_batch_keys(keys, set, &mut scratch.tmp);
                                 }
                                 (
@@ -841,7 +841,7 @@ impl SequenceHasher {
                                         ..
                                     },
                                 ) => {
-                                    let set = record.field(*field).as_shingles().shingles();
+                                    let set = record.field_ref(*field).as_shingles();
                                     let all = doph_slot_values(
                                         &mut scratch.doph_vals,
                                         &mut scratch.doph_valid,
@@ -857,7 +857,7 @@ impl SequenceHasher {
                                     ChoiceKind::Dense { runs },
                                     HashPart::Dense { field, tables, .. },
                                 ) => {
-                                    let v = record.field(*field).as_dense().components();
+                                    let v = record.field_ref(*field).as_dense();
                                     let mut cur = 0usize;
                                     for (t, js) in runs {
                                         tables[*t as usize].hash_batch(
@@ -922,9 +922,9 @@ impl SequenceHasher {
     ///
     /// # Panics
     /// Panics if `to_level` is out of range.
-    pub fn advance_scalar(
+    pub fn advance_scalar<R: RecordFields>(
         &self,
-        record: &Record,
+        record: &R,
         state: &mut RecordHashState,
         to_level: usize,
         stats: &mut Stats,
@@ -940,9 +940,9 @@ impl SequenceHasher {
     }
 
     /// Advances exactly one level (from `lvl − 1` to `lvl`), scalar path.
-    fn advance_one(
+    fn advance_one<R: RecordFields>(
         &self,
-        record: &Record,
+        record: &R,
         state: &mut RecordHashState,
         to_level: usize,
         stats: &mut Stats,
@@ -1021,10 +1021,10 @@ impl SequenceHasher {
     /// `(ws_to, z_to)`. `parts` are the elementary sources feeding this
     /// group (all of them for `Shared`, a single one for `PerPart`).
     #[allow(clippy::too_many_arguments)]
-    fn extend_group(
+    fn extend_group<R: RecordFields>(
         parts: &[HashPart],
         accs: &mut Vec<u64>,
-        record: &Record,
+        record: &R,
         ws_from: &[u32],
         z_from: u32,
         ws_to: &[u32],

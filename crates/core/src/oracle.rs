@@ -54,7 +54,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use adalsh_data::{Dataset, MatchRule};
+use adalsh_data::{MatchRule, RecordStore};
 use adalsh_lsh::mix::derive_seed;
 use adalsh_obs::{TraceSink, Value};
 use serde::{Deserialize, Serialize};
@@ -171,7 +171,7 @@ pub struct Adjudication {
 /// evaluates blocks speculatively on worker threads.
 pub trait PairwiseOracle: Sync {
     /// Adjudicates the unordered pair `(a, b)` of record ids.
-    fn adjudicate(&self, dataset: &Dataset, a: u32, b: u32) -> Adjudication;
+    fn adjudicate(&self, store: &dyn RecordStore, a: u32, b: u32) -> Adjudication;
 
     /// Elementary distance computations per adjudicated pair, charged to
     /// `Stats::distance_evals` exactly like the rule-based path.
@@ -193,8 +193,8 @@ impl<'r> ExactOracle<'r> {
 }
 
 impl PairwiseOracle for ExactOracle<'_> {
-    fn adjudicate(&self, dataset: &Dataset, a: u32, b: u32) -> Adjudication {
-        let matched = self.rule.matches_in(dataset, a, b);
+    fn adjudicate(&self, store: &dyn RecordStore, a: u32, b: u32) -> Adjudication {
+        let matched = self.rule.matches_in(store, a, b);
         Adjudication {
             matched,
             rule_matched: matched,
@@ -303,13 +303,13 @@ impl<'r> NoisyOracle<'r> {
 }
 
 impl PairwiseOracle for NoisyOracle<'_> {
-    fn adjudicate(&self, dataset: &Dataset, a: u32, b: u32) -> Adjudication {
+    fn adjudicate(&self, store: &dyn RecordStore, a: u32, b: u32) -> Adjudication {
         if let Some(target) = self.cfg.panic_on_record {
             if a == target || b == target {
                 panic!("injected oracle fault: adjudication touching record {target}");
             }
         }
-        let truth = self.rule.matches_in(dataset, a, b);
+        let truth = self.rule.matches_in(store, a, b);
         let mut adj = Adjudication {
             rule_matched: truth,
             ..Adjudication::default()
@@ -578,7 +578,7 @@ impl VerdictOverlay {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use adalsh_data::{FieldDistance, FieldKind, FieldValue, Record, Schema, ShingleSet};
+    use adalsh_data::{Dataset, FieldDistance, FieldKind, FieldValue, Record, Schema, ShingleSet};
 
     fn dataset(sets: &[&[u64]]) -> Dataset {
         let schema = Schema::single("s", FieldKind::Shingles);

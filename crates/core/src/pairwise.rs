@@ -38,7 +38,7 @@
 //!   the verdict the scalar loop would compute (the rule is
 //!   deterministic and `matches_in` is bit-equivalent to `matches`).
 
-use adalsh_data::{Dataset, ExitCounts, MatchRule};
+use adalsh_data::{Dataset, ExitCounts, MatchRule, RecordStore};
 use adalsh_obs::{TraceSink, Value};
 
 use crate::oracle::{emit_oracle_call, Adjudication, PairwiseOracle, SpendLedger};
@@ -59,20 +59,20 @@ const MIN_PARALLEL_PAIRS: usize = 512;
 /// to `threads` workers in blocks of [`DEFAULT_PAIR_BLOCK`] pairs;
 /// output and statistics are identical at any thread count.
 pub fn apply_pairwise(
-    dataset: &Dataset,
+    store: &dyn RecordStore,
     rule: &MatchRule,
     cluster: &[u32],
     threads: usize,
     stats: &mut Stats,
 ) -> Vec<Vec<u32>> {
-    apply_pairwise_blocked(dataset, rule, cluster, threads, DEFAULT_PAIR_BLOCK, stats)
+    apply_pairwise_blocked(store, rule, cluster, threads, DEFAULT_PAIR_BLOCK, stats)
 }
 
 /// [`apply_pairwise`] with an explicit block size (exposed so the
 /// differential tests can sweep degenerate and adversarial block sizes;
 /// any `block_pairs >= 1` produces identical output and stats).
 pub fn apply_pairwise_blocked(
-    dataset: &Dataset,
+    store: &dyn RecordStore,
     rule: &MatchRule,
     cluster: &[u32],
     threads: usize,
@@ -103,7 +103,7 @@ pub fn apply_pairwise_blocked(
                 }
                 stats.pair_comparisons += 1;
                 stats.distance_evals += per_pair_distances;
-                if rule.matches_in(dataset, cluster[i as usize], cluster[j as usize]) {
+                if rule.matches_in(store, cluster[i as usize], cluster[j as usize]) {
                     forest.merge_roots(ri, rj);
                 }
             }
@@ -136,7 +136,7 @@ pub fn apply_pairwise_blocked(
             }
         }
 
-        evaluate_block(dataset, rule, cluster, &open, threads, &mut verdicts);
+        evaluate_block(store, rule, cluster, &open, threads, &mut verdicts);
 
         // Fold verdicts sequentially in canonical pair order, re-applying
         // the closure-skip test so accounting matches the scalar oracle.
@@ -188,7 +188,7 @@ pub struct PairwiseTrace {
 /// stats-neutral by construction — see
 /// `parallel_equals_scalar_on_mixed_cluster`).
 pub fn apply_pairwise_traced(
-    dataset: &Dataset,
+    store: &dyn RecordStore,
     rule: &MatchRule,
     cluster: &[u32],
     threads: usize,
@@ -197,7 +197,7 @@ pub fn apply_pairwise_traced(
     stats: &mut Stats,
 ) -> (Vec<Vec<u32>>, PairwiseTrace) {
     if !sink.enabled() {
-        let clusters = apply_pairwise_blocked(dataset, rule, cluster, threads, block_pairs, stats);
+        let clusters = apply_pairwise_blocked(store, rule, cluster, threads, block_pairs, stats);
         return (clusters, PairwiseTrace::default());
     }
     stats.pairwise_calls += 1;
@@ -232,7 +232,7 @@ pub fn apply_pairwise_traced(
             }
         }
 
-        let counts = evaluate_block_counted(dataset, rule, cluster, &open, threads, &mut verdicts);
+        let counts = evaluate_block_counted(store, rule, cluster, &open, threads, &mut verdicts);
 
         let mut charged = 0u64;
         for (&(a, b), &matched) in open.iter().zip(&verdicts) {
@@ -289,7 +289,7 @@ pub fn apply_pairwise_traced(
 /// `oracle_call` event per settled pair are emitted.
 #[allow(clippy::too_many_arguments)]
 pub fn apply_pairwise_oracle(
-    dataset: &Dataset,
+    store: &dyn RecordStore,
     oracle: &dyn PairwiseOracle,
     cluster: &[u32],
     threads: usize,
@@ -323,7 +323,7 @@ pub fn apply_pairwise_oracle(
                     continue;
                 }
                 let (a_id, b_id) = (cluster[i as usize], cluster[j as usize]);
-                let adj = oracle.adjudicate(dataset, a_id, b_id);
+                let adj = oracle.adjudicate(store, a_id, b_id);
                 stats.pair_comparisons += 1;
                 stats.distance_evals += per_pair_distances;
                 let settled = ledger.settle(a_id, b_id, &adj);
@@ -357,7 +357,7 @@ pub fn apply_pairwise_oracle(
             }
         }
 
-        evaluate_block_oracle(dataset, oracle, cluster, &open, threads, &mut adjudications);
+        evaluate_block_oracle(store, oracle, cluster, &open, threads, &mut adjudications);
 
         let mut charged = 0u64;
         for (&(a, b), adj) in open.iter().zip(&adjudications) {
@@ -404,7 +404,7 @@ pub fn apply_pairwise_oracle(
 /// pure functions of the pair, so workers share nothing but their
 /// disjoint output chunks.
 fn evaluate_block_oracle(
-    dataset: &Dataset,
+    store: &dyn RecordStore,
     oracle: &dyn PairwiseOracle,
     cluster: &[u32],
     open: &[(u32, u32)],
@@ -415,7 +415,7 @@ fn evaluate_block_oracle(
     out.resize(open.len(), Adjudication::default());
     let eval = |pairs: &[(u32, u32)], out: &mut [Adjudication]| {
         for (slot, &(a, b)) in out.iter_mut().zip(pairs) {
-            *slot = oracle.adjudicate(dataset, cluster[a as usize], cluster[b as usize]);
+            *slot = oracle.adjudicate(store, cluster[a as usize], cluster[b as usize]);
         }
     };
     if threads == 1 || open.len() < MIN_PARALLEL_PAIRS {
@@ -445,7 +445,7 @@ fn clusters_of(forest: Forest, cluster: &[u32]) -> Vec<Vec<u32>> {
 /// verdict buffer (its per-worker scratch), so no synchronization beyond
 /// the final join is needed.
 fn evaluate_block(
-    dataset: &Dataset,
+    store: &dyn RecordStore,
     rule: &MatchRule,
     cluster: &[u32],
     open: &[(u32, u32)],
@@ -456,7 +456,7 @@ fn evaluate_block(
     verdicts.resize(open.len(), false);
     let eval = |pairs: &[(u32, u32)], out: &mut [bool]| {
         for (v, &(a, b)) in out.iter_mut().zip(pairs) {
-            *v = rule.matches_in(dataset, cluster[a as usize], cluster[b as usize]);
+            *v = rule.matches_in(store, cluster[a as usize], cluster[b as usize]);
         }
     };
     if threads == 1 || open.len() < MIN_PARALLEL_PAIRS {
@@ -477,7 +477,7 @@ fn evaluate_block(
 /// are bit-identical to the uncounted path (the counted kernels own the
 /// logic; the plain ones delegate).
 fn evaluate_block_counted(
-    dataset: &Dataset,
+    store: &dyn RecordStore,
     rule: &MatchRule,
     cluster: &[u32],
     open: &[(u32, u32)],
@@ -490,7 +490,7 @@ fn evaluate_block_counted(
         let mut counts = ExitCounts::default();
         for (v, &(a, b)) in out.iter_mut().zip(pairs) {
             *v = rule.matches_in_counted(
-                dataset,
+                store,
                 cluster[a as usize],
                 cluster[b as usize],
                 &mut counts,

@@ -8,7 +8,7 @@
 //! 2. **Recovery** — after ER on the filtering output, fetch records
 //!    that were mistakenly excluded. The paper evaluates a *perfect*
 //!    recovery (§6.2.1): for each entity referenced by an output record,
-//!    collect *all* that entity's records from the whole dataset; its
+//!    collect *all* that entity's records from the whole store; its
 //!    run time is modeled by the benchmark recovery algorithm
 //!    ([`crate::metrics::SpeedupModel::recovery_time`]). A *rule-based*
 //!    recovery is also provided for users without ground truth: every
@@ -17,7 +17,7 @@
 
 use std::collections::HashSet;
 
-use adalsh_data::{Dataset, MatchRule};
+use adalsh_data::{MatchRule, RecordStore};
 use adalsh_obs::TraceSink;
 
 use crate::oracle::{emit_oracle_call, PairwiseOracle, SpendLedger};
@@ -31,29 +31,26 @@ use crate::stats::Stats;
 /// If *all* records of a top-k entity were filtered out, that entity
 /// cannot be recovered (§6.1.2's caveat) — it simply has no reference in
 /// the output.
-pub fn perfect_recovery(dataset: &Dataset, output_records: &[u32]) -> Vec<Vec<u32>> {
-    let entities: HashSet<u32> = output_records
-        .iter()
-        .map(|&r| dataset.entity_of(r))
-        .collect();
-    let mut clusters: Vec<Vec<u32>> = dataset
+pub fn perfect_recovery(store: &dyn RecordStore, output_records: &[u32]) -> Vec<Vec<u32>> {
+    let entities: HashSet<u32> = output_records.iter().map(|&r| store.entity_of(r)).collect();
+    let mut clusters: Vec<Vec<u32>> = store
         .ground_truth_clusters()
         .into_iter()
-        .filter(|c| entities.contains(&dataset.entity_of(c[0])))
+        .filter(|c| entities.contains(&store.entity_of(c[0])))
         .collect();
     clusters.sort_by(|a, b| b.len().cmp(&a.len()).then_with(|| a[0].cmp(&b[0])));
     clusters
 }
 
-/// The "perfect ER algorithm applied to the reduced dataset" of §6.2 /
+/// The "perfect ER algorithm applied to the reduced store" of §6.2 /
 /// §7.3.3: groups the *output records only* by their true entity —
 /// unlike [`perfect_recovery`], no records outside the output are added.
 /// This is the clustering whose mAP/mAR Figure 13 reports. Clusters are
 /// sorted descending by size (ties by first record id).
-pub fn perfect_er_on_output(dataset: &Dataset, output_records: &[u32]) -> Vec<Vec<u32>> {
+pub fn perfect_er_on_output(store: &dyn RecordStore, output_records: &[u32]) -> Vec<Vec<u32>> {
     let mut by_entity: std::collections::BTreeMap<u32, Vec<u32>> = Default::default();
     for &r in output_records {
-        by_entity.entry(dataset.entity_of(r)).or_default().push(r);
+        by_entity.entry(store.entity_of(r)).or_default().push(r);
     }
     let mut clusters: Vec<Vec<u32>> = by_entity.into_values().collect();
     for c in &mut clusters {
@@ -70,7 +67,7 @@ pub fn perfect_er_on_output(dataset: &Dataset, output_records: &[u32]) -> Vec<Ve
 /// record. Returns the augmented clusters (descending size) and counts
 /// the comparisons in `stats`.
 pub fn rule_recovery(
-    dataset: &Dataset,
+    store: &dyn RecordStore,
     rule: &MatchRule,
     clusters: &[Vec<u32>],
     stats: &mut Stats,
@@ -78,7 +75,7 @@ pub fn rule_recovery(
     let included: HashSet<u32> = clusters.iter().flatten().copied().collect();
     let mut augmented: Vec<Vec<u32>> = clusters.to_vec();
     let per_pair = rule.num_elementary_distances() as u64;
-    for r in 0..dataset.len() as u32 {
+    for r in 0..store.len() as u32 {
         if included.contains(&r) {
             continue;
         }
@@ -87,7 +84,7 @@ pub fn rule_recovery(
                 let m = cluster[i];
                 stats.pair_comparisons += 1;
                 stats.distance_evals += per_pair;
-                if rule.matches(dataset.record(r), dataset.record(m)) {
+                if rule.matches_in(store, r, m) {
                     cluster.push(r);
                     break 'next_record;
                 }
@@ -113,7 +110,7 @@ pub fn rule_recovery(
 /// the sink is enabled (recovery runs outside engine run segments; the
 /// event is segment-free by schema).
 pub fn rule_recovery_oracle(
-    dataset: &Dataset,
+    store: &dyn RecordStore,
     oracle: &dyn PairwiseOracle,
     clusters: &[Vec<u32>],
     ledger: &mut SpendLedger,
@@ -124,7 +121,7 @@ pub fn rule_recovery_oracle(
     let mut augmented: Vec<Vec<u32>> = clusters.to_vec();
     let per_pair = oracle.num_elementary_distances() as u64;
     let traced = sink.enabled();
-    for r in 0..dataset.len() as u32 {
+    for r in 0..store.len() as u32 {
         if included.contains(&r) {
             continue;
         }
@@ -133,7 +130,7 @@ pub fn rule_recovery_oracle(
                 let m = cluster[i];
                 stats.pair_comparisons += 1;
                 stats.distance_evals += per_pair;
-                let adj = oracle.adjudicate(dataset, r, m);
+                let adj = oracle.adjudicate(store, r, m);
                 let settled = ledger.settle(r, m, &adj);
                 if traced {
                     emit_oracle_call(sink, &settled);
@@ -155,7 +152,7 @@ pub fn rule_recovery_oracle(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use adalsh_data::{FieldDistance, FieldKind, FieldValue, Record, Schema, ShingleSet};
+    use adalsh_data::{Dataset, FieldDistance, FieldKind, FieldValue, Record, Schema, ShingleSet};
 
     /// 3 entities: e0 = {0,1,2}, e1 = {3,4}, e2 = {5}; records of an
     /// entity share their shingles exactly.

@@ -20,7 +20,7 @@
 
 use std::collections::HashMap;
 
-use adalsh_data::Dataset;
+use adalsh_data::{RecordStore, RecordView};
 use adalsh_lsh::mix::combine;
 
 use crate::hashing::{HashScratch, RecordHashState, SequenceHasher};
@@ -47,12 +47,12 @@ const MIN_PARALLEL_EVALS: u64 = 1 << 15;
 pub fn apply_transitive(
     hasher: &SequenceHasher,
     states: &mut [RecordHashState],
-    dataset: &Dataset,
+    store: &dyn RecordStore,
     cluster: &[u32],
     to_level: usize,
     stats: &mut Stats,
 ) -> Vec<Vec<u32>> {
-    apply_transitive_threaded(hasher, states, dataset, cluster, to_level, 1, stats)
+    apply_transitive_threaded(hasher, states, store, cluster, to_level, 1, stats)
 }
 
 /// Like [`apply_transitive`], hashing records on up to `threads` worker
@@ -74,7 +74,7 @@ pub fn apply_transitive(
 pub fn apply_transitive_threaded(
     hasher: &SequenceHasher,
     states: &mut [RecordHashState],
-    dataset: &Dataset,
+    store: &dyn RecordStore,
     cluster: &[u32],
     to_level: usize,
     threads: usize,
@@ -106,7 +106,7 @@ pub fn apply_transitive_threaded(
         let mut scratch = HashScratch::default();
         for &rid in cluster {
             hasher.advance_with_scratch(
-                dataset.record(rid),
+                &RecordView::new(store, rid),
                 &mut states[rid as usize],
                 to_level,
                 stats,
@@ -156,7 +156,7 @@ pub fn apply_transitive_threaded(
                     let mut scratch = HashScratch::default();
                     for (rid, state) in chunk {
                         hasher.advance_with_scratch(
-                            dataset.record(*rid),
+                            &RecordView::new(store, *rid),
                             state,
                             to_level,
                             &mut local,
@@ -235,7 +235,7 @@ pub fn apply_transitive_threaded(
 mod tests {
     use super::*;
     use crate::hashing::{HashPart, LevelScheme};
-    use adalsh_data::{FieldKind, FieldValue, Record, Schema, ShingleSet};
+    use adalsh_data::{Dataset, FieldKind, FieldValue, Record, Schema, ShingleSet};
 
     /// Builds a dataset of shingle records from the raw sets.
     fn dataset(sets: &[&[u64]]) -> Dataset {

@@ -13,7 +13,8 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::record::{FieldKind, FieldValue};
+use crate::record::{FieldKind, FieldRef, FieldValue};
+use crate::{shingle, vector};
 
 /// Tally of threshold-kernel invocations and how many of them resolved
 /// on an early-exit path (size-ratio bound, cosine-space compare, or a
@@ -59,9 +60,22 @@ impl FieldDistance {
     /// # Panics
     /// Panics if either value's kind does not match the metric.
     pub fn eval(self, a: &FieldValue, b: &FieldValue) -> f64 {
+        self.eval_ref(a.as_ref(), b.as_ref())
+    }
+
+    /// [`FieldDistance::eval`] over borrowed [`FieldRef`] payloads — the
+    /// canonical kernel entry point shared by the in-RAM and mapped-store
+    /// paths.
+    ///
+    /// # Panics
+    /// Panics if either ref's kind does not match the metric.
+    pub fn eval_ref(self, a: FieldRef<'_>, b: FieldRef<'_>) -> f64 {
         match self {
-            FieldDistance::Angular => a.as_dense().angular_distance(b.as_dense()),
-            FieldDistance::Jaccard => a.as_shingles().jaccard_distance(b.as_shingles()),
+            FieldDistance::Angular => {
+                let (a, b) = (a.as_dense(), b.as_dense());
+                vector::angle_degrees_with_norms(a, b, vector::norm(a), vector::norm(b)) / 180.0
+            }
+            FieldDistance::Jaccard => shingle::jaccard_distance(a.as_shingles(), b.as_shingles()),
         }
     }
 
@@ -74,13 +88,26 @@ impl FieldDistance {
     /// # Panics
     /// Panics if either value's kind does not match the metric.
     pub fn eval_with_norms(self, a: &FieldValue, b: &FieldValue, norm_a: f64, norm_b: f64) -> f64 {
+        self.eval_with_norms_ref(a.as_ref(), b.as_ref(), norm_a, norm_b)
+    }
+
+    /// [`FieldDistance::eval_with_norms`] over borrowed [`FieldRef`]
+    /// payloads.
+    ///
+    /// # Panics
+    /// Panics if either ref's kind does not match the metric.
+    pub fn eval_with_norms_ref(
+        self,
+        a: FieldRef<'_>,
+        b: FieldRef<'_>,
+        norm_a: f64,
+        norm_b: f64,
+    ) -> f64 {
         match self {
             FieldDistance::Angular => {
-                a.as_dense()
-                    .angle_degrees_with_norms(b.as_dense(), norm_a, norm_b)
-                    / 180.0
+                vector::angle_degrees_with_norms(a.as_dense(), b.as_dense(), norm_a, norm_b) / 180.0
             }
-            FieldDistance::Jaccard => a.as_shingles().jaccard_distance(b.as_shingles()),
+            FieldDistance::Jaccard => shingle::jaccard_distance(a.as_shingles(), b.as_shingles()),
         }
     }
 
@@ -123,14 +150,35 @@ impl FieldDistance {
         norm_a: f64,
         norm_b: f64,
     ) -> (bool, bool) {
+        self.distance_at_most_counted_ref(a.as_ref(), b.as_ref(), dthr, norm_a, norm_b)
+    }
+
+    /// [`FieldDistance::distance_at_most_counted`] over borrowed
+    /// [`FieldRef`] payloads — the kernel the pairwise verification loop
+    /// runs regardless of whether the records live in RAM or in a mapped
+    /// store file.
+    ///
+    /// # Panics
+    /// Panics if either ref's kind does not match the metric.
+    pub fn distance_at_most_counted_ref(
+        self,
+        a: FieldRef<'_>,
+        b: FieldRef<'_>,
+        dthr: f64,
+        norm_a: f64,
+        norm_b: f64,
+    ) -> (bool, bool) {
         match self {
-            FieldDistance::Angular => {
-                a.as_dense()
-                    .angular_at_most_with_norms_counted(b.as_dense(), dthr, norm_a, norm_b)
+            FieldDistance::Angular => vector::angular_at_most_with_norms_counted(
+                a.as_dense(),
+                b.as_dense(),
+                dthr,
+                norm_a,
+                norm_b,
+            ),
+            FieldDistance::Jaccard => {
+                shingle::jaccard_at_most_counted(a.as_shingles(), b.as_shingles(), dthr)
             }
-            FieldDistance::Jaccard => a
-                .as_shingles()
-                .jaccard_at_most_counted(b.as_shingles(), dthr),
         }
     }
 

@@ -50,33 +50,95 @@ pub fn write_jsonl<W: Write>(dataset: &Dataset, mut out: W) -> std::io::Result<(
     Ok(())
 }
 
-/// Reads a dataset from JSON-lines format.
+/// Streaming JSON-lines reader: parses the header eagerly, then yields
+/// one `(Record, EntityId)` at a time through a **reused line buffer**,
+/// so reading a dataset costs one line of text in memory at a time —
+/// not the whole file, and not one `String` allocation per line. This
+/// is the ingestion path the out-of-core store builder rides: a
+/// million-record JSONL file streams straight into a store file without
+/// ever materializing the dataset.
+///
+/// [`read_jsonl`] is a thin collect-everything wrapper over this type.
+pub struct JsonlReader<R: BufRead> {
+    input: R,
+    schema: Schema,
+    buf: String,
+    records_seen: usize,
+}
+
+impl<R: BufRead> JsonlReader<R> {
+    /// Opens a reader, consuming and validating the header line.
+    ///
+    /// # Errors
+    /// Fails on I/O errors, a missing header, or malformed header JSON.
+    pub fn open(mut input: R) -> std::io::Result<Self> {
+        let mut buf = String::new();
+        if input.read_line(&mut buf)? == 0 {
+            return Err(bad_data("missing header line"));
+        }
+        let header: Header = serde_json::from_str(buf.trim_end_matches(['\n', '\r']))?;
+        Ok(Self {
+            input,
+            schema: header.schema,
+            buf,
+            records_seen: 0,
+        })
+    }
+
+    /// The schema declared by the header.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Records yielded so far.
+    pub fn records_seen(&self) -> usize {
+        self.records_seen
+    }
+
+    /// Parses the next record line, skipping blank lines. Returns
+    /// `Ok(None)` at end of input.
+    ///
+    /// # Errors
+    /// Fails on I/O errors, malformed JSON, records violating the header
+    /// schema, or a record count overflowing the `u32` id space.
+    pub fn next_record(&mut self) -> std::io::Result<Option<(Record, EntityId)>> {
+        loop {
+            self.buf.clear();
+            if self.input.read_line(&mut self.buf)? == 0 {
+                return Ok(None);
+            }
+            let line = self.buf.trim_end_matches(['\n', '\r']);
+            if line.trim().is_empty() {
+                continue;
+            }
+            let parsed: Line = serde_json::from_str(line)?;
+            self.schema.validate(&parsed.fields).map_err(bad_data)?;
+            crate::dataset::ensure_record_id_capacity(self.records_seen + 1).map_err(bad_data)?;
+            self.records_seen += 1;
+            return Ok(Some((parsed.fields, parsed.entity)));
+        }
+    }
+}
+
+/// Reads a dataset from JSON-lines format by streaming it through
+/// [`JsonlReader`] (line-at-a-time, one reused buffer).
 ///
 /// # Errors
 /// Fails on I/O errors, malformed JSON, a missing header, an empty body,
 /// or records that violate the header schema.
 pub fn read_jsonl<R: BufRead>(input: R) -> std::io::Result<Dataset> {
-    let mut lines = input.lines();
-    let header_line = lines
-        .next()
-        .ok_or_else(|| bad_data("missing header line"))??;
-    let header: Header = serde_json::from_str(&header_line)?;
+    let mut reader = JsonlReader::open(input)?;
     let mut records = Vec::new();
     let mut gt = Vec::new();
-    for line in lines {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        let parsed: Line = serde_json::from_str(&line)?;
-        header.schema.validate(&parsed.fields).map_err(bad_data)?;
-        records.push(parsed.fields);
-        gt.push(parsed.entity);
+    while let Some((record, entity)) = reader.next_record()? {
+        records.push(record);
+        gt.push(entity);
     }
     if records.is_empty() {
         return Err(bad_data("dataset has no records"));
     }
-    Ok(Dataset::new(header.schema, records, gt))
+    let schema = reader.schema().clone();
+    Ok(Dataset::new(schema, records, gt))
 }
 
 /// Writes a dataset to a file in JSON-lines format.
@@ -185,6 +247,26 @@ mod tests {
         text.push('\n');
         let back = read_jsonl(std::io::Cursor::new(text.into_bytes())).unwrap();
         assert_eq!(back.len(), 2);
+    }
+
+    #[test]
+    fn streaming_reader_equals_collected_read() {
+        let d = sample();
+        let mut buf = Vec::new();
+        write_jsonl(&d, &mut buf).unwrap();
+        let mut reader = JsonlReader::open(std::io::Cursor::new(buf.clone())).unwrap();
+        assert_eq!(reader.schema(), d.schema());
+        let mut streamed = Vec::new();
+        while let Some(pair) = reader.next_record().unwrap() {
+            streamed.push(pair);
+        }
+        assert_eq!(reader.records_seen(), d.len());
+        let collected = read_jsonl(std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(streamed.len(), collected.len());
+        for (i, (rec, ent)) in streamed.iter().enumerate() {
+            assert_eq!(rec, collected.record(i as u32));
+            assert_eq!(*ent, collected.entity_of(i as u32));
+        }
     }
 
     #[test]

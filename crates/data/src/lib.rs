@@ -21,11 +21,13 @@ pub mod io;
 pub mod record;
 pub mod rule;
 pub mod shingle;
+pub mod store;
 pub mod vector;
 
-pub use dataset::{Dataset, EntityId};
+pub use dataset::{ensure_record_id_capacity, Dataset, EntityId, MAX_RECORDS};
 pub use distance::{ExitCounts, FieldDistance};
-pub use record::{FieldKind, FieldValue, Record, Schema};
+pub use record::{FieldKind, FieldRef, FieldValue, Record, Schema};
 pub use rule::MatchRule;
 pub use shingle::ShingleSet;
+pub use store::{RecordFields, RecordStore, RecordView};
 pub use vector::DenseVector;

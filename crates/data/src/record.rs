@@ -39,6 +39,16 @@ impl FieldValue {
         }
     }
 
+    /// Borrows this value as a [`FieldRef`] — the common currency of the
+    /// distance and hash kernels, shared with out-of-core stores that
+    /// never materialize a `FieldValue` at all.
+    pub fn as_ref(&self) -> FieldRef<'_> {
+        match self {
+            FieldValue::Dense(v) => FieldRef::Dense(v.components()),
+            FieldValue::Shingles(s) => FieldRef::Shingles(s.shingles()),
+        }
+    }
+
     /// Borrows the dense vector, panicking on a kind mismatch.
     ///
     /// # Panics
@@ -58,6 +68,73 @@ impl FieldValue {
         match self {
             FieldValue::Shingles(s) => s,
             FieldValue::Dense(_) => panic!("field is a dense vector, expected shingle set"),
+        }
+    }
+}
+
+/// A borrowed view of one field's payload.
+///
+/// This is the type every distance / hash kernel actually consumes: the
+/// in-RAM [`FieldValue`] lends its backing slice via
+/// [`FieldValue::as_ref`], and a memory-mapped store lends a slice of the
+/// mapped file directly — the two paths run the *same* kernels on the
+/// *same* bytes, which is what makes the in-RAM and out-of-core engines
+/// bit-identical by construction.
+///
+/// Invariants mirror the owned types: a `Shingles` slice is sorted and
+/// deduplicated; a `Dense` slice is non-empty.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FieldRef<'a> {
+    /// Borrowed dense-vector components.
+    Dense(&'a [f64]),
+    /// Borrowed sorted, deduplicated shingle hashes.
+    Shingles(&'a [u64]),
+}
+
+impl<'a> FieldRef<'a> {
+    /// The kind of the borrowed value.
+    pub fn kind(&self) -> FieldKind {
+        match self {
+            FieldRef::Dense(_) => FieldKind::Dense,
+            FieldRef::Shingles(_) => FieldKind::Shingles,
+        }
+    }
+
+    /// Borrows the dense components, panicking on a kind mismatch.
+    ///
+    /// # Panics
+    /// Panics if the value is not [`FieldRef::Dense`].
+    pub fn as_dense(&self) -> &'a [f64] {
+        match self {
+            FieldRef::Dense(v) => v,
+            FieldRef::Shingles(_) => panic!("field is a shingle set, expected dense vector"),
+        }
+    }
+
+    /// Borrows the shingle hashes, panicking on a kind mismatch.
+    ///
+    /// # Panics
+    /// Panics if the value is not [`FieldRef::Shingles`].
+    pub fn as_shingles(&self) -> &'a [u64] {
+        match self {
+            FieldRef::Shingles(s) => s,
+            FieldRef::Dense(_) => panic!("field is a dense vector, expected shingle set"),
+        }
+    }
+
+    /// Number of payload elements (components or shingles).
+    pub fn payload_len(&self) -> usize {
+        match self {
+            FieldRef::Dense(v) => v.len(),
+            FieldRef::Shingles(s) => s.len(),
+        }
+    }
+
+    /// Clones the borrowed payload into an owned [`FieldValue`].
+    pub fn to_value(&self) -> FieldValue {
+        match self {
+            FieldRef::Dense(v) => FieldValue::Dense(DenseVector::new(v.to_vec())),
+            FieldRef::Shingles(s) => FieldValue::Shingles(ShingleSet::new(s.to_vec())),
         }
     }
 }
@@ -253,5 +330,27 @@ mod tests {
     #[should_panic(expected = "expected dense vector")]
     fn as_dense_panics_on_shingles() {
         let _ = sh(&[1]).as_dense();
+    }
+
+    #[test]
+    fn field_ref_round_trips() {
+        let d = dense(&[1.0, 2.0]);
+        let r = d.as_ref();
+        assert_eq!(r.kind(), FieldKind::Dense);
+        assert_eq!(r.as_dense(), &[1.0, 2.0]);
+        assert_eq!(r.payload_len(), 2);
+        assert_eq!(r.to_value(), d);
+        let s = sh(&[3, 1, 2]);
+        let r = s.as_ref();
+        assert_eq!(r.kind(), FieldKind::Shingles);
+        assert_eq!(r.as_shingles(), &[1, 2, 3]);
+        assert_eq!(r.to_value(), s);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected shingle set")]
+    fn field_ref_as_shingles_panics_on_dense() {
+        let v = dense(&[1.0]);
+        let _ = v.as_ref().as_shingles();
     }
 }

@@ -10,9 +10,9 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::dataset::Dataset;
 use crate::distance::{ExitCounts, FieldDistance};
 use crate::record::{Record, Schema};
+use crate::store::RecordStore;
 
 /// One component of a weighted-average rule.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -74,32 +74,37 @@ impl MatchRule {
         }
     }
 
-    /// Do records `i` and `j` of `dataset` match under this rule?
+    /// Do records `i` and `j` of `store` match under this rule?
     ///
     /// Semantically identical to [`MatchRule::matches`] on the two
     /// records — same verdict for every input, bit for bit — but routed
     /// through the cached distance kernels: precomputed vector norms
-    /// (`Dataset::field_norm`) and the per-metric threshold fast paths
-    /// ([`FieldDistance::distance_at_most`]). This is the kernel the
-    /// quadratic pairwise verification loop hammers; `matches` remains
-    /// the plain-record path (and the differential-test oracle).
-    pub fn matches_in(&self, dataset: &Dataset, i: u32, j: u32) -> bool {
-        let (a, b) = (dataset.record(i), dataset.record(j));
+    /// ([`RecordStore::field_norm`]) and the per-metric threshold fast
+    /// paths ([`FieldDistance::distance_at_most`]). This is the kernel
+    /// the quadratic pairwise verification loop hammers, and it runs
+    /// identically whether the store is an in-RAM [`crate::Dataset`] or
+    /// a memory-mapped file; `matches` remains the plain-record path
+    /// (and the differential-test oracle).
+    pub fn matches_in(&self, store: &dyn RecordStore, i: u32, j: u32) -> bool {
         match self {
             MatchRule::Threshold {
                 field,
                 metric,
                 dthr,
-            } => metric.distance_at_most(
-                a.field(*field),
-                b.field(*field),
-                *dthr,
-                dataset.field_norm(i, *field),
-                dataset.field_norm(j, *field),
-            ),
+            } => {
+                metric
+                    .distance_at_most_counted_ref(
+                        store.field(i, *field),
+                        store.field(j, *field),
+                        *dthr,
+                        store.field_norm(i, *field),
+                        store.field_norm(j, *field),
+                    )
+                    .0
+            }
             // Same short-circuit order as `matches`.
-            MatchRule::And(subs) => subs.iter().all(|r| r.matches_in(dataset, i, j)),
-            MatchRule::Or(subs) => subs.iter().any(|r| r.matches_in(dataset, i, j)),
+            MatchRule::And(subs) => subs.iter().all(|r| r.matches_in(store, i, j)),
+            MatchRule::Or(subs) => subs.iter().any(|r| r.matches_in(store, i, j)),
             MatchRule::WeightedAverage { parts, dthr } => {
                 // Same iteration order and summation as `weighted_distance`
                 // (no early exit: a partial-sum cutoff could not reproduce
@@ -108,11 +113,11 @@ impl MatchRule {
                     .iter()
                     .map(|p| {
                         p.weight
-                            * p.metric.eval_with_norms(
-                                a.field(p.field),
-                                b.field(p.field),
-                                dataset.field_norm(i, p.field),
-                                dataset.field_norm(j, p.field),
+                            * p.metric.eval_with_norms_ref(
+                                store.field(i, p.field),
+                                store.field(j, p.field),
+                                store.field_norm(i, p.field),
+                                store.field_norm(j, p.field),
                             )
                     })
                     .sum();
@@ -130,24 +135,23 @@ impl MatchRule {
     /// is bit-identical to `matches_in` for every input.
     pub fn matches_in_counted(
         &self,
-        dataset: &Dataset,
+        store: &dyn RecordStore,
         i: u32,
         j: u32,
         counts: &mut ExitCounts,
     ) -> bool {
-        let (a, b) = (dataset.record(i), dataset.record(j));
         match self {
             MatchRule::Threshold {
                 field,
                 metric,
                 dthr,
             } => {
-                let (verdict, early) = metric.distance_at_most_counted(
-                    a.field(*field),
-                    b.field(*field),
+                let (verdict, early) = metric.distance_at_most_counted_ref(
+                    store.field(i, *field),
+                    store.field(j, *field),
                     *dthr,
-                    dataset.field_norm(i, *field),
-                    dataset.field_norm(j, *field),
+                    store.field_norm(i, *field),
+                    store.field_norm(j, *field),
                 );
                 counts.checks += 1;
                 counts.early_exits += u64::from(early);
@@ -157,21 +161,21 @@ impl MatchRule {
             // are not counted (their kernels never ran).
             MatchRule::And(subs) => subs
                 .iter()
-                .all(|r| r.matches_in_counted(dataset, i, j, counts)),
+                .all(|r| r.matches_in_counted(store, i, j, counts)),
             MatchRule::Or(subs) => subs
                 .iter()
-                .any(|r| r.matches_in_counted(dataset, i, j, counts)),
+                .any(|r| r.matches_in_counted(store, i, j, counts)),
             MatchRule::WeightedAverage { parts, dthr } => {
                 counts.checks += parts.len() as u64;
                 let d: f64 = parts
                     .iter()
                     .map(|p| {
                         p.weight
-                            * p.metric.eval_with_norms(
-                                a.field(p.field),
-                                b.field(p.field),
-                                dataset.field_norm(i, p.field),
-                                dataset.field_norm(j, p.field),
+                            * p.metric.eval_with_norms_ref(
+                                store.field(i, p.field),
+                                store.field(j, p.field),
+                                store.field_norm(i, p.field),
+                                store.field_norm(j, p.field),
                             )
                     })
                     .sum();

@@ -76,19 +76,7 @@ impl ShingleSet {
     /// binary search per small-set element, `O(|small| · log |large|)`)
     /// is used instead. Both paths return the exact same count.
     pub fn intersection_size(&self, other: &Self) -> usize {
-        let (small, large) = if self.0.len() <= other.0.len() {
-            (self, other)
-        } else {
-            (other, self)
-        };
-        if small.0.is_empty() {
-            return 0;
-        }
-        if large.0.len() >= GALLOP_RATIO * small.0.len() {
-            small.intersection_size_galloping(large)
-        } else {
-            small.intersection_size_merge(large)
-        }
+        intersection_size(&self.0, &other.0)
     }
 
     /// Intersection size via the linear merge pass. Exposed so the
@@ -102,15 +90,7 @@ impl ShingleSet {
     /// three-way merge: on equality both cursors advance and the element
     /// is counted once.
     pub fn intersection_size_merge(&self, other: &Self) -> usize {
-        let (a, b) = (&self.0, &other.0);
-        let (mut i, mut j, mut n) = (0, 0, 0);
-        while i < a.len() && j < b.len() {
-            let (x, y) = (a[i], b[j]);
-            n += usize::from(x == y);
-            i += usize::from(x <= y);
-            j += usize::from(y <= x);
-        }
-        n
+        intersection_size_merge(&self.0, &other.0)
     }
 
     /// Intersection size via galloping: for each element of `self` (the
@@ -118,53 +98,20 @@ impl ShingleSet {
     /// the last hit position, then binary-search the bracketed run.
     /// Exposed so tests can pin it against the merge on any size ratio.
     pub fn intersection_size_galloping(&self, other: &Self) -> usize {
-        let large = &other.0;
-        let (mut lo, mut n) = (0usize, 0usize);
-        for &x in &self.0 {
-            if lo >= large.len() {
-                break;
-            }
-            let pos = if large[lo] >= x {
-                lo
-            } else {
-                // Invariant: large[base] < x. Double the step until the
-                // probe overshoots, then binary-search the bracket.
-                let mut base = lo;
-                let mut step = 1;
-                while base + step < large.len() && large[base + step] < x {
-                    base += step;
-                    step *= 2;
-                }
-                let hi = (base + step).min(large.len());
-                // The first element >= x (if any) lies in (base, hi].
-                base + 1 + large[base + 1..hi].partition_point(|&y| y < x)
-            };
-            if pos < large.len() && large[pos] == x {
-                n += 1;
-                lo = pos + 1;
-            } else {
-                lo = pos;
-            }
-        }
-        n
+        intersection_size_galloping(&self.0, &other.0)
     }
 
     /// Jaccard *similarity* `|A ∩ B| / |A ∪ B| ∈ [0, 1]`.
     ///
     /// Two empty sets are defined to be identical (similarity 1).
     pub fn jaccard_similarity(&self, other: &Self) -> f64 {
-        if self.is_empty() && other.is_empty() {
-            return 1.0;
-        }
-        let inter = self.intersection_size(other);
-        let union = self.0.len() + other.0.len() - inter;
-        inter as f64 / union as f64
+        jaccard_similarity(&self.0, &other.0)
     }
 
     /// Jaccard *distance* `1 − similarity ∈ [0, 1]` — the form every LSH
     /// component in this workspace consumes.
     pub fn jaccard_distance(&self, other: &Self) -> f64 {
-        1.0 - self.jaccard_similarity(other)
+        jaccard_distance(&self.0, &other.0)
     }
 
     /// Threshold check `jaccard_distance(other) <= dthr` with a size-ratio
@@ -189,20 +136,104 @@ impl ShingleSet {
     /// `jaccard_distance(other) <= dthr` either way; the flag feeds the
     /// kernel hit-rate observability counters only.
     pub fn jaccard_at_most_counted(&self, other: &Self, dthr: f64) -> (bool, bool) {
-        if self.is_empty() && other.is_empty() {
-            // Distance defined as 0 for two empty sets.
-            return (0.0 <= dthr, true);
-        }
-        let small = self.0.len().min(other.0.len());
-        let large = self.0.len().max(other.0.len());
-        // similarity <= small/large, and x -> 1.0 - x, / are monotone under
-        // IEEE round-to-nearest, so this bound exceeding dthr implies the
-        // exact distance does too.
-        if 1.0 - (small as f64 / large as f64) > dthr {
-            return (false, true);
-        }
-        (self.jaccard_distance(other) <= dthr, false)
+        jaccard_at_most_counted(&self.0, &other.0, dthr)
     }
+}
+
+/// Slice form of [`ShingleSet::intersection_size`]: merge-vs-gallop
+/// dispatch over raw sorted-deduplicated slices. This is the single
+/// implementation both the owned in-RAM path and the zero-copy store
+/// path run, so their counts agree exactly.
+pub fn intersection_size(a: &[u64], b: &[u64]) -> usize {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if small.is_empty() {
+        return 0;
+    }
+    if large.len() >= GALLOP_RATIO * small.len() {
+        intersection_size_galloping(small, large)
+    } else {
+        intersection_size_merge(small, large)
+    }
+}
+
+/// Slice form of [`ShingleSet::intersection_size_merge`]; see that
+/// method for the branchless-cursor rationale.
+pub fn intersection_size_merge(a: &[u64], b: &[u64]) -> usize {
+    let (mut i, mut j, mut n) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        let (x, y) = (a[i], b[j]);
+        n += usize::from(x == y);
+        i += usize::from(x <= y);
+        j += usize::from(y <= x);
+    }
+    n
+}
+
+/// Slice form of [`ShingleSet::intersection_size_galloping`]: `small`
+/// drives the probes, `large` is searched.
+pub fn intersection_size_galloping(small: &[u64], large: &[u64]) -> usize {
+    let (mut lo, mut n) = (0usize, 0usize);
+    for &x in small {
+        if lo >= large.len() {
+            break;
+        }
+        let pos = if large[lo] >= x {
+            lo
+        } else {
+            // Invariant: large[base] < x. Double the step until the
+            // probe overshoots, then binary-search the bracket.
+            let mut base = lo;
+            let mut step = 1;
+            while base + step < large.len() && large[base + step] < x {
+                base += step;
+                step *= 2;
+            }
+            let hi = (base + step).min(large.len());
+            // The first element >= x (if any) lies in (base, hi].
+            base + 1 + large[base + 1..hi].partition_point(|&y| y < x)
+        };
+        if pos < large.len() && large[pos] == x {
+            n += 1;
+            lo = pos + 1;
+        } else {
+            lo = pos;
+        }
+    }
+    n
+}
+
+/// Slice form of [`ShingleSet::jaccard_similarity`].
+pub fn jaccard_similarity(a: &[u64], b: &[u64]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let inter = intersection_size(a, b);
+    let union = a.len() + b.len() - inter;
+    inter as f64 / union as f64
+}
+
+/// Slice form of [`ShingleSet::jaccard_distance`].
+pub fn jaccard_distance(a: &[u64], b: &[u64]) -> f64 {
+    1.0 - jaccard_similarity(a, b)
+}
+
+/// Slice form of [`ShingleSet::jaccard_at_most_counted`]; see
+/// [`ShingleSet::jaccard_at_most`] for the size-ratio early-exit safety
+/// argument.
+pub fn jaccard_at_most_counted(a: &[u64], b: &[u64], dthr: f64) -> (bool, bool) {
+    if a.is_empty() && b.is_empty() {
+        // Distance defined as 0 for two empty sets.
+        return (0.0 <= dthr, true);
+    }
+    let small = a.len().min(b.len());
+    let large = a.len().max(b.len());
+    // similarity <= small/large, and x -> 1.0 - x, / are monotone under
+    // IEEE round-to-nearest, so this bound exceeding dthr implies the
+    // exact distance does too.
+    if 1.0 - (small as f64 / large as f64) > dthr {
+        return (false, true);
+    }
+    (jaccard_distance(a, b) <= dthr, false)
 }
 
 /// Hashes a token to a `u64` with the FNV-1a function.

@@ -1,0 +1,274 @@
+//! The [`RecordStore`] abstraction: anything the engine can resolve.
+//!
+//! Every consumer of record data in this workspace — hash kernels,
+//! pairwise verification, baselines, recovery metrics, the CLI — speaks
+//! to this trait instead of to [`Dataset`] directly. Two implementations
+//! exist:
+//!
+//! * [`Dataset`] (this crate) — records materialized in RAM;
+//! * `StoreView` (crate `adalsh-store`) — a zero-copy view over a
+//!   memory-mapped columnar store file.
+//!
+//! Both hand out [`FieldRef`] borrows into their backing storage, so the
+//! exact same distance / hash kernels run over the exact same bytes on
+//! either path; the differential tests in `adalsh-store` pin clusters
+//! and run statistics bit-identical across the two.
+//!
+//! The trait is object-safe on purpose: the engine takes
+//! `&dyn RecordStore`, and `&Dataset` coerces to it at every existing
+//! call site. `Sync` is a supertrait so `&dyn RecordStore` can cross the
+//! scoped-thread boundaries of the parallel pairwise and transitive
+//! hashing stages.
+
+use crate::dataset::{Dataset, EntityId};
+use crate::record::{FieldRef, Record, Schema};
+
+/// A readable collection of records the resolution engine can run over.
+///
+/// Implementations must be cheap to query: [`RecordStore::field`] and
+/// [`RecordStore::field_norm`] sit in the innermost pairwise and hashing
+/// loops. Contract:
+///
+/// * record ids are dense `0..len()`;
+/// * `field(id, f)` returns a borrow whose kind matches `schema()`
+///   field `f`, stable for the lifetime of the store;
+/// * `field_norm(id, f)` returns **exactly** the bits
+///   `vector::norm(field(id, f).as_dense())` produces for dense fields
+///   and `0.0` for shingle fields — the norm cache is part of the
+///   bit-identity contract, not an approximation;
+/// * `entity_of` is ground truth for evaluation only; resolution
+///   algorithms never consult it.
+pub trait RecordStore: Sync {
+    /// The schema every record conforms to.
+    fn schema(&self) -> &Schema;
+
+    /// Number of records.
+    fn len(&self) -> usize;
+
+    /// Borrowed payload of field `field` of record `id`.
+    fn field(&self, id: u32, field: usize) -> FieldRef<'_>;
+
+    /// Cached Euclidean norm of field `field` of record `id` (0.0 for
+    /// shingle fields). See the trait-level bit-identity contract.
+    fn field_norm(&self, id: u32, field: usize) -> f64;
+
+    /// Ground-truth entity of record `id`.
+    fn entity_of(&self, id: u32) -> EntityId;
+
+    /// Short descriptor of where the records live — `"ram"` for
+    /// materialized datasets, `"store"` for memory-mapped store files.
+    /// Emitted in the `run_start` trace event.
+    fn source(&self) -> &str;
+
+    /// True when the store holds no records.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Clones record `id` into an owned [`Record`] (allocates; not for
+    /// hot loops — the scalar oracle paths and samplers use it).
+    fn materialize(&self, id: u32) -> Record {
+        let fields = (0..self.schema().num_fields())
+            .map(|f| self.field(id, f).to_value())
+            .collect();
+        Record::new(fields)
+    }
+
+    /// The ground-truth clustering `C*`, sorted by descending cluster
+    /// size (ties broken by ascending entity id); each cluster lists
+    /// record ids ascending. Identical ordering to
+    /// [`Dataset::ground_truth_clusters`].
+    fn ground_truth_clusters(&self) -> Vec<Vec<u32>> {
+        clusters_from_labels(self.len(), &|i| self.entity_of(i))
+    }
+
+    /// Record ids of the `k` largest ground-truth entities (the gold
+    /// output `O*`), ascending. Identical to [`Dataset::gold_records`].
+    fn gold_records(&self, k: usize) -> Vec<u32> {
+        let mut out: Vec<u32> = self
+            .ground_truth_clusters()
+            .into_iter()
+            .take(k)
+            .flatten()
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Sizes of all ground-truth entities, descending.
+    fn entity_sizes(&self) -> Vec<usize> {
+        self.ground_truth_clusters().iter().map(Vec::len).collect()
+    }
+
+    /// Number of distinct entities.
+    fn num_entities(&self) -> usize {
+        self.ground_truth_clusters().len()
+    }
+}
+
+/// Shared implementation of the canonical ground-truth clustering order:
+/// group ids by entity, sort clusters by descending size with ties
+/// broken by ascending entity id. Both `Dataset` and the trait default
+/// call this, so the ordering cannot drift between implementations.
+pub(crate) fn clusters_from_labels(n: usize, entity: &dyn Fn(u32) -> EntityId) -> Vec<Vec<u32>> {
+    let mut by_entity: std::collections::BTreeMap<EntityId, Vec<u32>> =
+        std::collections::BTreeMap::new();
+    for i in 0..n as u32 {
+        by_entity.entry(entity(i)).or_default().push(i);
+    }
+    let mut clusters: Vec<(EntityId, Vec<u32>)> = by_entity.into_iter().collect();
+    clusters.sort_by(|(ea, a), (eb, b)| b.len().cmp(&a.len()).then(ea.cmp(eb)));
+    clusters.into_iter().map(|(_, c)| c).collect()
+}
+
+impl RecordStore for Dataset {
+    fn schema(&self) -> &Schema {
+        Dataset::schema(self)
+    }
+
+    fn len(&self) -> usize {
+        Dataset::len(self)
+    }
+
+    fn field(&self, id: u32, field: usize) -> FieldRef<'_> {
+        self.record(id).field(field).as_ref()
+    }
+
+    fn field_norm(&self, id: u32, field: usize) -> f64 {
+        Dataset::field_norm(self, id, field)
+    }
+
+    fn entity_of(&self, id: u32) -> EntityId {
+        Dataset::entity_of(self, id)
+    }
+
+    fn source(&self) -> &str {
+        "ram"
+    }
+
+    fn materialize(&self, id: u32) -> Record {
+        self.record(id).clone()
+    }
+
+    fn ground_truth_clusters(&self) -> Vec<Vec<u32>> {
+        Dataset::ground_truth_clusters(self)
+    }
+
+    fn gold_records(&self, k: usize) -> Vec<u32> {
+        Dataset::gold_records(self, k)
+    }
+
+    fn entity_sizes(&self) -> Vec<usize> {
+        Dataset::entity_sizes(self)
+    }
+
+    fn num_entities(&self) -> usize {
+        Dataset::num_entities(self)
+    }
+}
+
+/// Anything that can lend per-field payloads — the access trait the hash
+/// kernels are generic over. Implemented by [`Record`] (owned, in-RAM)
+/// and [`RecordView`] (a record inside a [`RecordStore`]), so hashing a
+/// record produces the same bits whether it was materialized or mapped.
+pub trait RecordFields {
+    /// Borrowed payload of field `i`.
+    fn field_ref(&self, i: usize) -> FieldRef<'_>;
+}
+
+impl RecordFields for Record {
+    fn field_ref(&self, i: usize) -> FieldRef<'_> {
+        self.field(i).as_ref()
+    }
+}
+
+/// One record of a [`RecordStore`], addressed by id — a `Copy` handle
+/// that lends field payloads straight out of the store's backing memory.
+#[derive(Clone, Copy)]
+pub struct RecordView<'a> {
+    store: &'a dyn RecordStore,
+    id: u32,
+}
+
+impl<'a> RecordView<'a> {
+    /// A view of record `id` in `store`.
+    pub fn new(store: &'a dyn RecordStore, id: u32) -> Self {
+        Self { store, id }
+    }
+
+    /// The viewed record's id.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+}
+
+impl RecordFields for RecordView<'_> {
+    fn field_ref(&self, i: usize) -> FieldRef<'_> {
+        self.store.field(self.id, i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{FieldKind, FieldValue};
+    use crate::shingle::ShingleSet;
+    use crate::vector::DenseVector;
+
+    fn toy() -> Dataset {
+        let schema = Schema::new(vec![("s", FieldKind::Shingles), ("v", FieldKind::Dense)]);
+        let recs: Vec<Record> = (0..5u64)
+            .map(|i| {
+                Record::new(vec![
+                    FieldValue::Shingles(ShingleSet::new(vec![i, i + 1])),
+                    FieldValue::Dense(DenseVector::new(vec![i as f64, 1.0])),
+                ])
+            })
+            .collect();
+        Dataset::new(schema, recs, vec![4, 4, 4, 2, 9])
+    }
+
+    #[test]
+    fn dataset_implements_record_store() {
+        let d = toy();
+        let s: &dyn RecordStore = &d;
+        assert_eq!(s.len(), 5);
+        assert!(!s.is_empty());
+        assert_eq!(s.source(), "ram");
+        assert_eq!(s.entity_of(3), 2);
+        assert_eq!(s.field(1, 0).as_shingles(), &[1, 2]);
+        assert_eq!(s.field(2, 1).as_dense(), &[2.0, 1.0]);
+        assert_eq!(
+            s.field_norm(2, 1).to_bits(),
+            d.record(2).field(1).as_dense().norm().to_bits()
+        );
+        assert_eq!(s.ground_truth_clusters(), d.ground_truth_clusters());
+        assert_eq!(s.gold_records(2), d.gold_records(2));
+        assert_eq!(s.num_entities(), 3);
+        assert_eq!(s.materialize(4), *d.record(4));
+    }
+
+    #[test]
+    fn trait_default_clustering_matches_dataset_order() {
+        // A store that only knows labels must reproduce Dataset's
+        // size-desc / entity-asc ordering through the trait defaults.
+        let d = toy();
+        let s: &dyn RecordStore = &d;
+        let defaulted = clusters_from_labels(s.len(), &|i| s.entity_of(i));
+        assert_eq!(defaulted, d.ground_truth_clusters());
+    }
+
+    #[test]
+    fn record_view_lends_store_payloads() {
+        let d = toy();
+        let v = RecordView::new(&d, 3);
+        assert_eq!(v.id(), 3);
+        assert_eq!(v.field_ref(0).as_shingles(), &[3, 4]);
+        assert_eq!(v.field_ref(1).as_dense(), &[3.0, 1.0]);
+        // Owned records lend the same bits through the same trait.
+        assert_eq!(
+            d.record(3).field_ref(0).as_shingles(),
+            v.field_ref(0).as_shingles()
+        );
+    }
+}

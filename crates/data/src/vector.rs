@@ -54,7 +54,7 @@ impl DenseVector {
 
     /// Euclidean norm.
     pub fn norm(&self) -> f64 {
-        self.dot(self).sqrt()
+        norm(&self.0)
     }
 
     /// Returns a unit-length copy of this vector.
@@ -84,12 +84,8 @@ impl DenseVector {
     /// pair. Passing `self.norm()` / `other.norm()` reproduces
     /// [`DenseVector::angle_degrees`] bit-for-bit.
     pub fn angle_degrees_with_norms(&self, other: &Self, self_norm: f64, other_norm: f64) -> f64 {
-        let denom = self_norm * other_norm;
-        if denom == 0.0 {
-            return 0.0;
-        }
-        let cos = (self.dot(other) / denom).clamp(-1.0, 1.0);
-        cos.acos().to_degrees()
+        assert_eq!(self.dim(), other.dim(), "dimension mismatch");
+        angle_degrees_with_norms(&self.0, &other.0, self_norm, other_norm)
     }
 
     /// The normalized angular distance `θ / 180 ∈ [0, 1]` used everywhere
@@ -133,28 +129,74 @@ impl DenseVector {
         self_norm: f64,
         other_norm: f64,
     ) -> (bool, bool) {
-        let denom = self_norm * other_norm;
-        if denom == 0.0 {
-            // `angle_degrees` defines zero vectors to be at distance 0.
-            return (0.0 <= dthr, true);
-        }
-        if !(0.0..=1.0).contains(&dthr) {
-            // Out-of-range thresholds (the distance is always in [0, 1]).
-            return (dthr >= 1.0, true);
-        }
-        let cos = (self.dot(other) / denom).clamp(-1.0, 1.0);
-        let cos_thr = (dthr * std::f64::consts::PI).cos();
-        if cos >= cos_thr + COS_GUARD {
-            return (true, true);
-        }
-        if cos <= cos_thr - COS_GUARD {
-            return (false, true);
-        }
-        (
-            self.angle_degrees_with_norms(other, self_norm, other_norm) / 180.0 <= dthr,
-            false,
-        )
+        assert_eq!(self.dim(), other.dim(), "dimension mismatch");
+        angular_at_most_with_norms_counted(&self.0, &other.0, dthr, self_norm, other_norm)
     }
+}
+
+/// Slice form of [`DenseVector::dot`]: the flat dot-product kernel over
+/// raw component slices. This is the single implementation both the
+/// owned in-RAM path and the zero-copy store path run, so their results
+/// agree bit for bit.
+///
+/// # Panics
+/// Panics if the slice lengths differ.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dimension mismatch");
+    dot_kernel(a, b)
+}
+
+/// Slice form of [`DenseVector::norm`]: `sqrt(dot(v, v))` through the
+/// same dot kernel, so a norm cached at store-build time reproduces the
+/// in-RAM norm bit for bit.
+pub fn norm(v: &[f64]) -> f64 {
+    dot_kernel(v, v).sqrt()
+}
+
+/// Slice form of [`DenseVector::angle_degrees_with_norms`]; see that
+/// method for the zero-vector convention.
+pub fn angle_degrees_with_norms(a: &[f64], b: &[f64], norm_a: f64, norm_b: f64) -> f64 {
+    assert_eq!(a.len(), b.len(), "dimension mismatch");
+    let denom = norm_a * norm_b;
+    if denom == 0.0 {
+        return 0.0;
+    }
+    let cos = (dot_kernel(a, b) / denom).clamp(-1.0, 1.0);
+    cos.acos().to_degrees()
+}
+
+/// Slice form of [`DenseVector::angular_at_most_with_norms_counted`];
+/// see that method (and [`DenseVector::angular_at_most_with_norms`]) for
+/// the guard-band safety argument.
+pub fn angular_at_most_with_norms_counted(
+    a: &[f64],
+    b: &[f64],
+    dthr: f64,
+    norm_a: f64,
+    norm_b: f64,
+) -> (bool, bool) {
+    assert_eq!(a.len(), b.len(), "dimension mismatch");
+    let denom = norm_a * norm_b;
+    if denom == 0.0 {
+        // `angle_degrees` defines zero vectors to be at distance 0.
+        return (0.0 <= dthr, true);
+    }
+    if !(0.0..=1.0).contains(&dthr) {
+        // Out-of-range thresholds (the distance is always in [0, 1]).
+        return (dthr >= 1.0, true);
+    }
+    let cos = (dot_kernel(a, b) / denom).clamp(-1.0, 1.0);
+    let cos_thr = (dthr * std::f64::consts::PI).cos();
+    if cos >= cos_thr + COS_GUARD {
+        return (true, true);
+    }
+    if cos <= cos_thr - COS_GUARD {
+        return (false, true);
+    }
+    (
+        angle_degrees_with_norms(a, b, norm_a, norm_b) / 180.0 <= dthr,
+        false,
+    )
 }
 
 /// Flat dot-product kernel: four independent partial sums over exact

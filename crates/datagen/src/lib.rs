@@ -16,7 +16,9 @@
 //!   angular threshold with tunable Zipf exponent, like PopularImages;
 //! * [`zipf`] — the shared Zipfian entity-size machinery;
 //! * [`upsample`](scale::upsample()) — the paper's Nx dataset scaling
-//!   (uniform entity, then uniform record, duplicated in).
+//!   (uniform entity, then uniform record, duplicated in);
+//! * [`ScaleGenerator`] — constant-memory
+//!   streaming generator for the 10⁶-record out-of-core scale tier.
 
 pub mod cora;
 pub mod popimages;
@@ -26,6 +28,6 @@ pub mod zipf;
 
 pub use cora::{CoraConfig, Publication};
 pub use popimages::PopImagesConfig;
-pub use scale::upsample;
+pub use scale::{scale_match_rule, scale_schema, upsample, ScaleConfig, ScaleGenerator};
 pub use spotsigs::SpotSigsConfig;
 pub use zipf::zipf_sizes;

@@ -1,4 +1,5 @@
-//! The paper's Nx dataset scaling (§6.3).
+//! The paper's Nx dataset scaling (§6.3) and the million-record
+//! streaming generator feeding the out-of-core scale tier.
 //!
 //! "To extend the original dataset, we uniformly at random select an
 //! entity `a` and uniformly at random pick a record `rₐ` referring to
@@ -6,8 +7,18 @@
 //! uniformity: entities are drawn uniformly (not size-weighted), so
 //! scaling flattens the size distribution somewhat — small entities grow
 //! as fast as large ones in absolute terms.
+//!
+//! [`upsample`] materializes the scaled dataset in RAM, which caps it at
+//! what fits in memory. [`ScaleGenerator`] instead streams `(record,
+//! entity)` pairs one at a time — entity sizes drawn from a capped Zipf
+//! distribution as it goes, shingle payloads derived arithmetically from
+//! the seed — so piping it into a store builder writes 10⁶+-record store
+//! files in constant memory. Everything is a pure function of
+//! [`ScaleConfig`]: the same config replays the identical record stream.
 
-use adalsh_data::Dataset;
+use adalsh_data::{
+    Dataset, EntityId, FieldDistance, FieldKind, FieldValue, MatchRule, Record, Schema, ShingleSet,
+};
 use rand::{Rng, SeedableRng};
 
 /// Extends `dataset` to `target_len` records by the paper's process:
@@ -33,6 +44,171 @@ pub fn upsample(dataset: &Dataset, target_len: usize, seed: u64) -> Dataset {
         gt.push(dataset.entity_of(rid));
     }
     Dataset::new(dataset.schema().clone(), records, gt)
+}
+
+/// Configuration of the streaming scale-tier generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaleConfig {
+    /// Total records to emit.
+    pub records: usize,
+    /// Stream seed: same config ⇒ bit-identical stream.
+    pub seed: u64,
+    /// Zipf exponent over entity sizes (larger ⇒ steeper skew).
+    pub exponent: f64,
+    /// Entity-size cap. Keeps the top-k clusters' `P` verification
+    /// (`O(size²)` pairs) tractable at 10⁶+ records; the Zipf tail is
+    /// truncated, not resampled.
+    pub max_entity_size: usize,
+    /// Shingles shared by every record of an entity (the match signal).
+    pub core_shingles: usize,
+    /// Extra per-record shingles (the noise floor). Must stay small
+    /// relative to `core_shingles` for the default rule to hold.
+    pub noise_shingles: usize,
+}
+
+impl Default for ScaleConfig {
+    fn default() -> Self {
+        Self {
+            records: 10_000,
+            seed: 0x5CA1E,
+            exponent: 1.5,
+            max_entity_size: 256,
+            core_shingles: 20,
+            noise_shingles: 2,
+        }
+    }
+}
+
+/// The schema [`ScaleGenerator`] records conform to: one shingle field.
+pub fn scale_schema() -> Schema {
+    Schema::single("tokens", FieldKind::Shingles)
+}
+
+/// The match rule the generated entities satisfy: records of one entity
+/// share all core shingles and differ only in noise, so their Jaccard
+/// distance stays well under 0.4; cross-entity sets are disjoint.
+pub fn scale_match_rule() -> MatchRule {
+    MatchRule::threshold(0, FieldDistance::Jaccard, 0.4)
+}
+
+/// SplitMix64 — local copy of the standard finalizer so shingle payloads
+/// are pure arithmetic on (seed, entity, slot) and the generator needs no
+/// per-entity state.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Streaming `(record, entity)` source for the scale tier. Entity sizes
+/// are drawn one entity at a time from the truncated Zipf distribution
+/// `P(s) ∝ s^−exponent, s ∈ 1..=max_entity_size`; records of an entity
+/// are emitted consecutively. Memory use is a single record plus a
+/// `max_entity_size`-sized sampling table, independent of
+/// `config.records`.
+pub struct ScaleGenerator {
+    config: ScaleConfig,
+    /// Cumulative (unnormalized) Zipf weights for sizes `1..=max`.
+    cumulative: Vec<f64>,
+    rng: rand::rngs::StdRng,
+    emitted: usize,
+    entity: u32,
+    /// Records left to emit for the current entity.
+    left_in_entity: usize,
+    /// Index of the next record within the current entity.
+    slot: u64,
+}
+
+impl ScaleGenerator {
+    /// Creates the stream for a config.
+    ///
+    /// # Panics
+    /// Panics if `max_entity_size == 0` or `core_shingles == 0`.
+    pub fn new(config: ScaleConfig) -> Self {
+        assert!(config.max_entity_size > 0, "entity size cap must be >= 1");
+        assert!(config.core_shingles > 0, "entities need a core signal");
+        let mut acc = 0.0;
+        let cumulative = (1..=config.max_entity_size)
+            .map(|s| {
+                acc += (s as f64).powf(-config.exponent);
+                acc
+            })
+            .collect();
+        let rng = rand::rngs::StdRng::seed_from_u64(mix64(config.seed ^ 0x005C_A1E0));
+        Self {
+            config,
+            cumulative,
+            rng,
+            emitted: 0,
+            entity: 0,
+            left_in_entity: 0,
+            slot: 0,
+        }
+    }
+
+    /// The generator's schema ([`scale_schema`]).
+    pub fn schema(&self) -> Schema {
+        scale_schema()
+    }
+
+    /// Number of records emitted so far.
+    pub fn emitted(&self) -> usize {
+        self.emitted
+    }
+
+    /// Draws the next entity's size from the truncated Zipf CDF.
+    fn draw_entity_size(&mut self) -> usize {
+        let total = *self.cumulative.last().expect("cap >= 1");
+        let x = self.rng.random::<f64>() * total;
+        // Table is max_entity_size long (couple hundred entries);
+        // partition_point keeps the draw O(log max).
+        self.cumulative.partition_point(|&c| c < x) + 1
+    }
+
+    /// The shingle set of record `slot` of entity `entity`: the entity's
+    /// core shingles plus per-record noise, all derived via [`mix64`] so
+    /// distinct entities collide with probability ≈ 2⁻⁶⁴ per shingle.
+    fn shingles(&self, entity: u32, slot: u64) -> Vec<u64> {
+        let e = mix64(self.config.seed ^ (u64::from(entity) << 1 | 1));
+        let mut out = Vec::with_capacity(self.config.core_shingles + self.config.noise_shingles);
+        for j in 0..self.config.core_shingles as u64 {
+            out.push(mix64(e ^ j));
+        }
+        let r = mix64(e ^ (slot.wrapping_add(0xFEED) << 20));
+        for j in 0..self.config.noise_shingles as u64 {
+            out.push(mix64(r ^ j));
+        }
+        out
+    }
+}
+
+impl Iterator for ScaleGenerator {
+    type Item = (Record, EntityId);
+
+    fn next(&mut self) -> Option<(Record, EntityId)> {
+        if self.emitted >= self.config.records {
+            return None;
+        }
+        if self.left_in_entity == 0 {
+            if self.emitted > 0 {
+                self.entity += 1;
+            }
+            // Truncate the final entity to the records that remain so the
+            // stream length is exact.
+            self.left_in_entity = self
+                .draw_entity_size()
+                .min(self.config.records - self.emitted);
+            self.slot = 0;
+        }
+        let record = Record::single(FieldValue::Shingles(ShingleSet::new(
+            self.shingles(self.entity, self.slot),
+        )));
+        self.left_in_entity -= 1;
+        self.slot += 1;
+        self.emitted += 1;
+        Some((record, self.entity))
+    }
 }
 
 #[cfg(test)]
@@ -111,5 +287,88 @@ mod tests {
         let d = toy();
         let up = upsample(&d, 4, 1);
         assert_eq!(up.len(), 4);
+    }
+
+    fn collect(config: &ScaleConfig) -> Dataset {
+        let mut records = Vec::new();
+        let mut gt = Vec::new();
+        for (r, e) in ScaleGenerator::new(config.clone()) {
+            records.push(r);
+            gt.push(e);
+        }
+        Dataset::new(scale_schema(), records, gt)
+    }
+
+    #[test]
+    fn stream_has_exact_length_and_is_deterministic() {
+        let cfg = ScaleConfig {
+            records: 1234,
+            ..ScaleConfig::default()
+        };
+        let a = collect(&cfg);
+        let b = collect(&cfg);
+        assert_eq!(a.len(), 1234);
+        assert_eq!(a.records(), b.records());
+        assert_eq!(a.ground_truth(), b.ground_truth());
+    }
+
+    #[test]
+    fn entities_are_contiguous_capped_and_zipf_skewed() {
+        let cfg = ScaleConfig {
+            records: 5000,
+            max_entity_size: 64,
+            exponent: 1.2,
+            ..ScaleConfig::default()
+        };
+        let d = collect(&cfg);
+        // Entity labels are non-decreasing (records emitted entity by
+        // entity) and every size respects the cap.
+        let gt = d.ground_truth();
+        assert!(gt.windows(2).all(|w| w[0] <= w[1]));
+        let sizes = d.entity_sizes();
+        assert!(sizes.iter().all(|&s| s <= 64), "cap violated: {sizes:?}");
+        // Zipf: singletons dominate, but some entities are much larger.
+        assert!(sizes[0] >= 8, "largest entity too small: {}", sizes[0]);
+        let count_of = |sz: usize| sizes.iter().filter(|&&s| s == sz).count();
+        let singles = count_of(1);
+        assert!(
+            (2..=64).all(|sz| count_of(sz) <= singles),
+            "size 1 must be the modal entity size"
+        );
+    }
+
+    #[test]
+    fn generated_entities_satisfy_the_match_rule() {
+        let cfg = ScaleConfig {
+            records: 400,
+            ..ScaleConfig::default()
+        };
+        let d = collect(&cfg);
+        let rule = scale_match_rule();
+        // Same-entity pairs match; a sample of cross-entity pairs do not.
+        let clusters = d.ground_truth_clusters();
+        let big = &clusters[0];
+        assert!(big.len() >= 2, "need a multi-record entity");
+        assert!(rule.matches(d.record(big[0]), d.record(big[1])));
+        let other = clusters
+            .iter()
+            .find(|c| d.entity_of(c[0]) != d.entity_of(big[0]))
+            .expect("more than one entity");
+        assert!(!rule.matches(d.record(big[0]), d.record(other[0])));
+    }
+
+    #[test]
+    fn generator_reports_schema_and_progress() {
+        let mut g = ScaleGenerator::new(ScaleConfig {
+            records: 10,
+            ..ScaleConfig::default()
+        });
+        assert_eq!(g.schema(), scale_schema());
+        assert_eq!(g.emitted(), 0);
+        let _ = g.next();
+        assert_eq!(g.emitted(), 1);
+        assert_eq!(g.by_ref().count(), 9);
+        assert_eq!(g.emitted(), 10);
+        assert!(g.next().is_none());
     }
 }

@@ -14,7 +14,7 @@
 //! | event | when | fields |
 //! |---|---|---|
 //! | `design_level` | sequence design picks level `H_i` | `level`, `budget` |
-//! | `run_start` | entering Algorithm 1 | `records`, `k`, `levels`, `threads` |
+//! | `run_start` | entering Algorithm 1 | `records`, `k`, `levels`, `threads`, `source` |
 //! | `hash_round` | after a transitive hashing call `H_level` | `level`, `cluster_size`, `hash_evals`, `keys_emitted`, `subclusters`, `wall_micros`, `predicted_cost` |
 //! | `gate` | Line-5 decision on a non-final cluster | `level`, `cluster_size`, `predicted_pairwise_cost`, `action` (`hash`\|`pairwise`), `forced` (0\|1), optional `predicted_hash_cost` (absent when forced: no `H_{t+1}` exists to price) |
 //! | `pairwise` | after a pairwise call `P` | `cluster_size`, `pairs`, `distance_evals`, `kernel_checks`, `early_exits`, `blocks`, `subclusters`, `wall_micros`, `predicted_cost` |
@@ -113,6 +113,7 @@ pub const EVENTS: &[EventSpec] = &[
             ("k", FieldKind::U64),
             ("levels", FieldKind::U64),
             ("threads", FieldKind::U64),
+            ("source", FieldKind::Str),
         ],
         optional: &[],
     },
@@ -377,6 +378,13 @@ fn check_enums(idx: usize, event: &OwnedEvent) -> Result<(), String> {
     if let Some(origin) = event.str("origin") {
         if !matches!(origin, "hashed" | "pairwise") {
             return Err(format!("event {idx}: bad final origin '{origin}'"));
+        }
+    }
+    if event.name == "run_start" {
+        if let Some(source) = event.str("source") {
+            if !matches!(source, "ram" | "store") {
+                return Err(format!("event {idx}: bad run source '{source}'"));
+            }
         }
     }
     if let Some(forced) = event.u64("forced") {
@@ -656,6 +664,7 @@ mod tests {
                     ("k", u(2)),
                     ("levels", u(1)),
                     ("threads", u(1)),
+                    ("source", s("ram")),
                 ],
             ),
             ev(

@@ -1,0 +1,29 @@
+//! # adalsh-store
+//!
+//! Out-of-core columnar record store for the adaLSH engine.
+//!
+//! A store file holds one dataset in column-major layout — fixed-stride
+//! dense-vector columns, offset-indexed shingle arenas, a norm-cache
+//! column, and a ground-truth column — behind a checksummed, versioned
+//! header. Files are written by [`StoreBuilder`] (streaming, constant
+//! memory, atomic tmp+rename finalize) and read back by [`StoreView`],
+//! a zero-copy view over the memory-mapped file that implements
+//! [`adalsh_data::RecordStore`]: the engine resolves directly off the
+//! mapped bytes without materializing records in RAM.
+//!
+//! The differential tests in `tests/` pin the mmap path bit-identical
+//! (clusters and run statistics) to the in-RAM [`adalsh_data::Dataset`]
+//! path across rule kinds and thread counts; `tests/roundtrip.rs`
+//! property-tests `Dataset` → file → view payload equality.
+//!
+//! See `DESIGN.md` §12 for the file-layout diagram and the mmap safety
+//! argument.
+
+pub mod builder;
+pub mod format;
+mod mmap;
+pub mod view;
+
+pub use builder::{write_store, StoreBuilder};
+pub use format::{StoreError, FORMAT_VERSION, MAGIC};
+pub use view::StoreView;

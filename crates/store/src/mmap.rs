@@ -1,0 +1,171 @@
+//! Read-only whole-file mappings, with a heap fallback.
+//!
+//! On Unix the file is mapped with hand-declared `mmap`/`munmap`
+//! bindings (the workspace builds offline; no libc crate). Elsewhere —
+//! and for zero-length files, which `mmap` rejects — the file is read
+//! into an 8-aligned heap buffer instead, so [`Mapping::bytes`] always
+//! returns memory whose base is at least 8-aligned and the typed-slice
+//! accessors in `view.rs` stay valid on every platform.
+//!
+//! Safety contract (see also `DESIGN.md` §12): a mapping may only be
+//! created over a **finalized** store file. The builder publishes files
+//! with an atomic tmp+rename, so a reader never observes a partially
+//! written file; store files are immutable once published, so the
+//! mapped bytes cannot change underneath the borrow. All section
+//! offsets are bounds-checked against the mapped length at open time,
+//! so even a corrupted (but size-stable) file can at worst fail
+//! validation or panic on a slice bound — never touch memory outside
+//! the mapping.
+
+use std::fs::File;
+use std::io::Read;
+
+#[cfg(unix)]
+mod sys {
+    use std::os::raw::{c_int, c_void};
+
+    pub const PROT_READ: c_int = 0x1;
+    pub const MAP_PRIVATE: c_int = 0x2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+}
+
+/// A read-only view of a whole file: memory-mapped where possible,
+/// heap-buffered otherwise.
+pub(crate) enum Mapping {
+    /// `mmap`ed region (Unix, non-empty files). The base pointer is
+    /// page-aligned, hence 8-aligned.
+    #[cfg(unix)]
+    Mapped { ptr: *const u8, len: usize },
+    /// Heap copy in a `u64` buffer (8-aligned base) holding `len` valid
+    /// bytes.
+    Heap { buf: Vec<u64>, len: usize },
+}
+
+// SAFETY: the mapping is read-only for its whole lifetime (PROT_READ,
+// private; heap buffer never mutated after construction), so shared
+// access from multiple threads is sound.
+unsafe impl Send for Mapping {}
+unsafe impl Sync for Mapping {}
+
+impl Mapping {
+    /// Maps (or reads) `file`, which must have exactly `len` bytes.
+    pub(crate) fn of_file(file: &File, len: usize) -> std::io::Result<Self> {
+        #[cfg(unix)]
+        {
+            if len > 0 {
+                use std::os::unix::io::AsRawFd;
+                // SAFETY: fd is a valid open file; we request a fresh
+                // read-only private mapping of `len` bytes at offset 0
+                // and check for MAP_FAILED before using the pointer.
+                let ptr = unsafe {
+                    sys::mmap(
+                        std::ptr::null_mut(),
+                        len,
+                        sys::PROT_READ,
+                        sys::MAP_PRIVATE,
+                        file.as_raw_fd(),
+                        0,
+                    )
+                };
+                if ptr as isize == -1 {
+                    return Err(std::io::Error::last_os_error());
+                }
+                return Ok(Mapping::Mapped {
+                    ptr: ptr as *const u8,
+                    len,
+                });
+            }
+        }
+        Self::read_into_heap(file, len)
+    }
+
+    /// Fallback: read the whole file into an 8-aligned heap buffer.
+    fn read_into_heap(mut file: &File, len: usize) -> std::io::Result<Self> {
+        let mut buf = vec![0u64; len.div_ceil(8)];
+        // SAFETY: the u64 buffer owns at least `len` initialized bytes;
+        // viewing them as bytes for read_exact is always valid.
+        let bytes = unsafe { std::slice::from_raw_parts_mut(buf.as_mut_ptr() as *mut u8, len) };
+        file.read_exact(bytes)?;
+        Ok(Mapping::Heap { buf, len })
+    }
+
+    /// The mapped bytes. The base address is at least 8-aligned.
+    pub(crate) fn bytes(&self) -> &[u8] {
+        match self {
+            #[cfg(unix)]
+            // SAFETY: ptr/len come from a successful mmap that lives
+            // until Drop; the region is never unmapped while borrowed.
+            Mapping::Mapped { ptr, len } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
+            Mapping::Heap { buf, len } => {
+                // SAFETY: buf owns >= len bytes, all initialized.
+                unsafe { std::slice::from_raw_parts(buf.as_ptr() as *const u8, *len) }
+            }
+        }
+    }
+}
+
+impl Drop for Mapping {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let Mapping::Mapped { ptr, len } = self {
+            // SAFETY: exactly the region returned by mmap; no borrows of
+            // it can outlive the Mapping that hands them out.
+            unsafe {
+                sys::munmap(*ptr as *mut std::os::raw::c_void, *len);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn tmp_file(name: &str, contents: &[u8]) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!("adalsh_mmap_test_{name}"));
+        let mut f = File::create(&path).unwrap();
+        f.write_all(contents).unwrap();
+        path
+    }
+
+    #[test]
+    fn maps_file_contents() {
+        let path = tmp_file("basic", b"hello mapping");
+        let file = File::open(&path).unwrap();
+        let m = Mapping::of_file(&file, 13).unwrap();
+        assert_eq!(m.bytes(), b"hello mapping");
+        assert_eq!(m.bytes().as_ptr() as usize % 8, 0, "8-aligned base");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn zero_length_file_maps_empty() {
+        let path = tmp_file("empty", b"");
+        let file = File::open(&path).unwrap();
+        let m = Mapping::of_file(&file, 0).unwrap();
+        assert!(m.bytes().is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn heap_fallback_matches() {
+        let path = tmp_file("heap", &[1u8, 2, 3, 4, 5, 6, 7, 8, 9]);
+        let file = File::open(&path).unwrap();
+        let m = Mapping::read_into_heap(&file, 9).unwrap();
+        assert_eq!(m.bytes(), &[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        assert_eq!(m.bytes().as_ptr() as usize % 8, 0);
+        std::fs::remove_file(&path).ok();
+    }
+}

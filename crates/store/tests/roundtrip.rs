@@ -1,0 +1,213 @@
+//! Property tests pinning the on-disk store bit-identical to the
+//! in-RAM [`Dataset`] it was built from: every record payload, cached
+//! norm, and ground-truth label must survive `Dataset` → file →
+//! [`StoreView`] unchanged, for arbitrary mixed-kind schemas —
+//! including the single-record and empty-store edges.
+
+use adalsh_data::{
+    Dataset, DenseVector, FieldKind, FieldRef, FieldValue, Record, RecordStore, Schema, ShingleSet,
+};
+use adalsh_store::{write_store, StoreBuilder, StoreView};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+/// Fresh tmp path per test case (process id + counter keeps concurrent
+/// test binaries from colliding).
+fn tmp_store_path(tag: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "adalsh_roundtrip_{tag}_{}_{n}.store",
+        std::process::id()
+    ))
+}
+
+/// SplitMix64 — derives record payloads from the proptest seed without
+/// needing nested strategies.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A finite f64 in roughly ±1e6 derived from a hash — exercises
+/// negative values, fractions, and exact-zero payloads.
+fn mixed_f64(x: u64) -> f64 {
+    let v = (mix64(x) % 2_000_000_001) as f64 / 1000.0 - 1_000_000.0;
+    if mix64(x ^ 0xF00D).is_multiple_of(17) {
+        0.0
+    } else {
+        v
+    }
+}
+
+/// Arbitrary dataset: 1–3 fields of arbitrary kinds (dense fields get a
+/// fixed 1–4 dimension, as the store requires fixed strides), 1–16
+/// records with seeded pseudo-random payloads, and arbitrary small
+/// ground-truth labels. The `1..17` record range includes the
+/// single-record edge.
+fn arb_dataset() -> impl Strategy<Value = Dataset> {
+    (
+        prop::collection::vec((any::<bool>(), 1usize..5), 1..4),
+        prop::collection::vec(0u32..5, 1..17),
+        any::<u64>(),
+    )
+        .prop_map(|(field_specs, gt, seed)| {
+            let kinds: Vec<(FieldKind, usize)> = field_specs
+                .iter()
+                .map(|&(dense, dim)| {
+                    if dense {
+                        (FieldKind::Dense, dim)
+                    } else {
+                        (FieldKind::Shingles, 0)
+                    }
+                })
+                .collect();
+            let names: Vec<String> = (0..kinds.len()).map(|i| format!("f{i}")).collect();
+            let schema = Schema::new(
+                names
+                    .iter()
+                    .zip(&kinds)
+                    .map(|(n, &(k, _))| (n.as_str(), k))
+                    .collect(),
+            );
+            let records: Vec<Record> = (0..gt.len() as u64)
+                .map(|r| {
+                    let fields = kinds
+                        .iter()
+                        .enumerate()
+                        .map(|(f, &(kind, dim))| {
+                            let base = mix64(seed ^ (r << 8) ^ f as u64);
+                            match kind {
+                                FieldKind::Dense => FieldValue::Dense(DenseVector::new(
+                                    (0..dim).map(|c| mixed_f64(base ^ c as u64)).collect(),
+                                )),
+                                FieldKind::Shingles => {
+                                    // 0–5 shingles; empty sets included.
+                                    let len = (mix64(base) % 6) as usize;
+                                    FieldValue::Shingles(ShingleSet::new(
+                                        (0..len as u64).map(|s| mix64(base ^ (s << 32))).collect(),
+                                    ))
+                                }
+                            }
+                        })
+                        .collect();
+                    Record::new(fields)
+                })
+                .collect();
+            Dataset::new(schema, records, gt)
+        })
+}
+
+/// Asserts every observable of the `RecordStore` trait is bit-identical
+/// between the in-RAM dataset and the mapped view.
+fn assert_bit_identical(dataset: &Dataset, view: &StoreView) -> Result<(), TestCaseError> {
+    prop_assert_eq!(dataset.len(), view.len());
+    prop_assert_eq!(dataset.schema().num_fields(), view.schema().num_fields());
+    prop_assert_eq!(
+        dataset.ground_truth_clusters(),
+        view.ground_truth_clusters()
+    );
+    for id in 0..dataset.len() as u32 {
+        prop_assert_eq!(dataset.entity_of(id), view.entity_of(id));
+        for f in 0..dataset.schema().num_fields() {
+            match (dataset.field(id, f), view.field(id, f)) {
+                (FieldRef::Dense(a), FieldRef::Dense(b)) => {
+                    prop_assert_eq!(a.len(), b.len());
+                    for (x, y) in a.iter().zip(b) {
+                        prop_assert_eq!(x.to_bits(), y.to_bits());
+                    }
+                }
+                (FieldRef::Shingles(a), FieldRef::Shingles(b)) => prop_assert_eq!(a, b),
+                _ => prop_assert!(false, "field kind changed through the store"),
+            }
+            prop_assert_eq!(
+                dataset.field_norm(id, f).to_bits(),
+                view.field_norm(id, f).to_bits()
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `Dataset` → `write_store` → `StoreView` round-trips every
+    /// payload bit-identically for arbitrary schemas and records.
+    #[test]
+    fn dataset_survives_store_roundtrip(dataset in arb_dataset()) {
+        let path = tmp_store_path("prop");
+        write_store(&path, &dataset).unwrap();
+        let view = StoreView::open(&path).unwrap();
+        let res = assert_bit_identical(&dataset, &view);
+        drop(view);
+        std::fs::remove_file(&path).ok();
+        res?;
+    }
+
+    /// Materializing records from the view reproduces the original
+    /// owned records exactly (the scalar-oracle path).
+    #[test]
+    fn materialized_records_match(dataset in arb_dataset()) {
+        let path = tmp_store_path("mat");
+        write_store(&path, &dataset).unwrap();
+        let view = StoreView::open(&path).unwrap();
+        let mut ok = true;
+        for id in 0..dataset.len() as u32 {
+            ok &= dataset.record(id) == &view.materialize(id);
+        }
+        drop(view);
+        std::fs::remove_file(&path).ok();
+        prop_assert!(ok, "materialized record diverged from the original");
+    }
+}
+
+/// `Dataset::new` rejects empty datasets, so the empty-store edge is
+/// exercised through the streaming builder directly: zero pushes must
+/// still produce a valid, checksummed, openable file.
+#[test]
+fn empty_store_roundtrips_through_builder() {
+    let path = tmp_store_path("empty");
+    let schema = Schema::new(vec![("v", FieldKind::Dense), ("s", FieldKind::Shingles)]);
+    StoreBuilder::create(&path, schema)
+        .unwrap()
+        .finish()
+        .unwrap();
+    let view = StoreView::open(&path).unwrap();
+    assert_eq!(view.len(), 0);
+    assert!(view.is_empty());
+    assert!(view.ground_truth_clusters().is_empty());
+    assert_eq!(view.source(), "store");
+    view.verify_checksum().unwrap();
+    std::fs::remove_file(&path).ok();
+}
+
+/// Deterministic single-record edge: one record, one entity, both field
+/// kinds, checked through the full trait surface.
+#[test]
+fn single_record_store_roundtrips() {
+    let path = tmp_store_path("single");
+    let dataset = Dataset::new(
+        Schema::new(vec![("v", FieldKind::Dense), ("s", FieldKind::Shingles)]),
+        vec![Record::new(vec![
+            FieldValue::Dense(DenseVector::new(vec![0.5, -2.0, 8.25])),
+            FieldValue::Shingles(ShingleSet::new(vec![7, 7, 3])),
+        ])],
+        vec![42],
+    );
+    write_store(&path, &dataset).unwrap();
+    let view = StoreView::open(&path).unwrap();
+    assert_eq!(view.len(), 1);
+    assert_eq!(view.entity_of(0), 42);
+    assert_eq!(view.ground_truth_clusters(), vec![vec![0]]);
+    assert_eq!(
+        view.field_norm(0, 0).to_bits(),
+        dataset.field_norm(0, 0).to_bits()
+    );
+    assert_eq!(dataset.record(0), &view.materialize(0));
+    view.verify_checksum().unwrap();
+    std::fs::remove_file(&path).ok();
+}
