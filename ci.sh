@@ -12,7 +12,11 @@
 #                          # the pipelined server's QPS; bench_scale,
 #                          # which fails unless the mapped-store filter
 #                          # is bit-identical to the in-RAM run and
-#                          # streaming ingest stays out-of-core);
+#                          # streaming ingest stays out-of-core;
+#                          # bench_spans, which fails if the span layer
+#                          # slows ingest-to-visible past 1.15x, then
+#                          # gates the fresh numbers against the
+#                          # committed baseline with `adalsh bench diff`);
 #                          # committed baselines are never touched
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -206,9 +210,19 @@ scale_smoke() {
         --trace-out "$trace" >/dev/null
     grep -q '"source":"store"' "$trace" ||
         { echo "trace run_start does not report source=store" >&2; return 1; }
+    # The store-backed run must carry its filter_run span tree (design +
+    # resolve phases with the engine-derived children) in the same file,
+    # and the validator must accept the tree's containment invariants.
+    grep -q '"ev":"span"' "$trace" ||
+        { echo "store-path trace carries no span events" >&2; return 1; }
+    grep -q '"op":"filter_run"' "$trace" ||
+        { echo "store-path trace missing the filter_run root span" >&2; return 1; }
     out=$(./target/release/adalsh trace validate "$trace")
     grep -q 'OK' <<<"$out" ||
         { echo "store-path trace validate failed" >&2; return 1; }
+    out=$(./target/release/adalsh trace attribute "$trace")
+    grep -q 'filter_run' <<<"$out" ||
+        { echo "trace attribute lost the filter_run phase breakdown" >&2; return 1; }
     out=$(./target/release/adalsh evaluate --store "$store" --k 5 --rule jaccard:0.4)
     grep -q 'recall gold:       1.0000' <<<"$out" ||
         { echo "store-path evaluate lost gold recall" >&2; return 1; }
@@ -239,6 +253,15 @@ if [ "$bench_smoke" = 1 ]; then
     # in-RAM run and streaming ingest peaks below the materialized
     # footprint.
     cargo run --release -p adalsh-bench --bin bench_scale -- --smoke
+
+    echo "==> bench_spans --smoke (span-overhead + regression gate)"
+    # Fails if the span layer slows ingest-to-visible past 1.15x, then
+    # diffs the fresh numbers against the committed baseline — smoke
+    # mode tolerates warn-level (1.3x) noise but fails past 3x.
+    spans_fresh=$(mktemp /tmp/adalsh-bench-spans-XXXXXX.json)
+    cargo run --release -p adalsh-bench --bin bench_spans -- --smoke --out "$spans_fresh"
+    ./target/release/adalsh bench diff "$spans_fresh" BENCH_spans.json --smoke
+    rm -f "$spans_fresh"
 fi
 
 echo "CI OK"

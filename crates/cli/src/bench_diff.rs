@@ -1,0 +1,278 @@
+//! `adalsh bench diff` — the bench-regression gate.
+//!
+//! Compares two `BENCH_*.json` files metric-by-metric: every numeric
+//! leaf (outside the `_meta` provenance object) present in both files
+//! is classified by its key name into *lower-is-better* (latencies,
+//! wall times, RSS, spend, overhead ratios), *higher-is-better*
+//! (throughput, recall/F1, speedups), or *informational* (counts and
+//! sizes that describe the workload rather than its performance), and
+//! a regression ratio is computed in the direction that makes `> 1`
+//! mean "worse".
+//!
+//! Thresholds: in `--smoke` mode a metric past the warn ratio (1.3x)
+//! is reported but tolerated — CI machines are noisy — while anything
+//! past the fail ratio (3x) fails the gate. Without `--smoke` the warn
+//! ratio itself is the failure threshold, for quiet dedicated boxes.
+
+use serde::Value;
+
+/// Regressions up to this ratio are warnings; beyond it (non-smoke) or
+/// beyond [`FAIL_RATIO`] (smoke) the gate fails.
+pub const WARN_RATIO: f64 = 1.3;
+
+/// A smoke run tolerates warnings but still fails past this ratio — a
+/// 3x regression is never machine noise.
+pub const FAIL_RATIO: f64 = 3.0;
+
+/// How a metric's regression ratio is oriented, inferred from its key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Latency-like: `current / baseline > 1` is a regression.
+    LowerIsBetter,
+    /// Throughput-like: `baseline / current > 1` is a regression.
+    HigherIsBetter,
+    /// Workload descriptors (counts, sizes, config echoes): reported
+    /// for context, never gated.
+    Informational,
+}
+
+/// Classifies a metric by the last segment of its dotted path. Matching
+/// is by substring over the lowercase key, higher-is-better checked
+/// first so `qps`/`per_sec` win over an embedded `p50`-like fragment.
+pub fn direction(path: &str) -> Direction {
+    let key = path.rsplit('.').next().unwrap_or(path).to_ascii_lowercase();
+    const HIGHER: &[&str] = &["qps", "per_sec", "recall", "f1", "speedup", "throughput"];
+    const LOWER: &[&str] = &[
+        "_seconds", "_secs", "_micros", "_ms", "p50", "p99", "wall", "rss", "spend", "overhead",
+        "ratio", "latency",
+    ];
+    if HIGHER.iter().any(|m| key.contains(m)) {
+        Direction::HigherIsBetter
+    } else if LOWER.iter().any(|m| key.contains(m)) {
+        Direction::LowerIsBetter
+    } else {
+        Direction::Informational
+    }
+}
+
+/// One compared metric.
+#[derive(Debug, Clone)]
+pub struct MetricDiff {
+    /// Dotted path of the numeric leaf.
+    pub path: String,
+    /// Value in the baseline file.
+    pub baseline: f64,
+    /// Value in the current file.
+    pub current: f64,
+    /// Gating direction inferred from the key.
+    pub direction: Direction,
+    /// Regression ratio oriented so `> 1` is worse; `None` when either
+    /// side is nonpositive (nothing meaningful to divide) or the
+    /// metric is informational.
+    pub regression: Option<f64>,
+}
+
+/// The full comparison: per-metric rows plus the keys only one side has.
+#[derive(Debug, Default)]
+pub struct DiffReport {
+    /// Metrics present in both files, in baseline order.
+    pub metrics: Vec<MetricDiff>,
+    /// Leaves only in the baseline (removed by the current run).
+    pub only_baseline: Vec<String>,
+    /// Leaves only in the current file (new metrics, not yet gated).
+    pub only_current: Vec<String>,
+}
+
+/// Collects every numeric leaf under `value` into `out`, skipping any
+/// subtree keyed `_meta` (provenance, not measurement).
+fn numeric_leaves(prefix: &str, value: &Value, out: &mut Vec<(String, f64)>) {
+    match value {
+        Value::U64(v) => out.push((prefix.to_string(), *v as f64)),
+        Value::I64(v) => out.push((prefix.to_string(), *v as f64)),
+        Value::F64(v) => out.push((prefix.to_string(), *v)),
+        Value::Map(entries) => {
+            for (key, child) in entries {
+                if key == "_meta" {
+                    continue;
+                }
+                let path = if prefix.is_empty() {
+                    key.clone()
+                } else {
+                    format!("{prefix}.{key}")
+                };
+                numeric_leaves(&path, child, out);
+            }
+        }
+        Value::Seq(items) => {
+            for (i, child) in items.iter().enumerate() {
+                numeric_leaves(&format!("{prefix}[{i}]"), child, out);
+            }
+        }
+        Value::Null | Value::Bool(_) | Value::Str(_) => {}
+    }
+}
+
+/// Compares `current` against `baseline`.
+pub fn diff(current: &Value, baseline: &Value) -> DiffReport {
+    let mut current_leaves = Vec::new();
+    let mut baseline_leaves = Vec::new();
+    numeric_leaves("", current, &mut current_leaves);
+    numeric_leaves("", baseline, &mut baseline_leaves);
+    let mut report = DiffReport::default();
+    for (path, base) in &baseline_leaves {
+        let Some((_, cur)) = current_leaves.iter().find(|(p, _)| p == path) else {
+            report.only_baseline.push(path.clone());
+            continue;
+        };
+        let dir = direction(path);
+        let regression = match dir {
+            Direction::Informational => None,
+            _ if *base <= 0.0 || *cur <= 0.0 => None,
+            Direction::LowerIsBetter => Some(cur / base),
+            Direction::HigherIsBetter => Some(base / cur),
+        };
+        report.metrics.push(MetricDiff {
+            path: path.clone(),
+            baseline: *base,
+            current: *cur,
+            direction: dir,
+            regression,
+        });
+    }
+    for (path, _) in &current_leaves {
+        if !baseline_leaves.iter().any(|(p, _)| p == path) {
+            report.only_current.push(path.clone());
+        }
+    }
+    report
+}
+
+/// Renders the report and applies the gate.
+///
+/// # Errors
+/// Fails with the list of regressed metrics when any gated metric
+/// crosses the applicable threshold (`smoke`: [`FAIL_RATIO`];
+/// otherwise [`WARN_RATIO`]).
+pub fn render_and_gate(report: &DiffReport, smoke: bool) -> Result<String, String> {
+    let fail_at = if smoke { FAIL_RATIO } else { WARN_RATIO };
+    let mut out = String::new();
+    let mut failures: Vec<String> = Vec::new();
+    let mut warned = 0usize;
+    for m in &report.metrics {
+        let verdict = match m.regression {
+            None if m.direction == Direction::Informational => "info  ".to_string(),
+            None => "      ".to_string(),
+            Some(r) if r > fail_at => {
+                failures.push(format!("{} {:.2}x", m.path, r));
+                "FAIL  ".to_string()
+            }
+            Some(r) if r > WARN_RATIO => {
+                warned += 1;
+                "warn  ".to_string()
+            }
+            Some(r) if 1.0 / r > WARN_RATIO => "better".to_string(),
+            Some(_) => "ok    ".to_string(),
+        };
+        let ratio = m
+            .regression
+            .map_or("     -".to_string(), |r| format!("{r:6.2}x"));
+        out.push_str(&format!(
+            "{verdict} {ratio}  {:<52} {:>14.6} -> {:>14.6}\n",
+            m.path, m.baseline, m.current
+        ));
+    }
+    for path in &report.only_baseline {
+        out.push_str(&format!("gone   {path} (in baseline only)\n"));
+    }
+    for path in &report.only_current {
+        out.push_str(&format!("new    {path} (not in baseline)\n"));
+    }
+    out.push_str(&format!(
+        "{} metrics compared, {} warned (> {WARN_RATIO}x), {} failed (> {fail_at}x)\n",
+        report.metrics.len(),
+        warned,
+        failures.len()
+    ));
+    if failures.is_empty() {
+        Ok(out)
+    } else {
+        Err(format!(
+            "{out}bench regression gate failed: {}",
+            failures.join(", ")
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(text: &str) -> Value {
+        serde_json::from_str(text).unwrap()
+    }
+
+    #[test]
+    fn direction_is_inferred_from_the_key() {
+        assert_eq!(
+            direction("pipeline.read.c16.qps"),
+            Direction::HigherIsBetter
+        );
+        assert_eq!(
+            direction("ingest.accepted_records_per_sec"),
+            Direction::HigherIsBetter
+        );
+        assert_eq!(direction("read.c1.p99_seconds"), Direction::LowerIsBetter);
+        assert_eq!(direction("span_overhead_ratio"), Direction::LowerIsBetter);
+        assert_eq!(direction("peak_rss_bytes"), Direction::LowerIsBetter);
+        assert_eq!(direction("records"), Direction::Informational);
+    }
+
+    #[test]
+    fn meta_subtrees_are_skipped() {
+        let base = parse("{\"_meta\": {\"peak_rss_bytes\": 1}, \"x_seconds\": 1.0}");
+        let cur = parse("{\"_meta\": {\"peak_rss_bytes\": 99}, \"x_seconds\": 1.0}");
+        let report = diff(&cur, &base);
+        assert_eq!(report.metrics.len(), 1);
+        assert_eq!(report.metrics[0].path, "x_seconds");
+    }
+
+    #[test]
+    fn smoke_tolerates_warnings_but_not_3x() {
+        let base = parse("{\"a_seconds\": 1.0, \"b_qps\": 100.0}");
+        let warned = parse("{\"a_seconds\": 2.0, \"b_qps\": 100.0}");
+        let report = diff(&warned, &base);
+        let text = render_and_gate(&report, true).unwrap();
+        assert!(text.contains("warn"), "{text}");
+        assert!(
+            render_and_gate(&report, false).is_err(),
+            "strict mode gates at warn"
+        );
+
+        let tanked = parse("{\"a_seconds\": 1.0, \"b_qps\": 25.0}");
+        let report = diff(&tanked, &base);
+        let err = render_and_gate(&report, true).unwrap_err();
+        assert!(err.contains("b_qps"), "{err}");
+        assert!(err.contains("4.00x"), "{err}");
+    }
+
+    #[test]
+    fn improvements_and_missing_metrics_are_reported_not_gated() {
+        let base = parse("{\"a_seconds\": 2.0, \"old_seconds\": 1.0}");
+        let cur = parse("{\"a_seconds\": 1.0, \"new_seconds\": 1.0}");
+        let report = diff(&cur, &base);
+        assert_eq!(report.only_baseline, vec!["old_seconds"]);
+        assert_eq!(report.only_current, vec!["new_seconds"]);
+        let text = render_and_gate(&report, false).unwrap();
+        assert!(text.contains("better"), "{text}");
+        assert!(text.contains("gone"), "{text}");
+        assert!(text.contains("new "), "{text}");
+    }
+
+    #[test]
+    fn informational_and_zero_metrics_are_never_gated() {
+        let base = parse("{\"records\": 10, \"z_seconds\": 0.0}");
+        let cur = parse("{\"records\": 10000, \"z_seconds\": 5.0}");
+        let report = diff(&cur, &base);
+        assert!(render_and_gate(&report, false).is_ok());
+    }
+}

@@ -12,11 +12,16 @@ use adalsh_data::{io as dio, Dataset, RecordStore};
 use adalsh_datagen::popimages::PopImagesConfig;
 use adalsh_datagen::spotsigs::SpotSigsConfig;
 use adalsh_datagen::{CoraConfig, ScaleConfig, ScaleGenerator};
-use adalsh_obs::{jsonl, schema, summary, JsonlSubscriber, TraceSink};
+use adalsh_obs::span::DEFAULT_RING_CAP;
+use adalsh_obs::{
+    attr, jsonl, schema, summary, JsonlSubscriber, ProcSample, SpanCollector, Spans, TraceSink,
+    Value as TraceValue,
+};
 use adalsh_serve::{PipelineConfig, ServeSnapshot, Server, ServerConfig, Service};
 use adalsh_store::{StoreBuilder, StoreView};
 
 use crate::args::Args;
+use crate::bench_diff;
 use crate::rules;
 
 /// `adalsh generate <family> --out file …`
@@ -173,6 +178,7 @@ pub fn serve(args: &Args) -> Result<(), String> {
         queue_cap: args.flag_or("queue-cap", pipeline_defaults.queue_cap)?,
         max_batch: args.flag_or("max-batch", pipeline_defaults.max_batch)?,
         resolve_k: args.flag_or("resolve-k", pipeline_defaults.resolve_k)?,
+        slow_ms: args.flag_or("slow-ms", pipeline_defaults.slow_ms)?,
         ..pipeline_defaults
     };
     let trace = match args.flag("trace-out") {
@@ -420,6 +426,11 @@ fn run_method(
              applies the exact rule (drop --oracle or use --method adalsh)"
         ));
     }
+    // A traced adaLSH run gets a `filter_run` span tree emitted into the
+    // same JSONL file as the engine events, so `adalsh trace validate`
+    // reconciles the two and `adalsh trace attribute` can break the wall
+    // time into design / resolve / engine phases.
+    let mut filter_spans: Option<FilterSpanContext> = None;
     let mut boxed: Box<dyn FilterMethod> = match method {
         "adalsh" => {
             let mut config = AdaLshConfig::new(rule.clone());
@@ -429,9 +440,28 @@ fn run_method(
             config.minhash_scheme = args.flag_or("minhash-scheme", MinhashScheme::Classic)?;
             config.oracle = oracle;
             if let Some(path) = trace_out {
-                config.trace = trace_sink(path)?;
+                let sink = trace_sink(path)?;
+                let spans = Spans::new(DEFAULT_RING_CAP, args.flag_or("slow-ms", 0u64)?);
+                // The collector folds the run's engine events into the
+                // per-segment sums the engine-derived child spans carry;
+                // attached before any resolve so its segment numbering
+                // matches the file's.
+                let collector = Arc::new(SpanCollector::new());
+                config.trace = sink.with(Arc::clone(&collector) as _);
+                let root = spans.begin("filter_run", 0);
+                let design = spans.begin("design", root.id);
+                let engine = AdaLsh::for_dataset(store, config)?;
+                spans.finish(design, &[], &sink);
+                filter_spans = Some(FilterSpanContext {
+                    spans,
+                    sink,
+                    collector,
+                    root,
+                });
+                Box::new(engine)
+            } else {
+                Box::new(AdaLsh::for_dataset(store, config)?)
             }
-            Box::new(AdaLsh::for_dataset(store, config)?)
         }
         "pairs" => {
             let mut pairs = Pairs::new(rule.clone());
@@ -452,11 +482,79 @@ fn run_method(
         }
         other => return Err(format!("unknown method '{other}'")),
     };
-    let out = boxed.filter(store, k);
+    let out = match &filter_spans {
+        None => boxed.filter(store, k),
+        Some(ctx) => {
+            let resolve = ctx.spans.begin("resolve", ctx.root.id);
+            let before = ProcSample::capture();
+            let out = boxed.filter(store, k);
+            let after = ProcSample::capture();
+            // Engine-derived children: exact per-segment sums linked by
+            // the `segment` field (a single-run trace has segment 1).
+            if let Some(seg) = ctx.collector.take_last_segment() {
+                let hash = ctx
+                    .spans
+                    .begin_at("hash_rounds", resolve.id, resolve.start_micros);
+                ctx.spans.record(
+                    hash,
+                    seg.hash_wall_micros,
+                    &[
+                        ("segment", TraceValue::U64(seg.segment)),
+                        ("hash_evals", TraceValue::U64(seg.hash_evals)),
+                    ],
+                    &ctx.sink,
+                );
+                let pairwise = ctx
+                    .spans
+                    .begin_at("pairwise", resolve.id, resolve.start_micros);
+                ctx.spans.record(
+                    pairwise,
+                    seg.pairwise_wall_micros,
+                    &[
+                        ("segment", TraceValue::U64(seg.segment)),
+                        ("pairs", TraceValue::U64(seg.pairs)),
+                        ("oracle_calls", TraceValue::U64(seg.oracle_calls)),
+                        ("oracle_spend", TraceValue::U64(seg.oracle_spend)),
+                        (
+                            "oracle_latency_micros",
+                            TraceValue::U64(seg.oracle_latency_micros),
+                        ),
+                    ],
+                    &ctx.sink,
+                );
+            }
+            let mut fields: Vec<(&'static str, TraceValue<'static>)> = Vec::new();
+            if let (Some(before), Some(after)) = (before, after) {
+                // RSS/page-fault deltas attribute mmap-tier paging (the
+                // --store path) to the resolve phase.
+                fields.extend(before.delta_fields(&after));
+            }
+            ctx.spans.finish(resolve, &fields, &ctx.sink);
+            ctx.spans.finish(
+                ctx.root,
+                &[
+                    ("k", TraceValue::U64(k as u64)),
+                    ("records", TraceValue::U64(store.len() as u64)),
+                ],
+                &ctx.sink,
+            );
+            out
+        }
+    };
     if let Some(path) = trace_out {
         println!("trace written to {path}");
     }
     Ok((boxed.name(), out))
+}
+
+/// Span plumbing for a traced `filter`/`evaluate` run: the recorder,
+/// the JSONL sink span events are emitted through, the engine-event
+/// collector, and the open `filter_run` root.
+struct FilterSpanContext {
+    spans: Spans,
+    sink: TraceSink,
+    collector: Arc<SpanCollector>,
+    root: adalsh_obs::ActiveSpan,
 }
 
 /// Opens a JSONL trace writer as a [`TraceSink`].
@@ -466,14 +564,16 @@ fn trace_sink(path: &str) -> Result<TraceSink, String> {
     Ok(TraceSink::new(Arc::new(subscriber)))
 }
 
-/// `adalsh trace <validate|summarize> <file.jsonl>`
+/// `adalsh trace <validate|summarize|attribute> <file.jsonl>`
 ///
 /// `validate` checks the trace against the event taxonomy and every
 /// reconciliation identity (trace event sums must equal the run's
 /// `Stats` totals — see `adalsh_obs::schema`); `summarize` renders a
-/// per-level table of rounds, hash work, pairwise work, and wall time.
+/// per-level table of rounds, hash work, pairwise work, and wall time;
+/// `attribute` validates, then renders the span trees as a per-phase
+/// latency-attribution report (critical-path breakdown per root op).
 pub fn trace(args: &Args) -> Result<(), String> {
-    let action = args.positional(0, "trace action (validate|summarize)")?;
+    let action = args.positional(0, "trace action (validate|summarize|attribute)")?;
     let path = args.positional(1, "trace file")?;
     let events = jsonl::read_events(Path::new(path))?;
     match action {
@@ -489,8 +589,46 @@ pub fn trace(args: &Args) -> Result<(), String> {
             print!("{}", summary::summarize(&events));
             Ok(())
         }
+        "attribute" => {
+            // Attribution of an invalid span tree would be misleading —
+            // validate first so every printed number is reconciled.
+            schema::validate(&events)?;
+            print!("{}", attr::attribute(&events));
+            Ok(())
+        }
         other => Err(format!(
-            "unknown trace action '{other}' (want validate or summarize)"
+            "unknown trace action '{other}' (want validate, summarize, or attribute)"
         )),
     }
+}
+
+/// `adalsh bench diff <current.json> <baseline.json> [--smoke]`
+///
+/// The bench-regression gate: compares every numeric metric of a fresh
+/// recorder run against a committed `BENCH_*.json` baseline (see
+/// [`crate::bench_diff`]). `--smoke` warns at the regular threshold and
+/// fails only past 3x, for noisy CI machines.
+pub fn bench(args: &Args) -> Result<(), String> {
+    let action = args.positional(0, "bench action (diff)")?;
+    if action != "diff" {
+        return Err(format!("unknown bench action '{action}' (want diff)"));
+    }
+    let current_path = args.positional(1, "current bench JSON")?;
+    let baseline_path = args.positional(2, "baseline bench JSON")?;
+    let read = |path: &str| -> Result<serde::Value, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+        serde_json::from_str(&text).map_err(|e| format!("parse {path}: {e}"))
+    };
+    let current = read(current_path)?;
+    let baseline = read(baseline_path)?;
+    let report = bench_diff::diff(&current, &baseline);
+    if report.metrics.is_empty() {
+        return Err(format!(
+            "{current_path} and {baseline_path} share no numeric metrics — wrong baseline?"
+        ));
+    }
+    let text = bench_diff::render_and_gate(&report, args.switch("smoke"))?;
+    print!("{text}");
+    println!("bench diff OK: {current_path} vs {baseline_path}");
+    Ok(())
 }

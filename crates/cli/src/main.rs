@@ -17,6 +17,7 @@
 //! `angular:3`).
 
 mod args;
+mod bench_diff;
 mod commands;
 mod rules;
 
@@ -37,10 +38,12 @@ USAGE:
                 [--minhash-scheme classic|doph] [--trace-out <file.jsonl>] [--oracle exact|noisy …]
   adalsh serve <bootstrap.jsonl> [--addr <host:port>] [--rule <spec>] [--snapshot-out <file>]
                [--workers <N>] [--threads <N>] [--queue-cap <N>] [--max-batch <N>] [--resolve-k <K>]
-               [--minhash-scheme classic|doph] [--trace-out <file.jsonl>] [--oracle exact|noisy …]
+               [--slow-ms <T>] [--minhash-scheme classic|doph] [--trace-out <file.jsonl>]
+               [--oracle exact|noisy …]
   adalsh serve --resume <snapshot.json> [--addr <host:port>] [--workers <N>] [--threads <N>]
-               [--queue-cap <N>] [--max-batch <N>] [--resolve-k <K>]
-  adalsh trace <validate|summarize> <trace.jsonl>
+               [--queue-cap <N>] [--max-batch <N>] [--resolve-k <K>] [--slow-ms <T>]
+  adalsh trace <validate|summarize|attribute> <trace.jsonl>
+  adalsh bench diff <current.json> <baseline.json> [--smoke]
 
 OUT-OF-CORE STORE:
   adalsh datagen streams the seeded million-record scale generator
@@ -68,13 +71,36 @@ SERVE:
 TRACING:
   --trace-out <file>  write one JSON object per engine event (hash
                       rounds, gate decisions, pairwise blocks, finals)
-                      to <file>; adaLSH method only. Inspect with
-                      `adalsh trace summarize <file>` (per-level table)
-                      or `adalsh trace validate <file>` (checks every
-                      event against the taxonomy and reconciles trace
-                      sums against the run's Stats totals). The serve
-                      command additionally folds these events into
-                      adalsh_engine_* histograms on GET /metrics.
+                      to <file>; adaLSH method only. filter/evaluate
+                      runs additionally emit a filter_run span tree
+                      (design + resolve phases, engine-derived
+                      hash_rounds/pairwise children, RSS/page-fault
+                      deltas) into the same file. Inspect with
+                      `adalsh trace summarize <file>` (per-level table),
+                      `adalsh trace validate <file>` (checks every
+                      event against the taxonomy, reconciles trace
+                      sums against the run's Stats totals, and checks
+                      the span-tree invariants), or
+                      `adalsh trace attribute <file>` (per-phase
+                      latency attribution from the span trees). The
+                      serve command additionally folds these events
+                      into adalsh_engine_* histograms on GET /metrics.
+
+SPANS (serve):
+  Every ingest batch gets a root ingest_batch span decomposed into
+  queue_wait / coalesce / resolve (with hash_rounds + pairwise engine
+  children) / publish; every /topk query gets a topk_query span. The
+  live ring is served on GET /debug/spans, span-backed families
+  (adalsh_ingest_to_visible_seconds, adalsh_queue_age_seconds, resolve
+  page-fault counters) land on GET /metrics, and --slow-ms <T> logs
+  root spans at or above T milliseconds to stderr.
+
+BENCH GATE:
+  adalsh bench diff compares a fresh recorder JSON against a committed
+  BENCH_*.json baseline: numeric metrics are classified by key name
+  (latency-like: lower is better; qps/recall-like: higher is better),
+  warn past 1.3x, and fail the gate past 1.3x (or 3x with --smoke,
+  which tolerates warn-level noise on shared machines).
 
 ORACLE (adaLSH method; also serve):
   --oracle exact|noisy
@@ -131,7 +157,7 @@ fn main() {
         print!("{USAGE}");
         return;
     }
-    let args = match Args::parse(raw, &["verbose"]) {
+    let args = match Args::parse(raw, &["verbose", "smoke"]) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}\n\n{USAGE}");
@@ -146,6 +172,7 @@ fn main() {
         "evaluate" => commands::evaluate(&args),
         "serve" => commands::serve(&args),
         "trace" => commands::trace(&args),
+        "bench" => commands::bench(&args),
         other => Err(format!("unknown command '{other}'")),
     };
     if let Err(e) = result {

@@ -279,6 +279,144 @@ fn filter_trace_roundtrip_validates_and_summarizes() {
 }
 
 #[test]
+fn filter_trace_carries_spans_and_attributes() {
+    let data = tmpfile("sp.jsonl");
+    let trace = tmpfile("sp_trace.jsonl");
+    generate(&data);
+    let out = bin()
+        .args([
+            "filter",
+            data.to_str().unwrap(),
+            "--k",
+            "3",
+            "--rule",
+            "jaccard:0.6",
+            "--trace-out",
+            trace.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run filter");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // The trace now carries the filter_run span tree alongside the
+    // engine events: a root with design/resolve phases plus the
+    // engine-derived hash_rounds/pairwise children.
+    let raw = std::fs::read_to_string(&trace).expect("trace file");
+    for op in ["filter_run", "design", "resolve", "hash_rounds", "pairwise"] {
+        assert!(
+            raw.contains(&format!("\"op\":\"{op}\"")),
+            "missing span op {op} in:\n{raw}"
+        );
+    }
+
+    // `trace validate` checks the span-tree invariants too.
+    let out = bin()
+        .args(["trace", "validate", trace.to_str().unwrap()])
+        .output()
+        .expect("run trace validate");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // `trace attribute` renders the per-phase latency breakdown.
+    let out = bin()
+        .args(["trace", "attribute", trace.to_str().unwrap()])
+        .output()
+        .expect("run trace attribute");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("filter_run"), "{text}");
+    assert!(text.contains("resolve"), "{text}");
+}
+
+#[test]
+fn bench_diff_gates_regressions() {
+    let base = tmpfile("bd_base.json");
+    let good = tmpfile("bd_good.json");
+    let warn = tmpfile("bd_warn.json");
+    let bad = tmpfile("bd_bad.json");
+    std::fs::write(&base, "{\"run_seconds\": 1.0, \"ingest_qps\": 100.0}\n").unwrap();
+    std::fs::write(&good, "{\"run_seconds\": 1.05, \"ingest_qps\": 98.0}\n").unwrap();
+    std::fs::write(&warn, "{\"run_seconds\": 1.6, \"ingest_qps\": 100.0}\n").unwrap();
+    std::fs::write(&bad, "{\"run_seconds\": 4.0, \"ingest_qps\": 100.0}\n").unwrap();
+
+    let diff = |cur: &Path, smoke: bool| {
+        let mut cmd = bin();
+        cmd.args([
+            "bench",
+            "diff",
+            cur.to_str().unwrap(),
+            base.to_str().unwrap(),
+        ]);
+        if smoke {
+            cmd.arg("--smoke");
+        }
+        cmd.output().expect("run bench diff")
+    };
+
+    // Within noise: passes either way.
+    let out = diff(&good, false);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("bench diff OK"));
+
+    // 1.6x: strict mode fails, smoke tolerates it as a warning.
+    let out = diff(&warn, false);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("regression gate failed"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = diff(&warn, true);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // 4x: fails even the smoke gate.
+    let out = diff(&bad, true);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("run_seconds"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn bench_diff_rejects_disjoint_files() {
+    let a = tmpfile("bd_a.json");
+    let b = tmpfile("bd_b.json");
+    std::fs::write(&a, "{\"x_seconds\": 1.0}\n").unwrap();
+    std::fs::write(&b, "{\"y_seconds\": 1.0}\n").unwrap();
+    let out = bin()
+        .args(["bench", "diff", a.to_str().unwrap(), b.to_str().unwrap()])
+        .output()
+        .expect("run bench diff");
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("no numeric metrics"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
 fn trace_out_rejected_for_untraced_methods() {
     let data = tmpfile("trm.jsonl");
     generate(&data);

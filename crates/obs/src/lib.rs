@@ -48,16 +48,19 @@
 //! [`summary`] renders the per-level cost/latency table behind the
 //! CLI's `trace summarize`.
 
+pub mod attr;
 pub mod json;
 pub mod jsonl;
 pub mod metrics;
 pub mod promtext;
 pub mod schema;
+pub mod span;
 pub mod summary;
 pub mod trace;
 
 pub use jsonl::JsonlSubscriber;
-pub use metrics::{Counter, Gauge, Histogram, LabeledCounter, Registry};
+pub use metrics::{Counter, Gauge, GaugeF64, Histogram, LabeledCounter, Registry};
+pub use span::{ActiveSpan, CompletedSpan, ProcSample, SegmentAttribution, SpanCollector, Spans};
 pub use trace::{
     Event, MemorySubscriber, NoopSubscriber, OwnedEvent, Subscriber, TraceSink, Value,
 };

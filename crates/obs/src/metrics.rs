@@ -92,6 +92,30 @@ impl Gauge {
     }
 }
 
+/// A gauge carrying a fractional value (e.g. the age in seconds of the
+/// oldest queued batch). The `f64` is stored as its bit pattern in an
+/// `AtomicU64`, so `set`/`get` stay lock-free like every other handle.
+#[derive(Clone, Debug)]
+pub struct GaugeF64(Arc<AtomicU64>);
+
+impl Default for GaugeF64 {
+    fn default() -> Self {
+        Self(Arc::new(AtomicU64::new(0.0f64.to_bits())))
+    }
+}
+
+impl GaugeF64 {
+    /// Sets the gauge to an absolute value.
+    pub fn set(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
 /// A counter family keyed by label values (e.g. `(endpoint, status)`).
 #[derive(Clone, Debug)]
 pub struct LabeledCounter {
@@ -221,6 +245,11 @@ enum Family {
         help: String,
         handle: Gauge,
     },
+    GaugeF64 {
+        name: String,
+        help: String,
+        handle: GaugeF64,
+    },
     LabeledCounter {
         name: String,
         help: String,
@@ -267,6 +296,17 @@ impl Registry {
         handle
     }
 
+    /// Registers a fractional-valued gauge and returns its handle.
+    pub fn gauge_f64(&self, name: &str, help: &str) -> GaugeF64 {
+        let handle = GaugeF64::default();
+        self.push(Family::GaugeF64 {
+            name: name.to_string(),
+            help: help.to_string(),
+            handle: handle.clone(),
+        });
+        handle
+    }
+
     /// Registers a labeled counter and returns its handle.
     pub fn labeled_counter(&self, name: &str, help: &str, label_names: &[&str]) -> LabeledCounter {
         let handle = LabeledCounter::new(label_names);
@@ -295,6 +335,7 @@ impl Registry {
         let name = match &family {
             Family::Counter { name, .. }
             | Family::Gauge { name, .. }
+            | Family::GaugeF64 { name, .. }
             | Family::LabeledCounter { name, .. }
             | Family::Histogram { name, .. } => name,
         };
@@ -302,6 +343,7 @@ impl Registry {
             !families.iter().any(|f| match f {
                 Family::Counter { name: n, .. }
                 | Family::Gauge { name: n, .. }
+                | Family::GaugeF64 { name: n, .. }
                 | Family::LabeledCounter { name: n, .. }
                 | Family::Histogram { name: n, .. } => n == name,
             }),
@@ -320,6 +362,10 @@ impl Registry {
                     out.push_str(&format!("{name} {}\n", handle.get()));
                 }
                 Family::Gauge { name, help, handle } => {
+                    render_preamble(&mut out, name, help, "gauge");
+                    out.push_str(&format!("{name} {}\n", handle.get()));
+                }
+                Family::GaugeF64 { name, help, handle } => {
                     render_preamble(&mut out, name, help, "gauge");
                     out.push_str(&format!("{name} {}\n", handle.get()));
                 }
@@ -414,6 +460,22 @@ mod tests {
         let samples = parse(&text).unwrap();
         assert_eq!(samples[0].name, "adalsh_queue_depth");
         assert_eq!(samples[0].value, 7.0);
+    }
+
+    #[test]
+    fn f64_gauge_holds_fractions_and_parses_back() {
+        let registry = Registry::new();
+        let g = registry.gauge_f64("adalsh_queue_age_seconds", "Oldest queued batch age.");
+        g.set(0.125);
+        assert_eq!(g.get(), 0.125);
+        let text = registry.render();
+        assert!(
+            text.contains("# TYPE adalsh_queue_age_seconds gauge"),
+            "{text}"
+        );
+        let samples = parse(&text).unwrap();
+        assert_eq!(samples[0].name, "adalsh_queue_age_seconds");
+        assert_eq!(samples[0].value, 0.125);
     }
 
     #[test]

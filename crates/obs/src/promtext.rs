@@ -28,17 +28,42 @@ impl Sample {
     }
 }
 
-/// Parses exposition text into samples, skipping `# HELP`/`# TYPE`
-/// comment lines and blank lines.
+/// Parses exposition text into samples, skipping `# HELP` comment lines
+/// and blank lines. `# TYPE` lines are checked — a family declared
+/// twice is a scrape-breaking emitter bug (Prometheus itself drops such
+/// expositions), so it is rejected with a line-precise error rather
+/// than silently merged.
 ///
 /// # Errors
 /// Fails with a line-annotated message on lines that are neither
-/// comments nor well-formed samples.
+/// comments nor well-formed samples, and on duplicate `# TYPE` family
+/// declarations.
 pub fn parse(text: &str) -> Result<Vec<Sample>, String> {
     let mut samples = Vec::new();
+    let mut declared: Vec<(String, usize)> = Vec::new();
     for (lineno, line) in text.lines().enumerate() {
         let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE") {
+            if rest.is_empty() || rest.starts_with(char::is_whitespace) {
+                let family = rest.split_whitespace().next().unwrap_or_default();
+                if family.is_empty() {
+                    return Err(format!("line {}: # TYPE without a family name", lineno + 1));
+                }
+                if let Some((_, first)) = declared.iter().find(|(name, _)| name == family) {
+                    return Err(format!(
+                        "line {}: duplicate # TYPE for family '{family}' \
+                         (first declared on line {first})",
+                        lineno + 1
+                    ));
+                }
+                declared.push((family.to_string(), lineno + 1));
+                continue;
+            }
+        }
+        if line.starts_with('#') {
             continue;
         }
         samples.push(parse_sample(line).map_err(|e| format!("line {}: {e}", lineno + 1))?);
@@ -223,6 +248,36 @@ lat_bucket{le=\"+Inf\"} 3
     fn parses_escaped_label_values() {
         let samples = parse("m{path=\"a\\\"b\\\\c\\nd\"} 1").unwrap();
         assert_eq!(samples[0].label("path"), Some("a\"b\\c\nd"));
+    }
+
+    #[test]
+    fn parses_special_float_samples() {
+        let samples = parse("a +Inf\nb -Inf\nc NaN\n").unwrap();
+        assert_eq!(samples[0].value, f64::INFINITY);
+        assert_eq!(samples[1].value, f64::NEG_INFINITY);
+        assert!(samples[2].value.is_nan());
+    }
+
+    #[test]
+    fn rejects_duplicate_family_declarations_with_line_numbers() {
+        let text = "\
+# TYPE x_total counter
+x_total 1
+# TYPE y gauge
+y 2
+# TYPE x_total counter
+x_total 3
+";
+        let err = parse(text).unwrap_err();
+        assert!(err.contains("line 5"), "{err}");
+        assert!(err.contains("duplicate # TYPE"), "{err}");
+        assert!(err.contains("x_total"), "{err}");
+        assert!(err.contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn rejects_type_line_without_family() {
+        assert!(parse("# TYPE\nx 1").unwrap_err().contains("line 1"));
     }
 
     #[test]

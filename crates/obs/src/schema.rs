@@ -23,10 +23,38 @@
 //! | `oracle_call` | a pairwise-oracle adjudication is settled through the spend ledger | `attempts`, `retries`, `votes`, `timeouts`, `errors`, `spend`, `degraded` (0\|1), `matched` (0\|1), `latency_micros` (modeled) |
 //! | `run_end` | leaving Algorithm 1 | the full `Stats` mirror: `rounds`, `finals`, `hash_evals`, `distance_evals`, `pair_comparisons`, `bucket_inserts`, `transitive_calls`, `pairwise_calls`, `modeled_cost`, `wall_micros`; under a noisy oracle also the ledger mirror: `oracle_calls`, `oracle_attempts`, `oracle_retries`, `oracle_votes`, `oracle_timeouts`, `oracle_errors`, `oracle_degraded`, `oracle_spent` |
 //! | `online_query` | after an online resolver query | `k`, `records`, `fresh_records`, `advanced_records`, `hash_evals`, `wall_micros` |
+//! | `span` | a span completes (see [`crate::span`]) | `span_id`, `parent_span_id` (0 = root), `op`, `start_micros`, `duration_micros`, plus optional typed attribution fields |
 //!
 //! `oracle_call` is segment-free by scope: the rule-based recovery
 //! process adjudicates outside any engine run, so its calls appear
 //! between segments and are not reconciled against a `run_end`.
+//!
+//! ## Span-tree invariants
+//!
+//! `span` events are segment-free (children complete before their
+//! parents, typically after the engine segment they attribute), and
+//! [`validate`] reconciles them in a second pass over the whole file:
+//!
+//! * span ids are nonzero and unique; every nonzero `parent_span_id`
+//!   names a span in the file, and parent chains are acyclic;
+//! * root ops (`ingest_batch`, `topk_query`, `filter_run`) have parent
+//!   0; child ops never do;
+//! * a child's `[start, start + duration]` window lies inside its
+//!   parent's, and Σ direct-children durations ≤ the parent duration —
+//!   exact, not approximate, because all stamps share one truncation
+//!   origin (see [`crate::span`]);
+//! * an engine-derived span carrying a `segment` field (ops
+//!   `hash_rounds` / `pairwise` only; at most one per op per segment)
+//!   links bit-for-bit to run segment `segment` (1-based, in file
+//!   order): a `hash_rounds` span's duration equals that segment's
+//!   Σ `hash_round.wall_micros` and its `hash_evals` field the
+//!   segment's Σ `hash_round.hash_evals` (itself already reconciled
+//!   against the `run_end` `Stats` mirror); a `pairwise` span's
+//!   duration equals Σ `pairwise.wall_micros`, its `pairs` /
+//!   `oracle_calls` / `oracle_spend` / `oracle_latency_micros` fields
+//!   the segment's event sums. Modeled oracle latency is attribution
+//!   only — never a span duration, since modeled time may exceed wall
+//!   time.
 //!
 //! ## Reconciliation identities
 //!
@@ -237,6 +265,63 @@ pub const EVENTS: &[EventSpec] = &[
         ],
         optional: &[],
     },
+    EventSpec {
+        name: "span",
+        scope: Scope::Any,
+        required: &[
+            ("span_id", FieldKind::U64),
+            ("parent_span_id", FieldKind::U64),
+            ("op", FieldKind::Str),
+            ("start_micros", FieldKind::U64),
+            ("duration_micros", FieldKind::U64),
+        ],
+        optional: &[
+            ("segment", FieldKind::U64),
+            ("records", FieldKind::U64),
+            ("batches", FieldKind::U64),
+            ("epoch", FieldKind::U64),
+            ("k", FieldKind::U64),
+            ("hash_evals", FieldKind::U64),
+            ("pairs", FieldKind::U64),
+            ("oracle_calls", FieldKind::U64),
+            ("oracle_spend", FieldKind::U64),
+            ("oracle_latency_micros", FieldKind::U64),
+            // Signed delta: rides the wire as a (possibly negative) f64.
+            ("rss_delta_bytes", FieldKind::F64),
+            ("minor_faults", FieldKind::U64),
+            ("major_faults", FieldKind::U64),
+        ],
+    },
+];
+
+/// Span operations that are roots of a span tree (`parent_span_id` 0).
+pub const SPAN_ROOT_OPS: &[&str] = &["ingest_batch", "topk_query", "filter_run"];
+
+/// Span operations that are always children of another span.
+pub const SPAN_CHILD_OPS: &[&str] = &[
+    "queue_wait",
+    "coalesce",
+    "resolve",
+    "hash_rounds",
+    "pairwise",
+    "publish",
+    "barrier_wait",
+    "design",
+];
+
+/// Every valid span `op`, root and child.
+pub const SPAN_OPS: &[&str] = &[
+    "ingest_batch",
+    "topk_query",
+    "filter_run",
+    "queue_wait",
+    "coalesce",
+    "resolve",
+    "hash_rounds",
+    "pairwise",
+    "publish",
+    "barrier_wait",
+    "design",
 ];
 
 /// Looks up the spec for an event name.
@@ -258,8 +343,10 @@ pub struct TraceReport {
 struct Segment {
     hash_rounds: u64,
     hash_evals: u64,
+    hash_wall_micros: u64,
     keys_emitted: u64,
     pairwise_events: u64,
+    pairwise_wall_micros: u64,
     pairs: u64,
     distance_evals: u64,
     kernel_checks: u64,
@@ -280,6 +367,33 @@ struct Segment {
     oracle_errors: u64,
     oracle_degraded: u64,
     oracle_spend: u64,
+    oracle_latency_micros: u64,
+}
+
+/// Event sums of one completed segment, kept for span linkage.
+#[derive(Debug, Clone, Copy)]
+struct SegmentSums {
+    hash_wall_micros: u64,
+    hash_evals: u64,
+    pairwise_wall_micros: u64,
+    pairs: u64,
+    oracle_calls: u64,
+    oracle_spend: u64,
+    oracle_latency_micros: u64,
+}
+
+impl Segment {
+    fn sums(&self) -> SegmentSums {
+        SegmentSums {
+            hash_wall_micros: self.hash_wall_micros,
+            hash_evals: self.hash_evals,
+            pairwise_wall_micros: self.pairwise_wall_micros,
+            pairs: self.pairs,
+            oracle_calls: self.oracle_calls,
+            oracle_spend: self.oracle_spend,
+            oracle_latency_micros: self.oracle_latency_micros,
+        }
+    }
 }
 
 /// Validates a trace against the taxonomy: field presence and types,
@@ -292,6 +406,8 @@ struct Segment {
 pub fn validate(events: &[OwnedEvent]) -> Result<TraceReport, String> {
     let mut runs = 0usize;
     let mut segment: Option<Segment> = None;
+    let mut segment_sums: Vec<SegmentSums> = Vec::new();
+    let mut span_indices: Vec<usize> = Vec::new();
     for (idx, event) in events.iter().enumerate() {
         let spec = spec_of(&event.name)
             .ok_or_else(|| format!("event {idx}: unknown event '{}'", event.name))?;
@@ -316,8 +432,10 @@ pub fn validate(events: &[OwnedEvent]) -> Result<TraceReport, String> {
                     .take()
                     .ok_or_else(|| format!("event {idx}: run_end without run_start"))?;
                 check_segment(runs, &seg, event)?;
+                segment_sums.push(seg.sums());
                 runs += 1;
             }
+            "span" => span_indices.push(idx),
             _ => {
                 if let Some(seg) = &mut segment {
                     accumulate(seg, event);
@@ -328,6 +446,7 @@ pub fn validate(events: &[OwnedEvent]) -> Result<TraceReport, String> {
     if segment.is_some() {
         return Err("trace ends inside an unterminated run segment".to_string());
     }
+    check_spans(events, &span_indices, &segment_sums)?;
     Ok(TraceReport {
         runs,
         events: events.len(),
@@ -403,6 +522,13 @@ fn check_enums(idx: usize, event: &OwnedEvent) -> Result<(), String> {
             }
         }
     }
+    if event.name == "span" {
+        if let Some(op) = event.str("op") {
+            if !SPAN_OPS.contains(&op) {
+                return Err(format!("event {idx}: unknown span op '{op}'"));
+            }
+        }
+    }
     Ok(())
 }
 
@@ -412,11 +538,13 @@ fn accumulate(seg: &mut Segment, event: &OwnedEvent) {
         "hash_round" => {
             seg.hash_rounds += 1;
             seg.hash_evals += u("hash_evals");
+            seg.hash_wall_micros += u("wall_micros");
             seg.keys_emitted += u("keys_emitted");
             seg.cost_fold += event.f64("predicted_cost").unwrap_or(0.0);
         }
         "pairwise" => {
             seg.pairwise_events += 1;
+            seg.pairwise_wall_micros += u("wall_micros");
             seg.pairs += u("pairs");
             seg.distance_evals += u("distance_evals");
             seg.kernel_checks += u("kernel_checks");
@@ -441,6 +569,7 @@ fn accumulate(seg: &mut Segment, event: &OwnedEvent) {
             seg.oracle_errors += u("errors");
             seg.oracle_degraded += u("degraded");
             seg.oracle_spend += u("spend");
+            seg.oracle_latency_micros += u("latency_micros");
         }
         _ => {}
     }
@@ -620,6 +749,198 @@ fn check_oracle_ledger(run: usize, seg: &Segment, end: &OwnedEvent) -> Result<()
             return Err(format!(
                 "run {run}: identity '{name}' violated: {got} != {expected}"
             ));
+        }
+    }
+    Ok(())
+}
+
+/// Everything [`check_spans`] needs about one span event.
+struct SpanNode {
+    idx: usize,
+    parent: u64,
+    op: String,
+    start: u64,
+    duration: u64,
+}
+
+/// Reconciles the file's span events: tree structure (unique ids,
+/// resolvable acyclic parents, root/child op placement), exact window
+/// containment (child window inside parent, Σ direct children ≤
+/// parent), and engine linkage (`segment`-carrying spans match their
+/// run segment's event sums bit-for-bit).
+fn check_spans(
+    events: &[OwnedEvent],
+    span_indices: &[usize],
+    segments: &[SegmentSums],
+) -> Result<(), String> {
+    use std::collections::HashMap;
+    let mut nodes: HashMap<u64, SpanNode> = HashMap::with_capacity(span_indices.len());
+    for &idx in span_indices {
+        let event = &events[idx];
+        let need = |name: &str| -> Result<u64, String> {
+            event
+                .u64(name)
+                .ok_or_else(|| format!("event {idx}: span missing '{name}'"))
+        };
+        let id = need("span_id")?;
+        if id == 0 {
+            return Err(format!("event {idx}: span_id must be nonzero"));
+        }
+        let node = SpanNode {
+            idx,
+            parent: need("parent_span_id")?,
+            op: event.str("op").unwrap_or_default().to_string(),
+            start: need("start_micros")?,
+            duration: need("duration_micros")?,
+        };
+        if let Some(dup) = nodes.insert(id, node) {
+            return Err(format!(
+                "event {idx}: span_id {id} already used by event {}",
+                dup.idx
+            ));
+        }
+    }
+
+    let mut child_sums: HashMap<u64, u64> = HashMap::new();
+    for (&id, node) in &nodes {
+        let is_root_op = SPAN_ROOT_OPS.contains(&node.op.as_str());
+        if is_root_op && node.parent != 0 {
+            return Err(format!(
+                "event {}: root op '{}' has parent_span_id {}",
+                node.idx, node.op, node.parent
+            ));
+        }
+        if !is_root_op && node.parent == 0 {
+            return Err(format!(
+                "event {}: child op '{}' has no parent",
+                node.idx, node.op
+            ));
+        }
+        if node.parent == 0 {
+            continue;
+        }
+        let parent = nodes.get(&node.parent).ok_or_else(|| {
+            format!(
+                "event {}: parent_span_id {} names no span in the trace",
+                node.idx, node.parent
+            )
+        })?;
+        // Cycle check: the parent chain of any span must terminate at a
+        // root within |spans| steps.
+        let mut cursor = node.parent;
+        for _ in 0..=nodes.len() {
+            match nodes.get(&cursor) {
+                None => break, // caught as a dangling parent on its own node
+                Some(n) if n.parent == 0 => {
+                    cursor = 0;
+                    break;
+                }
+                Some(n) => cursor = n.parent,
+            }
+        }
+        if cursor != 0 && nodes.contains_key(&cursor) {
+            return Err(format!(
+                "event {}: span {id} sits on a parent cycle",
+                node.idx
+            ));
+        }
+        // Exact window containment (shared-origin truncated stamps).
+        let (child_end, parent_end) = (node.start + node.duration, parent.start + parent.duration);
+        if node.start < parent.start || child_end > parent_end {
+            return Err(format!(
+                "event {}: span {id} window [{}, {child_end}] escapes its parent's [{}, {parent_end}]",
+                node.idx, node.start, parent.start
+            ));
+        }
+        *child_sums.entry(node.parent).or_insert(0) += node.duration;
+    }
+    for (parent_id, sum) in &child_sums {
+        let parent = &nodes[parent_id];
+        if *sum > parent.duration {
+            return Err(format!(
+                "event {}: Σ child durations {sum} exceeds span {parent_id}'s duration {}",
+                parent.idx, parent.duration
+            ));
+        }
+    }
+
+    // Engine linkage: `segment`-carrying spans match their segment's
+    // event sums exactly.
+    let mut linked: HashMap<(u64, &str), usize> = HashMap::new();
+    for &idx in span_indices {
+        let event = &events[idx];
+        let Some(segment) = event.u64("segment") else {
+            continue;
+        };
+        let op = event.str("op").unwrap_or_default();
+        if !matches!(op, "hash_rounds" | "pairwise") {
+            return Err(format!(
+                "event {idx}: op '{op}' must not carry a 'segment' field"
+            ));
+        }
+        if segment == 0 || segment as usize > segments.len() {
+            return Err(format!(
+                "event {idx}: segment {segment} out of range 1..={}",
+                segments.len()
+            ));
+        }
+        if let Some(prior) = linked.insert((segment, op), idx) {
+            return Err(format!(
+                "event {idx}: segment {segment} already has a '{op}' span (event {prior})"
+            ));
+        }
+        let sums = &segments[segment as usize - 1];
+        let duration = event.u64("duration_micros").unwrap_or(0);
+        let mut identities: Vec<(&str, u64, u64)> = Vec::new();
+        match op {
+            "hash_rounds" => {
+                identities.push((
+                    "span duration = Σ hash_round.wall_micros",
+                    duration,
+                    sums.hash_wall_micros,
+                ));
+                if let Some(v) = event.u64("hash_evals") {
+                    identities.push((
+                        "span hash_evals = Σ hash_round.hash_evals",
+                        v,
+                        sums.hash_evals,
+                    ));
+                }
+            }
+            _ => {
+                identities.push((
+                    "span duration = Σ pairwise.wall_micros",
+                    duration,
+                    sums.pairwise_wall_micros,
+                ));
+                if let Some(v) = event.u64("pairs") {
+                    identities.push(("span pairs = Σ pairwise.pairs", v, sums.pairs));
+                }
+                if let Some(v) = event.u64("oracle_calls") {
+                    identities.push(("span oracle_calls = #oracle_call", v, sums.oracle_calls));
+                }
+                if let Some(v) = event.u64("oracle_spend") {
+                    identities.push((
+                        "span oracle_spend = Σ oracle_call.spend",
+                        v,
+                        sums.oracle_spend,
+                    ));
+                }
+                if let Some(v) = event.u64("oracle_latency_micros") {
+                    identities.push((
+                        "span oracle_latency_micros = Σ oracle_call.latency_micros",
+                        v,
+                        sums.oracle_latency_micros,
+                    ));
+                }
+            }
+        }
+        for (name, got, expected) in identities {
+            if got != expected {
+                return Err(format!(
+                    "event {idx}: span linkage '{name}' violated for segment {segment}: {got} != {expected}"
+                ));
+            }
         }
     }
     Ok(())
@@ -964,5 +1285,172 @@ mod tests {
             let err = validate(&t).unwrap_err();
             assert!(err.contains(flag), "flag {flag}: {err}");
         }
+    }
+
+    fn span_ev(id: u64, parent: u64, op: &str, start: u64, dur: u64) -> OwnedEvent {
+        ev(
+            "span",
+            &[
+                ("span_id", u(id)),
+                ("parent_span_id", u(parent)),
+                ("op", s(op)),
+                ("start_micros", u(start)),
+                ("duration_micros", u(dur)),
+            ],
+        )
+    }
+
+    /// `valid_trace()` plus a consistent span tree over its one segment:
+    /// a `filter_run` root, a `resolve` child, and engine-derived
+    /// `hash_rounds` / `pairwise` grandchildren linked to segment 1
+    /// (whose event sums are hash wall 10 / evals 24, pairwise wall 3 /
+    /// pairs 1).
+    fn valid_span_trace() -> Vec<OwnedEvent> {
+        let mut t = valid_trace();
+        let mut hash = span_ev(3, 2, "hash_rounds", 10, 10);
+        hash.fields.extend([
+            ("segment".to_string(), u(1)),
+            ("hash_evals".to_string(), u(24)),
+        ]);
+        let mut pair = span_ev(4, 2, "pairwise", 20, 3);
+        pair.fields
+            .extend([("segment".to_string(), u(1)), ("pairs".to_string(), u(1))]);
+        t.extend([
+            hash,
+            pair,
+            span_ev(2, 1, "resolve", 10, 40),
+            span_ev(1, 0, "filter_run", 0, 100),
+        ]);
+        t
+    }
+
+    #[test]
+    fn valid_span_tree_passes() {
+        let report = validate(&valid_span_trace()).unwrap();
+        assert_eq!(report.runs, 1);
+    }
+
+    #[test]
+    fn span_ids_must_be_nonzero_and_unique() {
+        let mut t = valid_span_trace();
+        t.push(span_ev(0, 0, "topk_query", 0, 1));
+        assert!(validate(&t).unwrap_err().contains("nonzero"));
+        let mut t = valid_span_trace();
+        t.push(span_ev(1, 0, "topk_query", 0, 1));
+        assert!(validate(&t).unwrap_err().contains("already used"));
+    }
+
+    #[test]
+    fn span_parent_must_resolve() {
+        let mut t = valid_span_trace();
+        t.push(span_ev(9, 77, "publish", 0, 1));
+        assert!(validate(&t).unwrap_err().contains("names no span"));
+    }
+
+    #[test]
+    fn span_parent_cycles_are_rejected() {
+        let mut t = valid_trace();
+        t.push(span_ev(10, 11, "publish", 0, 1));
+        t.push(span_ev(11, 10, "publish", 0, 1));
+        assert!(validate(&t).unwrap_err().contains("cycle"));
+    }
+
+    #[test]
+    fn span_root_and_child_op_placement_is_enforced() {
+        // A root op must not have a parent.
+        let mut t = valid_span_trace();
+        t.push(span_ev(9, 1, "topk_query", 0, 1));
+        assert!(validate(&t).unwrap_err().contains("root op"));
+        // A child op must have one.
+        let mut t = valid_span_trace();
+        t.push(span_ev(9, 0, "publish", 0, 1));
+        assert!(validate(&t).unwrap_err().contains("has no parent"));
+        // And the op set is closed.
+        let mut t = valid_span_trace();
+        t.push(span_ev(9, 0, "mystery_op", 0, 1));
+        assert!(validate(&t).unwrap_err().contains("unknown span op"));
+    }
+
+    #[test]
+    fn span_child_window_must_fit_inside_its_parent() {
+        // Starts before the parent.
+        let mut t = valid_span_trace();
+        t.push(span_ev(9, 2, "publish", 5, 1));
+        assert!(validate(&t).unwrap_err().contains("escapes"));
+        // Ends after the parent.
+        let mut t = valid_span_trace();
+        t.push(span_ev(9, 1, "publish", 90, 20));
+        assert!(validate(&t).unwrap_err().contains("escapes"));
+    }
+
+    #[test]
+    fn span_children_must_not_outsum_their_parent() {
+        // Two direct children of the root, each 60 of its 100: both
+        // windows fit individually but their sum exceeds the parent.
+        let mut t = valid_span_trace();
+        t.push(span_ev(9, 1, "publish", 0, 60));
+        t.push(span_ev(10, 1, "queue_wait", 30, 60));
+        assert!(validate(&t).unwrap_err().contains("Σ child durations"));
+    }
+
+    #[test]
+    fn span_segment_linkage_is_exact() {
+        // Wrong duration for the segment's hash wall.
+        let mut t = valid_span_trace();
+        let hash = t
+            .iter_mut()
+            .find(|e| e.name == "span" && e.str("op") == Some("hash_rounds"))
+            .unwrap();
+        let slot = hash
+            .fields
+            .iter_mut()
+            .find(|(n, _)| n == "duration_micros")
+            .unwrap();
+        slot.1 = u(9);
+        assert!(validate(&t).unwrap_err().contains("wall_micros"));
+        // Wrong hash_evals attribution.
+        let mut t = valid_span_trace();
+        let hash = t
+            .iter_mut()
+            .find(|e| e.name == "span" && e.str("op") == Some("hash_rounds"))
+            .unwrap();
+        let slot = hash
+            .fields
+            .iter_mut()
+            .find(|(n, _)| n == "hash_evals")
+            .unwrap();
+        slot.1 = u(23);
+        assert!(validate(&t).unwrap_err().contains("hash_evals"));
+    }
+
+    #[test]
+    fn span_segment_field_is_restricted_and_ranged() {
+        // Only hash_rounds / pairwise may carry `segment`.
+        let mut t = valid_span_trace();
+        let resolve = t
+            .iter_mut()
+            .find(|e| e.name == "span" && e.str("op") == Some("resolve"))
+            .unwrap();
+        resolve.fields.push(("segment".to_string(), u(1)));
+        assert!(validate(&t).unwrap_err().contains("must not carry"));
+        // Out-of-range segment index.
+        let mut t = valid_span_trace();
+        let hash = t
+            .iter_mut()
+            .find(|e| e.name == "span" && e.str("op") == Some("hash_rounds"))
+            .unwrap();
+        let slot = hash
+            .fields
+            .iter_mut()
+            .find(|(n, _)| n == "segment")
+            .unwrap();
+        slot.1 = u(2);
+        assert!(validate(&t).unwrap_err().contains("out of range"));
+        // One engine-derived span per op per segment.
+        let mut t = valid_span_trace();
+        let mut dup = span_ev(9, 2, "pairwise", 24, 3);
+        dup.fields.push(("segment".to_string(), u(1)));
+        t.push(dup);
+        assert!(validate(&t).unwrap_err().contains("already has"));
     }
 }

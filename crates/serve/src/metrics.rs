@@ -17,12 +17,23 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use adalsh_obs::{Counter, Event, Gauge, Histogram, LabeledCounter, Registry, Subscriber};
+use adalsh_obs::{
+    Counter, Event, Gauge, GaugeF64, Histogram, LabeledCounter, Registry, Subscriber,
+};
 
 /// Upper bounds (seconds) of the request-latency histogram buckets; a
 /// final `+Inf` bucket is implicit. Spans sub-millisecond health checks
 /// to multi-second cold queries.
 pub const LATENCY_BUCKETS_SECS: [f64; 8] = [0.001, 0.005, 0.025, 0.1, 0.25, 1.0, 2.5, 10.0];
+
+/// Upper bounds (seconds) for the pipeline-pass histograms
+/// (`adalsh_publish_seconds`, `adalsh_ingest_to_visible_seconds`): a
+/// coalesced resolve pass at scale-tier load (10⁶ records, PR 9's mmap
+/// store) legitimately runs tens of seconds, so the tail extends well
+/// past the request-latency buckets instead of saturating at 10s.
+pub const PIPELINE_BUCKETS_SECS: [f64; 11] = [
+    0.001, 0.005, 0.025, 0.1, 0.25, 1.0, 2.5, 10.0, 30.0, 60.0, 120.0,
+];
 
 /// Upper bounds (seconds) for the engine-internal histograms: hash
 /// rounds and pairwise blocks run from microseconds (tiny clusters) to
@@ -30,8 +41,13 @@ pub const LATENCY_BUCKETS_SECS: [f64; 8] = [0.001, 0.005, 0.025, 0.1, 0.25, 1.0,
 pub const ENGINE_BUCKETS_SECS: [f64; 7] = [1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0];
 
 /// Upper bounds (records) for the resolve-pass batch-size histogram:
-/// one pass coalesces anywhere from a single record to `--max-batch`.
-pub const BATCH_BUCKETS_RECORDS: [f64; 7] = [1.0, 8.0, 32.0, 128.0, 512.0, 2048.0, 8192.0];
+/// one pass coalesces anywhere from a single record to `--max-batch`,
+/// and the scale tier drives batches into the 10⁴–10⁵ range — the top
+/// finite bucket sits above that so heavy passes don't all collapse
+/// into `+Inf`.
+pub const BATCH_BUCKETS_RECORDS: [f64; 9] = [
+    1.0, 8.0, 32.0, 128.0, 512.0, 2048.0, 8192.0, 32768.0, 131072.0,
+];
 
 /// All counters exported on `/metrics`.
 pub struct Metrics {
@@ -167,6 +183,17 @@ pub struct PipelineMetrics {
     pub batch_records: Histogram,
     /// `adalsh_publish_seconds` — pop-to-publish wall time of one pass.
     pub publish_seconds: Histogram,
+    /// `adalsh_ingest_to_visible_seconds` — accept-to-publish wall time
+    /// of an ingest batch (the root `ingest_batch` span's duration).
+    pub ingest_to_visible: Histogram,
+    /// `adalsh_queue_age_seconds` — queue wait of the most recently
+    /// dequeued ingest batch (how stale the intake queue runs).
+    pub queue_age: GaugeF64,
+    /// `adalsh_resolve_minor_page_faults_total` — minor page faults
+    /// charged to resolve passes (mmap-tier paging attribution).
+    pub resolve_minor_faults: Counter,
+    /// `adalsh_resolve_major_page_faults_total` — likewise, major.
+    pub resolve_major_faults: Counter,
     /// `adalsh_applied_batches_total` — accepted batches applied.
     pub applied_batches: Counter,
     /// `adalsh_rejected_batches_total` — batches shed with 503.
@@ -201,7 +228,25 @@ impl PipelineMetrics {
             publish_seconds: registry.histogram(
                 "adalsh_publish_seconds",
                 "Wall time from popping a batch to publishing its snapshot.",
-                &LATENCY_BUCKETS_SECS,
+                &PIPELINE_BUCKETS_SECS,
+            ),
+            ingest_to_visible: registry.histogram(
+                "adalsh_ingest_to_visible_seconds",
+                "Wall time from accepting an ingest batch to publishing the snapshot \
+                 that makes it visible.",
+                &PIPELINE_BUCKETS_SECS,
+            ),
+            queue_age: registry.gauge_f64(
+                "adalsh_queue_age_seconds",
+                "Queue wait, in seconds, of the most recently dequeued ingest batch.",
+            ),
+            resolve_minor_faults: registry.counter(
+                "adalsh_resolve_minor_page_faults_total",
+                "Minor page faults incurred during resolve passes.",
+            ),
+            resolve_major_faults: registry.counter(
+                "adalsh_resolve_major_page_faults_total",
+                "Major page faults incurred during resolve passes (mmap-tier reads).",
             ),
             applied_batches: registry.counter(
                 "adalsh_applied_batches_total",
@@ -398,6 +443,72 @@ mod tests {
         let samples = promtext::parse(&text).unwrap();
         promtext::check_histogram(&samples, "adalsh_resolve_batch_records").unwrap();
         promtext::check_histogram(&samples, "adalsh_publish_seconds").unwrap();
+    }
+
+    /// Satellite audit: every bucket table is strictly increasing and
+    /// covers the ranges the system actually produces — sub-millisecond
+    /// health checks at the bottom, scale-tier resolve passes (10⁶
+    /// records, tens of seconds) at the top — so load does not collapse
+    /// into the `+Inf` bucket.
+    #[test]
+    #[allow(clippy::assertions_on_constants)] // the table *is* the test subject
+    fn bucket_tables_are_increasing_and_cover_observed_ranges() {
+        for (name, table) in [
+            ("latency", &LATENCY_BUCKETS_SECS[..]),
+            ("pipeline", &PIPELINE_BUCKETS_SECS[..]),
+            ("engine", &ENGINE_BUCKETS_SECS[..]),
+            ("batch", &BATCH_BUCKETS_RECORDS[..]),
+        ] {
+            assert!(
+                table.windows(2).all(|w| w[0] < w[1]),
+                "{name} buckets must be strictly increasing: {table:?}"
+            );
+            assert!(
+                table.iter().all(|b| b.is_finite() && *b > 0.0),
+                "{name} buckets must be finite and positive: {table:?}"
+            );
+        }
+        // Request latencies: sub-millisecond health checks resolve below
+        // the bottom bucket's neighborhood; multi-second cold queries fit
+        // under the top finite bucket.
+        assert!(LATENCY_BUCKETS_SECS[0] <= 0.001);
+        assert!(*LATENCY_BUCKETS_SECS.last().unwrap() >= 10.0);
+        // Pipeline passes: a scale-tier coalesced resolve can run tens of
+        // seconds — the old 10s ceiling saturated there.
+        assert!(*PIPELINE_BUCKETS_SECS.last().unwrap() >= 60.0);
+        // Engine rounds span microseconds to seconds.
+        assert!(ENGINE_BUCKETS_SECS[0] <= 1e-5);
+        assert!(*ENGINE_BUCKETS_SECS.last().unwrap() >= 1.0);
+        // Batch sizes: a single record at the bottom; scale-tier passes
+        // coalesce into the 10⁴–10⁵ range, inside the finite buckets.
+        assert_eq!(BATCH_BUCKETS_RECORDS[0], 1.0);
+        assert!(*BATCH_BUCKETS_RECORDS.last().unwrap() >= 100_000.0);
+    }
+
+    #[test]
+    fn pipeline_families_include_span_backed_metrics() {
+        let m = Metrics::new();
+        let p = m.pipeline();
+        p.ingest_to_visible.observe(0.25);
+        p.queue_age.set(0.75);
+        p.resolve_minor_faults.add(12);
+        p.resolve_major_faults.add(3);
+        let text = m.render();
+        assert!(
+            text.contains("adalsh_ingest_to_visible_seconds_count 1"),
+            "{text}"
+        );
+        assert!(text.contains("adalsh_queue_age_seconds 0.75"), "{text}");
+        assert!(
+            text.contains("adalsh_resolve_minor_page_faults_total 12"),
+            "{text}"
+        );
+        assert!(
+            text.contains("adalsh_resolve_major_page_faults_total 3"),
+            "{text}"
+        );
+        let samples = promtext::parse(&text).unwrap();
+        promtext::check_histogram(&samples, "adalsh_ingest_to_visible_seconds").unwrap();
     }
 
     #[test]

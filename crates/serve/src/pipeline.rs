@@ -59,6 +59,7 @@ use std::time::{Duration, Instant};
 
 use adalsh_core::{OnlineAdaLsh, OracleSpend, Stats};
 use adalsh_data::{MatchRule, Record, Schema};
+use adalsh_obs::{ProcSample, SpanCollector, Spans, TraceSink, Value};
 
 use crate::metrics::PipelineMetrics;
 use crate::publish::{published, Publisher, ReadHandle};
@@ -79,6 +80,9 @@ pub struct PipelineConfig {
     /// Longest a `wait_epoch=` / `min_records=` barrier read parks
     /// before giving up.
     pub barrier_timeout: Duration,
+    /// Root spans at or above this many milliseconds are logged to
+    /// stderr (`--slow-ms`; 0 disables the slow-op log).
+    pub slow_ms: u64,
 }
 
 impl Default for PipelineConfig {
@@ -88,6 +92,7 @@ impl Default for PipelineConfig {
             max_batch: 2048,
             resolve_k: 10,
             barrier_timeout: Duration::from_secs(10),
+            slow_ms: 0,
         }
     }
 }
@@ -152,6 +157,10 @@ enum Command {
     Ingest {
         records: Vec<Record>,
         epoch: u64,
+        /// Truncated-micros stamp (on the pipeline's [`Spans`] origin)
+        /// taken at `submit` — the root `ingest_batch` span starts
+        /// here, so queue wait is part of ingest-to-visible latency.
+        enqueued_micros: u64,
     },
     Snapshot {
         reply: SyncSender<Result<SnapshotDone, String>>,
@@ -187,6 +196,7 @@ pub struct Pipeline {
     schema: Schema,
     config: PipelineConfig,
     metrics: PipelineMetrics,
+    spans: Arc<Spans>,
     snapshot_enabled: bool,
     drainer: Option<JoinHandle<()>>,
 }
@@ -195,21 +205,44 @@ impl Pipeline {
     /// Takes ownership of the resolver, publishes the boot snapshot
     /// **synchronously** (the server answers `/topk` correctly before
     /// the first ingest), and spawns the resolver thread.
+    ///
+    /// When `spans` is enabled, every ingest pass gets a root
+    /// `ingest_batch` span with `queue_wait` / `coalesce` / `resolve`
+    /// (plus engine-derived `hash_rounds` / `pairwise` children) /
+    /// `publish` child spans, emitted through the resolver's trace
+    /// sink. A [`SpanCollector`] is composed onto that sink **before**
+    /// the boot resolve so its 1-based segment numbering lines up with
+    /// the trace file's segment count.
     pub fn start(
         mut resolver: OnlineAdaLsh,
         rule: MatchRule,
         snapshot_path: Option<PathBuf>,
         config: PipelineConfig,
         metrics: PipelineMetrics,
+        spans: Arc<Spans>,
     ) -> Self {
         let schema = resolver.schema().clone();
         let snapshot_enabled = snapshot_path.is_some();
         let resolve_k = config.resolve_k.max(1);
 
+        let collector = if spans.enabled() {
+            let collector = Arc::new(SpanCollector::new());
+            let composed = resolver.trace().with(collector.clone());
+            resolver.set_trace(composed);
+            Some(collector)
+        } else {
+            None
+        };
+
         // Boot resolve: epoch 0 covers everything the resolver was
         // constructed (or resumed) with.
         let boot_wall = Instant::now();
         let output = resolver.query_cached(resolve_k);
+        // The boot segment belongs to no ingest batch — consume it so
+        // the first batch's spans don't adopt stale attribution.
+        if let Some(collector) = &collector {
+            let _ = collector.take_last_segment();
+        }
         metrics.hash_evals.add(output.stats.hash_evals);
         metrics.pairwise_evals.add(output.stats.pair_comparisons);
         let boot = Arc::new(ResolvedSnapshot {
@@ -240,6 +273,8 @@ impl Pipeline {
             let barrier = Arc::clone(&barrier);
             let metrics = metrics.clone();
             let config = config.clone();
+            let spans = Arc::clone(&spans);
+            let sink = resolver.trace().clone();
             std::thread::Builder::new()
                 .name("adalsh-resolver".to_string())
                 .spawn(move || {
@@ -252,6 +287,11 @@ impl Pipeline {
                         &barrier,
                         &config,
                         &metrics,
+                        &SpanContext {
+                            spans,
+                            collector,
+                            sink,
+                        },
                     );
                 })
                 .expect("spawn resolver thread")
@@ -268,6 +308,7 @@ impl Pipeline {
             schema,
             config,
             metrics,
+            spans,
             snapshot_enabled,
             drainer: Some(drainer),
         }
@@ -303,6 +344,11 @@ impl Pipeline {
                 .map_err(|e| SubmitError::Invalid(format!("record {i} of batch: {e}")))?;
         }
         let count = records.len() as u32;
+        let enqueued_micros = if self.spans.enabled() {
+            self.spans.now_micros()
+        } else {
+            0
+        };
 
         let mut intake = lock_unpoisoned(&self.intake);
         let Some(sender) = intake.sender.as_ref() else {
@@ -314,7 +360,11 @@ impl Pipeline {
         // matching `dec` can only run after a successful send, so the
         // pair can never saturate at zero and leak a phantom unit.
         self.metrics.queue_depth.inc();
-        match sender.try_send(Command::Ingest { records, epoch }) {
+        match sender.try_send(Command::Ingest {
+            records,
+            epoch,
+            enqueued_micros,
+        }) {
             Ok(()) => {
                 intake.next_id += count;
                 intake.next_epoch += 1;
@@ -436,6 +486,15 @@ impl std::fmt::Debug for Pipeline {
     }
 }
 
+/// Span machinery the resolver thread carries: the recorder, the
+/// per-segment engine-attribution collector (riding the resolver's
+/// sink), and a clone of that sink to emit `"span"` events through.
+struct SpanContext {
+    spans: Arc<Spans>,
+    collector: Option<Arc<SpanCollector>>,
+    sink: TraceSink,
+}
+
 /// The resolver thread: pops commands in order, coalesces consecutive
 /// ingest batches up to `max_batch` records, applies + resolves +
 /// publishes, and executes snapshot commands at epoch boundaries.
@@ -450,6 +509,7 @@ fn drainer_loop(
     barrier: &Arc<(Mutex<BarrierState>, Condvar)>,
     config: &PipelineConfig,
     metrics: &PipelineMetrics,
+    span_ctx: &SpanContext,
 ) {
     let resolve_k = config.resolve_k.max(1);
     let max_batch = config.max_batch.max(1);
@@ -491,6 +551,11 @@ fn drainer_loop(
                 let pass_start = Instant::now();
                 let epoch = lock_unpoisoned(&barrier.0).epoch;
                 let output = resolver.query_cached(resolve_k);
+                // A re-resolve's segment belongs to no ingest span —
+                // consume it so the next batch starts clean.
+                if let Some(collector) = &span_ctx.collector {
+                    let _ = collector.take_last_segment();
+                }
                 metrics.hash_evals.add(output.stats.hash_evals);
                 metrics.pairwise_evals.add(output.stats.pair_comparisons);
                 let snapshot = Arc::new(ResolvedSnapshot {
@@ -508,20 +573,43 @@ fn drainer_loop(
                     .observe(pass_start.elapsed().as_secs_f64());
                 let _ = reply.send(snapshot);
             }
-            Command::Ingest { records, epoch } => {
+            Command::Ingest {
+                records,
+                epoch,
+                enqueued_micros,
+            } => {
                 let pass_start = Instant::now();
+                let spans = &span_ctx.spans;
+                let sink = &span_ctx.sink;
+                let tracing = spans.enabled();
+                // The root span starts at the first batch's *enqueue*
+                // stamp, so its duration is the full ingest-to-visible
+                // latency; queue wait is the [enqueue, pop] prefix.
+                let pop_stamp = if tracing { spans.now_micros() } else { 0 };
+                let root = spans.begin_at("ingest_batch", 0, enqueued_micros);
+                if tracing {
+                    let wait = spans.begin_at("queue_wait", root.id, enqueued_micros);
+                    spans.finish_at(wait, pop_stamp, &[], sink);
+                    metrics
+                        .queue_age
+                        .set(pop_stamp.saturating_sub(enqueued_micros) as f64 / 1e6);
+                }
+
                 let mut batch = records;
                 let mut last_epoch = epoch;
                 let mut applied_batches = 1u64;
                 // Coalesce whatever else is already queued, preserving
                 // order, until the pass is full or a snapshot command
-                // (an epoch boundary) shows up.
+                // (an epoch boundary) shows up. Coalesced batches fold
+                // into this pass's root span (their own enqueue stamps
+                // are later than the root's, so the window still
+                // contains their wait).
                 while batch.len() < max_batch {
                     match receiver.try_recv() {
                         Ok(next) => {
                             metrics.queue_depth.dec();
                             match next {
-                                Command::Ingest { records, epoch } => {
+                                Command::Ingest { records, epoch, .. } => {
                                     batch.extend(records);
                                     last_epoch = epoch;
                                     applied_batches += 1;
@@ -537,14 +625,75 @@ fn drainer_loop(
                         Err(_) => break,
                     }
                 }
+                if tracing {
+                    let coalesce = spans.begin_at("coalesce", root.id, pop_stamp);
+                    spans.finish(coalesce, &[("batches", Value::U64(applied_batches))], sink);
+                }
 
                 let batch_len = batch.len();
+                let resolve_span = spans.begin("resolve", root.id);
+                let proc_before = if tracing { ProcSample::capture() } else { None };
                 resolver
                     .extend(batch)
                     .expect("batch pre-validated at intake");
                 let output = resolver.query_cached(resolve_k);
                 metrics.hash_evals.add(output.stats.hash_evals);
                 metrics.pairwise_evals.add(output.stats.pair_comparisons);
+                if tracing {
+                    // Engine-derived children: durations are the exact
+                    // per-segment Σ wall_micros the collector folded, so
+                    // schema::validate reconciles them bit-for-bit with
+                    // the hash_round/pairwise events of that segment.
+                    if let Some(seg) = span_ctx
+                        .collector
+                        .as_ref()
+                        .and_then(|c| c.take_last_segment())
+                    {
+                        let hash = spans.begin_at(
+                            "hash_rounds",
+                            resolve_span.id,
+                            resolve_span.start_micros,
+                        );
+                        spans.record(
+                            hash,
+                            seg.hash_wall_micros,
+                            &[
+                                ("segment", Value::U64(seg.segment)),
+                                ("hash_evals", Value::U64(seg.hash_evals)),
+                            ],
+                            sink,
+                        );
+                        let pairwise =
+                            spans.begin_at("pairwise", resolve_span.id, resolve_span.start_micros);
+                        spans.record(
+                            pairwise,
+                            seg.pairwise_wall_micros,
+                            &[
+                                ("segment", Value::U64(seg.segment)),
+                                ("pairs", Value::U64(seg.pairs)),
+                                ("oracle_calls", Value::U64(seg.oracle_calls)),
+                                ("oracle_spend", Value::U64(seg.oracle_spend)),
+                                (
+                                    "oracle_latency_micros",
+                                    Value::U64(seg.oracle_latency_micros),
+                                ),
+                            ],
+                            sink,
+                        );
+                    }
+                    let mut fields: Vec<(&'static str, Value<'static>)> =
+                        vec![("records", Value::U64(batch_len as u64))];
+                    if let (Some(before), Some(after)) = (proc_before, ProcSample::capture()) {
+                        metrics
+                            .resolve_minor_faults
+                            .add(after.minor_faults.saturating_sub(before.minor_faults));
+                        metrics
+                            .resolve_major_faults
+                            .add(after.major_faults.saturating_sub(before.major_faults));
+                        fields.extend(before.delta_fields(&after));
+                    }
+                    spans.finish(resolve_span, &fields, sink);
+                }
                 let snapshot = Arc::new(ResolvedSnapshot {
                     epoch: last_epoch,
                     records: resolver.len(),
@@ -555,6 +704,7 @@ fn drainer_loop(
                     resolve_wall: output.wall,
                 });
                 let records_total = snapshot.records as u64;
+                let publish_span = spans.begin("publish", root.id);
                 publisher.publish(snapshot);
 
                 metrics.batch_records.observe(batch_len as f64);
@@ -571,6 +721,21 @@ fn drainer_loop(
                 state.records = records_total;
                 drop(state);
                 condvar.notify_all();
+
+                if tracing {
+                    spans.finish(publish_span, &[("epoch", Value::U64(last_epoch))], sink);
+                    let total = spans.finish_at(
+                        root,
+                        spans.now_micros(),
+                        &[
+                            ("records", Value::U64(batch_len as u64)),
+                            ("batches", Value::U64(applied_batches)),
+                            ("epoch", Value::U64(last_epoch)),
+                        ],
+                        sink,
+                    );
+                    metrics.ingest_to_visible.observe(total as f64 / 1e6);
+                }
             }
         }
     }
@@ -605,7 +770,14 @@ mod tests {
         let rule = MatchRule::threshold(0, FieldDistance::Jaccard, 0.6);
         let resolver = OnlineAdaLsh::new(&dataset, AdaLshConfig::new(rule.clone())).unwrap();
         let metrics = Metrics::new();
-        let pipeline = Pipeline::start(resolver, rule, None, config, metrics.pipeline());
+        let pipeline = Pipeline::start(
+            resolver,
+            rule,
+            None,
+            config,
+            metrics.pipeline(),
+            Arc::new(Spans::new(64, 0)),
+        );
         (pipeline, metrics)
     }
 
@@ -637,6 +809,92 @@ mod tests {
         let snapshot = pipeline.current();
         assert_eq!(snapshot.records, 11);
         assert!(snapshot.epoch >= 2);
+    }
+
+    /// One applied ingest batch leaves a full span tree in the ring:
+    /// an `ingest_batch` root with `queue_wait` / `coalesce` /
+    /// `resolve` / `publish` children, and engine-derived
+    /// `hash_rounds` / `pairwise` grandchildren under `resolve`.
+    #[test]
+    fn ingest_pass_records_a_span_tree() {
+        let schema = Schema::single("s", FieldKind::Shingles);
+        let records: Vec<Record> = (0..8)
+            .map(|i| shingle_record(&[i, i + 1, i + 2, 100]))
+            .collect();
+        let labels = (0..8).map(|i| i as u32 / 2).collect();
+        let dataset = Dataset::new(schema, records, labels);
+        let rule = MatchRule::threshold(0, FieldDistance::Jaccard, 0.6);
+        let resolver = OnlineAdaLsh::new(&dataset, AdaLshConfig::new(rule.clone())).unwrap();
+        let metrics = Metrics::new();
+        let spans = Arc::new(Spans::new(64, 0));
+        let pipeline = Pipeline::start(
+            resolver,
+            rule,
+            None,
+            PipelineConfig::default(),
+            metrics.pipeline(),
+            Arc::clone(&spans),
+        );
+
+        let accepted = pipeline.submit(vec![shingle_record(&[1, 2, 3])]).unwrap();
+        assert!(pipeline.wait_until(accepted.visible_epoch, 0));
+        // The root span finishes just after the barrier wakes; poll
+        // briefly instead of racing it.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let recent = loop {
+            let recent = spans.recent();
+            if recent.iter().any(|s| s.op == "ingest_batch") {
+                break recent;
+            }
+            assert!(Instant::now() < deadline, "root span never completed");
+            std::thread::sleep(Duration::from_millis(5));
+        };
+
+        let root = recent.iter().find(|s| s.op == "ingest_batch").unwrap();
+        assert_eq!(root.parent, 0);
+        let mut child_sum = 0;
+        for op in ["queue_wait", "coalesce", "resolve", "publish"] {
+            let child = recent
+                .iter()
+                .find(|s| s.op == op)
+                .unwrap_or_else(|| panic!("missing child {op}"));
+            assert_eq!(child.parent, root.id, "{op} hangs off the root");
+            assert!(
+                child.start_micros >= root.start_micros
+                    && child.start_micros + child.duration_micros
+                        <= root.start_micros + root.duration_micros,
+                "{op} window escapes the root"
+            );
+            child_sum += child.duration_micros;
+        }
+        assert!(child_sum <= root.duration_micros, "children outsum root");
+
+        let resolve = recent.iter().find(|s| s.op == "resolve").unwrap();
+        for op in ["hash_rounds", "pairwise"] {
+            let child = recent
+                .iter()
+                .find(|s| s.op == op)
+                .unwrap_or_else(|| panic!("missing engine child {op}"));
+            assert_eq!(child.parent, resolve.id, "{op} hangs off resolve");
+            // The boot segment was discarded, so the first batch links
+            // to segment 2 of the trace stream.
+            assert!(
+                child
+                    .fields
+                    .iter()
+                    .any(|(n, v)| *n == "segment"
+                        && matches!(v, adalsh_obs::trace::OwnedValue::U64(2))),
+                "{op} links to segment 2: {:?}",
+                child.fields
+            );
+        }
+
+        // The span-backed metric families saw the pass.
+        let text = metrics.render();
+        assert!(
+            text.contains("adalsh_ingest_to_visible_seconds_count 1"),
+            "{text}"
+        );
     }
 
     #[test]
@@ -696,6 +954,7 @@ mod tests {
             Some(path.clone()),
             PipelineConfig::default(),
             metrics.pipeline(),
+            Arc::new(Spans::disabled()),
         );
 
         pipeline.submit(vec![shingle_record(&[1, 2, 3])]).unwrap();

@@ -23,6 +23,9 @@ use std::sync::Arc;
 
 use adalsh_core::{OnlineAdaLsh, OracleMode, VerdictOverlay};
 use adalsh_data::{MatchRule, Record};
+use adalsh_obs::span::DEFAULT_RING_CAP;
+use adalsh_obs::trace::OwnedValue;
+use adalsh_obs::{Spans, TraceSink, Value as TraceValue};
 use serde::{Deserialize, Serialize, Value};
 
 use crate::http::{Request, Response};
@@ -36,6 +39,13 @@ pub const DEFAULT_MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
 pub struct Service {
     pipeline: Pipeline,
     metrics: Metrics,
+    /// The span recorder shared with the pipeline: `/debug/spans`
+    /// serves its ring, `/topk` roots its query spans here.
+    spans: Arc<Spans>,
+    /// Clone of the resolver's composed trace sink, so query spans
+    /// emitted on worker threads land in the same trace stream (e.g. a
+    /// `--trace-out` JSONL file) as the resolver's events.
+    sink: TraceSink,
     /// Echoed in `POST /snapshot` responses (the pipeline owns the
     /// actual writer).
     snapshot_path: Option<PathBuf>,
@@ -65,7 +75,8 @@ impl Service {
     ) -> Self {
         let metrics = Metrics::new();
         let composed = resolver.trace().with(metrics.engine_subscriber());
-        resolver.set_trace(composed);
+        resolver.set_trace(composed.clone());
+        let spans = Arc::new(Spans::new(DEFAULT_RING_CAP, config.slow_ms));
         // A noisy-oracle resolver gets an external-verdict overlay so
         // POST /adjudicate can overrule individual pair verdicts.
         let overlay = match resolver.config().oracle {
@@ -82,10 +93,13 @@ impl Service {
             snapshot_path.clone(),
             config,
             metrics.pipeline(),
+            Arc::clone(&spans),
         );
         Self {
             pipeline,
             metrics,
+            spans,
+            sink: composed,
             snapshot_path,
             overlay,
         }
@@ -104,11 +118,16 @@ impl Service {
             ("GET", "/healthz") => ("/healthz", self.healthz()),
             ("GET", "/topk") => ("/topk", self.topk(request)),
             ("GET", "/metrics") => ("/metrics", Response::text(200, self.metrics.render())),
+            ("GET", "/debug/spans") => ("/debug/spans", self.debug_spans()),
             ("POST", "/ingest") => ("/ingest", self.ingest(request)),
             ("POST", "/snapshot") => ("/snapshot", self.snapshot()),
             ("POST", "/adjudicate") => ("/adjudicate", self.adjudicate(request)),
             ("GET", "/adjudicate") => ("/adjudicate", self.adjudication_state()),
-            (_, "/healthz" | "/topk" | "/metrics" | "/ingest" | "/snapshot" | "/adjudicate") => (
+            (
+                _,
+                "/healthz" | "/topk" | "/metrics" | "/debug/spans" | "/ingest" | "/snapshot"
+                | "/adjudicate",
+            ) => (
                 "unmatched",
                 Response::error(405, &format!("method {} not allowed here", request.method)),
             ),
@@ -137,6 +156,16 @@ impl Service {
     /// epoch / record count reaches the floor — plain reads clone an
     /// `Arc` and return.
     fn topk(&self, request: &Request) -> Response {
+        // Every query gets a root span; the only child is the barrier
+        // wait (a plain read's whole cost is the Arc clone, so deeper
+        // decomposition would be noise).
+        let root = self.spans.begin("topk_query", 0);
+        let response = self.topk_inner(request, root.id);
+        self.spans.finish(root, &[], &self.sink);
+        response
+    }
+
+    fn topk_inner(&self, request: &Request, parent_span: u64) -> Response {
         let k: usize = match request.query_param("k") {
             None => return Response::error(400, "missing required query parameter k"),
             Some(raw) => match raw.parse() {
@@ -166,7 +195,11 @@ impl Service {
 
         let mut snapshot = self.pipeline.current();
         if snapshot.epoch < wait_epoch || (snapshot.records as u64) < min_records {
-            if !self.pipeline.wait_until(wait_epoch, min_records) {
+            let wait = self.spans.begin("barrier_wait", parent_span);
+            let reached = self.pipeline.wait_until(wait_epoch, min_records);
+            self.spans
+                .finish(wait, &[("epoch", TraceValue::U64(wait_epoch))], &self.sink);
+            if !reached {
                 let current = self.pipeline.current();
                 return Response::error(
                     408,
@@ -180,6 +213,43 @@ impl Service {
             snapshot = self.pipeline.current();
         }
         json_ok(&topk_value(&snapshot, k))
+    }
+
+    /// `GET /debug/spans`: the recent completed spans (newest first)
+    /// from the in-memory ring — a live ops surface needing no trace
+    /// file. Reads the ring under its own mutex; never touches the
+    /// resolver.
+    fn debug_spans(&self) -> Response {
+        let recent = self.spans.recent();
+        let items: Vec<Value> = recent
+            .iter()
+            .map(|span| {
+                let mut fields = vec![
+                    ("id".to_string(), Value::U64(span.id)),
+                    ("parent".to_string(), Value::U64(span.parent)),
+                    ("op".to_string(), Value::Str(span.op.to_string())),
+                    ("start_micros".to_string(), Value::U64(span.start_micros)),
+                    (
+                        "duration_micros".to_string(),
+                        Value::U64(span.duration_micros),
+                    ),
+                ];
+                for (name, value) in &span.fields {
+                    let json = match value {
+                        OwnedValue::U64(v) => Value::U64(*v),
+                        OwnedValue::F64(v) => Value::F64(*v),
+                        OwnedValue::Str(v) => Value::Str(v.clone()),
+                    };
+                    fields.push((name.to_string(), json));
+                }
+                Value::Map(fields)
+            })
+            .collect();
+        let body = Value::Map(vec![
+            ("count".to_string(), Value::U64(items.len() as u64)),
+            ("spans".to_string(), Value::Seq(items)),
+        ]);
+        json_ok(&body)
     }
 
     /// `POST /ingest`: schema-validated batch intake into the bounded

@@ -634,6 +634,193 @@ fn backpressure_sheds_with_retry_after_and_drops_nothing_accepted() {
     server.shutdown();
 }
 
+/// Satellite: the `/metrics` exposition is scrapeable by the book — the
+/// response declares `Content-Type: text/plain; version=0.0.4`, and the
+/// live body survives a full promtext round-trip with every histogram
+/// family (including the span-backed `adalsh_ingest_to_visible_seconds`)
+/// passing the cumulative-bucket invariants.
+#[test]
+fn metrics_exposition_declares_content_type_and_round_trips() {
+    let (server, _service) = start_server(None);
+    let addr = server.local_addr();
+
+    let burst: Vec<Record> = (0..5).map(|i| record(3, i)).collect();
+    let (status, body) = post(addr, "/ingest", &ingest_body(&burst));
+    assert_eq!(status, 200, "{body}");
+    let visible_epoch = u64_field(&body, "visible_epoch");
+    let (status, body) = get(addr, &format!("/topk?k=2&wait_epoch={visible_epoch}"));
+    assert_eq!(status, 200, "{body}");
+
+    // The root ingest span (whose duration feeds ingest-to-visible)
+    // finishes just after the visibility barrier fires, so poll for the
+    // observation before asserting on the exposition.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    let (head, exposition) = loop {
+        let (status, head, exposition) =
+            http_full(addr, "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert_eq!(status, 200);
+        if !exposition.contains("adalsh_ingest_to_visible_seconds_count 0") {
+            break (head, exposition);
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "ingest-to-visible never observed: {exposition}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    };
+    assert!(
+        head.contains("Content-Type: text/plain; version=0.0.4"),
+        "Prometheus scrapers key on the exposition version header: {head}"
+    );
+
+    let samples =
+        adalsh_obs::promtext::parse(&exposition).unwrap_or_else(|e| panic!("{e}\n{exposition}"));
+    assert!(!samples.is_empty());
+    for family in [
+        "adalsh_request_seconds",
+        "adalsh_publish_seconds",
+        "adalsh_resolve_batch_records",
+        "adalsh_ingest_to_visible_seconds",
+    ] {
+        adalsh_obs::promtext::check_histogram(&samples, family)
+            .unwrap_or_else(|e| panic!("{e}\n{exposition}"));
+    }
+    // The span layer fed the new families: one batch went end to end.
+    let visible_count = samples
+        .iter()
+        .find(|s| s.name == "adalsh_ingest_to_visible_seconds_count")
+        .expect("ingest-to-visible histogram")
+        .value;
+    assert!(visible_count >= 1.0, "{exposition}");
+    assert!(
+        samples.iter().any(|s| s.name == "adalsh_queue_age_seconds"),
+        "{exposition}"
+    );
+    assert!(
+        samples
+            .iter()
+            .any(|s| s.name == "adalsh_resolve_minor_page_faults_total"),
+        "{exposition}"
+    );
+
+    server.shutdown();
+}
+
+/// Tentpole: `GET /debug/spans` serves the live span ring — after one
+/// ingest made visible and one query, the ring holds the full ingest
+/// span tree (root plus queue/coalesce/resolve/engine/publish children)
+/// and the query root. The root span finishes *after* the visibility
+/// barrier fires, so the ring is polled briefly.
+#[test]
+fn debug_spans_serves_the_ingest_span_tree() {
+    let (server, _service) = start_server(None);
+    let addr = server.local_addr();
+
+    let burst: Vec<Record> = (0..6).map(|i| record(1, i)).collect();
+    let (status, body) = post(addr, "/ingest", &ingest_body(&burst));
+    assert_eq!(status, 200, "{body}");
+    let visible_epoch = u64_field(&body, "visible_epoch");
+    let (status, body) = get(addr, &format!("/topk?k=2&wait_epoch={visible_epoch}"));
+    assert_eq!(status, 200, "{body}");
+
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    let body = loop {
+        let (status, body) = get(addr, "/debug/spans");
+        assert_eq!(status, 200, "{body}");
+        if body.contains("\"op\":\"ingest_batch\"") {
+            break body;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "ingest_batch root never reached the span ring: {body}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    };
+    let value = parse(&body);
+    assert!(u64_field(&body, "count") > 0);
+    assert!(value.get("spans").is_some(), "{body}");
+    for op in [
+        "queue_wait",
+        "coalesce",
+        "resolve",
+        "hash_rounds",
+        "pairwise",
+        "publish",
+        "topk_query",
+    ] {
+        assert!(body.contains(&format!("\"op\":\"{op}\"")), "{op}: {body}");
+    }
+
+    server.shutdown();
+}
+
+/// Acceptance: the span stream a live server emits is not just shaped
+/// right — it reconciles bit-for-bit against the engine's own event
+/// taxonomy. A `MemorySubscriber` installed under the service's sink
+/// sees every event (engine events and spans alike); `schema::validate`
+/// then checks tree integrity, exact window containment, and the
+/// span↔segment linkage identities on the full stream.
+#[test]
+fn live_span_stream_validates_against_the_event_taxonomy() {
+    let memory = Arc::new(adalsh_obs::MemorySubscriber::new());
+    let mut resolver = OnlineAdaLsh::new(&bootstrap(), AdaLshConfig::new(rule())).unwrap();
+    let composed = resolver.trace().with(Arc::clone(&memory) as _);
+    resolver.set_trace(composed);
+    let (server, _service) = start_server_with(resolver, None, ServerConfig::default());
+    let addr = server.local_addr();
+
+    let burst: Vec<Record> = (0..7).map(|i| record(5, i)).collect();
+    let (status, body) = post(addr, "/ingest", &ingest_body(&burst));
+    assert_eq!(status, 200, "{body}");
+    let visible_epoch = u64_field(&body, "visible_epoch");
+    let (status, body) = get(addr, &format!("/topk?k=2&wait_epoch={visible_epoch}"));
+    assert_eq!(status, 200, "{body}");
+
+    // Wait for the root ingest span (finished after the barrier fires).
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    let events = loop {
+        let events = memory.events();
+        if events
+            .iter()
+            .any(|e| e.name == "span" && e.str("op") == Some("ingest_batch"))
+        {
+            break events;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "ingest_batch span never emitted"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    };
+
+    let report = adalsh_obs::schema::validate(&events).unwrap_or_else(|e| panic!("{e}"));
+    assert_eq!(report.runs, 2, "boot resolve + one ingest pass");
+    let spans: Vec<&adalsh_obs::OwnedEvent> = events.iter().filter(|e| e.name == "span").collect();
+    let ops: Vec<&str> = spans.iter().filter_map(|s| s.str("op")).collect();
+    for op in [
+        "ingest_batch",
+        "queue_wait",
+        "resolve",
+        "hash_rounds",
+        "pairwise",
+        "publish",
+        "topk_query",
+    ] {
+        assert!(ops.contains(&op), "missing span op {op} in {ops:?}");
+    }
+    // The engine children link the ingest pass's segment (boot is 1).
+    let segment_of = |op: &str| {
+        spans
+            .iter()
+            .find(|s| s.str("op") == Some(op))
+            .and_then(|s| s.u64("segment"))
+    };
+    assert_eq!(segment_of("hash_rounds"), Some(2));
+    assert_eq!(segment_of("pairwise"), Some(2));
+
+    server.shutdown();
+}
+
 /// Acceptance: `GET /topk` and `GET /metrics` acquire no mutex on the
 /// request path. While the resolver thread is busy applying a large
 /// same-entity batch (quadratic pairwise work), plain reads keep
